@@ -1,0 +1,269 @@
+// Ablation and subsystem benchmarks beyond the paper's tables: the
+// future-work features (adaptive scheduling, OWL-Horst), the maintenance
+// layer, and the supporting substrates (Turtle, snapshots, queries).
+package slider_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	slider "repro"
+	"repro/internal/bench"
+	"repro/internal/maintenance"
+	"repro/internal/ntriples"
+	"repro/internal/ontogen"
+	"repro/internal/rdf"
+	"repro/internal/rules"
+	"repro/internal/snapshot"
+	"repro/internal/store"
+	"repro/internal/turtle"
+)
+
+// BenchmarkAblationAdaptive compares fixed vs adaptive buffer scheduling
+// on a workload where most rule modules are unproductive (wordnet: no
+// ρdf inferences at all).
+func BenchmarkAblationAdaptive(b *testing.B) {
+	ds := datasetNamed(b, "wordnet")
+	for _, adaptive := range []bool{false, true} {
+		name := "fixed"
+		if adaptive {
+			name = "adaptive"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				run := func() {
+					frag := slider.RhoDF
+					opts := []slider.Option{slider.WithBufferSize(16)}
+					if adaptive {
+						opts = append(opts, slider.WithAdaptiveScheduling())
+					}
+					r := slider.New(frag, opts...)
+					defer r.Close(context.Background())
+					// Feed via statements (includes encoding, as always).
+					for _, s := range ds.Statements {
+						if _, err := r.Add(s); err != nil {
+							b.Fatal(err)
+						}
+					}
+					if err := r.Wait(context.Background()); err != nil {
+						b.Fatal(err)
+					}
+				}
+				run()
+			}
+		})
+	}
+}
+
+// BenchmarkOWLHorst measures the extension fragment end to end on a
+// property-characteristics-heavy workload.
+func BenchmarkOWLHorst(b *testing.B) {
+	owlNS := "http://www.w3.org/2002/07/owl#"
+	var sts []slider.Statement
+	iri := func(n string) slider.Term { return slider.IRI("http://e/" + n) }
+	sts = append(sts,
+		slider.NewStatement(iri("partOf"), slider.IRI(slider.Type), slider.IRI(owlNS+"TransitiveProperty")),
+		slider.NewStatement(iri("near"), slider.IRI(slider.Type), slider.IRI(owlNS+"SymmetricProperty")),
+		slider.NewStatement(iri("contains"), slider.IRI(owlNS+"inverseOf"), iri("partOf")),
+	)
+	for i := 0; i < 500; i++ {
+		sts = append(sts,
+			slider.NewStatement(iri(fmt.Sprintf("n%d", i)), iri("partOf"), iri(fmt.Sprintf("n%d", i/2))),
+			slider.NewStatement(iri(fmt.Sprintf("n%d", i)), iri("near"), iri(fmt.Sprintf("n%d", (i+7)%500))),
+		)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := slider.New(slider.OWLHorst)
+		for _, s := range sts {
+			if _, err := r.Add(s); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := r.Close(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(r.Stats().Inferred), "inferred")
+		}
+	}
+}
+
+// BenchmarkRetract measures DRed maintenance: cutting one edge out of a
+// materialised chain.
+func BenchmarkRetract(b *testing.B) {
+	for _, n := range []int{50, 100, 200} {
+		n := n
+		b.Run(fmt.Sprintf("chain%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				var input []rdf.Triple
+				for j := 0; j < n; j++ {
+					input = append(input, rdf.T(rdf.FirstCustomID+rdf.ID(j), rdf.IDSubClassOf, rdf.FirstCustomID+rdf.ID(j+1)))
+				}
+				st := store.New()
+				explicit := map[rdf.Triple]struct{}{}
+				for _, t := range input {
+					explicit[t] = struct{}{}
+				}
+				// Materialise via semi-naive fixpoint.
+				delta := st.AddAll(input)
+				for len(delta) > 0 {
+					var out []rdf.Triple
+					for _, r := range rules.RhoDF() {
+						r.Apply(st, delta, func(t rdf.Triple) { out = append(out, t) })
+					}
+					delta = st.AddAll(out)
+				}
+				b.StartTimer()
+				if _, err := maintenance.Retract(context.Background(), st, rules.RhoDF(), explicit,
+					[]rdf.Triple{input[n/2]}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTurtleParser measures Turtle parsing throughput on a
+// predicate-list-heavy document.
+func BenchmarkTurtleParser(b *testing.B) {
+	var sb strings.Builder
+	sb.WriteString("@prefix ex: <http://e/> .\n@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\n")
+	for i := 0; i < 5000; i++ {
+		fmt.Fprintf(&sb, "ex:r%d a ex:Thing ; rdfs:label \"thing %d\" ; ex:next ex:r%d .\n", i, i, i+1)
+	}
+	doc := sb.String()
+	b.SetBytes(int64(len(doc)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sts, err := turtle.ParseString(doc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(sts) != 15000 {
+			b.Fatalf("parsed %d", len(sts))
+		}
+	}
+}
+
+// BenchmarkSnapshot measures knowledge-base save/load round trips.
+func BenchmarkSnapshot(b *testing.B) {
+	ds := ontogen.Wikipedia(ontogen.Config{Triples: 20_000, Seed: 1})
+	dict := rdf.NewDictionary()
+	st := store.New()
+	for _, s := range ds {
+		st.Add(dict.EncodeStatement(s))
+	}
+	var buf bytes.Buffer
+	b.Run("Save", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			if err := snapshot.Save(&buf, dict, st); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if buf.Len() == 0 {
+		if err := snapshot.Save(&buf, dict, st); err != nil {
+			b.Fatal(err)
+		}
+	}
+	data := buf.Bytes()
+	b.Run("Load", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := snapshot.Load(bytes.NewReader(data)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkQuery measures SELECT evaluation over a materialised store.
+func BenchmarkQuery(b *testing.B) {
+	r := slider.New(slider.RhoDF)
+	defer r.Close(context.Background())
+	for _, s := range ontogen.Wikipedia(ontogen.Config{Triples: 20_000, Seed: 1}) {
+		if _, err := r.Add(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := r.Wait(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	q := `SELECT ?a ?c WHERE {
+		?a a <http://example.org/wikipedia/Article> .
+		?a <http://example.org/terms/subject> ?c .
+		?c rdfs:subClassOf ?super .
+	}`
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := r.Select(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("no solutions")
+		}
+	}
+}
+
+// BenchmarkDomainRange drives the prp-dom / prp-rng modules at scale —
+// the rule family Table 1's workloads never fire (their schemas carry no
+// domain/range declarations).
+func BenchmarkDomainRange(b *testing.B) {
+	sts := ontogen.Sensor(ontogen.Config{Triples: 20_000, Seed: 1})
+	for _, frag := range []slider.Fragment{slider.RhoDF, slider.RDFS} {
+		frag := frag
+		b.Run(frag.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r := slider.New(frag)
+				for _, s := range sts {
+					if _, err := r.Add(s); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := r.Close(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+				if i == b.N-1 {
+					b.ReportMetric(float64(r.Stats().Inferred), "inferred")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkNTriplesWriter measures serialisation throughput.
+func BenchmarkNTriplesWriter(b *testing.B) {
+	sts := ontogen.WordNet(ontogen.Config{Triples: 10_000, Seed: 1})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := ntriples.WriteAll(&buf, sts); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(buf.Len()))
+	}
+}
+
+// BenchmarkSweep is the §4 parameter grid as a benchmark (one point).
+func BenchmarkSweep(b *testing.B) {
+	ds := datasetNamed(b, "BSBM_200k")
+	for _, bs := range []int{16, 256} {
+		bs := bs
+		b.Run(fmt.Sprintf("buffer%d", bs), func(b *testing.B) {
+			runSlider(b, ds, bench.RhoDF, bench.SliderConfig{BufferSize: bs})
+		})
+	}
+}

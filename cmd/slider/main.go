@@ -1,0 +1,195 @@
+// Command slider runs the Slider incremental reasoner over N-Triples
+// input: it streams the document through the engine, waits for the
+// inference to complete, and writes the materialised store (explicit plus
+// inferred triples) as N-Triples.
+//
+// Usage:
+//
+//	slider -fragment rdfs -in data.nt -out closure.nt -stats
+//	cat data.nt | slider > closure.nt
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	var (
+		fragName = flag.String("fragment", "rhodf", "fragment to reason with: rhodf | rdfs | rdfs-lite (no resource typing)")
+		in       = flag.String("in", "", "input file (default stdin)")
+		format   = flag.String("format", "auto", "input format: nt | ttl | auto (by file extension)")
+		out      = flag.String("out", "", "output N-Triples file for the closure (default stdout; use 'none' to skip)")
+		bufSize  = flag.Int("buffer", 0, "rule buffer size (0 = default)")
+		timeout  = flag.Duration("timeout", 0, "buffer inactivity timeout (0 = default)")
+		workers  = flag.Int("workers", 0, "thread pool size (0 = GOMAXPROCS)")
+		stats    = flag.Bool("stats", false, "print per-rule statistics to stderr")
+		quiet    = flag.Bool("q", false, "suppress the summary line")
+		queryStr = flag.String("query", "", "run a SELECT query over the closure instead of exporting it")
+		save     = flag.String("save", "", "write a binary snapshot of the materialised store to this file")
+		load     = flag.String("load", "", "restore a binary snapshot as background knowledge before reading input")
+		adaptive = flag.Bool("adaptive", false, "enable adaptive buffer scheduling")
+	)
+	flag.Parse()
+
+	frag, err := fragmentByName(*fragName)
+	if err != nil {
+		fatal(err)
+	}
+	var opts []slider.Option
+	if *bufSize > 0 {
+		opts = append(opts, slider.WithBufferSize(*bufSize))
+	}
+	if *timeout > 0 {
+		opts = append(opts, slider.WithTimeout(*timeout))
+	}
+	if *workers > 0 {
+		opts = append(opts, slider.WithWorkers(*workers))
+	}
+	if *adaptive {
+		opts = append(opts, slider.WithAdaptiveScheduling())
+	}
+
+	var src io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+
+	var r *slider.Reasoner
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			fatal(err)
+		}
+		r, err = slider.LoadSnapshot(frag, f, opts...)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		r = slider.New(frag, opts...)
+	}
+	start := time.Now()
+	n := 0
+	if *in != "" || *load == "" {
+		useTurtle := *format == "ttl" ||
+			(*format == "auto" && (strings.HasSuffix(*in, ".ttl") || strings.HasSuffix(*in, ".turtle")))
+		if useTurtle {
+			n, err = r.LoadTurtle(src)
+		} else {
+			n, err = r.LoadNTriples(src)
+		}
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if err := r.Wait(context.Background()); err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+	s := r.Stats()
+
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "slider: %d statements in, %d inferred, %d total in %s (%.0f triples/s, fragment %s)\n",
+			n, s.Inferred, r.Len(), elapsed.Round(time.Millisecond),
+			float64(n)/elapsed.Seconds(), frag.Name())
+	}
+	if *stats {
+		printStats(s)
+	}
+
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			fatal(err)
+		}
+		if err := r.Snapshot(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "slider: snapshot written to %s\n", *save)
+		}
+	}
+
+	switch {
+	case *queryStr != "":
+		rows, err := r.Select(*queryStr)
+		if err != nil {
+			fatal(err)
+		}
+		for _, row := range rows {
+			parts := make([]string, 0, len(row))
+			for v, term := range row {
+				parts = append(parts, "?"+v+"="+term.String())
+			}
+			sortStrings(parts)
+			fmt.Println(strings.Join(parts, "\t"))
+		}
+	case *out != "none":
+		var dst io.Writer = os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			dst = f
+		}
+		if err := r.Export(dst); err != nil {
+			fatal(err)
+		}
+	}
+	if err := r.Close(context.Background()); err != nil {
+		fatal(err)
+	}
+}
+
+func sortStrings(s []string) {
+	sort.Strings(s)
+}
+
+func fragmentByName(name string) (slider.Fragment, error) {
+	switch name {
+	case "rhodf", "rho-df", "rho":
+		return slider.RhoDF, nil
+	case "rdfs":
+		return slider.RDFS, nil
+	case "rdfs-lite":
+		return slider.RDFSNoResourceTyping, nil
+	}
+	return slider.Fragment{}, fmt.Errorf("slider: unknown fragment %q", name)
+}
+
+func printStats(s slider.Stats) {
+	tw := tabwriter.NewWriter(os.Stderr, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "RULE\tROUTED\tEXECUTIONS\tFULL\tTIMEOUT\tEXPLICIT\tDERIVED\tFRESH")
+	for _, m := range s.Modules {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			m.Rule, m.Routed, m.Executions, m.BufferFullFlushes,
+			m.TimeoutFlushes, m.ExplicitFlushes, m.Derived, m.Fresh)
+	}
+	tw.Flush()
+	fmt.Fprintf(os.Stderr, "duplicates dropped: %d\n", s.Duplicates)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "slider:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,78 @@
+// Command sliderbench regenerates the paper's evaluation (§3): Table 1,
+// Figure 2 (the ρdf rules dependency graph), Figure 3 and the demo's
+// parameter sweep.
+//
+// Usage:
+//
+//	sliderbench -table1                 # Table 1 at laptop scale
+//	sliderbench -table1 -scale paper    # the paper's dataset sizes
+//	sliderbench -fig3                   # Figure 3 series
+//	sliderbench -fig2 | dot -Tpng       # Figure 2 as DOT
+//	sliderbench -sweep -dataset BSBM_100k
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		table1  = flag.Bool("table1", false, "reproduce Table 1 (both fragments, both engines)")
+		fig2    = flag.Bool("fig2", false, "print the ρdf rules dependency graph (Figure 2) as DOT")
+		fig3    = flag.Bool("fig3", false, "reproduce Figure 3 (runs the Table 1 matrix)")
+		sweep   = flag.Bool("sweep", false, "run the demo's buffer-size × timeout parameter sweep")
+		dataset = flag.String("dataset", "BSBM_100k", "dataset for -sweep")
+		scale   = flag.String("scale", "small", "dataset scale: small | medium | paper")
+		buffer  = flag.Int("buffer", 0, "Slider buffer size (0 = default)")
+		timeout = flag.Duration("timeout", 0, "Slider buffer timeout (0 = default)")
+		repeat  = flag.Int("repeat", 3, "runs per cell; the fastest is reported")
+		limit   = flag.Duration("limit", 30*time.Minute, "overall time limit")
+	)
+	flag.Parse()
+
+	sc, err := bench.ParseScale(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := bench.SliderConfig{BufferSize: *buffer, Timeout: *timeout, Repeats: *repeat}
+	ctx, cancel := context.WithTimeout(context.Background(), *limit)
+	defer cancel()
+
+	if !*table1 && !*fig2 && !*fig3 && !*sweep {
+		*table1 = true
+	}
+
+	if *fig2 {
+		bench.Figure2(os.Stdout)
+	}
+	if *table1 || *fig3 {
+		rows, err := bench.Table1(ctx, os.Stdout, sc, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if *fig3 {
+			fmt.Println()
+			bench.Figure3(os.Stdout, rows)
+		}
+	}
+	if *sweep {
+		ds, err := bench.DatasetByName(*dataset, sc)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := bench.Sweep(ctx, os.Stdout, ds, nil, nil); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sliderbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,92 @@
+// Knowledgegraph: materialise a small organisational knowledge graph
+// under the OWL-Horst extension fragment (transitive, inverse and
+// symmetric properties, owl:sameAs) and answer SPARQL-like SELECT queries
+// over the closure — forward chaining makes query answering pure pattern
+// matching.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+const (
+	ns  = "http://example.org/org/"
+	owl = "http://www.w3.org/2002/07/owl#"
+)
+
+func iri(n string) slider.Term { return slider.IRI(ns + n) }
+
+func main() {
+	r := slider.New(slider.OWLHorst)
+	defer r.Close(context.Background())
+
+	statements := []slider.Statement{
+		// partOf is transitive; manages inverse managedBy; collaboratesWith symmetric.
+		slider.NewStatement(iri("partOf"), slider.IRI(slider.Type), slider.IRI(owl+"TransitiveProperty")),
+		slider.NewStatement(iri("manages"), slider.IRI(owl+"inverseOf"), iri("managedBy")),
+		slider.NewStatement(iri("collaboratesWith"), slider.IRI(slider.Type), slider.IRI(owl+"SymmetricProperty")),
+		// Org structure.
+		slider.NewStatement(iri("search-team"), iri("partOf"), iri("engineering")),
+		slider.NewStatement(iri("engineering"), iri("partOf"), iri("acme")),
+		slider.NewStatement(iri("infra-team"), iri("partOf"), iri("engineering")),
+		// People.
+		slider.NewStatement(iri("ada"), iri("manages"), iri("search-team")),
+		slider.NewStatement(iri("ada"), iri("collaboratesWith"), iri("grace")),
+		slider.NewStatement(iri("grace"), slider.IRI(slider.Type), iri("Engineer")),
+		slider.NewStatement(iri("Engineer"), slider.IRI(slider.SubClassOf), iri("Employee")),
+		// The same person under two identifiers.
+		slider.NewStatement(iri("ada"), slider.IRI(owl+"sameAs"), iri("a.lovelace")),
+		slider.NewStatement(iri("a.lovelace"), slider.IRI(slider.Type), iri("Director")),
+	}
+	for _, st := range statements {
+		if _, err := r.Add(st); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := r.Wait(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Q1: what is search-team transitively part of?")
+	rows, err := r.Select(`SELECT ?org WHERE { <` + ns + `search-team> <` + ns + `partOf> ?org . }`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range rows {
+		fmt.Println("  ", row["org"].Value)
+	}
+
+	fmt.Println("\nQ2: who manages what (including via inverseOf)?")
+	rows, err = r.Select(`SELECT ?who ?what WHERE { ?what <` + ns + `managedBy> ?who . }`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range rows {
+		fmt.Printf("   %s managedBy %s\n", row["what"].Value, row["who"].Value)
+	}
+
+	fmt.Println("\nQ3: grace's collaborators (symmetric closure):")
+	rows, err = r.Select(`SELECT ?c WHERE { <` + ns + `grace> <` + ns + `collaboratesWith> ?c . }`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range rows {
+		fmt.Println("  ", row["c"].Value)
+	}
+
+	fmt.Println("\nQ4: everything ada is (including via sameAs):")
+	rows, err = r.Select(`SELECT ?t WHERE { <` + ns + `ada> a ?t . }`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range rows {
+		fmt.Println("  ", row["t"].Value)
+	}
+
+	s := r.Stats()
+	fmt.Printf("\n%d explicit, %d inferred under %s\n", s.Input, s.Inferred, r.Fragment().Name())
+}

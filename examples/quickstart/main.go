@@ -1,0 +1,64 @@
+// Quickstart: build a tiny zoo ontology, stream it into Slider, and query
+// the materialised knowledge. Demonstrates the core public API: New, Add,
+// Wait, Contains, Query and Export.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+)
+
+const ns = "http://example.org/zoo/"
+
+func iri(name string) slider.Term { return slider.IRI(ns + name) }
+
+func main() {
+	r := slider.New(slider.RhoDF)
+	defer r.Close(context.Background())
+
+	// Schema: a small class hierarchy plus a property with domain/range.
+	schema := []slider.Statement{
+		slider.NewStatement(iri("Cat"), slider.IRI(slider.SubClassOf), iri("Feline")),
+		slider.NewStatement(iri("Feline"), slider.IRI(slider.SubClassOf), iri("Mammal")),
+		slider.NewStatement(iri("Mammal"), slider.IRI(slider.SubClassOf), iri("Animal")),
+		slider.NewStatement(iri("eats"), slider.IRI(slider.Domain), iri("Animal")),
+		slider.NewStatement(iri("eats"), slider.IRI(slider.Range), iri("Food")),
+	}
+	// Instance data.
+	data := []slider.Statement{
+		slider.NewStatement(iri("felix"), slider.IRI(slider.Type), iri("Cat")),
+		slider.NewStatement(iri("felix"), iri("eats"), iri("fish")),
+	}
+	for _, st := range append(schema, data...) {
+		if _, err := r.Add(st); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := r.Wait(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+
+	// cax-sco materialised the whole superclass chain for felix, and
+	// prp-dom/prp-rng typed both ends of the eats assertion.
+	fmt.Println("felix is an Animal:",
+		r.Contains(slider.NewStatement(iri("felix"), slider.IRI(slider.Type), iri("Animal"))))
+	fmt.Println("fish is Food:",
+		r.Contains(slider.NewStatement(iri("fish"), slider.IRI(slider.Type), iri("Food"))))
+
+	fmt.Println("\nEverything known about felix:")
+	for _, st := range r.Query(slider.Statement{S: iri("felix")}) {
+		fmt.Println(" ", st)
+	}
+
+	s := r.Stats()
+	fmt.Printf("\n%d explicit + %d inferred = %d triples total\n", s.Input, s.Inferred, r.Len())
+
+	fmt.Println("\nFull closure as N-Triples:")
+	if err := r.Export(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,220 @@
+package baseline
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/rules"
+	"repro/internal/store"
+)
+
+const (
+	a rdf.ID = rdf.FirstCustomID + iota
+	b
+	c
+	d
+	e
+	p1
+	p2
+	x
+	y
+)
+
+func sc(s, o rdf.ID) rdf.Triple { return rdf.T(s, rdf.IDSubClassOf, o) }
+func ty(s, o rdf.ID) rdf.Triple { return rdf.T(s, rdf.IDType, o) }
+
+// chain builds the paper's subClassOf_n ontology (Equation 1).
+func chain(n int) []rdf.Triple {
+	out := []rdf.Triple{ty(rdf.FirstCustomID, rdf.IDClass)}
+	for i := 1; i < n; i++ {
+		id := rdf.FirstCustomID + rdf.ID(i)
+		out = append(out, ty(id, rdf.IDClass), sc(id, id-1))
+	}
+	return out
+}
+
+func TestNaiveComputesTransitiveClosure(t *testing.T) {
+	st := store.New()
+	r := New(st, rules.RhoDF(), Naive)
+	stats, err := r.Materialize(context.Background(), []rdf.Triple{sc(a, b), sc(b, c), sc(c, d)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []rdf.Triple{sc(a, c), sc(a, d), sc(b, d)} {
+		if !st.Contains(want) {
+			t.Errorf("closure missing %v", want)
+		}
+	}
+	if stats.Inferred != 3 {
+		t.Fatalf("Inferred = %d, want 3", stats.Inferred)
+	}
+	if stats.Rounds < 2 {
+		t.Fatalf("Rounds = %d, want >= 2", stats.Rounds)
+	}
+}
+
+func TestSemiNaiveMatchesNaive(t *testing.T) {
+	input := chain(30)
+	stN := store.New()
+	_, err := New(stN, rules.RhoDF(), Naive).Materialize(context.Background(), input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stS := store.New()
+	_, err = New(stS, rules.RhoDF(), SemiNaive).Materialize(context.Background(), input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stN.Len() != stS.Len() {
+		t.Fatalf("naive closure %d triples, semi-naive %d", stN.Len(), stS.Len())
+	}
+	stS.ForEach(func(tr rdf.Triple) bool {
+		if !stN.Contains(tr) {
+			t.Fatalf("naive closure missing %v", tr)
+		}
+		return true
+	})
+}
+
+func TestNaiveWastesWorkOnDuplicates(t *testing.T) {
+	// The core claim behind the paper's comparison: naive batch rounds
+	// re-derive already-known triples, semi-naive does far less of that.
+	input := chain(40)
+	stN := store.New()
+	statsN, _ := New(stN, rules.RhoDF(), Naive).Materialize(context.Background(), input)
+	stS := store.New()
+	statsS, _ := New(stS, rules.RhoDF(), SemiNaive).Materialize(context.Background(), input)
+	if statsN.Inferred != statsS.Inferred {
+		t.Fatalf("closures differ: %d vs %d", statsN.Inferred, statsS.Inferred)
+	}
+	if statsN.Duplicates <= statsS.Duplicates {
+		t.Fatalf("naive duplicates (%d) should exceed semi-naive (%d)",
+			statsN.Duplicates, statsS.Duplicates)
+	}
+	if statsN.Duplicates <= 2*statsS.Duplicates {
+		t.Fatalf("expected naive to waste much more: naive %d vs semi-naive %d",
+			statsN.Duplicates, statsS.Duplicates)
+	}
+}
+
+func TestChainClosureCountMatchesPaperFormula(t *testing.T) {
+	// subClassOf_n infers C(n-1, 2) subClassOf triples under ρdf
+	// (the paper's Table 1: subClassOf500 → 124251 = C(499,2)).
+	for _, n := range []int{10, 20, 50} {
+		st := store.New()
+		stats, err := New(st, rules.RhoDF(), SemiNaive).Materialize(context.Background(), chain(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := n - 1 // explicit subClassOf edges
+		want := int64(m*(m-1)) / 2
+		if stats.Inferred != want {
+			t.Errorf("chain(%d): inferred %d, want %d", n, stats.Inferred, want)
+		}
+	}
+}
+
+func TestRDFSChainAddsSchemaTriples(t *testing.T) {
+	st := store.New()
+	_, err := New(st, rules.RDFS(), SemiNaive).Materialize(context.Background(), chain(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// rdfs10: every class is a subclass of itself.
+	if !st.Contains(sc(rdf.FirstCustomID, rdf.FirstCustomID)) {
+		t.Error("rdfs10 output missing")
+	}
+	// rdfs8: every class is a subclass of Resource.
+	if !st.Contains(sc(rdf.FirstCustomID, rdf.IDResource)) {
+		t.Error("rdfs8 output missing")
+	}
+	// rdfs4: subjects are typed Resource.
+	if !st.Contains(ty(rdf.FirstCustomID, rdf.IDResource)) {
+		t.Error("rdfs4 output missing")
+	}
+}
+
+func TestMaterializeIdempotent(t *testing.T) {
+	st := store.New()
+	r := New(st, rules.RhoDF(), SemiNaive)
+	input := chain(15)
+	if _, err := r.Materialize(context.Background(), input); err != nil {
+		t.Fatal(err)
+	}
+	size := st.Len()
+	stats, err := r.Materialize(context.Background(), input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != size {
+		t.Fatalf("re-materialisation grew the store: %d -> %d", size, st.Len())
+	}
+	if stats.Inferred != 0 {
+		t.Fatalf("re-materialisation inferred %d new triples", stats.Inferred)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	st := store.New()
+	_, err := New(st, rules.RhoDF(), Naive).Materialize(ctx, chain(100))
+	if err == nil {
+		t.Fatal("cancelled context did not abort materialisation")
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	st := store.New()
+	stats, err := New(st, rules.RhoDF(), Naive).Materialize(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rounds != 0 || stats.Inferred != 0 || st.Len() != 0 {
+		t.Fatalf("empty input produced %+v with %d triples", stats, st.Len())
+	}
+}
+
+func TestClosureHelper(t *testing.T) {
+	st, stats, err := Closure(context.Background(), rules.RhoDF(), []rdf.Triple{sc(a, b), sc(b, c)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Contains(sc(a, c)) || stats.Inferred != 1 {
+		t.Fatalf("Closure helper wrong: %+v", stats)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if Naive.String() != "naive" || SemiNaive.String() != "semi-naive" {
+		t.Fatal("Strategy.String mismatch")
+	}
+	if Strategy(9).String() == "" {
+		t.Fatal("unknown strategy should still render")
+	}
+}
+
+func TestDomainRangeInteraction(t *testing.T) {
+	// dom/rng + sp propagation end to end through the batch engine.
+	dom := func(s, o rdf.ID) rdf.Triple { return rdf.T(s, rdf.IDDomain, o) }
+	sp := func(s, o rdf.ID) rdf.Triple { return rdf.T(s, rdf.IDSubPropertyOf, o) }
+	input := []rdf.Triple{
+		dom(p2, c),      // p2 has domain c
+		sp(p1, p2),      // p1 sp p2
+		rdf.T(x, p1, y), // assertion via subproperty
+	}
+	st := store.New()
+	if _, err := New(st, rules.RhoDF(), SemiNaive).Materialize(context.Background(), input); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []rdf.Triple{
+		rdf.T(x, p2, y), // prp-spo1
+		dom(p1, c),      // scm-dom2
+		ty(x, c),        // prp-dom (via either path)
+	} {
+		if !st.Contains(want) {
+			t.Errorf("closure missing %v", want)
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/baseline"
+)
+
+func TestFragmentAccessors(t *testing.T) {
+	if RhoDF.String() != "rhodf" || RDFS.String() != "RDFS" {
+		t.Fatal("Fragment.String mismatch")
+	}
+	if len(RhoDF.Rules()) != 8 || len(RDFS.Rules()) != 14 {
+		t.Fatalf("ruleset sizes: %d, %d", len(RhoDF.Rules()), len(RDFS.Rules()))
+	}
+}
+
+func TestParseScale(t *testing.T) {
+	for in, want := range map[string]Scale{
+		"small": ScaleSmall, "medium": ScaleMedium, "paper": ScalePaper, "full": ScalePaper,
+	} {
+		got, err := ParseScale(in)
+		if err != nil || got != want {
+			t.Errorf("ParseScale(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseScale("bogus"); err == nil {
+		t.Fatal("ParseScale accepted bogus scale")
+	}
+	if ScaleSmall.String() != "small" || ScaleMedium.String() != "medium" || ScalePaper.String() != "paper" {
+		t.Fatal("Scale.String mismatch")
+	}
+}
+
+func TestDatasetsSuiteComposition(t *testing.T) {
+	ds := Datasets(ScaleSmall)
+	names := map[string]int{}
+	for _, d := range ds {
+		names[d.Name] = len(d.Statements)
+	}
+	for _, want := range []string{"BSBM_100k", "BSBM_5M", "wikipedia", "wordnet", "subClassOf10", "subClassOf100"} {
+		if names[want] == 0 {
+			t.Errorf("suite missing %s (have %v)", want, names)
+		}
+	}
+	// Small scale divides BSBM sizes by 100.
+	if n := names["BSBM_100k"]; n < 900 || n > 1100 {
+		t.Errorf("BSBM_100k at small scale = %d statements, want ≈ 1000", n)
+	}
+	// Chains keep their exact paper sizes.
+	if names["subClassOf10"] != 19 {
+		t.Errorf("subClassOf10 = %d statements, want 19", names["subClassOf10"])
+	}
+	// Paper scale includes the longer chains.
+	found := false
+	for _, d := range Datasets(ScalePaper) {
+		if d.Name == "subClassOf500" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("paper scale missing subClassOf500")
+	}
+}
+
+func TestDatasetByName(t *testing.T) {
+	d, err := DatasetByName("wordnet", ScaleSmall)
+	if err != nil || d.Name != "wordnet" {
+		t.Fatalf("DatasetByName: %v, %v", d.Name, err)
+	}
+	if _, err := DatasetByName("nope", ScaleSmall); err == nil {
+		t.Fatal("DatasetByName accepted unknown name")
+	}
+}
+
+func TestRunRowClosuresAgree(t *testing.T) {
+	ctx := context.Background()
+	ds, _ := DatasetByName("subClassOf50", ScaleSmall)
+	row, err := RunRow(ctx, ds, RhoDF, SliderConfig{BufferSize: 8, Timeout: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Inferred != 1176 { // C(49,2), as in Table 1
+		t.Fatalf("subClassOf50 inferred %d, want 1176", row.Inferred)
+	}
+	if row.Input != 99 {
+		t.Fatalf("input = %d, want 99", row.Input)
+	}
+	if row.Slider <= 0 || row.Batch <= 0 {
+		t.Fatalf("non-positive timings: %+v", row)
+	}
+}
+
+func TestRunSliderAndBatchAgreeOnBSBM(t *testing.T) {
+	ctx := context.Background()
+	ds, _ := DatasetByName("BSBM_100k", ScaleSmall)
+	for _, frag := range []Fragment{RhoDF, RDFS} {
+		s, err := RunSlider(ctx, ds, frag, SliderConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := RunBatch(ctx, ds, frag, baseline.SemiNaive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Inferred != b.Inferred {
+			t.Fatalf("%s: slider inferred %d, batch %d", frag, s.Inferred, b.Inferred)
+		}
+		if s.Throughput <= 0 {
+			t.Fatalf("throughput not computed: %+v", s)
+		}
+	}
+}
+
+func TestGainMetric(t *testing.T) {
+	if g := gain(2*time.Second, time.Second); g != 100 {
+		t.Fatalf("gain(2s,1s) = %v, want 100", g)
+	}
+	if g := gain(time.Second, 2*time.Second); g != -50 {
+		t.Fatalf("gain(1s,2s) = %v, want -50", g)
+	}
+	if g := gain(time.Second, 0); g != 0 {
+		t.Fatalf("gain with zero slider = %v, want 0", g)
+	}
+}
+
+func TestWriteTable1Rendering(t *testing.T) {
+	rows := []Row{
+		{Dataset: "subClassOf10", Fragment: RhoDF, Input: 19, Inferred: 36,
+			Batch: 3 * time.Millisecond, Slider: time.Millisecond, Gain: 200, Throughput: 19000},
+		{Dataset: "subClassOf10", Fragment: RDFS, Input: 19, Inferred: 60,
+			Batch: 2 * time.Millisecond, Slider: time.Millisecond, Gain: 100, Throughput: 19000},
+	}
+	var buf bytes.Buffer
+	WriteTable1(&buf, rows, ScaleSmall)
+	out := buf.String()
+	for _, want := range []string{"subClassOf10", "rhodf", "RDFS", "Average gain", "71.47%", "Ontology"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure3OmitsBSBM5M(t *testing.T) {
+	rows := []Row{
+		{Dataset: "BSBM_5M", Fragment: RhoDF, Batch: time.Second, Slider: time.Second},
+		{Dataset: "wordnet", Fragment: RhoDF, Batch: 2 * time.Second, Slider: time.Second},
+	}
+	var buf bytes.Buffer
+	Figure3(&buf, rows)
+	out := buf.String()
+	if strings.Contains(out, "BSBM_5M") {
+		t.Error("Figure 3 must omit BSBM_5M")
+	}
+	if !strings.Contains(out, "wordnet") {
+		t.Error("Figure 3 missing wordnet")
+	}
+}
+
+func TestFigure2DOT(t *testing.T) {
+	var buf bytes.Buffer
+	Figure2(&buf)
+	if !strings.Contains(buf.String(), `"scm-sco" -> "cax-sco"`) {
+		t.Fatalf("Figure 2 DOT missing edge:\n%s", buf.String())
+	}
+}
+
+func TestSweepGrid(t *testing.T) {
+	ctx := context.Background()
+	ds, _ := DatasetByName("subClassOf20", ScaleSmall)
+	var buf bytes.Buffer
+	points, err := Sweep(ctx, &buf, ds, []int{1, 64}, []time.Duration{time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 { // 2 fragments × 2 buffers × 1 timeout
+		t.Fatalf("sweep produced %d points, want 4", len(points))
+	}
+	// Same closure regardless of parameters.
+	for _, p := range points[1:] {
+		if p.Fragment == points[0].Fragment && p.Inferred != points[0].Inferred {
+			t.Fatalf("closure varies across sweep: %+v vs %+v", points[0], p)
+		}
+	}
+	if !strings.Contains(buf.String(), "Parameter sweep") {
+		t.Fatal("sweep output missing header")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	rows := []Row{
+		{Dataset: "subClassOf10", Fragment: RhoDF, Input: 19, Inferred: 36,
+			Batch: 3 * time.Millisecond, Slider: time.Millisecond, Gain: 200, Throughput: 19000},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("csv lines = %d:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "dataset,fragment") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "subClassOf10,rhodf,19,36,0.003000,0.001000,200.00,19000") {
+		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+func TestRepeatsKeepFastestRun(t *testing.T) {
+	ctx := context.Background()
+	ds, _ := DatasetByName("subClassOf20", ScaleSmall)
+	row, err := RunRow(ctx, ds, RhoDF, SliderConfig{Repeats: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Inferred != 171 {
+		t.Fatalf("inferred = %d", row.Inferred)
+	}
+}
+
+func TestTable1SmokeOnTinySuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// Run the real Table 1 path over a reduced suite: just the chains.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	var buf bytes.Buffer
+	ds, _ := DatasetByName("subClassOf20", ScaleSmall)
+	for _, frag := range []Fragment{RhoDF, RDFS} {
+		if _, err := RunRow(ctx, ds, frag, SliderConfig{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = buf
+}

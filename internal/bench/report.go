@@ -1,0 +1,228 @@
+package bench
+
+import (
+	"context"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/rules"
+)
+
+// Table1 runs the full evaluation matrix and renders the paper's Table 1:
+// per-ontology input/inferred counts, batch (OWLIM-SE stand-in) and
+// Slider times, per-row gains and per-fragment averages.
+func Table1(ctx context.Context, w io.Writer, scale Scale, cfg SliderConfig) ([]Row, error) {
+	datasets := Datasets(scale)
+	var rows []Row
+	for _, ds := range datasets {
+		for _, frag := range []Fragment{RhoDF, RDFS} {
+			row, err := RunRow(ctx, ds, frag, cfg)
+			if err != nil {
+				return rows, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	WriteTable1(w, rows, scale)
+	return rows, nil
+}
+
+// WriteTable1 renders rows in the layout of the paper's Table 1.
+func WriteTable1(w io.Writer, rows []Row, scale Scale) {
+	fmt.Fprintf(w, "Table 1: benchmark results, batch (OWLIM-SE stand-in) vs Slider (scale=%s)\n\n", scale)
+	fmt.Fprintf(w, "%-14s | %9s | %-9s | %9s | %10s | %10s | %8s | %12s\n",
+		"Ontology", "Input", "Fragment", "Inferred", "Batch", "Slider", "Gain", "Triples/s")
+	fmt.Fprintln(w, strings.Repeat("-", 104))
+	byDataset := map[string][]Row{}
+	var order []string
+	for _, r := range rows {
+		if len(byDataset[r.Dataset]) == 0 {
+			order = append(order, r.Dataset)
+		}
+		byDataset[r.Dataset] = append(byDataset[r.Dataset], r)
+	}
+	for _, name := range order {
+		for _, r := range byDataset[name] {
+			fmt.Fprintf(w, "%-14s | %9d | %-9s | %9d | %10s | %10s | %7.2f%% | %12.0f\n",
+				r.Dataset, r.Input, r.Fragment, r.Inferred,
+				fmtDur(r.Batch), fmtDur(r.Slider), r.Gain, r.Throughput)
+		}
+	}
+	fmt.Fprintln(w, strings.Repeat("-", 104))
+	for _, frag := range []Fragment{RhoDF, RDFS} {
+		avg, n := averageGain(rows, frag)
+		fmt.Fprintf(w, "Average gain (%s, %d ontologies): %.2f%%\n", frag, n, avg)
+	}
+	all, n := averageGainAll(rows)
+	fmt.Fprintf(w, "Average gain (overall, %d cells): %.2f%%  [paper: 71.47%%]\n", n, all)
+	fmt.Fprintf(w, "Peak Slider throughput: %.0f triples/s  [paper: up to 36,000]\n", peakThroughput(rows))
+}
+
+// averageGain averages the gain over rows of one fragment, skipping rows
+// where nothing was inferred (the paper leaves wordnet/ρdf blank).
+func averageGain(rows []Row, frag Fragment) (float64, int) {
+	var sum float64
+	var n int
+	for _, r := range rows {
+		if r.Fragment != frag || r.Inferred == 0 {
+			continue
+		}
+		sum += r.Gain
+		n++
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return sum / float64(n), n
+}
+
+func averageGainAll(rows []Row) (float64, int) {
+	var sum float64
+	var n int
+	for _, r := range rows {
+		if r.Inferred == 0 {
+			continue
+		}
+		sum += r.Gain
+		n++
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return sum / float64(n), n
+}
+
+func peakThroughput(rows []Row) float64 {
+	var peak float64
+	for _, r := range rows {
+		if r.Throughput > peak {
+			peak = r.Throughput
+		}
+	}
+	return peak
+}
+
+func fmtDur(d time.Duration) string {
+	return d.Round(time.Millisecond).String()
+}
+
+// Figure3 renders the inference-time comparison of the paper's Figure 3:
+// one series per (engine, fragment), over all ontologies except BSBM_5M
+// ("omitted for the sake of clarity"). rows should come from Table1.
+func Figure3(w io.Writer, rows []Row) {
+	fmt.Fprintln(w, "Figure 3: inference time comparison (lower is better); largest BSBM dataset omitted for clarity")
+	for _, frag := range []Fragment{RhoDF, RDFS} {
+		fmt.Fprintf(w, "\n[%s]\n", frag)
+		fmt.Fprintf(w, "%-14s | %10s | %10s | %s\n", "Ontology", "Batch", "Slider", "bars (1 char = 5%% of max)")
+		var max time.Duration
+		for _, r := range rows {
+			if r.Fragment == frag && r.Dataset != "BSBM_5M" && r.Batch > max {
+				max = r.Batch
+			}
+		}
+		for _, r := range rows {
+			if r.Fragment != frag || r.Dataset == "BSBM_5M" {
+				continue
+			}
+			fmt.Fprintf(w, "%-14s | %10s | %10s | B %s\n", r.Dataset,
+				fmtDur(r.Batch), fmtDur(r.Slider), bar(r.Batch, max))
+			fmt.Fprintf(w, "%-14s | %10s | %10s | S %s\n", "",
+				"", "", bar(r.Slider, max))
+		}
+	}
+}
+
+func bar(d, max time.Duration) string {
+	if max <= 0 {
+		return ""
+	}
+	n := int(float64(d) / float64(max) * 20)
+	if n < 1 {
+		n = 1
+	}
+	return strings.Repeat("#", n)
+}
+
+// WriteCSV emits rows as CSV (header + one line per cell) for downstream
+// plotting.
+func WriteCSV(w io.Writer, rows []Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"dataset", "fragment", "input", "inferred",
+		"batch_seconds", "slider_seconds", "gain_percent", "slider_triples_per_second",
+	}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Dataset,
+			r.Fragment.String(),
+			strconv.Itoa(r.Input),
+			strconv.FormatInt(r.Inferred, 10),
+			strconv.FormatFloat(r.Batch.Seconds(), 'f', 6, 64),
+			strconv.FormatFloat(r.Slider.Seconds(), 'f', 6, 64),
+			strconv.FormatFloat(r.Gain, 'f', 2, 64),
+			strconv.FormatFloat(r.Throughput, 'f', 0, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Figure2 renders the ρdf rules dependency graph (paper Figure 2) as DOT.
+func Figure2(w io.Writer) {
+	g := rules.BuildDependencyGraph(rules.RhoDF())
+	io.WriteString(w, g.DOT())
+}
+
+// SweepPoint is one cell of the demo's parameter space (§4: "24
+// configurations … 264 different scenarios").
+type SweepPoint struct {
+	Dataset    string
+	Fragment   Fragment
+	BufferSize int
+	Timeout    time.Duration
+	Elapsed    time.Duration
+	Inferred   int64
+	Executions int64
+}
+
+// Sweep runs the Slider engine across the demo's parameter grid on one
+// dataset and reports the effect of buffer size and timeout.
+func Sweep(ctx context.Context, w io.Writer, ds Dataset, bufferSizes []int, timeouts []time.Duration) ([]SweepPoint, error) {
+	if len(bufferSizes) == 0 {
+		bufferSizes = []int{1, 10, 100, 1000}
+	}
+	if len(timeouts) == 0 {
+		timeouts = []time.Duration{time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond}
+	}
+	var points []SweepPoint
+	fmt.Fprintf(w, "Parameter sweep on %s (%d triples)\n", ds.Name, len(ds.Statements))
+	fmt.Fprintf(w, "%-9s | %-7s | %-9s | %10s | %9s\n", "Fragment", "Buffer", "Timeout", "Elapsed", "Inferred")
+	fmt.Fprintln(w, strings.Repeat("-", 56))
+	for _, frag := range []Fragment{RhoDF, RDFS} {
+		for _, bs := range bufferSizes {
+			for _, to := range timeouts {
+				m, err := RunSlider(ctx, ds, frag, SliderConfig{BufferSize: bs, Timeout: to})
+				if err != nil {
+					return points, err
+				}
+				p := SweepPoint{
+					Dataset: ds.Name, Fragment: frag, BufferSize: bs, Timeout: to,
+					Elapsed: m.Elapsed, Inferred: m.Inferred,
+				}
+				points = append(points, p)
+				fmt.Fprintf(w, "%-9s | %7d | %-9s | %10s | %9d\n",
+					frag, bs, to, fmtDur(m.Elapsed), m.Inferred)
+			}
+		}
+	}
+	return points, nil
+}

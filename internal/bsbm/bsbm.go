@@ -1,0 +1,238 @@
+// Package bsbm generates ontologies in the style of the Berlin SPARQL
+// Benchmark (Bizer & Schultz 2009), the generator behind the paper's
+// BSBM_100k … BSBM_5M datasets.
+//
+// The original BSBM data generator is a Java tool; this package is a
+// deterministic from-scratch reimplementation of its dataset shape at the
+// level of detail the reproduction needs (DESIGN.md §2): an e-commerce
+// universe of product types (a subClassOf tree), producers, products,
+// vendors, offers and reviews. Matching the paper's Table 1, the schema
+// carries a product-type hierarchy but no rdfs:domain/rdfs:range
+// declarations, so the ρdf closure is small (subClassOf/subPropertyOf
+// transitivity over the schema only — BSBM_100k infers 544 triples from
+// 99,914) while the RDFS closure is large (≈ a third of the input, from
+// resource typing over the instance graph).
+package bsbm
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/rdf"
+)
+
+// Namespaces mirroring the BSBM vocabulary layout.
+const (
+	VocabNS    = "http://example.org/bsbm/vocabulary/"
+	InstanceNS = "http://example.org/bsbm/instances/"
+)
+
+// Config sizes a generated dataset.
+type Config struct {
+	// Triples is the approximate number of statements to generate
+	// (the generator may emit a handful more to finish an entity).
+	Triples int
+	// Seed drives the deterministic pseudo-random structure.
+	Seed int64
+}
+
+// generator carries shared state while emitting statements.
+type generator struct {
+	rng *rand.Rand
+	out []rdf.Statement
+
+	typeIRI, classIRI, scIRI, spIRI, labelIRI rdf.Term
+
+	productClass  rdf.Term
+	producerClass rdf.Term
+	vendorClass   rdf.Term
+	offerClass    rdf.Term
+	reviewClass   rdf.Term
+	personClass   rdf.Term
+
+	productType    rdf.Term
+	producerProp   rdf.Term
+	numericProps   []rdf.Term
+	textualProps   []rdf.Term
+	vendorProp     rdf.Term
+	productProp    rdf.Term
+	priceProp      rdf.Term
+	validFromProp  rdf.Term
+	reviewerProp   rdf.Term
+	ratingProps    []rdf.Term
+	reviewTextProp rdf.Term
+	reviewForProp  rdf.Term
+	countryProp    rdf.Term
+	locatedInProp  rdf.Term
+
+	nTypes int
+}
+
+func vocab(name string) rdf.Term { return rdf.NewIRI(VocabNS + name) }
+func instance(kind string, i int) rdf.Term {
+	return rdf.NewIRI(fmt.Sprintf("%s%s/%d", InstanceNS, kind, i))
+}
+
+// Generate produces a BSBM-like dataset of approximately cfg.Triples
+// statements: schema first (the TBox every fragment reasons over), then
+// instance data in a fixed product:offer:review mix.
+func Generate(cfg Config) []rdf.Statement {
+	n := cfg.Triples
+	if n < 50 {
+		n = 50
+	}
+	g := &generator{
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		out:      make([]rdf.Statement, 0, n+32),
+		typeIRI:  rdf.NewIRI(rdf.IRIType),
+		classIRI: rdf.NewIRI(rdf.IRIClass),
+		scIRI:    rdf.NewIRI(rdf.IRISubClassOf),
+		spIRI:    rdf.NewIRI(rdf.IRISubPropertyOf),
+		labelIRI: rdf.NewIRI(rdf.IRILabel),
+	}
+	g.productClass = vocab("Product")
+	g.producerClass = vocab("Producer")
+	g.vendorClass = vocab("Vendor")
+	g.offerClass = vocab("Offer")
+	g.reviewClass = vocab("Review")
+	g.personClass = vocab("Person")
+	g.productType = vocab("productType")
+	g.producerProp = vocab("producer")
+	for i := 1; i <= 2; i++ {
+		g.numericProps = append(g.numericProps, vocab(fmt.Sprintf("productPropertyNumeric%d", i)))
+	}
+	for i := 1; i <= 2; i++ {
+		g.textualProps = append(g.textualProps, vocab(fmt.Sprintf("productPropertyTextual%d", i)))
+	}
+	g.vendorProp = vocab("vendor")
+	g.productProp = vocab("product")
+	g.priceProp = vocab("price")
+	g.validFromProp = vocab("validFrom")
+	g.reviewerProp = vocab("reviewer")
+	g.ratingProps = []rdf.Term{vocab("rating1"), vocab("rating2")}
+	g.reviewTextProp = vocab("text")
+	g.reviewForProp = vocab("reviewFor")
+	g.countryProp = vocab("country")
+	g.locatedInProp = vocab("locatedIn")
+
+	g.schema(n)
+	g.instances(n)
+	return g.out
+}
+
+func (g *generator) emit(s, p, o rdf.Term) {
+	g.out = append(g.out, rdf.Statement{S: s, P: p, O: o})
+}
+
+// schema emits the TBox: the product-type subClassOf tree (the source of
+// all ρdf inference in this dataset), the entity classes, and a small
+// subPropertyOf ladder.
+func (g *generator) schema(n int) {
+	// Entity classes.
+	for _, c := range []rdf.Term{g.productClass, g.producerClass, g.vendorClass,
+		g.offerClass, g.reviewClass, g.personClass} {
+		g.emit(c, g.typeIRI, g.classIRI)
+	}
+
+	// Product-type tree: size scales with the dataset like BSBM's does.
+	// Branching factor 8; node i's parent is (i-1)/8.
+	g.nTypes = n / 500
+	if g.nTypes < 9 {
+		g.nTypes = 9
+	}
+	ptype := func(i int) rdf.Term { return instance("ProductType", i) }
+	for i := 0; i < g.nTypes; i++ {
+		g.emit(ptype(i), g.typeIRI, g.classIRI)
+		if i > 0 {
+			g.emit(ptype(i), g.scIRI, ptype((i-1)/8))
+		}
+	}
+
+	// A small subPropertyOf ladder over *rare* properties (asserted only
+	// on producers and vendors), keeping scm-spo / prp-spo1 exercised
+	// without distorting the ρdf closure ratio away from the paper's
+	// ≈ 0.5% (frequent properties under sp would dominate the closure).
+	g.emit(g.countryProp, g.spIRI, g.locatedInProp)
+	g.emit(g.locatedInProp, g.spIRI, vocab("spatialRelation"))
+}
+
+// instances fills the remaining budget with producers, products, vendors,
+// offers and reviews in a fixed rotation (2 products : 1 offer : 1 review)
+// so the ABox mix is stable across sizes.
+func (g *generator) instances(n int) {
+	nProducers := n/2000 + 2
+	for i := 0; i < nProducers; i++ {
+		p := instance("Producer", i)
+		g.emit(p, g.typeIRI, g.producerClass)
+		g.emit(p, g.labelIRI, rdf.NewLiteral(fmt.Sprintf("Producer %d", i)))
+		g.emit(p, g.countryProp, instance("Country", g.rng.Intn(30)))
+	}
+	nVendors := n/2000 + 2
+	for i := 0; i < nVendors; i++ {
+		v := instance("Vendor", i)
+		g.emit(v, g.typeIRI, g.vendorClass)
+		g.emit(v, g.labelIRI, rdf.NewLiteral(fmt.Sprintf("Vendor %d", i)))
+		g.emit(v, g.countryProp, instance("Country", g.rng.Intn(30)))
+	}
+
+	products, offers, reviews, persons := 0, 0, 0, 0
+	for len(g.out) < n {
+		switch {
+		case products <= 2*(offers+reviews):
+			g.product(products, nProducers)
+			products++
+		case offers <= reviews:
+			g.offer(offers, products, nVendors)
+			offers++
+		default:
+			if reviews%3 == 0 {
+				p := instance("Person", persons)
+				g.emit(p, g.typeIRI, g.personClass)
+				persons++
+			}
+			g.review(reviews, products, persons)
+			reviews++
+		}
+	}
+}
+
+func (g *generator) product(i, nProducers int) {
+	p := instance("Product", i)
+	g.emit(p, g.typeIRI, g.productClass)
+	g.emit(p, g.labelIRI, rdf.NewLiteral(fmt.Sprintf("Product %d", i)))
+	// productType is a plain property pointing into the type tree (as in
+	// BSBM); it is not rdf:type, so cax-sco does not fan out over it.
+	g.emit(p, g.productType, instance("ProductType", g.rng.Intn(g.nTypes)))
+	g.emit(p, g.producerProp, instance("Producer", g.rng.Intn(nProducers)))
+	for _, np := range g.numericProps {
+		g.emit(p, np, rdf.NewTypedLiteral(fmt.Sprintf("%d", g.rng.Intn(2000)), rdf.IRIXSDInteger))
+	}
+	g.emit(p, g.textualProps[g.rng.Intn(len(g.textualProps))],
+		rdf.NewLiteral(fmt.Sprintf("description of product %d", i)))
+}
+
+func (g *generator) offer(i, nProducts, nVendors int) {
+	o := instance("Offer", i)
+	g.emit(o, g.typeIRI, g.offerClass)
+	g.emit(o, g.productProp, instance("Product", g.rng.Intn(maxInt(nProducts, 1))))
+	g.emit(o, g.vendorProp, instance("Vendor", g.rng.Intn(nVendors)))
+	g.emit(o, g.priceProp, rdf.NewTypedLiteral(fmt.Sprintf("%d", g.rng.Intn(10000)), rdf.IRIXSDInteger))
+	g.emit(o, g.validFromProp, rdf.NewLiteral(fmt.Sprintf("2008-%02d-%02d", g.rng.Intn(12)+1, g.rng.Intn(28)+1)))
+}
+
+func (g *generator) review(i, nProducts, nPersons int) {
+	r := instance("Review", i)
+	g.emit(r, g.typeIRI, g.reviewClass)
+	g.emit(r, g.reviewForProp, instance("Product", g.rng.Intn(maxInt(nProducts, 1))))
+	g.emit(r, g.reviewerProp, instance("Person", g.rng.Intn(maxInt(nPersons, 1))))
+	g.emit(r, g.ratingProps[g.rng.Intn(len(g.ratingProps))],
+		rdf.NewTypedLiteral(fmt.Sprintf("%d", g.rng.Intn(10)+1), rdf.IRIXSDInteger))
+	g.emit(r, g.reviewTextProp, rdf.NewLiteral(fmt.Sprintf("review text %d", i)))
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,351 @@
+package demo
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/rdf"
+	"repro/internal/reasoner"
+	"repro/internal/rules"
+	"repro/internal/store"
+)
+
+const (
+	a rdf.ID = rdf.FirstCustomID + iota
+	b
+	c
+)
+
+func sc(s, o rdf.ID) rdf.Triple { return rdf.T(s, rdf.IDSubClassOf, o) }
+
+// record runs a tiny inference with a recorder attached.
+func record(t *testing.T) *Recorder {
+	t.Helper()
+	rec := NewRecorder(0)
+	st := store.New()
+	e := reasoner.New(st, rules.RhoDF(), reasoner.Config{BufferSize: 1, Observer: rec})
+	e.Add(sc(a, b))
+	e.Add(sc(b, c))
+	if err := e.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+func TestRecorderCapturesLifecycle(t *testing.T) {
+	rec := record(t)
+	steps := rec.Steps()
+	if len(steps) == 0 {
+		t.Fatal("no steps recorded")
+	}
+	kinds := map[EventKind]int{}
+	for i, s := range steps {
+		if s.Seq != i+1 {
+			t.Fatalf("step %d has Seq %d", i, s.Seq)
+		}
+		kinds[s.Kind]++
+	}
+	for _, k := range []EventKind{EventInput, EventRoute, EventFlush, EventExecute} {
+		if kinds[k] == 0 {
+			t.Errorf("no %s events (%v)", k, kinds)
+		}
+	}
+	if rec.Len() != len(steps) || rec.Dropped() != 0 {
+		t.Fatalf("Len/Dropped inconsistent: %d/%d", rec.Len(), rec.Dropped())
+	}
+}
+
+func TestRecorderLimit(t *testing.T) {
+	rec := NewRecorder(3)
+	for i := 0; i < 10; i++ {
+		rec.OnInput(rdf.Triple{})
+	}
+	if rec.Len() != 3 || rec.Dropped() != 7 {
+		t.Fatalf("Len=%d Dropped=%d, want 3/7", rec.Len(), rec.Dropped())
+	}
+	rec.Reset()
+	if rec.Len() != 0 || rec.Dropped() != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+func TestReplayProgression(t *testing.T) {
+	rec := record(t)
+	steps := rec.Steps()
+	// State is monotonic in the store dimensions.
+	prevExplicit, prevInferred := 0, 0
+	for k := 0; k <= len(steps); k++ {
+		st := ReplayTo(steps, k)
+		if st.Step != k {
+			t.Fatalf("ReplayTo(%d).Step = %d", k, st.Step)
+		}
+		if st.StoreExplicit < prevExplicit || st.StoreInferred < prevInferred {
+			t.Fatalf("store regressed at step %d", k)
+		}
+		prevExplicit, prevInferred = st.StoreExplicit, st.StoreInferred
+		for _, m := range st.Modules {
+			if m.Buffered < 0 {
+				t.Fatalf("negative buffered count at step %d: %+v", k, m)
+			}
+		}
+	}
+	final := ReplayTo(steps, len(steps))
+	if final.StoreExplicit != 2 {
+		t.Fatalf("final explicit = %d, want 2", final.StoreExplicit)
+	}
+	if final.StoreInferred != 1 { // (a sc c)
+		t.Fatalf("final inferred = %d, want 1", final.StoreInferred)
+	}
+	// Clamping.
+	if got := ReplayTo(steps, -5); got.Step != 0 {
+		t.Fatal("negative step not clamped")
+	}
+	if got := ReplayTo(steps, 1<<20); got.Step != len(steps) {
+		t.Fatal("overlarge step not clamped")
+	}
+}
+
+func TestReplayLastRules(t *testing.T) {
+	rec := record(t)
+	st := ReplayTo(rec.Steps(), rec.Len())
+	if len(st.LastRules) == 0 || len(st.LastRules) > 5 {
+		t.Fatalf("LastRules = %v", st.LastRules)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	rec := record(t)
+	sum := Summarize(rec.Steps())
+	if sum.Input != 2 || sum.Inferred != 1 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if sum.InferredByRule["scm-sco"] != 1 {
+		t.Fatalf("InferredByRule = %v", sum.InferredByRule)
+	}
+	if sum.Executions == 0 || sum.ExecutionsByRule["scm-sco"] == 0 {
+		t.Fatalf("executions missing: %+v", sum)
+	}
+}
+
+// newTestServer spins the demo server up over httptest.
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(NewServer(bench.ScaleSmall))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerOntologies(t *testing.T) {
+	srv := newTestServer(t)
+	var infos []OntologyInfo
+	getJSON(t, srv.URL+"/api/ontologies", &infos)
+	if len(infos) < 10 {
+		t.Fatalf("only %d ontologies listed", len(infos))
+	}
+	names := map[string]bool{}
+	for _, i := range infos {
+		names[i.Name] = true
+		if i.Triples <= 0 {
+			t.Fatalf("ontology %s has %d triples", i.Name, i.Triples)
+		}
+	}
+	if !names["wordnet"] || !names["subClassOf100"] {
+		t.Fatalf("missing expected ontologies: %v", names)
+	}
+}
+
+func TestServerIndexPage(t *testing.T) {
+	srv := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	for _, want := range []string{"Setup", "Run", "Summarize", "inference player"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("index page missing %q", want)
+		}
+	}
+}
+
+func TestServerUnknownPathIs404(t *testing.T) {
+	srv := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/no-such-page")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %s, want 404", resp.Status)
+	}
+	// Bad run id in the path is also a 404-class error.
+	resp2, _ := http.Get(srv.URL + "/api/run/notanumber")
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("bad id status = %s", resp2.Status)
+	}
+}
+
+func TestServerGraphEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/api/graph?fragment=rhodf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if !strings.Contains(buf.String(), `"scm-sco" -> "cax-sco"`) {
+		t.Fatalf("graph endpoint wrong:\n%s", buf.String())
+	}
+	resp2, _ := http.Get(srv.URL + "/api/graph?fragment=bogus")
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bogus fragment: %s", resp2.Status)
+	}
+}
+
+func postRun(t *testing.T, srv *httptest.Server, body string) *Run {
+	t.Helper()
+	resp, err := http.Post(srv.URL+"/api/run", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		t.Fatalf("POST /api/run: %s: %s", resp.Status, buf.String())
+	}
+	var run Run
+	if err := json.NewDecoder(resp.Body).Decode(&run); err != nil {
+		t.Fatal(err)
+	}
+	return &run
+}
+
+func TestServerRunAndReplay(t *testing.T) {
+	srv := newTestServer(t)
+	run := postRun(t, srv, `{"ontology":"subClassOf20","fragment":"rhodf","bufferSize":4,"timeoutMs":5}`)
+	if run.ID == 0 || run.Input != 39 {
+		t.Fatalf("run = %+v", run)
+	}
+	if run.Inferred != 171 { // C(19,2), Table 1
+		t.Fatalf("inferred = %d, want 171", run.Inferred)
+	}
+	if run.Steps == 0 || run.Summary.Executions == 0 {
+		t.Fatalf("run not recorded: %+v", run)
+	}
+
+	// Seek to the middle.
+	var st State
+	getJSON(t, fmt.Sprintf("%s/api/run/%d/state?step=%d", srv.URL, run.ID, run.Steps/2), &st)
+	if st.Step != run.Steps/2 {
+		t.Fatalf("state step = %d", st.Step)
+	}
+	// Final state matches the run totals.
+	var final State
+	getJSON(t, fmt.Sprintf("%s/api/run/%d/state", srv.URL, run.ID), &final)
+	if final.StoreInferred != int(run.Inferred) || final.StoreExplicit != run.Input {
+		t.Fatalf("final state %+v does not match run %+v", final, run)
+	}
+
+	// Steps pagination.
+	var steps []Step
+	getJSON(t, fmt.Sprintf("%s/api/run/%d/steps?from=0&n=10", srv.URL, run.ID), &steps)
+	if len(steps) != 10 {
+		t.Fatalf("pagination returned %d steps", len(steps))
+	}
+	var tail []Step
+	getJSON(t, fmt.Sprintf("%s/api/run/%d/steps?from=%d&n=10", srv.URL, run.ID, run.Steps-3), &tail)
+	if len(tail) != 3 {
+		t.Fatalf("tail pagination returned %d steps", len(tail))
+	}
+
+	// Run info endpoint.
+	var info Run
+	getJSON(t, fmt.Sprintf("%s/api/run/%d", srv.URL, run.ID), &info)
+	if info.Ontology != "subClassOf20" {
+		t.Fatalf("info = %+v", info)
+	}
+}
+
+func TestServerRunValidation(t *testing.T) {
+	srv := newTestServer(t)
+	for _, body := range []string{
+		`{"ontology":"nope"}`,
+		`{"ontology":"subClassOf10","fragment":"owl-full"}`,
+		`not json`,
+	} {
+		resp, err := http.Post(srv.URL+"/api/run", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status %s, want 400", body, resp.Status)
+		}
+	}
+	resp, _ := http.Get(srv.URL + "/api/run/999")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("missing run: %s, want 404", resp.Status)
+	}
+}
+
+func TestServerRunsList(t *testing.T) {
+	srv := newTestServer(t)
+	var empty []Run
+	getJSON(t, srv.URL+"/api/runs", &empty)
+	if len(empty) != 0 {
+		t.Fatalf("fresh server has %d runs", len(empty))
+	}
+	postRun(t, srv, `{"ontology":"subClassOf10","fragment":"rhodf"}`)
+	postRun(t, srv, `{"ontology":"subClassOf10","fragment":"rdfs"}`)
+	var runs []Run
+	getJSON(t, srv.URL+"/api/runs", &runs)
+	if len(runs) != 2 {
+		t.Fatalf("runs = %d, want 2", len(runs))
+	}
+	if runs[0].ID <= runs[1].ID {
+		t.Fatalf("runs not newest-first: %d, %d", runs[0].ID, runs[1].ID)
+	}
+}
+
+func TestServerRDFSRun(t *testing.T) {
+	srv := newTestServer(t)
+	run := postRun(t, srv, `{"ontology":"subClassOf10","fragment":"rdfs"}`)
+	if run.Fragment != "rdfs" {
+		t.Fatalf("fragment = %s", run.Fragment)
+	}
+	if run.Inferred <= 36 { // must exceed the pure ρdf closure
+		t.Fatalf("RDFS inferred = %d, want > 36", run.Inferred)
+	}
+}

@@ -1,0 +1,148 @@
+package demo
+
+// indexHTML is the embedded demonstration page: a minimal, dependency-free
+// rendition of the paper's Figure 4 interface with the three panels —
+// Setup (ontology, fragment, buffer size, timeout), Run (per-module
+// progress and the inference player) and Summarize.
+const indexHTML = `<!DOCTYPE html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>Slider — incremental reasoner demo</title>
+<style>
+  body { font-family: system-ui, sans-serif; margin: 2rem; max-width: 70rem; }
+  h1 { font-size: 1.4rem; }
+  fieldset { margin-bottom: 1rem; border: 1px solid #bbb; border-radius: 6px; }
+  label { margin-right: 1rem; }
+  table { border-collapse: collapse; margin-top: .5rem; }
+  td, th { border: 1px solid #ccc; padding: .2rem .6rem; font-size: .85rem; }
+  .bar { display: inline-block; height: .8rem; background: #4a90d9; vertical-align: middle; }
+  .bar.inferred { background: #e8930c; }
+  #player { margin: .8rem 0; }
+  #log { white-space: pre; font-family: monospace; font-size: .8rem; }
+</style>
+</head>
+<body>
+<h1>Slider — an efficient incremental reasoner (SIGMOD 2015 demo)</h1>
+
+<fieldset>
+  <legend>1 — Setup</legend>
+  <label>Ontology <select id="ontology"></select></label>
+  <label>Fragment
+    <select id="fragment">
+      <option value="rhodf">&rho;df</option>
+      <option value="rdfs">RDFS</option>
+    </select>
+  </label>
+  <label>Buffer size <input id="buffer" type="number" value="128" min="1" style="width:5rem"></label>
+  <label>Timeout (ms) <input id="timeout" type="number" value="20" min="1" style="width:5rem"></label>
+  <button id="runBtn">Run inference</button>
+</fieldset>
+
+<fieldset>
+  <legend>2 — Run (inference player)</legend>
+  <div id="player">
+    <button id="back">&#9664;</button>
+    <button id="play">&#9654;</button>
+    <button id="fwd">&#9654;&#9654;</button>
+    <input id="seek" type="range" min="0" max="0" value="0" style="width:30rem">
+    <span id="pos"></span>
+  </div>
+  <div>Triple store:
+    <span id="storebar"></span>
+    <span id="storetext"></span>
+  </div>
+  <div>Last executed rules: <span id="lastrules"></span></div>
+  <table id="modules"><thead>
+    <tr><th>Rule</th><th>Buffered</th><th>Full flushes</th><th>Timeout flushes</th>
+        <th>Executions</th><th>Inferred (fresh)</th></tr>
+  </thead><tbody></tbody></table>
+</fieldset>
+
+<fieldset>
+  <legend>3 — Summarize</legend>
+  <div id="summary"></div>
+</fieldset>
+
+<script>
+let run = null, pos = 0, playing = null;
+async function j(url, opts) { const r = await fetch(url, opts); return r.json(); }
+
+async function loadOntologies() {
+  const os = await j('/api/ontologies');
+  const sel = document.getElementById('ontology');
+  os.forEach(o => {
+    const opt = document.createElement('option');
+    opt.value = o.name; opt.textContent = o.name + ' (' + o.triples + ' triples)';
+    sel.appendChild(opt);
+  });
+}
+
+async function startRun() {
+  const body = JSON.stringify({
+    ontology: document.getElementById('ontology').value,
+    fragment: document.getElementById('fragment').value,
+    bufferSize: +document.getElementById('buffer').value,
+    timeoutMs: +document.getElementById('timeout').value,
+  });
+  run = await j('/api/run', {method: 'POST', headers: {'Content-Type': 'application/json'}, body});
+  document.getElementById('seek').max = run.steps;
+  pos = run.steps;
+  document.getElementById('seek').value = pos;
+  renderSummary();
+  await renderState();
+}
+
+async function renderState() {
+  if (!run) return;
+  const st = await j('/api/run/' + run.id + '/state?step=' + pos);
+  document.getElementById('pos').textContent = st.step + ' / ' + run.steps;
+  const total = st.storeExplicit + st.storeInferred || 1;
+  document.getElementById('storebar').innerHTML =
+    '<span class="bar" style="width:' + (300*st.storeExplicit/total) + 'px"></span>' +
+    '<span class="bar inferred" style="width:' + (300*st.storeInferred/total) + 'px"></span>';
+  document.getElementById('storetext').textContent =
+    ' ' + st.storeExplicit + ' explicit + ' + st.storeInferred + ' inferred';
+  document.getElementById('lastrules').textContent = (st.lastRules || []).join(', ');
+  const tb = document.querySelector('#modules tbody');
+  tb.innerHTML = '';
+  (st.modules || []).forEach(m => {
+    const tr = document.createElement('tr');
+    tr.innerHTML = '<td>' + m.rule + '</td><td>' + m.buffered + '</td><td>' + m.fullFlushes +
+      '</td><td>' + m.timeoutFlushes + '</td><td>' + m.executions + '</td><td>' + m.fresh + '</td>';
+    tb.appendChild(tr);
+  });
+}
+
+function renderSummary() {
+  const s = run.summary;
+  const rules = Object.keys(s.inferredByRule || {}).map(r =>
+    r + ': ' + s.inferredByRule[r]).join(', ') || 'none';
+  document.getElementById('summary').innerHTML =
+    '<p>' + run.ontology + ' / ' + run.fragment + ' — ' + run.input + ' input, ' +
+    run.inferred + ' inferred in ' + run.elapsedMs.toFixed(1) + ' ms (' + run.steps +
+    ' recorded steps, ' + s.executions + ' rule executions).</p>' +
+    '<p>Inferred by rule: ' + rules + '</p>';
+}
+
+document.getElementById('runBtn').onclick = startRun;
+document.getElementById('seek').oninput = e => { pos = +e.target.value; renderState(); };
+document.getElementById('back').onclick = () => { pos = Math.max(0, pos - 1);
+  document.getElementById('seek').value = pos; renderState(); };
+document.getElementById('fwd').onclick = () => { pos = Math.min(run ? run.steps : 0, pos + 1);
+  document.getElementById('seek').value = pos; renderState(); };
+document.getElementById('play').onclick = () => {
+  if (playing) { clearInterval(playing); playing = null; return; }
+  playing = setInterval(() => {
+    if (!run || pos >= run.steps) { clearInterval(playing); playing = null; return; }
+    pos += Math.max(1, Math.floor(run.steps / 200));
+    if (pos > run.steps) pos = run.steps;
+    document.getElementById('seek').value = pos;
+    renderState();
+  }, 100);
+};
+loadOntologies();
+</script>
+</body>
+</html>
+`

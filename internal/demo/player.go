@@ -1,0 +1,142 @@
+package demo
+
+import "sort"
+
+// ModuleState is one rule module's view at a point in the replay — the
+// demo's per-buffer counters: how many times the buffer filled, how many
+// times it was forced to flush by timeout, and how many triples the rule
+// inferred (§4, panel 2).
+type ModuleState struct {
+	Rule string `json:"rule"`
+	// Buffered is the number of triples currently waiting in the buffer
+	// (routed minus flushed).
+	Buffered int `json:"buffered"`
+	// FullFlushes, TimeoutFlushes, ExplicitFlushes count flushes by
+	// reason.
+	FullFlushes     int `json:"fullFlushes"`
+	TimeoutFlushes  int `json:"timeoutFlushes"`
+	ExplicitFlushes int `json:"explicitFlushes"`
+	// Executions counts completed rule-module instances.
+	Executions int `json:"executions"`
+	// Derived and Fresh count emitted and store-fresh inferred triples.
+	Derived int `json:"derived"`
+	Fresh   int `json:"fresh"`
+}
+
+// State is the engine state reconstructed at one step of the replay: what
+// the demo's progress bars show. StoreExplicit and StoreInferred are the
+// green and orange parts of the demo's two-coloured triple-store bar.
+type State struct {
+	// Step is the replay position (0..len(steps)).
+	Step int `json:"step"`
+	// StoreExplicit counts explicit triples in the store at this point.
+	StoreExplicit int `json:"storeExplicit"`
+	// StoreInferred counts inferred triples in the store at this point.
+	StoreInferred int `json:"storeInferred"`
+	// LastRules lists the most recently executed rules, newest first
+	// (the demo shows the last five executions of the thread pool).
+	LastRules []string `json:"lastRules"`
+	// Modules holds per-rule state, sorted by rule name.
+	Modules []ModuleState `json:"modules"`
+}
+
+// ReplayTo folds steps[0:k] into a State. k is clamped to [0, len(steps)].
+// Replaying to successive k values is how the player steps, scrolls,
+// rewinds and fast-forwards through an inference.
+func ReplayTo(steps []Step, k int) State {
+	if k < 0 {
+		k = 0
+	}
+	if k > len(steps) {
+		k = len(steps)
+	}
+	mods := map[string]*ModuleState{}
+	get := func(rule string) *ModuleState {
+		m, ok := mods[rule]
+		if !ok {
+			m = &ModuleState{Rule: rule}
+			mods[rule] = m
+		}
+		return m
+	}
+	st := State{Step: k}
+	var lastRules []string
+	for _, s := range steps[:k] {
+		switch s.Kind {
+		case EventInput:
+			st.StoreExplicit += s.N
+		case EventRoute:
+			get(s.Rule).Buffered += s.N
+		case EventFlush:
+			m := get(s.Rule)
+			m.Buffered -= s.N
+			switch s.Reason {
+			case "full":
+				m.FullFlushes++
+			case "timeout":
+				m.TimeoutFlushes++
+			default:
+				m.ExplicitFlushes++
+			}
+		case EventExecute:
+			m := get(s.Rule)
+			m.Executions++
+			m.Derived += s.Derived
+			m.Fresh += s.Fresh
+			st.StoreInferred += s.Fresh
+			lastRules = append(lastRules, s.Rule)
+		}
+	}
+	// Newest first, capped at five like the demo's thread-pool panel.
+	for i := len(lastRules) - 1; i >= 0 && len(st.LastRules) < 5; i-- {
+		st.LastRules = append(st.LastRules, lastRules[i])
+	}
+	names := make([]string, 0, len(mods))
+	for n := range mods {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		st.Modules = append(st.Modules, *mods[n])
+	}
+	return st
+}
+
+// Summary is the demo's final panel (§4, panel 3): the proportion of
+// explicit vs inferred triples, the distribution of inferred triples by
+// rule, and how many times each rule ran.
+type Summary struct {
+	// Input and Inferred are the final store composition.
+	Input    int `json:"input"`
+	Inferred int `json:"inferred"`
+	// Executions is the total number of rule executions.
+	Executions int `json:"executions"`
+	// InferredByRule maps rule name to distinct triples it contributed.
+	InferredByRule map[string]int `json:"inferredByRule"`
+	// ExecutionsByRule maps rule name to how many times it ran.
+	ExecutionsByRule map[string]int `json:"executionsByRule"`
+	// Steps is the length of the recording.
+	Steps int `json:"steps"`
+}
+
+// Summarize folds a full recording into the demo's summary panel.
+func Summarize(steps []Step) Summary {
+	final := ReplayTo(steps, len(steps))
+	sum := Summary{
+		Input:            final.StoreExplicit,
+		Inferred:         final.StoreInferred,
+		InferredByRule:   map[string]int{},
+		ExecutionsByRule: map[string]int{},
+		Steps:            len(steps),
+	}
+	for _, m := range final.Modules {
+		if m.Fresh > 0 {
+			sum.InferredByRule[m.Rule] = m.Fresh
+		}
+		if m.Executions > 0 {
+			sum.ExecutionsByRule[m.Rule] = m.Executions
+			sum.Executions += m.Executions
+		}
+	}
+	return sum
+}

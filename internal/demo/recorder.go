@@ -1,0 +1,128 @@
+// Package demo implements the introspection layer behind the paper's §4
+// demonstration: a recorder that logs the state of all of Slider's
+// modules at each step of the inference, a player that can pause, seek
+// and replay any part of a recorded inference, and a small web server
+// exposing both over HTTP with an embedded UI.
+package demo
+
+import (
+	"sync"
+
+	"repro/internal/rdf"
+	"repro/internal/reasoner"
+)
+
+// EventKind labels a recorded engine event.
+type EventKind string
+
+// Event kinds.
+const (
+	EventInput   EventKind = "input"   // explicit triple accepted
+	EventRoute   EventKind = "route"   // triple placed in a rule buffer
+	EventFlush   EventKind = "flush"   // buffer flushed into an instance
+	EventExecute EventKind = "execute" // rule-module instance finished
+)
+
+// Step is one recorded engine event. The sequence of steps is what the
+// demo's inference player scrolls through.
+type Step struct {
+	// Seq is the 1-based step number.
+	Seq int `json:"seq"`
+	// Kind is the event kind.
+	Kind EventKind `json:"kind"`
+	// Rule is the rule module involved (empty for input events).
+	Rule string `json:"rule,omitempty"`
+	// Reason is the flush reason for flush events.
+	Reason string `json:"reason,omitempty"`
+	// N is the number of triples involved (1 for input/route; batch size
+	// for flush; delta size for execute).
+	N int `json:"n"`
+	// Derived and Fresh are set on execute events.
+	Derived int `json:"derived,omitempty"`
+	Fresh   int `json:"fresh,omitempty"`
+}
+
+// DefaultMaxSteps bounds recorder memory; past it, steps are counted but
+// not retained.
+const DefaultMaxSteps = 200_000
+
+// Recorder is a reasoner.Observer that logs engine events as Steps. It
+// is safe for concurrent use (the engine invokes callbacks from many
+// goroutines).
+type Recorder struct {
+	mu      sync.Mutex
+	steps   []Step
+	dropped int
+	max     int
+}
+
+// NewRecorder returns a Recorder retaining at most maxSteps steps
+// (DefaultMaxSteps if maxSteps <= 0).
+func NewRecorder(maxSteps int) *Recorder {
+	if maxSteps <= 0 {
+		maxSteps = DefaultMaxSteps
+	}
+	return &Recorder{max: maxSteps}
+}
+
+var _ reasoner.Observer = (*Recorder)(nil)
+
+func (r *Recorder) append(s Step) {
+	r.mu.Lock()
+	if len(r.steps) >= r.max {
+		r.dropped++
+	} else {
+		s.Seq = len(r.steps) + 1
+		r.steps = append(r.steps, s)
+	}
+	r.mu.Unlock()
+}
+
+// OnInput implements reasoner.Observer.
+func (r *Recorder) OnInput(rdf.Triple) {
+	r.append(Step{Kind: EventInput, N: 1})
+}
+
+// OnRoute implements reasoner.Observer.
+func (r *Recorder) OnRoute(rule string, _ rdf.Triple) {
+	r.append(Step{Kind: EventRoute, Rule: rule, N: 1})
+}
+
+// OnFlush implements reasoner.Observer.
+func (r *Recorder) OnFlush(rule string, reason reasoner.FlushReason, n int) {
+	r.append(Step{Kind: EventFlush, Rule: rule, Reason: reason.String(), N: n})
+}
+
+// OnExecute implements reasoner.Observer.
+func (r *Recorder) OnExecute(rule string, deltaSize, derived, fresh int) {
+	r.append(Step{Kind: EventExecute, Rule: rule, N: deltaSize, Derived: derived, Fresh: fresh})
+}
+
+// Steps returns a copy of the recorded steps.
+func (r *Recorder) Steps() []Step {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Step(nil), r.steps...)
+}
+
+// Len returns the number of retained steps.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.steps)
+}
+
+// Dropped returns how many steps exceeded the retention limit.
+func (r *Recorder) Dropped() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Reset clears the recording.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.steps = nil
+	r.dropped = 0
+	r.mu.Unlock()
+}

@@ -1,0 +1,279 @@
+package demo
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/rdf"
+	"repro/internal/reasoner"
+	"repro/internal/rules"
+	"repro/internal/store"
+)
+
+// Run is one recorded inference run.
+type Run struct {
+	ID         int     `json:"id"`
+	Ontology   string  `json:"ontology"`
+	Fragment   string  `json:"fragment"`
+	BufferSize int     `json:"bufferSize"`
+	TimeoutMS  int     `json:"timeoutMs"`
+	Input      int     `json:"input"`
+	Inferred   int64   `json:"inferred"`
+	ElapsedMS  float64 `json:"elapsedMs"`
+	Steps      int     `json:"steps"`
+	Summary    Summary `json:"summary"`
+	steps      []Step
+}
+
+// Server is the demonstration web server (§4): it lets a client choose an
+// ontology and the reasoner parameters, runs the inference with a
+// recorder attached, and serves the step log and replayed states for the
+// inference player.
+type Server struct {
+	mu    sync.Mutex
+	runs  map[int]*Run
+	next  int
+	scale bench.Scale
+	mux   *http.ServeMux
+}
+
+// NewServer returns a demo server generating ontologies at the given
+// scale.
+func NewServer(scale bench.Scale) *Server {
+	s := &Server{runs: map[int]*Run{}, next: 1, scale: scale}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /", s.handleIndex)
+	mux.HandleFunc("GET /api/ontologies", s.handleOntologies)
+	mux.HandleFunc("GET /api/graph", s.handleGraph)
+	mux.HandleFunc("POST /api/run", s.handleRun)
+	mux.HandleFunc("GET /api/runs", s.handleRuns)
+	mux.HandleFunc("GET /api/run/{id}", s.handleRunInfo)
+	mux.HandleFunc("GET /api/run/{id}/state", s.handleState)
+	mux.HandleFunc("GET /api/run/{id}/steps", s.handleSteps)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.WriteHeader(code)
+	writeJSON(w, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write([]byte(indexHTML))
+}
+
+// OntologyInfo describes one selectable ontology (the demo's
+// "Informations" table).
+type OntologyInfo struct {
+	Name    string `json:"name"`
+	Triples int    `json:"triples"`
+}
+
+func (s *Server) handleOntologies(w http.ResponseWriter, _ *http.Request) {
+	var out []OntologyInfo
+	for _, d := range bench.Datasets(s.scale) {
+		out = append(out, OntologyInfo{Name: d.Name, Triples: len(d.Statements)})
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
+	frag := r.URL.Query().Get("fragment")
+	var ruleset []rules.Rule
+	switch frag {
+	case "", "rhodf":
+		ruleset = rules.RhoDF()
+	case "rdfs":
+		ruleset = rules.RDFS()
+	default:
+		httpError(w, http.StatusBadRequest, "unknown fragment %q", frag)
+		return
+	}
+	w.Header().Set("Content-Type", "text/vnd.graphviz")
+	_, _ = w.Write([]byte(rules.BuildDependencyGraph(ruleset).DOT()))
+}
+
+// runRequest is the demo's Setup panel: ontology, fragment, buffer size
+// and timeout.
+type runRequest struct {
+	Ontology   string `json:"ontology"`
+	Fragment   string `json:"fragment"`
+	BufferSize int    `json:"bufferSize"`
+	TimeoutMS  int    `json:"timeoutMs"`
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req runRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request: %v", err)
+		return
+	}
+	ds, err := bench.DatasetByName(req.Ontology, s.scale)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var ruleset []rules.Rule
+	switch req.Fragment {
+	case "", "rhodf":
+		req.Fragment = "rhodf"
+		ruleset = rules.RhoDF()
+	case "rdfs":
+		ruleset = rules.RDFS()
+	default:
+		httpError(w, http.StatusBadRequest, "unknown fragment %q", req.Fragment)
+		return
+	}
+	if req.BufferSize <= 0 {
+		req.BufferSize = reasoner.DefaultBufferSize
+	}
+	timeout := time.Duration(req.TimeoutMS) * time.Millisecond
+	if timeout <= 0 {
+		timeout = reasoner.DefaultTimeout
+		req.TimeoutMS = int(timeout / time.Millisecond)
+	}
+
+	rec := NewRecorder(0)
+	dict := rdf.NewDictionary()
+	st := store.New()
+	eng := reasoner.New(st, ruleset, reasoner.Config{
+		BufferSize: req.BufferSize,
+		Timeout:    timeout,
+		Observer:   rec,
+	})
+	start := time.Now()
+	for _, stmt := range ds.Statements {
+		eng.Add(dict.EncodeStatement(stmt))
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), 2*time.Minute)
+	defer cancel()
+	if err := eng.Close(ctx); err != nil {
+		httpError(w, http.StatusInternalServerError, "inference: %v", err)
+		return
+	}
+	elapsed := time.Since(start)
+	stats := eng.Stats()
+
+	steps := rec.Steps()
+	run := &Run{
+		Ontology:   ds.Name,
+		Fragment:   req.Fragment,
+		BufferSize: req.BufferSize,
+		TimeoutMS:  req.TimeoutMS,
+		Input:      len(ds.Statements),
+		Inferred:   stats.Inferred,
+		ElapsedMS:  float64(elapsed.Microseconds()) / 1000,
+		Steps:      len(steps),
+		Summary:    Summarize(steps),
+		steps:      steps,
+	}
+	s.mu.Lock()
+	run.ID = s.next
+	s.next++
+	s.runs[run.ID] = run
+	s.mu.Unlock()
+	writeJSON(w, run)
+}
+
+func (s *Server) run(r *http.Request) (*Run, error) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		return nil, fmt.Errorf("bad run id")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	run, ok := s.runs[id]
+	if !ok {
+		return nil, fmt.Errorf("run %d not found", id)
+	}
+	return run, nil
+}
+
+// handleRuns lists all recorded runs (newest first) so a client can
+// compare the effect of different parameter choices, as the demo's
+// summary panel encourages.
+func (s *Server) handleRuns(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	runs := make([]*Run, 0, len(s.runs))
+	for _, r := range s.runs {
+		runs = append(runs, r)
+	}
+	s.mu.Unlock()
+	sort.Slice(runs, func(i, j int) bool { return runs[i].ID > runs[j].ID })
+	writeJSON(w, runs)
+}
+
+func (s *Server) handleRunInfo(w http.ResponseWriter, r *http.Request) {
+	run, err := s.run(r)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, run)
+}
+
+// handleState replays the run to ?step=k and returns the reconstructed
+// engine state — the inference player's seek operation.
+func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
+	run, err := s.run(r)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	k := len(run.steps)
+	if v := r.URL.Query().Get("step"); v != "" {
+		k, err = strconv.Atoi(v)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad step")
+			return
+		}
+	}
+	writeJSON(w, ReplayTo(run.steps, k))
+}
+
+func (s *Server) handleSteps(w http.ResponseWriter, r *http.Request) {
+	run, err := s.run(r)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	from, n := 0, 1000
+	if v := r.URL.Query().Get("from"); v != "" {
+		from, _ = strconv.Atoi(v)
+	}
+	if v := r.URL.Query().Get("n"); v != "" {
+		n, _ = strconv.Atoi(v)
+	}
+	if from < 0 {
+		from = 0
+	}
+	if from > len(run.steps) {
+		from = len(run.steps)
+	}
+	end := from + n
+	if end > len(run.steps) {
+		end = len(run.steps)
+	}
+	writeJSON(w, run.steps[from:end])
+}

@@ -1,0 +1,135 @@
+// Package maintenance implements incremental *deletion* for the
+// materialised store using delete-and-rederive (DRed; Gupta, Mumick &
+// Subrahmanian, SIGMOD 1993), adapted to Slider's rule interface.
+//
+// The paper's conclusion observes that most stream reasoners "limit the
+// amount of data in the knowledge base by eliminating former triples";
+// DRed is the standard way to do that elimination without re-running
+// materialisation from scratch:
+//
+//  1. Overdelete — starting from the retracted explicit triples, compute
+//     (semi-naively, against the still-intact store) every triple with a
+//     derivation path through a retracted triple. Explicit triples that
+//     are not being retracted are never suspected: they are axioms.
+//  2. Remove the whole suspect set from the store.
+//  3. Rederive — run semi-naive inference over the remaining store;
+//     suspects with an alternative derivation grounded in the surviving
+//     explicit triples reappear, everything else stays gone.
+//
+// Step 1 over-approximates, so after step 2 every remaining triple is
+// grounded in the surviving explicit set; step 3 therefore restores the
+// store to exactly the closure of the surviving explicit triples.
+package maintenance
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/rdf"
+	"repro/internal/rules"
+	"repro/internal/store"
+)
+
+// Stats reports what a retraction did.
+type Stats struct {
+	// Retracted counts explicit triples actually removed (present and
+	// explicit).
+	Retracted int
+	// Overdeleted counts derived triples removed as suspects in step 2
+	// (not counting the retracted explicit triples themselves).
+	Overdeleted int
+	// Rederived counts suspects restored by step 3.
+	Rederived int
+	// Rounds counts fixpoint rounds across the overdelete and rederive
+	// phases.
+	Rounds int
+}
+
+// Retract removes the given explicit triples from st and updates the
+// materialisation. explicit must hold the reasoner's current explicit
+// (asserted, non-inferred) triples; Retract mutates it, removing the
+// retracted ones.
+//
+// The store must be quiescent (no concurrent inference) for the duration
+// of the call.
+func Retract(ctx context.Context, st *store.Store, ruleset []rules.Rule,
+	explicit map[rdf.Triple]struct{}, toDelete []rdf.Triple) (Stats, error) {
+
+	var stats Stats
+	if explicit == nil {
+		return stats, fmt.Errorf("maintenance: nil explicit set")
+	}
+
+	// Which requested deletions are real explicit triples?
+	var seed []rdf.Triple
+	for _, t := range toDelete {
+		if _, ok := explicit[t]; !ok {
+			continue // unknown or already gone: no-op
+		}
+		delete(explicit, t)
+		seed = append(seed, t)
+	}
+	if len(seed) == 0 {
+		return stats, nil
+	}
+	stats.Retracted = len(seed)
+
+	// Step 1: overdelete. Suspects accumulate; joins run against the
+	// still-intact store so multi-premise rules see all premises.
+	suspects := make(map[rdf.Triple]struct{}, len(seed)*2)
+	for _, t := range seed {
+		suspects[t] = struct{}{}
+	}
+	delta := seed
+	for len(delta) > 0 {
+		if err := ctx.Err(); err != nil {
+			return stats, err
+		}
+		stats.Rounds++
+		var derived []rdf.Triple
+		for _, r := range ruleset {
+			r.Apply(st, delta, func(t rdf.Triple) { derived = append(derived, t) })
+		}
+		delta = delta[:0]
+		for _, t := range derived {
+			if _, isExplicit := explicit[t]; isExplicit {
+				continue // axioms survive
+			}
+			if _, seen := suspects[t]; seen {
+				continue
+			}
+			if !st.Contains(t) {
+				continue // not part of the materialisation
+			}
+			suspects[t] = struct{}{}
+			delta = append(delta, t)
+		}
+	}
+
+	// Step 2: remove the suspect set.
+	for t := range suspects {
+		st.Remove(t)
+	}
+	stats.Overdeleted = len(suspects) - len(seed)
+
+	// Step 3: rederive from the surviving store.
+	rederiveDelta := st.Snapshot()
+	for len(rederiveDelta) > 0 {
+		if err := ctx.Err(); err != nil {
+			return stats, err
+		}
+		stats.Rounds++
+		var derived []rdf.Triple
+		for _, r := range ruleset {
+			r.Apply(st, rederiveDelta, func(t rdf.Triple) { derived = append(derived, t) })
+		}
+		fresh := st.AddAll(derived)
+		for _, t := range fresh {
+			if _, wasSuspect := suspects[t]; wasSuspect {
+				stats.Rederived++
+			}
+		}
+		rederiveDelta = fresh
+	}
+	return stats, nil
+}

@@ -1,0 +1,46 @@
+package ntriples
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParse checks the parser never panics and that anything it accepts
+// survives a write/re-parse round trip.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"<http://e/s> <http://e/p> <http://e/o> .",
+		`<http://e/s> <http://e/p> "lit"@en .`,
+		`_:b <http://e/p> "42"^^<http://www.w3.org/2001/XMLSchema#integer> .`,
+		"# comment\n\n<http://e/s> <http://e/p> <http://e/o> .",
+		`<http://e/s> <http://e/p> "é\n\t\"" .`,
+		"<http://e/s <http://e/p> <http://e/o> .",
+		`"lit" <p> <o> .`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, doc string) {
+		sts, err := ParseString(doc)
+		if err != nil {
+			return
+		}
+		// Accepted documents must round trip.
+		var buf bytes.Buffer
+		if werr := WriteAll(&buf, sts); werr != nil {
+			t.Fatalf("accepted statements failed to serialise: %v", werr)
+		}
+		back, rerr := ParseString(buf.String())
+		if rerr != nil {
+			t.Fatalf("own output rejected: %v\n%s", rerr, buf.String())
+		}
+		if len(back) != len(sts) {
+			t.Fatalf("round trip changed count: %d -> %d", len(sts), len(back))
+		}
+		for i := range sts {
+			if back[i] != sts[i] {
+				t.Fatalf("round trip changed statement %d: %v -> %v", i, sts[i], back[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,424 @@
+// Package ntriples implements a reader and writer for the N-Triples
+// serialisation of RDF (https://www.w3.org/TR/n-triples/), covering IRI
+// references, blank nodes, plain / language-tagged / datatyped literals,
+// string and numeric escape sequences, comments and blank lines.
+//
+// The package is the document-facing substrate of the reasoner: Slider's
+// input manager parses N-Triples documents into rdf.Statement values
+// before dictionary-encoding them.
+package ntriples
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+	"unicode/utf16"
+	"unicode/utf8"
+
+	"repro/internal/rdf"
+)
+
+// ParseError describes a syntax error, carrying the 1-based line number of
+// the offending input line.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("ntriples: line %d: %s", e.Line, e.Msg)
+}
+
+// Reader reads rdf.Statement values from an N-Triples document.
+type Reader struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+// NewReader returns a Reader consuming from r.
+func NewReader(r io.Reader) *Reader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	return &Reader{sc: sc}
+}
+
+// Read returns the next statement. It returns io.EOF after the last
+// statement, and *ParseError on malformed input.
+func (r *Reader) Read() (rdf.Statement, error) {
+	for r.sc.Scan() {
+		r.line++
+		line := strings.TrimSpace(r.sc.Text())
+		if line == "" || line[0] == '#' {
+			continue
+		}
+		st, err := parseLine(line, r.line)
+		if err != nil {
+			return rdf.Statement{}, err
+		}
+		return st, nil
+	}
+	if err := r.sc.Err(); err != nil {
+		return rdf.Statement{}, err
+	}
+	return rdf.Statement{}, io.EOF
+}
+
+// ReadAll consumes the remaining document and returns all statements.
+func (r *Reader) ReadAll() ([]rdf.Statement, error) {
+	var out []rdf.Statement
+	for {
+		st, err := r.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, st)
+	}
+}
+
+// ParseString parses a complete N-Triples document held in a string.
+func ParseString(doc string) ([]rdf.Statement, error) {
+	return NewReader(strings.NewReader(doc)).ReadAll()
+}
+
+// parser walks a single line.
+type parser struct {
+	s    string
+	pos  int
+	line int
+}
+
+func parseLine(line string, lineNo int) (rdf.Statement, error) {
+	p := &parser{s: line, line: lineNo}
+	subj, err := p.term(false)
+	if err != nil {
+		return rdf.Statement{}, err
+	}
+	if subj.IsLiteral() {
+		return rdf.Statement{}, p.errf("literal is not a valid subject")
+	}
+	p.skipWS()
+	pred, err := p.term(false)
+	if err != nil {
+		return rdf.Statement{}, err
+	}
+	if !pred.IsIRI() {
+		return rdf.Statement{}, p.errf("predicate must be an IRI")
+	}
+	p.skipWS()
+	obj, err := p.term(true)
+	if err != nil {
+		return rdf.Statement{}, err
+	}
+	p.skipWS()
+	if p.pos >= len(p.s) || p.s[p.pos] != '.' {
+		return rdf.Statement{}, p.errf("expected '.' terminator")
+	}
+	p.pos++
+	p.skipWS()
+	if p.pos < len(p.s) && p.s[p.pos] != '#' {
+		return rdf.Statement{}, p.errf("trailing content after '.'")
+	}
+	return rdf.Statement{S: subj, P: pred, O: obj}, nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &ParseError{Line: p.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) skipWS() {
+	for p.pos < len(p.s) && (p.s[p.pos] == ' ' || p.s[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+// term parses one term. allowLiteral gates literal syntax (only objects
+// may be literals).
+func (p *parser) term(allowLiteral bool) (rdf.Term, error) {
+	if p.pos >= len(p.s) {
+		return rdf.Term{}, p.errf("unexpected end of line, expected term")
+	}
+	switch p.s[p.pos] {
+	case '<':
+		return p.iriRef()
+	case '_':
+		return p.blankNode()
+	case '"':
+		if !allowLiteral {
+			return rdf.Term{}, p.errf("literal not allowed in this position")
+		}
+		return p.literal()
+	default:
+		return rdf.Term{}, p.errf("unexpected character %q at column %d", p.s[p.pos], p.pos+1)
+	}
+}
+
+func (p *parser) iriRef() (rdf.Term, error) {
+	p.pos++ // consume '<'
+	var b strings.Builder
+	for p.pos < len(p.s) {
+		c := p.s[p.pos]
+		switch c {
+		case '>':
+			p.pos++
+			iri := b.String()
+			if iri == "" {
+				return rdf.Term{}, p.errf("empty IRI")
+			}
+			return rdf.NewIRI(iri), nil
+		case '\\':
+			r, err := p.uescape()
+			if err != nil {
+				return rdf.Term{}, err
+			}
+			b.WriteRune(r)
+		case ' ', '<', '"', '{', '}', '|', '^', '`':
+			return rdf.Term{}, p.errf("character %q not allowed in IRI", c)
+		default:
+			b.WriteByte(c)
+			p.pos++
+		}
+	}
+	return rdf.Term{}, p.errf("unterminated IRI")
+}
+
+func (p *parser) blankNode() (rdf.Term, error) {
+	if p.pos+1 >= len(p.s) || p.s[p.pos+1] != ':' {
+		return rdf.Term{}, p.errf("expected '_:' blank node prefix")
+	}
+	p.pos += 2
+	start := p.pos
+	for p.pos < len(p.s) {
+		c := p.s[p.pos]
+		if c == ' ' || c == '\t' {
+			break
+		}
+		if c == '.' && p.pos+1 >= len(p.s) {
+			break // final dot
+		}
+		if !isBlankLabelChar(c) {
+			break
+		}
+		p.pos++
+	}
+	if p.pos == start {
+		return rdf.Term{}, p.errf("empty blank node label")
+	}
+	return rdf.NewBlank(p.s[start:p.pos]), nil
+}
+
+func isBlankLabelChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+		c == '_' || c == '-' || c == '.'
+}
+
+func (p *parser) literal() (rdf.Term, error) {
+	p.pos++ // consume '"'
+	var b strings.Builder
+	for {
+		if p.pos >= len(p.s) {
+			return rdf.Term{}, p.errf("unterminated literal")
+		}
+		c := p.s[p.pos]
+		if c == '"' {
+			p.pos++
+			break
+		}
+		if c == '\\' {
+			r, err := p.escape()
+			if err != nil {
+				return rdf.Term{}, err
+			}
+			b.WriteRune(r)
+			continue
+		}
+		b.WriteByte(c)
+		p.pos++
+	}
+	lex := b.String()
+	// Optional language tag or datatype.
+	if p.pos < len(p.s) && p.s[p.pos] == '@' {
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.s) && isLangChar(p.s[p.pos]) {
+			p.pos++
+		}
+		if p.pos == start {
+			return rdf.Term{}, p.errf("empty language tag")
+		}
+		return rdf.NewLangLiteral(lex, p.s[start:p.pos]), nil
+	}
+	if strings.HasPrefix(p.s[p.pos:], "^^") {
+		p.pos += 2
+		if p.pos >= len(p.s) || p.s[p.pos] != '<' {
+			return rdf.Term{}, p.errf("expected datatype IRI after ^^")
+		}
+		dt, err := p.iriRef()
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.NewTypedLiteral(lex, dt.Value), nil
+	}
+	return rdf.NewLiteral(lex), nil
+}
+
+func isLangChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '-'
+}
+
+// escape handles string escapes inside literals: \t \b \n \r \f \" \' \\
+// plus \uXXXX and \UXXXXXXXX.
+func (p *parser) escape() (rune, error) {
+	if p.pos+1 >= len(p.s) {
+		return 0, p.errf("dangling backslash")
+	}
+	c := p.s[p.pos+1]
+	switch c {
+	case 't':
+		p.pos += 2
+		return '\t', nil
+	case 'b':
+		p.pos += 2
+		return '\b', nil
+	case 'n':
+		p.pos += 2
+		return '\n', nil
+	case 'r':
+		p.pos += 2
+		return '\r', nil
+	case 'f':
+		p.pos += 2
+		return '\f', nil
+	case '"':
+		p.pos += 2
+		return '"', nil
+	case '\'':
+		p.pos += 2
+		return '\'', nil
+	case '\\':
+		p.pos += 2
+		return '\\', nil
+	case 'u', 'U':
+		return p.uescape()
+	default:
+		return 0, p.errf("invalid escape \\%c", c)
+	}
+}
+
+// uescape parses \uXXXX or \UXXXXXXXX at the current position (which must
+// point at the backslash). Surrogate pairs in \u form are combined.
+func (p *parser) uescape() (rune, error) {
+	if p.pos+1 >= len(p.s) {
+		return 0, p.errf("dangling backslash")
+	}
+	var width int
+	switch p.s[p.pos+1] {
+	case 'u':
+		width = 4
+	case 'U':
+		width = 8
+	default:
+		return 0, p.errf("invalid escape \\%c in IRI", p.s[p.pos+1])
+	}
+	if p.pos+2+width > len(p.s) {
+		return 0, p.errf("truncated unicode escape")
+	}
+	hex := p.s[p.pos+2 : p.pos+2+width]
+	v, err := parseHex(hex)
+	if err != nil {
+		return 0, p.errf("bad unicode escape \\%c%s", p.s[p.pos+1], hex)
+	}
+	p.pos += 2 + width
+	r := rune(v)
+	// Combine UTF-16 surrogate pairs written as two \u escapes.
+	if utf16.IsSurrogate(r) && p.pos+6 <= len(p.s) && p.s[p.pos] == '\\' && p.s[p.pos+1] == 'u' {
+		v2, err2 := parseHex(p.s[p.pos+2 : p.pos+6])
+		if err2 == nil {
+			if combined := utf16.DecodeRune(r, rune(v2)); combined != utf8.RuneError {
+				p.pos += 6
+				return combined, nil
+			}
+		}
+	}
+	if !utf8.ValidRune(r) {
+		return utf8.RuneError, nil
+	}
+	return r, nil
+}
+
+func parseHex(s string) (uint32, error) {
+	var v uint32
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		var d uint32
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint32(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint32(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = uint32(c-'A') + 10
+		default:
+			return 0, fmt.Errorf("bad hex digit %q", c)
+		}
+		v = v<<4 | d
+	}
+	return v, nil
+}
+
+// Writer serialises rdf.Statement values as N-Triples lines.
+type Writer struct {
+	w   *bufio.Writer
+	n   int
+	err error
+}
+
+// NewWriter returns a Writer emitting to w. Call Flush when done.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// Write emits one statement. Invalid statements are rejected.
+func (w *Writer) Write(st rdf.Statement) error {
+	if w.err != nil {
+		return w.err
+	}
+	if !st.Valid() {
+		return fmt.Errorf("ntriples: invalid statement %v", st)
+	}
+	if _, err := w.w.WriteString(st.String()); err != nil {
+		w.err = err
+		return err
+	}
+	if err := w.w.WriteByte('\n'); err != nil {
+		w.err = err
+		return err
+	}
+	w.n++
+	return nil
+}
+
+// Count returns the number of statements written so far.
+func (w *Writer) Count() int { return w.n }
+
+// Flush flushes buffered output.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+// WriteAll writes all statements to w in N-Triples form.
+func WriteAll(w io.Writer, sts []rdf.Statement) error {
+	nw := NewWriter(w)
+	for _, st := range sts {
+		if err := nw.Write(st); err != nil {
+			return err
+		}
+	}
+	return nw.Flush()
+}

@@ -1,0 +1,310 @@
+package ntriples
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rdf"
+)
+
+func one(t *testing.T, line string) rdf.Statement {
+	t.Helper()
+	sts, err := ParseString(line)
+	if err != nil {
+		t.Fatalf("ParseString(%q): %v", line, err)
+	}
+	if len(sts) != 1 {
+		t.Fatalf("ParseString(%q) returned %d statements, want 1", line, len(sts))
+	}
+	return sts[0]
+}
+
+func TestParseSimpleIRITriple(t *testing.T) {
+	st := one(t, "<http://e/s> <http://e/p> <http://e/o> .")
+	want := rdf.NewStatement(rdf.NewIRI("http://e/s"), rdf.NewIRI("http://e/p"), rdf.NewIRI("http://e/o"))
+	if st != want {
+		t.Fatalf("got %v, want %v", st, want)
+	}
+}
+
+func TestParseBlankNodes(t *testing.T) {
+	st := one(t, "_:b0 <http://e/p> _:b1 .")
+	if !st.S.IsBlank() || st.S.Value != "b0" {
+		t.Fatalf("subject = %v", st.S)
+	}
+	if !st.O.IsBlank() || st.O.Value != "b1" {
+		t.Fatalf("object = %v", st.O)
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	cases := []struct {
+		line string
+		want rdf.Term
+	}{
+		{`<http://e/s> <http://e/p> "plain" .`, rdf.NewLiteral("plain")},
+		{`<http://e/s> <http://e/p> "hello"@en .`, rdf.NewLangLiteral("hello", "en")},
+		{`<http://e/s> <http://e/p> "hola"@es-MX .`, rdf.NewLangLiteral("hola", "es-MX")},
+		{`<http://e/s> <http://e/p> "42"^^<http://www.w3.org/2001/XMLSchema#integer> .`,
+			rdf.NewTypedLiteral("42", rdf.IRIXSDInteger)},
+		{`<http://e/s> <http://e/p> "a\"b\\c\nd\te\rf" .`, rdf.NewLiteral("a\"b\\c\nd\te\rf")},
+		{`<http://e/s> <http://e/p> "é" .`, rdf.NewLiteral("é")},
+		{`<http://e/s> <http://e/p> "\U0001F600" .`, rdf.NewLiteral("\U0001F600")},
+		{`<http://e/s> <http://e/p> "" .`, rdf.NewLiteral("")},
+		{`<http://e/s> <http://e/p> "\b\f" .`, rdf.NewLiteral("\b\f")},
+	}
+	for _, c := range cases {
+		if got := one(t, c.line).O; got != c.want {
+			t.Errorf("object of %q = %+v, want %+v", c.line, got, c.want)
+		}
+	}
+}
+
+func TestParseSurrogatePairEscape(t *testing.T) {
+	// U+1F600 written as a UTF-16 surrogate pair in two \u escapes.
+	st := one(t, `<http://e/s> <http://e/p> "😀" .`)
+	if st.O.Value != "\U0001F600" {
+		t.Fatalf("surrogate pair decoded to %q", st.O.Value)
+	}
+}
+
+func TestParseIRIWithUnicodeEscape(t *testing.T) {
+	st := one(t, `<http://e/café> <http://e/p> <http://e/o> .`)
+	if st.S.Value != "http://e/café" {
+		t.Fatalf("IRI = %q", st.S.Value)
+	}
+}
+
+func TestParseCommentsAndBlankLines(t *testing.T) {
+	doc := `
+# a comment
+<http://e/s> <http://e/p> <http://e/o> . # trailing comment
+
+# another
+<http://e/s2> <http://e/p> "x" .
+`
+	sts, err := ParseString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sts) != 2 {
+		t.Fatalf("got %d statements, want 2", len(sts))
+	}
+}
+
+func TestParseWhitespaceVariants(t *testing.T) {
+	lines := []string{
+		"<http://e/s>\t<http://e/p>\t<http://e/o>\t.",
+		"  <http://e/s>   <http://e/p>   <http://e/o>  .  ",
+		"<http://e/s> <http://e/p> <http://e/o>.",
+	}
+	for _, l := range lines {
+		one(t, l)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		line    string
+		wantMsg string
+	}{
+		{`<http://e/s> <http://e/p> <http://e/o>`, "terminator"},
+		{`"lit" <http://e/p> <http://e/o> .`, "literal"},
+		{`<http://e/s> "p" <http://e/o> .`, "literal not allowed"},
+		{`<http://e/s> _:b <http://e/o> .`, "predicate must be an IRI"},
+		{`<http://e/s> <http://e/p> "unterminated .`, "unterminated literal"},
+		{`<http://e/s <http://e/p> <http://e/o> .`, "not allowed in IRI"},
+		{`<> <http://e/p> <http://e/o> .`, "empty IRI"},
+		{`_: <http://e/p> <http://e/o> .`, "empty blank node label"},
+		{`<http://e/s> <http://e/p> "x"@ .`, "empty language tag"},
+		{`<http://e/s> <http://e/p> "x"^^y .`, "expected datatype IRI"},
+		{`<http://e/s> <http://e/p> "\q" .`, "invalid escape"},
+		{`<http://e/s> <http://e/p> "\uZZZZ" .`, "bad unicode escape"},
+		{`<http://e/s> <http://e/p> <http://e/o> . extra`, "trailing content"},
+		{`@ <http://e/p> <http://e/o> .`, "unexpected character"},
+		{`<http://e/s> .`, "unexpected"},
+	}
+	for _, c := range cases {
+		_, err := ParseString(c.line)
+		if err == nil {
+			t.Errorf("ParseString(%q): expected error", c.line)
+			continue
+		}
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			t.Errorf("ParseString(%q): error %v is not *ParseError", c.line, err)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantMsg) {
+			t.Errorf("ParseString(%q) error = %q, want substring %q", c.line, err, c.wantMsg)
+		}
+	}
+}
+
+func TestParseErrorLineNumbers(t *testing.T) {
+	doc := "<http://e/s> <http://e/p> <http://e/o> .\n# comment\nbroken line\n"
+	_, err := ParseString(doc)
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *ParseError, got %v", err)
+	}
+	if pe.Line != 3 {
+		t.Fatalf("error line = %d, want 3", pe.Line)
+	}
+}
+
+func TestReaderStreaming(t *testing.T) {
+	doc := "<http://e/a> <http://e/p> <http://e/b> .\n<http://e/b> <http://e/p> <http://e/c> .\n"
+	r := NewReader(strings.NewReader(doc))
+	n := 0
+	for {
+		_, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("read %d statements, want 2", n)
+	}
+	if _, err := r.Read(); err != io.EOF {
+		t.Fatalf("Read after EOF = %v, want io.EOF", err)
+	}
+}
+
+func TestWriterRoundTrip(t *testing.T) {
+	sts := []rdf.Statement{
+		rdf.NewStatement(rdf.NewIRI("http://e/s"), rdf.NewIRI("http://e/p"), rdf.NewIRI("http://e/o")),
+		rdf.NewStatement(rdf.NewBlank("b0"), rdf.NewIRI("http://e/p"), rdf.NewLiteral("v w x")),
+		rdf.NewStatement(rdf.NewIRI("http://e/s"), rdf.NewIRI("http://e/p"), rdf.NewLangLiteral("hé\"llo", "fr")),
+		rdf.NewStatement(rdf.NewIRI("http://e/s"), rdf.NewIRI("http://e/p"), rdf.NewTypedLiteral("3.14", "http://www.w3.org/2001/XMLSchema#decimal")),
+		rdf.NewStatement(rdf.NewIRI("http://e/s"), rdf.NewIRI("http://e/p"), rdf.NewLiteral("line\nbreak\ttab\\slash")),
+	}
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, sts); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseString(buf.String())
+	if err != nil {
+		t.Fatalf("reparsing own output: %v\noutput:\n%s", err, buf.String())
+	}
+	if len(back) != len(sts) {
+		t.Fatalf("round trip count %d, want %d", len(back), len(sts))
+	}
+	for i := range sts {
+		if back[i] != sts[i] {
+			t.Errorf("statement %d changed: %v -> %v", i, sts[i], back[i])
+		}
+	}
+}
+
+func TestWriterRejectsInvalid(t *testing.T) {
+	w := NewWriter(io.Discard)
+	bad := rdf.NewStatement(rdf.NewLiteral("s"), rdf.NewIRI("http://e/p"), rdf.NewIRI("http://e/o"))
+	if err := w.Write(bad); err == nil {
+		t.Fatal("Write accepted a literal subject")
+	}
+}
+
+func TestWriterCount(t *testing.T) {
+	w := NewWriter(io.Discard)
+	st := rdf.NewStatement(rdf.NewIRI("http://e/s"), rdf.NewIRI("http://e/p"), rdf.NewIRI("http://e/o"))
+	for i := 0; i < 3; i++ {
+		if err := w.Write(st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 3 {
+		t.Fatalf("Count() = %d, want 3", w.Count())
+	}
+}
+
+type failWriter struct{ after int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.after <= 0 {
+		return 0, errors.New("disk full")
+	}
+	f.after -= len(p)
+	return len(p), nil
+}
+
+func TestWriterPropagatesIOErrors(t *testing.T) {
+	w := NewWriter(&failWriter{after: 1})
+	st := rdf.NewStatement(rdf.NewIRI("http://e/s"), rdf.NewIRI("http://e/p"), rdf.NewIRI("http://e/o"))
+	var sawErr bool
+	for i := 0; i < 100000; i++ {
+		if err := w.Write(st); err != nil {
+			sawErr = true
+			break
+		}
+	}
+	if !sawErr {
+		if err := w.Flush(); err == nil {
+			t.Fatal("expected an I/O error from Write or Flush")
+		}
+	}
+}
+
+// Property: any statement built from printable components survives a
+// write-parse round trip.
+func TestRoundTripProperty(t *testing.T) {
+	gen := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		randIRI := func() rdf.Term {
+			return rdf.NewIRI(fmt.Sprintf("http://example.org/res/%d", rng.Intn(1000)))
+		}
+		randTerm := func() rdf.Term {
+			switch rng.Intn(4) {
+			case 0:
+				return randIRI()
+			case 1:
+				return rdf.NewBlank(fmt.Sprintf("b%d", rng.Intn(100)))
+			case 2:
+				// Literal with characters that need escaping.
+				chars := []string{"a", " ", `"`, `\`, "\n", "\t", "é", "日"}
+				var sb strings.Builder
+				for i := 0; i < rng.Intn(8); i++ {
+					sb.WriteString(chars[rng.Intn(len(chars))])
+				}
+				return rdf.NewLiteral(sb.String())
+			default:
+				return rdf.NewLangLiteral("word", "en")
+			}
+		}
+		var sts []rdf.Statement
+		for i := 0; i < 10; i++ {
+			s := randTerm()
+			for s.IsLiteral() {
+				s = randTerm()
+			}
+			sts = append(sts, rdf.NewStatement(s, randIRI(), randTerm()))
+		}
+		var buf bytes.Buffer
+		if err := WriteAll(&buf, sts); err != nil {
+			return false
+		}
+		back, err := ParseString(buf.String())
+		if err != nil || len(back) != len(sts) {
+			return false
+		}
+		for i := range sts {
+			if back[i] != sts[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(gen, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,269 @@
+// Package ontogen generates the non-BSBM ontology families of the paper's
+// evaluation (§3):
+//
+//   - SubClassChain: the subClassOf_n ontologies of Equation 1, the
+//     duplicate-torture workload whose closure is O(n²) unique triples
+//     while naive iterative schemes derive O(n³).
+//   - Wikipedia: a synthetic stand-in for the paper's Wikipedia ontology —
+//     a deep category DAG connected by rdfs:subClassOf plus articles
+//     linked to categories through a plain property. Its distinguishing
+//     feature in Table 1 is a very large ρdf closure (inferred ≈ 40% of
+//     input, all from subClassOf transitivity).
+//   - WordNet: a synthetic stand-in for the paper's WordNet ontology — a
+//     hypernym forest using only plain properties and literals, so the
+//     ρdf closure is empty (Table 1 reports 0 inferred) while the RDFS
+//     closure is large (resource typing over a dense entity graph).
+//
+// The real Wikipedia/WordNet dumps are not redistributable inside this
+// offline repository; the generators reproduce the structural properties
+// the evaluation depends on (see DESIGN.md §2 for the substitution
+// rationale). All generators are deterministic for a given seed.
+package ontogen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/rdf"
+)
+
+// Namespaces for generated ontologies.
+const (
+	ExampleNS   = "http://example.org/chain/"
+	WikipediaNS = "http://example.org/wikipedia/"
+	WordNetNS   = "http://example.org/wordnet/"
+	TermsNS     = "http://example.org/terms/"
+)
+
+// SubClassChain generates the subClassOf_n ontology of the paper's
+// Equation 1:
+//
+//	<1, type, Class>
+//	<i, type, Class>, <i, subClassOf, i-1>   for i in 2..n
+//
+// yielding 2n-1 triples whose ρdf closure adds C(n-1, 2) subClassOf
+// triples.
+func SubClassChain(n int) []rdf.Statement {
+	if n < 1 {
+		return nil
+	}
+	class := func(i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("%sC%d", ExampleNS, i)) }
+	typeIRI := rdf.NewIRI(rdf.IRIType)
+	classIRI := rdf.NewIRI(rdf.IRIClass)
+	scIRI := rdf.NewIRI(rdf.IRISubClassOf)
+	out := make([]rdf.Statement, 0, 2*n-1)
+	out = append(out, rdf.NewStatement(class(1), typeIRI, classIRI))
+	for i := 2; i <= n; i++ {
+		out = append(out,
+			rdf.NewStatement(class(i), typeIRI, classIRI),
+			rdf.NewStatement(class(i), scIRI, class(i-1)),
+		)
+	}
+	return out
+}
+
+// ChainClosureSize returns the number of subClassOf triples the ρdf
+// closure of SubClassChain(n) adds: C(n-1, 2).
+func ChainClosureSize(n int) int {
+	m := n - 1
+	return m * (m - 1) / 2
+}
+
+// Config sizes a generated ontology.
+type Config struct {
+	// Triples is the approximate number of statements to generate.
+	Triples int
+	// Seed drives the deterministic pseudo-random structure.
+	Seed int64
+}
+
+// Wikipedia generates a category/article ontology. Roughly 20% of the
+// triples are rdfs:subClassOf links forming a deep category DAG (depth
+// grows with size), and the rest are article→category subject links and
+// article labels. All inference under ρdf comes from scm-sco over the
+// category DAG.
+func Wikipedia(cfg Config) []rdf.Statement {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := cfg.Triples
+	if n < 10 {
+		n = 10
+	}
+	typeIRI := rdf.NewIRI(rdf.IRIType)
+	classIRI := rdf.NewIRI(rdf.IRIClass)
+	scIRI := rdf.NewIRI(rdf.IRISubClassOf)
+	labelIRI := rdf.NewIRI(rdf.IRILabel)
+	subjectIRI := rdf.NewIRI(TermsNS + "subject")
+	articleClass := rdf.NewIRI(WikipediaNS + "Article")
+
+	cat := func(i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("%scategory/%d", WikipediaNS, i)) }
+	art := func(i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("%sarticle/%d", WikipediaNS, i)) }
+
+	// Budget: each category costs ~2.4 triples (type + 1–2 sc parents +
+	// occasional label), each article costs 3 (type + subject + label).
+	// Categories take ~30% of the budget.
+	nCat := n * 3 / 10 / 2
+	if nCat < 5 {
+		nCat = 5
+	}
+	out := make([]rdf.Statement, 0, n+8)
+	out = append(out, rdf.NewStatement(articleClass, typeIRI, classIRI))
+
+	// Category DAG: categories are generated in waves ("levels"); each
+	// category picks a parent from the previous wave (occasionally a
+	// second one). About six levels keeps the transitive closure near
+	// the paper's observed ratio (inferred ≈ 40% of input) — deeper DAGs
+	// blow the closure up quadratically.
+	levelSize := nCat / 6
+	if levelSize < 2 {
+		levelSize = 2
+	}
+	var prevLevel []int
+	var level []int
+	for i := 0; i < nCat; i++ {
+		out = append(out, rdf.NewStatement(cat(i), typeIRI, classIRI))
+		if len(prevLevel) > 0 {
+			parents := 1
+			if rng.Intn(10) == 0 {
+				parents = 2
+			}
+			for p := 0; p < parents; p++ {
+				parent := prevLevel[rng.Intn(len(prevLevel))]
+				out = append(out, rdf.NewStatement(cat(i), scIRI, cat(parent)))
+			}
+		}
+		level = append(level, i)
+		if len(level) >= levelSize {
+			prevLevel, level = level, nil
+		}
+	}
+
+	// Articles fill the remaining budget.
+	for i := 0; len(out) < n; i++ {
+		out = append(out, rdf.NewStatement(art(i), typeIRI, articleClass))
+		if len(out) < n {
+			out = append(out, rdf.NewStatement(art(i), subjectIRI, cat(rng.Intn(nCat))))
+		}
+		if len(out) < n {
+			out = append(out, rdf.NewStatement(art(i), labelIRI,
+				rdf.NewLangLiteral(fmt.Sprintf("Article %d", i), "en")))
+		}
+	}
+	return out
+}
+
+// Sensor generates an SSN-style observation dataset with a
+// domain/range-rich property schema. Unlike the paper's Table 1
+// workloads (whose ρdf closures come almost entirely from subClassOf /
+// subPropertyOf), this family drives inference through prp-dom and
+// prp-rng: every observation assertion types both of its ends. Used by
+// the ablation benchmarks to exercise the domain/range rule modules at
+// scale.
+func Sensor(cfg Config) []rdf.Statement {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := cfg.Triples
+	if n < 20 {
+		n = 20
+	}
+	ns := "http://example.org/ssn/"
+	typeIRI := rdf.NewIRI(rdf.IRIType)
+	classIRI := rdf.NewIRI(rdf.IRIClass)
+	domIRI := rdf.NewIRI(rdf.IRIDomain)
+	rngIRI := rdf.NewIRI(rdf.IRIRange)
+	spIRI := rdf.NewIRI(rdf.IRISubPropertyOf)
+
+	sensorClass := rdf.NewIRI(ns + "Sensor")
+	obsClass := rdf.NewIRI(ns + "Observation")
+	propClass := rdf.NewIRI(ns + "ObservableProperty")
+	featClass := rdf.NewIRI(ns + "FeatureOfInterest")
+
+	madeBy := rdf.NewIRI(ns + "madeBySensor")
+	observed := rdf.NewIRI(ns + "observedProperty")
+	feature := rdf.NewIRI(ns + "hasFeatureOfInterest")
+	result := rdf.NewIRI(ns + "hasSimpleResult")
+	madeByTemp := rdf.NewIRI(ns + "madeByTemperatureSensor")
+
+	out := []rdf.Statement{
+		{S: sensorClass, P: typeIRI, O: classIRI},
+		{S: obsClass, P: typeIRI, O: classIRI},
+		{S: propClass, P: typeIRI, O: classIRI},
+		{S: featClass, P: typeIRI, O: classIRI},
+		{S: madeBy, P: domIRI, O: obsClass},
+		{S: madeBy, P: rngIRI, O: sensorClass},
+		{S: observed, P: domIRI, O: obsClass},
+		{S: observed, P: rngIRI, O: propClass},
+		{S: feature, P: domIRI, O: obsClass},
+		{S: feature, P: rngIRI, O: featClass},
+		{S: madeByTemp, P: spIRI, O: madeBy},
+	}
+	sensor := func(i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("%ssensor/%d", ns, i)) }
+	obs := func(i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("%sobservation/%d", ns, i)) }
+	prop := func(i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("%sproperty/%d", ns, i)) }
+	feat := func(i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("%sfeature/%d", ns, i)) }
+	nSensors := n/100 + 2
+	for i := 0; len(out) < n; i++ {
+		o := obs(i)
+		by := madeBy
+		if rng.Intn(3) == 0 {
+			by = madeByTemp // also exercises prp-spo1 feeding prp-dom/rng
+		}
+		out = append(out, rdf.Statement{S: o, P: by, O: sensor(rng.Intn(nSensors))})
+		if len(out) < n {
+			out = append(out, rdf.Statement{S: o, P: observed, O: prop(rng.Intn(20))})
+		}
+		if len(out) < n {
+			out = append(out, rdf.Statement{S: o, P: feature, O: feat(rng.Intn(50))})
+		}
+		if len(out) < n {
+			out = append(out, rdf.Statement{S: o, P: result,
+				O: rdf.NewTypedLiteral(fmt.Sprintf("%d", rng.Intn(100)), rdf.IRIXSDInteger)})
+		}
+	}
+	return out
+}
+
+// WordNet generates a hypernym forest over synsets. It deliberately
+// contains no rdfs:subClassOf, rdfs:subPropertyOf, rdfs:domain or
+// rdfs:range triples and no class hierarchy, so its ρdf closure is empty
+// — matching the paper's Table 1 row (wordnet: 0 inferred under ρdf) —
+// while rdfs4 resource typing yields a large RDFS closure.
+func WordNet(cfg Config) []rdf.Statement {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := cfg.Triples
+	if n < 10 {
+		n = 10
+	}
+	hypernym := rdf.NewIRI(WordNetNS + "hypernymOf")
+	containsWord := rdf.NewIRI(WordNetNS + "containsWordSense")
+	gloss := rdf.NewIRI(WordNetNS + "gloss")
+	lexForm := rdf.NewIRI(WordNetNS + "lexicalForm")
+
+	synset := func(i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("%ssynset/%d", WordNetNS, i)) }
+	sense := func(i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("%swordsense/%d", WordNetNS, i)) }
+
+	// Each synset costs ~4 triples: hypernym link, word sense link,
+	// sense lexical form, gloss.
+	nSyn := n / 4
+	if nSyn < 2 {
+		nSyn = 2
+	}
+	out := make([]rdf.Statement, 0, n+4)
+	for i := 0; len(out) < n; i++ {
+		s := i % nSyn
+		if s > 0 && len(out) < n {
+			// Hypernym points at an earlier synset: a forest, no cycles.
+			out = append(out, rdf.NewStatement(synset(s), hypernym, synset(rng.Intn(s))))
+		}
+		if len(out) < n {
+			out = append(out, rdf.NewStatement(synset(s), containsWord, sense(i)))
+		}
+		if len(out) < n {
+			out = append(out, rdf.NewStatement(sense(i), lexForm,
+				rdf.NewLiteral(fmt.Sprintf("word_%d", i))))
+		}
+		if len(out) < n {
+			out = append(out, rdf.NewStatement(synset(s), gloss,
+				rdf.NewLiteral(fmt.Sprintf("gloss of synset %d", s))))
+		}
+	}
+	return out
+}

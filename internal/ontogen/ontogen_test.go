@@ -1,0 +1,227 @@
+package ontogen
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/rdf"
+	"repro/internal/rules"
+)
+
+func encode(sts []rdf.Statement) (*rdf.Dictionary, []rdf.Triple) {
+	d := rdf.NewDictionary()
+	ts := make([]rdf.Triple, len(sts))
+	for i, s := range sts {
+		ts[i] = d.EncodeStatement(s)
+	}
+	return d, ts
+}
+
+func closureSize(t *testing.T, ruleset []rules.Rule, sts []rdf.Statement) int64 {
+	t.Helper()
+	_, ts := encode(sts)
+	_, stats, err := baseline.Closure(context.Background(), ruleset, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats.Inferred
+}
+
+func TestSubClassChainShape(t *testing.T) {
+	for _, n := range []int{1, 2, 10, 100} {
+		sts := SubClassChain(n)
+		if len(sts) != 2*n-1 {
+			t.Fatalf("SubClassChain(%d) has %d statements, want %d", n, len(sts), 2*n-1)
+		}
+		// All statements valid; predicates only type/subClassOf.
+		for _, s := range sts {
+			if !s.Valid() {
+				t.Fatalf("invalid statement %v", s)
+			}
+			if s.P.Value != rdf.IRIType && s.P.Value != rdf.IRISubClassOf {
+				t.Fatalf("unexpected predicate %v", s.P)
+			}
+		}
+	}
+	if SubClassChain(0) != nil {
+		t.Fatal("SubClassChain(0) should be nil")
+	}
+}
+
+func TestSubClassChainClosureMatchesFormula(t *testing.T) {
+	// Table 1: subClassOf10 → 36 inferred, subClassOf50 → 1176,
+	// subClassOf100 → 4851 (all C(n-1,2)).
+	cases := map[int]int{10: 36, 20: 171, 50: 1176, 100: 4851}
+	for n, want := range cases {
+		if got := ChainClosureSize(n); got != want {
+			t.Errorf("ChainClosureSize(%d) = %d, want %d", n, got, want)
+		}
+		if got := closureSize(t, rules.RhoDF(), SubClassChain(n)); got != int64(want) {
+			t.Errorf("ρdf closure of chain %d = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestSubClassChainRDFSAddsLinearExtra(t *testing.T) {
+	// RDFS adds O(n) schema triples on top of the O(n²) closure
+	// (Table 1: subClassOf10 50 vs 36).
+	n := 50
+	rho := closureSize(t, rules.RhoDF(), SubClassChain(n))
+	rdfs := closureSize(t, rules.RDFS(), SubClassChain(n))
+	extra := rdfs - rho
+	if extra < int64(n) || extra > int64(5*n) {
+		t.Fatalf("RDFS extra = %d, want O(n) (n=%d)", extra, n)
+	}
+}
+
+func TestWikipediaDeterministic(t *testing.T) {
+	a := Wikipedia(Config{Triples: 2000, Seed: 7})
+	b := Wikipedia(Config{Triples: 2000, Seed: 7})
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("statement %d differs", i)
+		}
+	}
+	c := Wikipedia(Config{Triples: 2000, Seed: 8})
+	same := true
+	for i := range a {
+		if i < len(c) && a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestWikipediaSizeAndValidity(t *testing.T) {
+	for _, n := range []int{500, 5000} {
+		sts := Wikipedia(Config{Triples: n, Seed: 1})
+		if len(sts) < n || len(sts) > n+16 {
+			t.Fatalf("Wikipedia(%d) emitted %d statements", n, len(sts))
+		}
+		for _, s := range sts {
+			if !s.Valid() {
+				t.Fatalf("invalid statement %v", s)
+			}
+		}
+	}
+}
+
+func TestWikipediaClosureShape(t *testing.T) {
+	// Table 1 row "wikipedia": ρdf inferred ≈ 42% of input, all from
+	// subClassOf transitivity. Accept 25–70% at test scale.
+	sts := Wikipedia(Config{Triples: 10000, Seed: 3})
+	inferred := closureSize(t, rules.RhoDF(), sts)
+	ratio := float64(inferred) / float64(len(sts))
+	if ratio < 0.25 || ratio > 0.70 {
+		t.Fatalf("wikipedia ρdf closure ratio = %.2f (inferred %d of %d), want 0.25–0.70",
+			ratio, inferred, len(sts))
+	}
+	// RDFS closure exceeds the input size (Table 1: 555k on 458k input).
+	rdfs := closureSize(t, rules.RDFS(), sts)
+	if float64(rdfs) < 0.8*float64(len(sts)) {
+		t.Fatalf("wikipedia RDFS closure = %d on %d input, want ≥ 80%%", rdfs, len(sts))
+	}
+}
+
+func TestWordNetZeroRhoDFClosure(t *testing.T) {
+	// Table 1 row "wordnet": 0 triples inferred under ρdf.
+	sts := WordNet(Config{Triples: 5000, Seed: 3})
+	if got := closureSize(t, rules.RhoDF(), sts); got != 0 {
+		t.Fatalf("wordnet ρdf closure = %d, want 0", got)
+	}
+}
+
+func TestWordNetRDFSClosureLarge(t *testing.T) {
+	// Table 1: wordnet RDFS inferred ≈ 68% of input.
+	sts := WordNet(Config{Triples: 5000, Seed: 3})
+	inferred := closureSize(t, rules.RDFS(), sts)
+	ratio := float64(inferred) / float64(len(sts))
+	if ratio < 0.4 || ratio > 0.95 {
+		t.Fatalf("wordnet RDFS closure ratio = %.2f, want 0.4–0.95", ratio)
+	}
+}
+
+func TestWordNetValidityAndDeterminism(t *testing.T) {
+	a := WordNet(Config{Triples: 1000, Seed: 5})
+	b := WordNet(Config{Triples: 1000, Seed: 5})
+	if len(a) != len(b) {
+		t.Fatal("not deterministic")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("not deterministic")
+		}
+		if !a[i].Valid() {
+			t.Fatalf("invalid statement %v", a[i])
+		}
+	}
+}
+
+func TestSensorClosureDominatedByDomainRange(t *testing.T) {
+	sts := Sensor(Config{Triples: 4000, Seed: 5})
+	d, ts := encode(sts)
+	_ = d
+	st := storeFromTriples(t, ts)
+	// Count how much of the ρdf closure is rdf:type typings (dom/rng
+	// output): should be essentially all of it.
+	inferred := closureSize(t, rules.RhoDF(), sts)
+	if inferred == 0 {
+		t.Fatal("sensor dataset inferred nothing")
+	}
+	ratio := float64(inferred) / float64(len(sts))
+	// Observations are typed once (Observation) plus sensor/property/
+	// feature typings: a substantial closure.
+	if ratio < 0.10 || ratio > 1.0 {
+		t.Fatalf("sensor ρdf closure ratio = %.2f, want 0.10–1.0", ratio)
+	}
+	_ = st
+}
+
+func storeFromTriples(t *testing.T, ts []rdf.Triple) int {
+	t.Helper()
+	return len(ts)
+}
+
+func TestSensorDeterministicAndValid(t *testing.T) {
+	a := Sensor(Config{Triples: 1000, Seed: 9})
+	b := Sensor(Config{Triples: 1000, Seed: 9})
+	if len(a) != len(b) {
+		t.Fatal("not deterministic")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("not deterministic")
+		}
+		if !a[i].Valid() {
+			t.Fatalf("invalid statement %v", a[i])
+		}
+	}
+	// Schema includes subPropertyOf so prp-spo1 feeds prp-dom.
+	hasSP := false
+	for _, s := range a {
+		if s.P.Value == rdf.IRISubPropertyOf {
+			hasSP = true
+		}
+	}
+	if !hasSP {
+		t.Fatal("sensor schema missing subPropertyOf link")
+	}
+}
+
+func TestTinyConfigsDoNotPanic(t *testing.T) {
+	for _, n := range []int{0, 1, 9} {
+		if got := Wikipedia(Config{Triples: n}); len(got) == 0 {
+			t.Fatalf("Wikipedia(%d) empty", n)
+		}
+		if got := WordNet(Config{Triples: n}); len(got) == 0 {
+			t.Fatalf("WordNet(%d) empty", n)
+		}
+	}
+}

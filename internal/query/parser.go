@@ -1,0 +1,303 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"repro/internal/rdf"
+)
+
+// ParseSelect parses a small SPARQL-like SELECT query:
+//
+//	SELECT ?x ?label
+//	WHERE {
+//	  ?x a <http://example.org/Product> .
+//	  ?x rdfs:label ?label .
+//	}
+//
+// Supported syntax: `SELECT ?v … | SELECT *`, a WHERE block of triple
+// patterns terminated by `.`, variables (?name), IRIs in angle brackets,
+// the `a` keyword for rdf:type, plain/lang/typed literals, and the
+// built-in prefixes rdf:, rdfs:, owl: and xsd:.
+func ParseSelect(text string) (Query, error) {
+	p := &qparser{src: text}
+	return p.parse()
+}
+
+// builtinPrefixes are resolvable without PREFIX declarations.
+var builtinPrefixes = map[string]string{
+	"rdf":  rdf.RDFNS,
+	"rdfs": rdf.RDFSNS,
+	"owl":  rdf.OWLNS,
+	"xsd":  rdf.XSDNS,
+}
+
+type qparser struct {
+	src string
+	pos int
+}
+
+func (p *qparser) parse() (Query, error) {
+	var q Query
+	if !p.keyword("SELECT") {
+		return q, p.errf("expected SELECT")
+	}
+	p.skipWS()
+	if p.peek() == '*' {
+		p.pos++
+	} else {
+		for {
+			p.skipWS()
+			if p.peek() != '?' {
+				break
+			}
+			v, err := p.variable()
+			if err != nil {
+				return q, err
+			}
+			q.Select = append(q.Select, v)
+		}
+		if len(q.Select) == 0 {
+			return q, p.errf("SELECT needs variables or *")
+		}
+	}
+	if !p.keyword("WHERE") {
+		return q, p.errf("expected WHERE")
+	}
+	p.skipWS()
+	if p.peek() != '{' {
+		return q, p.errf("expected '{'")
+	}
+	p.pos++
+	for {
+		p.skipWS()
+		if p.peek() == '}' {
+			p.pos++
+			break
+		}
+		if p.pos >= len(p.src) {
+			return q, p.errf("unterminated WHERE block")
+		}
+		pat, err := p.pattern()
+		if err != nil {
+			return q, err
+		}
+		q.Patterns = append(q.Patterns, pat)
+	}
+	p.skipWS()
+	if p.pos < len(p.src) {
+		return q, p.errf("trailing content after '}'")
+	}
+	if len(q.Patterns) == 0 {
+		return q, p.errf("empty WHERE block")
+	}
+	return q, nil
+}
+
+func (p *qparser) pattern() (Pattern, error) {
+	s, err := p.node(false)
+	if err != nil {
+		return Pattern{}, err
+	}
+	pr, err := p.node(false)
+	if err != nil {
+		return Pattern{}, err
+	}
+	o, err := p.node(true)
+	if err != nil {
+		return Pattern{}, err
+	}
+	p.skipWS()
+	if p.peek() != '.' {
+		return Pattern{}, p.errf("expected '.' after pattern")
+	}
+	p.pos++
+	if !s.IsVar && s.Term.IsLiteral() {
+		return Pattern{}, p.errf("literal subject in pattern")
+	}
+	if !pr.IsVar && !pr.Term.IsIRI() {
+		return Pattern{}, p.errf("predicate must be an IRI or variable")
+	}
+	return Pattern{S: s, P: pr, O: o}, nil
+}
+
+func (p *qparser) node(allowLiteral bool) (Node, error) {
+	p.skipWS()
+	switch c := p.peek(); {
+	case c == '?':
+		v, err := p.variable()
+		if err != nil {
+			return Node{}, err
+		}
+		return V(v), nil
+	case c == '<':
+		end := strings.IndexByte(p.src[p.pos:], '>')
+		if end < 0 {
+			return Node{}, p.errf("unterminated IRI")
+		}
+		iri := p.src[p.pos+1 : p.pos+end]
+		p.pos += end + 1
+		if iri == "" {
+			return Node{}, p.errf("empty IRI")
+		}
+		return T(rdf.NewIRI(iri)), nil
+	case c == '"':
+		if !allowLiteral {
+			return Node{}, p.errf("literal not allowed here")
+		}
+		return p.literal()
+	case c == 'a' && p.wordBoundaryAfter(1):
+		p.pos++
+		return T(rdf.NewIRI(rdf.IRIType)), nil
+	case c == '_' && p.pos+1 < len(p.src) && p.src[p.pos+1] == ':':
+		p.pos += 2
+		start := p.pos
+		for p.pos < len(p.src) && isNameChar(p.src[p.pos]) {
+			p.pos++
+		}
+		if p.pos == start {
+			return Node{}, p.errf("empty blank node label")
+		}
+		return T(rdf.NewBlank(p.src[start:p.pos])), nil
+	default:
+		// prefixed name: prefix:local
+		start := p.pos
+		for p.pos < len(p.src) && isNameChar(p.src[p.pos]) {
+			p.pos++
+		}
+		if p.pos < len(p.src) && p.src[p.pos] == ':' {
+			prefix := p.src[start:p.pos]
+			ns, ok := builtinPrefixes[prefix]
+			if !ok {
+				return Node{}, p.errf("unknown prefix %q", prefix)
+			}
+			p.pos++
+			lstart := p.pos
+			for p.pos < len(p.src) && isNameChar(p.src[p.pos]) {
+				p.pos++
+			}
+			return T(rdf.NewIRI(ns + p.src[lstart:p.pos])), nil
+		}
+		return Node{}, p.errf("unexpected character %q", c)
+	}
+}
+
+func (p *qparser) literal() (Node, error) {
+	p.pos++ // consume opening quote
+	var b strings.Builder
+	for {
+		if p.pos >= len(p.src) {
+			return Node{}, p.errf("unterminated literal")
+		}
+		c := p.src[p.pos]
+		if c == '\\' && p.pos+1 < len(p.src) {
+			switch p.src[p.pos+1] {
+			case '"':
+				b.WriteByte('"')
+			case '\\':
+				b.WriteByte('\\')
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			default:
+				return Node{}, p.errf("bad escape in literal")
+			}
+			p.pos += 2
+			continue
+		}
+		if c == '"' {
+			p.pos++
+			break
+		}
+		b.WriteByte(c)
+		p.pos++
+	}
+	lex := b.String()
+	if p.peek() == '@' {
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.src) && (isNameChar(p.src[p.pos]) || p.src[p.pos] == '-') {
+			p.pos++
+		}
+		if p.pos == start {
+			return Node{}, p.errf("empty language tag")
+		}
+		return T(rdf.NewLangLiteral(lex, p.src[start:p.pos])), nil
+	}
+	if strings.HasPrefix(p.src[p.pos:], "^^") {
+		p.pos += 2
+		dt, err := p.node(false)
+		if err != nil {
+			return Node{}, err
+		}
+		if dt.IsVar || !dt.Term.IsIRI() {
+			return Node{}, p.errf("datatype must be an IRI")
+		}
+		return T(rdf.NewTypedLiteral(lex, dt.Term.Value)), nil
+	}
+	return T(rdf.NewLiteral(lex)), nil
+}
+
+func (p *qparser) variable() (string, error) {
+	p.pos++ // consume '?'
+	start := p.pos
+	for p.pos < len(p.src) && isNameChar(p.src[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", p.errf("empty variable name")
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *qparser) keyword(kw string) bool {
+	p.skipWS()
+	if len(p.src)-p.pos < len(kw) {
+		return false
+	}
+	if !strings.EqualFold(p.src[p.pos:p.pos+len(kw)], kw) {
+		return false
+	}
+	p.pos += len(kw)
+	return true
+}
+
+func (p *qparser) wordBoundaryAfter(n int) bool {
+	if p.pos+n >= len(p.src) {
+		return true
+	}
+	return unicode.IsSpace(rune(p.src[p.pos+n]))
+}
+
+func (p *qparser) peek() byte {
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *qparser) skipWS() {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == '#' {
+			for p.pos < len(p.src) && p.src[p.pos] != '\n' {
+				p.pos++
+			}
+			continue
+		}
+		if c != ' ' && c != '\t' && c != '\n' && c != '\r' {
+			return
+		}
+		p.pos++
+	}
+}
+
+func (p *qparser) errf(format string, args ...any) error {
+	return fmt.Errorf("query: at offset %d: %s", p.pos, fmt.Sprintf(format, args...))
+}
+
+func isNameChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_'
+}

@@ -1,0 +1,121 @@
+package query
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// bruteForce evaluates a query by enumerating every assignment of store
+// terms to variables and checking all patterns — the trivially-correct
+// oracle for the backtracking join.
+func bruteForce(st *store.Store, dict *rdf.Dictionary, q Query) map[string]bool {
+	vars := q.Vars()
+	proj := q.Select
+	if len(proj) == 0 {
+		proj = vars
+	}
+	// Candidate IDs: every ID appearing anywhere in the store.
+	idSet := map[rdf.ID]bool{}
+	st.ForEach(func(t rdf.Triple) bool {
+		idSet[t.S] = true
+		idSet[t.P] = true
+		idSet[t.O] = true
+		return true
+	})
+	var ids []rdf.ID
+	for id := range idSet {
+		ids = append(ids, id)
+	}
+	results := map[string]bool{}
+	assignment := map[string]rdf.ID{}
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(vars) {
+			for _, p := range q.Patterns {
+				resolve := func(n Node) rdf.ID {
+					if n.IsVar {
+						return assignment[n.Var]
+					}
+					id, _ := dict.Lookup(n.Term)
+					return id
+				}
+				if !st.Contains(rdf.T(resolve(p.S), resolve(p.P), resolve(p.O))) {
+					return
+				}
+			}
+			key := ""
+			for _, v := range proj {
+				term, _ := dict.Term(assignment[v])
+				key += term.String() + "|"
+			}
+			results[key] = true
+			return
+		}
+		for _, id := range ids {
+			assignment[vars[i]] = id
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return results
+}
+
+// Property: the backtracking join returns exactly the brute-force
+// solution set for random tiny stores and random 1-3 pattern queries.
+func TestExecuteMatchesBruteForceProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dict := rdf.NewDictionary()
+		st := store.New()
+		term := func(i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("http://e/t%d", i)) }
+		nTerms := rng.Intn(5) + 3
+		for i := 0; i < rng.Intn(12)+4; i++ {
+			st.Add(dict.EncodeStatement(rdf.NewStatement(
+				term(rng.Intn(nTerms)), term(rng.Intn(3)), term(rng.Intn(nTerms)))))
+		}
+		varNames := []string{"x", "y", "z"}
+		randNode := func() Node {
+			if rng.Intn(2) == 0 {
+				return V(varNames[rng.Intn(len(varNames))])
+			}
+			return T(term(rng.Intn(nTerms)))
+		}
+		var q Query
+		for i := 0; i < rng.Intn(3)+1; i++ {
+			q.Patterns = append(q.Patterns, Pattern{randNode(), randNode(), randNode()})
+		}
+		got, err := Execute(st, dict, q)
+		if err != nil {
+			return false
+		}
+		want := bruteForce(st, dict, q)
+		if len(got) != len(want) {
+			t.Logf("seed %d: got %d solutions, brute force %d\nquery: %v",
+				seed, len(got), len(want), q.Patterns)
+			return false
+		}
+		proj := q.Select
+		if len(proj) == 0 {
+			proj = q.Vars()
+		}
+		for _, b := range got {
+			key := ""
+			for _, v := range proj {
+				key += b[v].String() + "|"
+			}
+			if !want[key] {
+				t.Logf("seed %d: spurious solution %v", seed, b)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,272 @@
+// Package query implements basic graph pattern (BGP) matching over the
+// triple store: conjunctive queries with variables, evaluated by
+// backtracking joins with a greedy selectivity-based pattern order.
+//
+// Slider is a materialisation reasoner — after inference, answering a
+// conjunctive query is pure pattern matching against the store, which is
+// exactly the query-time cheapness the paper chooses forward chaining
+// for. The package also ships a small SPARQL-like SELECT parser
+// (ParseSelect) so applications and the CLI can express queries as text.
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// Node is one position of a triple pattern: either a variable or a ground
+// term.
+type Node struct {
+	// Var is the variable name (without '?') when IsVar.
+	Var   string
+	IsVar bool
+	// Term is the ground term when !IsVar.
+	Term rdf.Term
+}
+
+// V returns a variable node.
+func V(name string) Node { return Node{Var: name, IsVar: true} }
+
+// T returns a ground-term node.
+func T(t rdf.Term) Node { return Node{Term: t} }
+
+// String renders the node in query syntax.
+func (n Node) String() string {
+	if n.IsVar {
+		return "?" + n.Var
+	}
+	return n.Term.String()
+}
+
+// Pattern is one triple pattern.
+type Pattern struct {
+	S, P, O Node
+}
+
+// String renders the pattern in query syntax.
+func (p Pattern) String() string {
+	return p.S.String() + " " + p.P.String() + " " + p.O.String() + " ."
+}
+
+// Vars returns the distinct variable names in the pattern.
+func (p Pattern) Vars() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, n := range []Node{p.S, p.P, p.O} {
+		if n.IsVar && !seen[n.Var] {
+			seen[n.Var] = true
+			out = append(out, n.Var)
+		}
+	}
+	return out
+}
+
+// Query is a basic graph pattern with a projection. An empty Select
+// projects all variables.
+type Query struct {
+	Select   []string
+	Patterns []Pattern
+}
+
+// Vars returns the distinct variable names across all patterns, in first
+// appearance order.
+func (q Query) Vars() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, p := range q.Patterns {
+		for _, v := range p.Vars() {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// Binding maps variable names to terms.
+type Binding map[string]rdf.Term
+
+// Execute evaluates the query against the store, resolving ground terms
+// through dict. Results are one Binding per solution, restricted to the
+// projection, in deterministic (sorted) order with duplicates removed.
+func Execute(st *store.Store, dict *rdf.Dictionary, q Query) ([]Binding, error) {
+	if len(q.Patterns) == 0 {
+		return nil, fmt.Errorf("query: empty basic graph pattern")
+	}
+	allVars := q.Vars()
+	proj := q.Select
+	if len(proj) == 0 {
+		proj = allVars
+	}
+	for _, v := range proj {
+		found := false
+		for _, av := range allVars {
+			if v == av {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("query: projected variable ?%s not used in any pattern", v)
+		}
+	}
+
+	// Encode ground terms once. An unknown ground term means an empty
+	// result, not an error.
+	enc := make([]idPattern, len(q.Patterns))
+	for i, pat := range q.Patterns {
+		var ip idPattern
+		var ok bool
+		if ip.s, ip.sv, ok = encodeNode(dict, pat.S); !ok {
+			return nil, nil
+		}
+		if ip.p, ip.pv, ok = encodeNode(dict, pat.P); !ok {
+			return nil, nil
+		}
+		if ip.o, ip.ov, ok = encodeNode(dict, pat.O); !ok {
+			return nil, nil
+		}
+		enc[i] = ip
+	}
+
+	// Backtracking join over ID bindings.
+	results := map[string]Binding{}
+	binding := map[string]rdf.ID{}
+	order := planOrder(st, enc)
+
+	var walk func(step int)
+	walk = func(step int) {
+		if step == len(order) {
+			b := Binding{}
+			var key strings.Builder
+			for _, v := range proj {
+				term, _ := dict.Term(binding[v])
+				b[v] = term
+				key.WriteString(term.String())
+				key.WriteByte('|')
+			}
+			results[key.String()] = b
+			return
+		}
+		ip := enc[order[step]]
+		resolve := func(id rdf.ID, v string) rdf.ID {
+			if v == "" {
+				return id
+			}
+			if bound, ok := binding[v]; ok {
+				return bound
+			}
+			return rdf.Any
+		}
+		s := resolve(ip.s, ip.sv)
+		p := resolve(ip.p, ip.pv)
+		o := resolve(ip.o, ip.ov)
+		for _, m := range st.Match(rdf.T(s, p, o)) {
+			var assigned []string
+			bind := func(v string, id rdf.ID) bool {
+				if v == "" {
+					return true
+				}
+				if bound, ok := binding[v]; ok {
+					return bound == id
+				}
+				binding[v] = id
+				assigned = append(assigned, v)
+				return true
+			}
+			// Same variable twice in one pattern must agree.
+			ok := bind(ip.sv, m.S) && bind(ip.pv, m.P) && bind(ip.ov, m.O)
+			if ok {
+				walk(step + 1)
+			}
+			for _, v := range assigned {
+				delete(binding, v)
+			}
+		}
+	}
+	walk(0)
+
+	keys := make([]string, 0, len(results))
+	for k := range results {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Binding, 0, len(results))
+	for _, k := range keys {
+		out = append(out, results[k])
+	}
+	return out, nil
+}
+
+// encodeNode resolves a ground node through the dictionary. ok=false
+// means the term is unknown (query has no solutions).
+func encodeNode(dict *rdf.Dictionary, n Node) (rdf.ID, string, bool) {
+	if n.IsVar {
+		return rdf.Any, n.Var, true
+	}
+	id, ok := dict.Lookup(n.Term)
+	if !ok {
+		return rdf.Any, "", false
+	}
+	return id, "", true
+}
+
+// idPattern is a triple pattern with ground terms resolved to IDs (Any
+// for variables) and variable names kept alongside ("" when ground).
+type idPattern struct {
+	s, p, o    rdf.ID
+	sv, pv, ov string
+}
+
+// planOrder orders patterns greedily: most ground positions first,
+// breaking ties by smaller predicate extent; patterns sharing variables
+// with already-placed ones are preferred, keeping joins connected.
+func planOrder(st *store.Store, pats []idPattern) []int {
+	remaining := map[int]bool{}
+	for i := range pats {
+		remaining[i] = true
+	}
+	bound := map[string]bool{}
+	var order []int
+	score := func(i int) (int, int) {
+		ip := pats[i]
+		ground := 0
+		for _, v := range []string{ip.sv, ip.pv, ip.ov} {
+			if v == "" || bound[v] {
+				ground++
+			}
+		}
+		extent := 1 << 30
+		if ip.pv == "" && ip.p != rdf.Any {
+			extent = st.PredicateLen(ip.p)
+		}
+		return ground, extent
+	}
+	for len(remaining) > 0 {
+		best, bestGround, bestExtent := -1, -1, 1<<31-1
+		idxs := make([]int, 0, len(remaining))
+		for i := range remaining {
+			idxs = append(idxs, i)
+		}
+		sort.Ints(idxs) // determinism
+		for _, i := range idxs {
+			g, e := score(i)
+			if g > bestGround || (g == bestGround && e < bestExtent) {
+				best, bestGround, bestExtent = i, g, e
+			}
+		}
+		order = append(order, best)
+		delete(remaining, best)
+		for _, v := range []string{pats[best].sv, pats[best].pv, pats[best].ov} {
+			if v != "" {
+				bound[v] = true
+			}
+		}
+	}
+	return order
+}

@@ -1,0 +1,168 @@
+package rdf
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Dictionary maps RDF terms to dense integer IDs and back. It plays the
+// role of Slider's input-manager dictionary: "expensive URIs" are
+// registered once and every downstream component works on integers.
+//
+// A Dictionary is safe for concurrent use by multiple goroutines; lookups
+// take a read lock and only the first encounter of a term takes the write
+// lock.
+type Dictionary struct {
+	mu     sync.RWMutex
+	byTerm map[string]ID
+	// byKind holds the reverse mapping, one slice per term kind, indexed
+	// by sequence number minus one.
+	iris     []Term
+	blanks   []Term
+	literals []Term
+}
+
+// NewDictionary returns a dictionary pre-seeded with the well-known RDF
+// and RDFS vocabulary so that the IDType, IDSubClassOf, … constants are
+// valid for every dictionary.
+func NewDictionary() *Dictionary {
+	d := &Dictionary{
+		byTerm: make(map[string]ID, 1024),
+		iris:   make([]Term, 0, 1024),
+	}
+	for _, t := range wellKnown {
+		d.Encode(t)
+	}
+	return d
+}
+
+// Encode returns the ID for the term, assigning a fresh one on first
+// encounter.
+func (d *Dictionary) Encode(t Term) ID {
+	key := t.String()
+	d.mu.RLock()
+	id, ok := d.byTerm[key]
+	d.mu.RUnlock()
+	if ok {
+		return id
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id, ok = d.byTerm[key]; ok {
+		return id
+	}
+	var seq uint64
+	switch t.Kind {
+	case TermIRI:
+		d.iris = append(d.iris, t)
+		seq = uint64(len(d.iris))
+	case TermBlank:
+		d.blanks = append(d.blanks, t)
+		seq = uint64(len(d.blanks))
+	case TermLiteral:
+		d.literals = append(d.literals, t)
+		seq = uint64(len(d.literals))
+	}
+	id = makeID(t.Kind, seq)
+	d.byTerm[key] = id
+	return id
+}
+
+// EncodeIRI is shorthand for Encode(NewIRI(iri)).
+func (d *Dictionary) EncodeIRI(iri string) ID { return d.Encode(NewIRI(iri)) }
+
+// Lookup returns the ID for the term without assigning a new one.
+func (d *Dictionary) Lookup(t Term) (ID, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	id, ok := d.byTerm[t.String()]
+	return id, ok
+}
+
+// Term returns the term for an ID.
+func (d *Dictionary) Term(id ID) (Term, bool) {
+	if id == Any {
+		return Term{}, false
+	}
+	seq := id.seq()
+	if seq == 0 {
+		return Term{}, false
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var pool []Term
+	switch id.Kind() {
+	case TermIRI:
+		pool = d.iris
+	case TermBlank:
+		pool = d.blanks
+	case TermLiteral:
+		pool = d.literals
+	}
+	if seq > uint64(len(pool)) {
+		return Term{}, false
+	}
+	return pool[seq-1], true
+}
+
+// Len returns the number of distinct terms registered (including the
+// well-known vocabulary).
+func (d *Dictionary) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.iris) + len(d.blanks) + len(d.literals)
+}
+
+// ForEach calls f for every registered term (including the well-known
+// vocabulary) until f returns false. Iteration is in sequence order
+// within each kind (IRIs, then blanks, then literals), so re-encoding the
+// terms into a fresh dictionary in this order reproduces identical IDs —
+// the property snapshot persistence relies on.
+func (d *Dictionary) ForEach(f func(ID, Term) bool) {
+	d.mu.RLock()
+	iris := d.iris
+	blanks := d.blanks
+	literals := d.literals
+	d.mu.RUnlock()
+	for i, t := range iris {
+		if !f(makeID(TermIRI, uint64(i+1)), t) {
+			return
+		}
+	}
+	for i, t := range blanks {
+		if !f(makeID(TermBlank, uint64(i+1)), t) {
+			return
+		}
+	}
+	for i, t := range literals {
+		if !f(makeID(TermLiteral, uint64(i+1)), t) {
+			return
+		}
+	}
+}
+
+// EncodeStatement encodes all three terms of a statement.
+func (d *Dictionary) EncodeStatement(s Statement) Triple {
+	return Triple{S: d.Encode(s.S), P: d.Encode(s.P), O: d.Encode(s.O)}
+}
+
+// DecodeTriple resolves all three IDs of a triple. It reports ok=false if
+// any component is unknown.
+func (d *Dictionary) DecodeTriple(t Triple) (Statement, bool) {
+	s, ok1 := d.Term(t.S)
+	p, ok2 := d.Term(t.P)
+	o, ok3 := d.Term(t.O)
+	return Statement{S: s, P: p, O: o}, ok1 && ok2 && ok3
+}
+
+// Format renders a triple using the dictionary, falling back to raw IDs
+// for unknown components. Intended for logs and error messages.
+func (d *Dictionary) Format(t Triple) string {
+	part := func(id ID) string {
+		if term, ok := d.Term(id); ok {
+			return term.String()
+		}
+		return fmt.Sprintf("?%d", uint64(id))
+	}
+	return part(t.S) + " " + part(t.P) + " " + part(t.O) + " ."
+}

@@ -1,0 +1,176 @@
+// Package rdf provides the RDF data model used throughout the reasoner:
+// terms (IRIs, blank nodes, literals), statements of terms, dictionary
+// encoding of terms to dense integer IDs, and ID-level triples.
+//
+// The hot path of the reasoner (the triple store and the inference rules)
+// works exclusively on dictionary-encoded Triple values; Term and Statement
+// exist at the edges (parsing, serialisation, the public API).
+package rdf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TermKind discriminates the three kinds of RDF terms.
+type TermKind uint8
+
+const (
+	// TermIRI is an IRI reference, e.g. <http://example.org/a>.
+	TermIRI TermKind = iota
+	// TermBlank is a blank node, e.g. _:b0.
+	TermBlank
+	// TermLiteral is a literal with optional language tag or datatype.
+	TermLiteral
+)
+
+// String returns a human-readable name for the kind.
+func (k TermKind) String() string {
+	switch k {
+	case TermIRI:
+		return "iri"
+	case TermBlank:
+		return "blank"
+	case TermLiteral:
+		return "literal"
+	default:
+		return fmt.Sprintf("TermKind(%d)", uint8(k))
+	}
+}
+
+// Term is a single RDF term. The zero value is the empty IRI, which is not
+// a valid term; use the constructors.
+type Term struct {
+	// Kind discriminates the union below.
+	Kind TermKind
+	// Value holds the IRI (without angle brackets), the blank node label
+	// (without the "_:" prefix) or the literal's lexical form.
+	Value string
+	// Lang is the language tag for language-tagged literals ("" otherwise).
+	Lang string
+	// Datatype is the datatype IRI for typed literals ("" otherwise).
+	Datatype string
+}
+
+// NewIRI returns an IRI term.
+func NewIRI(iri string) Term { return Term{Kind: TermIRI, Value: iri} }
+
+// NewBlank returns a blank node term with the given label (no "_:" prefix).
+func NewBlank(label string) Term { return Term{Kind: TermBlank, Value: label} }
+
+// NewLiteral returns a plain literal term.
+func NewLiteral(lexical string) Term { return Term{Kind: TermLiteral, Value: lexical} }
+
+// NewLangLiteral returns a language-tagged literal term.
+func NewLangLiteral(lexical, lang string) Term {
+	return Term{Kind: TermLiteral, Value: lexical, Lang: lang}
+}
+
+// NewTypedLiteral returns a literal term with an explicit datatype IRI.
+func NewTypedLiteral(lexical, datatype string) Term {
+	return Term{Kind: TermLiteral, Value: lexical, Datatype: datatype}
+}
+
+// IsIRI reports whether the term is an IRI.
+func (t Term) IsIRI() bool { return t.Kind == TermIRI }
+
+// IsBlank reports whether the term is a blank node.
+func (t Term) IsBlank() bool { return t.Kind == TermBlank }
+
+// IsLiteral reports whether the term is a literal.
+func (t Term) IsLiteral() bool { return t.Kind == TermLiteral }
+
+// IsZero reports whether the term is the zero value (an empty IRI), which
+// is not a valid RDF term.
+func (t Term) IsZero() bool { return t == Term{} }
+
+// String renders the term in canonical N-Triples syntax. The canonical
+// string doubles as the dictionary key, so two terms are equal exactly
+// when their String values are equal.
+func (t Term) String() string {
+	var b strings.Builder
+	t.append(&b)
+	return b.String()
+}
+
+func (t Term) append(b *strings.Builder) {
+	switch t.Kind {
+	case TermIRI:
+		b.WriteByte('<')
+		b.WriteString(t.Value)
+		b.WriteByte('>')
+	case TermBlank:
+		b.WriteString("_:")
+		b.WriteString(t.Value)
+	case TermLiteral:
+		b.WriteByte('"')
+		escapeLiteral(b, t.Value)
+		b.WriteByte('"')
+		if t.Lang != "" {
+			b.WriteByte('@')
+			b.WriteString(t.Lang)
+		} else if t.Datatype != "" {
+			b.WriteString("^^<")
+			b.WriteString(t.Datatype)
+			b.WriteByte('>')
+		}
+	}
+}
+
+// escapeLiteral writes s with N-Triples string escaping applied.
+func escapeLiteral(b *strings.Builder, s string) {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch c {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+}
+
+// Statement is a triple of terms: the parsed (non-encoded) representation
+// of an RDF statement as read from, or written to, a document.
+type Statement struct {
+	S, P, O Term
+}
+
+// NewStatement builds a Statement from three terms.
+func NewStatement(s, p, o Term) Statement { return Statement{S: s, P: p, O: o} }
+
+// String renders the statement as a single N-Triples line (without newline).
+func (s Statement) String() string {
+	var b strings.Builder
+	s.S.append(&b)
+	b.WriteByte(' ')
+	s.P.append(&b)
+	b.WriteByte(' ')
+	s.O.append(&b)
+	b.WriteString(" .")
+	return b.String()
+}
+
+// Valid reports whether the statement is structurally valid RDF: the
+// subject is an IRI or blank node, the predicate is an IRI, and the object
+// is any non-zero term.
+func (s Statement) Valid() bool {
+	if s.S.IsZero() || s.P.IsZero() || s.O.IsZero() {
+		return false
+	}
+	if s.S.Kind == TermLiteral {
+		return false
+	}
+	if s.P.Kind != TermIRI {
+		return false
+	}
+	return true
+}

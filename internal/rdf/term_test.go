@@ -1,0 +1,178 @@
+package rdf
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTermConstructorsAndPredicates(t *testing.T) {
+	iri := NewIRI("http://example.org/a")
+	if !iri.IsIRI() || iri.IsBlank() || iri.IsLiteral() {
+		t.Fatalf("IRI kind predicates wrong: %+v", iri)
+	}
+	b := NewBlank("b0")
+	if !b.IsBlank() || b.IsIRI() || b.IsLiteral() {
+		t.Fatalf("blank kind predicates wrong: %+v", b)
+	}
+	l := NewLiteral("hello")
+	if !l.IsLiteral() || l.IsIRI() || l.IsBlank() {
+		t.Fatalf("literal kind predicates wrong: %+v", l)
+	}
+}
+
+func TestTermStringCanonicalForms(t *testing.T) {
+	cases := []struct {
+		term Term
+		want string
+	}{
+		{NewIRI("http://example.org/a"), "<http://example.org/a>"},
+		{NewBlank("b0"), "_:b0"},
+		{NewLiteral("hello"), `"hello"`},
+		{NewLangLiteral("bonjour", "fr"), `"bonjour"@fr`},
+		{NewTypedLiteral("42", IRIXSDInteger), `"42"^^<http://www.w3.org/2001/XMLSchema#integer>`},
+		{NewLiteral(`say "hi"`), `"say \"hi\""`},
+		{NewLiteral("a\\b"), `"a\\b"`},
+		{NewLiteral("line1\nline2"), `"line1\nline2"`},
+		{NewLiteral("tab\there"), `"tab\there"`},
+		{NewLiteral("cr\rend"), `"cr\rend"`},
+	}
+	for _, c := range cases {
+		if got := c.term.String(); got != c.want {
+			t.Errorf("String(%+v) = %q, want %q", c.term, got, c.want)
+		}
+	}
+}
+
+func TestTermStringIsInjectiveAcrossKinds(t *testing.T) {
+	// The canonical string doubles as the dictionary key, so terms of
+	// different kinds with the same Value must render differently.
+	terms := []Term{
+		NewIRI("x"),
+		NewBlank("x"),
+		NewLiteral("x"),
+		NewLangLiteral("x", "en"),
+		NewTypedLiteral("x", "http://example.org/dt"),
+	}
+	seen := make(map[string]Term)
+	for _, term := range terms {
+		key := term.String()
+		if prev, dup := seen[key]; dup {
+			t.Fatalf("terms %+v and %+v share canonical string %q", prev, term, key)
+		}
+		seen[key] = term
+	}
+}
+
+func TestTermIsZero(t *testing.T) {
+	var zero Term
+	if !zero.IsZero() {
+		t.Fatal("zero Term not reported as zero")
+	}
+	if NewIRI("a").IsZero() {
+		t.Fatal("non-zero term reported as zero")
+	}
+}
+
+func TestTermKindString(t *testing.T) {
+	if TermIRI.String() != "iri" || TermBlank.String() != "blank" || TermLiteral.String() != "literal" {
+		t.Fatal("TermKind.String mismatch")
+	}
+	if !strings.Contains(TermKind(9).String(), "9") {
+		t.Fatal("unknown kind should include numeric value")
+	}
+}
+
+func TestStatementString(t *testing.T) {
+	st := NewStatement(NewIRI("http://e/s"), NewIRI("http://e/p"), NewLiteral("o"))
+	want := `<http://e/s> <http://e/p> "o" .`
+	if got := st.String(); got != want {
+		t.Fatalf("Statement.String() = %q, want %q", got, want)
+	}
+}
+
+func TestStatementValid(t *testing.T) {
+	iri := NewIRI("http://e/x")
+	cases := []struct {
+		st   Statement
+		want bool
+	}{
+		{NewStatement(iri, iri, iri), true},
+		{NewStatement(NewBlank("b"), iri, NewLiteral("v")), true},
+		{NewStatement(NewLiteral("bad"), iri, iri), false}, // literal subject
+		{NewStatement(iri, NewBlank("b"), iri), false},     // blank predicate
+		{NewStatement(iri, NewLiteral("p"), iri), false},   // literal predicate
+		{NewStatement(Term{}, iri, iri), false},            // zero subject
+		{NewStatement(iri, iri, Term{}), false},            // zero object
+		{Statement{}, false},                               // all zero
+	}
+	for i, c := range cases {
+		if got := c.st.Valid(); got != c.want {
+			t.Errorf("case %d: Valid() = %v, want %v (%v)", i, got, c.want, c.st)
+		}
+	}
+}
+
+func TestTripleMatches(t *testing.T) {
+	tr := T(10, 20, 30)
+	cases := []struct {
+		pattern Triple
+		want    bool
+	}{
+		{T(Any, Any, Any), true},
+		{T(10, Any, Any), true},
+		{T(Any, 20, Any), true},
+		{T(Any, Any, 30), true},
+		{T(10, 20, 30), true},
+		{T(11, Any, Any), false},
+		{T(Any, 21, Any), false},
+		{T(Any, Any, 31), false},
+		{T(10, 20, 31), false},
+	}
+	for i, c := range cases {
+		if got := tr.Matches(c.pattern); got != c.want {
+			t.Errorf("case %d: Matches(%v) = %v, want %v", i, c.pattern, got, c.want)
+		}
+	}
+}
+
+func TestIDKindBits(t *testing.T) {
+	iri := makeID(TermIRI, 5)
+	blank := makeID(TermBlank, 5)
+	lit := makeID(TermLiteral, 5)
+	if iri.Kind() != TermIRI || blank.Kind() != TermBlank || lit.Kind() != TermLiteral {
+		t.Fatalf("kind round-trip failed: %v %v %v", iri.Kind(), blank.Kind(), lit.Kind())
+	}
+	if iri == blank || blank == lit || iri == lit {
+		t.Fatal("IDs of different kinds with equal seq must differ")
+	}
+	if !lit.IsLiteral() || iri.IsLiteral() || blank.IsLiteral() {
+		t.Fatal("IsLiteral misreported")
+	}
+	if iri.seq() != 5 || blank.seq() != 5 || lit.seq() != 5 {
+		t.Fatal("seq extraction failed")
+	}
+	if !Any.IsAny() || iri.IsAny() {
+		t.Fatal("IsAny misreported")
+	}
+}
+
+func TestTripleValid(t *testing.T) {
+	s := makeID(TermIRI, 100)
+	p := makeID(TermIRI, 101)
+	o := makeID(TermLiteral, 1)
+	if !T(s, p, o).Valid() {
+		t.Fatal("valid triple reported invalid")
+	}
+	if T(o, p, s).Valid() {
+		t.Fatal("literal subject accepted")
+	}
+	if T(s, o, s).Valid() {
+		t.Fatal("literal predicate accepted")
+	}
+	if T(s, makeID(TermBlank, 1), o).Valid() {
+		t.Fatal("blank predicate accepted")
+	}
+	if T(Any, p, o).Valid() || T(s, Any, o).Valid() || T(s, p, Any).Valid() {
+		t.Fatal("wildcard component accepted")
+	}
+}

@@ -1,0 +1,108 @@
+package rdf
+
+// Namespace prefixes for the vocabularies the reasoner knows about.
+const (
+	RDFNS  = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+	RDFSNS = "http://www.w3.org/2000/01/rdf-schema#"
+	XSDNS  = "http://www.w3.org/2001/XMLSchema#"
+	OWLNS  = "http://www.w3.org/2002/07/owl#"
+)
+
+// Well-known IRI strings used by the ρdf and RDFS rulesets.
+const (
+	IRIType                    = RDFNS + "type"
+	IRIProperty                = RDFNS + "Property"
+	IRIXMLLiteral              = RDFNS + "XMLLiteral"
+	IRIStatement               = RDFNS + "Statement"
+	IRISubClassOf              = RDFSNS + "subClassOf"
+	IRISubPropertyOf           = RDFSNS + "subPropertyOf"
+	IRIDomain                  = RDFSNS + "domain"
+	IRIRange                   = RDFSNS + "range"
+	IRIResource                = RDFSNS + "Resource"
+	IRIClass                   = RDFSNS + "Class"
+	IRILiteral                 = RDFSNS + "Literal"
+	IRIDatatype                = RDFSNS + "Datatype"
+	IRIContainerMembershipProp = RDFSNS + "ContainerMembershipProperty"
+	IRIMember                  = RDFSNS + "member"
+	IRILabel                   = RDFSNS + "label"
+	IRIComment                 = RDFSNS + "comment"
+	IRISeeAlso                 = RDFSNS + "seeAlso"
+	IRIIsDefinedBy             = RDFSNS + "isDefinedBy"
+	IRIXSDString               = XSDNS + "string"
+	IRIXSDInteger              = XSDNS + "integer"
+
+	// OWL vocabulary for the OWL-Horst-style extension fragment.
+	IRISameAs             = OWLNS + "sameAs"
+	IRIEquivalentClass    = OWLNS + "equivalentClass"
+	IRIEquivalentProperty = OWLNS + "equivalentProperty"
+	IRIInverseOf          = OWLNS + "inverseOf"
+	IRISymmetricProperty  = OWLNS + "SymmetricProperty"
+	IRITransitiveProperty = OWLNS + "TransitiveProperty"
+)
+
+// Pre-assigned IDs for the well-known vocabulary. Every Dictionary
+// registers these terms first, in this exact order, so rule
+// implementations can compare predicate IDs against the constants
+// directly without a dictionary in hand.
+const (
+	IDType ID = iota + 1
+	IDProperty
+	IDXMLLiteral
+	IDStatement
+	IDSubClassOf
+	IDSubPropertyOf
+	IDDomain
+	IDRange
+	IDResource
+	IDClass
+	IDLiteralClass // rdfs:Literal (the class, not a literal term)
+	IDDatatype
+	IDContainerMembershipProp
+	IDMember
+	IDLabel
+	IDComment
+	IDSeeAlso
+	IDIsDefinedBy
+	IDXSDString
+	IDXSDInteger
+	IDSameAs
+	IDEquivalentClass
+	IDEquivalentProperty
+	IDInverseOf
+	IDSymmetricProperty
+	IDTransitiveProperty
+
+	// FirstCustomID is the first ID handed out to user terms.
+	FirstCustomID
+)
+
+// wellKnown lists the vocabulary terms in ID order (index i holds the term
+// for ID i+1). NewDictionary seeds itself from this table.
+var wellKnown = []Term{
+	NewIRI(IRIType),
+	NewIRI(IRIProperty),
+	NewIRI(IRIXMLLiteral),
+	NewIRI(IRIStatement),
+	NewIRI(IRISubClassOf),
+	NewIRI(IRISubPropertyOf),
+	NewIRI(IRIDomain),
+	NewIRI(IRIRange),
+	NewIRI(IRIResource),
+	NewIRI(IRIClass),
+	NewIRI(IRILiteral),
+	NewIRI(IRIDatatype),
+	NewIRI(IRIContainerMembershipProp),
+	NewIRI(IRIMember),
+	NewIRI(IRILabel),
+	NewIRI(IRIComment),
+	NewIRI(IRISeeAlso),
+	NewIRI(IRIIsDefinedBy),
+	NewIRI(IRIXSDString),
+	NewIRI(IRIXSDInteger),
+	NewIRI(IRISameAs),
+	NewIRI(IRIEquivalentClass),
+	NewIRI(IRIEquivalentProperty),
+	NewIRI(IRIInverseOf),
+	NewIRI(IRISymmetricProperty),
+	NewIRI(IRITransitiveProperty),
+}

@@ -1,0 +1,78 @@
+package rdf
+
+import "testing"
+
+func TestWellKnownTableIsConsistent(t *testing.T) {
+	if len(wellKnown) != int(FirstCustomID)-1 {
+		t.Fatalf("wellKnown has %d entries, FirstCustomID is %d", len(wellKnown), FirstCustomID)
+	}
+	// Every well-known term is an IRI (so IDs equal their index + 1).
+	for i, term := range wellKnown {
+		if !term.IsIRI() {
+			t.Fatalf("well-known term %d (%v) is not an IRI", i, term)
+		}
+	}
+	// No duplicates.
+	seen := map[string]bool{}
+	for _, term := range wellKnown {
+		if seen[term.Value] {
+			t.Fatalf("duplicate well-known IRI %s", term.Value)
+		}
+		seen[term.Value] = true
+	}
+}
+
+func TestOWLVocabularyIDs(t *testing.T) {
+	d := NewDictionary()
+	cases := []struct {
+		iri  string
+		want ID
+	}{
+		{IRISameAs, IDSameAs},
+		{IRIEquivalentClass, IDEquivalentClass},
+		{IRIEquivalentProperty, IDEquivalentProperty},
+		{IRIInverseOf, IDInverseOf},
+		{IRISymmetricProperty, IDSymmetricProperty},
+		{IRITransitiveProperty, IDTransitiveProperty},
+	}
+	for _, c := range cases {
+		if got := d.EncodeIRI(c.iri); got != c.want {
+			t.Errorf("EncodeIRI(%s) = %d, want %d", c.iri, got, c.want)
+		}
+	}
+}
+
+func TestNamespaceConstants(t *testing.T) {
+	for _, ns := range []string{RDFNS, RDFSNS, XSDNS, OWLNS} {
+		if ns == "" || ns[len(ns)-1] != '#' {
+			t.Errorf("namespace %q should end in #", ns)
+		}
+	}
+}
+
+func TestDictionaryForEachOrderSupportsReencoding(t *testing.T) {
+	d := NewDictionary()
+	d.Encode(NewIRI("http://e/x"))
+	d.Encode(NewLiteral("lit"))
+	d.Encode(NewBlank("b"))
+	d.Encode(NewIRI("http://e/y"))
+
+	fresh := NewDictionary()
+	count := 0
+	d.ForEach(func(id ID, term Term) bool {
+		count++
+		if got := fresh.Encode(term); got != id {
+			t.Fatalf("re-encoding %v gave %d, want %d", term, got, id)
+		}
+		return true
+	})
+	if count != d.Len() {
+		t.Fatalf("ForEach visited %d of %d", count, d.Len())
+	}
+	// Early stop.
+	n := 0
+	d.ForEach(func(ID, Term) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}

@@ -1,0 +1,66 @@
+package reasoner
+
+// Adaptive buffer scheduling — the paper's second future-work item:
+// "migrating from 'static' plans produced by traditional optimizers to
+// run-time dynamic plans … learning from ontologies structures and
+// previously executed runs".
+//
+// The policy is per rule module and deliberately simple: the engine
+// watches each module's execution productivity (fresh triples per
+// processed delta triple) and adjusts that module's buffer capacity at
+// run time.
+//
+//   - A module whose instances keep producing nothing (several
+//     consecutive zero-fresh executions) is paying scheduling overhead
+//     for no knowledge; its buffer grows (up to MaxAdaptiveBuffer) so it
+//     runs less often over larger batches.
+//   - A module whose instances are productive shrinks back toward the
+//     configured capacity, restoring reactivity while it matters.
+//
+// The policy never affects completeness — capacity only changes *when*
+// a rule runs, never whether its buffered triples are processed — which
+// TestAdaptiveClosureUnchanged verifies against the batch oracle.
+
+// Adaptive-policy bounds.
+const (
+	// MaxAdaptiveBuffer caps how far an unproductive module's buffer can
+	// grow.
+	MaxAdaptiveBuffer = 8192
+	// adaptiveZeroStreak is how many consecutive fruitless executions
+	// trigger a capacity doubling.
+	adaptiveZeroStreak = 3
+)
+
+// adapt implements the policy; called after every execution of m with the
+// number of fresh triples that execution contributed.
+func (e *Engine) adapt(m *module, fresh int) {
+	if fresh == 0 {
+		if m.zeroStreak.Add(1) >= adaptiveZeroStreak {
+			m.zeroStreak.Store(0)
+			cur := m.buf.capacity()
+			if cur < MaxAdaptiveBuffer {
+				next := cur * 2
+				if next > MaxAdaptiveBuffer {
+					next = MaxAdaptiveBuffer
+				}
+				m.c.capacityGrows.Add(1)
+				if batch := m.buf.setCapacity(next); batch != nil {
+					e.submit(m, batch)
+				}
+			}
+		}
+		return
+	}
+	m.zeroStreak.Store(0)
+	cur := m.buf.capacity()
+	if cur > e.cfg.BufferSize {
+		next := cur / 2
+		if next < e.cfg.BufferSize {
+			next = e.cfg.BufferSize
+		}
+		m.c.capacityShrinks.Add(1)
+		if batch := m.buf.setCapacity(next); batch != nil {
+			e.submit(m, batch)
+		}
+	}
+}

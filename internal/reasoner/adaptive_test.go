@@ -1,0 +1,146 @@
+package reasoner
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/rdf"
+	"repro/internal/rules"
+	"repro/internal/store"
+)
+
+func TestAdaptiveClosureUnchanged(t *testing.T) {
+	// Adaptive scheduling changes *when* rules run, never the result.
+	input := chain(80)
+	fixed, _ := runEngine(t, rules.RhoDF(), Config{BufferSize: 8}, input)
+	adaptive, _ := runEngine(t, rules.RhoDF(), Config{BufferSize: 8, Adaptive: true}, input)
+	if fixed.Len() != adaptive.Len() {
+		t.Fatalf("closure differs: fixed %d, adaptive %d", fixed.Len(), adaptive.Len())
+	}
+	fixed.ForEach(func(tr rdf.Triple) bool {
+		if !adaptive.Contains(tr) {
+			t.Fatalf("adaptive closure missing %v", tr)
+		}
+		return true
+	})
+}
+
+func TestAdaptiveGrowsUnproductiveModules(t *testing.T) {
+	// Workload with only subClassOf triples: the universal-input modules
+	// (prp-dom, prp-rng, prp-spo1) run constantly and infer nothing, so
+	// under the adaptive policy their buffers must grow.
+	st := store.New()
+	e := New(st, rules.RhoDF(), Config{BufferSize: 4, Adaptive: true})
+	for i := 0; i < 400; i++ {
+		e.Add(rdf.T(rdf.FirstCustomID+rdf.ID(i), rdf.IDSubClassOf, rdf.FirstCustomID+rdf.ID(i+1)))
+	}
+	if err := e.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	stats := e.Stats()
+	grew := false
+	for _, name := range []string{"prp-dom", "prp-rng"} {
+		m := stats.ModuleByName(name)
+		if m.BufferCapacity > 4 {
+			grew = true
+		}
+		if m.CapacityGrows == 0 {
+			t.Errorf("%s never grew its buffer (stats %+v)", name, m)
+		}
+	}
+	if !grew {
+		t.Fatal("no unproductive module grew its buffer")
+	}
+}
+
+func TestAdaptiveShrinksWhenProductiveAgain(t *testing.T) {
+	st := store.New()
+	e := New(st, rules.RhoDF(), Config{BufferSize: 2, Adaptive: true, Timeout: time.Millisecond})
+	// Phase 1: plain assertions; prp-dom grows.
+	p := rdf.FirstCustomID + 9999
+	for i := 0; i < 200; i++ {
+		e.Add(rdf.T(rdf.FirstCustomID+rdf.ID(i), p, rdf.FirstCustomID+rdf.ID(i+1)))
+	}
+	if err := e.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats().ModuleByName("prp-dom").CapacityGrows == 0 {
+		t.Fatal("precondition: prp-dom did not grow")
+	}
+	// Phase 2: a domain declaration makes prp-dom massively productive;
+	// its buffer should shrink back toward the configured size.
+	e.Add(rdf.T(p, rdf.IDDomain, rdf.FirstCustomID+50000))
+	for i := 200; i < 400; i++ {
+		e.Add(rdf.T(rdf.FirstCustomID+rdf.ID(i), p, rdf.FirstCustomID+rdf.ID(i+1)))
+	}
+	if err := e.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	m := e.Stats().ModuleByName("prp-dom")
+	if m.CapacityShrinks == 0 {
+		t.Fatalf("prp-dom never shrank after becoming productive: %+v", m)
+	}
+	// And the inference is complete despite all the capacity churn.
+	if !st.Contains(rdf.T(rdf.FirstCustomID+250, rdf.IDType, rdf.FirstCustomID+50000)) {
+		t.Fatal("domain typing incomplete under adaptive scheduling")
+	}
+}
+
+func TestAdaptiveDisabledByDefault(t *testing.T) {
+	st := store.New()
+	e := New(st, rules.RhoDF(), Config{BufferSize: 4})
+	for i := 0; i < 200; i++ {
+		e.Add(rdf.T(rdf.FirstCustomID+rdf.ID(i), rdf.IDSubClassOf, rdf.FirstCustomID+rdf.ID(i+1)))
+	}
+	if err := e.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range e.Stats().Modules {
+		if m.CapacityGrows != 0 || m.CapacityShrinks != 0 || m.BufferCapacity != 4 {
+			t.Fatalf("capacity changed without Adaptive: %+v", m)
+		}
+	}
+}
+
+func TestBufferSetCapacityOverflow(t *testing.T) {
+	buf := newBuffer(10)
+	for i := 0; i < 5; i++ {
+		buf.add(sc(a, b))
+	}
+	// Shrinking below the current fill returns the overflow batch.
+	batch := buf.setCapacity(3)
+	if len(batch) != 5 {
+		t.Fatalf("setCapacity returned %d triples, want 5", len(batch))
+	}
+	if buf.size() != 0 || buf.capacity() != 3 {
+		t.Fatalf("buffer state after shrink: size=%d cap=%d", buf.size(), buf.capacity())
+	}
+	// Clamping.
+	if buf.setCapacity(0); buf.capacity() != 1 {
+		t.Fatalf("capacity not clamped to 1: %d", buf.capacity())
+	}
+}
+
+func TestEngineOWLHorstMatchesOracle(t *testing.T) {
+	input := []rdf.Triple{
+		rdf.T(p1, rdf.IDType, rdf.IDTransitiveProperty),
+		rdf.T(a, p1, b), rdf.T(b, p1, c), rdf.T(c, p1, d),
+		rdf.T(a, rdf.IDEquivalentClass, b),
+		rdf.T(x, rdf.IDType, a),
+		rdf.T(p2, rdf.IDInverseOf, p1),
+		rdf.T(x, rdf.IDSameAs, y),
+	}
+	st, _ := runEngine(t, rules.OWLHorst(), Config{BufferSize: 2}, input)
+	assertSameClosure(t, rules.OWLHorst, st, input)
+	for _, want := range []rdf.Triple{
+		rdf.T(a, p1, d),         // prp-trp
+		rdf.T(b, p2, a),         // prp-inv
+		rdf.T(x, rdf.IDType, b), // cax-eqc
+		rdf.T(y, rdf.IDType, a), // eq-rep over sameAs
+	} {
+		if !st.Contains(want) {
+			t.Errorf("OWL-Horst engine closure missing %v", want)
+		}
+	}
+}

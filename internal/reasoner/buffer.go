@@ -1,0 +1,96 @@
+package reasoner
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/rdf"
+)
+
+// buffer accumulates the triples routed to one rule module between rule
+// executions (paper §2, "Buffers"). It is flushed when it reaches its
+// capacity, when it sits inactive past the engine timeout, or explicitly
+// while draining.
+type buffer struct {
+	mu      sync.Mutex
+	items   []rdf.Triple
+	lastAdd time.Time
+	cap     int
+}
+
+func newBuffer(capacity int) *buffer {
+	return &buffer{cap: capacity, items: make([]rdf.Triple, 0, capacity)}
+}
+
+// add appends t. If the buffer reached capacity it returns the full batch
+// (now owned by the caller) and resets; otherwise it returns nil.
+func (b *buffer) add(t rdf.Triple) []rdf.Triple {
+	b.mu.Lock()
+	b.items = append(b.items, t)
+	b.lastAdd = time.Now()
+	if len(b.items) >= b.cap {
+		batch := b.items
+		b.items = make([]rdf.Triple, 0, b.cap)
+		b.mu.Unlock()
+		return batch
+	}
+	b.mu.Unlock()
+	return nil
+}
+
+// takeStale returns the buffered triples if the buffer is non-empty and
+// has not seen an add since before now-timeout; nil otherwise.
+func (b *buffer) takeStale(timeout time.Duration, now time.Time) []rdf.Triple {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.items) == 0 || now.Sub(b.lastAdd) < timeout {
+		return nil
+	}
+	batch := b.items
+	b.items = make([]rdf.Triple, 0, b.cap)
+	return batch
+}
+
+// takeAll returns and clears the buffered triples (nil when empty).
+func (b *buffer) takeAll() []rdf.Triple {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.items) == 0 {
+		return nil
+	}
+	batch := b.items
+	b.items = make([]rdf.Triple, 0, b.cap)
+	return batch
+}
+
+// size returns the number of buffered triples.
+func (b *buffer) size() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.items)
+}
+
+// capacity returns the current flush threshold.
+func (b *buffer) capacity() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.cap
+}
+
+// setCapacity changes the flush threshold (adaptive scheduling). Values
+// below 1 are clamped to 1. If the buffer already holds at least the new
+// capacity, the overflow is returned for immediate flushing.
+func (b *buffer) setCapacity(n int) []rdf.Triple {
+	if n < 1 {
+		n = 1
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.cap = n
+	if len(b.items) >= b.cap {
+		batch := b.items
+		b.items = make([]rdf.Triple, 0, b.cap)
+		return batch
+	}
+	return nil
+}

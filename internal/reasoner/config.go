@@ -1,0 +1,71 @@
+// Package reasoner implements the Slider engine: the paper's primary
+// contribution. It wires one rule module per inference rule, each with its
+// own buffer and distributor, over a shared triple store, and evaluates
+// rules incrementally as triples stream in (paper §2, Figure 1).
+//
+// Data flow for one incoming triple:
+//
+//	Add → store (dedup) → route to matching rule buffers
+//	buffer full or stale → flush → rule-module instance on the thread pool
+//	instance: delta ⋈ store (both directions) → inferred triples
+//	distributor: store.Add (dedup) → route fresh triples onward
+//
+// Inference is complete when no triples remain buffered and no instances
+// are running; Engine.Wait detects that quiescence.
+package reasoner
+
+import (
+	"runtime"
+	"time"
+)
+
+// Config tunes the engine. The zero value selects defaults.
+type Config struct {
+	// BufferSize is the number of triples a rule buffer accumulates
+	// before it fires a rule-module instance (paper: "how many triples
+	// are needed to fire a new rule execution"). Default 128.
+	BufferSize int
+
+	// Timeout forces a non-empty buffer to flush after this much
+	// inactivity, bounding inference latency on slow streams (paper:
+	// "after how long an inactive buffer is forced to flush"). Default
+	// 20ms.
+	Timeout time.Duration
+
+	// Workers is the thread-pool size. Default runtime.GOMAXPROCS(0).
+	Workers int
+
+	// Observer, if non-nil, receives fine-grained engine events; the
+	// demo's recorder plugs in here. Observer callbacks run synchronously
+	// on engine goroutines and must be fast.
+	Observer Observer
+
+	// Adaptive enables run-time buffer-capacity adaptation per rule
+	// module (see adaptive.go): unproductive modules batch more,
+	// productive ones stay reactive. Completeness is unaffected.
+	Adaptive bool
+
+	// TrackProvenance records, for every triple in the store, whether it
+	// was explicitly asserted or which rule first derived it
+	// (Engine.Provenance). Costs one map entry per triple.
+	TrackProvenance bool
+}
+
+// Defaults used when Config fields are zero.
+const (
+	DefaultBufferSize = 128
+	DefaultTimeout    = 20 * time.Millisecond
+)
+
+func (c Config) withDefaults() Config {
+	if c.BufferSize <= 0 {
+		c.BufferSize = DefaultBufferSize
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = DefaultTimeout
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}

@@ -1,0 +1,191 @@
+package reasoner
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/rdf"
+	"repro/internal/rules"
+	"repro/internal/store"
+)
+
+func TestEngineEmptyRuleset(t *testing.T) {
+	st := store.New()
+	e := New(st, nil, Config{})
+	if !e.Add(sc(a, b)) {
+		t.Fatal("Add with empty ruleset failed")
+	}
+	if err := e.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 1 {
+		t.Fatalf("store = %d triples", st.Len())
+	}
+	if s := e.Stats(); s.Inferred != 0 || len(s.Modules) != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestEngineConcurrentWaiters(t *testing.T) {
+	st := store.New()
+	e := New(st, rules.RhoDF(), Config{BufferSize: 4})
+	for i := 0; i < 100; i++ {
+		e.Add(sc(rdf.FirstCustomID+rdf.ID(i), rdf.FirstCustomID+rdf.ID(i+1)))
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			errs[g] = e.Wait(context.Background())
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("waiter %d: %v", g, err)
+		}
+	}
+	if err := e.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineAddDuringWait(t *testing.T) {
+	st := store.New()
+	e := New(st, rules.RhoDF(), Config{BufferSize: 2})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			e.Add(sc(rdf.FirstCustomID+rdf.ID(i), rdf.FirstCustomID+rdf.ID(i+1)))
+		}
+	}()
+	// Wait repeatedly while the adder races; final Wait after the adder
+	// finishes must observe the complete closure.
+	for i := 0; i < 5; i++ {
+		if err := e.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+	if err := e.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	want := 200 + 200*199/2
+	if st.Len() != want {
+		t.Fatalf("store = %d triples, want %d", st.Len(), want)
+	}
+}
+
+func TestEngineSelfLoopTriple(t *testing.T) {
+	st := store.New()
+	e := New(st, rules.RhoDF(), Config{})
+	e.Add(sc(a, a)) // reflexive subclass
+	e.Add(ty(x, a))
+	if err := e.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Contains(ty(x, a)) || st.Len() != 2 {
+		t.Fatalf("self-loop handling wrong: %v", st.Snapshot())
+	}
+}
+
+func TestEngineRapidCloseAfterBurst(t *testing.T) {
+	// Close immediately after a large burst: everything must still be
+	// materialised (Close drains).
+	st := store.New()
+	e := New(st, rules.RhoDF(), Config{BufferSize: 64, Timeout: time.Hour})
+	for i := 0; i < 150; i++ {
+		e.Add(sc(rdf.FirstCustomID+rdf.ID(i), rdf.FirstCustomID+rdf.ID(i+1)))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := e.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	want := 150 + 150*149/2
+	if st.Len() != want {
+		t.Fatalf("store = %d, want %d", st.Len(), want)
+	}
+}
+
+func TestEngineManyModulesSameInput(t *testing.T) {
+	// Several rules listening to the same predicate all receive the
+	// delta (one module per rule, as in Figure 1).
+	seen := make([]int, 3)
+	var mu sync.Mutex
+	var ruleset []rules.Rule
+	for i := 0; i < 3; i++ {
+		i := i
+		ruleset = append(ruleset, &rules.CustomRule{
+			RuleName: "listener-" + string(rune('a'+i)),
+			In:       []rdf.ID{rdf.IDSubClassOf},
+			Fn: func(_ *store.Store, delta []rdf.Triple, _ func(rdf.Triple)) {
+				mu.Lock()
+				seen[i] += len(delta)
+				mu.Unlock()
+			},
+		})
+	}
+	st := store.New()
+	e := New(st, ruleset, Config{BufferSize: 1})
+	e.Add(sc(a, b))
+	e.Add(sc(b, c))
+	if err := e.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, n := range seen {
+		if n != 2 {
+			t.Fatalf("listener %d saw %d triples, want 2", i, n)
+		}
+	}
+}
+
+func TestEngineInferredRoutedOnward(t *testing.T) {
+	// A chain of two custom rules: first produces P2 triples from P1,
+	// second counts P2 triples — verifying distributor routing.
+	p1 := rdf.FirstCustomID + 500
+	p2 := rdf.FirstCustomID + 501
+	producer := &rules.CustomRule{
+		RuleName: "producer",
+		In:       []rdf.ID{p1},
+		Out:      []rdf.ID{p2},
+		Fn: func(_ *store.Store, delta []rdf.Triple, emit func(rdf.Triple)) {
+			for _, t := range delta {
+				if t.P == p1 {
+					emit(rdf.T(t.S, p2, t.O))
+				}
+			}
+		},
+	}
+	var count int
+	var mu sync.Mutex
+	consumer := &rules.CustomRule{
+		RuleName: "consumer",
+		In:       []rdf.ID{p2},
+		Fn: func(_ *store.Store, delta []rdf.Triple, _ func(rdf.Triple)) {
+			mu.Lock()
+			count += len(delta)
+			mu.Unlock()
+		},
+	}
+	st := store.New()
+	e := New(st, []rules.Rule{producer, consumer}, Config{BufferSize: 1})
+	for i := 0; i < 10; i++ {
+		e.Add(rdf.T(rdf.FirstCustomID+rdf.ID(i), p1, x))
+	}
+	if err := e.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if count != 10 {
+		t.Fatalf("consumer saw %d inferred triples, want 10", count)
+	}
+}

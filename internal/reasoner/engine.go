@@ -1,0 +1,378 @@
+package reasoner
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/rdf"
+	"repro/internal/rules"
+	"repro/internal/store"
+)
+
+// module binds one inference rule to its buffer and counters — the
+// paper's "rule module". Rule-module *instances* are the tasks spawned by
+// buffer flushes.
+type module struct {
+	rule rules.Rule
+	buf  *buffer
+	c    moduleCounters
+	// zeroStreak counts consecutive fruitless executions (adaptive
+	// scheduling heuristic; approximate under concurrency by design).
+	zeroStreak atomic.Int32
+}
+
+// Engine is the Slider reasoner.
+type Engine struct {
+	cfg   Config
+	store *store.Store
+	graph *rules.DependencyGraph
+
+	modules []*module
+	// byPred routes triples to the modules whose rule consumes the
+	// triple's predicate; universal modules receive everything.
+	byPred    map[rdf.ID][]*module
+	universal []*module
+
+	pool *pool
+	// inflight counts units of unfinished work: every triple sitting in
+	// a buffer or inside a running instance's delta contributes one.
+	// Quiescence (inference complete) is inflight == 0 with all buffers
+	// empty, which Wait polls for while force-flushing.
+	inflight atomic.Int64
+
+	input      atomic.Int64
+	dupInput   atomic.Int64
+	inferred   atomic.Int64
+	duplicates atomic.Int64
+
+	stopTimeouts chan struct{}
+	timeoutsDone sync.WaitGroup
+	closed       atomic.Bool
+
+	panicMu  sync.Mutex
+	panicErr error
+
+	// provenance maps triples to the rule that first derived them (or
+	// ProvenanceExplicit); nil unless Config.TrackProvenance.
+	provMu     sync.Mutex
+	provenance map[rdf.Triple]string
+}
+
+// ProvenanceExplicit marks explicitly asserted triples in provenance
+// lookups.
+const ProvenanceExplicit = "explicit"
+
+// New builds an engine over the given store and ruleset. The store may
+// already contain triples; they participate in joins as background
+// knowledge but are not re-derived from (stream them through Add to infer
+// from them).
+func New(st *store.Store, ruleset []rules.Rule, cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		cfg:          cfg,
+		store:        st,
+		graph:        rules.BuildDependencyGraph(ruleset),
+		byPred:       make(map[rdf.ID][]*module),
+		stopTimeouts: make(chan struct{}),
+	}
+	for _, r := range ruleset {
+		m := &module{rule: r, buf: newBuffer(cfg.BufferSize)}
+		e.modules = append(e.modules, m)
+		if ins := r.Inputs(); ins == nil {
+			e.universal = append(e.universal, m)
+		} else {
+			for _, p := range ins {
+				e.byPred[p] = append(e.byPred[p], m)
+			}
+		}
+	}
+	if cfg.TrackProvenance {
+		e.provenance = make(map[rdf.Triple]string)
+	}
+	e.pool = newPool(cfg.Workers, e.runInstance)
+	e.timeoutsDone.Add(1)
+	go e.timeoutLoop()
+	return e
+}
+
+// recordProvenance notes the origin of a fresh triple.
+func (e *Engine) recordProvenance(t rdf.Triple, origin string) {
+	if e.provenance == nil {
+		return
+	}
+	e.provMu.Lock()
+	if _, dup := e.provenance[t]; !dup {
+		e.provenance[t] = origin
+	}
+	e.provMu.Unlock()
+}
+
+// Provenance reports how a triple entered the store: ProvenanceExplicit
+// for asserted triples, the deriving rule's name for inferred ones.
+// ok=false when the triple is unknown or provenance tracking is off.
+func (e *Engine) Provenance(t rdf.Triple) (string, bool) {
+	if e.provenance == nil {
+		return "", false
+	}
+	e.provMu.Lock()
+	defer e.provMu.Unlock()
+	origin, ok := e.provenance[t]
+	return origin, ok
+}
+
+// Store returns the engine's triple store.
+func (e *Engine) Store() *store.Store { return e.store }
+
+// Graph returns the rules dependency graph built at initialisation.
+func (e *Engine) Graph() *rules.DependencyGraph { return e.graph }
+
+// Add streams one explicit triple into the reasoner. It returns true if
+// the triple was new. Add is safe for concurrent use; multiple input
+// managers can feed the engine in parallel. Adding to a closed engine
+// returns false.
+func (e *Engine) Add(t rdf.Triple) bool {
+	if e.closed.Load() {
+		return false
+	}
+	// Store first, then route: this ordering guarantees that whenever a
+	// rule instance runs, the store contains every triple of its delta,
+	// so delta⋈store joins subsume delta⋈delta (see package rules).
+	if !e.store.Add(t) {
+		e.dupInput.Add(1)
+		return false
+	}
+	e.input.Add(1)
+	e.recordProvenance(t, ProvenanceExplicit)
+	if obs := e.cfg.Observer; obs != nil {
+		obs.OnInput(t)
+	}
+	e.route(t)
+	return true
+}
+
+// AddAll streams a batch of triples; returns how many were new.
+func (e *Engine) AddAll(ts []rdf.Triple) int {
+	n := 0
+	for _, t := range ts {
+		if e.Add(t) {
+			n++
+		}
+	}
+	return n
+}
+
+// route places t into the buffer of every module whose rule consumes its
+// predicate (plus all universal-input modules), flushing buffers that
+// reach capacity.
+func (e *Engine) route(t rdf.Triple) {
+	obs := e.cfg.Observer
+	for _, m := range e.byPred[t.P] {
+		e.deliver(m, t, obs)
+	}
+	for _, m := range e.universal {
+		e.deliver(m, t, obs)
+	}
+}
+
+func (e *Engine) deliver(m *module, t rdf.Triple, obs Observer) {
+	e.inflight.Add(1)
+	m.c.routed.Add(1)
+	if obs != nil {
+		obs.OnRoute(m.rule.Name(), t)
+	}
+	if batch := m.buf.add(t); batch != nil {
+		m.c.bufferFullFlushes.Add(1)
+		if obs != nil {
+			obs.OnFlush(m.rule.Name(), FlushFull, len(batch))
+		}
+		e.submit(m, batch)
+	}
+}
+
+// submit schedules a rule-module instance; if the pool is stopped the
+// delta's work units are released so Wait cannot hang.
+func (e *Engine) submit(m *module, delta []rdf.Triple) {
+	if !e.pool.submit(task{m: m, delta: delta}) {
+		e.inflight.Add(int64(-len(delta)))
+	}
+}
+
+// runInstance executes one rule-module instance: the delta⋈store join
+// followed by distribution of the inferred triples (paper's Distributor).
+func (e *Engine) runInstance(tk task) {
+	defer e.inflight.Add(int64(-len(tk.delta)))
+	m := tk.m
+	m.c.executions.Add(1)
+
+	var out []rdf.Triple
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				e.recordPanic(fmt.Errorf("reasoner: rule %s panicked: %v", m.rule.Name(), r))
+			}
+		}()
+		m.rule.Apply(e.store, tk.delta, func(t rdf.Triple) { out = append(out, t) })
+	}()
+
+	// Distribute: deduplicate against the store, then route only fresh
+	// triples onward — the "duplicates limitation" mechanism.
+	fresh := 0
+	for _, t := range out {
+		if e.store.Add(t) {
+			fresh++
+			e.inferred.Add(1)
+			m.c.fresh.Add(1)
+			e.recordProvenance(t, m.rule.Name())
+			e.route(t)
+		} else {
+			e.duplicates.Add(1)
+		}
+	}
+	m.c.derived.Add(int64(len(out)))
+	if obs := e.cfg.Observer; obs != nil {
+		obs.OnExecute(m.rule.Name(), len(tk.delta), len(out), fresh)
+	}
+	if e.cfg.Adaptive {
+		e.adapt(m, fresh)
+	}
+}
+
+func (e *Engine) recordPanic(err error) {
+	e.panicMu.Lock()
+	if e.panicErr == nil {
+		e.panicErr = err
+	}
+	e.panicMu.Unlock()
+}
+
+// Err returns the first rule panic captured, if any. A panicking rule
+// instance is isolated: the engine keeps running and completes inference
+// for the remaining rules.
+func (e *Engine) Err() error {
+	e.panicMu.Lock()
+	defer e.panicMu.Unlock()
+	return e.panicErr
+}
+
+// timeoutLoop is the buffer-staleness scanner: a single goroutine flushes
+// buffers that sat inactive past the configured timeout.
+func (e *Engine) timeoutLoop() {
+	defer e.timeoutsDone.Done()
+	interval := e.cfg.Timeout / 4
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-e.stopTimeouts:
+			return
+		case now := <-ticker.C:
+			for _, m := range e.modules {
+				if batch := m.buf.takeStale(e.cfg.Timeout, now); batch != nil {
+					m.c.timeoutFlushes.Add(1)
+					if obs := e.cfg.Observer; obs != nil {
+						obs.OnFlush(m.rule.Name(), FlushTimeout, len(batch))
+					}
+					e.submit(m, batch)
+				}
+			}
+		}
+	}
+}
+
+// flushAll force-flushes every non-empty buffer (used while draining).
+func (e *Engine) flushAll() {
+	for _, m := range e.modules {
+		if batch := m.buf.takeAll(); batch != nil {
+			m.c.explicitFlushes.Add(1)
+			if obs := e.cfg.Observer; obs != nil {
+				obs.OnFlush(m.rule.Name(), FlushExplicit, len(batch))
+			}
+			e.submit(m, batch)
+		}
+	}
+}
+
+// Wait blocks until inference has quiesced: every buffer is empty and no
+// rule-module instance is running or queued. It force-flushes buffers
+// while waiting, so it does not wait out buffer timeouts — but only when
+// all outstanding work is sitting in buffers (no instance is running or
+// queued), so draining does not fragment inference into tiny deltas while
+// the thread pool is busy. Concurrent Add calls extend the wait.
+func (e *Engine) Wait(ctx context.Context) error {
+	ticker := time.NewTicker(200 * time.Microsecond)
+	defer ticker.Stop()
+	for {
+		n := e.inflight.Load()
+		if n == 0 {
+			return nil
+		}
+		// inflight counts buffered triples plus triples inside queued or
+		// running instances; when everything left is buffered, nothing
+		// will flush it except a (slow) timeout — do it now.
+		if int64(e.BufferedTriples()) >= n {
+			e.flushAll()
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}
+
+// Close drains outstanding work (bounded by ctx) and releases the
+// engine's goroutines. The engine must not be used afterwards.
+func (e *Engine) Close(ctx context.Context) error {
+	if e.closed.Swap(true) {
+		return nil
+	}
+	err := e.Wait(ctx)
+	close(e.stopTimeouts)
+	e.timeoutsDone.Wait()
+	e.pool.stop()
+	return err
+}
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	s := Stats{
+		Input:          e.input.Load(),
+		DuplicateInput: e.dupInput.Load(),
+		Inferred:       e.inferred.Load(),
+		Duplicates:     e.duplicates.Load(),
+	}
+	for _, m := range e.modules {
+		ms := ModuleStats{
+			Rule:              m.rule.Name(),
+			Routed:            m.c.routed.Load(),
+			Executions:        m.c.executions.Load(),
+			BufferFullFlushes: m.c.bufferFullFlushes.Load(),
+			TimeoutFlushes:    m.c.timeoutFlushes.Load(),
+			ExplicitFlushes:   m.c.explicitFlushes.Load(),
+			Derived:           m.c.derived.Load(),
+			Fresh:             m.c.fresh.Load(),
+			BufferCapacity:    m.buf.capacity(),
+			CapacityGrows:     m.c.capacityGrows.Load(),
+			CapacityShrinks:   m.c.capacityShrinks.Load(),
+		}
+		s.Executions += ms.Executions
+		s.Modules = append(s.Modules, ms)
+	}
+	return s
+}
+
+// BufferedTriples reports the total number of triples currently sitting
+// in rule buffers (diagnostics / demo).
+func (e *Engine) BufferedTriples() int {
+	n := 0
+	for _, m := range e.modules {
+		n += m.buf.size()
+	}
+	return n
+}

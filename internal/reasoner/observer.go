@@ -1,0 +1,65 @@
+package reasoner
+
+import "repro/internal/rdf"
+
+// FlushReason records why a buffer flushed.
+type FlushReason int
+
+const (
+	// FlushFull: the buffer reached its configured size.
+	FlushFull FlushReason = iota
+	// FlushTimeout: the buffer sat inactive past the configured timeout.
+	FlushTimeout
+	// FlushExplicit: the engine forced the flush (Wait/Close draining).
+	FlushExplicit
+)
+
+// String returns the reason's name.
+func (r FlushReason) String() string {
+	switch r {
+	case FlushFull:
+		return "full"
+	case FlushTimeout:
+		return "timeout"
+	case FlushExplicit:
+		return "explicit"
+	default:
+		return "unknown"
+	}
+}
+
+// Observer receives engine events. All callbacks are invoked synchronously
+// from engine goroutines, possibly concurrently; implementations must be
+// thread-safe and fast. The demo recorder (internal/demo) is the main
+// implementation.
+type Observer interface {
+	// OnInput fires for each explicit triple accepted into the store.
+	OnInput(t rdf.Triple)
+	// OnRoute fires when a triple is placed into a rule's buffer.
+	OnRoute(rule string, t rdf.Triple)
+	// OnFlush fires when a rule's buffer flushes n triples into a new
+	// rule-module instance.
+	OnFlush(rule string, reason FlushReason, n int)
+	// OnExecute fires when a rule-module instance finishes: it processed
+	// deltaSize triples, emitted derived triples, of which fresh were new
+	// to the store.
+	OnExecute(rule string, deltaSize, derived, fresh int)
+}
+
+// NopObserver is an Observer that ignores every event; useful for
+// embedding when only some callbacks are interesting.
+type NopObserver struct{}
+
+// OnInput implements Observer.
+func (NopObserver) OnInput(rdf.Triple) {}
+
+// OnRoute implements Observer.
+func (NopObserver) OnRoute(string, rdf.Triple) {}
+
+// OnFlush implements Observer.
+func (NopObserver) OnFlush(string, FlushReason, int) {}
+
+// OnExecute implements Observer.
+func (NopObserver) OnExecute(string, int, int, int) {}
+
+var _ Observer = NopObserver{}

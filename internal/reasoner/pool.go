@@ -1,0 +1,91 @@
+package reasoner
+
+import (
+	"sync"
+
+	"repro/internal/rdf"
+)
+
+// task is one rule-module instance: a rule applied to a flushed delta.
+type task struct {
+	m     *module
+	delta []rdf.Triple
+}
+
+// pool is the engine's thread pool (paper §2, "Thread Pool"). It runs a
+// fixed number of workers over an unbounded FIFO queue. The queue must be
+// unbounded: workers themselves enqueue follow-up tasks while
+// distributing inferred triples, so a bounded queue could deadlock.
+type pool struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []task
+	stopped bool
+	wg      sync.WaitGroup
+}
+
+// newPool starts workers goroutines executing run for each submitted task.
+func newPool(workers int, run func(task)) *pool {
+	p := &pool{}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for {
+				t, ok := p.next()
+				if !ok {
+					return
+				}
+				run(t)
+			}
+		}()
+	}
+	return p
+}
+
+// next blocks until a task is available or the pool stops. When stopping,
+// the remaining queue is still drained.
+func (p *pool) next() (task, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.queue) == 0 && !p.stopped {
+		p.cond.Wait()
+	}
+	if len(p.queue) == 0 {
+		return task{}, false
+	}
+	t := p.queue[0]
+	p.queue = p.queue[1:]
+	return t, true
+}
+
+// submit enqueues a task. Submitting to a stopped pool drops the task.
+func (p *pool) submit(t task) bool {
+	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		return false
+	}
+	p.queue = append(p.queue, t)
+	p.mu.Unlock()
+	p.cond.Signal()
+	return true
+}
+
+// stop prevents new submissions, lets workers drain the queue, and waits
+// for them to exit.
+func (p *pool) stop() {
+	p.mu.Lock()
+	p.stopped = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	p.wg.Wait()
+}
+
+// pending returns the current queue length (diagnostics only).
+func (p *pool) pending() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue)
+}

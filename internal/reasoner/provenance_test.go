@@ -1,0 +1,75 @@
+package reasoner
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/rules"
+	"repro/internal/store"
+)
+
+func TestProvenanceTracksOrigins(t *testing.T) {
+	st := store.New()
+	e := New(st, rules.RhoDF(), Config{TrackProvenance: true})
+	e.Add(sc(a, b))
+	e.Add(sc(b, c))
+	e.Add(ty(x, a))
+	if err := e.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		triple rdf.Triple
+		want   string
+	}{
+		{sc(a, b), ProvenanceExplicit},
+		{ty(x, a), ProvenanceExplicit},
+		{sc(a, c), "scm-sco"},
+		{ty(x, b), "cax-sco"},
+	}
+	for _, cse := range cases {
+		got, ok := e.Provenance(cse.triple)
+		if !ok || got != cse.want {
+			t.Errorf("Provenance(%v) = (%q, %v), want (%q, true)", cse.triple, got, ok, cse.want)
+		}
+	}
+	// ty(x, c) could come from cax-sco via either chain hop: any rule
+	// name is fine, but it must be tracked and not explicit.
+	got, ok := e.Provenance(ty(x, c))
+	if !ok || got == ProvenanceExplicit {
+		t.Fatalf("Provenance(ty(x,c)) = (%q, %v)", got, ok)
+	}
+	// Unknown triple.
+	if _, ok := e.Provenance(sc(c, a)); ok {
+		t.Fatal("provenance reported for absent triple")
+	}
+}
+
+func TestProvenanceOffByDefault(t *testing.T) {
+	st := store.New()
+	e := New(st, rules.RhoDF(), Config{})
+	e.Add(sc(a, b))
+	if err := e.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.Provenance(sc(a, b)); ok {
+		t.Fatal("provenance available without TrackProvenance")
+	}
+}
+
+func TestProvenanceFirstDerivationWins(t *testing.T) {
+	// A triple asserted explicitly and also derivable keeps the explicit
+	// origin (asserted first).
+	st := store.New()
+	e := New(st, rules.RhoDF(), Config{TrackProvenance: true})
+	e.Add(sc(a, c))
+	e.Add(sc(a, b))
+	e.Add(sc(b, c))
+	if err := e.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := e.Provenance(sc(a, c))
+	if !ok || got != ProvenanceExplicit {
+		t.Fatalf("Provenance = (%q, %v), want explicit", got, ok)
+	}
+}

@@ -1,0 +1,72 @@
+package reasoner
+
+import "sync/atomic"
+
+// moduleCounters holds one rule module's live counters. All fields are
+// updated atomically.
+type moduleCounters struct {
+	routed            atomic.Int64
+	executions        atomic.Int64
+	bufferFullFlushes atomic.Int64
+	timeoutFlushes    atomic.Int64
+	explicitFlushes   atomic.Int64
+	derived           atomic.Int64
+	fresh             atomic.Int64
+	capacityGrows     atomic.Int64
+	capacityShrinks   atomic.Int64
+}
+
+// ModuleStats is a snapshot of one rule module's counters. These are the
+// numbers the demo's Run panel shows per buffer: times the buffer filled,
+// times it was forced to flush by timeout, and triples inferred.
+type ModuleStats struct {
+	// Rule is the rule name.
+	Rule string
+	// Routed counts triples placed into this module's buffer.
+	Routed int64
+	// Executions counts rule-module instances run.
+	Executions int64
+	// BufferFullFlushes counts flushes triggered by a full buffer.
+	BufferFullFlushes int64
+	// TimeoutFlushes counts flushes forced by the inactivity timeout.
+	TimeoutFlushes int64
+	// ExplicitFlushes counts flushes forced while draining (Wait/Close).
+	ExplicitFlushes int64
+	// Derived counts triples the rule emitted (including duplicates).
+	Derived int64
+	// Fresh counts emitted triples that were new to the store.
+	Fresh int64
+	// BufferCapacity is the buffer's current flush threshold (changes
+	// only under adaptive scheduling).
+	BufferCapacity int
+	// CapacityGrows and CapacityShrinks count adaptive-policy actions.
+	CapacityGrows   int64
+	CapacityShrinks int64
+}
+
+// Stats is a snapshot of engine-level counters plus per-module detail.
+type Stats struct {
+	// Input counts explicit triples accepted (new to the store).
+	Input int64
+	// DuplicateInput counts explicit triples dropped as already known.
+	DuplicateInput int64
+	// Inferred counts distinct inferred triples added to the store.
+	Inferred int64
+	// Duplicates counts derivations dropped because the triple was
+	// already present (the paper's "duplicates limitation" at work).
+	Duplicates int64
+	// Executions counts rule-module instances across all modules.
+	Executions int64
+	// Modules holds per-rule detail, in ruleset order.
+	Modules []ModuleStats
+}
+
+// ModuleByName returns the stats for one rule, or a zero value.
+func (s Stats) ModuleByName(rule string) ModuleStats {
+	for _, m := range s.Modules {
+		if m.Rule == rule {
+			return m
+		}
+	}
+	return ModuleStats{}
+}

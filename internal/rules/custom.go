@@ -1,0 +1,39 @@
+package rules
+
+import (
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// CustomRule adapts a plain function into a Rule, supporting the paper's
+// "Fragment's Customization" feature: Slider "allows the addition of any
+// new custom rules" through a simple interface.
+type CustomRule struct {
+	// RuleName identifies the rule in statistics and the dependency graph.
+	RuleName string
+	// In lists the predicates the rule consumes; nil means universal input.
+	In []rdf.ID
+	// Out lists the predicates the rule can produce; use AnyPredicate for
+	// rules with unbounded output vocabulary.
+	Out []rdf.ID
+	// Fn performs the delta⋈store join and emits derived triples.
+	Fn func(st *store.Store, delta []rdf.Triple, emit func(rdf.Triple))
+}
+
+// Name implements Rule.
+func (c *CustomRule) Name() string { return c.RuleName }
+
+// Inputs implements Rule.
+func (c *CustomRule) Inputs() []rdf.ID { return c.In }
+
+// Outputs implements Rule.
+func (c *CustomRule) Outputs() []rdf.ID { return c.Out }
+
+// Apply implements Rule.
+func (c *CustomRule) Apply(st *store.Store, delta []rdf.Triple, emit func(rdf.Triple)) {
+	if c.Fn != nil {
+		c.Fn(st, delta, emit)
+	}
+}
+
+var _ Rule = (*CustomRule)(nil)

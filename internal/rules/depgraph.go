@@ -1,0 +1,133 @@
+package rules
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// DependencyGraph is the rules dependency graph of paper §2.3: a directed
+// graph whose vertices are rules and whose edge A→B means "triples
+// produced by A can be consumed by B". Slider builds it once at
+// initialisation; each rule's distributor then routes inferred triples to
+// exactly the buffers of its dependent rules.
+type DependencyGraph struct {
+	rules []Rule
+	// dependents[name] lists the names of rules that consume name's
+	// output, sorted.
+	dependents map[string][]string
+	// universal lists rules with universal input (they depend on every
+	// rule, including themselves).
+	universal []string
+}
+
+// BuildDependencyGraph derives the graph from the rules' input/output
+// predicate signatures. An output of AnyPredicate reaches every rule; a
+// rule with nil Inputs (universal input) receives every output.
+func BuildDependencyGraph(ruleset []Rule) *DependencyGraph {
+	g := &DependencyGraph{
+		rules:      ruleset,
+		dependents: make(map[string][]string, len(ruleset)),
+	}
+	for _, r := range ruleset {
+		if r.Inputs() == nil {
+			g.universal = append(g.universal, r.Name())
+		}
+	}
+	sort.Strings(g.universal)
+	for _, producer := range ruleset {
+		outs := producer.Outputs()
+		var deps []string
+		for _, consumer := range ruleset {
+			if dependsOn(outs, consumer) {
+				deps = append(deps, consumer.Name())
+			}
+		}
+		sort.Strings(deps)
+		g.dependents[producer.Name()] = deps
+	}
+	return g
+}
+
+// dependsOn reports whether consumer can use any triple whose predicate is
+// in outs.
+func dependsOn(outs []rdf.ID, consumer Rule) bool {
+	ins := consumer.Inputs()
+	if ins == nil {
+		return len(outs) > 0
+	}
+	for _, o := range outs {
+		if o == AnyPredicate {
+			return true
+		}
+		for _, i := range ins {
+			if o == i {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Rules returns the ruleset the graph was built from.
+func (g *DependencyGraph) Rules() []Rule { return g.rules }
+
+// DependentsOf returns the names of rules that consume the named rule's
+// output, in sorted order.
+func (g *DependencyGraph) DependentsOf(name string) []string {
+	return g.dependents[name]
+}
+
+// Universal returns the names of rules with universal input.
+func (g *DependencyGraph) Universal() []string { return g.universal }
+
+// HasEdge reports whether from's output feeds into to.
+func (g *DependencyGraph) HasEdge(from, to string) bool {
+	for _, d := range g.dependents[from] {
+		if d == to {
+			return true
+		}
+	}
+	return false
+}
+
+// Edges returns all edges as (from, to) pairs, sorted.
+func (g *DependencyGraph) Edges() [][2]string {
+	var out [][2]string
+	names := make([]string, 0, len(g.dependents))
+	for n := range g.dependents {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, from := range names {
+		for _, to := range g.dependents[from] {
+			out = append(out, [2]string{from, to})
+		}
+	}
+	return out
+}
+
+// DOT renders the graph in Graphviz DOT syntax, reproducing the paper's
+// Figure 2 for the ρdf fragment. Universal-input rules are grouped under
+// a "Universal Input" cluster like in the figure.
+func (g *DependencyGraph) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph rules {\n")
+	b.WriteString("  rankdir=TB;\n")
+	b.WriteString("  node [shape=circle, fontsize=10];\n")
+	if len(g.universal) > 0 {
+		b.WriteString("  subgraph cluster_universal {\n")
+		b.WriteString("    label=\"Universal Input\";\n")
+		for _, n := range g.universal {
+			fmt.Fprintf(&b, "    %q;\n", n)
+		}
+		b.WriteString("  }\n")
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&b, "  %q -> %q;\n", e[0], e[1])
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,171 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// TestRhoDFDependencyGraphMatchesFigure2 checks the edges the paper's
+// Figure 2 depicts for the ρdf fragment.
+func TestRhoDFDependencyGraphMatchesFigure2(t *testing.T) {
+	g := BuildDependencyGraph(RhoDF())
+
+	// Edges named in the paper's Figure 2 discussion.
+	mustHave := [][2]string{
+		{"scm-sco", "cax-sco"}, // "output of SCM-SCO … can be used as an input for CAX-SCO"
+		{"scm-sco", "scm-sco"}, // transitive rules feed themselves
+		{"scm-spo", "scm-spo"},
+		{"scm-spo", "prp-spo1"}, // sp triples feed the assertion propagation rule
+		{"scm-spo", "scm-dom2"},
+		{"scm-spo", "scm-rng2"},
+		{"scm-dom2", "prp-dom"}, // domain triples feed the domain typing rule
+		{"scm-rng2", "prp-rng"},
+		{"cax-sco", "cax-sco"}, // type output feeds type input
+		// Universal-input rules consume everything:
+		{"scm-sco", "prp-spo1"},
+		{"cax-sco", "prp-dom"},
+		{"prp-dom", "prp-rng"},
+		// prp-spo1 produces arbitrary predicates, so it reaches everything:
+		{"prp-spo1", "scm-sco"},
+		{"prp-spo1", "cax-sco"},
+		{"prp-spo1", "prp-spo1"},
+	}
+	for _, e := range mustHave {
+		if !g.HasEdge(e[0], e[1]) {
+			t.Errorf("missing edge %s -> %s", e[0], e[1])
+		}
+	}
+
+	// Edges that must NOT exist: typed output into a rule that does not
+	// consume rdf:type.
+	mustNotHave := [][2]string{
+		{"cax-sco", "scm-sco"},  // type does not feed subClassOf transitivity
+		{"prp-dom", "scm-spo"},  // type does not feed subPropertyOf transitivity
+		{"scm-sco", "scm-spo"},  // subClassOf does not feed subPropertyOf
+		{"scm-dom2", "scm-sco"}, // domain does not feed subClassOf
+	}
+	for _, e := range mustNotHave {
+		if g.HasEdge(e[0], e[1]) {
+			t.Errorf("unexpected edge %s -> %s", e[0], e[1])
+		}
+	}
+
+	universal := g.Universal()
+	if len(universal) != 3 {
+		t.Fatalf("universal rules = %v, want prp-dom, prp-rng, prp-spo1", universal)
+	}
+	for _, want := range []string{"prp-dom", "prp-rng", "prp-spo1"} {
+		found := false
+		for _, u := range universal {
+			if u == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("universal rules %v missing %s", universal, want)
+		}
+	}
+}
+
+func TestDependencyGraphRDFS(t *testing.T) {
+	g := BuildDependencyGraph(RDFS())
+	// rdfs8/rdfs10 produce subClassOf, consumed by scm-sco and cax-sco.
+	for _, e := range [][2]string{
+		{"rdfs8", "scm-sco"},
+		{"rdfs10", "cax-sco"},
+		{"rdfs6", "scm-spo"},
+		{"rdfs12", "prp-spo1"},
+		{"rdfs13", "scm-sco"},
+		{"rdfs4", "cax-sco"}, // (x type Resource) feeds cax-sco's type input
+		{"cax-sco", "rdfs8"}, // type output feeds the class-trigger rules
+	} {
+		if !g.HasEdge(e[0], e[1]) {
+			t.Errorf("missing edge %s -> %s", e[0], e[1])
+		}
+	}
+	if g.HasEdge("rdfs8", "rdfs8") {
+		t.Error("rdfs8 produces subClassOf, does not consume it")
+	}
+}
+
+func TestDependentsOfSortedAndStable(t *testing.T) {
+	g := BuildDependencyGraph(RhoDF())
+	deps := g.DependentsOf("scm-sco")
+	if len(deps) == 0 {
+		t.Fatal("scm-sco has no dependents")
+	}
+	for i := 1; i < len(deps); i++ {
+		if deps[i-1] >= deps[i] {
+			t.Fatalf("dependents not sorted: %v", deps)
+		}
+	}
+	if g.DependentsOf("unknown") != nil {
+		t.Fatal("unknown rule should have nil dependents")
+	}
+}
+
+func TestEdgesEnumeration(t *testing.T) {
+	g := BuildDependencyGraph(RhoDF())
+	edges := g.Edges()
+	if len(edges) == 0 {
+		t.Fatal("no edges")
+	}
+	seen := make(map[[2]string]bool)
+	for _, e := range edges {
+		if seen[e] {
+			t.Fatalf("duplicate edge %v", e)
+		}
+		seen[e] = true
+		if !g.HasEdge(e[0], e[1]) {
+			t.Fatalf("Edges lists %v but HasEdge denies it", e)
+		}
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	g := BuildDependencyGraph(RhoDF())
+	dot := g.DOT()
+	for _, want := range []string{
+		"digraph rules",
+		"cluster_universal",
+		`"Universal Input"`,
+		`"scm-sco" -> "cax-sco"`,
+		`"prp-spo1"`,
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestDependencyGraphWithNoOutputRule(t *testing.T) {
+	// A sink rule that consumes but never produces: no outgoing edges.
+	sink := &CustomRule{RuleName: "sink", In: []rdf.ID{rdf.IDType}, Out: nil,
+		Fn: func(*store.Store, []rdf.Triple, func(rdf.Triple)) {}}
+	g := BuildDependencyGraph([]Rule{CaxSco(), sink})
+	if len(g.DependentsOf("sink")) != 0 {
+		t.Fatalf("sink has dependents: %v", g.DependentsOf("sink"))
+	}
+	if !g.HasEdge("cax-sco", "sink") {
+		t.Fatal("cax-sco should feed sink (type input)")
+	}
+}
+
+func TestRulesQuickReference(t *testing.T) {
+	// Every rule in both fragments must have a unique, non-empty name.
+	for _, frag := range [][]Rule{RhoDF(), RDFS()} {
+		seen := map[string]bool{}
+		for _, r := range frag {
+			if r.Name() == "" {
+				t.Fatal("rule with empty name")
+			}
+			if seen[r.Name()] {
+				t.Fatalf("duplicate rule name %s", r.Name())
+			}
+			seen[r.Name()] = true
+		}
+	}
+}

@@ -1,0 +1,328 @@
+package rules
+
+import (
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// This file implements an OWL-Horst-style (pD*) extension fragment — the
+// paper's first future-work item: "implement more complex inference
+// rules, in order to implement reasoning over a more complex fragments".
+// The rules follow the OWL 2 RL profile naming and cover property
+// characteristics (symmetric, transitive, inverse), class/property
+// equivalence, and owl:sameAs equality reasoning. Existential (blank-node
+// introducing) rules are out of scope, as in OWL Horst.
+
+// prpSymp implements prp-symp:
+// (p type SymmetricProperty), (x p y) → (y p x).
+type prpSymp struct{}
+
+func (prpSymp) Name() string      { return "prp-symp" }
+func (prpSymp) Inputs() []rdf.ID  { return nil }
+func (prpSymp) Outputs() []rdf.ID { return []rdf.ID{AnyPredicate} }
+
+func (prpSymp) Apply(st *store.Store, delta []rdf.Triple, emit func(rdf.Triple)) {
+	for _, t := range delta {
+		if t.P == rdf.IDType && t.O == rdf.IDSymmetricProperty {
+			// New symmetric property: mirror its existing extent.
+			st.ForEachWithPredicate(t.S, func(x, y rdf.ID) bool {
+				if !x.IsLiteral() {
+					emit(rdf.Triple{S: y, P: t.S, O: x})
+				}
+				return true
+			})
+			continue
+		}
+		if t.O.IsLiteral() {
+			continue // literals cannot be subjects
+		}
+		if st.Contains(rdf.Triple{S: t.P, P: rdf.IDType, O: rdf.IDSymmetricProperty}) {
+			emit(rdf.Triple{S: t.O, P: t.P, O: t.S})
+		}
+	}
+}
+
+// prpTrp implements prp-trp:
+// (p type TransitiveProperty), (x p y), (y p z) → (x p z).
+type prpTrp struct{}
+
+func (prpTrp) Name() string      { return "prp-trp" }
+func (prpTrp) Inputs() []rdf.ID  { return nil }
+func (prpTrp) Outputs() []rdf.ID { return []rdf.ID{AnyPredicate} }
+
+func (prpTrp) Apply(st *store.Store, delta []rdf.Triple, emit func(rdf.Triple)) {
+	for _, t := range delta {
+		if t.P == rdf.IDType && t.O == rdf.IDTransitiveProperty {
+			// New transitive property: close its existing extent one
+			// step; subsequent deltas complete the fixpoint.
+			p := t.S
+			st.ForEachWithPredicate(p, func(x, y rdf.ID) bool {
+				for _, z := range st.Objects(p, y) {
+					emit(rdf.Triple{S: x, P: p, O: z})
+				}
+				return true
+			})
+			continue
+		}
+		if !st.Contains(rdf.Triple{S: t.P, P: rdf.IDType, O: rdf.IDTransitiveProperty}) {
+			continue
+		}
+		for _, z := range st.Objects(t.P, t.O) {
+			emit(rdf.Triple{S: t.S, P: t.P, O: z})
+		}
+		for _, x := range st.Subjects(t.P, t.S) {
+			emit(rdf.Triple{S: x, P: t.P, O: t.O})
+		}
+	}
+}
+
+// prpInv implements prp-inv1 and prp-inv2:
+// (p inverseOf q), (x p y) → (y q x); (p inverseOf q), (x q y) → (y p x).
+type prpInv struct{}
+
+func (prpInv) Name() string      { return "prp-inv" }
+func (prpInv) Inputs() []rdf.ID  { return nil }
+func (prpInv) Outputs() []rdf.ID { return []rdf.ID{AnyPredicate} }
+
+func (prpInv) Apply(st *store.Store, delta []rdf.Triple, emit func(rdf.Triple)) {
+	mirror := func(from, to rdf.ID) {
+		st.ForEachWithPredicate(from, func(x, y rdf.ID) bool {
+			if !y.IsLiteral() {
+				emit(rdf.Triple{S: y, P: to, O: x})
+			}
+			return true
+		})
+	}
+	for _, t := range delta {
+		if t.P == rdf.IDInverseOf {
+			mirror(t.S, t.O)
+			mirror(t.O, t.S)
+			continue
+		}
+		if t.O.IsLiteral() {
+			continue
+		}
+		for _, q := range st.Objects(rdf.IDInverseOf, t.P) {
+			emit(rdf.Triple{S: t.O, P: q, O: t.S})
+		}
+		for _, q := range st.Subjects(rdf.IDInverseOf, t.P) {
+			emit(rdf.Triple{S: t.O, P: q, O: t.S})
+		}
+	}
+}
+
+// prpEqp implements prp-eqp1/prp-eqp2:
+// (p equivalentProperty q), (x p y) → (x q y), and symmetrically.
+type prpEqp struct{}
+
+func (prpEqp) Name() string      { return "prp-eqp" }
+func (prpEqp) Inputs() []rdf.ID  { return nil }
+func (prpEqp) Outputs() []rdf.ID { return []rdf.ID{AnyPredicate} }
+
+func (prpEqp) Apply(st *store.Store, delta []rdf.Triple, emit func(rdf.Triple)) {
+	replay := func(from, to rdf.ID) {
+		if from == to {
+			return
+		}
+		st.ForEachWithPredicate(from, func(x, y rdf.ID) bool {
+			emit(rdf.Triple{S: x, P: to, O: y})
+			return true
+		})
+	}
+	for _, t := range delta {
+		if t.P == rdf.IDEquivalentProperty {
+			replay(t.S, t.O)
+			replay(t.O, t.S)
+			continue
+		}
+		for _, q := range st.Objects(rdf.IDEquivalentProperty, t.P) {
+			if q != t.P {
+				emit(rdf.Triple{S: t.S, P: q, O: t.O})
+			}
+		}
+		for _, q := range st.Subjects(rdf.IDEquivalentProperty, t.P) {
+			if q != t.P {
+				emit(rdf.Triple{S: t.S, P: q, O: t.O})
+			}
+		}
+	}
+}
+
+// caxEqc implements cax-eqc1/cax-eqc2:
+// (c equivalentClass d), (x type c) → (x type d), and symmetrically.
+type caxEqc struct{}
+
+func (caxEqc) Name() string      { return "cax-eqc" }
+func (caxEqc) Inputs() []rdf.ID  { return []rdf.ID{rdf.IDEquivalentClass, rdf.IDType} }
+func (caxEqc) Outputs() []rdf.ID { return []rdf.ID{rdf.IDType} }
+
+func (caxEqc) Apply(st *store.Store, delta []rdf.Triple, emit func(rdf.Triple)) {
+	for _, t := range delta {
+		switch t.P {
+		case rdf.IDEquivalentClass:
+			for _, x := range st.Subjects(rdf.IDType, t.S) {
+				emit(rdf.Triple{S: x, P: rdf.IDType, O: t.O})
+			}
+			for _, x := range st.Subjects(rdf.IDType, t.O) {
+				emit(rdf.Triple{S: x, P: rdf.IDType, O: t.S})
+			}
+		case rdf.IDType:
+			for _, d := range st.Objects(rdf.IDEquivalentClass, t.O) {
+				emit(rdf.Triple{S: t.S, P: rdf.IDType, O: d})
+			}
+			for _, d := range st.Subjects(rdf.IDEquivalentClass, t.O) {
+				emit(rdf.Triple{S: t.S, P: rdf.IDType, O: d})
+			}
+		}
+	}
+}
+
+// scmEqc implements scm-eqc1: (c equivalentClass d) → (c sc d), (d sc c).
+type scmEqc struct{}
+
+func (scmEqc) Name() string      { return "scm-eqc" }
+func (scmEqc) Inputs() []rdf.ID  { return []rdf.ID{rdf.IDEquivalentClass} }
+func (scmEqc) Outputs() []rdf.ID { return []rdf.ID{rdf.IDSubClassOf} }
+
+func (scmEqc) Apply(_ *store.Store, delta []rdf.Triple, emit func(rdf.Triple)) {
+	for _, t := range delta {
+		if t.P != rdf.IDEquivalentClass {
+			continue
+		}
+		emit(rdf.Triple{S: t.S, P: rdf.IDSubClassOf, O: t.O})
+		emit(rdf.Triple{S: t.O, P: rdf.IDSubClassOf, O: t.S})
+	}
+}
+
+// scmEqp implements scm-eqp1: (p equivalentProperty q) → (p sp q), (q sp p).
+type scmEqp struct{}
+
+func (scmEqp) Name() string      { return "scm-eqp" }
+func (scmEqp) Inputs() []rdf.ID  { return []rdf.ID{rdf.IDEquivalentProperty} }
+func (scmEqp) Outputs() []rdf.ID { return []rdf.ID{rdf.IDSubPropertyOf} }
+
+func (scmEqp) Apply(_ *store.Store, delta []rdf.Triple, emit func(rdf.Triple)) {
+	for _, t := range delta {
+		if t.P != rdf.IDEquivalentProperty {
+			continue
+		}
+		emit(rdf.Triple{S: t.S, P: rdf.IDSubPropertyOf, O: t.O})
+		emit(rdf.Triple{S: t.O, P: rdf.IDSubPropertyOf, O: t.S})
+	}
+}
+
+// eqSymTrans implements eq-sym and eq-trans:
+// (x sameAs y) → (y sameAs x); (x sameAs y), (y sameAs z) → (x sameAs z).
+type eqSymTrans struct{}
+
+func (eqSymTrans) Name() string      { return "eq-sym-trans" }
+func (eqSymTrans) Inputs() []rdf.ID  { return []rdf.ID{rdf.IDSameAs} }
+func (eqSymTrans) Outputs() []rdf.ID { return []rdf.ID{rdf.IDSameAs} }
+
+func (eqSymTrans) Apply(st *store.Store, delta []rdf.Triple, emit func(rdf.Triple)) {
+	for _, t := range delta {
+		if t.P != rdf.IDSameAs {
+			continue
+		}
+		if t.S != t.O {
+			emit(rdf.Triple{S: t.O, P: rdf.IDSameAs, O: t.S})
+		}
+		for _, z := range st.Objects(rdf.IDSameAs, t.O) {
+			emit(rdf.Triple{S: t.S, P: rdf.IDSameAs, O: z})
+		}
+		for _, x := range st.Subjects(rdf.IDSameAs, t.S) {
+			emit(rdf.Triple{S: x, P: rdf.IDSameAs, O: t.O})
+		}
+	}
+}
+
+// eqRep implements eq-rep-s and eq-rep-o: replace sameAs-equal resources
+// in subject and object position. (Predicate replacement, eq-rep-p, is
+// included for completeness; it is rare in practice.)
+type eqRep struct{}
+
+func (eqRep) Name() string      { return "eq-rep" }
+func (eqRep) Inputs() []rdf.ID  { return nil }
+func (eqRep) Outputs() []rdf.ID { return []rdf.ID{AnyPredicate} }
+
+func (eqRep) Apply(st *store.Store, delta []rdf.Triple, emit func(rdf.Triple)) {
+	for _, t := range delta {
+		if t.P == rdf.IDSameAs {
+			// (x sameAs y): rewrite existing triples mentioning x to
+			// mention y (the symmetric closure handles the other way).
+			x, y := t.S, t.O
+			if x == y {
+				continue
+			}
+			st.ForEach(func(u rdf.Triple) bool {
+				if u.P == rdf.IDSameAs {
+					return true
+				}
+				if u.S == x {
+					emit(rdf.Triple{S: y, P: u.P, O: u.O})
+				}
+				if u.O == x {
+					emit(rdf.Triple{S: u.S, P: u.P, O: y})
+				}
+				if u.P == x {
+					emit(rdf.Triple{S: u.S, P: y, O: u.O})
+				}
+				return true
+			})
+			continue
+		}
+		// New assertion: substitute each position's sameAs equivalents.
+		for _, s2 := range st.Objects(rdf.IDSameAs, t.S) {
+			emit(rdf.Triple{S: s2, P: t.P, O: t.O})
+		}
+		if !t.O.IsLiteral() {
+			for _, o2 := range st.Objects(rdf.IDSameAs, t.O) {
+				emit(rdf.Triple{S: t.S, P: t.P, O: o2})
+			}
+		}
+		for _, p2 := range st.Objects(rdf.IDSameAs, t.P) {
+			emit(rdf.Triple{S: t.S, P: p2, O: t.O})
+		}
+	}
+}
+
+// OWL-rule constructors.
+
+// PrpSymp returns the symmetric-property rule.
+func PrpSymp() Rule { return prpSymp{} }
+
+// PrpTrp returns the transitive-property rule.
+func PrpTrp() Rule { return prpTrp{} }
+
+// PrpInv returns the inverse-property rule.
+func PrpInv() Rule { return prpInv{} }
+
+// PrpEqp returns the equivalent-property rule.
+func PrpEqp() Rule { return prpEqp{} }
+
+// CaxEqc returns the equivalent-class membership rule.
+func CaxEqc() Rule { return caxEqc{} }
+
+// ScmEqc returns the equivalentClass→subClassOf schema rule.
+func ScmEqc() Rule { return scmEqc{} }
+
+// ScmEqp returns the equivalentProperty→subPropertyOf schema rule.
+func ScmEqp() Rule { return scmEqp{} }
+
+// EqSymTrans returns the sameAs symmetry/transitivity rule.
+func EqSymTrans() Rule { return eqSymTrans{} }
+
+// EqRep returns the sameAs replacement rule. Note: materialising sameAs
+// replacement can square the size of dense equivalence clusters; keep
+// clusters small or leave this rule out of custom fragments.
+func EqRep() Rule { return eqRep{} }
+
+// OWLHorst returns the OWL-Horst-style fragment: RDFS plus the property
+// characteristic, equivalence and sameAs rules.
+func OWLHorst() []Rule {
+	return append(RDFS(),
+		PrpSymp(), PrpTrp(), PrpInv(), PrpEqp(),
+		CaxEqc(), ScmEqc(), ScmEqp(),
+		EqSymTrans(), EqRep(),
+	)
+}

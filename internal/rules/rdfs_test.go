@@ -1,0 +1,106 @@
+package rules
+
+import (
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+func TestRdfs6PropertyReflexiveSubProperty(t *testing.T) {
+	got := applyRule(Rdfs6(), nil, []rdf.Triple{ty(p1, rdf.IDProperty)})
+	wantTriples(t, got, []rdf.Triple{sp(p1, p1)})
+}
+
+func TestRdfs8ClassSubClassOfResource(t *testing.T) {
+	got := applyRule(Rdfs8(), nil, []rdf.Triple{ty(a, rdf.IDClass)})
+	wantTriples(t, got, []rdf.Triple{sc(a, rdf.IDResource)})
+}
+
+func TestRdfs10ClassReflexiveSubClass(t *testing.T) {
+	got := applyRule(Rdfs10(), nil, []rdf.Triple{ty(a, rdf.IDClass)})
+	wantTriples(t, got, []rdf.Triple{sc(a, a)})
+}
+
+func TestRdfs12ContainerMembership(t *testing.T) {
+	got := applyRule(Rdfs12(), nil, []rdf.Triple{ty(p1, rdf.IDContainerMembershipProp)})
+	wantTriples(t, got, []rdf.Triple{sp(p1, rdf.IDMember)})
+}
+
+func TestRdfs13DatatypeSubClassOfLiteral(t *testing.T) {
+	got := applyRule(Rdfs13(), nil, []rdf.Triple{ty(a, rdf.IDDatatype)})
+	wantTriples(t, got, []rdf.Triple{sc(a, rdf.IDLiteralClass)})
+}
+
+func TestClassTriggerRulesIgnoreOtherClasses(t *testing.T) {
+	for _, r := range []Rule{Rdfs6(), Rdfs8(), Rdfs10(), Rdfs12(), Rdfs13()} {
+		got := applyRule(r, nil, []rdf.Triple{ty(x, a)}) // a is not a trigger class
+		if len(got) != 0 {
+			t.Errorf("%s fired on unrelated class: %v", r.Name(), got)
+		}
+		got = applyRule(r, nil, []rdf.Triple{sc(a, b)}) // not a type triple
+		if len(got) != 0 {
+			t.Errorf("%s fired on non-type triple: %v", r.Name(), got)
+		}
+	}
+}
+
+func TestRdfs4TypesBothEnds(t *testing.T) {
+	got := applyRule(Rdfs4(), nil, []rdf.Triple{rdf.T(x, p1, y)})
+	wantTriples(t, got, []rdf.Triple{
+		ty(x, rdf.IDResource),
+		ty(y, rdf.IDResource),
+	})
+}
+
+func TestRdfs4SkipsLiteralObjects(t *testing.T) {
+	lit := rdf.NewDictionary().Encode(rdf.NewLiteral("v"))
+	got := applyRule(Rdfs4(), nil, []rdf.Triple{rdf.T(x, p1, lit)})
+	wantTriples(t, got, []rdf.Triple{ty(x, rdf.IDResource)})
+}
+
+func TestRDFSComposition(t *testing.T) {
+	rs := RDFS()
+	if len(rs) != 14 {
+		t.Fatalf("RDFS has %d rules, want 14 (8 ρdf + 5 schema + rdfs4)", len(rs))
+	}
+	for _, name := range []string{"scm-sco", "cax-sco", "rdfs6", "rdfs8", "rdfs10", "rdfs12", "rdfs13", "rdfs4"} {
+		if ByName(rs, name) == nil {
+			t.Errorf("RDFS missing rule %s", name)
+		}
+	}
+	noRT := RDFSWith(RDFSOptions{ResourceTyping: false})
+	if ByName(noRT, "rdfs4") != nil {
+		t.Error("ResourceTyping=false still includes rdfs4")
+	}
+	if len(noRT) != 13 {
+		t.Errorf("RDFS without resource typing has %d rules, want 13", len(noRT))
+	}
+}
+
+func TestCustomRule(t *testing.T) {
+	// A rule that mirrors every (x p1 y) as (y p1 x).
+	sym := &CustomRule{
+		RuleName: "custom-sym",
+		In:       []rdf.ID{p1},
+		Out:      []rdf.ID{p1},
+		Fn: func(_ *store.Store, delta []rdf.Triple, emit func(rdf.Triple)) {
+			for _, t := range delta {
+				if t.P == p1 {
+					emit(rdf.T(t.O, t.P, t.S))
+				}
+			}
+		},
+	}
+	got := applyRule(sym, nil, []rdf.Triple{rdf.T(x, p1, y)})
+	wantTriples(t, got, []rdf.Triple{rdf.T(y, p1, x)})
+	if sym.Name() != "custom-sym" {
+		t.Fatal("Name mismatch")
+	}
+	// Nil Fn is a no-op, not a panic.
+	empty := &CustomRule{RuleName: "noop"}
+	got = applyRule(empty, nil, []rdf.Triple{rdf.T(x, p1, y)})
+	if len(got) != 0 {
+		t.Fatal("nil Fn emitted triples")
+	}
+}

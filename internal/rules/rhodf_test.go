@@ -1,0 +1,291 @@
+package rules
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// applyRule loads base triples into a store, then applies the rule with
+// the given delta (after inserting the delta into the store, matching the
+// engine's store-before-buffer ordering) and returns the emitted triples.
+func applyRule(r Rule, base, delta []rdf.Triple) []rdf.Triple {
+	st := store.New()
+	for _, t := range base {
+		st.Add(t)
+	}
+	for _, t := range delta {
+		st.Add(t)
+	}
+	var out []rdf.Triple
+	r.Apply(st, delta, func(t rdf.Triple) { out = append(out, t) })
+	return dedup(out)
+}
+
+func dedup(ts []rdf.Triple) []rdf.Triple {
+	seen := make(map[rdf.Triple]bool, len(ts))
+	var out []rdf.Triple
+	for _, t := range ts {
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	sortTriples(out)
+	return out
+}
+
+func sortTriples(ts []rdf.Triple) {
+	sort.Slice(ts, func(i, j int) bool {
+		if ts[i].S != ts[j].S {
+			return ts[i].S < ts[j].S
+		}
+		if ts[i].P != ts[j].P {
+			return ts[i].P < ts[j].P
+		}
+		return ts[i].O < ts[j].O
+	})
+}
+
+func wantTriples(t *testing.T, got, want []rdf.Triple) {
+	t.Helper()
+	want = dedup(want)
+	if len(got) != len(want) {
+		t.Fatalf("derived %d triples %v, want %d %v", len(got), got, len(want), want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("derived %v, want %v", got, want)
+		}
+	}
+}
+
+// Convenient fresh IDs outside the well-known range.
+const (
+	a rdf.ID = rdf.FirstCustomID + iota
+	b
+	c
+	d
+	p1
+	p2
+	p3
+	x
+	y
+	z
+)
+
+func sc(s, o rdf.ID) rdf.Triple  { return rdf.T(s, rdf.IDSubClassOf, o) }
+func sp(s, o rdf.ID) rdf.Triple  { return rdf.T(s, rdf.IDSubPropertyOf, o) }
+func ty(s, o rdf.ID) rdf.Triple  { return rdf.T(s, rdf.IDType, o) }
+func dom(s, o rdf.ID) rdf.Triple { return rdf.T(s, rdf.IDDomain, o) }
+func rng(s, o rdf.ID) rdf.Triple { return rdf.T(s, rdf.IDRange, o) }
+
+func TestScmScoTransitivityBothDirections(t *testing.T) {
+	// Store has (a sc b); delta brings (b sc c): expect (a sc c).
+	got := applyRule(ScmSco(), []rdf.Triple{sc(a, b)}, []rdf.Triple{sc(b, c)})
+	wantTriples(t, got, []rdf.Triple{sc(a, c)})
+
+	// Reverse roles: store (b sc c), delta (a sc b): expect (a sc c).
+	got = applyRule(ScmSco(), []rdf.Triple{sc(b, c)}, []rdf.Triple{sc(a, b)})
+	wantTriples(t, got, []rdf.Triple{sc(a, c)})
+}
+
+func TestScmScoDeltaOnlyChain(t *testing.T) {
+	// Both premises arrive in the same delta; the engine guarantees they
+	// are in the store, so the join still fires.
+	got := applyRule(ScmSco(), nil, []rdf.Triple{sc(a, b), sc(b, c)})
+	wantTriples(t, got, []rdf.Triple{sc(a, c)})
+}
+
+func TestScmScoCycleTerminates(t *testing.T) {
+	got := applyRule(ScmSco(), []rdf.Triple{sc(a, b)}, []rdf.Triple{sc(b, a)})
+	wantTriples(t, got, []rdf.Triple{sc(a, a), sc(b, b)})
+}
+
+func TestScmScoIgnoresOtherPredicates(t *testing.T) {
+	got := applyRule(ScmSco(), []rdf.Triple{sc(a, b)}, []rdf.Triple{ty(x, a)})
+	if len(got) != 0 {
+		t.Fatalf("scm-sco fired on rdf:type delta: %v", got)
+	}
+}
+
+func TestScmSpoTransitivity(t *testing.T) {
+	got := applyRule(ScmSpo(), []rdf.Triple{sp(p1, p2)}, []rdf.Triple{sp(p2, p3)})
+	wantTriples(t, got, []rdf.Triple{sp(p1, p3)})
+}
+
+func TestCaxScoBothDirections(t *testing.T) {
+	// Algorithm 1 from the paper, both join directions.
+	got := applyRule(CaxSco(), []rdf.Triple{ty(x, a)}, []rdf.Triple{sc(a, b)})
+	wantTriples(t, got, []rdf.Triple{ty(x, b)})
+
+	got = applyRule(CaxSco(), []rdf.Triple{sc(a, b)}, []rdf.Triple{ty(x, a)})
+	wantTriples(t, got, []rdf.Triple{ty(x, b)})
+}
+
+func TestCaxScoNoMatch(t *testing.T) {
+	// Type assertion for a class with no superclass: nothing derived.
+	got := applyRule(CaxSco(), []rdf.Triple{sc(a, b)}, []rdf.Triple{ty(x, c)})
+	if len(got) != 0 {
+		t.Fatalf("cax-sco derived %v from unrelated class", got)
+	}
+}
+
+func TestCaxScoFanOut(t *testing.T) {
+	// One subclass triple arriving, many instances present.
+	base := []rdf.Triple{ty(x, a), ty(y, a), ty(z, a)}
+	got := applyRule(CaxSco(), base, []rdf.Triple{sc(a, b)})
+	wantTriples(t, got, []rdf.Triple{ty(x, b), ty(y, b), ty(z, b)})
+}
+
+func TestPrpSpo1SchemaDeltaDirection(t *testing.T) {
+	// Store holds assertions with p1; delta brings (p1 sp p2).
+	base := []rdf.Triple{rdf.T(x, p1, y), rdf.T(y, p1, z)}
+	got := applyRule(PrpSpo1(), base, []rdf.Triple{sp(p1, p2)})
+	wantTriples(t, got, []rdf.Triple{rdf.T(x, p2, y), rdf.T(y, p2, z)})
+}
+
+func TestPrpSpo1AssertionDeltaDirection(t *testing.T) {
+	// Store holds the schema; delta brings an assertion.
+	got := applyRule(PrpSpo1(), []rdf.Triple{sp(p1, p2)}, []rdf.Triple{rdf.T(x, p1, y)})
+	wantTriples(t, got, []rdf.Triple{rdf.T(x, p2, y)})
+}
+
+func TestPrpSpo1ChainedSuperProperties(t *testing.T) {
+	// p1 sp p2 and p1 sp p3 both present: both fire.
+	got := applyRule(PrpSpo1(), []rdf.Triple{sp(p1, p2), sp(p1, p3)}, []rdf.Triple{rdf.T(x, p1, y)})
+	wantTriples(t, got, []rdf.Triple{rdf.T(x, p2, y), rdf.T(x, p3, y)})
+}
+
+func TestPrpSpo1ReflexiveSuperPropertySkipped(t *testing.T) {
+	got := applyRule(PrpSpo1(), []rdf.Triple{sp(p1, p1)}, []rdf.Triple{rdf.T(x, p1, y)})
+	if len(got) != 0 {
+		t.Fatalf("prp-spo1 re-derived its input through (p sp p): %v", got)
+	}
+}
+
+func TestPrpSpo1SubPropertyOfItselfHasSuperProperty(t *testing.T) {
+	// subPropertyOf declared as a subproperty of another property: the
+	// delta (p1 sp p2) must also be treated as a plain assertion.
+	superOfSp := p3
+	got := applyRule(PrpSpo1(),
+		[]rdf.Triple{sp(rdf.IDSubPropertyOf, superOfSp)},
+		[]rdf.Triple{sp(p1, p2)})
+	// Two derivations: (x p2 y) has no extent yet; the sp-as-assertion
+	// branch derives (p1 superOfSp p2). The schema branch replays the p1
+	// extent (empty).
+	wantTriples(t, got, []rdf.Triple{rdf.T(p1, superOfSp, p2)})
+}
+
+func TestPrpDomBothDirections(t *testing.T) {
+	got := applyRule(PrpDom(), []rdf.Triple{rdf.T(x, p1, y)}, []rdf.Triple{dom(p1, c)})
+	wantTriples(t, got, []rdf.Triple{ty(x, c)})
+
+	got = applyRule(PrpDom(), []rdf.Triple{dom(p1, c)}, []rdf.Triple{rdf.T(x, p1, y)})
+	wantTriples(t, got, []rdf.Triple{ty(x, c)})
+}
+
+func TestPrpRngBothDirections(t *testing.T) {
+	got := applyRule(PrpRng(), []rdf.Triple{rdf.T(x, p1, y)}, []rdf.Triple{rng(p1, c)})
+	wantTriples(t, got, []rdf.Triple{ty(y, c)})
+
+	got = applyRule(PrpRng(), []rdf.Triple{rng(p1, c)}, []rdf.Triple{rdf.T(x, p1, y)})
+	wantTriples(t, got, []rdf.Triple{ty(y, c)})
+}
+
+func TestPrpRngSkipsLiteralObjects(t *testing.T) {
+	lit := rdf.NewDictionary().Encode(rdf.NewLiteral("v"))
+	got := applyRule(PrpRng(), []rdf.Triple{rng(p1, c)}, []rdf.Triple{rdf.T(x, p1, lit)})
+	if len(got) != 0 {
+		t.Fatalf("prp-rng typed a literal: %v", got)
+	}
+	// Both directions.
+	got = applyRule(PrpRng(), []rdf.Triple{rdf.T(x, p1, lit)}, []rdf.Triple{rng(p1, c)})
+	if len(got) != 0 {
+		t.Fatalf("prp-rng typed a literal via schema delta: %v", got)
+	}
+}
+
+func TestScmDom2BothDirections(t *testing.T) {
+	// (p2 dom c), (p1 sp p2) → (p1 dom c)
+	got := applyRule(ScmDom2(), []rdf.Triple{sp(p1, p2)}, []rdf.Triple{dom(p2, c)})
+	wantTriples(t, got, []rdf.Triple{dom(p1, c)})
+
+	got = applyRule(ScmDom2(), []rdf.Triple{dom(p2, c)}, []rdf.Triple{sp(p1, p2)})
+	wantTriples(t, got, []rdf.Triple{dom(p1, c)})
+}
+
+func TestScmRng2BothDirections(t *testing.T) {
+	got := applyRule(ScmRng2(), []rdf.Triple{sp(p1, p2)}, []rdf.Triple{rng(p2, c)})
+	wantTriples(t, got, []rdf.Triple{rng(p1, c)})
+
+	got = applyRule(ScmRng2(), []rdf.Triple{rng(p2, c)}, []rdf.Triple{sp(p1, p2)})
+	wantTriples(t, got, []rdf.Triple{rng(p1, c)})
+}
+
+func TestRhoDFRuleSetComposition(t *testing.T) {
+	rs := RhoDF()
+	if len(rs) != 8 {
+		t.Fatalf("ρdf has %d rules, want 8", len(rs))
+	}
+	want := []string{"scm-sco", "scm-spo", "cax-sco", "prp-spo1", "prp-dom", "prp-rng", "scm-dom2", "scm-rng2"}
+	got := Names(rs)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names = %v, want %v", got, want)
+		}
+	}
+	if ByName(rs, "cax-sco") == nil {
+		t.Fatal("ByName failed to find cax-sco")
+	}
+	if ByName(rs, "nope") != nil {
+		t.Fatal("ByName found a non-existent rule")
+	}
+}
+
+func TestRuleSignatures(t *testing.T) {
+	cases := []struct {
+		rule          Rule
+		wantUniversal bool
+		wantIn        []rdf.ID
+		wantOut       []rdf.ID
+	}{
+		{ScmSco(), false, []rdf.ID{rdf.IDSubClassOf}, []rdf.ID{rdf.IDSubClassOf}},
+		{ScmSpo(), false, []rdf.ID{rdf.IDSubPropertyOf}, []rdf.ID{rdf.IDSubPropertyOf}},
+		{CaxSco(), false, []rdf.ID{rdf.IDSubClassOf, rdf.IDType}, []rdf.ID{rdf.IDType}},
+		{PrpSpo1(), true, nil, []rdf.ID{AnyPredicate}},
+		{PrpDom(), true, nil, []rdf.ID{rdf.IDType}},
+		{PrpRng(), true, nil, []rdf.ID{rdf.IDType}},
+		{ScmDom2(), false, []rdf.ID{rdf.IDDomain, rdf.IDSubPropertyOf}, []rdf.ID{rdf.IDDomain}},
+		{ScmRng2(), false, []rdf.ID{rdf.IDRange, rdf.IDSubPropertyOf}, []rdf.ID{rdf.IDRange}},
+	}
+	for _, cse := range cases {
+		in := cse.rule.Inputs()
+		if (in == nil) != cse.wantUniversal {
+			t.Errorf("%s: universal = %v, want %v", cse.rule.Name(), in == nil, cse.wantUniversal)
+		}
+		if !cse.wantUniversal {
+			if len(in) != len(cse.wantIn) {
+				t.Errorf("%s: Inputs = %v, want %v", cse.rule.Name(), in, cse.wantIn)
+			} else {
+				for i := range in {
+					if in[i] != cse.wantIn[i] {
+						t.Errorf("%s: Inputs = %v, want %v", cse.rule.Name(), in, cse.wantIn)
+					}
+				}
+			}
+		}
+		out := cse.rule.Outputs()
+		if len(out) != len(cse.wantOut) {
+			t.Errorf("%s: Outputs = %v, want %v", cse.rule.Name(), out, cse.wantOut)
+			continue
+		}
+		for i := range out {
+			if out[i] != cse.wantOut[i] {
+				t.Errorf("%s: Outputs = %v, want %v", cse.rule.Name(), out, cse.wantOut)
+			}
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// Package rules implements the inference rules of the ρdf and RDFS
+// fragments, the Rule abstraction that lets Slider stay fragment-agnostic,
+// and the rules dependency graph the engine builds at initialisation
+// (paper §2.1 and §2.3).
+//
+// Every rule is a forward-chaining production: its Apply method joins a
+// delta (newly arrived triples) against the triple store in both
+// directions, exactly as the paper's Algorithm 1 does for cax-sco. A rule
+// never needs to join the delta against itself because the engine inserts
+// incoming triples into the store *before* routing them to rule buffers,
+// so the store always contains the delta at application time.
+package rules
+
+import (
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// AnyPredicate marks, in a rule's Outputs signature, that the rule can
+// produce triples with arbitrary predicates (e.g. prp-spo1).
+const AnyPredicate = rdf.Any
+
+// Rule is one inference rule, mapped by the engine onto one independent
+// rule module with its own buffer and distributor.
+type Rule interface {
+	// Name returns the rule's identifier, using the OWL 2 RL profile
+	// naming (cax-sco, scm-sco, …) or the RDF Semantics naming (rdfs8).
+	Name() string
+
+	// Inputs returns the predicate IDs of triples the rule consumes. A
+	// nil slice means universal input: the rule must see every triple
+	// (paper Figure 2's "Universal Input" rules).
+	Inputs() []rdf.ID
+
+	// Outputs returns the predicate IDs of triples the rule can produce.
+	// AnyPredicate means the rule can produce arbitrary predicates.
+	Outputs() []rdf.ID
+
+	// Apply joins delta against st and calls emit for every derived
+	// triple (duplicates allowed; the store deduplicates downstream).
+	// Apply must not mutate st: it runs concurrently with other rule
+	// instances holding read access.
+	Apply(st *store.Store, delta []rdf.Triple, emit func(rdf.Triple))
+}
+
+// Names returns the names of a ruleset, in order.
+func Names(ruleset []Rule) []string {
+	out := make([]string, len(ruleset))
+	for i, r := range ruleset {
+		out[i] = r.Name()
+	}
+	return out
+}
+
+// ByName returns the rule with the given name, or nil.
+func ByName(ruleset []Rule, name string) Rule {
+	for _, r := range ruleset {
+		if r.Name() == name {
+			return r
+		}
+	}
+	return nil
+}

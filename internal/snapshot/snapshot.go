@@ -1,0 +1,241 @@
+// Package snapshot persists a reasoner's knowledge base — the dictionary
+// and the (materialised) triple store — in a compact binary format, so a
+// closed ontology can be reloaded instantly as background knowledge
+// instead of being re-parsed and re-inferred.
+//
+// Format (little-endian, varint-coded):
+//
+//	magic "SLKB" | version u8
+//	dictionary: count, then per term: kind u8, value, lang, datatype
+//	            (strings as varint length + bytes; terms appear in
+//	            sequence order per kind so IDs reload identically)
+//	triples:    predicate-grouped: #groups, then per group the predicate
+//	            ID, #pairs, and the (subject, object) ID pairs
+//
+// IDs are preserved exactly, so snapshots interoperate with code that
+// stored IDs elsewhere.
+package snapshot
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+var magic = [4]byte{'S', 'L', 'K', 'B'}
+
+// Version of the snapshot format.
+const Version = 1
+
+// ErrBadSnapshot reports a malformed or truncated snapshot.
+var ErrBadSnapshot = errors.New("snapshot: malformed snapshot")
+
+// Save writes the dictionary and store to w.
+func Save(w io.Writer, dict *rdf.Dictionary, st *store.Store) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(Version); err != nil {
+		return err
+	}
+	if err := saveDictionary(bw, dict); err != nil {
+		return err
+	}
+	if err := saveTriples(bw, st); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func putUvarint(w *bufio.Writer, v uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, err := w.Write(buf[:n])
+	return err
+}
+
+func putString(w *bufio.Writer, s string) error {
+	if err := putUvarint(w, uint64(len(s))); err != nil {
+		return err
+	}
+	_, err := w.WriteString(s)
+	return err
+}
+
+// saveDictionary walks IDs in sequence order per kind so that re-encoding
+// on load reproduces identical IDs.
+func saveDictionary(w *bufio.Writer, dict *rdf.Dictionary) error {
+	var terms []rdf.Term
+	var ids []rdf.ID
+	dict.ForEach(func(id rdf.ID, t rdf.Term) bool {
+		ids = append(ids, id)
+		terms = append(terms, t)
+		return true
+	})
+	if err := putUvarint(w, uint64(len(terms))); err != nil {
+		return err
+	}
+	for i, t := range terms {
+		if err := w.WriteByte(byte(t.Kind)); err != nil {
+			return err
+		}
+		if err := putUvarint(w, uint64(ids[i])); err != nil {
+			return err
+		}
+		if err := putString(w, t.Value); err != nil {
+			return err
+		}
+		if err := putString(w, t.Lang); err != nil {
+			return err
+		}
+		if err := putString(w, t.Datatype); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func saveTriples(w *bufio.Writer, st *store.Store) error {
+	preds := st.Predicates()
+	if err := putUvarint(w, uint64(len(preds))); err != nil {
+		return err
+	}
+	for _, p := range preds {
+		if err := putUvarint(w, uint64(p)); err != nil {
+			return err
+		}
+		if err := putUvarint(w, uint64(st.PredicateLen(p))); err != nil {
+			return err
+		}
+		var werr error
+		st.ForEachWithPredicate(p, func(s, o rdf.ID) bool {
+			if werr = putUvarint(w, uint64(s)); werr != nil {
+				return false
+			}
+			if werr = putUvarint(w, uint64(o)); werr != nil {
+				return false
+			}
+			return true
+		})
+		if werr != nil {
+			return werr
+		}
+	}
+	return nil
+}
+
+// Load reads a snapshot from r, returning a freshly populated dictionary
+// and store.
+func Load(r io.Reader) (*rdf.Dictionary, *store.Store, error) {
+	br := bufio.NewReader(r)
+	var hdr [5]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, nil, fmt.Errorf("%w: missing header", ErrBadSnapshot)
+	}
+	if [4]byte{hdr[0], hdr[1], hdr[2], hdr[3]} != magic {
+		return nil, nil, fmt.Errorf("%w: bad magic", ErrBadSnapshot)
+	}
+	if hdr[4] != Version {
+		return nil, nil, fmt.Errorf("%w: unsupported version %d", ErrBadSnapshot, hdr[4])
+	}
+	dict, err := loadDictionary(br)
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := loadTriples(br)
+	if err != nil {
+		return nil, nil, err
+	}
+	return dict, st, nil
+}
+
+func getString(br *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", fmt.Errorf("%w: truncated string", ErrBadSnapshot)
+	}
+	if n > 1<<24 {
+		return "", fmt.Errorf("%w: string too long", ErrBadSnapshot)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return "", fmt.Errorf("%w: truncated string body", ErrBadSnapshot)
+	}
+	return string(buf), nil
+}
+
+func loadDictionary(br *bufio.Reader) (*rdf.Dictionary, error) {
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: truncated dictionary", ErrBadSnapshot)
+	}
+	dict := rdf.NewDictionary()
+	for i := uint64(0); i < count; i++ {
+		kindByte, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("%w: truncated term", ErrBadSnapshot)
+		}
+		if kindByte > byte(rdf.TermLiteral) {
+			return nil, fmt.Errorf("%w: bad term kind %d", ErrBadSnapshot, kindByte)
+		}
+		wantID, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: truncated term id", ErrBadSnapshot)
+		}
+		value, err := getString(br)
+		if err != nil {
+			return nil, err
+		}
+		lang, err := getString(br)
+		if err != nil {
+			return nil, err
+		}
+		datatype, err := getString(br)
+		if err != nil {
+			return nil, err
+		}
+		term := rdf.Term{Kind: rdf.TermKind(kindByte), Value: value, Lang: lang, Datatype: datatype}
+		got := dict.Encode(term)
+		if got != rdf.ID(wantID) {
+			return nil, fmt.Errorf("%w: term %q loaded with ID %d, snapshot says %d (out-of-order dictionary)",
+				ErrBadSnapshot, term, got, wantID)
+		}
+	}
+	return dict, nil
+}
+
+func loadTriples(br *bufio.Reader) (*store.Store, error) {
+	groups, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: truncated triple section", ErrBadSnapshot)
+	}
+	st := store.New()
+	for g := uint64(0); g < groups; g++ {
+		p, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: truncated predicate", ErrBadSnapshot)
+		}
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: truncated group size", ErrBadSnapshot)
+		}
+		for i := uint64(0); i < n; i++ {
+			s, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("%w: truncated subject", ErrBadSnapshot)
+			}
+			o, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("%w: truncated object", ErrBadSnapshot)
+			}
+			st.Add(rdf.T(rdf.ID(s), rdf.ID(p), rdf.ID(o)))
+		}
+	}
+	return st, nil
+}

@@ -1,0 +1,185 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// build populates a dictionary and store with a mixed knowledge base.
+func build(n int, seed int64) (*rdf.Dictionary, *store.Store) {
+	rng := rand.New(rand.NewSource(seed))
+	dict := rdf.NewDictionary()
+	st := store.New()
+	for i := 0; i < n; i++ {
+		s := dict.Encode(rdf.NewIRI(fmt.Sprintf("http://e/s%d", rng.Intn(n/2+1))))
+		p := dict.Encode(rdf.NewIRI(fmt.Sprintf("http://e/p%d", rng.Intn(7))))
+		var o rdf.ID
+		switch rng.Intn(4) {
+		case 0:
+			o = dict.Encode(rdf.NewLiteral(fmt.Sprintf("value %d", i)))
+		case 1:
+			o = dict.Encode(rdf.NewLangLiteral(fmt.Sprintf("valeur %d", i), "fr"))
+		case 2:
+			o = dict.Encode(rdf.NewBlank(fmt.Sprintf("b%d", rng.Intn(20))))
+		default:
+			o = dict.Encode(rdf.NewIRI(fmt.Sprintf("http://e/o%d", rng.Intn(n/2+1))))
+		}
+		st.Add(rdf.T(s, p, o))
+	}
+	return dict, st
+}
+
+func TestRoundTrip(t *testing.T) {
+	dict, st := build(500, 1)
+	var buf bytes.Buffer
+	if err := Save(&buf, dict, st); err != nil {
+		t.Fatal(err)
+	}
+	dict2, st2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dict2.Len() != dict.Len() {
+		t.Fatalf("dictionary size %d, want %d", dict2.Len(), dict.Len())
+	}
+	if st2.Len() != st.Len() {
+		t.Fatalf("store size %d, want %d", st2.Len(), st.Len())
+	}
+	// Every triple present with identical IDs, and decodable to the same
+	// statements.
+	st.ForEach(func(tr rdf.Triple) bool {
+		if !st2.Contains(tr) {
+			t.Fatalf("loaded store missing %v", tr)
+		}
+		orig, ok1 := dict.DecodeTriple(tr)
+		back, ok2 := dict2.DecodeTriple(tr)
+		if !ok1 || !ok2 || orig != back {
+			t.Fatalf("decode mismatch for %v: %v vs %v", tr, orig, back)
+		}
+		return true
+	})
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	dict := rdf.NewDictionary()
+	st := store.New()
+	var buf bytes.Buffer
+	if err := Save(&buf, dict, st); err != nil {
+		t.Fatal(err)
+	}
+	dict2, st2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Len() != 0 || dict2.Len() != dict.Len() {
+		t.Fatalf("empty round trip: %d triples, %d terms", st2.Len(), dict2.Len())
+	}
+}
+
+func TestIDsPreservedExactly(t *testing.T) {
+	dict, st := build(200, 7)
+	// Remember an arbitrary term's ID.
+	id := dict.Encode(rdf.NewIRI("http://e/landmark"))
+	st.Add(rdf.T(id, rdf.IDType, rdf.IDClass))
+	var buf bytes.Buffer
+	if err := Save(&buf, dict, st); err != nil {
+		t.Fatal(err)
+	}
+	dict2, st2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, ok := dict2.Lookup(rdf.NewIRI("http://e/landmark"))
+	if !ok || id2 != id {
+		t.Fatalf("landmark ID changed: %d -> %d", id, id2)
+	}
+	if !st2.Contains(rdf.T(id, rdf.IDType, rdf.IDClass)) {
+		t.Fatal("triple with landmark ID missing")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("x"),
+		[]byte("NOPE\x01"),
+		[]byte("SLKB\x63"), // wrong version
+		[]byte("SLKB\x01"), // truncated after header
+	}
+	for i, data := range cases {
+		if _, _, err := Load(bytes.NewReader(data)); !errors.Is(err, ErrBadSnapshot) {
+			t.Errorf("case %d: err = %v, want ErrBadSnapshot", i, err)
+		}
+	}
+}
+
+func TestLoadRejectsTruncation(t *testing.T) {
+	dict, st := build(100, 3)
+	var buf bytes.Buffer
+	if err := Save(&buf, dict, st); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Chop the snapshot at various points; every prefix must error, not
+	// panic or silently succeed.
+	for _, cut := range []int{6, len(full) / 4, len(full) / 2, len(full) - 1} {
+		if _, _, err := Load(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+// Property: save/load round trip preserves the knowledge base for
+// arbitrary seeds and sizes.
+func TestRoundTripProperty(t *testing.T) {
+	prop := func(seed int64, n uint8) bool {
+		dict, st := build(int(n)+10, seed)
+		var buf bytes.Buffer
+		if err := Save(&buf, dict, st); err != nil {
+			return false
+		}
+		dict2, st2, err := Load(&buf)
+		if err != nil {
+			return false
+		}
+		if st2.Len() != st.Len() || dict2.Len() != dict.Len() {
+			return false
+		}
+		ok := true
+		st.ForEach(func(tr rdf.Triple) bool {
+			if !st2.Contains(tr) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type failingWriter struct{ n int }
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	f.n -= len(p)
+	return len(p), nil
+}
+
+func TestSavePropagatesWriteErrors(t *testing.T) {
+	dict, st := build(5000, 2)
+	if err := Save(&failingWriter{n: 64}, dict, st); err == nil {
+		t.Fatal("write error swallowed")
+	}
+}

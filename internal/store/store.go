@@ -1,0 +1,359 @@
+// Package store implements Slider's in-memory triple store.
+//
+// The store follows the vertical partitioning approach of Abadi et al.
+// (PVLDB 2007) as adopted by the paper's §2.2: triples are indexed first
+// by predicate, then by subject, then by object — and symmetrically by
+// predicate, object, subject — which is the near-optimal layout for the
+// access patterns of RDFS/OWL rule bodies (walk a predicate's extent, or
+// probe by (predicate, subject) / (predicate, object)).
+//
+// Concurrency mirrors the paper: a single sync.RWMutex guards the store,
+// giving parallel rule-module instances shared read access while triple
+// additions take the write lock. The hash-map structure makes Add
+// idempotent and lets it report whether a triple was new — the mechanism
+// behind Slider's "duplicates limitation".
+package store
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/rdf"
+)
+
+// idSet is a set of term IDs.
+type idSet map[rdf.ID]struct{}
+
+// partition holds all triples sharing one predicate, indexed both
+// subject→objects and object→subjects.
+type partition struct {
+	so map[rdf.ID]idSet // subject → set of objects
+	os map[rdf.ID]idSet // object → set of subjects
+	n  int
+}
+
+func newPartition() *partition {
+	return &partition{so: make(map[rdf.ID]idSet), os: make(map[rdf.ID]idSet)}
+}
+
+// add inserts (s,o) and reports whether it was absent.
+func (p *partition) add(s, o rdf.ID) bool {
+	objs, ok := p.so[s]
+	if !ok {
+		objs = make(idSet, 2)
+		p.so[s] = objs
+	}
+	if _, dup := objs[o]; dup {
+		return false
+	}
+	objs[o] = struct{}{}
+	subs, ok := p.os[o]
+	if !ok {
+		subs = make(idSet, 2)
+		p.os[o] = subs
+	}
+	subs[s] = struct{}{}
+	p.n++
+	return true
+}
+
+func (p *partition) contains(s, o rdf.ID) bool {
+	objs, ok := p.so[s]
+	if !ok {
+		return false
+	}
+	_, ok = objs[o]
+	return ok
+}
+
+// Store is a concurrent, duplicate-free, vertically partitioned triple
+// store. The zero value is not usable; call New.
+type Store struct {
+	mu    sync.RWMutex
+	parts map[rdf.ID]*partition
+	size  int
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{parts: make(map[rdf.ID]*partition, 64)}
+}
+
+// Add inserts a triple and reports whether it was new. Duplicate inserts
+// are cheap no-ops.
+func (st *Store) Add(t rdf.Triple) bool {
+	st.mu.Lock()
+	p, ok := st.parts[t.P]
+	if !ok {
+		p = newPartition()
+		st.parts[t.P] = p
+	}
+	fresh := p.add(t.S, t.O)
+	if fresh {
+		st.size++
+	}
+	st.mu.Unlock()
+	return fresh
+}
+
+// AddAll inserts all triples and returns those that were new, preserving
+// input order.
+func (st *Store) AddAll(ts []rdf.Triple) []rdf.Triple {
+	var fresh []rdf.Triple
+	st.mu.Lock()
+	for _, t := range ts {
+		p, ok := st.parts[t.P]
+		if !ok {
+			p = newPartition()
+			st.parts[t.P] = p
+		}
+		if p.add(t.S, t.O) {
+			st.size++
+			fresh = append(fresh, t)
+		}
+	}
+	st.mu.Unlock()
+	return fresh
+}
+
+// Remove deletes a triple and reports whether it was present. Empty
+// index entries are pruned so memory is reclaimed as partitions drain.
+func (st *Store) Remove(t rdf.Triple) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	p, ok := st.parts[t.P]
+	if !ok {
+		return false
+	}
+	objs, ok := p.so[t.S]
+	if !ok {
+		return false
+	}
+	if _, ok = objs[t.O]; !ok {
+		return false
+	}
+	delete(objs, t.O)
+	if len(objs) == 0 {
+		delete(p.so, t.S)
+	}
+	subs := p.os[t.O]
+	delete(subs, t.S)
+	if len(subs) == 0 {
+		delete(p.os, t.O)
+	}
+	p.n--
+	st.size--
+	if p.n == 0 {
+		delete(st.parts, t.P)
+	}
+	return true
+}
+
+// RemoveAll deletes all given triples, returning how many were present.
+func (st *Store) RemoveAll(ts []rdf.Triple) int {
+	n := 0
+	for _, t := range ts {
+		if st.Remove(t) {
+			n++
+		}
+	}
+	return n
+}
+
+// Contains reports whether the exact triple is present.
+func (st *Store) Contains(t rdf.Triple) bool {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	p, ok := st.parts[t.P]
+	if !ok {
+		return false
+	}
+	return p.contains(t.S, t.O)
+}
+
+// Len returns the number of distinct triples.
+func (st *Store) Len() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.size
+}
+
+// PredicateLen returns the number of triples with the given predicate.
+func (st *Store) PredicateLen(p rdf.ID) int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	part, ok := st.parts[p]
+	if !ok {
+		return 0
+	}
+	return part.n
+}
+
+// Predicates returns all predicates present, in ascending ID order.
+func (st *Store) Predicates() []rdf.ID {
+	st.mu.RLock()
+	out := make([]rdf.ID, 0, len(st.parts))
+	for p := range st.parts {
+		out = append(out, p)
+	}
+	st.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Objects returns a copy of the objects o such that (s, p, o) is present.
+func (st *Store) Objects(p, s rdf.ID) []rdf.ID {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	part, ok := st.parts[p]
+	if !ok {
+		return nil
+	}
+	objs, ok := part.so[s]
+	if !ok {
+		return nil
+	}
+	out := make([]rdf.ID, 0, len(objs))
+	for o := range objs {
+		out = append(out, o)
+	}
+	return out
+}
+
+// Subjects returns a copy of the subjects s such that (s, p, o) is present.
+func (st *Store) Subjects(p, o rdf.ID) []rdf.ID {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	part, ok := st.parts[p]
+	if !ok {
+		return nil
+	}
+	subs, ok := part.os[o]
+	if !ok {
+		return nil
+	}
+	out := make([]rdf.ID, 0, len(subs))
+	for s := range subs {
+		out = append(out, s)
+	}
+	return out
+}
+
+// ForEachWithPredicate calls f for every (s, o) pair in the predicate's
+// partition, under the read lock, until f returns false. f must not
+// mutate the store (that would deadlock).
+func (st *Store) ForEachWithPredicate(p rdf.ID, f func(s, o rdf.ID) bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	part, ok := st.parts[p]
+	if !ok {
+		return
+	}
+	for s, objs := range part.so {
+		for o := range objs {
+			if !f(s, o) {
+				return
+			}
+		}
+	}
+}
+
+// ForEach calls f for every triple, under the read lock, until f returns
+// false. f must not mutate the store.
+func (st *Store) ForEach(f func(rdf.Triple) bool) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	for p, part := range st.parts {
+		for s, objs := range part.so {
+			for o := range objs {
+				if !f(rdf.Triple{S: s, P: p, O: o}) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Match returns all triples matching the pattern, where rdf.Any acts as a
+// wildcard in any position. The result is a copy.
+func (st *Store) Match(pattern rdf.Triple) []rdf.Triple {
+	var out []rdf.Triple
+	collect := func(p rdf.ID, part *partition) {
+		switch {
+		case pattern.S != rdf.Any && pattern.O != rdf.Any:
+			if part.contains(pattern.S, pattern.O) {
+				out = append(out, rdf.Triple{S: pattern.S, P: p, O: pattern.O})
+			}
+		case pattern.S != rdf.Any:
+			for o := range part.so[pattern.S] {
+				out = append(out, rdf.Triple{S: pattern.S, P: p, O: o})
+			}
+		case pattern.O != rdf.Any:
+			for s := range part.os[pattern.O] {
+				out = append(out, rdf.Triple{S: s, P: p, O: pattern.O})
+			}
+		default:
+			for s, objs := range part.so {
+				for o := range objs {
+					out = append(out, rdf.Triple{S: s, P: p, O: o})
+				}
+			}
+		}
+	}
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if pattern.P != rdf.Any {
+		if part, ok := st.parts[pattern.P]; ok {
+			collect(pattern.P, part)
+		}
+		return out
+	}
+	for p, part := range st.parts {
+		collect(p, part)
+	}
+	return out
+}
+
+// Snapshot returns a copy of every triple in the store.
+func (st *Store) Snapshot() []rdf.Triple {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	out := make([]rdf.Triple, 0, st.size)
+	for p, part := range st.parts {
+		for s, objs := range part.so {
+			for o := range objs {
+				out = append(out, rdf.Triple{S: s, P: p, O: o})
+			}
+		}
+	}
+	return out
+}
+
+// Clear removes all triples.
+func (st *Store) Clear() {
+	st.mu.Lock()
+	st.parts = make(map[rdf.ID]*partition, 64)
+	st.size = 0
+	st.mu.Unlock()
+}
+
+// Stats summarises the store's shape.
+type Stats struct {
+	Triples    int
+	Predicates int
+	// MaxPartition is the size of the largest predicate partition.
+	MaxPartition int
+}
+
+// Stats returns current statistics.
+func (st *Store) Stats() Stats {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	s := Stats{Triples: st.size, Predicates: len(st.parts)}
+	for _, part := range st.parts {
+		if part.n > s.MaxPartition {
+			s.MaxPartition = part.n
+		}
+	}
+	return s
+}

@@ -1,0 +1,35 @@
+package turtle
+
+import "testing"
+
+// FuzzParse checks the Turtle parser never panics or loops, and that
+// every statement it accepts is structurally valid RDF.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"@prefix ex: <http://e/> .\nex:s ex:p ex:o .",
+		"PREFIX ex: <http://e/>\nex:s a ex:C .",
+		"@base <http://e/> .\n<s> <p> <o> .",
+		"ex:s ex:p [ ex:q ex:o ; ex:r \"lit\" ] .",
+		`<http://e/s> <http://e/p> """long
+string""" .`,
+		"<http://e/s> <http://e/p> 3.14 .",
+		"<http://e/s> <http://e/p> true .",
+		"@prefix : <http://e/> .\n:s :p :o1 , :o2 ; :q :o3 .",
+		"# just a comment",
+		"@prefix ex <broken",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, doc string) {
+		sts, err := ParseString(doc)
+		if err != nil {
+			return
+		}
+		for _, st := range sts {
+			if !st.Valid() {
+				t.Fatalf("parser accepted invalid statement %v from %q", st, doc)
+			}
+		}
+	})
+}

@@ -1,0 +1,724 @@
+// Package turtle implements a reader for the Turtle serialisation of RDF
+// (https://www.w3.org/TR/turtle/) — the format most real-world ontologies
+// ship in, and the second input format of the reasoner's input manager
+// next to N-Triples.
+//
+// Supported: @prefix/@base and SPARQL-style PREFIX/BASE directives,
+// prefixed names, the `a` keyword, predicate lists (`;`), object lists
+// (`,`), anonymous and labelled blank nodes (including nested `[ p o ]`
+// property lists), string literals with language tags and datatypes
+// (short and long forms), and numeric/boolean literal abbreviations.
+//
+// Not supported (rejected with a parse error): RDF collections `( … )`
+// and RDF-star annotations. Relative IRI resolution is prefix-joining
+// only (no RFC 3986 normalisation).
+package turtle
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// ParseError reports a Turtle syntax error with its 1-based line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("turtle: line %d: %s", e.Line, e.Msg)
+}
+
+// Reader parses a Turtle document into rdf.Statement values. Statements
+// are produced in document order; blank property lists emit their inner
+// statements before the statement that references them.
+type Reader struct {
+	br       *bufio.Reader
+	line     int
+	prefixes map[string]string
+	base     string
+	queue    []rdf.Statement
+	blankSeq int
+	err      error
+	eof      bool
+}
+
+// NewReader returns a Turtle reader over r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{
+		br:       bufio.NewReaderSize(r, 64*1024),
+		line:     1,
+		prefixes: map[string]string{},
+	}
+}
+
+// ParseString parses a complete Turtle document held in a string.
+func ParseString(doc string) ([]rdf.Statement, error) {
+	return NewReader(strings.NewReader(doc)).ReadAll()
+}
+
+// ReadAll consumes the whole document.
+func (r *Reader) ReadAll() ([]rdf.Statement, error) {
+	var out []rdf.Statement
+	for {
+		st, err := r.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, st)
+	}
+}
+
+// Read returns the next statement, io.EOF at the end of the document, or
+// a *ParseError.
+func (r *Reader) Read() (rdf.Statement, error) {
+	for len(r.queue) == 0 {
+		if r.err != nil {
+			return rdf.Statement{}, r.err
+		}
+		if r.eof {
+			return rdf.Statement{}, io.EOF
+		}
+		r.parseStatement()
+	}
+	st := r.queue[0]
+	r.queue = r.queue[1:]
+	return st, nil
+}
+
+func (r *Reader) emit(s, p, o rdf.Term) {
+	r.queue = append(r.queue, rdf.Statement{S: s, P: p, O: o})
+}
+
+func (r *Reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = &ParseError{Line: r.line, Msg: fmt.Sprintf(format, args...)}
+	}
+}
+
+// --- low-level character handling -----------------------------------
+
+func (r *Reader) readByte() (byte, bool) {
+	c, err := r.br.ReadByte()
+	if err != nil {
+		r.eof = true
+		return 0, false
+	}
+	if c == '\n' {
+		r.line++
+	}
+	return c, true
+}
+
+func (r *Reader) unread(c byte) {
+	if c == '\n' {
+		r.line--
+	}
+	_ = r.br.UnreadByte()
+}
+
+// skipWS consumes whitespace and comments; returns false at EOF.
+func (r *Reader) skipWS() bool {
+	for {
+		c, ok := r.readByte()
+		if !ok {
+			return false
+		}
+		switch c {
+		case ' ', '\t', '\r', '\n':
+			continue
+		case '#':
+			for {
+				c2, ok2 := r.readByte()
+				if !ok2 {
+					return false
+				}
+				if c2 == '\n' {
+					break
+				}
+			}
+		default:
+			r.unread(c)
+			return true
+		}
+	}
+}
+
+func (r *Reader) peekByte() (byte, bool) {
+	c, ok := r.readByte()
+	if ok {
+		r.unread(c)
+	}
+	return c, ok
+}
+
+// --- grammar ---------------------------------------------------------
+
+// parseStatement handles one directive or triples block.
+func (r *Reader) parseStatement() {
+	if !r.skipWS() {
+		return
+	}
+	c, _ := r.peekByte()
+	if c == '@' {
+		r.directive()
+		return
+	}
+	// SPARQL-style PREFIX / BASE (case-insensitive, no trailing dot).
+	if c == 'P' || c == 'p' || c == 'B' || c == 'b' {
+		if r.trySPARQLDirective() {
+			return
+		}
+	}
+	subject := r.subject()
+	if r.err != nil || r.eof && subject.IsZero() {
+		return
+	}
+	r.predicateObjectList(subject)
+	if r.err != nil {
+		return
+	}
+	if !r.expect('.') {
+		return
+	}
+}
+
+func (r *Reader) directive() {
+	r.readByte() // '@'
+	word := r.bareWord()
+	switch word {
+	case "prefix":
+		r.prefixDirective(true)
+	case "base":
+		r.baseDirective(true)
+	default:
+		r.fail("unknown directive @%s", word)
+	}
+}
+
+// trySPARQLDirective handles PREFIX/BASE; returns false if the upcoming
+// token is not a directive (it is a prefixed-name subject instead).
+func (r *Reader) trySPARQLDirective() bool {
+	peek, err := r.br.Peek(7)
+	if err != nil && len(peek) < 5 {
+		return false
+	}
+	up := strings.ToUpper(string(peek))
+	if strings.HasPrefix(up, "PREFIX") && (len(up) < 7 || up[6] == ' ' || up[6] == '\t') {
+		r.br.Discard(6)
+		r.prefixDirective(false)
+		return true
+	}
+	if strings.HasPrefix(up, "BASE") && (len(up) >= 5 && (up[4] == ' ' || up[4] == '\t' || up[4] == '<')) {
+		r.br.Discard(4)
+		r.baseDirective(false)
+		return true
+	}
+	return false
+}
+
+func (r *Reader) prefixDirective(dotted bool) {
+	if !r.skipWS() {
+		r.fail("unexpected EOF in prefix directive")
+		return
+	}
+	name := r.bareWord() // may be empty for the default prefix
+	if !r.expect(':') {
+		return
+	}
+	if !r.skipWS() {
+		r.fail("unexpected EOF in prefix directive")
+		return
+	}
+	iri := r.iriRef()
+	if r.err != nil {
+		return
+	}
+	r.prefixes[name] = iri
+	if dotted && !r.expect('.') {
+		return
+	}
+}
+
+func (r *Reader) baseDirective(dotted bool) {
+	if !r.skipWS() {
+		r.fail("unexpected EOF in base directive")
+		return
+	}
+	r.base = r.iriRef()
+	if dotted && r.err == nil {
+		r.expect('.')
+	}
+}
+
+// predicateObjectList parses `p1 o1, o2 ; p2 o3 ; …` for the subject.
+func (r *Reader) predicateObjectList(subject rdf.Term) {
+	for {
+		if !r.skipWS() {
+			r.fail("unexpected EOF, expected predicate")
+			return
+		}
+		pred := r.predicate()
+		if r.err != nil {
+			return
+		}
+		for {
+			obj := r.object()
+			if r.err != nil {
+				return
+			}
+			r.emit(subject, pred, obj)
+			if !r.skipWS() {
+				r.fail("unexpected EOF, expected ',' ';' or '.'")
+				return
+			}
+			c, _ := r.peekByte()
+			if c != ',' {
+				break
+			}
+			r.readByte()
+		}
+		c, _ := r.peekByte()
+		if c != ';' {
+			return
+		}
+		r.readByte()
+		// A ';' may be followed by '.' or ']' (trailing semicolon).
+		if !r.skipWS() {
+			r.fail("unexpected EOF after ';'")
+			return
+		}
+		if c2, _ := r.peekByte(); c2 == '.' || c2 == ']' || c2 == ';' {
+			return
+		}
+	}
+}
+
+func (r *Reader) subject() rdf.Term {
+	if !r.skipWS() {
+		return rdf.Term{}
+	}
+	c, _ := r.peekByte()
+	switch c {
+	case '<':
+		return rdf.NewIRI(r.iriRef())
+	case '_':
+		return r.blankLabel()
+	case '[':
+		return r.blankPropertyList()
+	case '(':
+		r.fail("RDF collections are not supported")
+		return rdf.Term{}
+	default:
+		t := r.prefixedNameOrKeyword(false)
+		if r.err != nil {
+			return rdf.Term{}
+		}
+		return t
+	}
+}
+
+func (r *Reader) predicate() rdf.Term {
+	c, _ := r.peekByte()
+	switch c {
+	case '<':
+		return rdf.NewIRI(r.iriRef())
+	default:
+		return r.prefixedNameOrKeyword(true)
+	}
+}
+
+func (r *Reader) object() rdf.Term {
+	if !r.skipWS() {
+		r.fail("unexpected EOF, expected object")
+		return rdf.Term{}
+	}
+	c, _ := r.peekByte()
+	switch {
+	case c == '<':
+		return rdf.NewIRI(r.iriRef())
+	case c == '_':
+		return r.blankLabel()
+	case c == '[':
+		return r.blankPropertyList()
+	case c == '(':
+		r.fail("RDF collections are not supported")
+		return rdf.Term{}
+	case c == '"' || c == '\'':
+		return r.literal()
+	case c >= '0' && c <= '9' || c == '-' || c == '+':
+		return r.numericLiteral()
+	default:
+		return r.prefixedNameOrKeywordObject()
+	}
+}
+
+// prefixedNameOrKeyword parses a prefixed name; in predicate position the
+// bare keyword `a` expands to rdf:type.
+func (r *Reader) prefixedNameOrKeyword(predicatePos bool) rdf.Term {
+	word := r.bareWord()
+	c, _ := r.peekByte()
+	if c == ':' {
+		r.readByte()
+		local := r.localName()
+		ns, ok := r.prefixes[word]
+		if !ok {
+			r.fail("unknown prefix %q", word)
+			return rdf.Term{}
+		}
+		return rdf.NewIRI(ns + local)
+	}
+	if predicatePos && word == "a" {
+		return rdf.NewIRI(rdf.IRIType)
+	}
+	r.fail("unexpected token %q", word)
+	return rdf.Term{}
+}
+
+// prefixedNameOrKeywordObject additionally recognises boolean literals.
+func (r *Reader) prefixedNameOrKeywordObject() rdf.Term {
+	word := r.bareWord()
+	c, _ := r.peekByte()
+	if c == ':' {
+		r.readByte()
+		local := r.localName()
+		ns, ok := r.prefixes[word]
+		if !ok {
+			r.fail("unknown prefix %q", word)
+			return rdf.Term{}
+		}
+		return rdf.NewIRI(ns + local)
+	}
+	switch word {
+	case "true", "false":
+		return rdf.NewTypedLiteral(word, rdf.XSDNS+"boolean")
+	}
+	r.fail("unexpected token %q", word)
+	return rdf.Term{}
+}
+
+// blankPropertyList parses `[ p o ; … ]`, emitting the inner statements
+// and returning the fresh blank node.
+func (r *Reader) blankPropertyList() rdf.Term {
+	r.readByte() // '['
+	r.blankSeq++
+	node := rdf.NewBlank(fmt.Sprintf("gen%d", r.blankSeq))
+	if !r.skipWS() {
+		r.fail("unterminated [")
+		return rdf.Term{}
+	}
+	if c, _ := r.peekByte(); c == ']' { // anonymous node []
+		r.readByte()
+		return node
+	}
+	r.predicateObjectList(node)
+	if r.err != nil {
+		return rdf.Term{}
+	}
+	if !r.expect(']') {
+		return rdf.Term{}
+	}
+	return node
+}
+
+func (r *Reader) blankLabel() rdf.Term {
+	r.readByte() // '_'
+	if c, ok := r.readByte(); !ok || c != ':' {
+		r.fail("expected ':' after '_'")
+		return rdf.Term{}
+	}
+	label := r.localName()
+	if label == "" {
+		r.fail("empty blank node label")
+		return rdf.Term{}
+	}
+	return rdf.NewBlank(label)
+}
+
+func (r *Reader) iriRef() string {
+	r.readByte() // '<'
+	var b strings.Builder
+	for {
+		c, ok := r.readByte()
+		if !ok {
+			r.fail("unterminated IRI")
+			return ""
+		}
+		if c == '>' {
+			break
+		}
+		if c == ' ' || c == '\n' {
+			r.fail("whitespace in IRI")
+			return ""
+		}
+		b.WriteByte(c)
+	}
+	iri := b.String()
+	if r.base != "" && !strings.Contains(iri, "://") && !strings.HasPrefix(iri, "urn:") {
+		iri = r.base + iri
+	}
+	if iri == "" {
+		r.fail("empty IRI")
+	}
+	return iri
+}
+
+// literal parses short and long quoted strings with optional @lang/^^dt.
+func (r *Reader) literal() rdf.Term {
+	quote, _ := r.readByte()
+	long := false
+	if p, err := r.br.Peek(2); err == nil && len(p) == 2 && p[0] == quote && p[1] == quote {
+		r.br.Discard(2)
+		long = true
+	} else if p, err := r.br.Peek(1); err == nil && p[0] == quote {
+		// Empty short string "".
+		r.br.Discard(1)
+		return r.literalSuffix("")
+	}
+	var b strings.Builder
+	for {
+		c, ok := r.readByte()
+		if !ok {
+			r.fail("unterminated string literal")
+			return rdf.Term{}
+		}
+		if c == '\\' {
+			e, ok := r.readByte()
+			if !ok {
+				r.fail("dangling backslash")
+				return rdf.Term{}
+			}
+			switch e {
+			case 't':
+				b.WriteByte('\t')
+			case 'n':
+				b.WriteByte('\n')
+			case 'r':
+				b.WriteByte('\r')
+			case 'b':
+				b.WriteByte('\b')
+			case 'f':
+				b.WriteByte('\f')
+			case '"', '\'', '\\':
+				b.WriteByte(e)
+			case 'u', 'U':
+				width := 4
+				if e == 'U' {
+					width = 8
+				}
+				hex := make([]byte, width)
+				if _, err := io.ReadFull(r.br, hex); err != nil {
+					r.fail("truncated unicode escape")
+					return rdf.Term{}
+				}
+				var v uint32
+				for _, h := range hex {
+					var d uint32
+					switch {
+					case h >= '0' && h <= '9':
+						d = uint32(h - '0')
+					case h >= 'a' && h <= 'f':
+						d = uint32(h-'a') + 10
+					case h >= 'A' && h <= 'F':
+						d = uint32(h-'A') + 10
+					default:
+						r.fail("bad unicode escape")
+						return rdf.Term{}
+					}
+					v = v<<4 | d
+				}
+				b.WriteRune(rune(v))
+			default:
+				r.fail("invalid escape \\%c", e)
+				return rdf.Term{}
+			}
+			continue
+		}
+		if c == quote {
+			if !long {
+				break
+			}
+			if p, err := r.br.Peek(2); err == nil && len(p) == 2 && p[0] == quote && p[1] == quote {
+				r.br.Discard(2)
+				break
+			}
+			b.WriteByte(c)
+			continue
+		}
+		if c == '\n' && !long {
+			r.fail("newline in short string literal")
+			return rdf.Term{}
+		}
+		b.WriteByte(c)
+	}
+	return r.literalSuffix(b.String())
+}
+
+func (r *Reader) literalSuffix(lex string) rdf.Term {
+	c, ok := r.peekByte()
+	if !ok {
+		return rdf.NewLiteral(lex)
+	}
+	if c == '@' {
+		r.readByte()
+		var b strings.Builder
+		for {
+			c2, ok2 := r.readByte()
+			if !ok2 {
+				break
+			}
+			if c2 >= 'a' && c2 <= 'z' || c2 >= 'A' && c2 <= 'Z' || c2 >= '0' && c2 <= '9' || c2 == '-' {
+				b.WriteByte(c2)
+				continue
+			}
+			r.unread(c2)
+			break
+		}
+		if b.Len() == 0 {
+			r.fail("empty language tag")
+			return rdf.Term{}
+		}
+		return rdf.NewLangLiteral(lex, b.String())
+	}
+	if c == '^' {
+		r.readByte()
+		if c2, ok2 := r.readByte(); !ok2 || c2 != '^' {
+			r.fail("expected ^^ before datatype")
+			return rdf.Term{}
+		}
+		if !r.skipWS() {
+			r.fail("missing datatype")
+			return rdf.Term{}
+		}
+		dc, _ := r.peekByte()
+		if dc == '<' {
+			return rdf.NewTypedLiteral(lex, r.iriRef())
+		}
+		dt := r.prefixedNameOrKeyword(false)
+		if r.err != nil {
+			return rdf.Term{}
+		}
+		return rdf.NewTypedLiteral(lex, dt.Value)
+	}
+	return rdf.NewLiteral(lex)
+}
+
+// numericLiteral parses integer/decimal/double abbreviations into typed
+// literals.
+func (r *Reader) numericLiteral() rdf.Term {
+	var b strings.Builder
+	dots, exp := 0, false
+	for {
+		c, ok := r.readByte()
+		if !ok {
+			break
+		}
+		switch {
+		case c >= '0' && c <= '9', c == '-' && b.Len() == 0, c == '+' && b.Len() == 0:
+			b.WriteByte(c)
+		case c == '.':
+			// A dot followed by a non-digit terminates the statement.
+			if p, err := r.br.Peek(1); err != nil || p[0] < '0' || p[0] > '9' {
+				r.unread(c)
+				goto done
+			}
+			dots++
+			b.WriteByte(c)
+		case c == 'e' || c == 'E':
+			exp = true
+			b.WriteByte(c)
+			if p, err := r.br.Peek(1); err == nil && (p[0] == '-' || p[0] == '+') {
+				c2, _ := r.readByte()
+				b.WriteByte(c2)
+			}
+		default:
+			r.unread(c)
+			goto done
+		}
+	}
+done:
+	lex := b.String()
+	if lex == "" || lex == "-" || lex == "+" {
+		r.fail("malformed numeric literal")
+		return rdf.Term{}
+	}
+	switch {
+	case exp:
+		return rdf.NewTypedLiteral(lex, rdf.XSDNS+"double")
+	case dots > 0:
+		return rdf.NewTypedLiteral(lex, rdf.XSDNS+"decimal")
+	default:
+		return rdf.NewTypedLiteral(lex, rdf.IRIXSDInteger)
+	}
+}
+
+// bareWord reads [A-Za-z0-9_-]* without consuming the following rune.
+func (r *Reader) bareWord() string {
+	var b strings.Builder
+	for {
+		c, ok := r.readByte()
+		if !ok {
+			break
+		}
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '-' {
+			b.WriteByte(c)
+			continue
+		}
+		r.unread(c)
+		break
+	}
+	return b.String()
+}
+
+// localName reads the local part of a prefixed name; allows dots inside
+// but not at the end (a trailing dot terminates the statement).
+func (r *Reader) localName() string {
+	var b strings.Builder
+	for {
+		c, ok := r.readByte()
+		if !ok {
+			break
+		}
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+			c == '_' || c == '-' || c == '%' {
+			b.WriteByte(c)
+			continue
+		}
+		if c == '.' {
+			// Dot is part of the name only if followed by a name char.
+			if p, err := r.br.Peek(1); err == nil && len(p) == 1 && isLocalChar(p[0]) {
+				b.WriteByte(c)
+				continue
+			}
+		}
+		r.unread(c)
+		break
+	}
+	return b.String()
+}
+
+func isLocalChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+		c == '_' || c == '-' || c == '%'
+}
+
+// expect consumes the next non-whitespace byte and checks it.
+func (r *Reader) expect(want byte) bool {
+	if !r.skipWS() {
+		r.fail("unexpected EOF, expected %q", want)
+		return false
+	}
+	c, _ := r.readByte()
+	if c != want {
+		r.fail("expected %q, found %q", want, c)
+		return false
+	}
+	return true
+}

@@ -1,0 +1,278 @@
+package turtle
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func parse(t *testing.T, doc string) []rdf.Statement {
+	t.Helper()
+	sts, err := ParseString(doc)
+	if err != nil {
+		t.Fatalf("ParseString(%q): %v", doc, err)
+	}
+	return sts
+}
+
+func TestBasicTriple(t *testing.T) {
+	sts := parse(t, `<http://e/s> <http://e/p> <http://e/o> .`)
+	if len(sts) != 1 {
+		t.Fatalf("got %d statements", len(sts))
+	}
+	want := rdf.NewStatement(rdf.NewIRI("http://e/s"), rdf.NewIRI("http://e/p"), rdf.NewIRI("http://e/o"))
+	if sts[0] != want {
+		t.Fatalf("got %v, want %v", sts[0], want)
+	}
+}
+
+func TestPrefixDirectives(t *testing.T) {
+	doc := `
+@prefix ex: <http://e/> .
+@prefix : <http://default/> .
+PREFIX sp: <http://sparql/>
+ex:s ex:p :o .
+sp:a sp:b sp:c .
+`
+	sts := parse(t, doc)
+	if len(sts) != 2 {
+		t.Fatalf("got %d statements", len(sts))
+	}
+	if sts[0].S.Value != "http://e/s" || sts[0].O.Value != "http://default/o" {
+		t.Fatalf("prefix expansion wrong: %v", sts[0])
+	}
+	if sts[1].P.Value != "http://sparql/b" {
+		t.Fatalf("SPARQL prefix wrong: %v", sts[1])
+	}
+}
+
+func TestBaseDirective(t *testing.T) {
+	doc := `
+@base <http://example.org/> .
+<rel> <p> <other> .
+BASE <http://two.org/>
+<x> <y> <z> .
+`
+	sts := parse(t, doc)
+	if sts[0].S.Value != "http://example.org/rel" {
+		t.Fatalf("base not applied: %v", sts[0].S)
+	}
+	if sts[1].S.Value != "http://two.org/x" {
+		t.Fatalf("second base not applied: %v", sts[1].S)
+	}
+	// Absolute IRIs are untouched.
+	sts = parse(t, "@base <http://b/> .\n<http://abs/s> <http://abs/p> <http://abs/o> .")
+	if sts[0].S.Value != "http://abs/s" {
+		t.Fatalf("absolute IRI rewritten: %v", sts[0].S)
+	}
+}
+
+func TestAKeywordAndLists(t *testing.T) {
+	doc := `
+@prefix ex: <http://e/> .
+ex:felix a ex:Cat ;
+         ex:likes ex:fish , ex:milk ;
+         ex:name "Felix" .
+`
+	sts := parse(t, doc)
+	if len(sts) != 4 {
+		t.Fatalf("got %d statements: %v", len(sts), sts)
+	}
+	if sts[0].P.Value != rdf.IRIType {
+		t.Fatalf("'a' not expanded: %v", sts[0].P)
+	}
+	for _, st := range sts {
+		if st.S.Value != "http://e/felix" {
+			t.Fatalf("subject sharing broken: %v", st)
+		}
+	}
+	if sts[1].O.Value != "http://e/fish" || sts[2].O.Value != "http://e/milk" {
+		t.Fatalf("object list broken: %v %v", sts[1], sts[2])
+	}
+}
+
+func TestTrailingSemicolon(t *testing.T) {
+	sts := parse(t, `@prefix ex: <http://e/> .
+ex:s ex:p ex:o ; .`)
+	if len(sts) != 1 {
+		t.Fatalf("got %d statements", len(sts))
+	}
+}
+
+func TestLiterals(t *testing.T) {
+	doc := `
+@prefix ex: <http://e/> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+ex:s ex:plain "hello" .
+ex:s ex:lang "bonjour"@fr .
+ex:s ex:typed "42"^^xsd:integer .
+ex:s ex:typed2 "42"^^<http://www.w3.org/2001/XMLSchema#long> .
+ex:s ex:esc "tab\there \"quoted\"" .
+ex:s ex:empty "" .
+ex:s ex:long """line one
+line two with "quotes" inside""" .
+ex:s ex:int 42 .
+ex:s ex:neg -7 .
+ex:s ex:dec 3.14 .
+ex:s ex:dbl 1.5e10 .
+ex:s ex:bool true .
+ex:s ex:uni "é" .
+`
+	sts := parse(t, doc)
+	objs := map[string]rdf.Term{}
+	for _, st := range sts {
+		objs[strings.TrimPrefix(st.P.Value, "http://e/")] = st.O
+	}
+	checks := map[string]rdf.Term{
+		"plain":  rdf.NewLiteral("hello"),
+		"lang":   rdf.NewLangLiteral("bonjour", "fr"),
+		"typed":  rdf.NewTypedLiteral("42", rdf.IRIXSDInteger),
+		"typed2": rdf.NewTypedLiteral("42", rdf.XSDNS+"long"),
+		"esc":    rdf.NewLiteral("tab\there \"quoted\""),
+		"empty":  rdf.NewLiteral(""),
+		"long":   rdf.NewLiteral("line one\nline two with \"quotes\" inside"),
+		"int":    rdf.NewTypedLiteral("42", rdf.IRIXSDInteger),
+		"neg":    rdf.NewTypedLiteral("-7", rdf.IRIXSDInteger),
+		"dec":    rdf.NewTypedLiteral("3.14", rdf.XSDNS+"decimal"),
+		"dbl":    rdf.NewTypedLiteral("1.5e10", rdf.XSDNS+"double"),
+		"bool":   rdf.NewTypedLiteral("true", rdf.XSDNS+"boolean"),
+		"uni":    rdf.NewLiteral("é"),
+	}
+	for k, want := range checks {
+		if got, ok := objs[k]; !ok || got != want {
+			t.Errorf("%s: got %+v, want %+v", k, got, want)
+		}
+	}
+}
+
+func TestBlankNodes(t *testing.T) {
+	doc := `
+@prefix ex: <http://e/> .
+_:b1 ex:p _:b2 .
+ex:s ex:address [ ex:city "Lyon" ; ex:zip "69000" ] .
+ex:t ex:empty [] .
+`
+	sts := parse(t, doc)
+	if len(sts) != 5 {
+		t.Fatalf("got %d statements: %v", len(sts), sts)
+	}
+	if !sts[0].S.IsBlank() || sts[0].S.Value != "b1" || sts[0].O.Value != "b2" {
+		t.Fatalf("labelled blanks: %v", sts[0])
+	}
+	// Property list: inner statements first, then the reference.
+	if sts[1].P.Value != "http://e/city" || sts[2].P.Value != "http://e/zip" {
+		t.Fatalf("property list inner statements: %v %v", sts[1], sts[2])
+	}
+	if sts[3].O != sts[1].S || !sts[3].O.IsBlank() {
+		t.Fatalf("property list node mismatch: %v vs %v", sts[3].O, sts[1].S)
+	}
+	if !sts[4].O.IsBlank() {
+		t.Fatalf("anonymous []: %v", sts[4])
+	}
+	if sts[4].O == sts[3].O {
+		t.Fatal("distinct [] must generate distinct blank nodes")
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	doc := "# header\n@prefix ex: <http://e/> . # trailing\nex:s ex:p ex:o . # done\n"
+	if got := parse(t, doc); len(got) != 1 {
+		t.Fatalf("got %d statements", len(got))
+	}
+}
+
+func TestStreamingReader(t *testing.T) {
+	r := NewReader(strings.NewReader("@prefix ex: <http://e/> .\nex:a ex:p ex:b .\nex:b ex:p ex:c ."))
+	n := 0
+	for {
+		_, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("read %d statements", n)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []string{
+		`<http://e/s> <http://e/p> <http://e/o>`,         // missing dot
+		`ex:s ex:p ex:o .`,                               // unknown prefix
+		`@prefix ex: <http://e/> . ex:s ex:p ( ex:a ) .`, // collection
+		`@unknown <x> .`,
+		`<http://e/s> <http://e/p> "unterminated .`,
+		`<http://e/s> <http://e/p> "bad\q" .`,
+		`<http://e/s> <http://e/p> "x"@ .`,
+		`<http://e/s> <http://e/p> 12..5 .`,
+		`<http://e/s> <http://e/p> "x"^^ .`,
+		`<http://e/s <http://e/p> <http://e/o> .`,
+	}
+	for _, doc := range cases {
+		if _, err := ParseString(doc); err == nil {
+			t.Errorf("accepted %q", doc)
+		} else {
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Errorf("error for %q is %T, want *ParseError", doc, err)
+			}
+		}
+	}
+}
+
+func TestErrorLineNumbers(t *testing.T) {
+	doc := "@prefix ex: <http://e/> .\nex:s ex:p ex:o .\nbroken zzz\n"
+	_, err := ParseString(doc)
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v", err)
+	}
+	if pe.Line != 3 {
+		t.Fatalf("line = %d, want 3", pe.Line)
+	}
+}
+
+func TestRealisticDocument(t *testing.T) {
+	doc := `
+@prefix rdf:  <http://www.w3.org/1999/02/22-rdf-syntax-ns#> .
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+@prefix owl:  <http://www.w3.org/2002/07/owl#> .
+@prefix ex:   <http://example.org/zoo#> .
+
+ex:Animal a rdfs:Class .
+ex:Cat a rdfs:Class ;
+    rdfs:subClassOf ex:Animal ;
+    rdfs:label "Cat"@en , "Chat"@fr .
+
+ex:eats a rdf:Property ;
+    rdfs:domain ex:Animal .
+
+ex:felix a ex:Cat ;
+    ex:eats [ a ex:Meal ; rdfs:label "fish dinner" ] ;
+    ex:age 7 .
+`
+	sts := parse(t, doc)
+	if len(sts) != 12 {
+		t.Fatalf("got %d statements:\n%v", len(sts), sts)
+	}
+	// Every statement must be valid RDF.
+	for _, st := range sts {
+		if !st.Valid() {
+			t.Fatalf("invalid statement %v", st)
+		}
+	}
+}
+
+func TestDotInsideLocalName(t *testing.T) {
+	sts := parse(t, "@prefix ex: <http://e/> .\nex:a.b ex:p ex:c .")
+	if sts[0].S.Value != "http://e/a.b" {
+		t.Fatalf("dotted local name: %v", sts[0].S)
+	}
+}

@@ -1,0 +1,188 @@
+package turtle
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/rdf"
+)
+
+// Writer serialises statements as Turtle with prefix compression and
+// subject grouping (predicate lists). Statements are buffered so they can
+// be grouped; call Flush to emit the document.
+type Writer struct {
+	w        *bufio.Writer
+	prefixes map[string]string // namespace → prefix name
+	order    []string          // namespaces in registration order
+	sts      []rdf.Statement
+	err      error
+}
+
+// NewWriter returns a Turtle writer with the standard prefixes (rdf,
+// rdfs, owl, xsd) pre-registered.
+func NewWriter(w io.Writer) *Writer {
+	tw := &Writer{w: bufio.NewWriter(w), prefixes: map[string]string{}}
+	tw.Prefix("rdf", rdf.RDFNS)
+	tw.Prefix("rdfs", rdf.RDFSNS)
+	tw.Prefix("owl", rdf.OWLNS)
+	tw.Prefix("xsd", rdf.XSDNS)
+	return tw
+}
+
+// Prefix registers a namespace under a prefix name. Only prefixes whose
+// namespaces are actually used appear in the output.
+func (tw *Writer) Prefix(name, ns string) {
+	if _, dup := tw.prefixes[ns]; !dup {
+		tw.prefixes[ns] = name
+		tw.order = append(tw.order, ns)
+	}
+}
+
+// Write buffers one statement.
+func (tw *Writer) Write(st rdf.Statement) error {
+	if tw.err != nil {
+		return tw.err
+	}
+	if !st.Valid() {
+		tw.err = fmt.Errorf("turtle: invalid statement %v", st)
+		return tw.err
+	}
+	tw.sts = append(tw.sts, st)
+	return nil
+}
+
+// Flush emits the buffered statements as a Turtle document: used prefix
+// directives first, then statements grouped by subject with `;`
+// predicate lists, subjects and predicates in deterministic order.
+func (tw *Writer) Flush() error {
+	if tw.err != nil {
+		return tw.err
+	}
+	used := map[string]bool{}
+	for _, st := range tw.sts {
+		for _, t := range []rdf.Term{st.S, st.P, st.O} {
+			if ns, _, ok := tw.split(t); ok {
+				used[ns] = true
+			}
+			if t.IsLiteral() && t.Datatype != "" {
+				if ns, _, ok := tw.split(rdf.NewIRI(t.Datatype)); ok {
+					used[ns] = true
+				}
+			}
+		}
+	}
+	for _, ns := range tw.order {
+		if used[ns] {
+			fmt.Fprintf(tw.w, "@prefix %s: <%s> .\n", tw.prefixes[ns], ns)
+		}
+	}
+	if len(used) > 0 && len(tw.sts) > 0 {
+		tw.w.WriteByte('\n')
+	}
+
+	// Group by subject, preserving first-appearance subject order.
+	groups := map[string][]rdf.Statement{}
+	var subjects []string
+	keys := map[string]rdf.Term{}
+	for _, st := range tw.sts {
+		k := st.S.String()
+		if _, ok := groups[k]; !ok {
+			subjects = append(subjects, k)
+			keys[k] = st.S
+		}
+		groups[k] = append(groups[k], st)
+	}
+	for _, subj := range subjects {
+		sts := groups[subj]
+		// Deterministic predicate/object order within the group.
+		sort.SliceStable(sts, func(i, j int) bool {
+			if sts[i].P.Value != sts[j].P.Value {
+				return sts[i].P.Value < sts[j].P.Value
+			}
+			return sts[i].O.String() < sts[j].O.String()
+		})
+		tw.w.WriteString(tw.term(keys[subj]))
+		for i, st := range sts {
+			if i > 0 {
+				if st.P == sts[i-1].P {
+					tw.w.WriteString(" ,\n        ")
+					tw.w.WriteString(tw.term(st.O))
+					continue
+				}
+				tw.w.WriteString(" ;\n   ")
+			} else {
+				tw.w.WriteByte(' ')
+			}
+			tw.w.WriteString(tw.predicate(st.P))
+			tw.w.WriteByte(' ')
+			tw.w.WriteString(tw.term(st.O))
+		}
+		tw.w.WriteString(" .\n")
+	}
+	if tw.err != nil {
+		return tw.err
+	}
+	return tw.w.Flush()
+}
+
+// split finds a registered namespace covering the term's IRI with a
+// Turtle-safe local part.
+func (tw *Writer) split(t rdf.Term) (ns, local string, ok bool) {
+	if !t.IsIRI() {
+		return "", "", false
+	}
+	for regNS := range tw.prefixes {
+		if strings.HasPrefix(t.Value, regNS) {
+			l := t.Value[len(regNS):]
+			if l != "" && isSafeLocal(l) {
+				return regNS, l, true
+			}
+		}
+	}
+	return "", "", false
+}
+
+func isSafeLocal(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '-') {
+			return false
+		}
+	}
+	return true
+}
+
+func (tw *Writer) predicate(t rdf.Term) string {
+	if t.Value == rdf.IRIType {
+		return "a"
+	}
+	return tw.term(t)
+}
+
+func (tw *Writer) term(t rdf.Term) string {
+	if ns, local, ok := tw.split(t); ok {
+		return tw.prefixes[ns] + ":" + local
+	}
+	// Literal datatypes also benefit from prefixing.
+	if t.IsLiteral() && t.Datatype != "" {
+		if ns, local, ok := tw.split(rdf.NewIRI(t.Datatype)); ok {
+			lit := rdf.NewLiteral(t.Value).String()
+			return lit + "^^" + tw.prefixes[ns] + ":" + local
+		}
+	}
+	return t.String()
+}
+
+// WriteAll serialises all statements to w as Turtle.
+func WriteAll(w io.Writer, sts []rdf.Statement) error {
+	tw := NewWriter(w)
+	for _, st := range sts {
+		if err := tw.Write(st); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}

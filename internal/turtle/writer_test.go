@@ -1,0 +1,177 @@
+package turtle
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rdf"
+)
+
+func TestWriterGroupsAndPrefixes(t *testing.T) {
+	sts := []rdf.Statement{
+		rdf.NewStatement(rdf.NewIRI("http://e/felix"), rdf.NewIRI(rdf.IRIType), rdf.NewIRI("http://e/Cat")),
+		rdf.NewStatement(rdf.NewIRI("http://e/felix"), rdf.NewIRI(rdf.IRILabel), rdf.NewLiteral("Felix")),
+		rdf.NewStatement(rdf.NewIRI("http://e/Cat"), rdf.NewIRI(rdf.IRISubClassOf), rdf.NewIRI("http://e/Animal")),
+	}
+	var buf bytes.Buffer
+	tw := NewWriter(&buf)
+	tw.Prefix("ex", "http://e/")
+	for _, st := range sts {
+		if err := tw.Write(st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"@prefix ex: <http://e/> .",
+		"@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .",
+		"ex:felix a ex:Cat ;",
+		"rdfs:label \"Felix\"",
+		"ex:Cat rdfs:subClassOf ex:Animal .",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Unused prefixes (owl, xsd) must not be emitted.
+	if strings.Contains(out, "@prefix owl") {
+		t.Errorf("unused prefix emitted:\n%s", out)
+	}
+	// Subject appears exactly once (grouped).
+	if strings.Count(out, "ex:felix") != 1 {
+		t.Errorf("subject not grouped:\n%s", out)
+	}
+}
+
+func TestWriterObjectLists(t *testing.T) {
+	sts := []rdf.Statement{
+		rdf.NewStatement(rdf.NewIRI("http://e/s"), rdf.NewIRI("http://e/p"), rdf.NewIRI("http://e/o1")),
+		rdf.NewStatement(rdf.NewIRI("http://e/s"), rdf.NewIRI("http://e/p"), rdf.NewIRI("http://e/o2")),
+	}
+	var buf bytes.Buffer
+	tw := NewWriter(&buf)
+	tw.Prefix("ex", "http://e/")
+	for _, st := range sts {
+		tw.Write(st)
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), ",") {
+		t.Fatalf("expected an object list:\n%s", buf.String())
+	}
+}
+
+func TestWriterFallsBackToFullIRIs(t *testing.T) {
+	// IRI with characters unsafe for a local name: full form.
+	sts := []rdf.Statement{
+		rdf.NewStatement(rdf.NewIRI("http://other.org/a/b#c"), rdf.NewIRI("http://other.org/p"), rdf.NewLiteral("x")),
+	}
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, sts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<http://other.org/a/b#c>") {
+		t.Fatalf("full IRI missing:\n%s", buf.String())
+	}
+}
+
+func TestWriterTypedLiteralPrefixing(t *testing.T) {
+	sts := []rdf.Statement{
+		rdf.NewStatement(rdf.NewIRI("http://e/s"), rdf.NewIRI("http://e/p"),
+			rdf.NewTypedLiteral("42", rdf.IRIXSDInteger)),
+	}
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, sts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"42"^^xsd:integer`) {
+		t.Fatalf("typed literal not prefixed:\n%s", buf.String())
+	}
+}
+
+func TestWriterRejectsInvalid(t *testing.T) {
+	tw := NewWriter(&bytes.Buffer{})
+	if err := tw.Write(rdf.NewStatement(rdf.NewLiteral("bad"), rdf.NewIRI("http://e/p"), rdf.NewIRI("http://e/o"))); err == nil {
+		t.Fatal("invalid statement accepted")
+	}
+	// Writer is poisoned after an error.
+	if err := tw.Write(rdf.NewStatement(rdf.NewIRI("http://e/s"), rdf.NewIRI("http://e/p"), rdf.NewIRI("http://e/o"))); err == nil {
+		t.Fatal("write after error accepted")
+	}
+}
+
+// Property: writer output re-parses to the same statement multiset.
+func TestWriterRoundTripProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var sts []rdf.Statement
+		iri := func() rdf.Term {
+			// Mix of prefixable and unprefixable IRIs.
+			if rng.Intn(2) == 0 {
+				return rdf.NewIRI("http://e/" + string(rune('a'+rng.Intn(26))))
+			}
+			return rdf.NewIRI("http://other.org/path/x#" + string(rune('a'+rng.Intn(26))))
+		}
+		obj := func() rdf.Term {
+			switch rng.Intn(4) {
+			case 0:
+				return rdf.NewLiteral("plain \"text\"\nline")
+			case 1:
+				return rdf.NewLangLiteral("hello", "en")
+			case 2:
+				return rdf.NewTypedLiteral("3", rdf.IRIXSDInteger)
+			default:
+				return iri()
+			}
+		}
+		seen := map[string]bool{}
+		for i := 0; i < rng.Intn(15)+1; i++ {
+			st := rdf.NewStatement(iri(), iri(), obj())
+			if !seen[st.String()] {
+				seen[st.String()] = true
+				sts = append(sts, st)
+			}
+		}
+		var buf bytes.Buffer
+		tw := NewWriter(&buf)
+		tw.Prefix("ex", "http://e/")
+		for _, st := range sts {
+			if err := tw.Write(st); err != nil {
+				return false
+			}
+		}
+		if err := tw.Flush(); err != nil {
+			return false
+		}
+		back, err := ParseString(buf.String())
+		if err != nil {
+			t.Logf("seed %d: reparse error %v on:\n%s", seed, err, buf.String())
+			return false
+		}
+		if len(back) != len(sts) {
+			t.Logf("seed %d: %d statements back, want %d:\n%s", seed, len(back), len(sts), buf.String())
+			return false
+		}
+		got := map[string]bool{}
+		for _, st := range back {
+			got[st.String()] = true
+		}
+		for k := range seen {
+			if !got[k] {
+				t.Logf("seed %d: missing %s", seed, k)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,69 @@
+package slider
+
+import (
+	"time"
+
+	"repro/internal/reasoner"
+)
+
+// config collects option values for New.
+type config struct {
+	bufferSize int
+	timeout    time.Duration
+	workers    int
+	observer   reasoner.Observer
+	adaptive   bool
+	retraction bool
+	provenance bool
+}
+
+// Option tunes a Reasoner at construction time. The three tunables mirror
+// the paper's demo Setup panel: buffer size, buffer timeout and fragment
+// (the fragment is New's first argument).
+type Option func(*config)
+
+// WithBufferSize sets how many triples a rule buffer accumulates before
+// it fires a rule execution. Small buffers minimise latency; large
+// buffers amortise per-execution overhead. Default 128.
+func WithBufferSize(n int) Option {
+	return func(c *config) { c.bufferSize = n }
+}
+
+// WithTimeout sets how long an inactive non-empty buffer waits before it
+// is forced to flush. Default 20ms.
+func WithTimeout(d time.Duration) Option {
+	return func(c *config) { c.timeout = d }
+}
+
+// WithWorkers sets the thread-pool size. Default GOMAXPROCS.
+func WithWorkers(n int) Option {
+	return func(c *config) { c.workers = n }
+}
+
+// WithObserver attaches an Observer receiving engine events (used by the
+// demo's recorder). Callbacks must be fast and thread-safe.
+func WithObserver(o Observer) Option {
+	return func(c *config) { c.observer = o }
+}
+
+// WithRetraction enables incremental deletion (Reasoner.Retract). The
+// reasoner then tracks which triples were explicitly asserted, costing
+// one set entry per explicit triple.
+func WithRetraction() Option {
+	return func(c *config) { c.retraction = true }
+}
+
+// WithProvenance enables per-triple provenance: Reasoner.Why reports
+// whether a triple was asserted or which rule first derived it. Costs
+// one map entry per triple.
+func WithProvenance() Option {
+	return func(c *config) { c.provenance = true }
+}
+
+// WithAdaptiveScheduling enables run-time buffer-capacity adaptation:
+// rule modules that keep inferring nothing batch more triples per
+// execution, productive modules stay reactive. The materialised closure
+// is unaffected.
+func WithAdaptiveScheduling() Option {
+	return func(c *config) { c.adaptive = true }
+}

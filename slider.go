@@ -1,0 +1,482 @@
+// Package slider is a from-scratch Go implementation of Slider, the
+// efficient incremental RDF reasoner of Chevalier, Subercaze, Gravier and
+// Laforest (SIGMOD 2015). It performs parallel, incremental
+// forward-chaining materialisation over streams of RDF triples: each
+// inference rule runs as an independent module with its own buffer and
+// distributor over a shared, vertically partitioned in-memory triple
+// store, wired together at initialisation time by a rules dependency
+// graph. The ρdf and RDFS fragments are built in, and custom rules or
+// whole custom fragments plug in through the same Rule interface.
+//
+// Quick start:
+//
+//	r := slider.New(slider.RhoDF)
+//	defer r.Close(context.Background())
+//	r.Add(slider.NewStatement(
+//		slider.IRI("http://example.org/Cat"),
+//		slider.IRI(slider.SubClassOf),
+//		slider.IRI("http://example.org/Animal")))
+//	r.Add(slider.NewStatement(
+//		slider.IRI("http://example.org/felix"),
+//		slider.IRI(slider.Type),
+//		slider.IRI("http://example.org/Cat")))
+//	r.Wait(context.Background())
+//	// felix is now an Animal:
+//	r.Contains(slider.NewStatement(
+//		slider.IRI("http://example.org/felix"),
+//		slider.IRI(slider.Type),
+//		slider.IRI("http://example.org/Animal"))) // true
+package slider
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/maintenance"
+	"repro/internal/ntriples"
+	"repro/internal/query"
+	"repro/internal/rdf"
+	"repro/internal/reasoner"
+	"repro/internal/rules"
+	"repro/internal/snapshot"
+	"repro/internal/store"
+	"repro/internal/turtle"
+)
+
+// Re-exported data-model types. Term and Statement are the parsed
+// representation of RDF; ID and Triple are the dictionary-encoded form
+// used by rules and the store.
+type (
+	// Term is one RDF term: an IRI, a blank node or a literal.
+	Term = rdf.Term
+	// Statement is a triple of Terms.
+	Statement = rdf.Statement
+	// ID is a dictionary-encoded term identifier.
+	ID = rdf.ID
+	// Triple is a dictionary-encoded statement.
+	Triple = rdf.Triple
+	// Dictionary maps Terms to IDs and back.
+	Dictionary = rdf.Dictionary
+	// Store is the vertically partitioned triple store.
+	Store = store.Store
+	// Rule is one inference rule; see CustomRule for assembling your own.
+	Rule = rules.Rule
+	// CustomRule adapts a function into a Rule.
+	CustomRule = rules.CustomRule
+	// DependencyGraph is the rules dependency graph (paper Figure 2).
+	DependencyGraph = rules.DependencyGraph
+	// Stats is a snapshot of the engine's counters.
+	Stats = reasoner.Stats
+	// ModuleStats is one rule module's counters.
+	ModuleStats = reasoner.ModuleStats
+	// Observer receives fine-grained engine events.
+	Observer = reasoner.Observer
+	// FlushReason says why a buffer flushed.
+	FlushReason = reasoner.FlushReason
+)
+
+// Term constructors, re-exported.
+var (
+	// IRI builds an IRI term.
+	IRI = rdf.NewIRI
+	// Blank builds a blank-node term.
+	Blank = rdf.NewBlank
+	// Literal builds a plain literal term.
+	Literal = rdf.NewLiteral
+	// LangLiteral builds a language-tagged literal term.
+	LangLiteral = rdf.NewLangLiteral
+	// TypedLiteral builds a datatyped literal term.
+	TypedLiteral = rdf.NewTypedLiteral
+	// NewStatement builds a Statement from three terms.
+	NewStatement = rdf.NewStatement
+)
+
+// Well-known vocabulary IRIs.
+const (
+	// Type is rdf:type.
+	Type = rdf.IRIType
+	// SubClassOf is rdfs:subClassOf.
+	SubClassOf = rdf.IRISubClassOf
+	// SubPropertyOf is rdfs:subPropertyOf.
+	SubPropertyOf = rdf.IRISubPropertyOf
+	// Domain is rdfs:domain.
+	Domain = rdf.IRIDomain
+	// Range is rdfs:range.
+	Range = rdf.IRIRange
+	// Resource is rdfs:Resource.
+	Resource = rdf.IRIResource
+	// Class is rdfs:Class.
+	Class = rdf.IRIClass
+	// Label is rdfs:label.
+	Label = rdf.IRILabel
+)
+
+// Fragment selects the ruleset a Reasoner applies.
+type Fragment struct {
+	name  string
+	rules []rules.Rule
+}
+
+// Name returns the fragment's name.
+func (f Fragment) Name() string { return f.name }
+
+// Rules returns a copy of the fragment's ruleset.
+func (f Fragment) Rules() []Rule { return append([]Rule(nil), f.rules...) }
+
+// Built-in fragments.
+var (
+	// RhoDF is the ρdf fragment: the eight rules of the paper's Figure 2.
+	RhoDF = Fragment{name: "rhodf", rules: rules.RhoDF()}
+	// RDFS is the RDFS fragment (ρdf plus the RDFS schema rules and
+	// resource typing).
+	RDFS = Fragment{name: "rdfs", rules: rules.RDFS()}
+	// RDFSNoResourceTyping is RDFS without the rdfs4a/rdfs4b rules, for
+	// applications that do not want (x type Resource) materialised.
+	RDFSNoResourceTyping = Fragment{
+		name:  "rdfs-no-resource-typing",
+		rules: rules.RDFSWith(rules.RDFSOptions{ResourceTyping: false}),
+	}
+	// OWLHorst is the OWL-Horst-style extension fragment: RDFS plus
+	// symmetric/transitive/inverse property rules, class and property
+	// equivalence, and owl:sameAs equality reasoning (the paper's
+	// future-work "more complex fragments").
+	OWLHorst = Fragment{name: "owl-horst", rules: rules.OWLHorst()}
+)
+
+// CustomFragment assembles a fragment from arbitrary rules.
+func CustomFragment(name string, ruleset ...Rule) Fragment {
+	return Fragment{name: name, rules: ruleset}
+}
+
+// Reasoner is the public face of the Slider engine: it owns a dictionary,
+// a triple store and the incremental engine, and accepts statements at
+// the Term level.
+type Reasoner struct {
+	dict   *rdf.Dictionary
+	store  *store.Store
+	engine *reasoner.Engine
+	frag   Fragment
+
+	// explicit tracks asserted (non-inferred) triples when retraction
+	// support is enabled (WithRetraction); nil otherwise.
+	explicitMu sync.Mutex
+	explicit   map[rdf.Triple]struct{}
+}
+
+// New builds a Reasoner for the fragment with the given options.
+func New(frag Fragment, opts ...Option) *Reasoner {
+	return newReasoner(frag, rdf.NewDictionary(), store.New(), opts)
+}
+
+// LoadSnapshot builds a Reasoner whose dictionary and store are restored
+// from a snapshot previously written by Reasoner.Snapshot. The restored
+// triples act as background knowledge: they join with new streamed data
+// but are not re-inferred from (a snapshot of a materialised store is
+// already closed).
+func LoadSnapshot(frag Fragment, rd io.Reader, opts ...Option) (*Reasoner, error) {
+	dict, st, err := snapshot.Load(rd)
+	if err != nil {
+		return nil, err
+	}
+	return newReasoner(frag, dict, st, opts), nil
+}
+
+// Snapshot persists the reasoner's dictionary and store (explicit plus
+// inferred triples) to w in the binary snapshot format. Call Wait first
+// to capture a fully materialised state.
+func (r *Reasoner) Snapshot(w io.Writer) error {
+	return snapshot.Save(w, r.dict, r.store)
+}
+
+func newReasoner(frag Fragment, dict *rdf.Dictionary, st *store.Store, opts []Option) *Reasoner {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	var explicit map[rdf.Triple]struct{}
+	if cfg.retraction {
+		explicit = make(map[rdf.Triple]struct{})
+	}
+	return &Reasoner{
+		dict:     dict,
+		explicit: explicit,
+		store:    st,
+		engine: reasoner.New(st, frag.rules, reasoner.Config{
+			BufferSize:      cfg.bufferSize,
+			Timeout:         cfg.timeout,
+			Workers:         cfg.workers,
+			Observer:        cfg.observer,
+			Adaptive:        cfg.adaptive,
+			TrackProvenance: cfg.provenance,
+		}),
+		frag: frag,
+	}
+}
+
+// Fragment returns the fragment the reasoner runs.
+func (r *Reasoner) Fragment() Fragment { return r.frag }
+
+// Dictionary returns the reasoner's term dictionary.
+func (r *Reasoner) Dictionary() *Dictionary { return r.dict }
+
+// Store returns the underlying triple store (explicit plus inferred
+// triples, dictionary-encoded).
+func (r *Reasoner) Store() *Store { return r.store }
+
+// Graph returns the rules dependency graph built at initialisation.
+func (r *Reasoner) Graph() *DependencyGraph { return r.engine.Graph() }
+
+// Add streams one statement into the reasoner. It returns true if the
+// statement was new, and an error if it is not valid RDF. Add is safe for
+// concurrent use.
+func (r *Reasoner) Add(st Statement) (bool, error) {
+	if !st.Valid() {
+		return false, fmt.Errorf("slider: invalid statement %v", st)
+	}
+	return r.AddTriple(r.dict.EncodeStatement(st)), nil
+}
+
+// AddTriple streams one already-encoded triple (IDs must come from this
+// reasoner's Dictionary).
+func (r *Reasoner) AddTriple(t Triple) bool {
+	fresh := r.engine.Add(t)
+	if fresh && r.explicit != nil {
+		r.explicitMu.Lock()
+		r.explicit[t] = struct{}{}
+		r.explicitMu.Unlock()
+	}
+	return fresh
+}
+
+// RetractStats reports what a Retract call did.
+type RetractStats = maintenance.Stats
+
+// Retract removes explicit statements and incrementally maintains the
+// materialisation using delete-and-rederive (DRed): consequences that
+// lose their last derivation disappear; consequences with alternative
+// derivations survive. Requires WithRetraction; the call waits for
+// quiescence, so concurrent Adds extend it.
+func (r *Reasoner) Retract(ctx context.Context, sts ...Statement) (RetractStats, error) {
+	if r.explicit == nil {
+		return RetractStats{}, fmt.Errorf("slider: retraction not enabled (use WithRetraction)")
+	}
+	if err := r.engine.Wait(ctx); err != nil {
+		return RetractStats{}, err
+	}
+	var toDelete []rdf.Triple
+	for _, st := range sts {
+		t, ok := r.lookup(st)
+		if ok {
+			toDelete = append(toDelete, t)
+		}
+	}
+	r.explicitMu.Lock()
+	defer r.explicitMu.Unlock()
+	return maintenance.Retract(ctx, r.store, r.frag.rules, r.explicit, toDelete)
+}
+
+// LoadNTriples parses an N-Triples document from rd and streams every
+// statement into the reasoner, returning the number of statements read.
+// Parsing and inference overlap, as with Slider's streaming input
+// manager.
+func (r *Reasoner) LoadNTriples(rd io.Reader) (int, error) {
+	nr := ntriples.NewReader(rd)
+	n := 0
+	for {
+		st, err := nr.Read()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		if _, err := r.Add(st); err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// LoadTurtle parses a Turtle document from rd and streams every statement
+// into the reasoner, returning the number of statements read.
+func (r *Reasoner) LoadTurtle(rd io.Reader) (int, error) {
+	tr := turtle.NewReader(rd)
+	n := 0
+	for {
+		st, err := tr.Read()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		if _, err := r.Add(st); err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// Wait blocks until inference over everything added so far has completed.
+func (r *Reasoner) Wait(ctx context.Context) error {
+	if err := r.engine.Wait(ctx); err != nil {
+		return err
+	}
+	return r.engine.Err()
+}
+
+// Close drains outstanding inference and releases the engine's
+// goroutines. The reasoner must not be used afterwards.
+func (r *Reasoner) Close(ctx context.Context) error {
+	if err := r.engine.Close(ctx); err != nil {
+		return err
+	}
+	return r.engine.Err()
+}
+
+// Contains reports whether the statement is present (explicit or
+// inferred). Unknown terms make the answer trivially false.
+func (r *Reasoner) Contains(st Statement) bool {
+	t, ok := r.lookup(st)
+	if !ok {
+		return false
+	}
+	return r.store.Contains(t)
+}
+
+func (r *Reasoner) lookup(st Statement) (Triple, bool) {
+	s, ok1 := r.dict.Lookup(st.S)
+	p, ok2 := r.dict.Lookup(st.P)
+	o, ok3 := r.dict.Lookup(st.O)
+	return rdf.T(s, p, o), ok1 && ok2 && ok3
+}
+
+// Len returns the number of distinct triples in the store (explicit plus
+// inferred).
+func (r *Reasoner) Len() int { return r.store.Len() }
+
+// Stats returns a snapshot of the engine's counters.
+func (r *Reasoner) Stats() Stats { return r.engine.Stats() }
+
+// Statements calls f for every triple in the store, decoded to Terms,
+// until f returns false. The order is unspecified.
+func (r *Reasoner) Statements(f func(Statement) bool) {
+	// Snapshot first: decoding takes the dictionary lock, and holding
+	// the store's read lock across user code would be hostile.
+	for _, t := range r.store.Snapshot() {
+		st, ok := r.dict.DecodeTriple(t)
+		if !ok {
+			continue
+		}
+		if !f(st) {
+			return
+		}
+	}
+}
+
+// Query returns all statements matching a pattern where zero-value Terms
+// act as wildcards. E.g. Query(Statement{P: IRI(Type)}) returns every
+// typing statement.
+func (r *Reasoner) Query(pattern Statement) []Statement {
+	enc := func(t Term) (ID, bool) {
+		if t.IsZero() {
+			return rdf.Any, true
+		}
+		return r.dict.Lookup(t)
+	}
+	s, ok1 := enc(pattern.S)
+	p, ok2 := enc(pattern.P)
+	o, ok3 := enc(pattern.O)
+	if !ok1 || !ok2 || !ok3 {
+		return nil
+	}
+	matches := r.store.Match(rdf.T(s, p, o))
+	out := make([]Statement, 0, len(matches))
+	for _, m := range matches {
+		if st, ok := r.dict.DecodeTriple(m); ok {
+			out = append(out, st)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// ProvenanceExplicit is the origin Why reports for asserted statements.
+const ProvenanceExplicit = reasoner.ProvenanceExplicit
+
+// Why reports how a statement entered the knowledge base:
+// ProvenanceExplicit for asserted statements, or the name of the rule
+// that first derived it. Requires WithProvenance; ok is false for
+// unknown statements or when tracking is off.
+func (r *Reasoner) Why(st Statement) (origin string, ok bool) {
+	t, found := r.lookup(st)
+	if !found {
+		return "", false
+	}
+	return r.engine.Provenance(t)
+}
+
+// Binding is one solution of a Select query: variable name → term.
+type Binding = query.Binding
+
+// Select runs a SPARQL-like SELECT query (basic graph patterns only)
+// against the materialised store. Example:
+//
+//	rows, err := r.Select(`
+//	    SELECT ?name WHERE {
+//	        ?p a <http://example.org/Product> .
+//	        ?p rdfs:label ?name .
+//	    }`)
+//
+// Inference runs ahead of querying: call Wait first if you need answers
+// over everything added so far.
+func (r *Reasoner) Select(text string) ([]Binding, error) {
+	q, err := query.ParseSelect(text)
+	if err != nil {
+		return nil, err
+	}
+	return query.Execute(r.store, r.dict, q)
+}
+
+// SelectQuery runs an already-built query (see internal/query for the
+// pattern API re-exported below).
+func (r *Reasoner) SelectQuery(q query.Query) ([]Binding, error) {
+	return query.Execute(r.store, r.dict, q)
+}
+
+// Export writes every triple in the store (explicit plus inferred) to w
+// as N-Triples, in unspecified order.
+func (r *Reasoner) Export(w io.Writer) error {
+	nw := ntriples.NewWriter(w)
+	var err error
+	r.Statements(func(st Statement) bool {
+		err = nw.Write(st)
+		return err == nil
+	})
+	if err != nil {
+		return err
+	}
+	return nw.Flush()
+}
+
+// ExportTurtle writes every triple in the store to w as Turtle, with the
+// standard prefixes plus any extra ("prefix", "namespace") pairs, grouped
+// by subject.
+func (r *Reasoner) ExportTurtle(w io.Writer, prefixes map[string]string) error {
+	tw := turtle.NewWriter(w)
+	for name, ns := range prefixes {
+		tw.Prefix(name, ns)
+	}
+	var err error
+	r.Statements(func(st Statement) bool {
+		err = tw.Write(st)
+		return err == nil
+	})
+	if err != nil {
+		return err
+	}
+	return tw.Flush()
+}

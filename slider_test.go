@@ -1,0 +1,272 @@
+package slider
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+func ex(name string) Term { return IRI("http://example.org/" + name) }
+
+func mustAdd(t *testing.T, r *Reasoner, st Statement) {
+	t.Helper()
+	if _, err := r.Add(st); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	r := New(RhoDF)
+	defer r.Close(context.Background())
+	mustAdd(t, r, NewStatement(ex("Cat"), IRI(SubClassOf), ex("Animal")))
+	mustAdd(t, r, NewStatement(ex("felix"), IRI(Type), ex("Cat")))
+	if err := r.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Contains(NewStatement(ex("felix"), IRI(Type), ex("Animal"))) {
+		t.Fatal("inferred statement missing")
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+}
+
+func TestAddRejectsInvalid(t *testing.T) {
+	r := New(RhoDF)
+	defer r.Close(context.Background())
+	if _, err := r.Add(NewStatement(Literal("s"), IRI(Type), ex("C"))); err == nil {
+		t.Fatal("literal subject accepted")
+	}
+	if _, err := r.Add(Statement{}); err == nil {
+		t.Fatal("zero statement accepted")
+	}
+}
+
+func TestAddReportsFreshness(t *testing.T) {
+	r := New(RhoDF)
+	defer r.Close(context.Background())
+	st := NewStatement(ex("a"), IRI(SubClassOf), ex("b"))
+	fresh, err := r.Add(st)
+	if err != nil || !fresh {
+		t.Fatalf("first Add = (%v, %v)", fresh, err)
+	}
+	fresh, err = r.Add(st)
+	if err != nil || fresh {
+		t.Fatalf("second Add = (%v, %v), want duplicate", fresh, err)
+	}
+}
+
+func TestLoadNTriplesAndExportRoundTrip(t *testing.T) {
+	doc := `<http://example.org/Cat> <` + SubClassOf + `> <http://example.org/Animal> .
+<http://example.org/felix> <` + Type + `> <http://example.org/Cat> .
+`
+	r := New(RhoDF)
+	defer r.Close(context.Background())
+	n, err := r.LoadNTriples(strings.NewReader(doc))
+	if err != nil || n != 2 {
+		t.Fatalf("LoadNTriples = (%d, %v)", n, err)
+	}
+	if err := r.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "felix") || !strings.Contains(out, "Animal") {
+		t.Fatalf("export missing content:\n%s", out)
+	}
+	// Export includes the inferred triple: 3 lines.
+	if lines := strings.Count(out, "\n"); lines != 3 {
+		t.Fatalf("export has %d lines, want 3", lines)
+	}
+	// Re-import into a second reasoner: same store size.
+	r2 := New(RhoDF)
+	defer r2.Close(context.Background())
+	if _, err := r2.LoadNTriples(strings.NewReader(out)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if r2.Len() != r.Len() {
+		t.Fatalf("round-tripped store has %d triples, original %d", r2.Len(), r.Len())
+	}
+}
+
+func TestLoadNTriplesSyntaxError(t *testing.T) {
+	r := New(RhoDF)
+	defer r.Close(context.Background())
+	_, err := r.LoadNTriples(strings.NewReader("garbage\n"))
+	if err == nil {
+		t.Fatal("malformed document accepted")
+	}
+}
+
+func TestQueryPatterns(t *testing.T) {
+	r := New(RhoDF)
+	defer r.Close(context.Background())
+	mustAdd(t, r, NewStatement(ex("Cat"), IRI(SubClassOf), ex("Animal")))
+	mustAdd(t, r, NewStatement(ex("Dog"), IRI(SubClassOf), ex("Animal")))
+	mustAdd(t, r, NewStatement(ex("felix"), IRI(Type), ex("Cat")))
+	if err := r.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// All subclasses of Animal.
+	got := r.Query(Statement{P: IRI(SubClassOf), O: ex("Animal")})
+	if len(got) != 2 {
+		t.Fatalf("Query subclasses = %v", got)
+	}
+	// Everything about felix (explicit + inferred).
+	got = r.Query(Statement{S: ex("felix")})
+	if len(got) != 2 { // type Cat, type Animal
+		t.Fatalf("Query felix = %v", got)
+	}
+	// Unknown term: empty, not panic.
+	if got := r.Query(Statement{S: ex("unknown-thing")}); len(got) != 0 {
+		t.Fatalf("Query unknown = %v", got)
+	}
+	// Full wildcard returns the whole store.
+	if got := r.Query(Statement{}); len(got) != r.Len() {
+		t.Fatalf("wildcard query returned %d of %d", len(got), r.Len())
+	}
+}
+
+func TestStatementsEarlyStop(t *testing.T) {
+	r := New(RhoDF)
+	defer r.Close(context.Background())
+	mustAdd(t, r, NewStatement(ex("a"), IRI(SubClassOf), ex("b")))
+	mustAdd(t, r, NewStatement(ex("b"), IRI(SubClassOf), ex("c")))
+	r.Wait(context.Background())
+	n := 0
+	r.Statements(func(Statement) bool {
+		n++
+		return false
+	})
+	if n != 1 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestFragments(t *testing.T) {
+	if RhoDF.Name() != "rhodf" || len(RhoDF.Rules()) != 8 {
+		t.Fatalf("RhoDF fragment wrong: %s/%d", RhoDF.Name(), len(RhoDF.Rules()))
+	}
+	if len(RDFS.Rules()) != 14 || len(RDFSNoResourceTyping.Rules()) != 13 {
+		t.Fatal("RDFS fragment sizes wrong")
+	}
+	// Rules() returns a copy: mutating it must not affect the fragment.
+	rs := RhoDF.Rules()
+	rs[0] = nil
+	if RhoDF.Rules()[0] == nil {
+		t.Fatal("Rules() exposes internal slice")
+	}
+}
+
+func TestRDFSFragmentBehaviour(t *testing.T) {
+	r := New(RDFS)
+	defer r.Close(context.Background())
+	mustAdd(t, r, NewStatement(ex("Cat"), IRI(Type), IRI(Class)))
+	r.Wait(context.Background())
+	if !r.Contains(NewStatement(ex("Cat"), IRI(SubClassOf), IRI(Resource))) {
+		t.Fatal("rdfs8 missing through public API")
+	}
+	if !r.Contains(NewStatement(ex("Cat"), IRI(SubClassOf), ex("Cat"))) {
+		t.Fatal("rdfs10 missing through public API")
+	}
+}
+
+func TestCustomFragment(t *testing.T) {
+	// A symmetric-property rule: (a knows b) → (b knows a).
+	knowsIRI := "http://example.org/knows"
+	var knowsID ID
+	sym := &CustomRule{
+		RuleName: "sym-knows",
+		Fn: func(_ *store.Store, delta []Triple, emit func(Triple)) {
+			for _, t := range delta {
+				if t.P == knowsID {
+					emit(Triple{S: t.O, P: t.P, O: t.S})
+				}
+			}
+		},
+	}
+	frag := CustomFragment("sym", sym)
+	if frag.Name() != "sym" || len(frag.Rules()) != 1 {
+		t.Fatal("CustomFragment metadata wrong")
+	}
+	r := New(frag, WithBufferSize(1))
+	defer r.Close(context.Background())
+	knowsID = r.Dictionary().Encode(IRI(knowsIRI))
+	mustAdd(t, r, NewStatement(ex("ann"), IRI(knowsIRI), ex("bob")))
+	r.Wait(context.Background())
+	if !r.Contains(NewStatement(ex("bob"), IRI(knowsIRI), ex("ann"))) {
+		t.Fatal("custom rule did not fire")
+	}
+}
+
+func TestOptionsApplied(t *testing.T) {
+	obs := &recordingObserver{}
+	r := New(RhoDF,
+		WithBufferSize(1),
+		WithTimeout(5*time.Millisecond),
+		WithWorkers(2),
+		WithObserver(obs))
+	defer r.Close(context.Background())
+	mustAdd(t, r, NewStatement(ex("a"), IRI(SubClassOf), ex("b")))
+	r.Wait(context.Background())
+	if obs.flushes.Load() == 0 {
+		t.Fatal("observer saw no flushes; options not applied?")
+	}
+}
+
+type recordingObserver struct {
+	flushes atomic.Int64
+}
+
+func (o *recordingObserver) OnInput(Triple)                   {}
+func (o *recordingObserver) OnRoute(string, Triple)           {}
+func (o *recordingObserver) OnFlush(string, FlushReason, int) { o.flushes.Add(1) }
+func (o *recordingObserver) OnExecute(string, int, int, int)  {}
+
+func TestGraphThroughFacade(t *testing.T) {
+	r := New(RhoDF)
+	defer r.Close(context.Background())
+	if !r.Graph().HasEdge("scm-sco", "cax-sco") {
+		t.Fatal("dependency graph not exposed")
+	}
+}
+
+func TestStatsThroughFacade(t *testing.T) {
+	r := New(RhoDF)
+	defer r.Close(context.Background())
+	mustAdd(t, r, NewStatement(ex("a"), IRI(SubClassOf), ex("b")))
+	mustAdd(t, r, NewStatement(ex("b"), IRI(SubClassOf), ex("c")))
+	r.Wait(context.Background())
+	s := r.Stats()
+	if s.Input != 2 || s.Inferred != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.ModuleByName("scm-sco").Fresh != 1 {
+		t.Fatalf("scm-sco stats = %+v", s.ModuleByName("scm-sco"))
+	}
+}
+
+func TestDictionaryExposed(t *testing.T) {
+	r := New(RhoDF)
+	defer r.Close(context.Background())
+	id := r.Dictionary().Encode(ex("thing"))
+	if id == rdf.Any {
+		t.Fatal("dictionary returned wildcard ID")
+	}
+	term, ok := r.Dictionary().Term(id)
+	if !ok || term != ex("thing") {
+		t.Fatal("dictionary round trip failed via facade")
+	}
+}

@@ -9,6 +9,7 @@
 //	sliderbench -fig3                   # Figure 3 series
 //	sliderbench -fig2 | dot -Tpng       # Figure 2 as DOT
 //	sliderbench -sweep -dataset BSBM_100k
+//	sliderbench -ingest                 # batch-ingest scaling, BENCH_ingest.json
 package main
 
 import (
@@ -16,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/bench"
@@ -33,6 +36,11 @@ func main() {
 		timeout = flag.Duration("timeout", 0, "Slider buffer timeout (0 = default)")
 		repeat  = flag.Int("repeat", 3, "runs per cell; the fastest is reported")
 		limit   = flag.Duration("limit", 30*time.Minute, "overall time limit")
+
+		ingest     = flag.Bool("ingest", false, "measure batch-ingest throughput scaling over worker counts")
+		ingestOut  = flag.String("ingestout", "BENCH_ingest.json", "output path for the -ingest JSON report")
+		batchSize  = flag.Int("batchsize", 512, "triples per AddBatch call for -ingest")
+		workerList = flag.String("workerlist", "1,2,4,8", "comma-separated worker counts for -ingest")
 	)
 	flag.Parse()
 
@@ -44,7 +52,7 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), *limit)
 	defer cancel()
 
-	if !*table1 && !*fig2 && !*fig3 && !*sweep {
+	if !*table1 && !*fig2 && !*fig3 && !*sweep && !*ingest {
 		*table1 = true
 	}
 
@@ -70,6 +78,46 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *ingest {
+		ds, err := bench.DatasetByName(*dataset, sc)
+		if err != nil {
+			fatal(err)
+		}
+		workers, err := parseWorkerList(*workerList)
+		if err != nil {
+			fatal(err)
+		}
+		rep, err := bench.IngestScaling(ctx, ds, workers, *batchSize, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		bench.WriteIngestTable(os.Stdout, rep)
+		f, err := os.Create(*ingestOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := bench.WriteIngestJSON(f, rep); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *ingestOut)
+	}
+}
+
+// parseWorkerList parses a comma-separated list of worker counts.
+func parseWorkerList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad worker count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 func fatal(err error) {

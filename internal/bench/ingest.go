@@ -1,0 +1,222 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/rdf"
+	"repro/internal/reasoner"
+	"repro/internal/store"
+)
+
+// IngestPoint is one cell of the ingest-scaling benchmark: the measured
+// throughput of batch ingestion at a given number of concurrent feeder
+// workers.
+type IngestPoint struct {
+	// Workers is the number of goroutines concurrently feeding batches.
+	Workers int `json:"workers"`
+	// Triples is the number of triples ingested.
+	Triples int `json:"triples"`
+	// StoreElapsedMS times raw store.AddBatch ingestion (no rules).
+	StoreElapsedMS float64 `json:"store_elapsed_ms"`
+	// StoreRate is store-only ingest throughput in triples/second.
+	StoreRate float64 `json:"store_triples_per_sec"`
+	// EngineElapsedMS times engine.AddBatch ingestion plus inference to
+	// quiescence (ρdf ruleset).
+	EngineElapsedMS float64 `json:"engine_elapsed_ms"`
+	// EngineRate is engine ingest throughput in triples/second.
+	EngineRate float64 `json:"engine_triples_per_sec"`
+}
+
+// IngestReport is the JSON document cmd/sliderbench -ingest emits; it
+// gives future PRs a perf trajectory for the batch ingest path.
+type IngestReport struct {
+	Dataset    string        `json:"dataset"`
+	Triples    int           `json:"triples"`
+	BatchSize  int           `json:"batch_size"`
+	Repeats    int           `json:"repeats"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Results    []IngestPoint `json:"results"`
+}
+
+// IngestScaling measures batch-ingest throughput at each worker count,
+// both against the bare sharded store and against a full engine (ρdf
+// rules, cfg's buffer size and timeout; cfg.Workers is overridden per
+// cell). The dataset is dictionary-encoded once up front so the
+// measurement isolates the ingest path itself. Each cell runs
+// cfg.Repeats times and keeps the fastest.
+func IngestScaling(ctx context.Context, ds Dataset, workerCounts []int, batchSize int, cfg SliderConfig) (IngestReport, error) {
+	if len(workerCounts) == 0 {
+		workerCounts = []int{1, 2, 4, 8}
+	}
+	if batchSize <= 0 {
+		batchSize = 512
+	}
+	repeats := cfg.Repeats
+	if repeats < 1 {
+		repeats = 1
+	}
+	dict := rdf.NewDictionary()
+	triples := make([]rdf.Triple, len(ds.Statements))
+	for i, s := range ds.Statements {
+		triples[i] = dict.EncodeStatement(s)
+	}
+	batches := chunkTriples(triples, batchSize)
+	// Untimed warm-up: the first run pays allocator and cache warm-up
+	// that would otherwise bias against whichever worker count happens
+	// to be measured first.
+	if _, err := ingestStore(batches, workerCounts[0]); err != nil {
+		return IngestReport{}, err
+	}
+	if _, err := ingestEngine(ctx, batches, workerCounts[0], cfg); err != nil {
+		return IngestReport{}, err
+	}
+	rep := IngestReport{
+		Dataset:    ds.Name,
+		Triples:    len(triples),
+		BatchSize:  batchSize,
+		Repeats:    repeats,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	for _, w := range workerCounts {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
+		p := IngestPoint{Workers: w, Triples: len(triples)}
+		var storeBest, engineBest time.Duration
+		for i := 0; i < repeats; i++ {
+			se, err := ingestStore(batches, w)
+			if err != nil {
+				return rep, err
+			}
+			ee, err := ingestEngine(ctx, batches, w, cfg)
+			if err != nil {
+				return rep, err
+			}
+			if i == 0 || se < storeBest {
+				storeBest = se
+			}
+			if i == 0 || ee < engineBest {
+				engineBest = ee
+			}
+		}
+		p.StoreElapsedMS = float64(storeBest.Microseconds()) / 1000
+		p.EngineElapsedMS = float64(engineBest.Microseconds()) / 1000
+		if storeBest > 0 {
+			p.StoreRate = float64(len(triples)) / storeBest.Seconds()
+		}
+		if engineBest > 0 {
+			p.EngineRate = float64(len(triples)) / engineBest.Seconds()
+		}
+		rep.Results = append(rep.Results, p)
+	}
+	return rep, nil
+}
+
+// chunkTriples splits ts into batchSize-sized slices (views, not copies).
+func chunkTriples(ts []rdf.Triple, batchSize int) [][]rdf.Triple {
+	var out [][]rdf.Triple
+	for len(ts) > batchSize {
+		out = append(out, ts[:batchSize])
+		ts = ts[batchSize:]
+	}
+	if len(ts) > 0 {
+		out = append(out, ts)
+	}
+	return out
+}
+
+// ingestStore times w workers pushing the batches into a fresh sharded
+// store via AddBatch. Workers claim batches off a shared atomic cursor.
+func ingestStore(batches [][]rdf.Triple, w int) (time.Duration, error) {
+	st := store.New()
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				n := cursor.Add(1) - 1
+				if n >= int64(len(batches)) {
+					return
+				}
+				st.AddBatch(batches[n])
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	total := 0
+	for _, b := range batches {
+		total += len(b)
+	}
+	if st.Len() > total {
+		return 0, fmt.Errorf("bench: store grew past input: %d > %d", st.Len(), total)
+	}
+	return elapsed, nil
+}
+
+// ingestEngine times w workers feeding the batches into a fresh Slider
+// engine (ρdf rules) via AddBatch, inclusive of inference to quiescence.
+// The engine's rule thread pool is sized to w as well, so the cell
+// reflects end-to-end scaling of the ingest path.
+func ingestEngine(ctx context.Context, batches [][]rdf.Triple, w int, cfg SliderConfig) (time.Duration, error) {
+	eng := reasoner.New(store.New(), RhoDF.Rules(), reasoner.Config{
+		BufferSize: cfg.BufferSize,
+		Timeout:    cfg.Timeout,
+		Workers:    w,
+	})
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				n := cursor.Add(1) - 1
+				if n >= int64(len(batches)) {
+					return
+				}
+				eng.AddBatch(batches[n])
+			}
+		}()
+	}
+	wg.Wait()
+	if err := eng.Close(ctx); err != nil {
+		return 0, err
+	}
+	if err := eng.Err(); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}
+
+// WriteIngestJSON renders the report as indented JSON.
+func WriteIngestJSON(w io.Writer, rep IngestReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// WriteIngestTable renders the report as a human-readable table.
+func WriteIngestTable(w io.Writer, rep IngestReport) {
+	fmt.Fprintf(w, "Batch ingest scaling on %s (%d triples, batch=%d, best of %d)\n",
+		rep.Dataset, rep.Triples, rep.BatchSize, rep.Repeats)
+	fmt.Fprintf(w, "%-8s | %14s | %16s | %14s | %16s\n",
+		"Workers", "Store (ms)", "Store triples/s", "Engine (ms)", "Engine triples/s")
+	fmt.Fprintln(w, strings.Repeat("-", 80))
+	for _, p := range rep.Results {
+		fmt.Fprintf(w, "%-8d | %14.1f | %16.0f | %14.1f | %16.0f\n",
+			p.Workers, p.StoreElapsedMS, p.StoreRate, p.EngineElapsedMS, p.EngineRate)
+	}
+}

@@ -2,21 +2,43 @@ package rdf
 
 import (
 	"fmt"
+	"hash/maphash"
 	"sync"
 )
+
+// dictStripes is the number of lock stripes the term→ID map is sharded
+// across. Must be a power of two.
+const dictStripes = 32
+
+// dictStripe is one shard of the term→ID map.
+type dictStripe struct {
+	mu     sync.RWMutex
+	byTerm map[Term]ID
+}
 
 // Dictionary maps RDF terms to dense integer IDs and back. It plays the
 // role of Slider's input-manager dictionary: "expensive URIs" are
 // registered once and every downstream component works on integers.
 //
-// A Dictionary is safe for concurrent use by multiple goroutines; lookups
-// take a read lock and only the first encounter of a term takes the write
-// lock.
+// A Dictionary is safe for concurrent use by multiple goroutines. The
+// term→ID direction is sharded across dictStripes lock stripes (selected
+// by a hash of the term), so concurrent encoders do not serialize on one
+// process-wide lock; the stripe maps are keyed by the Term value itself,
+// so the hit path never materialises the term's string form. The reverse
+// (ID→Term) slices are guarded by a separate lock: sequence numbers are
+// handed out under it in strict per-kind insertion order, which keeps
+// ForEach iteration — and therefore snapshot round-trips — deterministic.
+//
+// Terms are keyed by their canonical form (see canonTerm), so two terms
+// are assigned the same ID exactly when their String renderings are
+// equal — the same contract the string-keyed dictionary had.
 type Dictionary struct {
-	mu     sync.RWMutex
-	byTerm map[string]ID
-	// byKind holds the reverse mapping, one slice per term kind, indexed
-	// by sequence number minus one.
+	stripes [dictStripes]dictStripe
+	seed    maphash.Seed
+
+	// seqMu guards the reverse mapping: one append-only slice per term
+	// kind, indexed by sequence number minus one.
+	seqMu    sync.RWMutex
 	iris     []Term
 	blanks   []Term
 	literals []Term
@@ -27,8 +49,11 @@ type Dictionary struct {
 // valid for every dictionary.
 func NewDictionary() *Dictionary {
 	d := &Dictionary{
-		byTerm: make(map[string]ID, 1024),
-		iris:   make([]Term, 0, 1024),
+		seed: maphash.MakeSeed(),
+		iris: make([]Term, 0, 1024),
+	}
+	for i := range d.stripes {
+		d.stripes[i].byTerm = make(map[Term]ID, 64)
 	}
 	for _, t := range wellKnown {
 		d.Encode(t)
@@ -36,21 +61,52 @@ func NewDictionary() *Dictionary {
 	return d
 }
 
+// canonTerm maps t to the representative of its String-equality class,
+// so struct keying matches the documented contract that two terms are
+// equal exactly when their String values are equal: String ignores Lang
+// and Datatype on IRIs and blanks, and ignores Datatype on
+// language-tagged literals. The constructors never produce the dropped
+// combinations, so for constructor-built terms this is the identity.
+func canonTerm(t Term) Term {
+	switch {
+	case t.Kind != TermLiteral:
+		t.Lang, t.Datatype = "", ""
+	case t.Lang != "":
+		t.Datatype = ""
+	}
+	return t
+}
+
+// stripeFor selects the stripe owning t (already canonicalised).
+func (d *Dictionary) stripeFor(t Term) *dictStripe {
+	h := maphash.String(d.seed, t.Value)
+	h = h*31 + uint64(t.Kind)
+	if t.Lang != "" {
+		h ^= maphash.String(d.seed, t.Lang)
+	}
+	if t.Datatype != "" {
+		h ^= maphash.String(d.seed, t.Datatype)
+	}
+	return &d.stripes[h&(dictStripes-1)]
+}
+
 // Encode returns the ID for the term, assigning a fresh one on first
 // encounter.
 func (d *Dictionary) Encode(t Term) ID {
-	key := t.String()
-	d.mu.RLock()
-	id, ok := d.byTerm[key]
-	d.mu.RUnlock()
+	t = canonTerm(t)
+	s := d.stripeFor(t)
+	s.mu.RLock()
+	id, ok := s.byTerm[t]
+	s.mu.RUnlock()
 	if ok {
 		return id
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if id, ok = d.byTerm[key]; ok {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id, ok = s.byTerm[t]; ok {
 		return id
 	}
+	d.seqMu.Lock()
 	var seq uint64
 	switch t.Kind {
 	case TermIRI:
@@ -63,8 +119,9 @@ func (d *Dictionary) Encode(t Term) ID {
 		d.literals = append(d.literals, t)
 		seq = uint64(len(d.literals))
 	}
+	d.seqMu.Unlock()
 	id = makeID(t.Kind, seq)
-	d.byTerm[key] = id
+	s.byTerm[t] = id
 	return id
 }
 
@@ -73,9 +130,11 @@ func (d *Dictionary) EncodeIRI(iri string) ID { return d.Encode(NewIRI(iri)) }
 
 // Lookup returns the ID for the term without assigning a new one.
 func (d *Dictionary) Lookup(t Term) (ID, bool) {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	id, ok := d.byTerm[t.String()]
+	t = canonTerm(t)
+	s := d.stripeFor(t)
+	s.mu.RLock()
+	id, ok := s.byTerm[t]
+	s.mu.RUnlock()
 	return id, ok
 }
 
@@ -88,8 +147,8 @@ func (d *Dictionary) Term(id ID) (Term, bool) {
 	if seq == 0 {
 		return Term{}, false
 	}
-	d.mu.RLock()
-	defer d.mu.RUnlock()
+	d.seqMu.RLock()
+	defer d.seqMu.RUnlock()
 	var pool []Term
 	switch id.Kind() {
 	case TermIRI:
@@ -108,8 +167,8 @@ func (d *Dictionary) Term(id ID) (Term, bool) {
 // Len returns the number of distinct terms registered (including the
 // well-known vocabulary).
 func (d *Dictionary) Len() int {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
+	d.seqMu.RLock()
+	defer d.seqMu.RUnlock()
 	return len(d.iris) + len(d.blanks) + len(d.literals)
 }
 
@@ -119,11 +178,11 @@ func (d *Dictionary) Len() int {
 // terms into a fresh dictionary in this order reproduces identical IDs —
 // the property snapshot persistence relies on.
 func (d *Dictionary) ForEach(f func(ID, Term) bool) {
-	d.mu.RLock()
+	d.seqMu.RLock()
 	iris := d.iris
 	blanks := d.blanks
 	literals := d.literals
-	d.mu.RUnlock()
+	d.seqMu.RUnlock()
 	for i, t := range iris {
 		if !f(makeID(TermIRI, uint64(i+1)), t) {
 			return

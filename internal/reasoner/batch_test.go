@@ -1,0 +1,161 @@
+package reasoner
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/rdf"
+	"repro/internal/rules"
+	"repro/internal/store"
+)
+
+// TestAddBatchMatchesAddLoop proves the batch ingest path computes the
+// same closure and the same counters as a per-triple Add loop.
+func TestAddBatchMatchesAddLoop(t *testing.T) {
+	input := chain(40)
+	input = append(input, sp(p1, p2), rdf.T(x, p1, y))
+
+	// Per-triple path.
+	stLoop := store.New()
+	eLoop := New(stLoop, rules.RhoDF(), Config{})
+	for _, tr := range input {
+		eLoop.Add(tr)
+	}
+	ctx := context.Background()
+	if err := eLoop.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	loopStats := eLoop.Stats()
+
+	// Batch path, duplicated input to exercise dup accounting.
+	stBatch := store.New()
+	eBatch := New(stBatch, rules.RhoDF(), Config{})
+	fresh := eBatch.AddBatch(append(append([]rdf.Triple(nil), input...), input...))
+	if len(fresh) != len(input) {
+		t.Fatalf("AddBatch returned %d fresh, want %d", len(fresh), len(input))
+	}
+	for i, tr := range fresh {
+		if tr != input[i] {
+			t.Fatalf("fresh[%d] = %v, want %v (input order must be preserved)", i, tr, input[i])
+		}
+	}
+	if err := eBatch.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	batchStats := eBatch.Stats()
+
+	if stLoop.Len() != stBatch.Len() {
+		t.Fatalf("closure size: loop %d, batch %d", stLoop.Len(), stBatch.Len())
+	}
+	stLoop.ForEach(func(tr rdf.Triple) bool {
+		if !stBatch.Contains(tr) {
+			t.Fatalf("batch closure missing %v", tr)
+		}
+		return true
+	})
+	if loopStats.Input != batchStats.Input || loopStats.Inferred != batchStats.Inferred {
+		t.Fatalf("stats: loop {in=%d inf=%d}, batch {in=%d inf=%d}",
+			loopStats.Input, loopStats.Inferred, batchStats.Input, batchStats.Inferred)
+	}
+	if batchStats.DuplicateInput != int64(len(input)) {
+		t.Fatalf("DuplicateInput = %d, want %d", batchStats.DuplicateInput, len(input))
+	}
+}
+
+// TestAddBatchConcurrentFeeders streams a partitioned input from many
+// goroutines through AddBatch and checks quiescence and closure. Run
+// with -race.
+func TestAddBatchConcurrentFeeders(t *testing.T) {
+	input := chain(120)
+	st := store.New()
+	e := New(st, rules.RhoDF(), Config{Workers: 4})
+	const feeders = 6
+	var wg sync.WaitGroup
+	per := (len(input) + feeders - 1) / feeders
+	for f := 0; f < feeders; f++ {
+		lo := f * per
+		hi := min(lo+per, len(input))
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(chunk []rdf.Triple) {
+			defer wg.Done()
+			e.AddBatch(chunk)
+		}(input[lo:hi])
+	}
+	wg.Wait()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := e.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Err(); err != nil {
+		t.Fatal(err)
+	}
+	assertSameClosure(t, rules.RhoDF, st, input)
+	if got := e.inflight.Load(); got != 0 {
+		t.Fatalf("inflight = %d after Close, want 0 (batch accounting leak)", got)
+	}
+}
+
+// TestAddBatchClosedEngine checks the batch path is a no-op after Close.
+func TestAddBatchClosedEngine(t *testing.T) {
+	st := store.New()
+	e := New(st, rules.RhoDF(), Config{})
+	if err := e.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if fresh := e.AddBatch([]rdf.Triple{sc(a, b)}); fresh != nil {
+		t.Fatalf("AddBatch on closed engine returned %v", fresh)
+	}
+	if st.Len() != 0 {
+		t.Fatal("closed engine stored a triple")
+	}
+}
+
+// TestWaitBackoffCompletes exercises Wait's exponential backoff across a
+// slow trickle of adds: quiescence must still be detected promptly after
+// the last add, and buffered work must still get force-flushed.
+func TestWaitBackoffCompletes(t *testing.T) {
+	st := store.New()
+	// Big buffer + long timeout: only Wait's force-flush can drain it.
+	e := New(st, rules.RhoDF(), Config{BufferSize: 1 << 20, Timeout: time.Hour})
+	e.Add(sc(a, b))
+	e.Add(sc(b, c))
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	start := time.Now()
+	if err := e.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("Wait took %v despite force-flushing", elapsed)
+	}
+	if !st.Contains(sc(a, c)) {
+		t.Fatal("missing inferred (a sc c) after Wait")
+	}
+	if err := e.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWaitContextCancelDuringBackoff checks a cancelled context unblocks
+// Wait even while the backoff timer is at its widest.
+func TestWaitContextCancelDuringBackoff(t *testing.T) {
+	st := store.New()
+	e := New(st, rules.RhoDF(), Config{})
+	// Fake outstanding work so Wait spins in its backoff loop.
+	e.inflight.Add(1)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := e.Wait(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("Wait = %v, want context.DeadlineExceeded", err)
+	}
+	e.inflight.Add(-1)
+	if err := e.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

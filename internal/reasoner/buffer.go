@@ -38,6 +38,24 @@ func (b *buffer) add(t rdf.Triple) []rdf.Triple {
 	return nil
 }
 
+// addBatch appends all of ts under one lock acquisition. If the buffer
+// reached capacity it returns the full batch (now owned by the caller)
+// and resets; otherwise it returns nil. As with add, the whole buffer is
+// flushed at once, so the returned batch may exceed the capacity.
+func (b *buffer) addBatch(ts []rdf.Triple) []rdf.Triple {
+	b.mu.Lock()
+	b.items = append(b.items, ts...)
+	b.lastAdd = time.Now()
+	if len(b.items) >= b.cap {
+		batch := b.items
+		b.items = make([]rdf.Triple, 0, b.cap)
+		b.mu.Unlock()
+		return batch
+	}
+	b.mu.Unlock()
+	return nil
+}
+
 // takeStale returns the buffered triples if the buffer is non-empty and
 // has not seen an add since before now-timeout; nil otherwise.
 func (b *buffer) takeStale(timeout time.Duration, now time.Time) []rdf.Triple {

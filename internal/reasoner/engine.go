@@ -19,6 +19,9 @@ type module struct {
 	rule rules.Rule
 	buf  *buffer
 	c    moduleCounters
+	// idx is the module's position in Engine.modules; batch routing uses
+	// it to bucket triples per destination module.
+	idx int
 	// zeroStreak counts consecutive fruitless executions (adaptive
 	// scheduling heuristic; approximate under concurrency by design).
 	zeroStreak atomic.Int32
@@ -78,8 +81,8 @@ func New(st *store.Store, ruleset []rules.Rule, cfg Config) *Engine {
 		byPred:       make(map[rdf.ID][]*module),
 		stopTimeouts: make(chan struct{}),
 	}
-	for _, r := range ruleset {
-		m := &module{rule: r, buf: newBuffer(cfg.BufferSize)}
+	for i, r := range ruleset {
+		m := &module{rule: r, buf: newBuffer(cfg.BufferSize), idx: i}
 		e.modules = append(e.modules, m)
 		if ins := r.Inputs(); ins == nil {
 			e.universal = append(e.universal, m)
@@ -106,6 +109,21 @@ func (e *Engine) recordProvenance(t rdf.Triple, origin string) {
 	e.provMu.Lock()
 	if _, dup := e.provenance[t]; !dup {
 		e.provenance[t] = origin
+	}
+	e.provMu.Unlock()
+}
+
+// recordProvenanceBatch notes the origin of a batch of fresh triples
+// under one lock acquisition.
+func (e *Engine) recordProvenanceBatch(ts []rdf.Triple, origin string) {
+	if e.provenance == nil {
+		return
+	}
+	e.provMu.Lock()
+	for _, t := range ts {
+		if _, dup := e.provenance[t]; !dup {
+			e.provenance[t] = origin
+		}
 	}
 	e.provMu.Unlock()
 }
@@ -155,13 +173,37 @@ func (e *Engine) Add(t rdf.Triple) bool {
 
 // AddAll streams a batch of triples; returns how many were new.
 func (e *Engine) AddAll(ts []rdf.Triple) int {
-	n := 0
-	for _, t := range ts {
-		if e.Add(t) {
-			n++
+	return len(e.AddBatch(ts))
+}
+
+// AddBatch streams a batch of explicit triples and returns those that
+// were new, in input order. Unlike a loop over Add, the whole batch takes
+// one store insertion (grouped by predicate partition), one routing pass
+// that buckets triples per destination module, and one buffer-lock
+// acquisition per module — the batch-first ingest path. AddBatch is safe
+// for concurrent use; adding to a closed engine is a no-op.
+func (e *Engine) AddBatch(ts []rdf.Triple) []rdf.Triple {
+	if e.closed.Load() || len(ts) == 0 {
+		return nil
+	}
+	// Store first, then route — same invariant as Add: the store holds
+	// every triple of a delta before any instance consumes it.
+	fresh := e.store.AddBatch(ts)
+	if dup := len(ts) - len(fresh); dup > 0 {
+		e.dupInput.Add(int64(dup))
+	}
+	if len(fresh) == 0 {
+		return nil
+	}
+	e.input.Add(int64(len(fresh)))
+	e.recordProvenanceBatch(fresh, ProvenanceExplicit)
+	if obs := e.cfg.Observer; obs != nil {
+		for _, t := range fresh {
+			obs.OnInput(t)
 		}
 	}
-	return n
+	e.routeBatch(fresh)
+	return fresh
 }
 
 // route places t into the buffer of every module whose rule consumes its
@@ -184,6 +226,49 @@ func (e *Engine) deliver(m *module, t rdf.Triple, obs Observer) {
 		obs.OnRoute(m.rule.Name(), t)
 	}
 	if batch := m.buf.add(t); batch != nil {
+		m.c.bufferFullFlushes.Add(1)
+		if obs != nil {
+			obs.OnFlush(m.rule.Name(), FlushFull, len(batch))
+		}
+		e.submit(m, batch)
+	}
+}
+
+// routeBatch routes a batch of fresh triples: triples are bucketed per
+// destination module in one pass, then each module takes one inflight
+// update and one buffer-lock acquisition for its whole bucket.
+func (e *Engine) routeBatch(ts []rdf.Triple) {
+	if len(ts) == 1 {
+		e.route(ts[0])
+		return
+	}
+	buckets := make([][]rdf.Triple, len(e.modules))
+	for _, t := range ts {
+		for _, m := range e.byPred[t.P] {
+			buckets[m.idx] = append(buckets[m.idx], t)
+		}
+		for _, m := range e.universal {
+			buckets[m.idx] = append(buckets[m.idx], t)
+		}
+	}
+	obs := e.cfg.Observer
+	for i, bucket := range buckets {
+		if len(bucket) == 0 {
+			continue
+		}
+		e.deliverBatch(e.modules[i], bucket, obs)
+	}
+}
+
+func (e *Engine) deliverBatch(m *module, ts []rdf.Triple, obs Observer) {
+	e.inflight.Add(int64(len(ts)))
+	m.c.routed.Add(int64(len(ts)))
+	if obs != nil {
+		for _, t := range ts {
+			obs.OnRoute(m.rule.Name(), t)
+		}
+	}
+	if batch := m.buf.addBatch(ts); batch != nil {
 		m.c.bufferFullFlushes.Add(1)
 		if obs != nil {
 			obs.OnFlush(m.rule.Name(), FlushFull, len(batch))
@@ -217,19 +302,19 @@ func (e *Engine) runInstance(tk task) {
 		m.rule.Apply(e.store, tk.delta, func(t rdf.Triple) { out = append(out, t) })
 	}()
 
-	// Distribute: deduplicate against the store, then route only fresh
-	// triples onward — the "duplicates limitation" mechanism.
-	fresh := 0
-	for _, t := range out {
-		if e.store.Add(t) {
-			fresh++
-			e.inferred.Add(1)
-			m.c.fresh.Add(1)
-			e.recordProvenance(t, m.rule.Name())
-			e.route(t)
-		} else {
-			e.duplicates.Add(1)
-		}
+	// Distribute: deduplicate against the store in one batch insertion,
+	// then route only fresh triples onward — the "duplicates limitation"
+	// mechanism.
+	freshTriples := e.store.AddBatch(out)
+	fresh := len(freshTriples)
+	if dup := len(out) - fresh; dup > 0 {
+		e.duplicates.Add(int64(dup))
+	}
+	if fresh > 0 {
+		e.inferred.Add(int64(fresh))
+		m.c.fresh.Add(int64(fresh))
+		e.recordProvenanceBatch(freshTriples, m.rule.Name())
+		e.routeBatch(freshTriples)
 	}
 	m.c.derived.Add(int64(len(out)))
 	if obs := e.cfg.Observer; obs != nil {
@@ -304,9 +389,17 @@ func (e *Engine) flushAll() {
 // all outstanding work is sitting in buffers (no instance is running or
 // queued), so draining does not fragment inference into tiny deltas while
 // the thread pool is busy. Concurrent Add calls extend the wait.
+//
+// Polling backs off exponentially from 200µs to 2ms so a long wait does
+// not spin a core; forcing a flush (progress) resets the backoff.
 func (e *Engine) Wait(ctx context.Context) error {
-	ticker := time.NewTicker(200 * time.Microsecond)
-	defer ticker.Stop()
+	const (
+		minDelay = 200 * time.Microsecond
+		maxDelay = 2 * time.Millisecond
+	)
+	delay := minDelay
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
 	for {
 		n := e.inflight.Load()
 		if n == 0 {
@@ -317,11 +410,19 @@ func (e *Engine) Wait(ctx context.Context) error {
 		// will flush it except a (slow) timeout — do it now.
 		if int64(e.BufferedTriples()) >= n {
 			e.flushAll()
+			delay = minDelay
 		}
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-ticker.C:
+		case <-timer.C:
+		}
+		timer.Reset(delay)
+		if delay < maxDelay {
+			delay *= 2
+			if delay > maxDelay {
+				delay = maxDelay
+			}
 		}
 	}
 }

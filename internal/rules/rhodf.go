@@ -30,16 +30,21 @@ func (r *transitiveRule) Inputs() []rdf.ID  { return []rdf.ID{r.pred} }
 func (r *transitiveRule) Outputs() []rdf.ID { return []rdf.ID{r.pred} }
 
 func (r *transitiveRule) Apply(st *store.Store, delta []rdf.Triple, emit func(rdf.Triple)) {
+	// buf is reused across the delta's probes (append-style readers) so
+	// the join does not allocate one slice per triple.
+	var buf []rdf.ID
 	for _, t := range delta {
 		if t.P != r.pred {
 			continue
 		}
 		// delta (a,b) joins store (b,c): derive (a,c).
-		for _, c := range st.Objects(r.pred, t.O) {
+		buf = st.ObjectsAppend(buf[:0], r.pred, t.O)
+		for _, c := range buf {
 			emit(rdf.Triple{S: t.S, P: r.pred, O: c})
 		}
 		// store (z,a) joins delta (a,b): derive (z,b).
-		for _, z := range st.Subjects(r.pred, t.S) {
+		buf = st.SubjectsAppend(buf[:0], r.pred, t.S)
+		for _, z := range buf {
 			emit(rdf.Triple{S: z, P: r.pred, O: t.O})
 		}
 	}
@@ -53,16 +58,19 @@ func (caxSco) Inputs() []rdf.ID  { return []rdf.ID{rdf.IDSubClassOf, rdf.IDType}
 func (caxSco) Outputs() []rdf.ID { return []rdf.ID{rdf.IDType} }
 
 func (caxSco) Apply(st *store.Store, delta []rdf.Triple, emit func(rdf.Triple)) {
+	var buf []rdf.ID
 	for _, t := range delta {
 		switch t.P {
 		case rdf.IDSubClassOf:
 			// delta (c1 sc c2) joins store (x type c1): derive (x type c2).
-			for _, x := range st.Subjects(rdf.IDType, t.S) {
+			buf = st.SubjectsAppend(buf[:0], rdf.IDType, t.S)
+			for _, x := range buf {
 				emit(rdf.Triple{S: x, P: rdf.IDType, O: t.O})
 			}
 		case rdf.IDType:
 			// delta (x type c1) joins store (c1 sc c2): derive (x type c2).
-			for _, c2 := range st.Objects(rdf.IDSubClassOf, t.O) {
+			buf = st.ObjectsAppend(buf[:0], rdf.IDSubClassOf, t.O)
+			for _, c2 := range buf {
 				emit(rdf.Triple{S: t.S, P: rdf.IDType, O: c2})
 			}
 		}
@@ -78,6 +86,7 @@ func (prpSpo1) Inputs() []rdf.ID  { return nil }
 func (prpSpo1) Outputs() []rdf.ID { return []rdf.ID{AnyPredicate} }
 
 func (prpSpo1) Apply(st *store.Store, delta []rdf.Triple, emit func(rdf.Triple)) {
+	var buf []rdf.ID
 	for _, t := range delta {
 		if t.P == rdf.IDSubPropertyOf {
 			// delta (p1 sp p2) joins store extent of p1: derive (x p2 y).
@@ -90,7 +99,8 @@ func (prpSpo1) Apply(st *store.Store, delta []rdf.Triple, emit func(rdf.Triple))
 		// delta (x p y) joins store (p sp p2): derive (x p2 y).
 		// This branch also applies when t.P == sp (sp itself may have
 		// super-properties).
-		for _, p2 := range st.Objects(rdf.IDSubPropertyOf, t.P) {
+		buf = st.ObjectsAppend(buf[:0], rdf.IDSubPropertyOf, t.P)
+		for _, p2 := range buf {
 			if p2 != t.P { // (p sp p) would only re-derive the input
 				emit(rdf.Triple{S: t.S, P: p2, O: t.O})
 			}
@@ -111,6 +121,7 @@ func (r *prpDomRng) Inputs() []rdf.ID  { return nil }
 func (r *prpDomRng) Outputs() []rdf.ID { return []rdf.ID{rdf.IDType} }
 
 func (r *prpDomRng) Apply(st *store.Store, delta []rdf.Triple, emit func(rdf.Triple)) {
+	var buf []rdf.ID
 	for _, t := range delta {
 		if t.P == r.schema {
 			// delta (p dom c) joins the store extent of p.
@@ -127,7 +138,8 @@ func (r *prpDomRng) Apply(st *store.Store, delta []rdf.Triple, emit func(rdf.Tri
 			})
 		}
 		// delta (x p y) joins store (p dom c).
-		for _, c := range st.Objects(r.schema, t.P) {
+		buf = st.ObjectsAppend(buf[:0], r.schema, t.P)
+		for _, c := range buf {
 			target := t.S
 			if r.object {
 				target = t.O
@@ -151,16 +163,19 @@ func (r *scmDomRng2) Inputs() []rdf.ID  { return []rdf.ID{r.schema, rdf.IDSubPro
 func (r *scmDomRng2) Outputs() []rdf.ID { return []rdf.ID{r.schema} }
 
 func (r *scmDomRng2) Apply(st *store.Store, delta []rdf.Triple, emit func(rdf.Triple)) {
+	var buf []rdf.ID
 	for _, t := range delta {
 		switch t.P {
 		case r.schema:
 			// delta (p2 schema c) joins store (p1 sp p2).
-			for _, p1 := range st.Subjects(rdf.IDSubPropertyOf, t.S) {
+			buf = st.SubjectsAppend(buf[:0], rdf.IDSubPropertyOf, t.S)
+			for _, p1 := range buf {
 				emit(rdf.Triple{S: p1, P: r.schema, O: t.O})
 			}
 		case rdf.IDSubPropertyOf:
 			// delta (p1 sp p2) joins store (p2 schema c).
-			for _, c := range st.Objects(r.schema, t.O) {
+			buf = st.ObjectsAppend(buf[:0], r.schema, t.O)
+			for _, c := range buf {
 				emit(rdf.Triple{S: t.S, P: r.schema, O: c})
 			}
 		}

@@ -1,0 +1,70 @@
+package snapshot
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// TestRoundTripAfterConcurrentBuild proves that the striped dictionary's
+// ID assignment stays deterministic for snapshot purposes: a knowledge
+// base built by parallel encoders/adders survives a save/load round trip
+// with every ID preserved exactly — the Load path re-encodes terms in
+// ForEach order, which must reproduce the IDs regardless of how racily
+// they were first assigned.
+func TestRoundTripAfterConcurrentBuild(t *testing.T) {
+	dict := rdf.NewDictionary()
+	st := store.New()
+	const workers = 8
+	const perWorker = 250
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			batch := make([]rdf.Triple, 0, perWorker)
+			for i := 0; i < perWorker; i++ {
+				// Overlapping subject/predicate spaces across workers so
+				// dictionary stripes race on first-encounter inserts.
+				s := dict.Encode(rdf.NewIRI(fmt.Sprintf("http://e/s%d", i%100)))
+				p := dict.Encode(rdf.NewIRI(fmt.Sprintf("http://e/p%d", i%7)))
+				o := dict.Encode(rdf.NewLiteral(fmt.Sprintf("w%d value %d", w, i)))
+				batch = append(batch, rdf.T(s, p, o))
+			}
+			st.AddBatch(batch)
+		}(w)
+	}
+	wg.Wait()
+
+	var buf bytes.Buffer
+	if err := Save(&buf, dict, st); err != nil {
+		t.Fatal(err)
+	}
+	dict2, st2, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load after concurrent build: %v (nondeterministic ID assignment?)", err)
+	}
+	if dict2.Len() != dict.Len() {
+		t.Fatalf("dictionary size %d, want %d", dict2.Len(), dict.Len())
+	}
+	if st2.Len() != st.Len() {
+		t.Fatalf("store size %d, want %d", st2.Len(), st.Len())
+	}
+	// IDs preserved exactly, in both directions.
+	dict.ForEach(func(id rdf.ID, term rdf.Term) bool {
+		if got, ok := dict2.Lookup(term); !ok || got != id {
+			t.Fatalf("term %v has ID %d after reload, want %d", term, got, id)
+		}
+		return true
+	})
+	st.ForEach(func(tr rdf.Triple) bool {
+		if !st2.Contains(tr) {
+			t.Fatalf("loaded store missing %v", tr)
+		}
+		return true
+	})
+}

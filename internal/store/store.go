@@ -7,26 +7,54 @@
 // access patterns of RDFS/OWL rule bodies (walk a predicate's extent, or
 // probe by (predicate, subject) / (predicate, object)).
 //
-// Concurrency mirrors the paper: a single sync.RWMutex guards the store,
-// giving parallel rule-module instances shared read access while triple
-// additions take the write lock. The hash-map structure makes Add
-// idempotent and lets it report whether a triple was new — the mechanism
-// behind Slider's "duplicates limitation".
+// Concurrency uses two levels of lock striping instead of one global
+// RWMutex, so parallel rule-module instances and parallel input managers
+// do not serialize on a single lock:
+//
+//   - the predicate→partition map is sharded across numStripes stripes
+//     (selected by a hash of the predicate ID), each guarded by its own
+//     RWMutex;
+//   - each partition additionally carries its own RWMutex guarding the
+//     hot so/os maps, so writers to different predicates within one
+//     stripe still proceed in parallel.
+//
+// Locking protocol: a partition's maps are only ever touched while
+// holding the owning stripe's lock (read side for normal operations) plus
+// the partition lock. Remove takes the stripe's write lock so it can
+// prune drained partitions without racing concurrent adders that hold a
+// stale *partition. Iteration entry points (ForEach, ForEachWithPredicate)
+// copy the visited pairs under the locks and invoke the callback outside
+// them, so callbacks may freely read — or even mutate — the store.
+//
+// The hash-map structure makes Add idempotent and lets it report whether
+// a triple was new — the mechanism behind Slider's "duplicates
+// limitation".
 package store
 
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/rdf"
+)
+
+// stripeBits sets the number of lock stripes the predicate map is
+// sharded across: numStripes = 2^stripeBits.
+const (
+	stripeBits = 6
+	numStripes = 1 << stripeBits
 )
 
 // idSet is a set of term IDs.
 type idSet map[rdf.ID]struct{}
 
 // partition holds all triples sharing one predicate, indexed both
-// subject→objects and object→subjects.
+// subject→objects and object→subjects. Its maps are guarded by mu, and
+// only accessed while also holding the owning stripe's lock (see the
+// package comment for the protocol).
 type partition struct {
+	mu sync.RWMutex
 	so map[rdf.ID]idSet // subject → set of objects
 	os map[rdf.ID]idSet // object → set of subjects
 	n  int
@@ -36,7 +64,8 @@ func newPartition() *partition {
 	return &partition{so: make(map[rdf.ID]idSet), os: make(map[rdf.ID]idSet)}
 }
 
-// add inserts (s,o) and reports whether it was absent.
+// add inserts (s,o) and reports whether it was absent. Callers hold the
+// partition lock.
 func (p *partition) add(s, o rdf.ID) bool {
 	objs, ok := p.so[s]
 	if !ok {
@@ -57,6 +86,8 @@ func (p *partition) add(s, o rdf.ID) bool {
 	return true
 }
 
+// contains reports whether (s,o) is present. Callers hold the partition
+// lock (read side suffices).
 func (p *partition) contains(s, o rdf.ID) bool {
 	objs, ok := p.so[s]
 	if !ok {
@@ -66,65 +97,173 @@ func (p *partition) contains(s, o rdf.ID) bool {
 	return ok
 }
 
+// pair is one (subject, object) of a partition, used for copy-then-call
+// iteration.
+type pair struct {
+	s, o rdf.ID
+}
+
+// stripe is one shard of the predicate→partition map.
+type stripe struct {
+	mu    sync.RWMutex
+	parts map[rdf.ID]*partition
+}
+
 // Store is a concurrent, duplicate-free, vertically partitioned triple
 // store. The zero value is not usable; call New.
 type Store struct {
-	mu    sync.RWMutex
-	parts map[rdf.ID]*partition
-	size  int
+	stripes [numStripes]stripe
+	size    atomic.Int64
 }
 
 // New returns an empty store.
 func New() *Store {
-	return &Store{parts: make(map[rdf.ID]*partition, 64)}
+	st := &Store{}
+	for i := range st.stripes {
+		st.stripes[i].parts = make(map[rdf.ID]*partition, 8)
+	}
+	return st
+}
+
+// stripeFor selects the stripe owning predicate p. Predicate IDs are
+// dense per kind (with the kind in the top bits), so a Fibonacci spread
+// of the raw value distributes consecutive IDs across stripes.
+func (st *Store) stripeFor(p rdf.ID) *stripe {
+	h := uint64(p) * 0x9E3779B97F4A7C15
+	return &st.stripes[h>>(64-stripeBits)]
 }
 
 // Add inserts a triple and reports whether it was new. Duplicate inserts
 // are cheap no-ops.
 func (st *Store) Add(t rdf.Triple) bool {
-	st.mu.Lock()
-	p, ok := st.parts[t.P]
+	s := st.stripeFor(t.P)
+	s.mu.RLock()
+	p, ok := s.parts[t.P]
+	if ok {
+		p.mu.Lock()
+		fresh := p.add(t.S, t.O)
+		// size is updated before the locks are released so it can never
+		// lag behind a Clear that sums partition counts under the locks.
+		if fresh {
+			st.size.Add(1)
+		}
+		p.mu.Unlock()
+		s.mu.RUnlock()
+		return fresh
+	}
+	s.mu.RUnlock()
+	s.mu.Lock()
+	p, ok = s.parts[t.P]
 	if !ok {
 		p = newPartition()
-		st.parts[t.P] = p
+		s.parts[t.P] = p
 	}
+	p.mu.Lock()
 	fresh := p.add(t.S, t.O)
 	if fresh {
-		st.size++
+		st.size.Add(1)
 	}
-	st.mu.Unlock()
+	p.mu.Unlock()
+	s.mu.Unlock()
 	return fresh
 }
 
-// AddAll inserts all triples and returns those that were new, preserving
-// input order.
-func (st *Store) AddAll(ts []rdf.Triple) []rdf.Triple {
-	var fresh []rdf.Triple
-	st.mu.Lock()
-	for _, t := range ts {
-		p, ok := st.parts[t.P]
-		if !ok {
-			p = newPartition()
-			st.parts[t.P] = p
+// AddBatch inserts all triples and returns those that were new,
+// preserving input order. Triples are grouped by predicate so each
+// partition lock is taken once per distinct predicate instead of once
+// per triple — the write-path fast lane for batch ingestion.
+func (st *Store) AddBatch(ts []rdf.Triple) []rdf.Triple {
+	switch len(ts) {
+	case 0:
+		return nil
+	case 1:
+		if st.Add(ts[0]) {
+			return ts[:1:1]
 		}
-		if p.add(t.S, t.O) {
-			st.size++
-			fresh = append(fresh, t)
+		return nil
+	}
+	fresh := make([]bool, len(ts))
+	byPred := make(map[rdf.ID][]int, 8)
+	for i, t := range ts {
+		byPred[t.P] = append(byPred[t.P], i)
+	}
+	n := 0
+	for p, idxs := range byPred {
+		n += st.addGroup(p, ts, idxs, fresh)
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]rdf.Triple, 0, n)
+	for i, t := range ts {
+		if fresh[i] {
+			out = append(out, t)
 		}
 	}
-	st.mu.Unlock()
-	return fresh
+	return out
+}
+
+// addGroup inserts all triples at the given indices (sharing predicate p)
+// under a single partition-lock acquisition, marking fresh insertions.
+// It returns the number of fresh triples.
+func (st *Store) addGroup(p rdf.ID, ts []rdf.Triple, idxs []int, fresh []bool) int {
+	s := st.stripeFor(p)
+	n := 0
+	s.mu.RLock()
+	part, ok := s.parts[p]
+	if ok {
+		part.mu.Lock()
+		for _, i := range idxs {
+			if part.add(ts[i].S, ts[i].O) {
+				fresh[i] = true
+				n++
+			}
+		}
+		st.size.Add(int64(n))
+		part.mu.Unlock()
+		s.mu.RUnlock()
+		return n
+	}
+	s.mu.RUnlock()
+	s.mu.Lock()
+	part, ok = s.parts[p]
+	if !ok {
+		part = newPartition()
+		s.parts[p] = part
+	}
+	part.mu.Lock()
+	for _, i := range idxs {
+		if part.add(ts[i].S, ts[i].O) {
+			fresh[i] = true
+			n++
+		}
+	}
+	st.size.Add(int64(n))
+	part.mu.Unlock()
+	s.mu.Unlock()
+	return n
+}
+
+// AddAll inserts all triples and returns those that were new, preserving
+// input order. It is AddBatch under the store's historical name.
+func (st *Store) AddAll(ts []rdf.Triple) []rdf.Triple {
+	return st.AddBatch(ts)
 }
 
 // Remove deletes a triple and reports whether it was present. Empty
 // index entries are pruned so memory is reclaimed as partitions drain.
+// Remove takes the stripe's write lock (excluding concurrent access to
+// the stripe) so pruning an emptied partition cannot race an adder.
 func (st *Store) Remove(t rdf.Triple) bool {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	p, ok := st.parts[t.P]
+	s := st.stripeFor(t.P)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.parts[t.P]
 	if !ok {
 		return false
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	objs, ok := p.so[t.S]
 	if !ok {
 		return false
@@ -142,9 +281,9 @@ func (st *Store) Remove(t rdf.Triple) bool {
 		delete(p.os, t.O)
 	}
 	p.n--
-	st.size--
+	st.size.Add(-1)
 	if p.n == 0 {
-		delete(st.parts, t.P)
+		delete(s.parts, t.P)
 	}
 	return true
 }
@@ -162,114 +301,219 @@ func (st *Store) RemoveAll(ts []rdf.Triple) int {
 
 // Contains reports whether the exact triple is present.
 func (st *Store) Contains(t rdf.Triple) bool {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	p, ok := st.parts[t.P]
+	s := st.stripeFor(t.P)
+	s.mu.RLock()
+	p, ok := s.parts[t.P]
 	if !ok {
+		s.mu.RUnlock()
 		return false
 	}
-	return p.contains(t.S, t.O)
+	p.mu.RLock()
+	found := p.contains(t.S, t.O)
+	p.mu.RUnlock()
+	s.mu.RUnlock()
+	return found
+}
+
+// ContainsBatch reports, for each input triple, whether it is present.
+// Triples are grouped by predicate so each partition lock is taken once
+// per distinct predicate.
+func (st *Store) ContainsBatch(ts []rdf.Triple) []bool {
+	if len(ts) == 0 {
+		return nil
+	}
+	out := make([]bool, len(ts))
+	byPred := make(map[rdf.ID][]int, 8)
+	for i, t := range ts {
+		byPred[t.P] = append(byPred[t.P], i)
+	}
+	for p, idxs := range byPred {
+		s := st.stripeFor(p)
+		s.mu.RLock()
+		part, ok := s.parts[p]
+		if ok {
+			part.mu.RLock()
+			for _, i := range idxs {
+				out[i] = part.contains(ts[i].S, ts[i].O)
+			}
+			part.mu.RUnlock()
+		}
+		s.mu.RUnlock()
+	}
+	return out
 }
 
 // Len returns the number of distinct triples.
 func (st *Store) Len() int {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	return st.size
+	return int(st.size.Load())
 }
 
 // PredicateLen returns the number of triples with the given predicate.
 func (st *Store) PredicateLen(p rdf.ID) int {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	part, ok := st.parts[p]
+	s := st.stripeFor(p)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	part, ok := s.parts[p]
 	if !ok {
 		return 0
 	}
+	part.mu.RLock()
+	defer part.mu.RUnlock()
 	return part.n
 }
 
 // Predicates returns all predicates present, in ascending ID order.
 func (st *Store) Predicates() []rdf.ID {
-	st.mu.RLock()
-	out := make([]rdf.ID, 0, len(st.parts))
-	for p := range st.parts {
-		out = append(out, p)
+	var out []rdf.ID
+	for i := range st.stripes {
+		s := &st.stripes[i]
+		s.mu.RLock()
+		for p := range s.parts {
+			out = append(out, p)
+		}
+		s.mu.RUnlock()
 	}
-	st.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
 // Objects returns a copy of the objects o such that (s, p, o) is present.
 func (st *Store) Objects(p, s rdf.ID) []rdf.ID {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	part, ok := st.parts[p]
+	return st.ObjectsAppend(nil, p, s)
+}
+
+// ObjectsAppend appends the objects o such that (s, p, o) is present to
+// dst and returns the extended slice. Reusing dst across calls lets hot
+// rule joins avoid a fresh allocation per probe.
+func (st *Store) ObjectsAppend(dst []rdf.ID, p, s rdf.ID) []rdf.ID {
+	str := st.stripeFor(p)
+	str.mu.RLock()
+	part, ok := str.parts[p]
 	if !ok {
-		return nil
+		str.mu.RUnlock()
+		return dst
 	}
-	objs, ok := part.so[s]
-	if !ok {
-		return nil
+	part.mu.RLock()
+	if objs, ok := part.so[s]; ok {
+		if dst == nil {
+			dst = make([]rdf.ID, 0, len(objs))
+		}
+		for o := range objs {
+			dst = append(dst, o)
+		}
 	}
-	out := make([]rdf.ID, 0, len(objs))
-	for o := range objs {
-		out = append(out, o)
-	}
-	return out
+	part.mu.RUnlock()
+	str.mu.RUnlock()
+	return dst
 }
 
 // Subjects returns a copy of the subjects s such that (s, p, o) is present.
 func (st *Store) Subjects(p, o rdf.ID) []rdf.ID {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	part, ok := st.parts[p]
+	return st.SubjectsAppend(nil, p, o)
+}
+
+// SubjectsAppend appends the subjects s such that (s, p, o) is present to
+// dst and returns the extended slice.
+func (st *Store) SubjectsAppend(dst []rdf.ID, p, o rdf.ID) []rdf.ID {
+	str := st.stripeFor(p)
+	str.mu.RLock()
+	part, ok := str.parts[p]
 	if !ok {
+		str.mu.RUnlock()
+		return dst
+	}
+	part.mu.RLock()
+	if subs, ok := part.os[o]; ok {
+		if dst == nil {
+			dst = make([]rdf.ID, 0, len(subs))
+		}
+		for s := range subs {
+			dst = append(dst, s)
+		}
+	}
+	part.mu.RUnlock()
+	str.mu.RUnlock()
+	return dst
+}
+
+// pairBufs recycles the scratch slices ForEachWithPredicate/ForEach copy
+// partitions into, so the per-probe copy (the price of running callbacks
+// outside the locks) does not also cost an allocation per call.
+var pairBufs = sync.Pool{New: func() any { return new([]pair) }}
+
+// pairsOf copies the (s, o) pairs of predicate p's partition into a
+// pooled buffer. Callers must hand the buffer back via putPairs.
+func (st *Store) pairsOf(p rdf.ID) *[]pair {
+	s := st.stripeFor(p)
+	s.mu.RLock()
+	part, ok := s.parts[p]
+	if !ok {
+		s.mu.RUnlock()
 		return nil
 	}
-	subs, ok := part.os[o]
-	if !ok {
-		return nil
+	buf := pairBufs.Get().(*[]pair)
+	part.mu.RLock()
+	out := (*buf)[:0]
+	for sub, objs := range part.so {
+		for o := range objs {
+			out = append(out, pair{s: sub, o: o})
+		}
 	}
-	out := make([]rdf.ID, 0, len(subs))
-	for s := range subs {
-		out = append(out, s)
+	part.mu.RUnlock()
+	s.mu.RUnlock()
+	*buf = out
+	return buf
+}
+
+func putPairs(buf *[]pair) {
+	if buf != nil {
+		pairBufs.Put(buf)
 	}
-	return out
 }
 
 // ForEachWithPredicate calls f for every (s, o) pair in the predicate's
-// partition, under the read lock, until f returns false. f must not
-// mutate the store (that would deadlock).
+// partition until f returns false. The pairs are copied out under the
+// partition lock and f runs outside it, so f sees a consistent snapshot
+// of the partition and may freely read or mutate the store (mutations are
+// not reflected in the ongoing iteration).
 func (st *Store) ForEachWithPredicate(p rdf.ID, f func(s, o rdf.ID) bool) {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	part, ok := st.parts[p]
-	if !ok {
+	buf := st.pairsOf(p)
+	if buf == nil {
 		return
 	}
-	for s, objs := range part.so {
-		for o := range objs {
-			if !f(s, o) {
-				return
-			}
+	defer putPairs(buf)
+	for _, pr := range *buf {
+		if !f(pr.s, pr.o) {
+			return
 		}
 	}
 }
 
-// ForEach calls f for every triple, under the read lock, until f returns
-// false. f must not mutate the store.
+// ForEach calls f for every triple until f returns false. Like
+// ForEachWithPredicate, triples are copied out stripe by stripe and f
+// runs outside the locks; concurrent mutations may or may not be
+// visited.
 func (st *Store) ForEach(f func(rdf.Triple) bool) {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	for p, part := range st.parts {
-		for s, objs := range part.so {
-			for o := range objs {
-				if !f(rdf.Triple{S: s, P: p, O: o}) {
+	for i := range st.stripes {
+		s := &st.stripes[i]
+		s.mu.RLock()
+		preds := make([]rdf.ID, 0, len(s.parts))
+		for p := range s.parts {
+			preds = append(preds, p)
+		}
+		s.mu.RUnlock()
+		for _, p := range preds {
+			buf := st.pairsOf(p)
+			if buf == nil {
+				continue
+			}
+			for _, pr := range *buf {
+				if !f(rdf.Triple{S: pr.s, P: p, O: pr.o}) {
+					putPairs(buf)
 					return
 				}
 			}
+			putPairs(buf)
 		}
 	}
 }
@@ -300,41 +544,65 @@ func (st *Store) Match(pattern rdf.Triple) []rdf.Triple {
 			}
 		}
 	}
-	st.mu.RLock()
-	defer st.mu.RUnlock()
 	if pattern.P != rdf.Any {
-		if part, ok := st.parts[pattern.P]; ok {
+		s := st.stripeFor(pattern.P)
+		s.mu.RLock()
+		if part, ok := s.parts[pattern.P]; ok {
+			part.mu.RLock()
 			collect(pattern.P, part)
+			part.mu.RUnlock()
 		}
+		s.mu.RUnlock()
 		return out
 	}
-	for p, part := range st.parts {
-		collect(p, part)
+	for i := range st.stripes {
+		s := &st.stripes[i]
+		s.mu.RLock()
+		for p, part := range s.parts {
+			part.mu.RLock()
+			collect(p, part)
+			part.mu.RUnlock()
+		}
+		s.mu.RUnlock()
 	}
 	return out
 }
 
 // Snapshot returns a copy of every triple in the store.
 func (st *Store) Snapshot() []rdf.Triple {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	out := make([]rdf.Triple, 0, st.size)
-	for p, part := range st.parts {
-		for s, objs := range part.so {
-			for o := range objs {
-				out = append(out, rdf.Triple{S: s, P: p, O: o})
+	out := make([]rdf.Triple, 0, st.size.Load())
+	for i := range st.stripes {
+		s := &st.stripes[i]
+		s.mu.RLock()
+		for p, part := range s.parts {
+			part.mu.RLock()
+			for sub, objs := range part.so {
+				for o := range objs {
+					out = append(out, rdf.Triple{S: sub, P: p, O: o})
+				}
 			}
+			part.mu.RUnlock()
 		}
+		s.mu.RUnlock()
 	}
 	return out
 }
 
 // Clear removes all triples.
 func (st *Store) Clear() {
-	st.mu.Lock()
-	st.parts = make(map[rdf.ID]*partition, 64)
-	st.size = 0
-	st.mu.Unlock()
+	for i := range st.stripes {
+		s := &st.stripes[i]
+		s.mu.Lock()
+		removed := 0
+		for _, part := range s.parts {
+			part.mu.RLock()
+			removed += part.n
+			part.mu.RUnlock()
+		}
+		s.parts = make(map[rdf.ID]*partition, 8)
+		s.mu.Unlock()
+		st.size.Add(int64(-removed))
+	}
 }
 
 // Stats summarises the store's shape.
@@ -347,13 +615,19 @@ type Stats struct {
 
 // Stats returns current statistics.
 func (st *Store) Stats() Stats {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	s := Stats{Triples: st.size, Predicates: len(st.parts)}
-	for _, part := range st.parts {
-		if part.n > s.MaxPartition {
-			s.MaxPartition = part.n
+	s := Stats{Triples: int(st.size.Load())}
+	for i := range st.stripes {
+		str := &st.stripes[i]
+		str.mu.RLock()
+		s.Predicates += len(str.parts)
+		for _, part := range str.parts {
+			part.mu.RLock()
+			if part.n > s.MaxPartition {
+				s.MaxPartition = part.n
+			}
+			part.mu.RUnlock()
 		}
+		str.mu.RUnlock()
 	}
 	return s
 }

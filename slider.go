@@ -251,6 +251,39 @@ func (r *Reasoner) AddTriple(t Triple) bool {
 	return fresh
 }
 
+// AddBatch streams a batch of statements into the reasoner and returns
+// how many were new. The whole batch takes the engine's batch-first
+// ingest path: one grouped store insertion and one routing pass, instead
+// of per-statement lock traffic — markedly faster for bulk loads, and the
+// path LoadNTriples and LoadTurtle use. If any statement is invalid RDF
+// an error is returned and nothing is added.
+func (r *Reasoner) AddBatch(sts []Statement) (int, error) {
+	for _, st := range sts {
+		if !st.Valid() {
+			return 0, fmt.Errorf("slider: invalid statement %v", st)
+		}
+	}
+	ts := make([]rdf.Triple, len(sts))
+	for i, st := range sts {
+		ts[i] = r.dict.EncodeStatement(st)
+	}
+	return r.AddTriples(ts), nil
+}
+
+// AddTriples streams a batch of already-encoded triples (IDs must come
+// from this reasoner's Dictionary) and returns how many were new.
+func (r *Reasoner) AddTriples(ts []Triple) int {
+	fresh := r.engine.AddBatch(ts)
+	if len(fresh) > 0 && r.explicit != nil {
+		r.explicitMu.Lock()
+		for _, t := range fresh {
+			r.explicit[t] = struct{}{}
+		}
+		r.explicitMu.Unlock()
+	}
+	return len(fresh)
+}
+
 // RetractStats reports what a Retract call did.
 type RetractStats = maintenance.Stats
 
@@ -278,46 +311,59 @@ func (r *Reasoner) Retract(ctx context.Context, sts ...Statement) (RetractStats,
 	return maintenance.Retract(ctx, r.store, r.frag.rules, r.explicit, toDelete)
 }
 
-// LoadNTriples parses an N-Triples document from rd and streams every
-// statement into the reasoner, returning the number of statements read.
-// Parsing and inference overlap, as with Slider's streaming input
-// manager.
-func (r *Reasoner) LoadNTriples(rd io.Reader) (int, error) {
-	nr := ntriples.NewReader(rd)
+// loadChunkSize is how many parsed statements the loaders accumulate
+// before handing them to the batch ingest path. Large enough to amortise
+// per-batch routing, small enough to keep parsing and inference
+// overlapped.
+const loadChunkSize = 512
+
+// loadStream drains a statement source in loadChunkSize batches through
+// AddBatch, returning the number of statements streamed.
+func (r *Reasoner) loadStream(read func() (Statement, error)) (int, error) {
 	n := 0
+	chunk := make([]Statement, 0, loadChunkSize)
+	flush := func() error {
+		if len(chunk) == 0 {
+			return nil
+		}
+		_, err := r.AddBatch(chunk)
+		chunk = chunk[:0]
+		return err
+	}
 	for {
-		st, err := nr.Read()
+		st, err := read()
 		if err == io.EOF {
-			return n, nil
+			return n, flush()
 		}
 		if err != nil {
+			if ferr := flush(); ferr != nil {
+				return n, ferr
+			}
 			return n, err
 		}
-		if _, err := r.Add(st); err != nil {
-			return n, err
-		}
+		chunk = append(chunk, st)
 		n++
+		if len(chunk) == loadChunkSize {
+			if err := flush(); err != nil {
+				return n, err
+			}
+		}
 	}
 }
 
+// LoadNTriples parses an N-Triples document from rd and streams every
+// statement into the reasoner in batches, returning the number of
+// statements read. Parsing and inference overlap, as with Slider's
+// streaming input manager: each chunk of parsed statements enters the
+// engine's batch ingest path while the next chunk is being parsed.
+func (r *Reasoner) LoadNTriples(rd io.Reader) (int, error) {
+	return r.loadStream(ntriples.NewReader(rd).Read)
+}
+
 // LoadTurtle parses a Turtle document from rd and streams every statement
-// into the reasoner, returning the number of statements read.
+// into the reasoner in batches, returning the number of statements read.
 func (r *Reasoner) LoadTurtle(rd io.Reader) (int, error) {
-	tr := turtle.NewReader(rd)
-	n := 0
-	for {
-		st, err := tr.Read()
-		if err == io.EOF {
-			return n, nil
-		}
-		if err != nil {
-			return n, err
-		}
-		if _, err := r.Add(st); err != nil {
-			return n, err
-		}
-		n++
-	}
+	return r.loadStream(turtle.NewReader(rd).Read)
 }
 
 // Wait blocks until inference over everything added so far has completed.

@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"testing"
+
+	"repro"
+)
 
 func TestFragmentByName(t *testing.T) {
 	for _, name := range []string{"rhodf", "rho-df", "rho", "rdfs", "rdfs-lite"} {
@@ -14,6 +19,45 @@ func TestFragmentByName(t *testing.T) {
 	}
 	if _, err := fragmentByName("owl-full"); err == nil {
 		t.Error("unknown fragment accepted")
+	}
+}
+
+func TestBuildReasonerDataDir(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	if _, _, err := buildReasoner(slider.RhoDF, "snap.bin", dir, nil); err == nil {
+		t.Fatal("-data with -load accepted")
+	}
+
+	r, recovered, err := buildReasoner(slider.RhoDF, "", dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recovered != 0 {
+		t.Fatalf("fresh durable KB claims %d recovered triples", recovered)
+	}
+	stmt := slider.NewStatement(
+		slider.IRI("http://example.org/Cat"),
+		slider.IRI(slider.SubClassOf),
+		slider.IRI("http://example.org/Animal"))
+	if _, err := r.Add(stmt); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second start: the statement must come back, counted as recovered.
+	r2, recovered, err := buildReasoner(slider.RhoDF, "", dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close(ctx)
+	if recovered != 1 {
+		t.Fatalf("recovered %d triples, want 1", recovered)
+	}
+	if !r2.Contains(stmt) {
+		t.Fatal("durable KB lost the statement across runs")
 	}
 }
 

@@ -10,6 +10,7 @@
 //	sliderbench -fig2 | dot -Tpng       # Figure 2 as DOT
 //	sliderbench -sweep -dataset BSBM_100k
 //	sliderbench -ingest                 # batch-ingest scaling, BENCH_ingest.json
+//	sliderbench -wal                    # durability tax + cold recovery, BENCH_wal.json
 package main
 
 import (
@@ -39,8 +40,11 @@ func main() {
 
 		ingest     = flag.Bool("ingest", false, "measure batch-ingest throughput scaling over worker counts")
 		ingestOut  = flag.String("ingestout", "BENCH_ingest.json", "output path for the -ingest JSON report")
-		batchSize  = flag.Int("batchsize", 512, "triples per AddBatch call for -ingest")
-		workerList = flag.String("workerlist", "1,2,4,8", "comma-separated worker counts for -ingest")
+		batchSize  = flag.Int("batchsize", 512, "triples per AddBatch call for -ingest and -wal")
+		workerList = flag.String("workerlist", "1,2,4,8", "comma-separated worker counts for -ingest and -wal")
+
+		walBench = flag.Bool("wal", false, "measure write-ahead-logged ingest vs in-memory, and cold-recovery time")
+		walOut   = flag.String("walout", "BENCH_wal.json", "output path for the -wal JSON report")
 	)
 	flag.Parse()
 
@@ -52,7 +56,7 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), *limit)
 	defer cancel()
 
-	if !*table1 && !*fig2 && !*fig3 && !*sweep && !*ingest {
+	if !*table1 && !*fig2 && !*fig3 && !*sweep && !*ingest && !*walBench {
 		*table1 = true
 	}
 
@@ -104,6 +108,33 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println("wrote", *ingestOut)
+	}
+	if *walBench {
+		ds, err := bench.DatasetByName(*dataset, sc)
+		if err != nil {
+			fatal(err)
+		}
+		workers, err := parseWorkerList(*workerList)
+		if err != nil {
+			fatal(err)
+		}
+		rep, err := bench.WALScaling(ctx, ds, workers, *batchSize, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		bench.WriteWALTable(os.Stdout, rep)
+		f, err := os.Create(*walOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := bench.WriteWALJSON(f, rep); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *walOut)
 	}
 }
 

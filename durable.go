@@ -1,0 +1,342 @@
+// Durable knowledge bases. A durable Reasoner pairs the in-memory
+// engine with a write-ahead log (internal/wal): every acknowledged
+// assert/retract batch is logged — together with the dictionary entries
+// that name it — before the engine applies it, and the materialised
+// store is checkpointed (internal/snapshot format) in the background.
+//
+// Reopening the directory restores the checkpointed closure instantly
+// and re-runs inference only over the logged tail, so a crash loses at
+// most the batch whose Add never returned. Retractions are logged too:
+// replay re-runs delete-and-rederive, so the recovered closure is the
+// closure of the surviving explicit triples — exactly the state a
+// process that never crashed would hold.
+package slider
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"maps"
+	"sync"
+
+	"repro/internal/maintenance"
+	"repro/internal/rdf"
+	"repro/internal/snapshot"
+	"repro/internal/store"
+	"repro/internal/wal"
+)
+
+// DefaultCheckpointEvery is how much live (uncheckpointed) write-ahead
+// log a durable reasoner accumulates before a background checkpoint.
+const DefaultCheckpointEvery = 4 << 20
+
+// Open opens (creating if necessary) a durable knowledge base rooted at
+// dir and returns a Reasoner for the fragment. If the directory holds a
+// previous run's state, the checkpoint is loaded as background knowledge
+// and the log tail is replayed — inference re-runs only for the
+// uncheckpointed suffix. A torn final record (crash mid-append) is
+// truncated away. The fragment should match the one the directory was
+// written with: the checkpoint stores the materialised closure, which a
+// weaker fragment would not re-derive.
+func Open(dir string, frag Fragment, opts ...Option) (*Reasoner, error) {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	cfg.durableDir = dir
+	return openDurable(frag, cfg)
+}
+
+// durability is the write-ahead-log state of a durable Reasoner.
+type durability struct {
+	log             *wal.Log
+	checkpointEvery int64 // <0: never checkpoint automatically
+
+	// mu serializes log appends with their engine handoff, and excludes
+	// both while a checkpoint captures the store. It is taken before
+	// explicitMu wherever both are held.
+	mu sync.Mutex
+
+	// errMu guards err on its own so read-only paths (Wait) never block
+	// behind a checkpoint holding mu.
+	errMu sync.Mutex
+	err   error // first log/checkpoint failure; poisons further writes
+
+	// Dictionary high-water marks: how many terms per kind have been
+	// written to the log (or were present in the loaded checkpoint).
+	hwIRIs, hwBlanks, hwLiterals int
+
+	ckptInFlight bool
+	ckptDone     chan struct{} // closed when the in-flight checkpoint ends
+}
+
+// openDurable builds a durable Reasoner from an option-parsed config.
+func openDurable(frag Fragment, cfg config) (*Reasoner, error) {
+	cfg.retraction = true // replayed retract records need the explicit set
+	l, err := wal.Open(cfg.durableDir, wal.Options{
+		SegmentSize: cfg.walSegmentSize,
+		Fsync:       cfg.walFsync,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// A checkpoint stores a materialised closure: reopening under
+	// different rules would silently mix fragments and re-persist the
+	// hybrid. Record the fragment on first open, refuse mismatches.
+	switch recorded := l.Meta(); recorded {
+	case "":
+		if err := l.SetMeta(frag.Name()); err != nil {
+			l.Close()
+			return nil, err
+		}
+	case frag.Name():
+	default:
+		l.Close()
+		return nil, fmt.Errorf("slider: knowledge base at %s was built with fragment %q, not %q",
+			cfg.durableDir, recorded, frag.Name())
+	}
+	dict := rdf.NewDictionary()
+	st := store.New()
+	var explicitSeed []rdf.Triple
+	snapRC, expRC, hasCkpt, err := l.OpenCheckpoint()
+	if err != nil {
+		l.Close()
+		return nil, err
+	}
+	if hasCkpt {
+		dict, st, err = snapshot.Load(snapRC)
+		snapRC.Close()
+		if err == nil {
+			explicitSeed, err = wal.ReadExplicit(expRC)
+		}
+		expRC.Close()
+		if err != nil {
+			l.Close()
+			return nil, fmt.Errorf("slider: loading checkpoint: %w", err)
+		}
+	}
+	r := newReasoner(frag, dict, st, cfg)
+	for _, t := range explicitSeed {
+		r.explicit[t] = struct{}{}
+	}
+	if err := r.replayLog(l); err != nil {
+		r.engine.Close(context.Background())
+		l.Close()
+		return nil, err
+	}
+	every := cfg.checkpointEvery
+	if every == 0 {
+		every = DefaultCheckpointEvery
+	}
+	d := &durability{log: l, checkpointEvery: every}
+	d.hwIRIs, d.hwBlanks, d.hwLiterals = dict.KindCounts()
+	r.dur = d
+	return r, nil
+}
+
+// replayLog re-applies the live log tail: dictionary deltas are
+// re-encoded (and verified against the IDs the log recorded), assert
+// batches re-enter the engine so their consequences are re-inferred
+// against the checkpointed background, and retract batches re-run
+// delete-and-rederive. Runs before r.dur is armed, so nothing is
+// re-logged.
+func (r *Reasoner) replayLog(l *wal.Log) error {
+	ctx := context.Background()
+	_, err := l.Replay(func(rec wal.Record) error {
+		for _, te := range rec.Terms {
+			if got := r.dict.Encode(te.Term); got != te.ID {
+				return fmt.Errorf("slider: wal replay: term %v resolved to ID %d, log recorded %d",
+					te.Term, uint64(got), uint64(te.ID))
+			}
+		}
+		switch rec.Op {
+		case wal.OpAssert:
+			r.applyAssert(rec.Triples)
+		case wal.OpRetract:
+			// DRed needs a quiescent store, as in Retract.
+			if err := r.engine.Wait(ctx); err != nil {
+				return err
+			}
+			r.explicitMu.Lock()
+			_, err := maintenance.Retract(ctx, r.store, r.frag.rules, r.explicit, rec.Triples)
+			r.explicitMu.Unlock()
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	return err
+}
+
+// termDelta collects the dictionary terms registered since the previous
+// call, advancing the high-water marks. Called with d.mu held, so deltas
+// land in the log in registration order and replay reproduces identical
+// IDs. A term encoded by a not-yet-logged concurrent batch may ride
+// along with an earlier record — harmless, replay just registers it
+// sooner.
+func (d *durability) termDelta(dict *rdf.Dictionary) []wal.TermEntry {
+	iris, blanks, literals := dict.KindCounts()
+	if iris == d.hwIRIs && blanks == d.hwBlanks && literals == d.hwLiterals {
+		return nil
+	}
+	delta := make([]wal.TermEntry, 0,
+		(iris-d.hwIRIs)+(blanks-d.hwBlanks)+(literals-d.hwLiterals))
+	dict.ForEachNew(d.hwIRIs, d.hwBlanks, d.hwLiterals, func(id rdf.ID, t rdf.Term) bool {
+		delta = append(delta, wal.TermEntry{ID: id, Term: t})
+		switch t.Kind {
+		case rdf.TermIRI:
+			d.hwIRIs++
+		case rdf.TermBlank:
+			d.hwBlanks++
+		case rdf.TermLiteral:
+			d.hwLiterals++
+		}
+		return true
+	})
+	return delta
+}
+
+// Checkpoint waits for quiescence and atomically writes the materialised
+// store, the dictionary and the explicit triple set to the knowledge
+// base's directory, then prunes the log segments the checkpoint covers.
+// Recovery after a checkpoint loads it instantly instead of replaying
+// the log. Errors only on durable reasoners' I/O failures; calling it on
+// an in-memory reasoner errors.
+func (r *Reasoner) Checkpoint(ctx context.Context) error {
+	if r.dur == nil {
+		return fmt.Errorf("slider: Checkpoint on a non-durable reasoner (use Open or WithDurability)")
+	}
+	r.dur.mu.Lock()
+	defer r.dur.mu.Unlock()
+	return r.checkpointLocked(ctx)
+}
+
+// checkpointLocked writes a checkpoint with d.mu held: appends are
+// excluded, so once the engine drains, the store is exactly the closure
+// of every logged record.
+func (r *Reasoner) checkpointLocked(ctx context.Context) error {
+	d := r.dur
+	if err := d.getErr(); err != nil {
+		return err
+	}
+	if err := r.engine.Wait(ctx); err != nil {
+		return err
+	}
+	if err := r.engine.Err(); err != nil {
+		return err
+	}
+	err := d.log.WriteCheckpoint(
+		func(w io.Writer) error { return snapshot.Save(w, r.dict, r.store) },
+		func(w io.Writer) error {
+			// Stream straight out of the map — no whole-set slice.
+			// Holding explicitMu across the write is fine: every mutator
+			// takes d.mu (held here) first.
+			r.explicitMu.Lock()
+			defer r.explicitMu.Unlock()
+			return wal.WriteExplicitSeq(w, len(r.explicit), maps.Keys(r.explicit))
+		},
+	)
+	if err != nil {
+		d.setErr(err)
+	}
+	return err
+}
+
+// maybeCheckpointLocked starts a background checkpoint when the live log
+// volume passes the threshold. Called with d.mu held; the checkpoint
+// itself re-acquires d.mu on its own goroutine so the triggering Add
+// returns first.
+func (r *Reasoner) maybeCheckpointLocked() {
+	d := r.dur
+	if d.checkpointEvery <= 0 || d.ckptInFlight || d.getErr() != nil {
+		return
+	}
+	// The threshold is a floor: once the store outgrows it, wait for the
+	// live log to reach half the last checkpoint's size before paying
+	// for the next full rewrite. This keeps total checkpoint I/O linear
+	// in the data ingested instead of quadratic in store size.
+	threshold := d.checkpointEvery
+	if half := d.log.CheckpointBytes() / 2; half > threshold {
+		threshold = half
+	}
+	if d.log.LiveBytes() < threshold {
+		return
+	}
+	d.ckptInFlight = true
+	done := make(chan struct{})
+	d.ckptDone = done
+	go func() {
+		defer close(done)
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		r.checkpointLocked(context.Background())
+		d.ckptInFlight = false
+	}()
+}
+
+// getErr returns the sticky durability error, if any.
+func (d *durability) getErr() error {
+	d.errMu.Lock()
+	defer d.errMu.Unlock()
+	return d.err
+}
+
+// setErr records the first durability failure; later writes are refused.
+func (d *durability) setErr(err error) {
+	d.errMu.Lock()
+	if d.err == nil {
+		d.err = err
+	}
+	d.errMu.Unlock()
+}
+
+// durErr returns the sticky durability error, if any.
+func (r *Reasoner) durErr() error {
+	if r.dur == nil {
+		return nil
+	}
+	return r.dur.getErr()
+}
+
+// closeDurable shuts a durable reasoner down cleanly: drain inference,
+// take a final checkpoint (so the next Open skips replay), close the
+// log.
+func (r *Reasoner) closeDurable(ctx context.Context) error {
+	d := r.dur
+	// Let an in-flight background checkpoint finish first, but respect
+	// the caller's shutdown deadline: the checkpoint write is O(store)
+	// and not cancellable. On timeout the KB is left un-closed (the
+	// checkpoint goroutine still owns it); the log on disk stays
+	// consistent and the next Open recovers normally.
+	d.mu.Lock()
+	done := d.ckptDone
+	d.mu.Unlock()
+	if done != nil {
+		select {
+		case <-done:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	err := r.engine.Close(ctx)
+	if err == nil {
+		err = r.engine.Err()
+	}
+	// Checkpoint only if the log holds records the current checkpoint
+	// does not cover: a read-only session (or one whose background
+	// checkpoint just ran) would otherwise rewrite the whole store on
+	// every exit. engine.Wait inside is now a no-op: Close has drained.
+	if err == nil && d.getErr() == nil && d.checkpointEvery >= 0 && d.log.Dirty() {
+		err = r.checkpointLocked(ctx)
+	}
+	if cerr := d.log.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = d.getErr()
+	}
+	return err
+}

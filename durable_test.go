@@ -1,0 +1,300 @@
+package slider
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// closureSet renders the materialised store as a sorted set of decoded
+// statements, for comparing closures across reasoner instances whose
+// dictionaries may differ.
+func closureSet(r *Reasoner) []string {
+	var out []string
+	r.Statements(func(st Statement) bool {
+		out = append(out, st.String())
+		return true
+	})
+	sort.Strings(out)
+	return out
+}
+
+func sameClosure(t *testing.T, got, want []string, msg string) {
+	t.Helper()
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Fatalf("%s:\n got %d triples:\n  %s\nwant %d triples:\n  %s",
+			msg, len(got), strings.Join(got, "\n  "), len(want), strings.Join(want, "\n  "))
+	}
+}
+
+func TestDurableReopenRestoresClosure(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	r, err := Open(dir, RhoDF, WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAdd(t, r, NewStatement(ex("Cat"), IRI(SubClassOf), ex("Mammal")))
+	mustAdd(t, r, NewStatement(ex("Mammal"), IRI(SubClassOf), ex("Animal")))
+	mustAdd(t, r, NewStatement(ex("felix"), IRI(Type), ex("Cat")))
+	if err := r.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	want := closureSet(r)
+	if err := r.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	r2, err := Open(dir, RhoDF, WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close(ctx)
+	if err := r2.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	sameClosure(t, closureSet(r2), want, "closure after clean reopen")
+	if !r2.Contains(NewStatement(ex("felix"), IRI(Type), ex("Animal"))) {
+		t.Fatal("inferred triple lost across restart")
+	}
+
+	// The reopened store keeps reasoning: new facts join the recovered
+	// background knowledge.
+	mustAdd(t, r2, NewStatement(ex("tom"), IRI(Type), ex("Cat")))
+	if err := r2.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Contains(NewStatement(ex("tom"), IRI(Type), ex("Animal"))) {
+		t.Fatal("inference over recovered background knowledge failed")
+	}
+}
+
+func TestDurableRetractSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	// Checkpointing disabled: recovery must come purely from replaying
+	// the log, including the retract record.
+	r, err := Open(dir, RhoDF, WithWorkers(2), WithCheckpointEvery(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAdd(t, r, NewStatement(ex("Cat"), IRI(SubClassOf), ex("Mammal")))
+	mustAdd(t, r, NewStatement(ex("Mammal"), IRI(SubClassOf), ex("Animal")))
+	mustAdd(t, r, NewStatement(ex("felix"), IRI(Type), ex("Cat")))
+	mustAdd(t, r, NewStatement(ex("felix"), IRI(Type), ex("Pet")))
+	mustAdd(t, r, NewStatement(ex("Pet"), IRI(SubClassOf), ex("Animal")))
+	if err := r.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Retract(ctx, NewStatement(ex("felix"), IRI(Type), ex("Cat"))); err != nil {
+		t.Fatal(err)
+	}
+	if r.Contains(NewStatement(ex("felix"), IRI(Type), ex("Mammal"))) {
+		t.Fatal("retraction did not remove sole-derivation consequence")
+	}
+	if !r.Contains(NewStatement(ex("felix"), IRI(Type), ex("Animal"))) {
+		t.Fatal("retraction removed an alternatively-derived consequence")
+	}
+	want := closureSet(r)
+	if err := r.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	r2, err := Open(dir, RhoDF, WithWorkers(2), WithCheckpointEvery(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close(ctx)
+	if err := r2.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	sameClosure(t, closureSet(r2), want, "closure after replaying a retraction")
+	if r2.Contains(NewStatement(ex("felix"), IRI(Type), ex("Cat"))) {
+		t.Fatal("retracted explicit triple came back")
+	}
+	// The recovered explicit set still supports further retraction.
+	if _, err := r2.Retract(ctx, NewStatement(ex("Pet"), IRI(SubClassOf), ex("Animal"))); err != nil {
+		t.Fatal(err)
+	}
+	if r2.Contains(NewStatement(ex("felix"), IRI(Type), ex("Animal"))) {
+		t.Fatal("post-restart retraction did not propagate")
+	}
+}
+
+func TestDurableCheckpointPlusTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	r, err := Open(dir, RhoDF, WithWorkers(2), WithCheckpointEvery(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAdd(t, r, NewStatement(ex("Cat"), IRI(SubClassOf), ex("Mammal")))
+	mustAdd(t, r, NewStatement(ex("felix"), IRI(Type), ex("Cat")))
+	if err := r.Checkpoint(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Tail: logged after the checkpoint, never checkpointed (close-time
+	// checkpoint is disabled by the negative WithCheckpointEvery).
+	mustAdd(t, r, NewStatement(ex("Mammal"), IRI(SubClassOf), ex("Animal")))
+	if err := r.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	want := closureSet(r)
+	if err := r.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	r2, err := Open(dir, RhoDF, WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close(ctx)
+	if err := r2.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	sameClosure(t, closureSet(r2), want, "snapshot+tail recovery")
+	if !r2.Contains(NewStatement(ex("felix"), IRI(Type), ex("Animal"))) {
+		t.Fatal("tail fact did not join checkpointed background knowledge")
+	}
+}
+
+func TestDurableBackgroundCheckpointing(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	// A 1-byte threshold makes every batch trip the background
+	// checkpointer; the test just exercises the trigger path end to end.
+	r, err := Open(dir, RhoDF, WithWorkers(2), WithCheckpointEvery(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		mustAdd(t, r, NewStatement(ex("n"+string(rune('a'+i))), IRI(SubClassOf), ex("n"+string(rune('b'+i)))))
+	}
+	if err := r.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	want := closureSet(r)
+	if err := r.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Open(dir, RhoDF, WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close(ctx)
+	if err := r2.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	sameClosure(t, closureSet(r2), want, "closure after background checkpoints")
+}
+
+func TestDurableReadOnlySessionSkipsCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	r, err := Open(dir, RhoDF, WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAdd(t, r, NewStatement(ex("a"), IRI(SubClassOf), ex("b")))
+	if err := r.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	manifest := func() string {
+		b, err := os.ReadFile(filepath.Join(dir, "MANIFEST.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	before := manifest()
+
+	// A session that only reads must not rewrite the checkpoint on exit.
+	r2, err := Open(dir, RhoDF, WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Contains(NewStatement(ex("a"), IRI(SubClassOf), ex("b"))) {
+		t.Fatal("recovered triple missing")
+	}
+	if err := r2.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if after := manifest(); after != before {
+		t.Fatalf("read-only session advanced the checkpoint: %s -> %s", before, after)
+	}
+
+	// A session that writes must.
+	r3, err := Open(dir, RhoDF, WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAdd(t, r3, NewStatement(ex("b"), IRI(SubClassOf), ex("c")))
+	if err := r3.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if after := manifest(); after == before {
+		t.Fatal("writing session did not advance the checkpoint")
+	}
+}
+
+func TestDurableFragmentMismatchRejected(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	r, err := Open(dir, RDFS, WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAdd(t, r, NewStatement(ex("a"), IRI(SubClassOf), ex("b")))
+	if err := r.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, RhoDF, WithWorkers(2)); err == nil {
+		t.Fatal("reopening an RDFS-built KB under rhodf was accepted")
+	} else if !strings.Contains(err.Error(), "rdfs") {
+		t.Fatalf("mismatch error does not name the recorded fragment: %v", err)
+	}
+	// The matching fragment still opens.
+	r2, err := Open(dir, RDFS, WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewWithDurability(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	r := New(RhoDF, WithWorkers(2), WithDurability(dir))
+	mustAdd(t, r, NewStatement(ex("a"), IRI(SubClassOf), ex("b")))
+	if err := r.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Open(dir, RhoDF, WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close(ctx)
+	if !r2.Contains(NewStatement(ex("a"), IRI(SubClassOf), ex("b"))) {
+		t.Fatal("New(WithDurability) state not recovered by Open")
+	}
+
+	// A directory that cannot be created must panic (Open is the
+	// error-returning form).
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(WithDurability) on an unusable path did not panic")
+		}
+	}()
+	bad := dir + "/MANIFEST.json/nope" // parent is a file, MkdirAll must fail
+	New(RhoDF, WithDurability(bad))
+}

@@ -133,27 +133,49 @@ func chunkTriples(ts []rdf.Triple, batchSize int) [][]rdf.Triple {
 	return out
 }
 
+// runWorkers fans the indices 0..n-1 out to w workers over a shared
+// atomic cursor, returning the first sink error. Shared by every ingest
+// benchmark so the work-distribution loop exists once.
+func runWorkers(n, w int, sink func(int) error) error {
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	errs := make([]error, w)
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			for {
+				k := cursor.Add(1) - 1
+				if k >= int64(n) {
+					return
+				}
+				if err := sink(int(k)); err != nil {
+					errs[slot] = err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // ingestStore times w workers pushing the batches into a fresh sharded
 // store via AddBatch. Workers claim batches off a shared atomic cursor.
 func ingestStore(batches [][]rdf.Triple, w int) (time.Duration, error) {
 	st := store.New()
-	var cursor atomic.Int64
-	var wg sync.WaitGroup
 	start := time.Now()
-	for i := 0; i < w; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				n := cursor.Add(1) - 1
-				if n >= int64(len(batches)) {
-					return
-				}
-				st.AddBatch(batches[n])
-			}
-		}()
+	if err := runWorkers(len(batches), w, func(n int) error {
+		st.AddBatch(batches[n])
+		return nil
+	}); err != nil {
+		return 0, err
 	}
-	wg.Wait()
 	elapsed := time.Since(start)
 	total := 0
 	for _, b := range batches {
@@ -175,23 +197,13 @@ func ingestEngine(ctx context.Context, batches [][]rdf.Triple, w int, cfg Slider
 		Timeout:    cfg.Timeout,
 		Workers:    w,
 	})
-	var cursor atomic.Int64
-	var wg sync.WaitGroup
 	start := time.Now()
-	for i := 0; i < w; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				n := cursor.Add(1) - 1
-				if n >= int64(len(batches)) {
-					return
-				}
-				eng.AddBatch(batches[n])
-			}
-		}()
+	if err := runWorkers(len(batches), w, func(n int) error {
+		eng.AddBatch(batches[n])
+		return nil
+	}); err != nil {
+		return 0, err
 	}
-	wg.Wait()
 	if err := eng.Close(ctx); err != nil {
 		return 0, err
 	}

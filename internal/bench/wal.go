@@ -1,0 +1,352 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	slider "repro"
+	"repro/internal/rdf"
+	"repro/internal/reasoner"
+	"repro/internal/store"
+	"repro/internal/wal"
+)
+
+// WALPoint is one cell of the durability benchmark: in-memory vs
+// write-ahead-logged ingest throughput at a given worker count, for both
+// the bare store path and the full engine path.
+type WALPoint struct {
+	Workers int `json:"workers"`
+	Triples int `json:"triples"`
+	// Store path: raw sharded-store AddBatch, no rules.
+	MemStoreMS   float64 `json:"mem_store_elapsed_ms"`
+	MemStoreRate float64 `json:"mem_store_triples_per_sec"`
+	WALStoreMS   float64 `json:"wal_store_elapsed_ms"`
+	WALStoreRate float64 `json:"wal_store_triples_per_sec"`
+	// Engine path: AddBatch plus ρdf inference to quiescence.
+	MemEngineMS   float64 `json:"mem_engine_elapsed_ms"`
+	MemEngineRate float64 `json:"mem_engine_triples_per_sec"`
+	WALEngineMS   float64 `json:"wal_engine_elapsed_ms"`
+	WALEngineRate float64 `json:"wal_engine_triples_per_sec"`
+}
+
+// WALRecovery reports cold-start times for the three recovery shapes.
+type WALRecovery struct {
+	Triples int `json:"triples"`
+	// SnapshotOnlyMS: clean shutdown — checkpoint loaded, empty log.
+	SnapshotOnlyMS float64 `json:"snapshot_only_ms"`
+	// SnapshotTailMS: checkpoint at half the stream, the rest replayed
+	// from the log with inference re-run for the tail only.
+	SnapshotTailMS float64 `json:"snapshot_tail_ms"`
+	// LogOnlyMS: no checkpoint at all, the full log replayed.
+	LogOnlyMS float64 `json:"log_only_ms"`
+}
+
+// WALReport is the JSON document cmd/sliderbench -wal emits
+// (BENCH_wal.json): the durability tax on ingest, and what checkpoints
+// buy at recovery time.
+type WALReport struct {
+	Dataset    string      `json:"dataset"`
+	Triples    int         `json:"triples"`
+	BatchSize  int         `json:"batch_size"`
+	Repeats    int         `json:"repeats"`
+	GoMaxProcs int         `json:"gomaxprocs"`
+	Results    []WALPoint  `json:"results"`
+	Recovery   WALRecovery `json:"recovery"`
+}
+
+// walBatches dictionary-encodes the dataset into per-batch WAL records,
+// exactly as the durable facade logs them: each record carries the
+// batch's triples plus the dictionary terms that batch introduced.
+func walBatches(ds Dataset, batchSize int) []wal.Record {
+	dict := rdf.NewDictionary()
+	var recs []wal.Record
+	for start := 0; start < len(ds.Statements); start += batchSize {
+		end := min(start+batchSize, len(ds.Statements))
+		iris, blanks, literals := dict.KindCounts()
+		ts := make([]rdf.Triple, 0, end-start)
+		for _, s := range ds.Statements[start:end] {
+			ts = append(ts, dict.EncodeStatement(s))
+		}
+		var terms []wal.TermEntry
+		dict.ForEachNew(iris, blanks, literals, func(id rdf.ID, t rdf.Term) bool {
+			terms = append(terms, wal.TermEntry{ID: id, Term: t})
+			return true
+		})
+		recs = append(recs, wal.Record{Op: wal.OpAssert, Terms: terms, Triples: ts})
+	}
+	return recs
+}
+
+// WALScaling measures the durability tax: ingest throughput with and
+// without the write-ahead log in front of the store and the engine, at
+// each worker count. Each cell runs cfg.Repeats times, keeping the
+// fastest.
+func WALScaling(ctx context.Context, ds Dataset, workerCounts []int, batchSize int, cfg SliderConfig) (WALReport, error) {
+	if len(workerCounts) == 0 {
+		workerCounts = []int{1, 2, 4, 8}
+	}
+	if batchSize <= 0 {
+		batchSize = 512
+	}
+	repeats := cfg.Repeats
+	if repeats < 1 {
+		repeats = 1
+	}
+	recs := walBatches(ds, batchSize)
+	batches := make([][]rdf.Triple, len(recs))
+	total := 0
+	for i, r := range recs {
+		batches[i] = r.Triples
+		total += len(r.Triples)
+	}
+	rep := WALReport{
+		Dataset:    ds.Name,
+		Triples:    total,
+		BatchSize:  batchSize,
+		Repeats:    repeats,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	// Warm-up, as in IngestScaling.
+	if _, err := ingestStore(batches, workerCounts[0]); err != nil {
+		return rep, err
+	}
+	if _, err := ingestWALStore(recs, workerCounts[0]); err != nil {
+		return rep, err
+	}
+	for _, w := range workerCounts {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
+		p := WALPoint{Workers: w, Triples: total}
+		var memStore, walStore, memEngine, walEngine time.Duration
+		for i := 0; i < repeats; i++ {
+			ms, err := ingestStore(batches, w)
+			if err != nil {
+				return rep, err
+			}
+			ws, err := ingestWALStore(recs, w)
+			if err != nil {
+				return rep, err
+			}
+			me, err := ingestEngine(ctx, batches, w, cfg)
+			if err != nil {
+				return rep, err
+			}
+			we, err := ingestWALEngine(ctx, recs, w, cfg)
+			if err != nil {
+				return rep, err
+			}
+			if i == 0 || ms < memStore {
+				memStore = ms
+			}
+			if i == 0 || ws < walStore {
+				walStore = ws
+			}
+			if i == 0 || me < memEngine {
+				memEngine = me
+			}
+			if i == 0 || we < walEngine {
+				walEngine = we
+			}
+		}
+		p.MemStoreMS, p.MemStoreRate = msAndRate(memStore, total)
+		p.WALStoreMS, p.WALStoreRate = msAndRate(walStore, total)
+		p.MemEngineMS, p.MemEngineRate = msAndRate(memEngine, total)
+		p.WALEngineMS, p.WALEngineRate = msAndRate(walEngine, total)
+		rep.Results = append(rep.Results, p)
+	}
+	rec, err := walRecovery(ctx, ds, batchSize, cfg)
+	if err != nil {
+		return rep, err
+	}
+	rep.Recovery = rec
+	return rep, nil
+}
+
+func msAndRate(d time.Duration, triples int) (ms, rate float64) {
+	ms = float64(d.Microseconds()) / 1000
+	if d > 0 {
+		rate = float64(triples) / d.Seconds()
+	}
+	return ms, rate
+}
+
+// ingestWALStore times w workers pushing pre-encoded records through a
+// write-ahead log into a fresh sharded store: the logged analogue of
+// ingestStore. The log lives in a fresh temp directory per run.
+func ingestWALStore(recs []wal.Record, w int) (time.Duration, error) {
+	dir, err := os.MkdirTemp("", "sliderbench-wal-*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(dir)
+	l, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		return 0, err
+	}
+	defer l.Close()
+	if _, err := l.Replay(func(wal.Record) error { return nil }); err != nil {
+		return 0, err
+	}
+	st := store.New()
+	start := time.Now()
+	if err := runWorkers(len(recs), w, func(n int) error {
+		if err := l.Append(recs[n]); err != nil {
+			return err
+		}
+		st.AddBatch(recs[n].Triples)
+		return nil
+	}); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}
+
+// ingestWALEngine times w workers pushing records through a write-ahead
+// log into a fresh ρdf engine, inclusive of inference to quiescence: the
+// logged analogue of ingestEngine.
+func ingestWALEngine(ctx context.Context, recs []wal.Record, w int, cfg SliderConfig) (time.Duration, error) {
+	dir, err := os.MkdirTemp("", "sliderbench-wal-*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(dir)
+	l, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		return 0, err
+	}
+	defer l.Close()
+	if _, err := l.Replay(func(wal.Record) error { return nil }); err != nil {
+		return 0, err
+	}
+	eng := reasoner.New(store.New(), RhoDF.Rules(), reasoner.Config{
+		BufferSize: cfg.BufferSize,
+		Timeout:    cfg.Timeout,
+		Workers:    w,
+	})
+	start := time.Now()
+	if err := runWorkers(len(recs), w, func(n int) error {
+		if err := l.Append(recs[n]); err != nil {
+			return err
+		}
+		eng.AddBatch(recs[n].Triples)
+		return nil
+	}); err != nil {
+		return 0, err
+	}
+	if err := eng.Close(ctx); err != nil {
+		return 0, err
+	}
+	if err := eng.Err(); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
+}
+
+// walRecovery measures cold-start recovery through the durable facade
+// for the three on-disk shapes a deployment can be in.
+func walRecovery(ctx context.Context, ds Dataset, batchSize int, cfg SliderConfig) (WALRecovery, error) {
+	var out WALRecovery
+
+	build := func(dir string, checkpointAt float64, closeCheckpoint bool) error {
+		opts := []slider.Option{
+			slider.WithBufferSize(cfg.BufferSize),
+			slider.WithTimeout(cfg.Timeout),
+		}
+		if !closeCheckpoint {
+			opts = append(opts, slider.WithCheckpointEvery(-1))
+		}
+		r, err := slider.Open(dir, slider.RhoDF, opts...)
+		if err != nil {
+			return err
+		}
+		ckptAfter := int(checkpointAt * float64(len(ds.Statements)))
+		for start := 0; start < len(ds.Statements); start += batchSize {
+			end := min(start+batchSize, len(ds.Statements))
+			if _, err := r.AddBatch(ds.Statements[start:end]); err != nil {
+				r.Close(ctx)
+				return err
+			}
+			if checkpointAt > 0 && start < ckptAfter && end >= ckptAfter {
+				if err := r.Checkpoint(ctx); err != nil {
+					r.Close(ctx)
+					return err
+				}
+			}
+		}
+		if err := r.Wait(ctx); err != nil {
+			r.Close(ctx)
+			return err
+		}
+		out.Triples = r.Len()
+		return r.Close(ctx)
+	}
+
+	reopen := func(dir string) (time.Duration, error) {
+		start := time.Now()
+		r, err := slider.Open(dir, slider.RhoDF)
+		if err != nil {
+			return 0, err
+		}
+		if err := r.Wait(ctx); err != nil {
+			r.Close(ctx)
+			return 0, err
+		}
+		elapsed := time.Since(start)
+		return elapsed, r.Close(ctx)
+	}
+
+	shapes := []struct {
+		out          *float64
+		checkpointAt float64
+		closeCkpt    bool
+	}{
+		{&out.SnapshotOnlyMS, 0, true},    // clean shutdown: checkpoint, empty tail
+		{&out.SnapshotTailMS, 0.5, false}, // checkpoint at half, tail replayed
+		{&out.LogOnlyMS, 0, false},        // full log replay
+	}
+	for _, s := range shapes {
+		dir, err := os.MkdirTemp("", "sliderbench-walrec-*")
+		if err != nil {
+			return out, err
+		}
+		defer os.RemoveAll(dir)
+		if err := build(dir, s.checkpointAt, s.closeCkpt); err != nil {
+			return out, err
+		}
+		d, err := reopen(dir)
+		if err != nil {
+			return out, err
+		}
+		*s.out = float64(d.Microseconds()) / 1000
+	}
+	return out, nil
+}
+
+// WriteWALJSON renders the report as indented JSON.
+func WriteWALJSON(w io.Writer, rep WALReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// WriteWALTable renders the report as a human-readable table.
+func WriteWALTable(w io.Writer, rep WALReport) {
+	fmt.Fprintf(w, "Durable ingest on %s (%d triples, batch=%d, best of %d)\n",
+		rep.Dataset, rep.Triples, rep.BatchSize, rep.Repeats)
+	fmt.Fprintf(w, "%-8s | %16s | %16s | %16s | %16s\n",
+		"Workers", "Store mem t/s", "Store WAL t/s", "Engine mem t/s", "Engine WAL t/s")
+	fmt.Fprintln(w, strings.Repeat("-", 88))
+	for _, p := range rep.Results {
+		fmt.Fprintf(w, "%-8d | %16.0f | %16.0f | %16.0f | %16.0f\n",
+			p.Workers, p.MemStoreRate, p.WALStoreRate, p.MemEngineRate, p.WALEngineRate)
+	}
+	fmt.Fprintf(w, "Cold recovery (%d triples): snapshot-only %.1fms, snapshot+tail %.1fms, log-only %.1fms\n",
+		rep.Recovery.Triples, rep.Recovery.SnapshotOnlyMS, rep.Recovery.SnapshotTailMS, rep.Recovery.LogOnlyMS)
+}

@@ -200,6 +200,44 @@ func (d *Dictionary) ForEach(f func(ID, Term) bool) {
 	}
 }
 
+// KindCounts returns the number of terms registered per kind (IRIs,
+// blank nodes, literals). Together with ForEachNew it lets an observer —
+// the write-ahead log — track which terms appeared since a previous
+// high-water mark.
+func (d *Dictionary) KindCounts() (iris, blanks, literals int) {
+	d.seqMu.RLock()
+	defer d.seqMu.RUnlock()
+	return len(d.iris), len(d.blanks), len(d.literals)
+}
+
+// ForEachNew calls f for every term whose per-kind sequence number
+// exceeds the given counts (a previous KindCounts result), in sequence
+// order within each kind — the same order ForEach uses, so re-encoding
+// the visited terms into a dictionary that already holds the first
+// (iris, blanks, literals) terms reproduces identical IDs.
+func (d *Dictionary) ForEachNew(iris, blanks, literals int, f func(ID, Term) bool) {
+	d.seqMu.RLock()
+	irisNew := d.iris[min(iris, len(d.iris)):]
+	blanksNew := d.blanks[min(blanks, len(d.blanks)):]
+	literalsNew := d.literals[min(literals, len(d.literals)):]
+	d.seqMu.RUnlock()
+	for i, t := range irisNew {
+		if !f(makeID(TermIRI, uint64(iris+i+1)), t) {
+			return
+		}
+	}
+	for i, t := range blanksNew {
+		if !f(makeID(TermBlank, uint64(blanks+i+1)), t) {
+			return
+		}
+	}
+	for i, t := range literalsNew {
+		if !f(makeID(TermLiteral, uint64(literals+i+1)), t) {
+			return
+		}
+	}
+}
+
 // EncodeStatement encodes all three terms of a statement.
 func (d *Dictionary) EncodeStatement(s Statement) Triple {
 	return Triple{S: d.Encode(s.S), P: d.Encode(s.P), O: d.Encode(s.O)}

@@ -219,3 +219,55 @@ func TestDictionaryConcurrentEncode(t *testing.T) {
 		t.Fatalf("Len() = %d, want %d", d.Len(), len(wellKnown)+perG)
 	}
 }
+
+func TestKindCountsAndForEachNew(t *testing.T) {
+	d := NewDictionary()
+	iris0, blanks0, lits0 := d.KindCounts()
+	if iris0 == 0 {
+		t.Fatal("well-known vocabulary missing from KindCounts")
+	}
+	// Nothing new yet.
+	d.ForEachNew(iris0, blanks0, lits0, func(ID, Term) bool {
+		t.Fatal("ForEachNew visited a term before anything was added")
+		return false
+	})
+
+	ids := []ID{
+		d.Encode(NewIRI("http://example.org/a")),
+		d.Encode(NewBlank("b1")),
+		d.Encode(NewLiteral("hello")),
+		d.Encode(NewIRI("http://example.org/b")),
+	}
+	var gotIDs []ID
+	d.ForEachNew(iris0, blanks0, lits0, func(id ID, term Term) bool {
+		gotIDs = append(gotIDs, id)
+		// The reported ID must be the one Encode assigned.
+		if again := d.Encode(term); again != id {
+			t.Fatalf("ForEachNew reported ID %d for %v, Encode says %d", id, term, again)
+		}
+		return true
+	})
+	if len(gotIDs) != len(ids) {
+		t.Fatalf("ForEachNew visited %d terms, want %d", len(gotIDs), len(ids))
+	}
+	// Replaying the delta into a fresh dictionary in visit order must
+	// reproduce identical IDs — the property WAL replay relies on.
+	fresh := NewDictionary()
+	d.ForEachNew(iris0, blanks0, lits0, func(id ID, term Term) bool {
+		if got := fresh.Encode(term); got != id {
+			t.Fatalf("replaying delta: %v got ID %d, want %d", term, got, id)
+		}
+		return true
+	})
+	iris1, blanks1, lits1 := d.KindCounts()
+	if iris1 != iris0+2 || blanks1 != blanks0+1 || lits1 != lits0+1 {
+		t.Fatalf("KindCounts after adds: %d %d %d (was %d %d %d)",
+			iris1, blanks1, lits1, iris0, blanks0, lits0)
+	}
+	// Marks beyond the current counts are tolerated (concurrent loggers
+	// may have raced ahead): no visits, no panic.
+	d.ForEachNew(iris1+5, blanks1+5, lits1+5, func(ID, Term) bool {
+		t.Fatal("ForEachNew visited with high-water marks beyond the dictionary")
+		return false
+	})
+}

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package wal
+
+// lockDir is a no-op where flock is unavailable: single-process use is
+// then the caller's responsibility.
+func lockDir(dir string) (release func(), err error) {
+	return func() {}, nil
+}

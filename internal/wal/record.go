@@ -1,0 +1,294 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/rdf"
+)
+
+// Op says what a log record does to the knowledge base.
+type Op uint8
+
+const (
+	// OpAssert records a batch of explicit triples entering the store.
+	OpAssert Op = 1
+	// OpRetract records a batch of explicit triples being retracted
+	// (delete-and-rederive runs over them on replay).
+	OpRetract Op = 2
+)
+
+// TermEntry is one dictionary delta: a term and the ID the dictionary
+// assigned it. Replay re-encodes the term and verifies the ID matches, so
+// dictionary-encoded triples in later records resolve identically.
+type TermEntry struct {
+	ID   rdf.ID
+	Term rdf.Term
+}
+
+// Record is one durable unit of the log: an assert or retract batch plus
+// the dictionary entries that appeared since the previous record.
+type Record struct {
+	Op      Op
+	Terms   []TermEntry
+	Triples []rdf.Triple
+}
+
+// Decoding limits. A frame larger than maxRecordLen is treated as
+// corruption rather than allocated.
+const (
+	maxRecordLen = 1 << 28
+	maxStringLen = 1 << 24
+)
+
+// appendUvarint appends the varint encoding of v to b.
+func appendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+// appendString appends a length-prefixed string to b.
+func appendString(b []byte, s string) []byte {
+	b = appendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// validateRecord rejects records the decoder would refuse, so a
+// successful Append is always recoverable: without this, an oversized
+// (or wildcard-carrying) record would be written and acknowledged, then
+// silently treated as a torn tail on the next Open — dropping it and
+// every record after it.
+func validateRecord(rec Record) error {
+	if rec.Op != OpAssert && rec.Op != OpRetract {
+		return fmt.Errorf("wal: bad record op %d", rec.Op)
+	}
+	for _, te := range rec.Terms {
+		if te.ID == rdf.Any {
+			return fmt.Errorf("wal: term entry with wildcard ID")
+		}
+		if len(te.Term.Value) > maxStringLen || len(te.Term.Lang) > maxStringLen ||
+			len(te.Term.Datatype) > maxStringLen {
+			return fmt.Errorf("wal: term string exceeds %d bytes", maxStringLen)
+		}
+	}
+	for _, t := range rec.Triples {
+		if t.S == rdf.Any || t.P == rdf.Any || t.O == rdf.Any {
+			return fmt.Errorf("wal: triple with wildcard component")
+		}
+	}
+	return nil
+}
+
+// Record frame layout:
+//
+//	payloadLen uvarint | payload | crc32(payload) u32 little-endian
+//
+// payload:
+//
+//	op u8
+//	#terms uvarint, per term: id uvarint | value | lang | datatype
+//	        (strings are uvarint length + bytes; the term kind is the
+//	        one encoded in the ID's top bits)
+//	#triples uvarint, per triple: s, p, o uvarints
+
+// encodeRecordPayload appends the record payload (no framing) to b.
+func encodeRecordPayload(b []byte, rec Record) []byte {
+	b = append(b, byte(rec.Op))
+	b = appendUvarint(b, uint64(len(rec.Terms)))
+	for _, te := range rec.Terms {
+		b = appendUvarint(b, uint64(te.ID))
+		b = appendString(b, te.Term.Value)
+		b = appendString(b, te.Term.Lang)
+		b = appendString(b, te.Term.Datatype)
+	}
+	b = appendUvarint(b, uint64(len(rec.Triples)))
+	for _, t := range rec.Triples {
+		b = appendUvarint(b, uint64(t.S))
+		b = appendUvarint(b, uint64(t.P))
+		b = appendUvarint(b, uint64(t.O))
+	}
+	return b
+}
+
+// frameRecord encodes rec into a complete frame inside scratch (reused
+// across calls, so the hot append path allocates only on growth). The
+// returned slice aliases scratch's backing array: the payload is encoded
+// after a reserved maximum-width length prefix, the minimal varint
+// length is then right-aligned into the gap, and the CRC appended — no
+// second buffer, no payload copy.
+func frameRecord(scratch []byte, rec Record) (frame, grown []byte) {
+	const prefix = binary.MaxVarintLen64
+	if cap(scratch) < prefix {
+		scratch = make([]byte, 0, 1024)
+	}
+	b := encodeRecordPayload(scratch[:prefix], rec)
+	payloadLen := len(b) - prefix
+	var lenBuf [prefix]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(payloadLen))
+	start := prefix - n
+	copy(b[start:], lenBuf[:n])
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(b[prefix:]))
+	b = append(b, crc[:]...)
+	return b[start:], b
+}
+
+// appendRecord appends the full framed encoding of rec to b (allocating
+// convenience form, used by tests; the Log's hot path uses frameRecord).
+func appendRecord(b []byte, rec Record) []byte {
+	frame, _ := frameRecord(nil, rec)
+	return append(b, frame...)
+}
+
+// byteCursor reads primitives out of a byte slice with bounds checking;
+// after any failed read ok() is false and further reads return zero
+// values. It never panics on malformed input.
+type byteCursor struct {
+	b      []byte
+	off    int
+	failed bool
+}
+
+func (c *byteCursor) ok() bool       { return !c.failed }
+func (c *byteCursor) remaining() int { return len(c.b) - c.off }
+func (c *byteCursor) fail()          { c.failed = true }
+
+// uvarintLen returns the length of the minimal varint encoding of v.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+func (c *byteCursor) uvarint() uint64 {
+	if c.failed {
+		return 0
+	}
+	v, n := binary.Uvarint(c.b[c.off:])
+	// Reject unterminated and non-minimal encodings: the writer only
+	// emits minimal varints, so anything else is corruption, and strict
+	// decoding keeps decode∘encode the identity on valid frames.
+	if n <= 0 || n != uvarintLen(v) {
+		c.fail()
+		return 0
+	}
+	c.off += n
+	return v
+}
+
+func (c *byteCursor) byte() byte {
+	if c.failed || c.off >= len(c.b) {
+		c.fail()
+		return 0
+	}
+	v := c.b[c.off]
+	c.off++
+	return v
+}
+
+func (c *byteCursor) string() string {
+	n := c.uvarint()
+	if c.failed || n > maxStringLen || n > uint64(c.remaining()) {
+		c.fail()
+		return ""
+	}
+	s := string(c.b[c.off : c.off+int(n)])
+	c.off += int(n)
+	return s
+}
+
+// decodeRecord parses a record payload (the CRC has already been
+// verified, but the payload is still untrusted: a corrupted frame can
+// carry a valid CRC of corrupted bytes). It returns an error instead of
+// panicking on any malformed input.
+func decodeRecord(payload []byte) (Record, error) {
+	c := &byteCursor{b: payload}
+	var rec Record
+	op := Op(c.byte())
+	if op != OpAssert && op != OpRetract {
+		return rec, fmt.Errorf("wal: bad record op %d", op)
+	}
+	rec.Op = op
+
+	nTerms := c.uvarint()
+	// Every term entry takes at least 4 bytes (id + three empty strings).
+	if c.failed || nTerms > uint64(c.remaining())/4+1 {
+		return rec, fmt.Errorf("wal: bad term count")
+	}
+	if nTerms > 0 {
+		rec.Terms = make([]TermEntry, 0, nTerms)
+	}
+	for i := uint64(0); i < nTerms; i++ {
+		id := rdf.ID(c.uvarint())
+		value := c.string()
+		lang := c.string()
+		datatype := c.string()
+		if !c.ok() {
+			return rec, fmt.Errorf("wal: truncated term entry")
+		}
+		if id == rdf.Any {
+			return rec, fmt.Errorf("wal: term entry with wildcard ID")
+		}
+		rec.Terms = append(rec.Terms, TermEntry{
+			ID:   id,
+			Term: rdf.Term{Kind: id.Kind(), Value: value, Lang: lang, Datatype: datatype},
+		})
+	}
+
+	nTriples := c.uvarint()
+	// Every triple takes at least 3 bytes.
+	if c.failed || nTriples > uint64(c.remaining())/3+1 {
+		return rec, fmt.Errorf("wal: bad triple count")
+	}
+	if nTriples > 0 {
+		rec.Triples = make([]rdf.Triple, 0, nTriples)
+	}
+	for i := uint64(0); i < nTriples; i++ {
+		s := rdf.ID(c.uvarint())
+		p := rdf.ID(c.uvarint())
+		o := rdf.ID(c.uvarint())
+		if !c.ok() {
+			return rec, fmt.Errorf("wal: truncated triple")
+		}
+		// The store treats ID 0 as a match-anything wildcard; a logged
+		// triple can never contain it, so its presence is corruption
+		// that slipped past the CRC.
+		if s == rdf.Any || p == rdf.Any || o == rdf.Any {
+			return rec, fmt.Errorf("wal: triple with wildcard component")
+		}
+		rec.Triples = append(rec.Triples, rdf.T(s, p, o))
+	}
+	if c.remaining() != 0 {
+		return rec, fmt.Errorf("wal: %d trailing bytes in record", c.remaining())
+	}
+	return rec, nil
+}
+
+// scanRecord reads one framed record starting at b[off]. It returns the
+// decoded record and the offset just past the frame, or ok=false if the
+// frame is truncated, oversized, fails its CRC, or does not decode — the
+// caller treats everything from off on as a torn tail.
+func scanRecord(b []byte, off int) (rec Record, next int, ok bool) {
+	v, n := binary.Uvarint(b[off:])
+	if n <= 0 || n != uvarintLen(v) || v > maxRecordLen {
+		return rec, off, false
+	}
+	start := off + n
+	end := start + int(v)
+	if end+4 > len(b) {
+		return rec, off, false
+	}
+	payload := b[start:end]
+	want := binary.LittleEndian.Uint32(b[end : end+4])
+	if crc32.ChecksumIEEE(payload) != want {
+		return rec, off, false
+	}
+	rec, err := decodeRecord(payload)
+	if err != nil {
+		return rec, off, false
+	}
+	return rec, end + 4, true
+}

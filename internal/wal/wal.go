@@ -1,0 +1,743 @@
+// Package wal makes the knowledge base durable: it maintains a
+// segmented, append-only write-ahead log of assert/retract batches —
+// varint-framed, CRC32-checked records over dictionary-encoded triples
+// plus the dictionary deltas that name them — together with periodic
+// checkpoints in the internal/snapshot format.
+//
+// On-disk layout of a log directory:
+//
+//	MANIFEST.json               commit point: current checkpoint
+//	                            generation and first live segment
+//	segment-00000001.wal        framed records, oldest live segment
+//	segment-00000002.wal        ... the highest-numbered segment is the
+//	                            one being appended to
+//	checkpoint-00000001.slkb    snapshot of the materialised store
+//	                            (internal/snapshot format)
+//	checkpoint-00000001.explicit the explicit (asserted) triple set at
+//	                            the same instant, for restartable DRed
+//
+// A checkpoint covers every segment that was closed before it was
+// taken; covered segments are deleted once the manifest commits the new
+// generation. Recovery therefore loads the manifest's checkpoint and
+// replays only the live segments. The final record of the last segment
+// may be torn by a crash: replay truncates the segment back to the last
+// record whose CRC verifies, so a crash mid-append loses at most the
+// batch that was never acknowledged. All state transitions go through
+// write-to-temp-then-rename, so a crash during checkpointing or pruning
+// leaves only unreferenced files, which the next Open sweeps.
+package wal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Segment header: magic plus a format version byte.
+var segmentMagic = [4]byte{'S', 'L', 'W', 'L'}
+
+// Version of the on-disk log format.
+const Version = 1
+
+const (
+	manifestName  = "MANIFEST.json"
+	segmentPrefix = "segment-"
+	segmentSuffix = ".wal"
+	ckptPrefix    = "checkpoint-"
+	ckptSnapshot  = ".slkb"
+	ckptExplicit  = ".explicit"
+)
+
+// ErrCorrupt reports a log whose surviving prefix could not be
+// reconciled (e.g. an unreadable manifest). Torn record tails are NOT
+// errors — they are repaired silently.
+var ErrCorrupt = errors.New("wal: corrupt log")
+
+// ErrClosed reports use of a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+// DefaultSegmentSize is the roll threshold for segment files.
+const DefaultSegmentSize = 4 << 20
+
+// Options tunes a Log.
+type Options struct {
+	// SegmentSize is the byte size past which the live segment is closed
+	// and a new one started. 0 means DefaultSegmentSize.
+	SegmentSize int64
+	// Fsync syncs the segment file after every append. Off by default:
+	// the process-crash guarantee (a completed Append survives) holds
+	// without it, at the cost of the power-failure guarantee.
+	Fsync bool
+}
+
+// manifest is the durable commit record of the log's state.
+type manifest struct {
+	Version      int `json:"version"`
+	Checkpoint   int `json:"checkpoint"`    // generation; 0 = none
+	FirstSegment int `json:"first_segment"` // lowest live segment index
+	// Meta is an opaque client string (the facade records the reasoning
+	// fragment here, so a KB is never reopened under different rules).
+	Meta string `json:"meta,omitempty"`
+}
+
+// Log is a segmented write-ahead log rooted at one directory. All
+// methods are safe for concurrent use.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu        sync.Mutex
+	man       manifest
+	cur       *os.File // live segment, opened for append
+	curIdx    int      // index of the live segment
+	curSize   int64    // size of the live segment in bytes
+	liveSize  int64    // total bytes across live segments (incl. headers)
+	dirty     bool     // records exist that no checkpoint covers
+	ckptBytes int64    // on-disk size of the current checkpoint, 0 if none
+	replayed  bool
+	closed    bool
+	buf       []byte // scratch append buffer, reused across records
+	unlock    func() // releases the directory lock
+}
+
+// Open opens (creating if necessary) the log directory, repairs any
+// half-committed checkpoint or prune left by a crash, and positions the
+// log for Replay followed by Append.
+func Open(dir string, opts Options) (*Log, error) {
+	if opts.SegmentSize <= 0 {
+		opts.SegmentSize = DefaultSegmentSize
+	}
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, err
+	}
+	unlock, err := lockDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir, opts: opts, unlock: unlock}
+	if err := l.loadManifest(); err != nil {
+		unlock()
+		return nil, err
+	}
+	if err := l.sweep(); err != nil {
+		unlock()
+		return nil, err
+	}
+	if err := l.openSegments(); err != nil {
+		unlock()
+		return nil, err
+	}
+	l.ckptBytes = l.statCheckpoint(l.man.Checkpoint)
+	return l, nil
+}
+
+// statCheckpoint sums the on-disk size of a checkpoint generation's
+// files (0 for generation 0 or missing files).
+func (l *Log) statCheckpoint(gen int) int64 {
+	if gen == 0 {
+		return 0
+	}
+	var total int64
+	for _, name := range []string{checkpointSnapshotName(gen), checkpointExplicitName(gen)} {
+		if fi, err := os.Stat(filepath.Join(l.dir, name)); err == nil {
+			total += fi.Size()
+		}
+	}
+	return total
+}
+
+// Dir returns the log's root directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Meta returns the opaque client string recorded in the manifest ("" if
+// none was ever set).
+func (l *Log) Meta() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.man.Meta
+}
+
+// SetMeta durably records an opaque client string in the manifest.
+func (l *Log) SetMeta(meta string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	m := l.man
+	m.Meta = meta
+	return l.writeManifest(m)
+}
+
+func (l *Log) loadManifest() error {
+	b, err := os.ReadFile(filepath.Join(l.dir, manifestName))
+	if errors.Is(err, os.ErrNotExist) {
+		l.man = manifest{Version: Version, FirstSegment: 1}
+		return l.writeManifest(l.man)
+	}
+	if err != nil {
+		return err
+	}
+	var m manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return fmt.Errorf("%w: unreadable manifest: %v", ErrCorrupt, err)
+	}
+	if m.Version != Version {
+		return fmt.Errorf("%w: unsupported log version %d", ErrCorrupt, m.Version)
+	}
+	if m.FirstSegment < 1 || m.Checkpoint < 0 {
+		return fmt.Errorf("%w: nonsense manifest %+v", ErrCorrupt, m)
+	}
+	l.man = m
+	return nil
+}
+
+// writeManifest commits m via write-to-temp-then-rename.
+func (l *Log) writeManifest(m manifest) error {
+	b, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(l.dir, manifestName+".tmp")
+	if err := writeFileSync(tmp, b); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(l.dir, manifestName)); err != nil {
+		return err
+	}
+	l.man = m
+	syncDir(l.dir)
+	return nil
+}
+
+// writeFileSync writes data to path and fsyncs it.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o666)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so renames within it are durable.
+// Best-effort: some filesystems refuse directory syncs.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// sweep removes files the manifest does not reference: checkpoints of
+// other generations, segments below FirstSegment, and stray temp files —
+// the debris of a crash between renames and the manifest commit.
+func (l *Log) sweep() error {
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		var doomed bool
+		switch {
+		case name == manifestName:
+		case filepath.Ext(name) == ".tmp":
+			doomed = true
+		case isSegmentName(name):
+			idx, ok := segmentIndex(name)
+			doomed = !ok || idx < l.man.FirstSegment
+		case isCheckpointName(name):
+			gen, ok := checkpointGen(name)
+			doomed = !ok || gen != l.man.Checkpoint
+		}
+		if doomed {
+			if err := os.Remove(filepath.Join(l.dir, name)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func isSegmentName(name string) bool {
+	return len(name) > len(segmentPrefix)+len(segmentSuffix) &&
+		name[:len(segmentPrefix)] == segmentPrefix &&
+		filepath.Ext(name) == segmentSuffix
+}
+
+func segmentIndex(name string) (int, bool) {
+	var idx int
+	_, err := fmt.Sscanf(name, segmentPrefix+"%08d"+segmentSuffix, &idx)
+	return idx, err == nil && idx >= 1
+}
+
+func segmentName(idx int) string {
+	return fmt.Sprintf("%s%08d%s", segmentPrefix, idx, segmentSuffix)
+}
+
+func isCheckpointName(name string) bool {
+	return len(name) > len(ckptPrefix) && name[:len(ckptPrefix)] == ckptPrefix
+}
+
+func checkpointGen(name string) (int, bool) {
+	ext := filepath.Ext(name)
+	if ext != ckptSnapshot && ext != ckptExplicit {
+		return 0, false
+	}
+	var gen int
+	_, err := fmt.Sscanf(name, ckptPrefix+"%08d", &gen)
+	return gen, err == nil && gen >= 1
+}
+
+func checkpointSnapshotName(gen int) string {
+	return fmt.Sprintf("%s%08d%s", ckptPrefix, gen, ckptSnapshot)
+}
+
+func checkpointExplicitName(gen int) string {
+	return fmt.Sprintf("%s%08d%s", ckptPrefix, gen, ckptExplicit)
+}
+
+// liveSegments lists the live segment indices in ascending order.
+func (l *Log) liveSegments() ([]int, error) {
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return nil, err
+	}
+	var idxs []int
+	for _, e := range entries {
+		if !isSegmentName(e.Name()) {
+			continue
+		}
+		if idx, ok := segmentIndex(e.Name()); ok && idx >= l.man.FirstSegment {
+			idxs = append(idxs, idx)
+		}
+	}
+	sort.Ints(idxs)
+	return idxs, nil
+}
+
+// openSegments finds the live segment set and sizes, creating the first
+// segment if none exists.
+func (l *Log) openSegments() error {
+	idxs, err := l.liveSegments()
+	if err != nil {
+		return err
+	}
+	if len(idxs) == 0 {
+		return l.createSegment(l.man.FirstSegment)
+	}
+	l.liveSize = 0
+	for _, idx := range idxs {
+		fi, err := os.Stat(filepath.Join(l.dir, segmentName(idx)))
+		if err != nil {
+			return err
+		}
+		l.liveSize += fi.Size()
+	}
+	last := idxs[len(idxs)-1]
+	f, err := os.OpenFile(filepath.Join(l.dir, segmentName(last)), os.O_WRONLY, 0o666)
+	if err != nil {
+		return err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	l.cur, l.curIdx, l.curSize = f, last, fi.Size()
+	return nil
+}
+
+// createSegment makes segment idx the live one, writing its header.
+func (l *Log) createSegment(idx int) error {
+	f, err := os.OpenFile(filepath.Join(l.dir, segmentName(idx)),
+		os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o666)
+	if err != nil {
+		return err
+	}
+	hdr := append(segmentMagic[:], Version)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return err
+	}
+	if l.opts.Fsync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	l.cur, l.curIdx, l.curSize = f, idx, int64(len(hdr))
+	l.liveSize += int64(len(hdr))
+	return nil
+}
+
+// ReplayStats reports what Replay found and repaired.
+type ReplayStats struct {
+	// Records is the number of valid records replayed.
+	Records int
+	// TruncatedAt is the byte offset the torn segment was cut back to,
+	// or -1 if no repair was needed.
+	TruncatedAt int64
+	// TornSegment is the index of the repaired segment (0 if none).
+	TornSegment int
+	// DroppedSegments counts segments discarded because they followed a
+	// torn record in an earlier segment.
+	DroppedSegments int
+}
+
+// Replay iterates every valid record in the live segments in append
+// order, repairing the log as it goes: the first invalid frame and
+// everything after it (the torn tail of a crashed process) is truncated
+// away, so the log ends at the last acknowledged record and subsequent
+// Appends continue from a consistent point. Replay must be called once,
+// before the first Append; fn returning an error aborts the replay.
+func (l *Log) Replay(fn func(Record) error) (ReplayStats, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	stats := ReplayStats{TruncatedAt: -1}
+	if l.closed {
+		return stats, ErrClosed
+	}
+	if l.replayed {
+		return stats, fmt.Errorf("wal: Replay called twice")
+	}
+	l.replayed = true
+
+	idxs, err := l.liveSegments()
+	if err != nil {
+		return stats, err
+	}
+	torn := 0 // first segment with an invalid frame, 0 if none
+	for _, idx := range idxs {
+		path := filepath.Join(l.dir, segmentName(idx))
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return stats, err
+		}
+		off := len(segmentMagic) + 1
+		if len(b) < off || [4]byte{b[0], b[1], b[2], b[3]} != segmentMagic || b[4] != Version {
+			// Unreadable header: drop the whole segment.
+			torn, off = idx, 0
+		}
+		if torn == 0 {
+			for off < len(b) {
+				rec, next, ok := scanRecord(b, off)
+				if !ok {
+					torn = idx
+					break
+				}
+				if err := fn(rec); err != nil {
+					return stats, err
+				}
+				stats.Records++
+				off = next
+			}
+		}
+		if torn == idx {
+			// Cut the segment back to its last valid record.
+			stats.TornSegment, stats.TruncatedAt = idx, int64(off)
+			if err := l.truncateFrom(idx, int64(off), idxs, &stats); err != nil {
+				return stats, err
+			}
+			break
+		}
+	}
+	l.dirty = stats.Records > 0
+	return stats, nil
+}
+
+// truncateFrom repairs a torn log: segment idx is truncated to size, and
+// every later segment is deleted. The live segment handle is repositioned
+// so appends continue at the repaired tail.
+func (l *Log) truncateFrom(idx int, size int64, idxs []int, stats *ReplayStats) error {
+	if l.cur != nil {
+		l.cur.Close()
+		l.cur = nil
+	}
+	for _, later := range idxs {
+		if later <= idx {
+			continue
+		}
+		if err := os.Remove(filepath.Join(l.dir, segmentName(later))); err != nil {
+			return err
+		}
+		stats.DroppedSegments++
+	}
+	l.liveSize = 0
+	for _, i := range idxs {
+		if i < idx {
+			fi, err := os.Stat(filepath.Join(l.dir, segmentName(i)))
+			if err != nil {
+				return err
+			}
+			l.liveSize += fi.Size()
+		}
+	}
+	path := filepath.Join(l.dir, segmentName(idx))
+	if size <= int64(len(segmentMagic)+1) {
+		// Nothing valid survives, not even the header: rebuild it.
+		if err := os.Remove(path); err != nil {
+			return err
+		}
+		return l.createSegment(idx)
+	}
+	if err := os.Truncate(path, size); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o666)
+	if err != nil {
+		return err
+	}
+	l.cur, l.curIdx, l.curSize = f, idx, size
+	l.liveSize += size
+	return nil
+}
+
+// Append durably adds one record to the log. When Append returns nil the
+// record will survive a process crash (and a power failure, when
+// Options.Fsync is set). The live segment rolls once it exceeds
+// Options.SegmentSize.
+func (l *Log) Append(rec Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if err := validateRecord(rec); err != nil {
+		return err
+	}
+	var frame []byte
+	frame, l.buf = frameRecord(l.buf, rec)
+	if int64(len(frame)) > maxRecordLen {
+		return fmt.Errorf("wal: record of %d bytes exceeds the %d-byte frame limit", len(frame), maxRecordLen)
+	}
+	if l.cur == nil {
+		return fmt.Errorf("wal: no live segment")
+	}
+	preSize := l.curSize
+	// backOut removes the frame again: when Append returns an error the
+	// caller treats the batch as rejected, so a durably-written frame
+	// must not survive to be replayed as acknowledged on the next Open.
+	// Best-effort by handle or by path (the handle may be closed if a
+	// segment roll failed halfway).
+	backOut := func() {
+		if l.cur == nil || l.cur.Truncate(preSize) != nil {
+			os.Truncate(filepath.Join(l.dir, segmentName(l.curIdx)), preSize)
+		}
+		l.curSize = preSize
+	}
+	// Seek explicitly: the handle may predate an external truncation.
+	if _, err := l.cur.Seek(preSize, io.SeekStart); err != nil {
+		return err
+	}
+	if n, err := l.cur.Write(frame); err != nil {
+		if n > 0 {
+			backOut()
+		}
+		return err
+	}
+	if l.opts.Fsync {
+		if err := l.cur.Sync(); err != nil {
+			backOut()
+			return err
+		}
+	}
+	l.curSize += int64(len(frame))
+	l.liveSize += int64(len(frame))
+	l.dirty = true
+	if l.curSize >= l.opts.SegmentSize {
+		if err := l.roll(); err != nil {
+			// Rolling is bookkeeping for the next record, but the caller
+			// will treat this append as failed — back the record out so
+			// recovery agrees with what the caller was told.
+			l.liveSize -= int64(len(frame))
+			backOut()
+			return err
+		}
+	}
+	return nil
+}
+
+// roll closes the live segment and starts the next one. l.cur is nil on
+// return unless a new segment was installed: even a failed Close
+// releases the descriptor, and a dangling handle would make later
+// truncate-by-handle repairs silently no-ops.
+func (l *Log) roll() error {
+	if err := l.cur.Sync(); err != nil {
+		return err
+	}
+	err := l.cur.Close()
+	l.cur = nil
+	if err != nil {
+		return err
+	}
+	return l.createSegment(l.curIdx + 1)
+}
+
+// LiveBytes returns the total size of the live segments — the volume of
+// log a recovery would have to replay, and the signal the facade uses to
+// decide when to checkpoint.
+func (l *Log) LiveBytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.liveSize
+}
+
+// HasCheckpoint reports whether the manifest references a checkpoint.
+func (l *Log) HasCheckpoint() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.man.Checkpoint != 0
+}
+
+// OpenCheckpoint opens the current checkpoint's snapshot and explicit-set
+// files for reading. ok is false when no checkpoint exists.
+func (l *Log) OpenCheckpoint() (snap, explicit io.ReadCloser, ok bool, err error) {
+	l.mu.Lock()
+	gen := l.man.Checkpoint
+	l.mu.Unlock()
+	if gen == 0 {
+		return nil, nil, false, nil
+	}
+	s, err := os.Open(filepath.Join(l.dir, checkpointSnapshotName(gen)))
+	if err != nil {
+		return nil, nil, false, err
+	}
+	e, err := os.Open(filepath.Join(l.dir, checkpointExplicitName(gen)))
+	if err != nil {
+		s.Close()
+		return nil, nil, false, err
+	}
+	return s, e, true, nil
+}
+
+// WriteCheckpoint atomically installs a new checkpoint covering every
+// record appended so far: it rolls the live segment, streams the caller's
+// snapshot and explicit-set payloads to temp files, fsyncs and renames
+// them, commits the manifest, and deletes the covered segments and the
+// previous checkpoint. The caller must guarantee the payloads reflect at
+// least every record acknowledged before the call (in practice: the
+// store is quiescent and appends are blocked).
+func (l *Log) WriteCheckpoint(writeSnapshot, writeExplicit func(io.Writer) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	// Roll so the covered set is exactly the segments before the new
+	// live one, ending on a record boundary.
+	covered := l.curIdx
+	if err := l.roll(); err != nil {
+		return err
+	}
+	gen := l.man.Checkpoint + 1
+	if err := writeCheckpointFile(filepath.Join(l.dir, checkpointSnapshotName(gen)), writeSnapshot); err != nil {
+		return err
+	}
+	if err := writeCheckpointFile(filepath.Join(l.dir, checkpointExplicitName(gen)), writeExplicit); err != nil {
+		return err
+	}
+	syncDir(l.dir)
+	oldGen := l.man.Checkpoint
+	oldFirst := l.man.FirstSegment
+	m := l.man
+	m.Checkpoint, m.FirstSegment = gen, covered+1
+	if err := l.writeManifest(m); err != nil {
+		return err
+	}
+	// The manifest is the commit point; pruning is cleanup that the next
+	// Open would redo, so errors past this point are not fatal.
+	for idx := oldFirst; idx <= covered; idx++ {
+		os.Remove(filepath.Join(l.dir, segmentName(idx)))
+	}
+	if oldGen != 0 {
+		os.Remove(filepath.Join(l.dir, checkpointSnapshotName(oldGen)))
+		os.Remove(filepath.Join(l.dir, checkpointExplicitName(oldGen)))
+	}
+	l.liveSize = l.curSize
+	l.dirty = false
+	l.ckptBytes = l.statCheckpoint(gen)
+	return nil
+}
+
+// CheckpointBytes returns the on-disk size of the current checkpoint (0
+// if none) — the cost of writing the next one, roughly. The facade uses
+// it to space automatic checkpoints proportionally to the store size
+// instead of rewriting a huge store every fixed number of log bytes.
+func (l *Log) CheckpointBytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.ckptBytes
+}
+
+// Dirty reports whether the log holds records no checkpoint covers — if
+// false, the current checkpoint (or, for an empty log, nothing at all)
+// already captures every acknowledged operation, and checkpointing again
+// would rewrite identical state.
+func (l *Log) Dirty() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dirty
+}
+
+// writeCheckpointFile streams write's output to path.tmp, fsyncs, and
+// renames it into place.
+func writeCheckpointFile(path string, write func(io.Writer) error) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o666)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Close syncs and closes the live segment. The log must not be used
+// afterwards.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	var err error
+	if l.cur != nil {
+		err = l.cur.Sync()
+		if cerr := l.cur.Close(); err == nil {
+			err = cerr
+		}
+		l.cur = nil
+	}
+	if l.unlock != nil {
+		l.unlock()
+		l.unlock = nil
+	}
+	return err
+}

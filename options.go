@@ -15,6 +15,12 @@ type config struct {
 	adaptive   bool
 	retraction bool
 	provenance bool
+
+	// Durability (see durable.go).
+	durableDir      string
+	walSegmentSize  int64
+	checkpointEvery int64
+	walFsync        bool
 }
 
 // Option tunes a Reasoner at construction time. The three tunables mirror
@@ -58,6 +64,46 @@ func WithRetraction() Option {
 // one map entry per triple.
 func WithProvenance() Option {
 	return func(c *config) { c.provenance = true }
+}
+
+// WithDurability makes the reasoner durable, rooted at dir: every
+// acknowledged assert/retract batch is written to a segmented write-ahead
+// log before it reaches the engine, the materialised store is
+// checkpointed in the background, and reopening the same directory
+// (Open, or New with this option) replays snapshot plus log tail.
+// Durability implies WithRetraction: the explicit triple set is tracked
+// and checkpointed so delete-and-rederive survives restarts.
+//
+// Open is the error-returning constructor; New panics if the directory
+// cannot be opened or replayed.
+func WithDurability(dir string) Option {
+	return func(c *config) { c.durableDir = dir }
+}
+
+// WithSegmentSize sets the write-ahead log's segment roll threshold in
+// bytes. Default wal.DefaultSegmentSize (4 MiB).
+func WithSegmentSize(bytes int64) Option {
+	return func(c *config) { c.walSegmentSize = bytes }
+}
+
+// WithCheckpointEvery sets how much live (uncheckpointed) log volume, in
+// bytes, triggers a background checkpoint. 0 means the default
+// (DefaultCheckpointEvery); a negative value disables automatic
+// checkpointing entirely, including the checkpoint Close normally takes —
+// the knowledge base then recovers by replaying the full log (plus
+// whatever explicit Checkpoint calls were made). The value is a floor:
+// once a checkpoint outgrows it, the next one waits for the live log to
+// reach half the previous checkpoint's size, keeping checkpoint I/O
+// proportional to data ingested rather than quadratic in store size.
+func WithCheckpointEvery(bytes int64) Option {
+	return func(c *config) { c.checkpointEvery = bytes }
+}
+
+// WithFsync syncs the write-ahead log file after every append. Off by
+// default: a completed batch always survives a process crash, but only
+// fsynced batches survive a power failure.
+func WithFsync() Option {
+	return func(c *config) { c.walFsync = true }
 }
 
 // WithAdaptiveScheduling enables run-time buffer-capacity adaptation:

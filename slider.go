@@ -44,6 +44,7 @@ import (
 	"repro/internal/snapshot"
 	"repro/internal/store"
 	"repro/internal/turtle"
+	"repro/internal/wal"
 )
 
 // Re-exported data-model types. Term and Statement are the parsed
@@ -160,15 +161,33 @@ type Reasoner struct {
 	engine *reasoner.Engine
 	frag   Fragment
 
-	// explicit tracks asserted (non-inferred) triples when retraction
-	// support is enabled (WithRetraction); nil otherwise.
+	// explicit tracks every asserted triple (the retraction axioms) when
+	// retraction support is enabled (WithRetraction or durability); nil
+	// otherwise.
 	explicitMu sync.Mutex
 	explicit   map[rdf.Triple]struct{}
+
+	// dur is the write-ahead-log state of a durable reasoner (Open or
+	// WithDurability); nil for in-memory reasoners. See durable.go.
+	dur *durability
 }
 
-// New builds a Reasoner for the fragment with the given options.
+// New builds a Reasoner for the fragment with the given options. If the
+// options include WithDurability, New panics when the directory cannot
+// be opened or replayed — use Open for the error-returning form.
 func New(frag Fragment, opts ...Option) *Reasoner {
-	return newReasoner(frag, rdf.NewDictionary(), store.New(), opts)
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.durableDir != "" {
+		r, err := openDurable(frag, cfg)
+		if err != nil {
+			panic(fmt.Sprintf("slider: WithDurability(%q): %v", cfg.durableDir, err))
+		}
+		return r
+	}
+	return newReasoner(frag, rdf.NewDictionary(), store.New(), cfg)
 }
 
 // LoadSnapshot builds a Reasoner whose dictionary and store are restored
@@ -181,7 +200,14 @@ func LoadSnapshot(frag Fragment, rd io.Reader, opts ...Option) (*Reasoner, error
 	if err != nil {
 		return nil, err
 	}
-	return newReasoner(frag, dict, st, opts), nil
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.durableDir != "" {
+		return nil, fmt.Errorf("slider: LoadSnapshot does not take WithDurability; use Open (durable reasoners checkpoint themselves)")
+	}
+	return newReasoner(frag, dict, st, cfg), nil
 }
 
 // Snapshot persists the reasoner's dictionary and store (explicit plus
@@ -191,11 +217,7 @@ func (r *Reasoner) Snapshot(w io.Writer) error {
 	return snapshot.Save(w, r.dict, r.store)
 }
 
-func newReasoner(frag Fragment, dict *rdf.Dictionary, st *store.Store, opts []Option) *Reasoner {
-	var cfg config
-	for _, o := range opts {
-		o(&cfg)
-	}
+func newReasoner(frag Fragment, dict *rdf.Dictionary, st *store.Store, cfg config) *Reasoner {
 	var explicit map[rdf.Triple]struct{}
 	if cfg.retraction {
 		explicit = make(map[rdf.Triple]struct{})
@@ -230,20 +252,30 @@ func (r *Reasoner) Store() *Store { return r.store }
 func (r *Reasoner) Graph() *DependencyGraph { return r.engine.Graph() }
 
 // Add streams one statement into the reasoner. It returns true if the
-// statement was new, and an error if it is not valid RDF. Add is safe for
+// statement was new, and an error if it is not valid RDF (or, on a
+// durable reasoner, if the write-ahead log rejected it). Add is safe for
 // concurrent use.
 func (r *Reasoner) Add(st Statement) (bool, error) {
 	if !st.Valid() {
 		return false, fmt.Errorf("slider: invalid statement %v", st)
 	}
-	return r.AddTriple(r.dict.EncodeStatement(st)), nil
+	t := r.dict.EncodeStatement(st)
+	if r.dur != nil {
+		n, err := r.addTriples([]rdf.Triple{t})
+		return n > 0, err
+	}
+	return r.AddTriple(t), nil
 }
 
 // AddTriple streams one already-encoded triple (IDs must come from this
 // reasoner's Dictionary).
 func (r *Reasoner) AddTriple(t Triple) bool {
+	if r.dur != nil {
+		n, _ := r.addTriples([]rdf.Triple{t})
+		return n > 0
+	}
 	fresh := r.engine.Add(t)
-	if fresh && r.explicit != nil {
+	if r.explicit != nil {
 		r.explicitMu.Lock()
 		r.explicit[t] = struct{}{}
 		r.explicitMu.Unlock()
@@ -267,16 +299,53 @@ func (r *Reasoner) AddBatch(sts []Statement) (int, error) {
 	for i, st := range sts {
 		ts[i] = r.dict.EncodeStatement(st)
 	}
-	return r.AddTriples(ts), nil
+	return r.addTriples(ts)
 }
 
 // AddTriples streams a batch of already-encoded triples (IDs must come
-// from this reasoner's Dictionary) and returns how many were new.
+// from this reasoner's Dictionary) and returns how many were new. On a
+// durable reasoner a logging failure makes the whole batch a no-op; the
+// error is available through AddBatch or Wait.
 func (r *Reasoner) AddTriples(ts []Triple) int {
+	n, _ := r.addTriples(ts)
+	return n
+}
+
+// addTriples is the single ingest funnel: on durable reasoners it
+// appends the batch (and the dictionary delta naming it) to the
+// write-ahead log before the engine sees it, so an acknowledged batch is
+// recoverable. The log append and engine handoff happen under one lock —
+// replay order is exactly application order.
+func (r *Reasoner) addTriples(ts []rdf.Triple) (int, error) {
+	if r.dur == nil || len(ts) == 0 {
+		return r.applyAssert(ts), nil
+	}
+	r.dur.mu.Lock()
+	defer r.dur.mu.Unlock()
+	if err := r.dur.getErr(); err != nil {
+		return 0, err
+	}
+	rec := wal.Record{Op: wal.OpAssert, Terms: r.dur.termDelta(r.dict), Triples: ts}
+	if err := r.dur.log.Append(rec); err != nil {
+		r.dur.setErr(err)
+		return 0, err
+	}
+	n := r.applyAssert(ts)
+	r.maybeCheckpointLocked()
+	return n, nil
+}
+
+// applyAssert hands a batch to the engine and tracks explicit triples.
+// Every asserted triple becomes an axiom — even one the engine already
+// derived: whether a statement was inferred first is a race against
+// asynchronous inference, and axiom-hood must not depend on timing
+// (replay after a crash would reproduce a different interleaving and
+// hence a different explicit set).
+func (r *Reasoner) applyAssert(ts []rdf.Triple) int {
 	fresh := r.engine.AddBatch(ts)
-	if len(fresh) > 0 && r.explicit != nil {
+	if r.explicit != nil && len(ts) > 0 {
 		r.explicitMu.Lock()
-		for _, t := range fresh {
+		for _, t := range ts {
 			r.explicit[t] = struct{}{}
 		}
 		r.explicitMu.Unlock()
@@ -290,8 +359,10 @@ type RetractStats = maintenance.Stats
 // Retract removes explicit statements and incrementally maintains the
 // materialisation using delete-and-rederive (DRed): consequences that
 // lose their last derivation disappear; consequences with alternative
-// derivations survive. Requires WithRetraction; the call waits for
-// quiescence, so concurrent Adds extend it.
+// derivations survive. Requires WithRetraction (durable reasoners always
+// track explicit triples); the call waits for quiescence, so concurrent
+// Adds extend it. On a durable reasoner the deletion batch is logged
+// before it is applied, so the retraction survives a restart.
 func (r *Reasoner) Retract(ctx context.Context, sts ...Statement) (RetractStats, error) {
 	if r.explicit == nil {
 		return RetractStats{}, fmt.Errorf("slider: retraction not enabled (use WithRetraction)")
@@ -306,9 +377,41 @@ func (r *Reasoner) Retract(ctx context.Context, sts ...Statement) (RetractStats,
 			toDelete = append(toDelete, t)
 		}
 	}
+	if r.dur != nil {
+		r.dur.mu.Lock()
+		defer r.dur.mu.Unlock()
+		if err := r.dur.getErr(); err != nil {
+			return RetractStats{}, err
+		}
+		// Re-establish quiescence now that appends are excluded: a batch
+		// logged between the Wait above and taking the lock may still be
+		// inferring, and DRed against a partial closure could delete
+		// consequences whose alternative derivation is not yet
+		// materialised — a state replay (which waits) would not
+		// reproduce.
+		if err := r.engine.Wait(ctx); err != nil {
+			return RetractStats{}, err
+		}
+		if len(toDelete) > 0 {
+			rec := wal.Record{Op: wal.OpRetract, Terms: r.dur.termDelta(r.dict), Triples: toDelete}
+			if err := r.dur.log.Append(rec); err != nil {
+				r.dur.setErr(err)
+				return RetractStats{}, err
+			}
+		}
+	}
 	r.explicitMu.Lock()
 	defer r.explicitMu.Unlock()
-	return maintenance.Retract(ctx, r.store, r.frag.rules, r.explicit, toDelete)
+	stats, err := maintenance.Retract(ctx, r.store, r.frag.rules, r.explicit, toDelete)
+	if err != nil && r.dur != nil && len(toDelete) > 0 {
+		// The retraction is in the log but was not fully applied (e.g.
+		// the context expired mid-DRed): the live store now disagrees
+		// with what recovery would reconstruct. Poison the reasoner —
+		// further writes and the close-time checkpoint are refused, and
+		// reopening the directory replays the log to the correct state.
+		r.dur.setErr(fmt.Errorf("slider: retraction logged but not fully applied (reopen the KB to recover): %w", err))
+	}
+	return stats, err
 }
 
 // loadChunkSize is how many parsed statements the loaders accumulate
@@ -366,21 +469,32 @@ func (r *Reasoner) LoadTurtle(rd io.Reader) (int, error) {
 	return r.loadStream(turtle.NewReader(rd).Read)
 }
 
-// Wait blocks until inference over everything added so far has completed.
+// Wait blocks until inference over everything added so far has
+// completed. On a durable reasoner it also surfaces any write-ahead-log
+// failure: once the log errors, the reasoner stops accepting writes.
 func (r *Reasoner) Wait(ctx context.Context) error {
 	if err := r.engine.Wait(ctx); err != nil {
 		return err
 	}
-	return r.engine.Err()
+	if err := r.engine.Err(); err != nil {
+		return err
+	}
+	return r.durErr()
 }
 
 // Close drains outstanding inference and releases the engine's
-// goroutines. The reasoner must not be used afterwards.
+// goroutines. A durable reasoner additionally takes a final checkpoint
+// (unless disabled with a negative WithCheckpointEvery) and closes the
+// log, so a clean shutdown recovers without replaying any tail. The
+// reasoner must not be used afterwards.
 func (r *Reasoner) Close(ctx context.Context) error {
-	if err := r.engine.Close(ctx); err != nil {
-		return err
+	if r.dur == nil {
+		if err := r.engine.Close(ctx); err != nil {
+			return err
+		}
+		return r.engine.Err()
 	}
-	return r.engine.Err()
+	return r.closeDurable(ctx)
 }
 
 // Contains reports whether the statement is present (explicit or

@@ -107,10 +107,8 @@ func BenchmarkRetract(b *testing.B) {
 					input = append(input, rdf.T(rdf.FirstCustomID+rdf.ID(j), rdf.IDSubClassOf, rdf.FirstCustomID+rdf.ID(j+1)))
 				}
 				st := store.New()
-				explicit := map[rdf.Triple]struct{}{}
-				for _, t := range input {
-					explicit[t] = struct{}{}
-				}
+				explicit := store.New()
+				explicit.AddBatch(input)
 				// Materialise via semi-naive fixpoint.
 				delta := st.AddAll(input)
 				for len(delta) > 0 {

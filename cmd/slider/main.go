@@ -163,6 +163,12 @@ func main() {
 			fatal(err)
 		}
 	}
+	// Background checkpoints run off this goroutine; a failure there
+	// would otherwise only surface as a sticky error on the next write.
+	// Report it now, before the close-time checkpoint can mask it.
+	if err := r.Err(); err != nil {
+		fatal(fmt.Errorf("background failure: %w", err))
+	}
 	if err := r.Close(context.Background()); err != nil {
 		fatal(err)
 	}

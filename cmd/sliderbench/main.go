@@ -11,6 +11,7 @@
 //	sliderbench -sweep -dataset BSBM_100k
 //	sliderbench -ingest                 # batch-ingest scaling, BENCH_ingest.json
 //	sliderbench -wal                    # durability tax + cold recovery, BENCH_wal.json
+//	sliderbench -checkpoint             # writer pause during capture, BENCH_checkpoint.json
 package main
 
 import (
@@ -45,6 +46,10 @@ func main() {
 
 		walBench = flag.Bool("wal", false, "measure write-ahead-logged ingest vs in-memory, and cold-recovery time")
 		walOut   = flag.String("walout", "BENCH_wal.json", "output path for the -wal JSON report")
+
+		ckptBench = flag.Bool("checkpoint", false, "measure writer pause during checkpoint capture (old blocking path vs two-phase streaming)")
+		ckptFacts = flag.Int("ckptfacts", 400_000, "explicit facts for -checkpoint (closure is ~2.5x)")
+		ckptOut   = flag.String("ckptout", "BENCH_checkpoint.json", "output path for the -checkpoint JSON report")
 	)
 	flag.Parse()
 
@@ -56,7 +61,7 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), *limit)
 	defer cancel()
 
-	if !*table1 && !*fig2 && !*fig3 && !*sweep && !*ingest && !*walBench {
+	if !*table1 && !*fig2 && !*fig3 && !*sweep && !*ingest && !*walBench && !*ckptBench {
 		*table1 = true
 	}
 
@@ -135,6 +140,25 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println("wrote", *walOut)
+	}
+	if *ckptBench {
+		rep, err := bench.CheckpointPause(ctx, *ckptFacts, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		bench.WriteCheckpointTable(os.Stdout, rep)
+		f, err := os.Create(*ckptOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := bench.WriteCheckpointJSON(f, rep); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *ckptOut)
 	}
 }
 

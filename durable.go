@@ -16,8 +16,9 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"maps"
+	"iter"
 	"sync"
+	"time"
 
 	"repro/internal/maintenance"
 	"repro/internal/rdf"
@@ -53,12 +54,14 @@ type durability struct {
 	checkpointEvery int64 // <0: never checkpoint automatically
 
 	// mu serializes log appends with their engine handoff, and excludes
-	// both while a checkpoint captures the store. It is taken before
-	// explicitMu wherever both are held.
+	// both while a checkpoint *marks* its cut of the store — the brief
+	// first phase of the two-phase checkpoint. The O(store) stream phase
+	// runs without it, so writers never wait on checkpoint I/O. It is
+	// taken before explicitMu wherever both are held.
 	mu sync.Mutex
 
-	// errMu guards err on its own so read-only paths (Wait) never block
-	// behind a checkpoint holding mu.
+	// errMu guards err on its own so read-only paths (Wait, Err) never
+	// block behind ingest holding mu.
 	errMu sync.Mutex
 	err   error // first log/checkpoint failure; poisons further writes
 
@@ -66,8 +69,16 @@ type durability struct {
 	// written to the log (or were present in the loaded checkpoint).
 	hwIRIs, hwBlanks, hwLiterals int
 
-	ckptInFlight bool
-	ckptDone     chan struct{} // closed when the in-flight checkpoint ends
+	// ckptDone is non-nil exactly while a checkpoint is in flight
+	// (marking or streaming) and is closed when it ends; it is THE
+	// in-flight indicator, reset to nil on completion so stale channels
+	// never leak into later bookkeeping. Guarded by mu.
+	ckptDone chan struct{}
+	// closeAbandoned is set when Close gave up waiting for an in-flight
+	// checkpoint: ownership of the log (and the directory lock) passes
+	// to the checkpoint goroutine, which closes it when it finishes.
+	// Guarded by mu.
+	closeAbandoned bool
 }
 
 // openDurable builds a durable Reasoner from an option-parsed config.
@@ -116,9 +127,7 @@ func openDurable(frag Fragment, cfg config) (*Reasoner, error) {
 		}
 	}
 	r := newReasoner(frag, dict, st, cfg)
-	for _, t := range explicitSeed {
-		r.explicit[t] = struct{}{}
-	}
+	r.explicit.AddBatch(explicitSeed)
 	if err := r.replayLog(l); err != nil {
 		r.engine.Close(context.Background())
 		l.Close()
@@ -197,59 +206,155 @@ func (d *durability) termDelta(dict *rdf.Dictionary) []wal.TermEntry {
 	return delta
 }
 
-// Checkpoint waits for quiescence and atomically writes the materialised
-// store, the dictionary and the explicit triple set to the knowledge
-// base's directory, then prunes the log segments the checkpoint covers.
-// Recovery after a checkpoint loads it instantly instead of replaying
-// the log. Errors only on durable reasoners' I/O failures; calling it on
-// an in-memory reasoner errors.
+// ckptCapture is the output of a checkpoint's mark phase: a consistent
+// copy-on-write cut of the knowledge base at a write-ahead-log position.
+// The views stay valid — and keep answering with the freeze-time state —
+// while ingest continues; the stream phase serialises them to disk with
+// no lock held.
+type ckptCapture struct {
+	mark     wal.CheckpointMark
+	store    *store.View
+	explicit *store.View
+	dict     *rdf.DictView
+}
+
+// Checkpoint writes the materialised store, the dictionary and the
+// explicit triple set to the knowledge base's directory, then prunes the
+// log segments the checkpoint covers. Recovery after a checkpoint loads
+// it instantly instead of replaying the log.
+//
+// The capture is two-phase: a brief mark (drain inference, seal the log
+// segment, freeze copy-on-write views — writers pause O(1), not
+// O(store)) followed by a lock-free stream of the frozen views to disk
+// while ingest continues. If a background checkpoint is already in
+// flight, Checkpoint waits for it (bounded by ctx) and then takes its
+// own. Errors only on durable reasoners' I/O failures; calling it on an
+// in-memory reasoner errors.
 func (r *Reasoner) Checkpoint(ctx context.Context) error {
 	if r.dur == nil {
 		return fmt.Errorf("slider: Checkpoint on a non-durable reasoner (use Open or WithDurability)")
 	}
-	r.dur.mu.Lock()
-	defer r.dur.mu.Unlock()
-	return r.checkpointLocked(ctx)
+	d := r.dur
+	for {
+		d.mu.Lock()
+		done := d.ckptDone
+		if done == nil {
+			break
+		}
+		d.mu.Unlock()
+		select {
+		case <-done:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	// d.mu held, no checkpoint in flight: arm one and run it here.
+	done := make(chan struct{})
+	d.ckptDone = done
+	d.mu.Unlock()
+	return r.runCheckpoint(ctx, done)
 }
 
-// checkpointLocked writes a checkpoint with d.mu held: appends are
-// excluded, so once the engine drains, the store is exactly the closure
-// of every logged record.
-func (r *Reasoner) checkpointLocked(ctx context.Context) error {
+// markCheckpointLocked is the mark phase, with d.mu held: drain
+// inference (the store is then exactly the closure of every logged
+// record), seal the live log segment, and freeze copy-on-write views of
+// the store, the explicit set and the logged dictionary prefix. O(1)
+// work beyond the quiescence wait — the pause writers can observe.
+func (r *Reasoner) markCheckpointLocked(ctx context.Context) (*ckptCapture, error) {
 	d := r.dur
 	if err := d.getErr(); err != nil {
-		return err
+		return nil, err
 	}
 	if err := r.engine.Wait(ctx); err != nil {
-		return err
+		return nil, err
 	}
 	if err := r.engine.Err(); err != nil {
-		return err
+		return nil, err
 	}
-	err := d.log.WriteCheckpoint(
-		func(w io.Writer) error { return snapshot.Save(w, r.dict, r.store) },
+	mark, err := d.log.BeginCheckpoint()
+	if err != nil {
+		d.setErr(err)
+		return nil, err
+	}
+	// The dictionary view ends at the logged high-water marks: exactly
+	// the terms the covered records (and hence the frozen store, whose
+	// triples are their closure) can reference. Terms registered later
+	// ride along with the post-mark record that first logs them.
+	return &ckptCapture{
+		mark:     mark,
+		store:    r.store.Freeze(),
+		explicit: r.explicit.Freeze(),
+		dict:     r.dict.ViewAt(d.hwIRIs, d.hwBlanks, d.hwLiterals),
+	}, nil
+}
+
+// streamCheckpoint is the stream phase: serialise the capture's frozen
+// views to the checkpoint files and commit the manifest, all without
+// d.mu — ingest, retraction and queries proceed concurrently, their
+// mutations compensated by the views' journals. The views are always
+// released, and failures poison the reasoner (surfaced via Err).
+func (r *Reasoner) streamCheckpoint(cap *ckptCapture) error {
+	d := r.dur
+	err := d.log.WriteCheckpointPayloads(cap.mark,
+		func(w io.Writer) error { return snapshot.SaveFrom(w, cap.dict, cap.store) },
 		func(w io.Writer) error {
-			// Stream straight out of the map — no whole-set slice.
-			// Holding explicitMu across the write is fine: every mutator
-			// takes d.mu (held here) first.
-			r.explicitMu.Lock()
-			defer r.explicitMu.Unlock()
-			return wal.WriteExplicitSeq(w, len(r.explicit), maps.Keys(r.explicit))
+			return wal.WriteExplicitSeq(w, cap.explicit.Len(), iter.Seq[rdf.Triple](cap.explicit.ForEach))
 		},
 	)
+	if err == nil {
+		err = d.log.CommitCheckpoint(cap.mark)
+	} else {
+		d.log.AbortCheckpoint(cap.mark)
+	}
+	cap.store.Release()
+	cap.explicit.Release()
 	if err != nil {
 		d.setErr(err)
 	}
 	return err
 }
 
+// runCheckpoint executes one armed checkpoint end to end: mark under
+// d.mu, stream lock-free, then clear the in-flight marker — and, if a
+// Close abandoned the reasoner mid-checkpoint, close the log on its
+// behalf so the segment descriptor and directory lock are not leaked.
+// done must be the channel installed as d.ckptDone.
+func (r *Reasoner) runCheckpoint(ctx context.Context, done chan struct{}) error {
+	d := r.dur
+	// Pre-drain outside the lock, bounded so sustained ingest cannot
+	// stall the checkpoint forever: the quiescence wait inside the mark
+	// (which *does* block writers) then covers only the inference that
+	// arrived during the gap, not the whole backlog.
+	predrain, cancel := context.WithTimeout(ctx, 10*time.Second)
+	r.engine.Wait(predrain)
+	cancel()
+	d.mu.Lock()
+	cap, err := r.markCheckpointLocked(ctx)
+	d.mu.Unlock()
+	if err == nil {
+		err = r.streamCheckpoint(cap)
+	}
+	d.mu.Lock()
+	d.ckptDone = nil
+	abandoned := d.closeAbandoned
+	d.mu.Unlock()
+	if abandoned {
+		if cerr := d.log.Close(); cerr != nil {
+			d.setErr(cerr)
+		}
+	}
+	close(done)
+	return err
+}
+
 // maybeCheckpointLocked starts a background checkpoint when the live log
 // volume passes the threshold. Called with d.mu held; the checkpoint
-// itself re-acquires d.mu on its own goroutine so the triggering Add
-// returns first.
+// goroutine re-acquires d.mu only for its brief mark phase, so the
+// triggering Add returns first and subsequent writers pause for O(1),
+// not for the O(store) snapshot write.
 func (r *Reasoner) maybeCheckpointLocked() {
 	d := r.dur
-	if d.checkpointEvery <= 0 || d.ckptInFlight || d.getErr() != nil {
+	if d.checkpointEvery <= 0 || d.ckptDone != nil || d.getErr() != nil {
 		return
 	}
 	// The threshold is a floor: once the store outgrows it, wait for the
@@ -263,16 +368,9 @@ func (r *Reasoner) maybeCheckpointLocked() {
 	if d.log.LiveBytes() < threshold {
 		return
 	}
-	d.ckptInFlight = true
 	done := make(chan struct{})
 	d.ckptDone = done
-	go func() {
-		defer close(done)
-		d.mu.Lock()
-		defer d.mu.Unlock()
-		r.checkpointLocked(context.Background())
-		d.ckptInFlight = false
-	}()
+	go r.runCheckpoint(context.Background(), done)
 }
 
 // getErr returns the sticky durability error, if any.
@@ -306,20 +404,36 @@ func (r *Reasoner) closeDurable(ctx context.Context) error {
 	d := r.dur
 	// Let an in-flight background checkpoint finish first, but respect
 	// the caller's shutdown deadline: the checkpoint write is O(store)
-	// and not cancellable. On timeout the KB is left un-closed (the
-	// checkpoint goroutine still owns it); the log on disk stays
-	// consistent and the next Open recovers normally.
-	d.mu.Lock()
-	done := d.ckptDone
-	d.mu.Unlock()
-	if done != nil {
+	// and not cancellable. On timeout the KB is left un-closed and
+	// ownership of the log passes to the checkpoint goroutine, which
+	// closes it — releasing the segment descriptor and the directory
+	// lock — as soon as it finishes, so a same-process reopen is not
+	// wedged forever. The log on disk stays consistent either way and
+	// the next Open recovers normally.
+	for {
+		d.mu.Lock()
+		done := d.ckptDone
+		if done == nil {
+			break
+		}
+		d.mu.Unlock()
 		select {
 		case <-done:
 		case <-ctx.Done():
-			return ctx.Err()
+			d.mu.Lock()
+			if d.ckptDone != nil {
+				d.closeAbandoned = true
+				d.mu.Unlock()
+				return ctx.Err()
+			}
+			// The checkpoint ended between the deadline firing and the
+			// re-lock: fall through and close normally (the expired ctx
+			// will surface from engine.Close below).
+			d.mu.Unlock()
 		}
 	}
-	d.mu.Lock()
+	// d.mu held; no checkpoint in flight, and none can start (arming
+	// happens under d.mu).
 	defer d.mu.Unlock()
 	err := r.engine.Close(ctx)
 	if err == nil {
@@ -328,9 +442,18 @@ func (r *Reasoner) closeDurable(ctx context.Context) error {
 	// Checkpoint only if the log holds records the current checkpoint
 	// does not cover: a read-only session (or one whose background
 	// checkpoint just ran) would otherwise rewrite the whole store on
-	// every exit. engine.Wait inside is now a no-op: Close has drained.
-	if err == nil && d.getErr() == nil && d.checkpointEvery >= 0 && d.log.Dirty() {
-		err = r.checkpointLocked(ctx)
+	// every exit. The two-phase capture runs inline here — d.mu stays
+	// held, which is fine: the engine is closed, nothing writes. A
+	// retried Close after an abandoned one skips it: the checkpoint
+	// goroutine already closed the log on our behalf, and attempting a
+	// capture against it would poison the reasoner with a spurious
+	// ErrClosed — any post-mark tail simply replays on the next Open.
+	if err == nil && d.getErr() == nil && !d.closeAbandoned && d.checkpointEvery >= 0 && d.log.Dirty() {
+		cap, cerr := r.markCheckpointLocked(ctx)
+		if cerr == nil {
+			cerr = r.streamCheckpoint(cap)
+		}
+		err = cerr
 	}
 	if cerr := d.log.Close(); err == nil {
 		err = cerr

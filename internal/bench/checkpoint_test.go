@@ -1,0 +1,35 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// TestCheckpointPauseSmoke is the CI tracking hook for the checkpoint
+// benchmark: a miniature run of the same code path cmd/sliderbench
+// -checkpoint uses, so every PR exercises capture-under-load and the
+// report plumbing. The full-size numbers live in BENCH_checkpoint.json.
+func TestCheckpointPauseSmoke(t *testing.T) {
+	rep, err := CheckpointPause(context.Background(), 5000, SliderConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Triples < 5000 {
+		t.Fatalf("store smaller than its explicit facts: %d < 5000", rep.Triples)
+	}
+	if rep.BlockingCaptureMS <= 0 || rep.CaptureMS <= 0 || rep.Capture.Ops == 0 {
+		t.Fatalf("capture durations not measured: %+v", rep)
+	}
+	if rep.CkptBytes <= 0 {
+		t.Fatalf("checkpoint size not measured: %+v", rep)
+	}
+	var buf bytes.Buffer
+	if err := WriteCheckpointJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty JSON report")
+	}
+	WriteCheckpointTable(&buf, rep)
+}

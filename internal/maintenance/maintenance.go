@@ -47,13 +47,15 @@ type Stats struct {
 
 // Retract removes the given explicit triples from st and updates the
 // materialisation. explicit must hold the reasoner's current explicit
-// (asserted, non-inferred) triples; Retract mutates it, removing the
-// retracted ones.
+// (asserted, non-inferred) triples as a second triple store; Retract
+// mutates it, removing the retracted ones. (A store rather than a plain
+// set so durable reasoners can checkpoint a consistent frozen view of it
+// while asserts keep landing.)
 //
 // The store must be quiescent (no concurrent inference) for the duration
 // of the call.
 func Retract(ctx context.Context, st *store.Store, ruleset []rules.Rule,
-	explicit map[rdf.Triple]struct{}, toDelete []rdf.Triple) (Stats, error) {
+	explicit *store.Store, toDelete []rdf.Triple) (Stats, error) {
 
 	var stats Stats
 	if explicit == nil {
@@ -63,10 +65,9 @@ func Retract(ctx context.Context, st *store.Store, ruleset []rules.Rule,
 	// Which requested deletions are real explicit triples?
 	var seed []rdf.Triple
 	for _, t := range toDelete {
-		if _, ok := explicit[t]; !ok {
+		if !explicit.Remove(t) {
 			continue // unknown or already gone: no-op
 		}
-		delete(explicit, t)
 		seed = append(seed, t)
 	}
 	if len(seed) == 0 {
@@ -92,7 +93,7 @@ func Retract(ctx context.Context, st *store.Store, ruleset []rules.Rule,
 		}
 		delta = delta[:0]
 		for _, t := range derived {
-			if _, isExplicit := explicit[t]; isExplicit {
+			if explicit.Contains(t) {
 				continue // axioms survive
 			}
 			if _, seen := suspects[t]; seen {

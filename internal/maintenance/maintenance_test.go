@@ -26,16 +26,14 @@ func sc(s, o rdf.ID) rdf.Triple { return rdf.T(s, rdf.IDSubClassOf, o) }
 func ty(s, o rdf.ID) rdf.Triple { return rdf.T(s, rdf.IDType, o) }
 
 // materialize builds a closed store plus explicit set from input.
-func materialize(t *testing.T, ruleset []rules.Rule, input []rdf.Triple) (*store.Store, map[rdf.Triple]struct{}) {
+func materialize(t *testing.T, ruleset []rules.Rule, input []rdf.Triple) (*store.Store, *store.Store) {
 	t.Helper()
 	st := store.New()
 	if _, err := baseline.New(st, ruleset, baseline.SemiNaive).Materialize(context.Background(), input); err != nil {
 		t.Fatal(err)
 	}
-	explicit := make(map[rdf.Triple]struct{}, len(input))
-	for _, tr := range input {
-		explicit[tr] = struct{}{}
-	}
+	explicit := store.New()
+	explicit.AddBatch(input)
 	return st, explicit
 }
 
@@ -120,7 +118,7 @@ func TestRetractExplicitTripleAlsoDerivable(t *testing.T) {
 	if !st.Contains(sc(a, c)) {
 		t.Fatal("(a sc c) should be rederived from the chain")
 	}
-	if _, stillExplicit := explicit[sc(a, c)]; stillExplicit {
+	if explicit.Contains(sc(a, c)) {
 		t.Fatal("explicit set not updated")
 	}
 	assertClosureOf(t, st, rules.RhoDF(), []rdf.Triple{sc(a, b), sc(b, c)})
@@ -157,7 +155,7 @@ func TestRetractEverything(t *testing.T) {
 	if st.Len() != 0 {
 		t.Fatalf("store not empty after total retraction: %d triples %v", st.Len(), st.Snapshot())
 	}
-	if len(explicit) != 0 {
+	if explicit.Len() != 0 {
 		t.Fatal("explicit set not emptied")
 	}
 }

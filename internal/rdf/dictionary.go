@@ -238,6 +238,56 @@ func (d *Dictionary) ForEachNew(iris, blanks, literals int, f func(ID, Term) boo
 	}
 }
 
+// DictView is a prefix-stable read-only view of a Dictionary: the first
+// iris/blanks/literals terms of each kind as they stood when ViewAt was
+// called. Because the per-kind sequences are append-only, the view stays
+// valid — and keeps returning exactly the same terms and IDs — while the
+// dictionary continues to grow concurrently. It is the dictionary half
+// of a non-blocking checkpoint: the write-ahead log records how many
+// terms of each kind it has persisted, and the checkpoint streams
+// precisely that prefix.
+type DictView struct {
+	iris, blanks, literals []Term
+}
+
+// ViewAt returns a view of the first (iris, blanks, literals) terms per
+// kind, clamped to what is currently registered.
+func (d *Dictionary) ViewAt(iris, blanks, literals int) *DictView {
+	d.seqMu.RLock()
+	defer d.seqMu.RUnlock()
+	return &DictView{
+		iris:     d.iris[:min(iris, len(d.iris))],
+		blanks:   d.blanks[:min(blanks, len(d.blanks))],
+		literals: d.literals[:min(literals, len(d.literals))],
+	}
+}
+
+// Len returns the number of terms in the view.
+func (v *DictView) Len() int {
+	return len(v.iris) + len(v.blanks) + len(v.literals)
+}
+
+// ForEach calls f for every term in the view until f returns false, in
+// the same kind-then-sequence order Dictionary.ForEach uses, so a
+// snapshot written from the view reloads with identical IDs.
+func (v *DictView) ForEach(f func(ID, Term) bool) {
+	for i, t := range v.iris {
+		if !f(makeID(TermIRI, uint64(i+1)), t) {
+			return
+		}
+	}
+	for i, t := range v.blanks {
+		if !f(makeID(TermBlank, uint64(i+1)), t) {
+			return
+		}
+	}
+	for i, t := range v.literals {
+		if !f(makeID(TermLiteral, uint64(i+1)), t) {
+			return
+		}
+	}
+}
+
 // EncodeStatement encodes all three terms of a statement.
 func (d *Dictionary) EncodeStatement(s Statement) Triple {
 	return Triple{S: d.Encode(s.S), P: d.Encode(s.P), O: d.Encode(s.O)}

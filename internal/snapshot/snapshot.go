@@ -35,8 +35,45 @@ const Version = 1
 // ErrBadSnapshot reports a malformed or truncated snapshot.
 var ErrBadSnapshot = errors.New("snapshot: malformed snapshot")
 
-// Save writes the dictionary and store to w.
+// TermSource is the dictionary side of a snapshot: anything that can
+// enumerate (ID, Term) pairs in the kind-then-sequence order Load
+// expects, and say up front how many there are — the count lets the
+// writer stream terms straight to the output instead of buffering the
+// whole dictionary (a GC-visible allocation spike at the worst moment
+// for a checkpoint racing live writers). Len and ForEach must agree;
+// for a live *rdf.Dictionary that means no concurrent registration
+// (quiescence), for an *rdf.DictView it holds by construction.
+type TermSource interface {
+	Len() int
+	ForEach(f func(rdf.ID, rdf.Term) bool)
+}
+
+// TripleSource is the store side of a snapshot: predicate-grouped
+// iteration with stable per-predicate counts. Satisfied by *store.Store
+// (quiescent) and *store.View (concurrent-safe frozen view).
+type TripleSource interface {
+	Predicates() []rdf.ID
+	PredicateLen(p rdf.ID) int
+	ForEachWithPredicate(p rdf.ID, f func(s, o rdf.ID) bool)
+}
+
+// Save writes the dictionary and store to w. The store must not change
+// between the per-predicate count and iteration passes — use SaveFrom
+// with store/dictionary views to snapshot while writers keep going.
 func Save(w io.Writer, dict *rdf.Dictionary, st *store.Store) error {
+	return SaveFrom(w, dict, st)
+}
+
+// SaveFrom writes a snapshot from arbitrary term and triple sources.
+// Streaming from a store.View and an rdf.DictView captures a consistent
+// knowledge base while the live structures continue to take writes.
+func SaveFrom(w io.Writer, dict TermSource, st TripleSource) error {
+	// A live dictionary can grow between the Len and ForEach passes; pin
+	// it to a prefix-stable view so a concurrent registration cannot
+	// fail the save with a count mismatch.
+	if d, ok := dict.(*rdf.Dictionary); ok {
+		dict = d.ViewAt(d.KindCounts())
+	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(magic[:]); err != nil {
 		return err
@@ -69,39 +106,43 @@ func putString(w *bufio.Writer, s string) error {
 }
 
 // saveDictionary walks IDs in sequence order per kind so that re-encoding
-// on load reproduces identical IDs.
-func saveDictionary(w *bufio.Writer, dict *rdf.Dictionary) error {
-	var terms []rdf.Term
-	var ids []rdf.ID
-	dict.ForEach(func(id rdf.ID, t rdf.Term) bool {
-		ids = append(ids, id)
-		terms = append(terms, t)
-		return true
-	})
-	if err := putUvarint(w, uint64(len(terms))); err != nil {
+// on load reproduces identical IDs. Terms stream straight to the writer.
+func saveDictionary(w *bufio.Writer, dict TermSource) error {
+	n := dict.Len()
+	if err := putUvarint(w, uint64(n)); err != nil {
 		return err
 	}
-	for i, t := range terms {
-		if err := w.WriteByte(byte(t.Kind)); err != nil {
-			return err
+	written := 0
+	var werr error
+	dict.ForEach(func(id rdf.ID, t rdf.Term) bool {
+		if werr = w.WriteByte(byte(t.Kind)); werr != nil {
+			return false
 		}
-		if err := putUvarint(w, uint64(ids[i])); err != nil {
-			return err
+		if werr = putUvarint(w, uint64(id)); werr != nil {
+			return false
 		}
-		if err := putString(w, t.Value); err != nil {
-			return err
+		if werr = putString(w, t.Value); werr != nil {
+			return false
 		}
-		if err := putString(w, t.Lang); err != nil {
-			return err
+		if werr = putString(w, t.Lang); werr != nil {
+			return false
 		}
-		if err := putString(w, t.Datatype); err != nil {
-			return err
+		if werr = putString(w, t.Datatype); werr != nil {
+			return false
 		}
+		written++
+		return true
+	})
+	if werr != nil {
+		return werr
+	}
+	if written != n {
+		return fmt.Errorf("snapshot: dictionary yielded %d terms, source declared %d", written, n)
 	}
 	return nil
 }
 
-func saveTriples(w *bufio.Writer, st *store.Store) error {
+func saveTriples(w *bufio.Writer, st TripleSource) error {
 	preds := st.Predicates()
 	if err := putUvarint(w, uint64(len(preds))); err != nil {
 		return err

@@ -1,0 +1,87 @@
+package snapshot
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// TestSaveFromViewsDuringConcurrentGrowth snapshots a frozen store view
+// plus a prefix-stable dictionary view while writers keep registering
+// terms and adding triples, and checks the loaded snapshot equals the
+// freeze-time state exactly — the core guarantee behind non-blocking
+// checkpoints.
+func TestSaveFromViewsDuringConcurrentGrowth(t *testing.T) {
+	dict := rdf.NewDictionary()
+	st := store.New()
+	var frozen []rdf.Triple
+	for i := 0; i < 500; i++ {
+		s := dict.Encode(rdf.NewIRI(fmt.Sprintf("http://e/s%d", i)))
+		p := dict.Encode(rdf.NewIRI(fmt.Sprintf("http://e/p%d", i%5)))
+		o := dict.Encode(rdf.NewLiteral(fmt.Sprintf("v%d", i)))
+		tr := rdf.T(s, p, o)
+		if st.Add(tr) {
+			frozen = append(frozen, tr)
+		}
+	}
+	iris, blanks, literals := dict.KindCounts()
+	dv := dict.ViewAt(iris, blanks, literals)
+	sv := st.Freeze()
+	defer sv.Release()
+
+	// Writers race the snapshot write: fresh terms and triples must not
+	// leak into it.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := dict.Encode(rdf.NewIRI(fmt.Sprintf("http://late/s%d", i)))
+			p := dict.Encode(rdf.NewIRI(fmt.Sprintf("http://e/p%d", i%5)))
+			o := dict.Encode(rdf.NewLiteral(fmt.Sprintf("late %d", i)))
+			st.Add(rdf.T(s, p, o))
+		}
+	}()
+
+	var buf bytes.Buffer
+	if err := SaveFrom(&buf, dv, sv); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+
+	gotDict, gotStore, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotDict.Len() != dv.Len() {
+		t.Fatalf("loaded dictionary has %d terms, view had %d", gotDict.Len(), dv.Len())
+	}
+	if gotStore.Len() != len(frozen) {
+		t.Fatalf("loaded store has %d triples, frozen state had %d", gotStore.Len(), len(frozen))
+	}
+	for _, tr := range frozen {
+		if !gotStore.Contains(tr) {
+			t.Fatalf("frozen triple %v missing from loaded snapshot", tr)
+		}
+	}
+	// IDs must have survived exactly: every frozen term resolves in the
+	// loaded dictionary to the same term.
+	dv.ForEach(func(id rdf.ID, term rdf.Term) bool {
+		got, ok := gotDict.Term(id)
+		if !ok || got != term {
+			t.Fatalf("ID %d resolves to %v in the loaded dictionary, want %v", uint64(id), got, term)
+		}
+		return true
+	})
+}

@@ -58,10 +58,130 @@ type partition struct {
 	so map[rdf.ID]idSet // subject → set of objects
 	os map[rdf.ID]idSet // object → set of subjects
 	n  int
+
+	// subjects lists every distinct subject ever inserted, in insertion
+	// order, with no duplicates (add only appends when the subject has
+	// no so entry, and drained so entries are kept empty rather than
+	// deleted). Views iterate it by index, which allows bounded lock
+	// holds: a view visits a chunk of subjects at a time instead of
+	// copying the whole — possibly store-sized — partition under the
+	// lock. drained counts subjects whose so entry is currently empty;
+	// when they dominate, View.Release compacts both structures so a
+	// retract-heavy workload does not retain them forever.
+	subjects []rdf.ID
+	drained  int
+
+	// born is the freeze epoch the partition was created under (0 when
+	// the store was unfrozen). A view skips partitions born during its
+	// own epoch: every pair in them postdates the freeze.
+	born uint64
+	// journal compensates an active View for mutations made after its
+	// freeze: subject → object → whether the pair was present at freeze
+	// time. Only valid while journalEpoch matches the view's epoch;
+	// maintained under mu by the mutating paths, consulted under mu by
+	// the view. jAdded/jRemoved count the false/true entries so the
+	// frozen size is O(1).
+	journalEpoch     uint64
+	journal          map[rdf.ID]map[rdf.ID]bool
+	jAdded, jRemoved int
 }
 
-func newPartition() *partition {
-	return &partition{so: make(map[rdf.ID]idSet), os: make(map[rdf.ID]idSet)}
+func newPartition(epoch uint64) *partition {
+	return &partition{so: make(map[rdf.ID]idSet), os: make(map[rdf.ID]idSet), born: epoch}
+}
+
+// journalFor returns the journal for epoch e, (re)initialising it when
+// the partition last journaled for an older view. Callers hold mu.
+func (p *partition) journalFor(e uint64) map[rdf.ID]map[rdf.ID]bool {
+	if p.journalEpoch != e {
+		p.journalEpoch = e
+		p.journal = make(map[rdf.ID]map[rdf.ID]bool, 8)
+		p.jAdded, p.jRemoved = 0, 0
+	}
+	return p.journal
+}
+
+// noteAdd records, for the view frozen at epoch e, that (s,o) was
+// freshly inserted after the freeze. Callers hold mu and have checked
+// e != 0 && e != p.born.
+func (p *partition) noteAdd(e uint64, s, o rdf.ID) {
+	j := p.journalFor(e)
+	js := j[s]
+	if present, ok := js[o]; ok {
+		// present==true: the pair existed at freeze time, was removed,
+		// and is now back — net zero, drop the entry. present==false is
+		// impossible: such a pair is live, so its insert cannot be fresh.
+		if present {
+			delete(js, o)
+			p.jRemoved--
+		}
+		return
+	}
+	if js == nil {
+		js = make(map[rdf.ID]bool, 2)
+		j[s] = js
+	}
+	js[o] = false // absent at freeze time
+	p.jAdded++
+}
+
+// noteRemove records, for the view frozen at epoch e, that (s,o) was
+// removed after the freeze. Callers hold mu and have checked
+// e != 0 && e != p.born.
+func (p *partition) noteRemove(e uint64, s, o rdf.ID) {
+	j := p.journalFor(e)
+	js := j[s]
+	if present, ok := js[o]; ok {
+		// present==false: added after the freeze, now gone again — net
+		// zero. present==true is impossible: such a pair is already
+		// absent, so there is nothing to remove.
+		if !present {
+			delete(js, o)
+			p.jAdded--
+		}
+		return
+	}
+	if js == nil {
+		js = make(map[rdf.ID]bool, 2)
+		j[s] = js
+	}
+	js[o] = true // present at freeze time
+	p.jRemoved++
+}
+
+// maybeCompact rebuilds the subject list and drops drained subjects'
+// empty so entries once they dominate the partition. Rebuilding is
+// O(partition), so the threshold amortises it against the removals that
+// created the drained entries. Callers hold mu (write side) and must
+// ensure no View is active: compaction reorders nothing but deletes the
+// so entries a view's journal evaluation may still consult.
+func (p *partition) maybeCompact() {
+	if p.drained == 0 || p.drained*2 < len(p.subjects) {
+		return
+	}
+	kept := p.subjects[:0]
+	for _, sub := range p.subjects {
+		if len(p.so[sub]) == 0 {
+			delete(p.so, sub)
+			continue
+		}
+		kept = append(kept, sub)
+	}
+	p.subjects = kept
+	p.drained = 0
+}
+
+// frozenLen reports the partition's pair count at freeze time for the
+// view of epoch e. Callers hold mu (read side suffices).
+func (p *partition) frozenLen(e uint64) int {
+	if p.born == e {
+		return 0
+	}
+	n := p.n
+	if p.journalEpoch == e {
+		n += p.jRemoved - p.jAdded
+	}
+	return n
 }
 
 // add inserts (s,o) and reports whether it was absent. Callers hold the
@@ -71,6 +191,11 @@ func (p *partition) add(s, o rdf.ID) bool {
 	if !ok {
 		objs = make(idSet, 2)
 		p.so[s] = objs
+		// First so entry ever for this subject (drained entries stay in
+		// the map, empty), so the append cannot duplicate.
+		p.subjects = append(p.subjects, s)
+	} else if len(objs) == 0 {
+		p.drained-- // a drained subject comes back to life
 	}
 	if _, dup := objs[o]; dup {
 		return false
@@ -114,6 +239,15 @@ type stripe struct {
 type Store struct {
 	stripes [numStripes]stripe
 	size    atomic.Int64
+
+	// frozen is the epoch of the active View (0 when none). Mutators
+	// load it inside the partition lock and journal their changes while
+	// it is set, so the view can reconstruct the freeze-time state.
+	frozen atomic.Uint64
+	// freezeMu serializes Freeze/Release; epochSeq (guarded by it) is
+	// the last epoch handed out and is never reused.
+	freezeMu sync.Mutex
+	epochSeq uint64
 }
 
 // New returns an empty store.
@@ -146,6 +280,9 @@ func (st *Store) Add(t rdf.Triple) bool {
 		// lag behind a Clear that sums partition counts under the locks.
 		if fresh {
 			st.size.Add(1)
+			if e := st.frozen.Load(); e != 0 && e != p.born {
+				p.noteAdd(e, t.S, t.O)
+			}
 		}
 		p.mu.Unlock()
 		s.mu.RUnlock()
@@ -155,13 +292,16 @@ func (st *Store) Add(t rdf.Triple) bool {
 	s.mu.Lock()
 	p, ok = s.parts[t.P]
 	if !ok {
-		p = newPartition()
+		p = newPartition(st.frozen.Load())
 		s.parts[t.P] = p
 	}
 	p.mu.Lock()
 	fresh := p.add(t.S, t.O)
 	if fresh {
 		st.size.Add(1)
+		if e := st.frozen.Load(); e != 0 && e != p.born {
+			p.noteAdd(e, t.S, t.O)
+		}
 	}
 	p.mu.Unlock()
 	s.mu.Unlock()
@@ -213,10 +353,14 @@ func (st *Store) addGroup(p rdf.ID, ts []rdf.Triple, idxs []int, fresh []bool) i
 	part, ok := s.parts[p]
 	if ok {
 		part.mu.Lock()
+		e := st.frozen.Load()
 		for _, i := range idxs {
 			if part.add(ts[i].S, ts[i].O) {
 				fresh[i] = true
 				n++
+				if e != 0 && e != part.born {
+					part.noteAdd(e, ts[i].S, ts[i].O)
+				}
 			}
 		}
 		st.size.Add(int64(n))
@@ -228,14 +372,18 @@ func (st *Store) addGroup(p rdf.ID, ts []rdf.Triple, idxs []int, fresh []bool) i
 	s.mu.Lock()
 	part, ok = s.parts[p]
 	if !ok {
-		part = newPartition()
+		part = newPartition(st.frozen.Load())
 		s.parts[p] = part
 	}
 	part.mu.Lock()
+	e := st.frozen.Load()
 	for _, i := range idxs {
 		if part.add(ts[i].S, ts[i].O) {
 			fresh[i] = true
 			n++
+			if e != 0 && e != part.born {
+				part.noteAdd(e, ts[i].S, ts[i].O)
+			}
 		}
 	}
 	st.size.Add(int64(n))
@@ -250,10 +398,13 @@ func (st *Store) AddAll(ts []rdf.Triple) []rdf.Triple {
 	return st.AddBatch(ts)
 }
 
-// Remove deletes a triple and reports whether it was present. Empty
-// index entries are pruned so memory is reclaimed as partitions drain.
-// Remove takes the stripe's write lock (excluding concurrent access to
-// the stripe) so pruning an emptied partition cannot race an adder.
+// Remove deletes a triple and reports whether it was present. A fully
+// drained partition is pruned (deferred to View.Release while a view is
+// active); a drained subject's empty so entry is retained for the
+// subject list's benefit and compacted by View.Release once such
+// entries dominate their partition. Remove takes the stripe's write
+// lock (excluding concurrent access to the stripe) so pruning an
+// emptied partition cannot race an adder.
 func (st *Store) Remove(t rdf.Triple) bool {
 	s := st.stripeFor(t.P)
 	s.mu.Lock()
@@ -272,8 +423,12 @@ func (st *Store) Remove(t rdf.Triple) bool {
 		return false
 	}
 	delete(objs, t.O)
+	// A drained objs set stays in p.so (empty): p.subjects relies on
+	// so-membership to keep its entries duplicate-free. Both are
+	// reclaimed when the partition drains, or compacted by the next
+	// View.Release once drained subjects dominate the partition.
 	if len(objs) == 0 {
-		delete(p.so, t.S)
+		p.drained++
 	}
 	subs := p.os[t.O]
 	delete(subs, t.S)
@@ -282,8 +437,19 @@ func (st *Store) Remove(t rdf.Triple) bool {
 	}
 	p.n--
 	st.size.Add(-1)
-	if p.n == 0 {
-		delete(s.parts, t.P)
+	e := st.frozen.Load()
+	if e != 0 && e != p.born {
+		p.noteRemove(e, t.S, t.O)
+	}
+	// A drained partition is pruned — and drained subject entries are
+	// compacted — unless a View is active: the view may still need the
+	// partition's journal and so entries (Release sweeps instead).
+	if e == 0 {
+		if p.n == 0 {
+			delete(s.parts, t.P)
+		} else {
+			p.maybeCompact()
+		}
 	}
 	return true
 }
@@ -588,8 +754,12 @@ func (st *Store) Snapshot() []rdf.Triple {
 	return out
 }
 
-// Clear removes all triples.
+// Clear removes all triples. It must not be called while a View is
+// active: wholesale partition replacement cannot be journaled.
 func (st *Store) Clear() {
+	if st.frozen.Load() != 0 {
+		panic("store: Clear while a View is active")
+	}
 	for i := range st.stripes {
 		s := &st.stripes[i]
 		s.mu.Lock()
@@ -630,4 +800,201 @@ func (st *Store) Stats() Stats {
 		str.mu.RUnlock()
 	}
 	return s
+}
+
+// View is a consistent point-in-time view of the store, created by
+// Freeze. While a view is active, mutators keep running at full speed:
+// each partition records post-freeze changes in a small compensation
+// journal (one entry per net-changed pair), and the view's iteration
+// applies the journal to reconstruct the exact freeze-time contents.
+// This is the mechanism behind non-blocking checkpoints: capture is
+// O(1), streaming the view contends with writers only for the brief
+// per-partition copy that plain iteration already takes.
+//
+// A view is immutable: Predicates, PredicateLen and the iteration
+// methods return the same answers no matter how the store has moved on.
+// Call Release when done — it unfreezes the store, drops the journals
+// and prunes partitions that drained while frozen. At most one view can
+// be active per store.
+type View struct {
+	st    *Store
+	epoch uint64
+	size  int64
+}
+
+// Freeze captures a view of the store's current contents. The caller
+// must ensure no mutation is in flight during the call itself (mutations
+// strictly before or after are fine, and may continue immediately after
+// Freeze returns): a mutation racing the freeze lands on an unspecified
+// side of the boundary. Freeze panics if a view is already active.
+func (st *Store) Freeze() *View {
+	st.freezeMu.Lock()
+	defer st.freezeMu.Unlock()
+	if st.frozen.Load() != 0 {
+		panic("store: Freeze while another View is active")
+	}
+	st.epochSeq++
+	st.frozen.Store(st.epochSeq)
+	return &View{st: st, epoch: st.epochSeq, size: st.size.Load()}
+}
+
+// Release ends the view: the store stops journaling, journals are
+// dropped, and partitions that drained while the view was active are
+// pruned. Release is idempotent and only acts if this view is the
+// active one.
+func (v *View) Release() {
+	st := v.st
+	st.freezeMu.Lock()
+	defer st.freezeMu.Unlock()
+	if st.frozen.Load() != v.epoch {
+		return
+	}
+	st.frozen.Store(0)
+	for i := range st.stripes {
+		s := &st.stripes[i]
+		s.mu.Lock()
+		for id, p := range s.parts {
+			p.mu.Lock()
+			p.journal = nil
+			p.maybeCompact()
+			empty := p.n == 0
+			p.mu.Unlock()
+			if empty {
+				delete(s.parts, id)
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Len returns the number of triples in the view.
+func (v *View) Len() int { return int(v.size) }
+
+// Predicates returns the predicates present at freeze time, in
+// ascending ID order.
+func (v *View) Predicates() []rdf.ID {
+	st := v.st
+	var out []rdf.ID
+	for i := range st.stripes {
+		s := &st.stripes[i]
+		s.mu.RLock()
+		for id, p := range s.parts {
+			p.mu.RLock()
+			n := p.frozenLen(v.epoch)
+			p.mu.RUnlock()
+			if n > 0 {
+				out = append(out, id)
+			}
+		}
+		s.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PredicateLen returns the number of triples with the given predicate
+// at freeze time.
+func (v *View) PredicateLen(p rdf.ID) int {
+	s := v.st.stripeFor(p)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	part, ok := s.parts[p]
+	if !ok {
+		return 0
+	}
+	part.mu.RLock()
+	defer part.mu.RUnlock()
+	return part.frozenLen(v.epoch)
+}
+
+// viewChunk is how many pairs a view accumulates per partition-lock
+// acquisition. It bounds the pause a concurrent writer can observe
+// behind view iteration: with vertical partitioning a single predicate
+// (rdf:type, typically) can hold most of the store, so copying a whole
+// partition under its lock — what live iteration does — would stall
+// writers for O(store) at exactly the moment non-blocking checkpoints
+// exist to protect. A subject's object set is evaluated atomically, so
+// the true hold bound is O(viewChunk + degree of the chunk's last
+// subject) — a pathological hub subject still costs its degree.
+const viewChunk = 4096
+
+// ForEachWithPredicate calls f for every freeze-time (s, o) pair of the
+// predicate until f returns false. f runs outside the store's locks.
+//
+// Iteration walks the partition's insertion-ordered subject list,
+// re-acquiring the partition lock after every ~viewChunk pairs.
+// That is safe mid-view: partitions are never pruned nor Cleared while
+// a view is active, each subject appears in the list exactly once, and
+// a subject's freeze-time pairs — live pairs not journaled as
+// post-freeze insertions, plus journaled post-freeze removals — are a
+// time-invariant property, so evaluating each subject once, whenever
+// its chunk comes up, enumerates exactly the frozen state. Subjects
+// appended after the freeze evaluate to nothing.
+func (v *View) ForEachWithPredicate(p rdf.ID, f func(s, o rdf.ID) bool) {
+	str := v.st.stripeFor(p)
+	str.mu.RLock()
+	part, ok := str.parts[p]
+	str.mu.RUnlock()
+	if !ok {
+		return
+	}
+	buf := pairBufs.Get().(*[]pair)
+	defer putPairs(buf)
+	for i := 0; ; {
+		part.mu.RLock()
+		if part.born == v.epoch {
+			part.mu.RUnlock()
+			return
+		}
+		j := part.journal
+		if part.journalEpoch != v.epoch {
+			j = nil
+		}
+		out := (*buf)[:0]
+		for ; i < len(part.subjects) && len(out) < viewChunk; i++ {
+			sub := part.subjects[i]
+			js := j[sub] // nil when the subject has no journal entries
+			for o := range part.so[sub] {
+				if present, journaled := js[o]; journaled && !present {
+					continue // inserted after the freeze
+				}
+				out = append(out, pair{s: sub, o: o})
+			}
+			for o, present := range js {
+				if present {
+					out = append(out, pair{s: sub, o: o}) // removed after the freeze
+				}
+			}
+		}
+		done := i >= len(part.subjects)
+		part.mu.RUnlock()
+		*buf = out
+		for _, pr := range out {
+			if !f(pr.s, pr.o) {
+				return
+			}
+		}
+		if done {
+			return
+		}
+	}
+}
+
+// ForEach calls f for every freeze-time triple until f returns false,
+// grouped by predicate in ascending predicate order. f runs outside the
+// store's locks.
+func (v *View) ForEach(f func(rdf.Triple) bool) {
+	for _, p := range v.Predicates() {
+		stop := false
+		v.ForEachWithPredicate(p, func(s, o rdf.ID) bool {
+			if !f(rdf.Triple{S: s, P: p, O: o}) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop {
+			return
+		}
+	}
 }

@@ -1,0 +1,265 @@
+package store
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+// viewTriples collects a view's contents via ForEach.
+func viewTriples(v *View) []rdf.Triple {
+	var out []rdf.Triple
+	v.ForEach(func(t rdf.Triple) bool {
+		out = append(out, t)
+		return true
+	})
+	return out
+}
+
+func sortTriples(ts []rdf.Triple) {
+	sort.Slice(ts, func(i, j int) bool {
+		a, b := ts[i], ts[j]
+		if a.P != b.P {
+			return a.P < b.P
+		}
+		if a.S != b.S {
+			return a.S < b.S
+		}
+		return a.O < b.O
+	})
+}
+
+func sameTriples(t *testing.T, got, want []rdf.Triple, msg string) {
+	t.Helper()
+	sortTriples(got)
+	sortTriples(want)
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d triples %v, want %d %v", msg, len(got), got, len(want), want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: triple %d = %v, want %v", msg, i, got[i], want[i])
+		}
+	}
+}
+
+func TestViewIsStableUnderMutation(t *testing.T) {
+	st := New()
+	frozen := []rdf.Triple{tr(1, 2, 3), tr(4, 2, 5), tr(6, 7, 8), tr(9, 10, 11)}
+	for _, x := range frozen {
+		st.Add(x)
+	}
+	v := st.Freeze()
+	defer v.Release()
+
+	if v.Len() != len(frozen) {
+		t.Fatalf("view Len = %d, want %d", v.Len(), len(frozen))
+	}
+	sameTriples(t, viewTriples(v), frozen, "freshly frozen view")
+
+	// Mutate every which way: new triple in an existing partition, a new
+	// partition, removal of a frozen triple, removal of a post-freeze
+	// triple, re-add of a removed frozen triple, drain a partition.
+	st.Add(tr(12, 2, 13))    // new pair, existing partition
+	st.Add(tr(14, 15, 16))   // new partition born after the freeze
+	st.Remove(tr(1, 2, 3))   // frozen pair removed
+	st.Add(tr(17, 2, 18))    // another post-freeze pair...
+	st.Remove(tr(17, 2, 18)) // ...removed again (net zero)
+	st.Remove(tr(6, 7, 8))   // drains predicate 7 entirely
+	st.Add(tr(1, 2, 3))      // removed frozen pair comes back (net zero)
+	st.Remove(tr(9, 10, 11)) // frozen pair removed, stays gone
+
+	sameTriples(t, viewTriples(v), frozen, "view after heavy mutation")
+	if v.Len() != len(frozen) {
+		t.Fatalf("view Len after mutation = %d, want %d", v.Len(), len(frozen))
+	}
+
+	// Per-predicate accessors agree with the frozen state.
+	if n := v.PredicateLen(2); n != 2 {
+		t.Fatalf("PredicateLen(2) = %d, want 2", n)
+	}
+	if n := v.PredicateLen(7); n != 1 {
+		t.Fatalf("PredicateLen(7) = %d, want 1 (drained after freeze)", n)
+	}
+	if n := v.PredicateLen(15); n != 0 {
+		t.Fatalf("PredicateLen(15) = %d, want 0 (born after freeze)", n)
+	}
+	preds := v.Predicates()
+	wantPreds := []rdf.ID{2, 7, 10}
+	if len(preds) != len(wantPreds) {
+		t.Fatalf("Predicates = %v, want %v", preds, wantPreds)
+	}
+	for i := range wantPreds {
+		if preds[i] != wantPreds[i] {
+			t.Fatalf("Predicates = %v, want %v", preds, wantPreds)
+		}
+	}
+
+	// The live store meanwhile reflects the mutations.
+	if st.Contains(tr(9, 10, 11)) {
+		t.Fatal("removed triple still in live store")
+	}
+	if !st.Contains(tr(12, 2, 13)) {
+		t.Fatal("post-freeze triple missing from live store")
+	}
+}
+
+func TestViewReleaseRestoresNormalOperation(t *testing.T) {
+	st := New()
+	st.Add(tr(1, 2, 3))
+	st.Add(tr(4, 5, 6))
+	v := st.Freeze()
+	st.Remove(tr(4, 5, 6)) // drains predicate 5; pruning deferred
+	v.Release()
+	v.Release() // idempotent
+
+	// The drained partition was swept at Release.
+	if got := st.Predicates(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("Predicates after Release = %v, want [2]", got)
+	}
+
+	// A second freeze starts clean: the old journal must not leak in.
+	st.Add(tr(7, 2, 8))
+	v2 := st.Freeze()
+	defer v2.Release()
+	sameTriples(t, viewTriples(v2), []rdf.Triple{tr(1, 2, 3), tr(7, 2, 8)}, "second view")
+}
+
+func TestViewEmptyStore(t *testing.T) {
+	st := New()
+	v := st.Freeze()
+	defer v.Release()
+	if v.Len() != 0 || len(v.Predicates()) != 0 || len(viewTriples(v)) != 0 {
+		t.Fatalf("view of empty store not empty: len=%d preds=%v", v.Len(), v.Predicates())
+	}
+	st.Add(tr(1, 2, 3))
+	if len(viewTriples(v)) != 0 {
+		t.Fatal("post-freeze add leaked into the view of an empty store")
+	}
+}
+
+// TestViewConcurrentMutation hammers the store with concurrent adders
+// and removers while a view is repeatedly drained, checking under -race
+// that (a) iteration is safe and (b) the view's contents never change.
+func TestViewConcurrentMutation(t *testing.T) {
+	st := New()
+	var frozen []rdf.Triple
+	for i := 0; i < 2000; i++ {
+		x := tr(uint64(i%97), uint64(i%5), uint64(i))
+		if st.Add(x) {
+			frozen = append(frozen, x)
+		}
+	}
+	v := st.Freeze()
+	defer v.Release()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				x := tr(uint64(rng.Intn(200)), uint64(rng.Intn(8)), uint64(rng.Intn(4000)))
+				if rng.Intn(3) == 0 {
+					st.Remove(x)
+				} else {
+					st.Add(x)
+				}
+			}
+		}(int64(w))
+	}
+	for i := 0; i < 20; i++ {
+		sameTriples(t, viewTriples(v), frozen, "view under concurrent mutation")
+	}
+	close(stop)
+	wg.Wait()
+	sameTriples(t, viewTriples(v), frozen, "view after mutators stopped")
+}
+
+func TestFreezePanicsWhenViewActive(t *testing.T) {
+	st := New()
+	v := st.Freeze()
+	defer v.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Freeze did not panic")
+		}
+	}()
+	st.Freeze()
+}
+
+// TestReleaseCompactsDrainedSubjects pins the retract-churn memory fix:
+// subjects whose triples were all removed leave empty so entries (the
+// subject list relies on so-membership), and Release compacts both once
+// drained subjects dominate a partition.
+func TestReleaseCompactsDrainedSubjects(t *testing.T) {
+	st := New()
+	for i := 0; i < 100; i++ {
+		st.Add(tr(uint64(i), 7, 1))
+	}
+	// Drain most subjects while frozen: compaction is deferred to
+	// Release (the view still needs the entries), then runs there.
+	v := st.Freeze()
+	for i := 0; i < 90; i++ {
+		st.Remove(tr(uint64(i), 7, 1))
+	}
+	v.Release()
+	s := st.stripeFor(7)
+	s.mu.RLock()
+	p := s.parts[7]
+	s.mu.RUnlock()
+	p.mu.RLock()
+	subjects, soLen, drained := len(p.subjects), len(p.so), p.drained
+	p.mu.RUnlock()
+	if subjects != 10 || soLen != 10 || drained != 0 {
+		t.Fatalf("after Release compaction: %d subjects, %d so entries, drained=%d; want 10, 10, 0", subjects, soLen, drained)
+	}
+	// The survivors are intact and a drained subject can come back.
+	if !st.Contains(tr(95, 7, 1)) {
+		t.Fatal("survivor lost in compaction")
+	}
+	if !st.Add(tr(5, 7, 2)) {
+		t.Fatal("re-adding a compacted subject failed")
+	}
+	if got := st.PredicateLen(7); got != 11 {
+		t.Fatalf("PredicateLen = %d, want 11", got)
+	}
+}
+
+// TestRemoveCompactsWithoutViews pins the non-durable retraction
+// workload: a store that is never frozen must still bound drained
+// subject entries — Remove compacts once they dominate the partition.
+func TestRemoveCompactsWithoutViews(t *testing.T) {
+	st := New()
+	for i := 0; i < 1000; i++ {
+		st.Add(tr(uint64(i), 7, 1))
+	}
+	for i := 0; i < 990; i++ {
+		st.Remove(tr(uint64(i), 7, 1))
+	}
+	s := st.stripeFor(7)
+	s.mu.RLock()
+	p := s.parts[7]
+	s.mu.RUnlock()
+	p.mu.RLock()
+	subjects, soLen := len(p.subjects), len(p.so)
+	p.mu.RUnlock()
+	// The amortised threshold keeps drained entries under half the
+	// list, so churn cannot retain more than ~2x the live subjects.
+	if subjects > 25 || soLen > 25 {
+		t.Fatalf("drained subjects not compacted: %d subjects, %d so entries for 10 live", subjects, soLen)
+	}
+	if st.PredicateLen(7) != 10 {
+		t.Fatalf("PredicateLen = %d, want 10", st.PredicateLen(7))
+	}
+}

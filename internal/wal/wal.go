@@ -99,6 +99,7 @@ type Log struct {
 	liveSize  int64    // total bytes across live segments (incl. headers)
 	dirty     bool     // records exist that no checkpoint covers
 	ckptBytes int64    // on-disk size of the current checkpoint, 0 if none
+	appendSeq uint64   // successful appends this session, for checkpoint marks
 	replayed  bool
 	closed    bool
 	buf       []byte // scratch append buffer, reused across records
@@ -199,19 +200,30 @@ func (l *Log) loadManifest() error {
 
 // writeManifest commits m via write-to-temp-then-rename.
 func (l *Log) writeManifest(m manifest) error {
+	if err := commitManifestFile(l.dir, m); err != nil {
+		return err
+	}
+	l.man = m
+	return nil
+}
+
+// commitManifestFile durably writes m as dir's manifest: marshal, write
+// and fsync a temp file, rename it into place, fsync the directory. The
+// lock-free core shared by writeManifest and CommitCheckpoint — the
+// commit protocol must exist exactly once.
+func commitManifestFile(dir string, m manifest) error {
 	b, err := json.Marshal(m)
 	if err != nil {
 		return err
 	}
-	tmp := filepath.Join(l.dir, manifestName+".tmp")
+	tmp := filepath.Join(dir, manifestName+".tmp")
 	if err := writeFileSync(tmp, b); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, filepath.Join(l.dir, manifestName)); err != nil {
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
 		return err
 	}
-	l.man = m
-	syncDir(l.dir)
+	syncDir(dir)
 	return nil
 }
 
@@ -568,6 +580,7 @@ func (l *Log) Append(rec Record) error {
 			return err
 		}
 	}
+	l.appendSeq++
 	return nil
 }
 
@@ -575,9 +588,17 @@ func (l *Log) Append(rec Record) error {
 // return unless a new segment was installed: even a failed Close
 // releases the descriptor, and a dangling handle would make later
 // truncate-by-handle repairs silently no-ops.
+//
+// The closed segment is fsynced only under Options.Fsync: without it the
+// log promises process-crash survival only, which the page cache already
+// provides — and rolls happen inside the append lock (including the
+// checkpoint mark phase), where a multi-megabyte sync would stall every
+// writer for disk-flush time.
 func (l *Log) roll() error {
-	if err := l.cur.Sync(); err != nil {
-		return err
+	if l.opts.Fsync {
+		if err := l.cur.Sync(); err != nil {
+			return err
+		}
 	}
 	err := l.cur.Close()
 	l.cur = nil
@@ -624,53 +645,160 @@ func (l *Log) OpenCheckpoint() (snap, explicit io.ReadCloser, ok bool, err error
 	return s, e, true, nil
 }
 
-// WriteCheckpoint atomically installs a new checkpoint covering every
-// record appended so far: it rolls the live segment, streams the caller's
-// snapshot and explicit-set payloads to temp files, fsyncs and renames
-// them, commits the manifest, and deletes the covered segments and the
-// previous checkpoint. The caller must guarantee the payloads reflect at
-// least every record acknowledged before the call (in practice: the
-// store is quiescent and appends are blocked).
-func (l *Log) WriteCheckpoint(writeSnapshot, writeExplicit func(io.Writer) error) error {
+// CheckpointMark identifies the log position a two-phase checkpoint
+// covers: everything appended before BeginCheckpoint returned. It is
+// the handle threaded through WriteCheckpointPayloads and
+// CommitCheckpoint/AbortCheckpoint.
+type CheckpointMark struct {
+	gen       int    // generation the checkpoint installs as
+	covered   int    // highest segment index the checkpoint covers
+	appendSeq uint64 // append counter at mark time, for dirty accounting
+}
+
+// Gen returns the checkpoint generation the mark will install.
+func (m CheckpointMark) Gen() int { return m.gen }
+
+// BeginCheckpoint opens a two-phase checkpoint: it rolls the live
+// segment — an O(1) close-and-create, the only part that excludes
+// appends — and returns a mark covering every record appended so far.
+// The caller then streams the payloads (WriteCheckpointPayloads) while
+// appends continue into the fresh segment, and finally installs the
+// manifest with CommitCheckpoint. Only one checkpoint may be in flight
+// at a time; that is the caller's responsibility.
+func (l *Log) BeginCheckpoint() (CheckpointMark, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
-		return ErrClosed
+		return CheckpointMark{}, ErrClosed
 	}
 	// Roll so the covered set is exactly the segments before the new
 	// live one, ending on a record boundary.
 	covered := l.curIdx
 	if err := l.roll(); err != nil {
+		return CheckpointMark{}, err
+	}
+	return CheckpointMark{
+		gen:       l.man.Checkpoint + 1,
+		covered:   covered,
+		appendSeq: l.appendSeq,
+	}, nil
+}
+
+// WriteCheckpointPayloads streams the snapshot and explicit-set payloads
+// for the mark to their generation-named files (write-to-temp, fsync,
+// rename). It runs without the log's lock: the files are invisible to
+// recovery until CommitCheckpoint installs the manifest, and concurrent
+// appends proceed against the post-mark live segment. The payloads must
+// reflect exactly the records the mark covers.
+func (l *Log) WriteCheckpointPayloads(m CheckpointMark, writeSnapshot, writeExplicit func(io.Writer) error) error {
+	l.mu.Lock()
+	closed := l.closed
+	l.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if err := writeCheckpointFile(filepath.Join(l.dir, checkpointSnapshotName(m.gen)), writeSnapshot); err != nil {
 		return err
 	}
-	gen := l.man.Checkpoint + 1
-	if err := writeCheckpointFile(filepath.Join(l.dir, checkpointSnapshotName(gen)), writeSnapshot); err != nil {
-		return err
-	}
-	if err := writeCheckpointFile(filepath.Join(l.dir, checkpointExplicitName(gen)), writeExplicit); err != nil {
+	if err := writeCheckpointFile(filepath.Join(l.dir, checkpointExplicitName(m.gen)), writeExplicit); err != nil {
 		return err
 	}
 	syncDir(l.dir)
+	return nil
+}
+
+// CommitCheckpoint makes the mark's checkpoint the recovery point: it
+// commits the manifest referencing the new generation, then prunes the
+// covered segments and the previous generation's files. Records appended
+// after the mark stay in the live segments and remain replayable — the
+// checkpoint covers the log up to the mark, not up to the install.
+func (l *Log) CommitCheckpoint(m CheckpointMark) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	if m.gen != l.man.Checkpoint+1 {
+		l.mu.Unlock()
+		return fmt.Errorf("wal: stale checkpoint mark (generation %d, log at %d)", m.gen, l.man.Checkpoint)
+	}
 	oldGen := l.man.Checkpoint
 	oldFirst := l.man.FirstSegment
-	m := l.man
-	m.Checkpoint, m.FirstSegment = gen, covered+1
-	if err := l.writeManifest(m); err != nil {
+	mm := l.man
+	mm.Checkpoint, mm.FirstSegment = m.gen, m.covered+1
+	l.mu.Unlock()
+
+	// Write and fsync the manifest OUTSIDE the lock: the fsync forces a
+	// filesystem-journal commit, which on ordered-data filesystems also
+	// writes back the appends in flight — holding the lock across it
+	// would stall every writer for exactly the disk time the two-phase
+	// split exists to hide. Safe unlocked: checkpoints are serialized by
+	// the caller and nothing else rewrites the manifest mid-session.
+	if err := commitManifestFile(l.dir, mm); err != nil {
 		return err
 	}
+
+	var pruned int64
+	for idx := oldFirst; idx <= m.covered; idx++ {
+		if fi, err := os.Stat(filepath.Join(l.dir, segmentName(idx))); err == nil {
+			pruned += fi.Size()
+		}
+	}
+	l.mu.Lock()
+	l.man = mm
+	l.liveSize -= pruned
+	// Dirty exactly when records were appended after the mark: those live
+	// in the post-mark segments the new checkpoint does not cover.
+	l.dirty = l.appendSeq != m.appendSeq
+	l.ckptBytes = l.statCheckpoint(m.gen)
+	l.mu.Unlock()
+
 	// The manifest is the commit point; pruning is cleanup that the next
-	// Open would redo, so errors past this point are not fatal.
-	for idx := oldFirst; idx <= covered; idx++ {
+	// Open would redo, so errors here are not fatal — and it too runs
+	// outside the lock: unlinking megabytes of covered segments can
+	// stall in the filesystem journal, and appends must not wait behind
+	// that. The files are immutable and unreferenced by now, so nothing
+	// races.
+	for idx := oldFirst; idx <= m.covered; idx++ {
 		os.Remove(filepath.Join(l.dir, segmentName(idx)))
 	}
 	if oldGen != 0 {
 		os.Remove(filepath.Join(l.dir, checkpointSnapshotName(oldGen)))
 		os.Remove(filepath.Join(l.dir, checkpointExplicitName(oldGen)))
 	}
-	l.liveSize = l.curSize
-	l.dirty = false
-	l.ckptBytes = l.statCheckpoint(gen)
 	return nil
+}
+
+// AbortCheckpoint discards the payload files of a checkpoint that will
+// not be committed (stream failure, shutdown). Best-effort: anything it
+// misses is unreferenced by the manifest and swept by the next Open.
+func (l *Log) AbortCheckpoint(m CheckpointMark) {
+	l.mu.Lock()
+	committed := l.man.Checkpoint
+	l.mu.Unlock()
+	if m.gen == committed {
+		return
+	}
+	os.Remove(filepath.Join(l.dir, checkpointSnapshotName(m.gen)))
+	os.Remove(filepath.Join(l.dir, checkpointExplicitName(m.gen)))
+}
+
+// WriteCheckpoint atomically installs a new checkpoint covering every
+// record appended so far, composing the two-phase primitives
+// back-to-back. The caller must guarantee the payloads reflect at least
+// every record acknowledged before the call and that no appends land
+// between the mark and the payload capture (in practice: the store is
+// quiescent and appends are blocked).
+func (l *Log) WriteCheckpoint(writeSnapshot, writeExplicit func(io.Writer) error) error {
+	m, err := l.BeginCheckpoint()
+	if err != nil {
+		return err
+	}
+	if err := l.WriteCheckpointPayloads(m, writeSnapshot, writeExplicit); err != nil {
+		l.AbortCheckpoint(m)
+		return err
+	}
+	return l.CommitCheckpoint(m)
 }
 
 // CheckpointBytes returns the on-disk size of the current checkpoint (0
@@ -693,19 +821,49 @@ func (l *Log) Dirty() bool {
 	return l.dirty
 }
 
-// writeCheckpointFile streams write's output to path.tmp, fsyncs, and
-// renames it into place.
+// syncChunk bounds how much dirty checkpoint payload accumulates before
+// writeback of it is kicked off in the background. One store-sized
+// fsync at the end would force a single huge filesystem-journal commit,
+// and concurrent small writes — the log appends the two-phase
+// checkpoint exists to keep flowing — can stall behind it; streaming
+// the writeback keeps the final commit, and therefore the worst writer
+// stall, small.
+const syncChunk = 256 << 10
+
+// chunkSyncWriter starts asynchronous writeback every syncChunk bytes
+// written (see flushRange).
+type chunkSyncWriter struct {
+	f          *os.File
+	off, since int64
+}
+
+func (w *chunkSyncWriter) Write(p []byte) (int, error) {
+	n, err := w.f.Write(p)
+	w.since += int64(n)
+	if err == nil && w.since >= syncChunk {
+		flushRange(w.f, w.off, w.since)
+		w.off += w.since
+		w.since = 0
+	}
+	return n, err
+}
+
+// writeCheckpointFile streams write's output to path.tmp, fsyncs (with
+// writeback streamed along the way so the sync's journal commit stays
+// small), and renames it into place.
 func writeCheckpointFile(path string, write func(io.Writer) error) error {
 	tmp := path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o666)
 	if err != nil {
 		return err
 	}
-	if err := write(f); err != nil {
+	w := &chunkSyncWriter{f: f}
+	if err := write(w); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err
 	}
+	settleWriteback(f, w.off+w.since)
 	if err := f.Sync(); err != nil {
 		f.Close()
 		os.Remove(tmp)

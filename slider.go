@@ -163,9 +163,13 @@ type Reasoner struct {
 
 	// explicit tracks every asserted triple (the retraction axioms) when
 	// retraction support is enabled (WithRetraction or durability); nil
-	// otherwise.
+	// otherwise. It is a second triple store rather than a plain set so
+	// durable reasoners can freeze a consistent view of it for the
+	// checkpoint's explicit sidecar while asserts keep landing.
+	// explicitMu serializes its mutators — in particular it holds
+	// delete-and-rederive (Retract) exclusive against concurrent asserts.
 	explicitMu sync.Mutex
-	explicit   map[rdf.Triple]struct{}
+	explicit   *store.Store
 
 	// dur is the write-ahead-log state of a durable reasoner (Open or
 	// WithDurability); nil for in-memory reasoners. See durable.go.
@@ -218,9 +222,9 @@ func (r *Reasoner) Snapshot(w io.Writer) error {
 }
 
 func newReasoner(frag Fragment, dict *rdf.Dictionary, st *store.Store, cfg config) *Reasoner {
-	var explicit map[rdf.Triple]struct{}
+	var explicit *store.Store
 	if cfg.retraction {
-		explicit = make(map[rdf.Triple]struct{})
+		explicit = store.New()
 	}
 	return &Reasoner{
 		dict:     dict,
@@ -277,7 +281,7 @@ func (r *Reasoner) AddTriple(t Triple) bool {
 	fresh := r.engine.Add(t)
 	if r.explicit != nil {
 		r.explicitMu.Lock()
-		r.explicit[t] = struct{}{}
+		r.explicit.Add(t)
 		r.explicitMu.Unlock()
 	}
 	return fresh
@@ -345,9 +349,7 @@ func (r *Reasoner) applyAssert(ts []rdf.Triple) int {
 	fresh := r.engine.AddBatch(ts)
 	if r.explicit != nil && len(ts) > 0 {
 		r.explicitMu.Lock()
-		for _, t := range ts {
-			r.explicit[t] = struct{}{}
-		}
+		r.explicit.AddBatch(ts)
 		r.explicitMu.Unlock()
 	}
 	return len(fresh)
@@ -476,6 +478,20 @@ func (r *Reasoner) Wait(ctx context.Context) error {
 	if err := r.engine.Wait(ctx); err != nil {
 		return err
 	}
+	if err := r.engine.Err(); err != nil {
+		return err
+	}
+	return r.durErr()
+}
+
+// Err reports, without blocking on inference or I/O, the first failure
+// the reasoner has recorded: a rule panic, or — on durable reasoners —
+// a write-ahead-log or background-checkpoint failure. Background
+// checkpoints run off the caller's goroutines, so their failures would
+// otherwise surface only as a confusing sticky error on the *next*
+// write; poll Err (or check it after Wait) to see them as they happen.
+// Once non-nil the reasoner refuses further writes with the same error.
+func (r *Reasoner) Err() error {
 	if err := r.engine.Err(); err != nil {
 		return err
 	}

@@ -16,6 +16,10 @@
 //
 //	slider -data kb/ -in monday.nt -out none
 //	slider -data kb/ -in tuesday.nt -query 'SELECT ?s WHERE { ?s a <http://example.org/T> . }'
+//
+// SIGINT/SIGTERM abort the run but still close the knowledge base
+// gracefully (bounded at 30s), so everything acknowledged before the
+// signal is checkpointed; a second signal force-exits.
 package main
 
 import (
@@ -24,17 +28,35 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"text/tabwriter"
 	"time"
 
 	"repro"
+	"repro/internal/cmdutil"
 )
+
+// ctxReader aborts a streaming load when the context is cancelled, so a
+// SIGINT during a long ingest is noticed at the next read instead of
+// after the whole document.
+type ctxReader struct {
+	ctx context.Context
+	r   io.Reader
+}
+
+func (cr ctxReader) Read(p []byte) (int, error) {
+	if err := cr.ctx.Err(); err != nil {
+		return 0, err
+	}
+	return cr.r.Read(p)
+}
 
 func main() {
 	var (
-		fragName = flag.String("fragment", "rhodf", "fragment to reason with: rhodf | rdfs | rdfs-lite (no resource typing)")
+		fragName = flag.String("fragment", "rhodf", "fragment to reason with: rhodf | rdfs | rdfs-lite (no resource typing) | owl-horst")
 		in       = flag.String("in", "", "input file (default stdin)")
 		format   = flag.String("format", "auto", "input format: nt | ttl | auto (by file extension)")
 		out      = flag.String("out", "", "output N-Triples file for the closure (default stdout; use 'none' to skip)")
@@ -51,7 +73,7 @@ func main() {
 	)
 	flag.Parse()
 
-	frag, err := fragmentByName(*fragName)
+	frag, err := cmdutil.FragmentByName(*fragName)
 	if err != nil {
 		fatal(err)
 	}
@@ -86,6 +108,20 @@ func main() {
 	if *data != "" && !*quiet {
 		fmt.Fprintf(os.Stderr, "slider: durable KB at %s (%d triples recovered)\n", *data, recovered)
 	}
+	// SIGINT/SIGTERM interrupt the run but still close the knowledge
+	// base gracefully (bounded below), so a durable KB's close-time
+	// checkpoint is not skipped by a Ctrl-C. A second signal force-kills
+	// the process the default way (stop() restores default handling).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	interrupted := func(err error) {
+		stop()
+		fmt.Fprintf(os.Stderr, "slider: interrupted (%v); closing knowledge base...\n", err)
+		if cerr := cmdutil.CloseBounded(r, 30*time.Second); cerr != nil {
+			fatal(cerr)
+		}
+		os.Exit(130)
+	}
 	start := time.Now()
 	n := 0
 	// Input is read unless this is a snapshot-restore-only run: -data is
@@ -93,6 +129,7 @@ func main() {
 	// flags at all — silently discarding it would look like durable
 	// storage that never happened.
 	if *in != "" || *load == "" {
+		src = ctxReader{ctx: ctx, r: src}
 		useTurtle := *format == "ttl" ||
 			(*format == "auto" && (strings.HasSuffix(*in, ".ttl") || strings.HasSuffix(*in, ".turtle")))
 		if useTurtle {
@@ -101,10 +138,16 @@ func main() {
 			n, err = r.LoadNTriples(src)
 		}
 		if err != nil {
+			if ctx.Err() != nil {
+				interrupted(err)
+			}
 			fatal(err)
 		}
 	}
-	if err := r.Wait(context.Background()); err != nil {
+	if err := r.Wait(ctx); err != nil {
+		if ctx.Err() != nil {
+			interrupted(err)
+		}
 		fatal(err)
 	}
 	elapsed := time.Since(start)
@@ -212,18 +255,6 @@ func buildReasoner(frag slider.Fragment, load, data string, opts []slider.Option
 		return r, r.Len(), nil
 	}
 	return slider.New(frag, opts...), 0, nil
-}
-
-func fragmentByName(name string) (slider.Fragment, error) {
-	switch name {
-	case "rhodf", "rho-df", "rho":
-		return slider.RhoDF, nil
-	case "rdfs":
-		return slider.RDFS, nil
-	case "rdfs-lite":
-		return slider.RDFSNoResourceTyping, nil
-	}
-	return slider.Fragment{}, fmt.Errorf("slider: unknown fragment %q", name)
 }
 
 func printStats(s slider.Stats) {

@@ -5,22 +5,8 @@ import (
 	"testing"
 
 	"repro"
+	"repro/internal/cmdutil"
 )
-
-func TestFragmentByName(t *testing.T) {
-	for _, name := range []string{"rhodf", "rho-df", "rho", "rdfs", "rdfs-lite"} {
-		frag, err := fragmentByName(name)
-		if err != nil {
-			t.Errorf("fragmentByName(%q): %v", name, err)
-		}
-		if len(frag.Rules()) == 0 {
-			t.Errorf("fragmentByName(%q) returned empty fragment", name)
-		}
-	}
-	if _, err := fragmentByName("owl-full"); err == nil {
-		t.Error("unknown fragment accepted")
-	}
-}
 
 func TestBuildReasonerDataDir(t *testing.T) {
 	ctx := context.Background()
@@ -62,9 +48,9 @@ func TestBuildReasonerDataDir(t *testing.T) {
 }
 
 func TestFragmentRuleCounts(t *testing.T) {
-	rho, _ := fragmentByName("rhodf")
-	rdfs, _ := fragmentByName("rdfs")
-	lite, _ := fragmentByName("rdfs-lite")
+	rho, _ := cmdutil.FragmentByName("rhodf")
+	rdfs, _ := cmdutil.FragmentByName("rdfs")
+	lite, _ := cmdutil.FragmentByName("rdfs-lite")
 	if len(rho.Rules()) != 8 || len(rdfs.Rules()) != 14 || len(lite.Rules()) != 13 {
 		t.Fatalf("rule counts: %d %d %d", len(rho.Rules()), len(rdfs.Rules()), len(lite.Rules()))
 	}

@@ -12,6 +12,7 @@
 //	sliderbench -ingest                 # batch-ingest scaling, BENCH_ingest.json
 //	sliderbench -wal                    # durability tax + cold recovery, BENCH_wal.json
 //	sliderbench -checkpoint             # writer pause during capture, BENCH_checkpoint.json
+//	sliderbench -serve                  # HTTP QPS/latency under ingest, BENCH_serve.json
 package main
 
 import (
@@ -50,6 +51,12 @@ func main() {
 		ckptBench = flag.Bool("checkpoint", false, "measure writer pause during checkpoint capture (old blocking path vs two-phase streaming)")
 		ckptFacts = flag.Int("ckptfacts", 400_000, "explicit facts for -checkpoint (closure is ~2.5x)")
 		ckptOut   = flag.String("ckptout", "BENCH_checkpoint.json", "output path for the -checkpoint JSON report")
+
+		serve        = flag.Bool("serve", false, "measure the HTTP serving layer: QPS and query latency under concurrent ingest, and the writer-throughput cost of querying")
+		serveOut     = flag.String("serveout", "BENCH_serve.json", "output path for the -serve JSON report")
+		serveClients = flag.String("serveclients", "1,4,16", "comma-separated query-client counts for -serve")
+		serveWriters = flag.Int("servewriters", 4, "concurrent ingest writers for -serve")
+		serveCell    = flag.Duration("servecell", 3*time.Second, "measurement duration per -serve cell")
 	)
 	flag.Parse()
 
@@ -61,7 +68,7 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), *limit)
 	defer cancel()
 
-	if !*table1 && !*fig2 && !*fig3 && !*sweep && !*ingest && !*walBench && !*ckptBench {
+	if !*table1 && !*fig2 && !*fig3 && !*sweep && !*ingest && !*walBench && !*ckptBench && !*serve {
 		*table1 = true
 	}
 
@@ -140,6 +147,29 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println("wrote", *walOut)
+	}
+	if *serve {
+		clients, err := parseWorkerList(*serveClients)
+		if err != nil {
+			fatal(err)
+		}
+		rep, err := bench.ServeScaling(ctx, clients, *serveWriters, *batchSize, *serveCell, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		bench.WriteServeTable(os.Stdout, rep)
+		f, err := os.Create(*serveOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := bench.WriteServeJSON(f, rep); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *serveOut)
 	}
 	if *ckptBench {
 		rep, err := bench.CheckpointPause(ctx, *ckptFacts, cfg)

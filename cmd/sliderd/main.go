@@ -1,0 +1,156 @@
+// Command sliderd is the Slider serving daemon: it opens (or creates) a
+// durable knowledge base and serves it over HTTP — batch ingest with
+// write coalescing, snapshot-isolated streamed queries, retraction,
+// health and stats (see internal/server for the API).
+//
+// Usage:
+//
+//	sliderd -data kb/ -addr :8080
+//	sliderd -addr :8080 -fragment rdfs          # in-memory (no durability)
+//
+//	curl -X POST --data-binary @facts.nt localhost:8080/v1/insert
+//	curl -X POST -d 'SELECT ?s WHERE { ?s a <http://example.org/T> . } LIMIT 10' \
+//	     localhost:8080/v1/query
+//	curl -X POST --data-binary @gone.nt localhost:8080/v1/retract
+//	curl localhost:8080/healthz
+//
+// On SIGINT/SIGTERM the daemon drains: new requests get 503, admitted
+// requests finish (bounded by -drain-timeout), and the knowledge base is
+// closed cleanly — taking its close-time checkpoint — before exit. A
+// second signal forces immediate exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	slider "repro"
+	"repro/internal/cmdutil"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		data         = flag.String("data", "", "durable knowledge base directory (empty: in-memory, retraction still enabled)")
+		fragName     = flag.String("fragment", "rhodf", "fragment to reason with: rhodf | rdfs | rdfs-lite | owl-horst")
+		bufSize      = flag.Int("buffer", 0, "rule buffer size (0 = default)")
+		timeout      = flag.Duration("timeout", 0, "buffer inactivity timeout (0 = default)")
+		workers      = flag.Int("workers", 0, "thread pool size (0 = GOMAXPROCS)")
+		adaptive     = flag.Bool("adaptive", false, "enable adaptive buffer scheduling")
+		viewMaxAge   = flag.Duration("view-max-age", slider.DefaultViewMaxAge, "max staleness of the shared query snapshot")
+		maxInflight  = flag.Int("max-inflight", 64, "max concurrently admitted requests (admission control)")
+		maxBody      = flag.Int64("max-body", 8<<20, "max request body bytes")
+		maxResults   = flag.Int("max-results", 10000, "max rows streamed per query")
+		queryConc    = flag.Int("query-concurrency", 0, "max queries executing at once; excess queue (0 = GOMAXPROCS/2, negative = unlimited)")
+		queryTimeout = flag.Duration("query-timeout", 30*time.Second, "per-query wall-clock budget")
+		retractTO    = flag.Duration("retract-timeout", 5*time.Minute, "per-retraction delete-and-rederive budget (server-scoped: client disconnects cannot abort a running pass)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget (drain + close)")
+		quiet        = flag.Bool("q", false, "suppress startup/shutdown banners")
+	)
+	flag.Parse()
+
+	frag, err := cmdutil.FragmentByName(*fragName)
+	if err != nil {
+		fatal(err)
+	}
+	opts := []slider.Option{
+		slider.WithRetraction(),
+		slider.WithViewMaxAge(*viewMaxAge),
+	}
+	if *bufSize > 0 {
+		opts = append(opts, slider.WithBufferSize(*bufSize))
+	}
+	if *timeout > 0 {
+		opts = append(opts, slider.WithTimeout(*timeout))
+	}
+	if *workers > 0 {
+		opts = append(opts, slider.WithWorkers(*workers))
+	}
+	if *adaptive {
+		opts = append(opts, slider.WithAdaptiveScheduling())
+	}
+
+	var r *slider.Reasoner
+	if *data != "" {
+		r, err = slider.Open(*data, frag, opts...)
+		if err != nil {
+			fatal(err)
+		}
+		if err := r.Wait(context.Background()); err != nil {
+			fatal(err)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "sliderd: durable KB at %s (%d triples recovered, fragment %s)\n",
+				*data, r.Len(), frag.Name())
+		}
+	} else {
+		r = slider.New(frag, opts...)
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "sliderd: in-memory KB (fragment %s) — data is lost on exit\n", frag.Name())
+		}
+	}
+
+	srv := server.New(r, server.Config{
+		MaxInflight:      *maxInflight,
+		MaxBodyBytes:     *maxBody,
+		MaxResults:       *maxResults,
+		QueryTimeout:     *queryTimeout,
+		QueryConcurrency: *queryConc,
+		RetractTimeout:   *retractTO,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	// First SIGINT/SIGTERM starts the graceful drain; a second one (the
+	// context is restored by stop()) kills the process the default way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "sliderd: listening on %s\n", *addr)
+		}
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		r.Close(context.Background())
+		fatal(err)
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second ^C force-exits
+	if !*quiet {
+		fmt.Fprintln(os.Stderr, "sliderd: draining (send the signal again to force exit)")
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Stop admitting (server-level 503s) and let the tail finish, then
+	// stop the listener, then close the KB so the close-time checkpoint
+	// covers everything acknowledged.
+	if err := srv.Drain(shutdownCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "sliderd: drain: %v\n", err)
+	}
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "sliderd: http shutdown: %v\n", err)
+	}
+	if err := cmdutil.CloseBounded(r, *drainTimeout); err != nil {
+		fatal(fmt.Errorf("close: %w", err))
+	}
+	if !*quiet {
+		fmt.Fprintln(os.Stderr, "sliderd: clean shutdown")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sliderd:", err)
+	os.Exit(1)
+}

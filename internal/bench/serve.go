@@ -1,0 +1,278 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	slider "repro"
+	"repro/internal/server"
+)
+
+// ServePoint is one cell of the serving benchmark: writer throughput and
+// query latency with a given number of concurrent query clients hammering
+// the HTTP API while writers ingest continuously.
+type ServePoint struct {
+	// QueryClients is the number of concurrent query loops (0 = the
+	// writer-only baseline).
+	QueryClients int `json:"query_clients"`
+	// WriterRate is acknowledged ingest throughput in statements/second.
+	WriterRate float64 `json:"writer_stmts_per_sec"`
+	// WriterRegressPct is the writer-throughput regression vs the
+	// no-query baseline, in percent (negative = faster than baseline).
+	WriterRegressPct float64 `json:"writer_regress_pct"`
+	// QPS is completed queries per second across all clients.
+	QPS float64 `json:"qps"`
+	// P50MS / P99MS are query latency percentiles in milliseconds
+	// (full request: snapshot acquisition, join, streamed read).
+	P50MS float64 `json:"p50_ms"`
+	P99MS float64 `json:"p99_ms"`
+	// Queries and Statements are the raw cell totals.
+	Queries    int64 `json:"queries"`
+	Statements int64 `json:"statements"`
+}
+
+// ServeReport is the JSON document cmd/sliderbench -serve emits
+// (BENCH_serve.json): the serving layer's QPS/latency and its impact on
+// writer throughput, tracked per PR.
+type ServeReport struct {
+	Writers            int          `json:"writers"`
+	BatchSize          int          `json:"batch_size"`
+	CellMS             float64      `json:"cell_ms"`
+	Repeats            int          `json:"repeats"`
+	ChainDepth         int          `json:"chain_depth"`
+	BaselineWriterRate float64      `json:"baseline_writer_stmts_per_sec"`
+	GoMaxProcs         int          `json:"gomaxprocs"`
+	Results            []ServePoint `json:"results"`
+}
+
+// serveChainDepth is the subclass-chain depth seeded into each cell's
+// reasoner: every ingested member is typed at the chain's bottom, so
+// ingest exercises inference and queries have derived rows to return.
+const serveChainDepth = 5
+
+// ServeScaling measures the HTTP serving layer under concurrent ingest:
+// one writer-only baseline cell, then one cell per query-client count.
+// Each cell runs a fresh in-memory reasoner behind a real loopback HTTP
+// server for cellDur: `writers` goroutines POST batchSize-statement
+// N-Triples bodies to /v1/insert while N clients loop a LIMIT-bounded
+// SELECT against /v1/query.
+func ServeScaling(ctx context.Context, clientCounts []int, writers, batchSize int, cellDur time.Duration, cfg SliderConfig) (ServeReport, error) {
+	if len(clientCounts) == 0 {
+		clientCounts = []int{1, 4, 16}
+	}
+	if writers <= 0 {
+		writers = 4
+	}
+	if batchSize <= 0 {
+		batchSize = 256
+	}
+	if cellDur <= 0 {
+		cellDur = 3 * time.Second
+	}
+	repeats := cfg.Repeats
+	if repeats < 1 {
+		repeats = 3
+	}
+	rep := ServeReport{
+		Writers:    writers,
+		BatchSize:  batchSize,
+		CellMS:     float64(cellDur.Microseconds()) / 1000,
+		Repeats:    repeats,
+		ChainDepth: serveChainDepth,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	// Warm-up cell (untimed): pays first-connection and allocator costs.
+	if _, err := serveCell(ctx, 1, writers, batchSize, cellDur/4, cfg); err != nil {
+		return rep, err
+	}
+	// Each cell runs `repeats` times and reports the run with the best
+	// writer rate, the repo's "fastest is reported" convention —
+	// single-box noise would otherwise drown the writer-impact signal.
+	bestCell := func(queryClients int) (ServePoint, error) {
+		var best ServePoint
+		for i := 0; i < repeats; i++ {
+			if err := ctx.Err(); err != nil {
+				return best, err
+			}
+			p, err := serveCell(ctx, queryClients, writers, batchSize, cellDur, cfg)
+			if err != nil {
+				return best, err
+			}
+			if i == 0 || p.WriterRate > best.WriterRate {
+				best = p
+			}
+		}
+		return best, nil
+	}
+	base, err := bestCell(0)
+	if err != nil {
+		return rep, err
+	}
+	rep.BaselineWriterRate = base.WriterRate
+	rep.Results = append(rep.Results, base)
+	for _, qc := range clientCounts {
+		p, err := bestCell(qc)
+		if err != nil {
+			return rep, err
+		}
+		if base.WriterRate > 0 {
+			p.WriterRegressPct = (base.WriterRate - p.WriterRate) / base.WriterRate * 100
+		}
+		rep.Results = append(rep.Results, p)
+	}
+	return rep, nil
+}
+
+// serveCell runs one benchmark cell and reports its point.
+func serveCell(ctx context.Context, queryClients, writers, batchSize int, dur time.Duration, cfg SliderConfig) (ServePoint, error) {
+	var opts []slider.Option
+	if cfg.BufferSize > 0 {
+		opts = append(opts, slider.WithBufferSize(cfg.BufferSize))
+	}
+	if cfg.Timeout > 0 {
+		opts = append(opts, slider.WithTimeout(cfg.Timeout))
+	}
+	r := slider.New(slider.RhoDF, opts...)
+	defer r.Close(context.Background())
+	srv := server.New(r, server.Config{MaxInflight: writers + queryClients + 8})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        writers + queryClients + 8,
+		MaxIdleConnsPerHost: writers + queryClients + 8,
+	}}
+	defer client.CloseIdleConnections()
+
+	// Seed the subclass chain C0 ⊂ … ⊂ C<depth>.
+	var schema strings.Builder
+	for i := 0; i < serveChainDepth; i++ {
+		fmt.Fprintf(&schema, "<http://b/C%d> <%s> <http://b/C%d> .\n", i, slider.SubClassOf, i+1)
+	}
+	if err := servePost(client, ts.URL+"/v1/insert", schema.String()); err != nil {
+		return ServePoint{}, err
+	}
+
+	p := ServePoint{QueryClients: queryClients}
+	var acked, queries atomic.Int64
+	var latMu sync.Mutex
+	var lats []time.Duration
+	deadline := time.Now().Add(dur)
+	cellCtx, cancel := context.WithDeadline(ctx, deadline)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	errs := make([]error, writers+queryClients)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			var body strings.Builder
+			for seq := 0; cellCtx.Err() == nil; seq++ {
+				body.Reset()
+				for i := 0; i < batchSize; i++ {
+					fmt.Fprintf(&body, "<http://b/m%d_%d_%d> <%s> <http://b/C0> .\n",
+						slot, seq, i, slider.Type)
+				}
+				if err := servePost(client, ts.URL+"/v1/insert", body.String()); err != nil {
+					if cellCtx.Err() == nil {
+						errs[slot] = err
+					}
+					return
+				}
+				acked.Add(int64(batchSize))
+			}
+		}(w)
+	}
+	queryText := fmt.Sprintf("SELECT ?m WHERE { ?m a <http://b/C%d> . } LIMIT 50", serveChainDepth)
+	for q := 0; q < queryClients; q++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			for cellCtx.Err() == nil {
+				t0 := time.Now()
+				if err := servePost(client, ts.URL+"/v1/query", queryText); err != nil {
+					if cellCtx.Err() == nil {
+						errs[writers+slot] = err
+					}
+					return
+				}
+				lat := time.Since(t0)
+				queries.Add(1)
+				latMu.Lock()
+				lats = append(lats, lat)
+				latMu.Unlock()
+			}
+		}(q)
+	}
+	start := time.Now()
+	wg.Wait()
+	elapsed := time.Since(start)
+	if elapsed > dur {
+		elapsed = dur // goroutines stop at the deadline; clamp tail skew
+	}
+	for _, err := range errs {
+		if err != nil {
+			return p, err
+		}
+	}
+	p.Statements = acked.Load()
+	p.Queries = queries.Load()
+	if sec := elapsed.Seconds(); sec > 0 {
+		p.WriterRate = float64(p.Statements) / sec
+		p.QPS = float64(p.Queries) / sec
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		p.P50MS = float64(lats[len(lats)/2].Microseconds()) / 1000
+		i99 := len(lats) * 99 / 100
+		if i99 >= len(lats) {
+			i99 = len(lats) - 1
+		}
+		p.P99MS = float64(lats[i99].Microseconds()) / 1000
+	}
+	return p, nil
+}
+
+// servePost posts a body and drains the response, failing on non-2xx.
+func servePost(client *http.Client, url, body string) error {
+	resp, err := client.Post(url, "text/plain", strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("bench: %s: status %d: %s", url, resp.StatusCode, b)
+	}
+	return nil
+}
+
+// WriteServeJSON renders the report as indented JSON.
+func WriteServeJSON(w io.Writer, rep ServeReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// WriteServeTable renders the report as a human-readable table.
+func WriteServeTable(w io.Writer, rep ServeReport) {
+	fmt.Fprintf(w, "Serving under concurrent ingest (%d writers × %d-stmt batches, %.0fms cells, chain depth %d)\n",
+		rep.Writers, rep.BatchSize, rep.CellMS, rep.ChainDepth)
+	fmt.Fprintf(w, "%-8s | %16s | %10s | %10s | %10s | %10s\n",
+		"Clients", "Writer stmts/s", "Regress %", "QPS", "p50 (ms)", "p99 (ms)")
+	fmt.Fprintln(w, strings.Repeat("-", 78))
+	for _, p := range rep.Results {
+		fmt.Fprintf(w, "%-8d | %16.0f | %10.1f | %10.1f | %10.2f | %10.2f\n",
+			p.QueryClients, p.WriterRate, p.WriterRegressPct, p.QPS, p.P50MS, p.P99MS)
+	}
+}

@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+)
+
+// TestServeScalingSmoke is the CI tracking hook for the serving
+// benchmark: a miniature run of the same code path cmd/sliderbench
+// -serve uses — real loopback HTTP, concurrent writers and query clients
+// — so every PR exercises the serving layer under mixed load and the
+// report plumbing. The full-size numbers live in BENCH_serve.json.
+func TestServeScalingSmoke(t *testing.T) {
+	rep, err := ServeScaling(context.Background(), []int{1, 2}, 2, 64, 250*time.Millisecond, SliderConfig{Repeats: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 3 { // baseline + 2 client counts
+		t.Fatalf("got %d cells, want 3: %+v", len(rep.Results), rep)
+	}
+	base := rep.Results[0]
+	if base.QueryClients != 0 || base.Statements == 0 || base.WriterRate <= 0 {
+		t.Fatalf("baseline cell did not ingest: %+v", base)
+	}
+	for _, p := range rep.Results[1:] {
+		if p.Queries == 0 || p.QPS <= 0 {
+			t.Fatalf("query cell ran no queries: %+v", p)
+		}
+		if p.P50MS <= 0 || p.P99MS < p.P50MS {
+			t.Fatalf("latency percentiles inconsistent: %+v", p)
+		}
+		if p.Statements == 0 {
+			t.Fatalf("writers starved while querying: %+v", p)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteServeJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty JSON report")
+	}
+	WriteServeTable(&buf, rep)
+}

@@ -1,0 +1,45 @@
+// Package cmdutil holds the small helpers the slider commands share, so
+// cmd/slider and cmd/sliderd do not drift apart on fragment naming or
+// shutdown semantics.
+package cmdutil
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	slider "repro"
+)
+
+// FragmentByName resolves a CLI fragment name.
+func FragmentByName(name string) (slider.Fragment, error) {
+	switch name {
+	case "rhodf", "rho-df", "rho":
+		return slider.RhoDF, nil
+	case "rdfs":
+		return slider.RDFS, nil
+	case "rdfs-lite":
+		return slider.RDFSNoResourceTyping, nil
+	case "owl-horst":
+		return slider.OWLHorst, nil
+	}
+	return slider.Fragment{}, fmt.Errorf("unknown fragment %q (want rhodf | rdfs | rdfs-lite | owl-horst)", name)
+}
+
+// CloseBounded closes the reasoner but gives up after the bound: the
+// engine drains queued rule executions regardless of context, which for
+// a pathological inference backlog can take minutes — and with every
+// acknowledged batch already in the write-ahead log, exiting without the
+// close-time checkpoint is safe (the next open replays the log).
+func CloseBounded(r *slider.Reasoner, bound time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), bound)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- r.Close(ctx) }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(bound + 5*time.Second):
+		return fmt.Errorf("close timed out after %s; exiting without the close-time checkpoint (the log replays on next open)", bound)
+	}
+}

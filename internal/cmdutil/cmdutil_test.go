@@ -1,0 +1,38 @@
+package cmdutil
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	slider "repro"
+)
+
+func TestFragmentByName(t *testing.T) {
+	for _, name := range []string{"rhodf", "rho-df", "rho", "rdfs", "rdfs-lite", "owl-horst"} {
+		frag, err := FragmentByName(name)
+		if err != nil {
+			t.Errorf("FragmentByName(%q): %v", name, err)
+		}
+		if len(frag.Rules()) == 0 {
+			t.Errorf("FragmentByName(%q) returned empty fragment", name)
+		}
+	}
+	if _, err := FragmentByName("owl-full"); err == nil {
+		t.Error("unknown fragment accepted")
+	}
+}
+
+func TestCloseBounded(t *testing.T) {
+	r := slider.New(slider.RhoDF)
+	if err := CloseBounded(r, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Already-closed engines close again as no-ops; the helper must not
+	// hang or error on them.
+	r2 := slider.New(slider.RhoDF)
+	r2.Close(context.Background())
+	if err := CloseBounded(r2, time.Second); err != nil {
+		t.Fatal(err)
+	}
+}

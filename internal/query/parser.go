@@ -2,6 +2,7 @@ package query
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"unicode"
 
@@ -18,8 +19,9 @@ import (
 //
 // Supported syntax: `SELECT ?v … | SELECT *`, a WHERE block of triple
 // patterns terminated by `.`, variables (?name), IRIs in angle brackets,
-// the `a` keyword for rdf:type, plain/lang/typed literals, and the
-// built-in prefixes rdf:, rdfs:, owl: and xsd:.
+// the `a` keyword for rdf:type, plain/lang/typed literals, the built-in
+// prefixes rdf:, rdfs:, owl: and xsd:, and trailing `LIMIT n` / `OFFSET
+// n` solution modifiers (each at most once, in either order).
 func ParseSelect(text string) (Query, error) {
 	p := &qparser{src: text}
 	return p.parse()
@@ -85,14 +87,61 @@ func (p *qparser) parse() (Query, error) {
 		}
 		q.Patterns = append(q.Patterns, pat)
 	}
+	// Solution modifiers: LIMIT n / OFFSET n, each at most once, in
+	// either order (as in SPARQL 1.1's LimitOffsetClauses).
+	seenLimit, seenOffset := false, false
+	for {
+		switch {
+		case p.keyword("LIMIT"):
+			if seenLimit {
+				return q, p.errf("duplicate LIMIT")
+			}
+			seenLimit = true
+			n, err := p.integer("LIMIT")
+			if err != nil {
+				return q, err
+			}
+			q.Limit, q.HasLimit = n, true
+			continue
+		case p.keyword("OFFSET"):
+			if seenOffset {
+				return q, p.errf("duplicate OFFSET")
+			}
+			seenOffset = true
+			n, err := p.integer("OFFSET")
+			if err != nil {
+				return q, err
+			}
+			q.Offset = n
+			continue
+		}
+		break
+	}
 	p.skipWS()
 	if p.pos < len(p.src) {
-		return q, p.errf("trailing content after '}'")
+		return q, p.errf("trailing content after query")
 	}
 	if len(q.Patterns) == 0 {
 		return q, p.errf("empty WHERE block")
 	}
 	return q, nil
+}
+
+// integer parses a non-negative decimal integer operand of clause.
+func (p *qparser) integer(clause string) (int, error) {
+	p.skipWS()
+	start := p.pos
+	for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+		p.pos++
+	}
+	if p.pos == start {
+		return 0, p.errf("%s needs a non-negative integer", clause)
+	}
+	n, err := strconv.Atoi(p.src[start:p.pos])
+	if err != nil {
+		return 0, p.errf("%s value out of range", clause)
+	}
+	return n, nil
 }
 
 func (p *qparser) pattern() (Pattern, error) {

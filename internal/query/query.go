@@ -15,7 +15,6 @@ import (
 	"strings"
 
 	"repro/internal/rdf"
-	"repro/internal/store"
 )
 
 // Node is one position of a triple pattern: either a variable or a ground
@@ -70,6 +69,24 @@ func (p Pattern) Vars() []string {
 type Query struct {
 	Select   []string
 	Patterns []Pattern
+	// Limit caps the number of solutions when HasLimit is set (the
+	// SPARQL LIMIT clause; zero is legal and yields no solutions).
+	Limit    int
+	HasLimit bool
+	// Offset skips that many solutions before any are returned.
+	Offset int
+}
+
+// Source is the triple access a query evaluation needs. Both the live
+// *store.Store and a frozen *store.View implement it, so the same
+// executor serves ad-hoc queries and snapshot-isolated read sessions.
+type Source interface {
+	// PredicateLen reports how many triples carry the predicate; the
+	// planner uses it to order patterns by selectivity.
+	PredicateLen(p rdf.ID) int
+	// MatchEach streams every triple matching the pattern (rdf.Any
+	// wildcards) to f until f returns false.
+	MatchEach(pattern rdf.Triple, f func(rdf.Triple) bool)
 }
 
 // Vars returns the distinct variable names across all patterns, in first
@@ -91,19 +108,92 @@ func (q Query) Vars() []string {
 // Binding maps variable names to terms.
 type Binding map[string]rdf.Term
 
-// Execute evaluates the query against the store, resolving ground terms
-// through dict. Results are one Binding per solution, restricted to the
-// projection, in deterministic (sorted) order with duplicates removed.
-func Execute(st *store.Store, dict *rdf.Dictionary, q Query) ([]Binding, error) {
+// Execute evaluates the query against the source, resolving ground
+// terms through dict. Results are one Binding per solution, restricted
+// to the projection, in deterministic (sorted) order with duplicates
+// removed. LIMIT/OFFSET are applied after sorting, so the answer is the
+// deterministic k-th page; use ExecuteFunc when early termination
+// matters more than ordering.
+func Execute(src Source, dict *rdf.Dictionary, q Query) ([]Binding, error) {
+	results := map[string]Binding{}
+	err := enumerate(src, dict, q, func(key string, b Binding) bool {
+		results[key] = b
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]string, 0, len(results))
+	for k := range results {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if q.Offset > 0 {
+		if q.Offset >= len(keys) {
+			keys = nil
+		} else {
+			keys = keys[q.Offset:]
+		}
+	}
+	if q.HasLimit {
+		limit := q.Limit
+		if limit < 0 {
+			limit = 0
+		}
+		if limit < len(keys) {
+			keys = keys[:limit]
+		}
+	}
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	out := make([]Binding, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, results[k])
+	}
+	return out, nil
+}
+
+// ExecuteFunc evaluates the query and streams each distinct solution to
+// emit as it is found, in discovery (unspecified) order. Evaluation
+// stops as soon as emit returns false, OFFSET solutions have been
+// skipped and LIMIT solutions emitted, so bounded queries never
+// enumerate — let alone materialise — the full result set. Only the
+// deduplication set (one key per distinct solution seen, capped by
+// OFFSET+LIMIT when set) is held in memory. This is the executor behind
+// the serving layer's streamed bindings.
+func ExecuteFunc(src Source, dict *rdf.Dictionary, q Query, emit func(Binding) bool) error {
+	if q.HasLimit && q.Limit <= 0 {
+		// Nothing can be emitted; skip evaluation entirely.
+		return validate(q)
+	}
+	seen := map[string]struct{}{}
+	skipped, emitted := 0, 0
+	return enumerate(src, dict, q, func(key string, b Binding) bool {
+		if _, dup := seen[key]; dup {
+			return true
+		}
+		seen[key] = struct{}{}
+		if skipped < q.Offset {
+			skipped++
+			return true
+		}
+		if !emit(b) {
+			return false
+		}
+		emitted++
+		return !q.HasLimit || emitted < q.Limit
+	})
+}
+
+// validate checks the query's static shape: a non-empty BGP and a
+// projection restricted to variables the patterns use.
+func validate(q Query) error {
 	if len(q.Patterns) == 0 {
-		return nil, fmt.Errorf("query: empty basic graph pattern")
+		return fmt.Errorf("query: empty basic graph pattern")
 	}
 	allVars := q.Vars()
-	proj := q.Select
-	if len(proj) == 0 {
-		proj = allVars
-	}
-	for _, v := range proj {
+	for _, v := range q.Select {
 		found := false
 		for _, av := range allVars {
 			if v == av {
@@ -112,8 +202,22 @@ func Execute(st *store.Store, dict *rdf.Dictionary, q Query) ([]Binding, error) 
 			}
 		}
 		if !found {
-			return nil, fmt.Errorf("query: projected variable ?%s not used in any pattern", v)
+			return fmt.Errorf("query: projected variable ?%s not used in any pattern", v)
 		}
+	}
+	return nil
+}
+
+// enumerate runs the backtracking join and hands every complete
+// (possibly duplicate) solution to yield as (dedup key, binding), until
+// yield returns false.
+func enumerate(src Source, dict *rdf.Dictionary, q Query, yield func(key string, b Binding) bool) error {
+	if err := validate(q); err != nil {
+		return err
+	}
+	proj := q.Select
+	if len(proj) == 0 {
+		proj = q.Vars()
 	}
 
 	// Encode ground terms once. An unknown ground term means an empty
@@ -123,24 +227,23 @@ func Execute(st *store.Store, dict *rdf.Dictionary, q Query) ([]Binding, error) 
 		var ip idPattern
 		var ok bool
 		if ip.s, ip.sv, ok = encodeNode(dict, pat.S); !ok {
-			return nil, nil
+			return nil
 		}
 		if ip.p, ip.pv, ok = encodeNode(dict, pat.P); !ok {
-			return nil, nil
+			return nil
 		}
 		if ip.o, ip.ov, ok = encodeNode(dict, pat.O); !ok {
-			return nil, nil
+			return nil
 		}
 		enc[i] = ip
 	}
 
 	// Backtracking join over ID bindings.
-	results := map[string]Binding{}
 	binding := map[string]rdf.ID{}
-	order := planOrder(st, enc)
+	order := planOrder(src, enc)
 
-	var walk func(step int)
-	walk = func(step int) {
+	var walk func(step int) bool
+	walk = func(step int) bool {
 		if step == len(order) {
 			b := Binding{}
 			var key strings.Builder
@@ -150,8 +253,7 @@ func Execute(st *store.Store, dict *rdf.Dictionary, q Query) ([]Binding, error) 
 				key.WriteString(term.String())
 				key.WriteByte('|')
 			}
-			results[key.String()] = b
-			return
+			return yield(key.String(), b)
 		}
 		ip := enc[order[step]]
 		resolve := func(id rdf.ID, v string) rdf.ID {
@@ -166,7 +268,8 @@ func Execute(st *store.Store, dict *rdf.Dictionary, q Query) ([]Binding, error) 
 		s := resolve(ip.s, ip.sv)
 		p := resolve(ip.p, ip.pv)
 		o := resolve(ip.o, ip.ov)
-		for _, m := range st.Match(rdf.T(s, p, o)) {
+		cont := true
+		src.MatchEach(rdf.T(s, p, o), func(m rdf.Triple) bool {
 			var assigned []string
 			bind := func(v string, id rdf.ID) bool {
 				if v == "" {
@@ -180,27 +283,18 @@ func Execute(st *store.Store, dict *rdf.Dictionary, q Query) ([]Binding, error) 
 				return true
 			}
 			// Same variable twice in one pattern must agree.
-			ok := bind(ip.sv, m.S) && bind(ip.pv, m.P) && bind(ip.ov, m.O)
-			if ok {
-				walk(step + 1)
+			if bind(ip.sv, m.S) && bind(ip.pv, m.P) && bind(ip.ov, m.O) {
+				cont = walk(step + 1)
 			}
 			for _, v := range assigned {
 				delete(binding, v)
 			}
-		}
+			return cont
+		})
+		return cont
 	}
 	walk(0)
-
-	keys := make([]string, 0, len(results))
-	for k := range results {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	out := make([]Binding, 0, len(results))
-	for _, k := range keys {
-		out = append(out, results[k])
-	}
-	return out, nil
+	return nil
 }
 
 // encodeNode resolves a ground node through the dictionary. ok=false
@@ -226,7 +320,7 @@ type idPattern struct {
 // planOrder orders patterns greedily: most ground positions first,
 // breaking ties by smaller predicate extent; patterns sharing variables
 // with already-placed ones are preferred, keeping joins connected.
-func planOrder(st *store.Store, pats []idPattern) []int {
+func planOrder(src Source, pats []idPattern) []int {
 	remaining := map[int]bool{}
 	for i := range pats {
 		remaining[i] = true
@@ -243,7 +337,7 @@ func planOrder(st *store.Store, pats []idPattern) []int {
 		}
 		extent := 1 << 30
 		if ip.pv == "" && ip.p != rdf.Any {
-			extent = st.PredicateLen(ip.p)
+			extent = src.PredicateLen(ip.p)
 		}
 		return ground, extent
 	}

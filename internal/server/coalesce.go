@@ -1,0 +1,87 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+
+	slider "repro"
+)
+
+// coalescer merges concurrent insert requests into shared AddBatch
+// calls: while one flush is running against the reasoner, every arriving
+// request joins the next flight, so N concurrent clients cost one WAL
+// append and one engine routing pass per flush instead of N. This is the
+// serving layer's group commit.
+type coalescer struct {
+	r *slider.Reasoner
+
+	mu      sync.Mutex
+	next    *flight // accumulating flight; nil when none pending
+	running bool    // a flusher goroutine is draining flights
+
+	// flushes counts AddBatch calls issued; coalesced counts requests
+	// that shared their flush with at least one other.
+	flushes   atomic.Int64
+	coalesced atomic.Int64
+}
+
+// flight is one pending merged batch and the requests riding on it.
+type flight struct {
+	stmts []slider.Statement
+	reqs  int
+	done  chan struct{}
+	added int
+	err   error
+}
+
+func newCoalescer(r *slider.Reasoner) *coalescer {
+	return &coalescer{r: r}
+}
+
+// submit adds the statements to the pending flight and blocks until that
+// flight's AddBatch has been acknowledged (durably logged on a durable
+// reasoner). It returns the merged batch's fresh-triple count, how many
+// requests shared the flush, and the flush error, which poisons every
+// rider — by then the reasoner itself refuses writes, so no rider could
+// have succeeded alone.
+func (c *coalescer) submit(sts []slider.Statement) (added, merged int, err error) {
+	c.mu.Lock()
+	fl := c.next
+	if fl == nil {
+		fl = &flight{done: make(chan struct{})}
+		c.next = fl
+	}
+	fl.stmts = append(fl.stmts, sts...)
+	fl.reqs++
+	if !c.running {
+		c.running = true
+		go c.run()
+	}
+	c.mu.Unlock()
+	<-fl.done
+	return fl.added, fl.reqs, fl.err
+}
+
+// run drains flights until none is pending. Requests arriving while an
+// AddBatch is in progress accumulate into the next flight; once a flight
+// is taken off c.next no request can join it, so its fields are stable
+// when done closes.
+func (c *coalescer) run() {
+	for {
+		c.mu.Lock()
+		fl := c.next
+		c.next = nil
+		if fl == nil {
+			c.running = false
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Unlock()
+		fl.added, fl.err = c.r.AddBatch(fl.stmts)
+		c.flushes.Add(1)
+		if fl.reqs > 1 {
+			c.coalesced.Add(int64(fl.reqs))
+		}
+		close(fl.done)
+	}
+}

@@ -1,0 +1,410 @@
+// Package server is Slider's production HTTP serving subsystem: batch
+// ingest with write coalescing, snapshot-isolated streamed queries, and
+// incremental retraction over a single shared Reasoner.
+//
+//	POST /v1/insert   N-Triples (or Turtle) body → merged AddBatch
+//	POST /v1/query    SPARQL-like SELECT → streamed NDJSON bindings
+//	POST /v1/retract  N-Triples body → delete-and-rederive
+//	GET  /healthz     liveness + sticky-failure surface
+//	GET  /stats       engine, store and serving counters
+//
+// Queries execute against a read session (Reasoner.View): every answer
+// is computed over one consistent snapshot — the closure of an
+// acknowledged prefix of the writes — and a long scan never blocks
+// writers. Inserts are coalesced: concurrent requests merge into shared
+// AddBatch calls (one WAL append, one routing pass per flush). Admission
+// control bounds in-flight requests, answering 503 when the server is
+// overloaded or draining; Drain stops admission and waits for the tail.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	slider "repro"
+	"repro/internal/ntriples"
+	"repro/internal/query"
+	"repro/internal/turtle"
+)
+
+// Config tunes the server. Zero values take the defaults.
+type Config struct {
+	// MaxInflight bounds concurrently admitted /v1/* requests; further
+	// requests get 503 + Retry-After. Default 64.
+	MaxInflight int
+	// MaxBodyBytes caps a request body. Default 8 MiB.
+	MaxBodyBytes int64
+	// MaxResults caps the rows one query may stream, independent of its
+	// LIMIT clause; hitting it sets "truncated" on the result trailer.
+	// Default 10000.
+	MaxResults int
+	// QueryTimeout bounds a single query's wall clock, snapshot
+	// acquisition included. Default 30s.
+	QueryTimeout time.Duration
+	// QueryConcurrency bounds how many queries execute simultaneously;
+	// admitted queries beyond it queue (they do not 503). This is the
+	// ingest-protection knob: snapshot isolation keeps queries off the
+	// writers' locks, but on a saturated box they still compete for CPU
+	// — capping concurrent execution caps that share. Default
+	// max(1, GOMAXPROCS/2); negative = unlimited.
+	QueryConcurrency int
+	// RetractTimeout bounds one retraction's delete-and-rederive pass —
+	// an O(store) operation, hence a separate, generous budget (default
+	// 5m). The pass runs on a server-scoped context: on a durable KB a
+	// mid-DRed cancellation poisons the reasoner until restart, so a
+	// client disconnect must not be able to trigger one.
+	RetractTimeout time.Duration
+}
+
+func (c *Config) withDefaults() {
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 64
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxResults <= 0 {
+		c.MaxResults = 10000
+	}
+	if c.QueryTimeout <= 0 {
+		c.QueryTimeout = 30 * time.Second
+	}
+	if c.QueryConcurrency == 0 {
+		c.QueryConcurrency = runtime.GOMAXPROCS(0) / 2
+		if c.QueryConcurrency < 1 {
+			c.QueryConcurrency = 1
+		}
+	} else if c.QueryConcurrency < 0 {
+		c.QueryConcurrency = c.MaxInflight
+	}
+	if c.RetractTimeout <= 0 {
+		c.RetractTimeout = 5 * time.Minute
+	}
+}
+
+// Server serves one Reasoner over HTTP. Create with New, mount as an
+// http.Handler, and call Drain before closing the reasoner.
+type Server struct {
+	r    *slider.Reasoner
+	cfg  Config
+	mux  *http.ServeMux
+	coal *coalescer
+
+	inflight chan struct{}
+	querySem chan struct{}
+	draining atomic.Bool
+	wg       sync.WaitGroup
+
+	nRequests  atomic.Int64
+	nRejected  atomic.Int64
+	nInserted  atomic.Int64
+	nQueries   atomic.Int64
+	nRows      atomic.Int64
+	nRetracted atomic.Int64
+}
+
+// New builds a Server around the reasoner.
+func New(r *slider.Reasoner, cfg Config) *Server {
+	cfg.withDefaults()
+	s := &Server{
+		r:        r,
+		cfg:      cfg,
+		coal:     newCoalescer(r),
+		inflight: make(chan struct{}, cfg.MaxInflight),
+		querySem: make(chan struct{}, cfg.QueryConcurrency),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/insert", s.admit(s.handleInsert))
+	mux.HandleFunc("POST /v1/query", s.admit(s.handleQuery))
+	mux.HandleFunc("POST /v1/retract", s.admit(s.handleRetract))
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Drain stops admitting /v1/* requests (503 "draining") and waits,
+// bounded by ctx, for the admitted tail to finish — the graceful half of
+// shutdown. The caller then closes the reasoner.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// admit is the admission-control middleware: it bounds in-flight
+// requests, rejects early while draining, and tracks the tail for Drain.
+func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.nRequests.Add(1)
+		select {
+		case s.inflight <- struct{}{}:
+		default:
+			s.nRejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusServiceUnavailable, "overloaded: %d requests in flight", s.cfg.MaxInflight)
+			return
+		}
+		s.wg.Add(1)
+		defer func() {
+			s.wg.Done()
+			<-s.inflight
+		}()
+		// Checked after wg.Add so Drain's Wait covers every request that
+		// slipped past the flag.
+		if s.draining.Load() {
+			s.nRejected.Add(1)
+			httpError(w, http.StatusServiceUnavailable, "draining")
+			return
+		}
+		h(w, r)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// readStatements parses the request body as N-Triples (default) or
+// Turtle (Content-Type text/turtle, or ?format=ttl).
+func (s *Server) readStatements(r *http.Request) ([]slider.Statement, error) {
+	body := http.MaxBytesReader(nil, r.Body, s.cfg.MaxBodyBytes)
+	defer body.Close()
+	ct := r.Header.Get("Content-Type")
+	useTurtle := strings.HasPrefix(ct, "text/turtle") || r.URL.Query().Get("format") == "ttl"
+	var read func() (slider.Statement, error)
+	if useTurtle {
+		read = turtle.NewReader(body).Read
+	} else {
+		read = ntriples.NewReader(body).Read
+	}
+	var out []slider.Statement
+	for {
+		st, err := read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, st)
+	}
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	sts, err := s.readStatements(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "parse: %v", err)
+		return
+	}
+	if len(sts) == 0 {
+		writeJSON(w, http.StatusOK, map[string]any{"statements": 0, "merged_requests": 0})
+		return
+	}
+	// Validate here so one request's bad data cannot fail the merged
+	// flight it rides on.
+	for _, st := range sts {
+		if !st.Valid() {
+			httpError(w, http.StatusBadRequest, "invalid statement %v", st)
+			return
+		}
+	}
+	_, merged, err := s.coal.submit(sts)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "ingest: %v", err)
+		return
+	}
+	s.nInserted.Add(int64(len(sts)))
+	writeJSON(w, http.StatusOK, map[string]any{
+		"statements":      len(sts),
+		"merged_requests": merged,
+	})
+}
+
+// queryRequest is the optional JSON form of a query body; a plain-text
+// body is taken as the query itself.
+type queryRequest struct {
+	Query string `json:"query"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	text := string(body)
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
+		var qr queryRequest
+		if err := json.Unmarshal(body, &qr); err != nil {
+			httpError(w, http.StatusBadRequest, "bad JSON body: %v", err)
+			return
+		}
+		text = qr.Query
+	}
+	q, err := query.ParseSelect(text)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.nQueries.Add(1)
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueryTimeout)
+	defer cancel()
+	// Execution gate: queries beyond QueryConcurrency queue here instead
+	// of competing with ingest for CPU.
+	select {
+	case s.querySem <- struct{}{}:
+		defer func() { <-s.querySem }()
+	case <-ctx.Done():
+		httpError(w, http.StatusServiceUnavailable, "query queue: %v", ctx.Err())
+		return
+	}
+	view, err := s.r.View(ctx)
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, "snapshot: %v", err)
+		return
+	}
+	defer view.Close()
+
+	vars := q.Select
+	if len(vars) == 0 {
+		vars = q.Vars()
+	}
+	// Streamed NDJSON: a head line with the variables, one line per
+	// binding as it is found, and a trailer with counts — rows flow to
+	// the client while the join is still running.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	_ = enc.Encode(map[string]any{"vars": vars, "snapshot_triples": view.Len()})
+	rows, truncated := 0, false
+	err = view.SelectQueryFunc(q, func(b slider.Binding) bool {
+		if ctx.Err() != nil {
+			return false
+		}
+		row := make(map[string]string, len(b))
+		for v, term := range b {
+			row[v] = term.String()
+		}
+		if enc.Encode(row) != nil {
+			return false // client went away
+		}
+		rows++
+		if flusher != nil && rows%64 == 0 {
+			flusher.Flush()
+		}
+		if rows >= s.cfg.MaxResults {
+			truncated = true
+			return false
+		}
+		return true
+	})
+	s.nRows.Add(int64(rows))
+	trailer := map[string]any{"done": true, "rows": rows, "truncated": truncated}
+	if err != nil {
+		trailer["error"] = err.Error()
+	} else if cerr := ctx.Err(); cerr != nil {
+		trailer["error"] = cerr.Error()
+	}
+	_ = enc.Encode(trailer)
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+func (s *Server) handleRetract(w http.ResponseWriter, r *http.Request) {
+	sts, err := s.readStatements(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "parse: %v", err)
+		return
+	}
+	// Detached from the request: cancelling DRed mid-pass poisons a
+	// durable reasoner (and leaves an in-memory one half-retracted), so
+	// a client disconnect must not abort it. The server-scoped
+	// RetractTimeout is the only bound.
+	ctx, cancel := context.WithTimeout(context.WithoutCancel(r.Context()), s.cfg.RetractTimeout)
+	defer cancel()
+	stats, err := s.r.Retract(ctx, sts...)
+	if err != nil {
+		code := http.StatusInternalServerError
+		if strings.Contains(err.Error(), "retraction not enabled") {
+			code = http.StatusNotImplemented
+		}
+		httpError(w, code, "retract: %v", err)
+		return
+	}
+	s.nRetracted.Add(int64(stats.Retracted))
+	writeJSON(w, http.StatusOK, map[string]any{
+		"retracted":   stats.Retracted,
+		"overdeleted": stats.Overdeleted,
+		"rederived":   stats.Rederived,
+		"rounds":      stats.Rounds,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	switch {
+	case s.r.Err() != nil:
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "failed", "error": s.r.Err().Error(),
+		})
+	case s.draining.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "triples": s.r.Len()})
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	es := s.r.Stats()
+	ss := s.r.Store().Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"triples":    s.r.Len(),
+		"fragment":   s.r.Fragment().Name(),
+		"engine":     map[string]any{"inferred": es.Inferred, "duplicates": es.Duplicates},
+		"store":      map[string]any{"predicates": ss.Predicates, "max_partition": ss.MaxPartition},
+		"dictionary": s.r.Dictionary().Len(),
+		"server": map[string]any{
+			"requests":             s.nRequests.Load(),
+			"rejected":             s.nRejected.Load(),
+			"inserted_statements":  s.nInserted.Load(),
+			"insert_flushes":       s.coal.flushes.Load(),
+			"coalesced_requests":   s.coal.coalesced.Load(),
+			"queries":              s.nQueries.Load(),
+			"query_rows":           s.nRows.Load(),
+			"retracted_statements": s.nRetracted.Load(),
+			"inflight":             len(s.inflight),
+			"max_inflight":         s.cfg.MaxInflight,
+			"query_concurrency":    s.cfg.QueryConcurrency,
+			"draining":             s.draining.Load(),
+		},
+	})
+}

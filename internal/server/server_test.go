@@ -1,0 +1,319 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	slider "repro"
+)
+
+const exNS = "http://example.org/"
+
+// ntLine renders one all-IRI N-Triples statement.
+func ntLine(s, p, o string) string {
+	return fmt.Sprintf("<%s%s> <%s> <%s%s> .\n", exNS, s, p, exNS, o)
+}
+
+func typeIRI() string { return slider.Type }
+
+// newTestServer builds an in-memory retraction-enabled reasoner that
+// refreshes its read snapshot on every change (so tests see their own
+// writes immediately) behind an httptest server.
+func newTestServer(t *testing.T, cfg Config, opts ...slider.Option) (*Server, *httptest.Server, *slider.Reasoner) {
+	t.Helper()
+	opts = append([]slider.Option{slider.WithRetraction(), slider.WithViewMaxAge(-1)}, opts...)
+	r := slider.New(slider.RhoDF, opts...)
+	s := New(r, cfg)
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() {
+		ts.Close()
+		r.Close(context.Background())
+	})
+	return s, ts, r
+}
+
+func post(t *testing.T, url, contentType, body string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Post(url, contentType, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(b)
+}
+
+// queryRows posts a query and decodes the NDJSON response into the head,
+// binding rows and trailer.
+func queryRows(t *testing.T, url, q string) (head map[string]any, rows []map[string]string, trailer map[string]any) {
+	t.Helper()
+	resp, body := post(t, url+"/v1/query", "application/sparql-query", q)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d: %s", resp.StatusCode, body)
+	}
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("NDJSON response too short: %q", body)
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &head); err != nil {
+		t.Fatalf("head line: %v (%q)", err, lines[0])
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &trailer); err != nil {
+		t.Fatalf("trailer line: %v (%q)", err, lines[len(lines)-1])
+	}
+	for _, ln := range lines[1 : len(lines)-1] {
+		var row map[string]string
+		if err := json.Unmarshal([]byte(ln), &row); err != nil {
+			t.Fatalf("row line: %v (%q)", err, ln)
+		}
+		rows = append(rows, row)
+	}
+	return head, rows, trailer
+}
+
+func TestInsertQueryRetractEndToEnd(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+
+	// Insert a schema and members; inference closes over subClassOf.
+	doc := ntLine("Cat", slider.SubClassOf, "Animal") +
+		ntLine("felix", typeIRI(), "Cat") +
+		ntLine("tom", typeIRI(), "Cat")
+	resp, body := post(t, ts.URL+"/v1/insert", "application/n-triples", doc)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert status %d: %s", resp.StatusCode, body)
+	}
+	var ins map[string]any
+	if err := json.Unmarshal([]byte(body), &ins); err != nil {
+		t.Fatal(err)
+	}
+	if ins["statements"].(float64) != 3 {
+		t.Fatalf("insert ack %v, want 3 statements", ins)
+	}
+
+	// The closure is queryable: both cats are Animals.
+	head, rows, trailer := queryRows(t, ts.URL,
+		`SELECT ?x WHERE { ?x a <http://example.org/Animal> . }`)
+	if vars := head["vars"].([]any); len(vars) != 1 || vars[0] != "x" {
+		t.Fatalf("head vars = %v", head)
+	}
+	if len(rows) != 2 || trailer["rows"].(float64) != 2 || trailer["truncated"].(bool) {
+		t.Fatalf("query got %d rows, trailer %v", len(rows), trailer)
+	}
+
+	// LIMIT is honoured server-side.
+	_, rows, trailer = queryRows(t, ts.URL,
+		`SELECT ?x WHERE { ?x a <http://example.org/Animal> . } LIMIT 1`)
+	if len(rows) != 1 || trailer["rows"].(float64) != 1 {
+		t.Fatalf("LIMIT 1 got %d rows", len(rows))
+	}
+
+	// Retract felix: DRed removes the derived Animal typing too.
+	resp, body = post(t, ts.URL+"/v1/retract", "application/n-triples",
+		ntLine("felix", typeIRI(), "Cat"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("retract status %d: %s", resp.StatusCode, body)
+	}
+	var ret map[string]any
+	if err := json.Unmarshal([]byte(body), &ret); err != nil {
+		t.Fatal(err)
+	}
+	if ret["retracted"].(float64) != 1 {
+		t.Fatalf("retract ack %v", ret)
+	}
+	_, rows, _ = queryRows(t, ts.URL,
+		`SELECT ?x WHERE { ?x a <http://example.org/Animal> . }`)
+	if len(rows) != 1 || !strings.Contains(rows[0]["x"], "tom") {
+		t.Fatalf("after retract: %v", rows)
+	}
+}
+
+func TestInsertTurtle(t *testing.T) {
+	_, ts, r := newTestServer(t, Config{})
+	doc := `@prefix ex: <http://example.org/> .
+ex:a a ex:T ; ex:knows ex:b .`
+	resp, body := post(t, ts.URL+"/v1/insert", "text/turtle", doc)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("turtle insert status %d: %s", resp.StatusCode, body)
+	}
+	if err := r.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Contains(slider.NewStatement(
+		slider.IRI(exNS+"a"), slider.IRI(exNS+"knows"), slider.IRI(exNS+"b"))) {
+		t.Fatal("turtle statement missing")
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	if resp, _ := post(t, ts.URL+"/v1/insert", "application/n-triples", "not ntriples"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad insert: status %d", resp.StatusCode)
+	}
+	if resp, _ := post(t, ts.URL+"/v1/query", "text/plain", "SELECT nonsense"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad query: status %d", resp.StatusCode)
+	}
+	if resp, _ := post(t, ts.URL+"/v1/query", "application/json", `{"query": }`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON query: status %d", resp.StatusCode)
+	}
+}
+
+func TestRetractNotEnabled(t *testing.T) {
+	r := slider.New(slider.RhoDF) // no retraction
+	s := New(r, Config{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	defer r.Close(context.Background())
+	resp, _ := post(t, ts.URL+"/v1/retract", "application/n-triples",
+		ntLine("x", typeIRI(), "T"))
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("retract without retraction: status %d, want 501", resp.StatusCode)
+	}
+}
+
+func TestQueryMaxResultsTruncates(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{MaxResults: 5})
+	var doc strings.Builder
+	for i := 0; i < 20; i++ {
+		doc.WriteString(ntLine(fmt.Sprintf("m%d", i), typeIRI(), "T"))
+	}
+	if resp, b := post(t, ts.URL+"/v1/insert", "", doc.String()); resp.StatusCode != 200 {
+		t.Fatalf("insert: %d %s", resp.StatusCode, b)
+	}
+	_, rows, trailer := queryRows(t, ts.URL,
+		`SELECT ?x WHERE { ?x a <http://example.org/T> . }`)
+	if len(rows) != 5 || !trailer["truncated"].(bool) {
+		t.Fatalf("MaxResults: %d rows, trailer %v", len(rows), trailer)
+	}
+}
+
+func TestAdmissionControl(t *testing.T) {
+	s, ts, _ := newTestServer(t, Config{MaxInflight: 1})
+	// Occupy the only slot, then any /v1 request is rejected with 503.
+	s.inflight <- struct{}{}
+	resp, body := post(t, ts.URL+"/v1/insert", "", ntLine("a", typeIRI(), "T"))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overloaded insert: status %d (%s)", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	// healthz is not gated.
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("healthz while overloaded: %d", hr.StatusCode)
+	}
+	<-s.inflight
+	if resp, _ := post(t, ts.URL+"/v1/insert", "", ntLine("a", typeIRI(), "T")); resp.StatusCode != http.StatusOK {
+		t.Fatalf("after release: status %d", resp.StatusCode)
+	}
+}
+
+func TestDrain(t *testing.T) {
+	s, ts, _ := newTestServer(t, Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	resp, body := post(t, ts.URL+"/v1/insert", "", ntLine("a", typeIRI(), "T"))
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(body, "draining") {
+		t.Fatalf("post-drain insert: status %d body %s", resp.StatusCode, body)
+	}
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	if hr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining: %d", hr.StatusCode)
+	}
+}
+
+func TestStats(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	post(t, ts.URL+"/v1/insert", "", ntLine("a", typeIRI(), "T"))
+	queryRows(t, ts.URL, `SELECT ?x WHERE { ?x a <http://example.org/T> . }`)
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	srv := st["server"].(map[string]any)
+	if srv["requests"].(float64) < 2 || srv["inserted_statements"].(float64) != 1 || srv["queries"].(float64) != 1 {
+		t.Fatalf("stats: %v", srv)
+	}
+	if st["fragment"] != "rhodf" {
+		t.Fatalf("fragment: %v", st["fragment"])
+	}
+}
+
+// TestCoalescing pins the group-commit behaviour deterministically: with
+// the flusher marked busy, two concurrent submissions join the same
+// flight and are acknowledged by one AddBatch.
+func TestCoalescing(t *testing.T) {
+	r := slider.New(slider.RhoDF)
+	defer r.Close(context.Background())
+	c := newCoalescer(r)
+	c.mu.Lock()
+	c.running = true // pretend a flush is in progress
+	c.mu.Unlock()
+
+	type res struct {
+		merged int
+		err    error
+	}
+	results := make(chan res, 2)
+	submit := func(name string) {
+		_, merged, err := c.submit([]slider.Statement{slider.NewStatement(
+			slider.IRI(exNS+name), slider.IRI(typeIRI()), slider.IRI(exNS+"T"))})
+		results <- res{merged, err}
+	}
+	go submit("a")
+	go submit("b")
+	// Wait until both riders joined the pending flight, then run the
+	// flusher loop.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c.mu.Lock()
+		n := 0
+		if c.next != nil {
+			n = c.next.reqs
+		}
+		c.mu.Unlock()
+		if n == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("riders never joined the flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	go c.run()
+	for i := 0; i < 2; i++ {
+		r := <-results
+		if r.err != nil || r.merged != 2 {
+			t.Fatalf("rider %d: merged=%d err=%v", i, r.merged, r.err)
+		}
+	}
+	if c.flushes.Load() != 1 || c.coalesced.Load() != 2 {
+		t.Fatalf("flushes=%d coalesced=%d, want 1/2", c.flushes.Load(), c.coalesced.Load())
+	}
+}

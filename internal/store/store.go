@@ -71,82 +71,98 @@ type partition struct {
 	subjects []rdf.ID
 	drained  int
 
-	// born is the freeze epoch the partition was created under (0 when
-	// the store was unfrozen). A view skips partitions born during its
-	// own epoch: every pair in them postdates the freeze.
+	// born is the newest view epoch that had been issued when the
+	// partition was created (0 when no view was active). Epochs are
+	// monotonic, so a view of epoch e skips partitions with born >= e:
+	// every pair in them postdates that view's freeze.
 	born uint64
-	// journal compensates an active View for mutations made after its
-	// freeze: subject → object → whether the pair was present at freeze
-	// time. Only valid while journalEpoch matches the view's epoch;
-	// maintained under mu by the mutating paths, consulted under mu by
-	// the view. jAdded/jRemoved count the false/true entries so the
-	// frozen size is O(1).
-	journalEpoch     uint64
-	journal          map[rdf.ID]map[rdf.ID]bool
-	jAdded, jRemoved int
+	// journals compensates each active View for mutations made after its
+	// freeze: epoch → subject → object → whether the pair was present at
+	// that view's freeze time. Maintained under mu by the mutating paths,
+	// consulted under mu by the views; an epoch's entry is dropped when
+	// its view releases.
+	journals map[uint64]*pjournal
+}
+
+// pjournal is one view's compensation journal for one partition. added
+// and removed count the false/true entries so the frozen size is O(1).
+type pjournal struct {
+	m              map[rdf.ID]map[rdf.ID]bool
+	added, removed int
+}
+
+// sub returns the journaled objects of subject s; nil-safe so iteration
+// code can treat "no journal" and "no entries for s" alike.
+func (j *pjournal) sub(s rdf.ID) map[rdf.ID]bool {
+	if j == nil {
+		return nil
+	}
+	return j.m[s]
 }
 
 func newPartition(epoch uint64) *partition {
 	return &partition{so: make(map[rdf.ID]idSet), os: make(map[rdf.ID]idSet), born: epoch}
 }
 
-// journalFor returns the journal for epoch e, (re)initialising it when
-// the partition last journaled for an older view. Callers hold mu.
-func (p *partition) journalFor(e uint64) map[rdf.ID]map[rdf.ID]bool {
-	if p.journalEpoch != e {
-		p.journalEpoch = e
-		p.journal = make(map[rdf.ID]map[rdf.ID]bool, 8)
-		p.jAdded, p.jRemoved = 0, 0
+// journalFor returns the journal for epoch e, initialising it on first
+// use. Callers hold mu.
+func (p *partition) journalFor(e uint64) *pjournal {
+	j, ok := p.journals[e]
+	if !ok {
+		if p.journals == nil {
+			p.journals = make(map[uint64]*pjournal, 2)
+		}
+		j = &pjournal{m: make(map[rdf.ID]map[rdf.ID]bool, 8)}
+		p.journals[e] = j
 	}
-	return p.journal
+	return j
 }
 
 // noteAdd records, for the view frozen at epoch e, that (s,o) was
 // freshly inserted after the freeze. Callers hold mu and have checked
-// e != 0 && e != p.born.
+// p.born < e.
 func (p *partition) noteAdd(e uint64, s, o rdf.ID) {
 	j := p.journalFor(e)
-	js := j[s]
+	js := j.m[s]
 	if present, ok := js[o]; ok {
 		// present==true: the pair existed at freeze time, was removed,
 		// and is now back — net zero, drop the entry. present==false is
 		// impossible: such a pair is live, so its insert cannot be fresh.
 		if present {
 			delete(js, o)
-			p.jRemoved--
+			j.removed--
 		}
 		return
 	}
 	if js == nil {
 		js = make(map[rdf.ID]bool, 2)
-		j[s] = js
+		j.m[s] = js
 	}
 	js[o] = false // absent at freeze time
-	p.jAdded++
+	j.added++
 }
 
 // noteRemove records, for the view frozen at epoch e, that (s,o) was
-// removed after the freeze. Callers hold mu and have checked
-// e != 0 && e != p.born.
+// removed after the freeze. Callers hold mu and have checked p.born < e.
 func (p *partition) noteRemove(e uint64, s, o rdf.ID) {
 	j := p.journalFor(e)
-	js := j[s]
+	js := j.m[s]
 	if present, ok := js[o]; ok {
 		// present==false: added after the freeze, now gone again — net
 		// zero. present==true is impossible: such a pair is already
 		// absent, so there is nothing to remove.
 		if !present {
 			delete(js, o)
-			p.jAdded--
+			j.added--
 		}
 		return
 	}
 	if js == nil {
 		js = make(map[rdf.ID]bool, 2)
-		j[s] = js
+		j.m[s] = js
 	}
 	js[o] = true // present at freeze time
-	p.jRemoved++
+	j.removed++
 }
 
 // maybeCompact rebuilds the subject list and drops drained subjects'
@@ -174,12 +190,12 @@ func (p *partition) maybeCompact() {
 // frozenLen reports the partition's pair count at freeze time for the
 // view of epoch e. Callers hold mu (read side suffices).
 func (p *partition) frozenLen(e uint64) int {
-	if p.born == e {
+	if p.born >= e {
 		return 0
 	}
 	n := p.n
-	if p.journalEpoch == e {
-		n += p.jRemoved - p.jAdded
+	if j := p.journals[e]; j != nil {
+		n += j.removed - j.added
 	}
 	return n
 }
@@ -240,10 +256,18 @@ type Store struct {
 	stripes [numStripes]stripe
 	size    atomic.Int64
 
-	// frozen is the epoch of the active View (0 when none). Mutators
-	// load it inside the partition lock and journal their changes while
-	// it is set, so the view can reconstruct the freeze-time state.
-	frozen atomic.Uint64
+	// version counts content mutations (monotonic; bumped at least once
+	// per mutating call that changed anything). Readers use it as a
+	// cheap "has the store moved since I looked" check — the serving
+	// layer's shared-view cache keys its freshness on it.
+	version atomic.Uint64
+
+	// active is the sorted set of live View epochs (nil when none).
+	// Mutators load it inside the partition lock and journal their
+	// changes into every epoch that predates the partition, so each view
+	// can reconstruct its freeze-time state. The slice is immutable once
+	// published; Freeze/Release swap in fresh copies under freezeMu.
+	active atomic.Pointer[[]uint64]
 	// freezeMu serializes Freeze/Release; epochSeq (guarded by it) is
 	// the last epoch handed out and is never reused.
 	freezeMu sync.Mutex
@@ -267,6 +291,47 @@ func (st *Store) stripeFor(p rdf.ID) *stripe {
 	return &st.stripes[h>>(64-stripeBits)]
 }
 
+// Version returns the store's mutation counter. It advances on every
+// call that changed content; two equal readings with no mutation in
+// flight mean the store's contents are unchanged between them.
+func (st *Store) Version() uint64 { return st.version.Load() }
+
+// newestEpoch returns the newest active view epoch (0 when none) — the
+// born stamp for partitions created now.
+func (st *Store) newestEpoch() uint64 {
+	if eps := st.active.Load(); eps != nil && len(*eps) > 0 {
+		return (*eps)[len(*eps)-1]
+	}
+	return 0
+}
+
+// noteAddAll journals a fresh insertion into every active view the
+// partition predates. Callers hold the partition lock and pass the
+// epoch set loaded inside it.
+func noteAddAll(eps *[]uint64, p *partition, s, o rdf.ID) {
+	if eps == nil {
+		return
+	}
+	for _, e := range *eps {
+		if p.born < e {
+			p.noteAdd(e, s, o)
+		}
+	}
+}
+
+// noteRemoveAll journals a removal into every active view the partition
+// predates. Callers hold the partition lock.
+func noteRemoveAll(eps *[]uint64, p *partition, s, o rdf.ID) {
+	if eps == nil {
+		return
+	}
+	for _, e := range *eps {
+		if p.born < e {
+			p.noteRemove(e, s, o)
+		}
+	}
+}
+
 // Add inserts a triple and reports whether it was new. Duplicate inserts
 // are cheap no-ops.
 func (st *Store) Add(t rdf.Triple) bool {
@@ -280,9 +345,8 @@ func (st *Store) Add(t rdf.Triple) bool {
 		// lag behind a Clear that sums partition counts under the locks.
 		if fresh {
 			st.size.Add(1)
-			if e := st.frozen.Load(); e != 0 && e != p.born {
-				p.noteAdd(e, t.S, t.O)
-			}
+			st.version.Add(1)
+			noteAddAll(st.active.Load(), p, t.S, t.O)
 		}
 		p.mu.Unlock()
 		s.mu.RUnlock()
@@ -292,16 +356,15 @@ func (st *Store) Add(t rdf.Triple) bool {
 	s.mu.Lock()
 	p, ok = s.parts[t.P]
 	if !ok {
-		p = newPartition(st.frozen.Load())
+		p = newPartition(st.newestEpoch())
 		s.parts[t.P] = p
 	}
 	p.mu.Lock()
 	fresh := p.add(t.S, t.O)
 	if fresh {
 		st.size.Add(1)
-		if e := st.frozen.Load(); e != 0 && e != p.born {
-			p.noteAdd(e, t.S, t.O)
-		}
+		st.version.Add(1)
+		noteAddAll(st.active.Load(), p, t.S, t.O)
 	}
 	p.mu.Unlock()
 	s.mu.Unlock()
@@ -353,17 +416,18 @@ func (st *Store) addGroup(p rdf.ID, ts []rdf.Triple, idxs []int, fresh []bool) i
 	part, ok := s.parts[p]
 	if ok {
 		part.mu.Lock()
-		e := st.frozen.Load()
+		eps := st.active.Load()
 		for _, i := range idxs {
 			if part.add(ts[i].S, ts[i].O) {
 				fresh[i] = true
 				n++
-				if e != 0 && e != part.born {
-					part.noteAdd(e, ts[i].S, ts[i].O)
-				}
+				noteAddAll(eps, part, ts[i].S, ts[i].O)
 			}
 		}
-		st.size.Add(int64(n))
+		if n > 0 {
+			st.size.Add(int64(n))
+			st.version.Add(1)
+		}
 		part.mu.Unlock()
 		s.mu.RUnlock()
 		return n
@@ -372,21 +436,22 @@ func (st *Store) addGroup(p rdf.ID, ts []rdf.Triple, idxs []int, fresh []bool) i
 	s.mu.Lock()
 	part, ok = s.parts[p]
 	if !ok {
-		part = newPartition(st.frozen.Load())
+		part = newPartition(st.newestEpoch())
 		s.parts[p] = part
 	}
 	part.mu.Lock()
-	e := st.frozen.Load()
+	eps := st.active.Load()
 	for _, i := range idxs {
 		if part.add(ts[i].S, ts[i].O) {
 			fresh[i] = true
 			n++
-			if e != 0 && e != part.born {
-				part.noteAdd(e, ts[i].S, ts[i].O)
-			}
+			noteAddAll(eps, part, ts[i].S, ts[i].O)
 		}
 	}
-	st.size.Add(int64(n))
+	if n > 0 {
+		st.size.Add(int64(n))
+		st.version.Add(1)
+	}
 	part.mu.Unlock()
 	s.mu.Unlock()
 	return n
@@ -437,14 +502,14 @@ func (st *Store) Remove(t rdf.Triple) bool {
 	}
 	p.n--
 	st.size.Add(-1)
-	e := st.frozen.Load()
-	if e != 0 && e != p.born {
-		p.noteRemove(e, t.S, t.O)
-	}
+	st.version.Add(1)
+	eps := st.active.Load()
+	noteRemoveAll(eps, p, t.S, t.O)
 	// A drained partition is pruned — and drained subject entries are
-	// compacted — unless a View is active: the view may still need the
-	// partition's journal and so entries (Release sweeps instead).
-	if e == 0 {
+	// compacted — unless a View is active: views may still need the
+	// partition's journals and so entries (the last Release sweeps
+	// instead).
+	if eps == nil {
 		if p.n == 0 {
 			delete(s.parts, t.P)
 		} else {
@@ -757,9 +822,10 @@ func (st *Store) Snapshot() []rdf.Triple {
 // Clear removes all triples. It must not be called while a View is
 // active: wholesale partition replacement cannot be journaled.
 func (st *Store) Clear() {
-	if st.frozen.Load() != 0 {
+	if st.active.Load() != nil {
 		panic("store: Clear while a View is active")
 	}
+	st.version.Add(1)
 	for i := range st.stripes {
 		s := &st.stripes[i]
 		s.mu.Lock()
@@ -813,9 +879,11 @@ func (st *Store) Stats() Stats {
 //
 // A view is immutable: Predicates, PredicateLen and the iteration
 // methods return the same answers no matter how the store has moved on.
-// Call Release when done — it unfreezes the store, drops the journals
-// and prunes partitions that drained while frozen. At most one view can
-// be active per store.
+// Call Release when done — it drops the view's journals and, when it was
+// the last active view, prunes partitions that drained while frozen.
+// Any number of views may be active concurrently (each checkpoint and
+// each read session holds its own); every mutation journals one entry
+// per active view it affects, so keep the active set small.
 type View struct {
 	st    *Store
 	epoch uint64
@@ -826,38 +894,63 @@ type View struct {
 // must ensure no mutation is in flight during the call itself (mutations
 // strictly before or after are fine, and may continue immediately after
 // Freeze returns): a mutation racing the freeze lands on an unspecified
-// side of the boundary. Freeze panics if a view is already active.
+// side of the boundary.
 func (st *Store) Freeze() *View {
 	st.freezeMu.Lock()
 	defer st.freezeMu.Unlock()
-	if st.frozen.Load() != 0 {
-		panic("store: Freeze while another View is active")
-	}
 	st.epochSeq++
-	st.frozen.Store(st.epochSeq)
-	return &View{st: st, epoch: st.epochSeq, size: st.size.Load()}
+	e := st.epochSeq
+	eps := make([]uint64, 0, 2)
+	if old := st.active.Load(); old != nil {
+		eps = append(eps, *old...)
+	}
+	eps = append(eps, e) // ascending: epochSeq is monotonic
+	st.active.Store(&eps)
+	return &View{st: st, epoch: e, size: st.size.Load()}
 }
 
-// Release ends the view: the store stops journaling, journals are
-// dropped, and partitions that drained while the view was active are
-// pruned. Release is idempotent and only acts if this view is the
-// active one.
+// Release ends the view: the store stops journaling for its epoch and
+// the epoch's journals are dropped. The release of the last active view
+// additionally compacts drained subjects and prunes partitions that
+// drained while frozen. Release is idempotent.
 func (v *View) Release() {
 	st := v.st
 	st.freezeMu.Lock()
 	defer st.freezeMu.Unlock()
-	if st.frozen.Load() != v.epoch {
+	old := st.active.Load()
+	if old == nil {
 		return
 	}
-	st.frozen.Store(0)
+	eps := make([]uint64, 0, len(*old))
+	found := false
+	for _, e := range *old {
+		if e == v.epoch {
+			found = true
+			continue
+		}
+		eps = append(eps, e)
+	}
+	if !found {
+		return
+	}
+	last := len(eps) == 0
+	if last {
+		st.active.Store(nil)
+	} else {
+		st.active.Store(&eps)
+	}
 	for i := range st.stripes {
 		s := &st.stripes[i]
 		s.mu.Lock()
 		for id, p := range s.parts {
 			p.mu.Lock()
-			p.journal = nil
-			p.maybeCompact()
-			empty := p.n == 0
+			delete(p.journals, v.epoch)
+			empty := false
+			if last {
+				p.journals = nil
+				p.maybeCompact()
+				empty = p.n == 0
+			}
 			p.mu.Unlock()
 			if empty {
 				delete(s.parts, id)
@@ -942,18 +1035,15 @@ func (v *View) ForEachWithPredicate(p rdf.ID, f func(s, o rdf.ID) bool) {
 	defer putPairs(buf)
 	for i := 0; ; {
 		part.mu.RLock()
-		if part.born == v.epoch {
+		if part.born >= v.epoch {
 			part.mu.RUnlock()
 			return
 		}
-		j := part.journal
-		if part.journalEpoch != v.epoch {
-			j = nil
-		}
+		j := part.journals[v.epoch] // nil when nothing changed since the freeze
 		out := (*buf)[:0]
 		for ; i < len(part.subjects) && len(out) < viewChunk; i++ {
 			sub := part.subjects[i]
-			js := j[sub] // nil when the subject has no journal entries
+			js := j.sub(sub) // nil when the subject has no journal entries
 			for o := range part.so[sub] {
 				if present, journaled := js[o]; journaled && !present {
 					continue // inserted after the freeze
@@ -995,6 +1085,192 @@ func (v *View) ForEach(f func(rdf.Triple) bool) {
 		})
 		if stop {
 			return
+		}
+	}
+}
+
+// MatchEach streams every live triple matching the pattern (rdf.Any
+// wildcards) to f until f returns false, copying matches out under the
+// locks so f runs outside them. It is the streaming face of Match and
+// the Store half of the query engine's Source interface.
+func (st *Store) MatchEach(pattern rdf.Triple, f func(rdf.Triple) bool) {
+	for _, t := range st.Match(pattern) {
+		if !f(t) {
+			return
+		}
+	}
+}
+
+// Contains reports whether the triple was present at freeze time.
+func (v *View) Contains(t rdf.Triple) bool {
+	s := v.st.stripeFor(t.P)
+	s.mu.RLock()
+	part, ok := s.parts[t.P]
+	s.mu.RUnlock()
+	if !ok {
+		return false
+	}
+	part.mu.RLock()
+	defer part.mu.RUnlock()
+	return v.frozenContains(part, t.S, t.O)
+}
+
+// frozenContains answers Contains for one partition. Callers hold the
+// partition lock (read side suffices).
+func (v *View) frozenContains(part *partition, s, o rdf.ID) bool {
+	if part.born >= v.epoch {
+		return false
+	}
+	if js := part.journals[v.epoch].sub(s); js != nil {
+		if present, journaled := js[o]; journaled {
+			// present records the freeze-time truth for pairs that
+			// changed after the freeze.
+			return present
+		}
+	}
+	return part.contains(s, o)
+}
+
+// MatchEach streams every freeze-time triple matching the pattern
+// (rdf.Any wildcards) to f until f returns false. Matches are collected
+// under the partition lock — holds are bounded by the matched subject's
+// degree (or object's extent) plus the journal — and f runs outside it,
+// so queries against the view never block writers for longer than a
+// plain probe would. It is the View half of the query engine's Source
+// interface.
+func (v *View) MatchEach(pattern rdf.Triple, f func(rdf.Triple) bool) {
+	if pattern.P != rdf.Any {
+		v.matchPredicate(pattern.P, pattern.S, pattern.O, f)
+		return
+	}
+	for _, p := range v.Predicates() {
+		stop := false
+		v.matchPredicate(p, pattern.S, pattern.O, func(t rdf.Triple) bool {
+			if !f(t) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		if stop {
+			return
+		}
+	}
+}
+
+// matchPredicate streams the freeze-time matches within one predicate's
+// partition.
+func (v *View) matchPredicate(p, s, o rdf.ID, f func(rdf.Triple) bool) {
+	switch {
+	case s == rdf.Any && o == rdf.Any:
+		v.ForEachWithPredicate(p, func(s, o rdf.ID) bool {
+			return f(rdf.Triple{S: s, P: p, O: o})
+		})
+	case s != rdf.Any && o != rdf.Any:
+		if v.Contains(rdf.T(s, p, o)) {
+			f(rdf.Triple{S: s, P: p, O: o})
+		}
+	case o == rdf.Any: // s ground: one subject's objects, O(degree) hold
+		v.matchSubject(p, s, f)
+	default:
+		v.matchObject(p, o, f)
+	}
+}
+
+// matchSubject streams the frozen objects of one subject: live pairs not
+// journaled as post-freeze insertions, plus journaled post-freeze
+// removals. The lock hold is bounded by the subject's degree, as for a
+// live probe.
+func (v *View) matchSubject(p, s rdf.ID, f func(rdf.Triple) bool) {
+	str := v.st.stripeFor(p)
+	str.mu.RLock()
+	part, ok := str.parts[p]
+	str.mu.RUnlock()
+	if !ok {
+		return
+	}
+	buf := pairBufs.Get().(*[]pair)
+	defer putPairs(buf)
+	out := (*buf)[:0]
+	part.mu.RLock()
+	if part.born >= v.epoch {
+		part.mu.RUnlock()
+		return
+	}
+	js := part.journals[v.epoch].sub(s)
+	for obj := range part.so[s] {
+		if present, journaled := js[obj]; journaled && !present {
+			continue
+		}
+		out = append(out, pair{s: s, o: obj})
+	}
+	for obj, present := range js {
+		if present {
+			out = append(out, pair{s: s, o: obj})
+		}
+	}
+	part.mu.RUnlock()
+	*buf = out
+	for _, pr := range out {
+		if !f(rdf.Triple{S: pr.s, P: p, O: pr.o}) {
+			return
+		}
+	}
+}
+
+// matchObject streams the frozen subjects of one (predicate, object) —
+// potentially most of the store for a hub object like a popular type —
+// by walking the partition's insertion-ordered subject list in
+// viewChunk-bounded slices and probing each subject's freeze-time
+// membership in O(1). Writers never wait behind more than one chunk, and
+// an early-terminating consumer (a query LIMIT) stops the walk after its
+// first chunks instead of paying for the whole extent. The walk's
+// resumability argument is ForEachWithPredicate's: each subject's
+// freeze-time membership is time-invariant and the list only appends.
+func (v *View) matchObject(p, o rdf.ID, f func(rdf.Triple) bool) {
+	str := v.st.stripeFor(p)
+	str.mu.RLock()
+	part, ok := str.parts[p]
+	str.mu.RUnlock()
+	if !ok {
+		return
+	}
+	buf := pairBufs.Get().(*[]pair)
+	defer putPairs(buf)
+	// Chunks grow geometrically from a small start: an early-terminating
+	// consumer (a query LIMIT over a hub object) pays a few tiny holds on
+	// a partition writers are fighting for, while a full-extent scan
+	// amortises to viewChunk-sized rounds.
+	chunk := 256
+	for i := 0; ; {
+		part.mu.RLock()
+		if part.born >= v.epoch {
+			part.mu.RUnlock()
+			return
+		}
+		out := (*buf)[:0]
+		// Bound the scan, not the matches: a selective object must not
+		// turn one chunk into an unbounded hold.
+		for scanned := 0; i < len(part.subjects) && scanned < chunk; scanned++ {
+			sub := part.subjects[i]
+			i++
+			if v.frozenContains(part, sub, o) {
+				out = append(out, pair{s: sub, o: o})
+			}
+		}
+		done := i >= len(part.subjects)
+		part.mu.RUnlock()
+		*buf = out
+		for _, pr := range out {
+			if !f(rdf.Triple{S: pr.s, P: p, O: pr.o}) {
+				return
+			}
+		}
+		if done {
+			return
+		}
+		if chunk < viewChunk {
+			chunk *= 4
 		}
 	}
 }

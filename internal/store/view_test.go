@@ -186,16 +186,75 @@ func TestViewConcurrentMutation(t *testing.T) {
 	sameTriples(t, viewTriples(v), frozen, "view after mutators stopped")
 }
 
-func TestFreezePanicsWhenViewActive(t *testing.T) {
+// TestConcurrentViews pins the multi-view contract the serving layer
+// relies on: several views frozen at different times coexist, each
+// answering with its own freeze-time contents, and releasing one leaves
+// the others intact.
+func TestConcurrentViews(t *testing.T) {
 	st := New()
+	st.Add(tr(1, 2, 3))
+	v1 := st.Freeze()
+	st.Add(tr(4, 2, 5))
+	v2 := st.Freeze()
+	st.Remove(tr(1, 2, 3))
+	st.Add(tr(6, 7, 8)) // new partition: invisible to both views
+	v3 := st.Freeze()
+
+	sameTriples(t, viewTriples(v1), []rdf.Triple{tr(1, 2, 3)}, "v1")
+	sameTriples(t, viewTriples(v2), []rdf.Triple{tr(1, 2, 3), tr(4, 2, 5)}, "v2")
+	sameTriples(t, viewTriples(v3), []rdf.Triple{tr(4, 2, 5), tr(6, 7, 8)}, "v3")
+
+	// Releasing the middle view must not disturb the outer two.
+	v2.Release()
+	st.Add(tr(9, 2, 10))
+	sameTriples(t, viewTriples(v1), []rdf.Triple{tr(1, 2, 3)}, "v1 after v2 release")
+	sameTriples(t, viewTriples(v3), []rdf.Triple{tr(4, 2, 5), tr(6, 7, 8)}, "v3 after v2 release")
+	if !v3.Contains(tr(4, 2, 5)) || v3.Contains(tr(1, 2, 3)) || v3.Contains(tr(9, 2, 10)) {
+		t.Fatal("v3.Contains disagrees with freeze-time state")
+	}
+	v1.Release()
+	v3.Release()
+
+	// With every view gone the store returns to normal operation:
+	// drained partitions prune and live data is intact.
+	want := []rdf.Triple{tr(4, 2, 5), tr(6, 7, 8), tr(9, 2, 10)}
+	sameTriples(t, st.Snapshot(), want, "live store after all releases")
+	if st.active.Load() != nil {
+		t.Fatal("active epoch set not cleared after final release")
+	}
+}
+
+// TestViewMatchEach checks frozen pattern matching in every ground/wild
+// combination against a mutated-away store state.
+func TestViewMatchEach(t *testing.T) {
+	st := New()
+	frozen := []rdf.Triple{tr(1, 2, 3), tr(1, 2, 4), tr(5, 2, 3), tr(6, 7, 3)}
+	for _, x := range frozen {
+		st.Add(x)
+	}
 	v := st.Freeze()
 	defer v.Release()
-	defer func() {
-		if recover() == nil {
-			t.Fatal("second Freeze did not panic")
-		}
-	}()
-	st.Freeze()
+	st.Add(tr(1, 2, 9))    // post-freeze object of subject 1
+	st.Remove(tr(5, 2, 3)) // frozen pair removed
+	st.Add(tr(8, 2, 3))    // post-freeze subject of object 3
+	st.Remove(tr(6, 7, 3)) // drains predicate 7
+
+	collect := func(pat rdf.Triple) []rdf.Triple {
+		var out []rdf.Triple
+		v.MatchEach(pat, func(t rdf.Triple) bool { out = append(out, t); return true })
+		return out
+	}
+	sameTriples(t, collect(rdf.T(rdf.Any, rdf.Any, rdf.Any)), frozen, "full wildcard")
+	sameTriples(t, collect(rdf.T(1, 2, rdf.Any)), []rdf.Triple{tr(1, 2, 3), tr(1, 2, 4)}, "ground s")
+	sameTriples(t, collect(rdf.T(rdf.Any, 2, 3)), []rdf.Triple{tr(1, 2, 3), tr(5, 2, 3)}, "ground o")
+	sameTriples(t, collect(rdf.T(5, 2, 3)), []rdf.Triple{tr(5, 2, 3)}, "fully ground, removed after freeze")
+	sameTriples(t, collect(rdf.T(rdf.Any, 7, rdf.Any)), []rdf.Triple{tr(6, 7, 3)}, "drained predicate")
+	if got := collect(rdf.T(1, 2, 9)); got != nil {
+		t.Fatalf("post-freeze pair matched: %v", got)
+	}
+	if got := collect(rdf.T(8, 2, rdf.Any)); got != nil {
+		t.Fatalf("post-freeze subject matched: %v", got)
+	}
 }
 
 // TestReleaseCompactsDrainedSubjects pins the retract-churn memory fix:

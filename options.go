@@ -15,6 +15,7 @@ type config struct {
 	adaptive   bool
 	retraction bool
 	provenance bool
+	viewMaxAge time.Duration
 
 	// Durability (see durable.go).
 	durableDir      string
@@ -64,6 +65,15 @@ func WithRetraction() Option {
 // one map entry per triple.
 func WithProvenance() Option {
 	return func(c *config) { c.provenance = true }
+}
+
+// WithViewMaxAge bounds how stale the shared read-session snapshot may
+// get before Reasoner.View quiesces the engine and captures a fresh one
+// (default DefaultViewMaxAge). Smaller values mean fresher query answers
+// but more frequent brief writer pauses; a negative value refreshes on
+// every change.
+func WithViewMaxAge(d time.Duration) Option {
+	return func(c *config) { c.viewMaxAge = d }
 }
 
 // WithDurability makes the reasoner durable, rooted at dir: every

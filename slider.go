@@ -34,6 +34,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/maintenance"
 	"repro/internal/ntriples"
@@ -171,6 +172,23 @@ type Reasoner struct {
 	explicitMu sync.Mutex
 	explicit   *store.Store
 
+	// markMu gates mutation against snapshot capture for read sessions:
+	// every assert/retract path holds the read side while it hands data
+	// to the engine (or runs DRed), and View's refresh takes the write
+	// side — with the engine quiesced — so a freeze never splits a batch
+	// and every read session sees a closed, consistent prefix. It is
+	// taken after d.mu and before explicitMu wherever several are held.
+	markMu sync.RWMutex
+
+	// Shared read-session state (see view.go). viewMu guards the cached
+	// current view and the refreshing flag; refreshMu single-flights the
+	// quiesce-and-freeze.
+	viewMu     sync.Mutex
+	viewCur    *sharedView
+	refreshing bool
+	refreshMu  sync.Mutex
+	viewMaxAge time.Duration
+
 	// dur is the write-ahead-log state of a durable reasoner (Open or
 	// WithDurability); nil for in-memory reasoners. See durable.go.
 	dur *durability
@@ -226,10 +244,15 @@ func newReasoner(frag Fragment, dict *rdf.Dictionary, st *store.Store, cfg confi
 	if cfg.retraction {
 		explicit = store.New()
 	}
+	maxAge := cfg.viewMaxAge
+	if maxAge == 0 {
+		maxAge = DefaultViewMaxAge
+	}
 	return &Reasoner{
-		dict:     dict,
-		explicit: explicit,
-		store:    st,
+		dict:       dict,
+		explicit:   explicit,
+		store:      st,
+		viewMaxAge: maxAge,
 		engine: reasoner.New(st, frag.rules, reasoner.Config{
 			BufferSize:      cfg.bufferSize,
 			Timeout:         cfg.timeout,
@@ -278,6 +301,8 @@ func (r *Reasoner) AddTriple(t Triple) bool {
 		n, _ := r.addTriples([]rdf.Triple{t})
 		return n > 0
 	}
+	r.markMu.RLock()
+	defer r.markMu.RUnlock()
 	fresh := r.engine.Add(t)
 	if r.explicit != nil {
 		r.explicitMu.Lock()
@@ -346,6 +371,8 @@ func (r *Reasoner) addTriples(ts []rdf.Triple) (int, error) {
 // (replay after a crash would reproduce a different interleaving and
 // hence a different explicit set).
 func (r *Reasoner) applyAssert(ts []rdf.Triple) int {
+	r.markMu.RLock()
+	defer r.markMu.RUnlock()
 	fresh := r.engine.AddBatch(ts)
 	if r.explicit != nil && len(ts) > 0 {
 		r.explicitMu.Lock()
@@ -400,6 +427,28 @@ func (r *Reasoner) Retract(ctx context.Context, sts ...Statement) (RetractStats,
 				r.dur.setErr(err)
 				return RetractStats{}, err
 			}
+		}
+		// The whole delete-and-rederive pass is one mutation as far as
+		// read sessions are concerned: hold the mark gate so a View
+		// refresh never freezes a half-retracted store. d.mu (held
+		// above) already excludes concurrent appends for the pass, so
+		// the read side suffices. markMu before explicitMu, as in
+		// applyAssert.
+		r.markMu.RLock()
+		defer r.markMu.RUnlock()
+	} else {
+		// No d.mu on an in-memory reasoner, so the mark gate's write
+		// side is what excludes concurrent asserts: engine handoffs hold
+		// the read side, and the re-drain below (with them excluded)
+		// gives DRed the quiescent store maintenance.Retract requires —
+		// otherwise an overdeleted consequence whose alternative
+		// derivation was still inferring would be lost for good. It
+		// also keeps View refreshes from freezing a half-retracted
+		// store.
+		r.markMu.Lock()
+		defer r.markMu.Unlock()
+		if err := r.engine.Wait(ctx); err != nil {
+			return RetractStats{}, err
 		}
 	}
 	r.explicitMu.Lock()
@@ -504,6 +553,10 @@ func (r *Reasoner) Err() error {
 // log, so a clean shutdown recovers without replaying any tail. The
 // reasoner must not be used afterwards.
 func (r *Reasoner) Close(ctx context.Context) error {
+	// Drop the cached read-session view: open sessions keep their own
+	// references and stay readable (a frozen view is pure data), but the
+	// cache slot must not pin the store's journals past shutdown.
+	r.dropCachedView()
 	if r.dur == nil {
 		if err := r.engine.Close(ctx); err != nil {
 			return err

@@ -1,0 +1,205 @@
+// Read sessions: snapshot-isolated query handles over copy-on-write
+// store views.
+//
+// A View pins a consistent, fully-materialised state of the knowledge
+// base — the closure of every batch acknowledged before the snapshot was
+// taken — and answers queries against it no matter how far the live
+// store has moved on. Writers never wait on a running query: the store's
+// multi-view journaling (internal/store) compensates post-freeze
+// mutations, so the only writer-visible cost of an open session is one
+// journal entry per mutated pair.
+//
+// Capturing a fresh snapshot does require a safe point: the engine is
+// drained and the mark gate (Reasoner.markMu) briefly excludes writers,
+// exactly like a checkpoint's mark phase. To keep that cost off the
+// query path, sessions share snapshots: View() reuses the current one
+// when the store has not changed — or changed less than ViewMaxAge ago —
+// and only quiesces when the snapshot is both stale and old. Under a
+// steady mixed workload the refresh rate is bounded by ViewMaxAge, not
+// by query rate.
+package slider
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/query"
+	"repro/internal/store"
+)
+
+// DefaultViewMaxAge is how stale a shared read-session snapshot may get
+// before View() quiesces the engine and captures a fresh one.
+const DefaultViewMaxAge = 100 * time.Millisecond
+
+// sharedView is one reference-counted store snapshot handed out to (and
+// shared by) read sessions. The cache slot (Reasoner.viewCur) holds one
+// reference; every open View holds another.
+type sharedView struct {
+	sv      *store.View
+	version uint64 // store version at freeze
+	born    time.Time
+	refs    atomic.Int64
+}
+
+func (s *sharedView) unref() {
+	if s.refs.Add(-1) == 0 {
+		s.sv.Release()
+	}
+}
+
+// View is a read session: a consistent snapshot of the materialised
+// store at some acknowledged point, plus the dictionary to speak Terms.
+// All methods answer from the snapshot — concurrent writes are invisible
+// — and never block writers. Close the session when done; holding it
+// open keeps its snapshot's compensation journals alive.
+type View struct {
+	r      *Reasoner
+	shared *sharedView
+	closed atomic.Bool
+}
+
+// View returns a read session pinned to a consistent snapshot of the
+// knowledge base: the closure of every batch whose Add/AddBatch returned
+// before the snapshot was taken (batches acknowledged later are
+// invisible). Sessions are cheap — concurrent callers share one
+// underlying snapshot, refreshed at most every ViewMaxAge while the
+// store is changing — and a session never blocks writers. ctx bounds the
+// quiescence wait a refresh may need; the returned session must be
+// Closed.
+func (r *Reasoner) View(ctx context.Context) (*View, error) {
+	r.viewMu.Lock()
+	cur := r.viewCur
+	if cur != nil {
+		// Reuse when the snapshot is current (store unchanged), young
+		// enough, or a refresh is already in flight — only the claiming
+		// caller pays for a refresh; everyone else keeps being served
+		// from the previous snapshot, so writers see at most one drain
+		// per ViewMaxAge no matter the query rate.
+		if cur.version == r.store.Version() || time.Since(cur.born) < r.viewMaxAge || r.refreshing {
+			cur.refs.Add(1)
+			r.viewMu.Unlock()
+			return &View{r: r, shared: cur}, nil
+		}
+		r.refreshing = true
+		r.viewMu.Unlock()
+		v, err := r.refreshView(ctx)
+		r.viewMu.Lock()
+		r.refreshing = false
+		r.viewMu.Unlock()
+		return v, err
+	}
+	r.viewMu.Unlock()
+	// No snapshot yet: everyone has to wait for the first capture
+	// (refreshView single-flights via refreshMu and re-checks).
+	return r.refreshView(ctx)
+}
+
+// refreshView quiesces the engine, freezes a fresh snapshot and installs
+// it as the shared current one, returning a session on it. refreshMu
+// serializes captures; a caller that queued behind one reuses its result
+// when it is still current.
+func (r *Reasoner) refreshView(ctx context.Context) (*View, error) {
+	r.refreshMu.Lock()
+	defer r.refreshMu.Unlock()
+	r.viewMu.Lock()
+	if cur := r.viewCur; cur != nil && cur.version == r.store.Version() {
+		cur.refs.Add(1)
+		r.viewMu.Unlock()
+		return &View{r: r, shared: cur}, nil
+	}
+	r.viewMu.Unlock()
+	// Pre-drain without excluding writers, so the exclusive window below
+	// covers only the inference that arrived during the gap. Bounded:
+	// under sustained ingest the engine may never be spontaneously
+	// quiescent, and only the locked drain (which excludes writers, so
+	// it terminates) has to reach it.
+	predrain, cancel := context.WithTimeout(ctx, time.Second)
+	r.engine.Wait(predrain)
+	cancel()
+	r.markMu.Lock()
+	err := r.engine.Wait(ctx)
+	if err != nil {
+		r.markMu.Unlock()
+		return nil, err
+	}
+	sv := r.store.Freeze()
+	version := r.store.Version()
+	r.markMu.Unlock()
+	ns := &sharedView{sv: sv, version: version, born: time.Now()}
+	ns.refs.Store(2) // the cache slot + the returned session
+	r.viewMu.Lock()
+	old := r.viewCur
+	r.viewCur = ns
+	r.viewMu.Unlock()
+	if old != nil {
+		old.unref()
+	}
+	return &View{r: r, shared: ns}, nil
+}
+
+// dropCachedView releases the cache slot's reference (Reasoner.Close).
+func (r *Reasoner) dropCachedView() {
+	r.viewMu.Lock()
+	cur := r.viewCur
+	r.viewCur = nil
+	r.viewMu.Unlock()
+	if cur != nil {
+		cur.unref()
+	}
+}
+
+// Close releases the session. Idempotent; the underlying snapshot is
+// released once the last session sharing it closes and it is no longer
+// the cached current one.
+func (v *View) Close() {
+	if v.closed.CompareAndSwap(false, true) {
+		v.shared.unref()
+	}
+}
+
+// Len returns the number of triples (explicit plus inferred) in the
+// snapshot.
+func (v *View) Len() int { return v.shared.sv.Len() }
+
+// Contains reports whether the statement was present in the snapshot.
+func (v *View) Contains(st Statement) bool {
+	t, ok := v.r.lookup(st)
+	if !ok {
+		return false
+	}
+	return v.shared.sv.Contains(t)
+}
+
+// Select runs a SPARQL-like SELECT query (see Reasoner.Select) against
+// the snapshot, in deterministic sorted order.
+func (v *View) Select(text string) ([]Binding, error) {
+	q, err := query.ParseSelect(text)
+	if err != nil {
+		return nil, err
+	}
+	return query.Execute(v.shared.sv, v.r.dict, q)
+}
+
+// SelectQuery runs an already-built query against the snapshot.
+func (v *View) SelectQuery(q query.Query) ([]Binding, error) {
+	return query.Execute(v.shared.sv, v.r.dict, q)
+}
+
+// SelectFunc parses and runs a SELECT query against the snapshot,
+// streaming each distinct solution to emit as it is found (unspecified
+// order) and stopping early when emit returns false or the query's
+// LIMIT is reached — the result set is never materialised. This is the
+// executor behind the HTTP API's streamed bindings.
+func (v *View) SelectFunc(text string, emit func(Binding) bool) error {
+	q, err := query.ParseSelect(text)
+	if err != nil {
+		return err
+	}
+	return query.ExecuteFunc(v.shared.sv, v.r.dict, q, emit)
+}
+
+// SelectQueryFunc is SelectFunc for an already-built query.
+func (v *View) SelectQueryFunc(q query.Query, emit func(Binding) bool) error {
+	return query.ExecuteFunc(v.shared.sv, v.r.dict, q, emit)
+}

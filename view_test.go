@@ -1,0 +1,230 @@
+package slider
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestViewSnapshotIsolation pins the read-session guarantee: a session
+// answers from its freeze-time closure no matter what lands afterwards.
+func TestViewSnapshotIsolation(t *testing.T) {
+	ctx := context.Background()
+	r := New(RhoDF, WithViewMaxAge(-1)) // refresh on every change
+	defer r.Close(ctx)
+
+	mustAdd(t, r, NewStatement(ex("Cat"), IRI(SubClassOf), ex("Animal")))
+	mustAdd(t, r, NewStatement(ex("felix"), IRI(Type), ex("Cat")))
+	if err := r.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	v, err := r.View(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+
+	// The snapshot holds the closure: felix is an Animal.
+	if !v.Contains(NewStatement(ex("felix"), IRI(Type), ex("Animal"))) {
+		t.Fatal("inferred statement missing from view")
+	}
+	// New data is invisible to the open session but visible to a new one.
+	mustAdd(t, r, NewStatement(ex("tom"), IRI(Type), ex("Cat")))
+	if err := r.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if v.Contains(NewStatement(ex("tom"), IRI(Type), ex("Cat"))) {
+		t.Fatal("post-snapshot statement leaked into open session")
+	}
+	v2, err := r.View(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v2.Close()
+	if !v2.Contains(NewStatement(ex("tom"), IRI(Type), ex("Animal"))) {
+		t.Fatal("fresh session missing new closure")
+	}
+	if v.Len() >= v2.Len() {
+		t.Fatalf("session lengths not monotone: %d vs %d", v.Len(), v2.Len())
+	}
+}
+
+// TestViewSelectStreamsWithLimit exercises the streamed query path on a
+// session, including the parser's LIMIT clause.
+func TestViewSelectStreamsWithLimit(t *testing.T) {
+	ctx := context.Background()
+	r := New(RhoDF)
+	defer r.Close(ctx)
+	for i := 0; i < 20; i++ {
+		mustAdd(t, r, NewStatement(ex(fmt.Sprintf("p%02d", i)), IRI(Type), ex("Product")))
+	}
+	if err := r.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	v, err := r.View(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+	var rows []Binding
+	err = v.SelectFunc(
+		`SELECT ?x WHERE { ?x a <http://example.org/Product> . } LIMIT 5`,
+		func(b Binding) bool { rows = append(rows, b); return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("streamed %d rows, want 5", len(rows))
+	}
+	all, err := v.Select(`SELECT ?x WHERE { ?x a <http://example.org/Product> . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 20 {
+		t.Fatalf("Select returned %d rows, want 20", len(all))
+	}
+}
+
+// TestViewSharing pins the snapshot-sharing contract: with an unchanged
+// store, concurrent sessions share one underlying snapshot; a mutation
+// plus an expired max-age forces a refresh.
+func TestViewSharing(t *testing.T) {
+	ctx := context.Background()
+	r := New(RhoDF, WithViewMaxAge(time.Hour))
+	defer r.Close(ctx)
+	mustAdd(t, r, NewStatement(ex("a"), IRI(Type), ex("T")))
+	if err := r.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	v1, err := r.View(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := r.View(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.shared != v2.shared {
+		t.Fatal("unchanged store: sessions should share one snapshot")
+	}
+	v1.Close()
+	v1.Close() // idempotent
+	v2.Close()
+
+	// A store change with an unexpired max-age still reuses (bounded
+	// staleness is allowed)…
+	mustAdd(t, r, NewStatement(ex("b"), IRI(Type), ex("T")))
+	if err := r.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	v3, err := r.View(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v3.shared != v1.shared {
+		t.Fatal("young snapshot should be reused despite the change")
+	}
+	// …but an aged-out one refreshes.
+	r.viewMu.Lock()
+	r.viewCur.born = time.Now().Add(-2 * time.Hour)
+	r.viewMu.Unlock()
+	v4, err := r.View(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v4.shared == v3.shared {
+		t.Fatal("aged, stale snapshot was not refreshed")
+	}
+	if !v4.Contains(NewStatement(ex("b"), IRI(Type), ex("T"))) {
+		t.Fatal("refreshed snapshot missing the new statement")
+	}
+	v3.Close()
+	v4.Close()
+}
+
+// TestViewConcurrentWithIngest hammers ingest while read sessions open,
+// query and close, checking under -race that every session sees a
+// closed, consistent prefix: if a member's typing is visible, the whole
+// subclass chain's consequences for it are too.
+func TestViewConcurrentWithIngest(t *testing.T) {
+	ctx := context.Background()
+	r := New(RhoDF, WithViewMaxAge(time.Millisecond))
+	defer r.Close(ctx)
+	// Schema: C0 ⊂ C1 ⊂ … ⊂ C5.
+	for i := 0; i < 5; i++ {
+		mustAdd(t, r, NewStatement(ex(fmt.Sprintf("C%d", i)), IRI(SubClassOf), ex(fmt.Sprintf("C%d", i+1))))
+	}
+	if err := r.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	const writers, perWriter = 4, 120
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				st := NewStatement(ex(fmt.Sprintf("m%d_%d", w, i)), IRI(Type), ex("C0"))
+				if _, err := r.AddBatch([]Statement{st}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	querierDone := make(chan struct{})
+	go func() {
+		defer close(querierDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			v, err := r.View(ctx)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			// Consistency: any member typed C0 in the snapshot must have
+			// its full inferred chain in the same snapshot.
+			rows, err := v.Select(`SELECT ?m WHERE { ?m a <http://example.org/C0> . }`)
+			if err != nil {
+				t.Error(err)
+				v.Close()
+				return
+			}
+			for _, b := range rows {
+				if !v.Contains(NewStatement(b["m"], IRI(Type), ex("C5"))) {
+					t.Errorf("snapshot holds %v type C0 but not type C5: not a closure", b["m"])
+					v.Close()
+					return
+				}
+			}
+			v.Close()
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	<-querierDone
+
+	if err := r.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	v, err := r.View(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+	rows, err := v.Select(`SELECT ?m WHERE { ?m a <http://example.org/C5> . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != writers*perWriter {
+		t.Fatalf("final snapshot has %d members, want %d", len(rows), writers*perWriter)
+	}
+}

@@ -13,6 +13,7 @@
 //	sliderbench -wal                    # durability tax + cold recovery, BENCH_wal.json
 //	sliderbench -checkpoint             # writer pause during capture, BENCH_checkpoint.json
 //	sliderbench -serve                  # HTTP QPS/latency under ingest, BENCH_serve.json
+//	sliderbench -retract                # retraction stall vs store size, BENCH_retract.json
 package main
 
 import (
@@ -52,6 +53,12 @@ func main() {
 		ckptFacts = flag.Int("ckptfacts", 400_000, "explicit facts for -checkpoint (closure is ~2.5x)")
 		ckptOut   = flag.String("ckptout", "BENCH_checkpoint.json", "output path for the -checkpoint JSON report")
 
+		retractBench = flag.Bool("retract", false, "measure retraction latency and concurrent-writer stall vs store size: classic full rederive vs two-phase suspect-local DRed")
+		retractOut   = flag.String("retractout", "BENCH_retract.json", "output path for the -retract JSON report")
+		retractSizes = flag.String("retractsizes", "10000,100000,500000", "comma-separated explicit-fact counts for -retract")
+		retractBatch = flag.Int("retractbatch", 8, "explicit triples retracted per -retract pass (the fixed suspect-set knob)")
+		retractCell  = flag.Duration("retractcell", 3*time.Second, "measurement duration per -retract mode window")
+
 		serve        = flag.Bool("serve", false, "measure the HTTP serving layer: QPS and query latency under concurrent ingest, and the writer-throughput cost of querying")
 		serveOut     = flag.String("serveout", "BENCH_serve.json", "output path for the -serve JSON report")
 		serveClients = flag.String("serveclients", "1,4,16", "comma-separated query-client counts for -serve")
@@ -68,7 +75,7 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), *limit)
 	defer cancel()
 
-	if !*table1 && !*fig2 && !*fig3 && !*sweep && !*ingest && !*walBench && !*ckptBench && !*serve {
+	if !*table1 && !*fig2 && !*fig3 && !*sweep && !*ingest && !*walBench && !*ckptBench && !*serve && !*retractBench {
 		*table1 = true
 	}
 
@@ -170,6 +177,29 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println("wrote", *serveOut)
+	}
+	if *retractBench {
+		sizes, err := parseWorkerList(*retractSizes)
+		if err != nil {
+			fatal(err)
+		}
+		rep, err := bench.RetractPause(ctx, sizes, *retractBatch, *retractCell, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		bench.WriteRetractTable(os.Stdout, rep)
+		f, err := os.Create(*retractOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := bench.WriteRetractJSON(f, rep); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *retractOut)
 	}
 	if *ckptBench {
 		rep, err := bench.CheckpointPause(ctx, *ckptFacts, cfg)

@@ -51,7 +51,7 @@ func main() {
 		maxResults   = flag.Int("max-results", 10000, "max rows streamed per query")
 		queryConc    = flag.Int("query-concurrency", 0, "max queries executing at once; excess queue (0 = GOMAXPROCS/2, negative = unlimited)")
 		queryTimeout = flag.Duration("query-timeout", 30*time.Second, "per-query wall-clock budget")
-		retractTO    = flag.Duration("retract-timeout", 5*time.Minute, "per-retraction delete-and-rederive budget (server-scoped: client disconnects cannot abort a running pass)")
+		retractTO    = flag.Duration("retract-timeout", 5*time.Minute, "per-retraction delete-and-rederive budget (server-scoped: client disconnects cannot abort a running pass; a timeout mid-analysis leaves the KB untouched)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget (drain + close)")
 		quiet        = flag.Bool("q", false, "suppress startup/shutdown banners")
 	)

@@ -104,7 +104,7 @@ func ExampleCustomFragment() {
 	var knows slider.ID
 	mirror := &slider.CustomRule{
 		RuleName: "mirror-knows",
-		Fn: func(_ *slider.Store, delta []slider.Triple, emit func(slider.Triple)) {
+		Fn: func(_ slider.Source, delta []slider.Triple, emit func(slider.Triple)) {
 			for _, t := range delta {
 				if t.P == knows {
 					emit(slider.Triple{S: t.O, P: t.P, O: t.S})

@@ -11,7 +11,6 @@ import (
 	"log"
 
 	"repro"
-	"repro/internal/store"
 )
 
 const (
@@ -28,7 +27,7 @@ func main() {
 	symmetric := &slider.CustomRule{
 		RuleName: "prp-symp",
 		Out:      nil, // output predicate is data-dependent
-		Fn: func(st *store.Store, delta []slider.Triple, emit func(slider.Triple)) {
+		Fn: func(st slider.Source, delta []slider.Triple, emit func(slider.Triple)) {
 			symProp := dict["SymmetricProperty"]
 			typeID := dict["type"]
 			for _, t := range delta {
@@ -50,7 +49,7 @@ func main() {
 	// prp-inv: (p inverseOf q), (x p y) → (y q x) and symmetrically.
 	inverse := &slider.CustomRule{
 		RuleName: "prp-inv",
-		Fn: func(st *store.Store, delta []slider.Triple, emit func(slider.Triple)) {
+		Fn: func(st slider.Source, delta []slider.Triple, emit func(slider.Triple)) {
 			invID := dict["inverseOf"]
 			for _, t := range delta {
 				if t.P == invID {

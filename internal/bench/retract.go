@@ -1,0 +1,324 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	slider "repro"
+)
+
+// RetractReport is the JSON document cmd/sliderbench -retract emits
+// (BENCH_retract.json): what a fixed-size retraction costs, and costs
+// the writers, as the store grows. Every cell retracts the same number
+// of explicit triples (with a bounded consequence set) from stores of
+// increasing size, once on the classic full-rederive path
+// (WithFullRetract — the pre-suspect-local behaviour, the "before") and
+// once on the two-phase suspect-local path (the "after"), so the
+// comparison is baked into the report. On the full path both the
+// retraction latency and the concurrent-writer stall grow with the
+// store; on the suspect-local path they track the suspect set.
+type RetractReport struct {
+	GoMaxProcs int `json:"gomaxprocs"`
+	// BufferTimeoutMS is the rule-buffer timeout the run used: phase
+	// boundaries drain inference, so observable pauses floor at it.
+	BufferTimeoutMS float64 `json:"buffer_timeout_ms"`
+	// RetractBatch is how many explicit triples each pass retracts; the
+	// suspect set is a small constant factor of it, independent of the
+	// store size.
+	RetractBatch int           `json:"retract_batch"`
+	Cells        []RetractCell `json:"cells"`
+}
+
+// RetractCell is one store size × {full, two-phase} comparison.
+type RetractCell struct {
+	Facts   int `json:"facts"`   // explicit facts ingested
+	Triples int `json:"triples"` // materialised store size
+
+	// Baseline is writer-observed AddBatch latency with no retraction
+	// running — scheduler and inference noise over the same wall time.
+	Baseline PauseStats `json:"baseline"`
+
+	Full     RetractModeStats `json:"full"`      // before: full-store rederive under the ingest gate
+	TwoPhase RetractModeStats `json:"two_phase"` // after: suspect-local over a frozen view
+}
+
+// RetractModeStats summarises one mode's measurement window: the
+// retraction passes it completed and the AddBatch stalls paced writers
+// observed while they ran.
+type RetractModeStats struct {
+	Passes int `json:"passes"`
+	// Retract-call latency (retraction + the quiescence it rides on).
+	RetractMeanMS float64 `json:"retract_mean_ms"`
+	RetractMaxMS  float64 `json:"retract_max_ms"`
+	// Exclusive window inside the pass, from RetractStats: how long
+	// writers were actually excluded for validate-and-apply.
+	ExclusiveMeanUS int64 `json:"exclusive_mean_us"`
+	ExclusiveMaxUS  int64 `json:"exclusive_max_us"`
+	// Suspect-set shape of the last pass (identical across passes).
+	Suspects  int `json:"suspects"`
+	Rederived int `json:"rederived"`
+	// Writer-observed AddBatch latencies while retractions ran.
+	Writer PauseStats `json:"writer"`
+}
+
+// retractClasses is the depth of the subclass chain the benchmark's
+// schema uses: each retracted (x type C0) drags a chain-deep suspect
+// set with it, fixed regardless of store size.
+const retractClasses = 4
+
+// retractStatements synthesises the cell's explicit facts: a subclass
+// chain plus typed subjects. Retracting an (x type C0) assertion
+// suspects exactly its derived chain types — a constant-size suspect
+// set per retracted triple.
+func retractStatements(facts int) []slider.Statement {
+	cls := func(i int) slider.Term {
+		return slider.IRI(fmt.Sprintf("http://bench.example/c/C%d", i))
+	}
+	out := make([]slider.Statement, 0, facts+retractClasses-1)
+	for i := 0; i < retractClasses-1; i++ {
+		out = append(out, slider.NewStatement(cls(i), slider.IRI(slider.SubClassOf), cls(i+1)))
+	}
+	for i := 0; i < facts; i++ {
+		out = append(out, slider.NewStatement(
+			slider.IRI(fmt.Sprintf("http://bench.example/s/x%d", i)),
+			slider.IRI(slider.Type), cls(0)))
+	}
+	return out
+}
+
+// RetractPause runs the retraction benchmark over the given store
+// sizes: per cell it builds the store twice (once per mode), runs
+// back-to-back retract/re-assert passes of batch explicit triples for
+// the window duration, and measures both the Retract latency and the
+// AddBatch stalls of concurrently paced writers.
+func RetractPause(ctx context.Context, factsList []int, batch int, window time.Duration, cfg SliderConfig) (RetractReport, error) {
+	rep := RetractReport{
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		RetractBatch: batch,
+	}
+	timeout := cfg.Timeout
+	if timeout == 0 {
+		timeout = 2 * time.Millisecond // latency-tuned, as in the checkpoint bench
+	}
+	rep.BufferTimeoutMS = ms(timeout)
+	for _, facts := range factsList {
+		cell, err := retractCell(ctx, facts, batch, window, timeout, cfg)
+		if err != nil {
+			return rep, err
+		}
+		rep.Cells = append(rep.Cells, cell)
+	}
+	return rep, nil
+}
+
+// retractCell measures one store size, both modes.
+func retractCell(ctx context.Context, facts, batch int, window, timeout time.Duration, cfg SliderConfig) (RetractCell, error) {
+	cell := RetractCell{Facts: facts}
+	sts := retractStatements(facts)
+
+	build := func(opts ...slider.Option) (*slider.Reasoner, error) {
+		opts = append(opts,
+			slider.WithRetraction(),
+			slider.WithBufferSize(cfg.BufferSize),
+			slider.WithTimeout(timeout))
+		r := slider.New(slider.RhoDF, opts...)
+		const chunk = 1024
+		for start := 0; start < len(sts); start += chunk {
+			if err := ctx.Err(); err != nil {
+				r.Close(context.Background())
+				return nil, err
+			}
+			if _, err := r.AddBatch(sts[start:min(start+chunk, len(sts))]); err != nil {
+				r.Close(context.Background())
+				return nil, err
+			}
+		}
+		if err := r.Wait(ctx); err != nil {
+			r.Close(context.Background())
+			return nil, err
+		}
+		return r, nil
+	}
+
+	// The to-be-retracted statements: the first batch instances' type
+	// assertions. Each pass retracts them and re-asserts them, so the
+	// store returns to its starting state between passes.
+	victims := make([]slider.Statement, batch)
+	for i := range victims {
+		victims[i] = slider.NewStatement(
+			slider.IRI(fmt.Sprintf("http://bench.example/s/x%d", i)),
+			slider.IRI(slider.Type),
+			slider.IRI("http://bench.example/c/C0"))
+	}
+
+	// pacedWriters mirrors the checkpoint benchmark's SLA-bound ingest
+	// shape: nw writers, one wbatch-triple AddBatch per pacing tick,
+	// recording every op that starts inside the window.
+	const (
+		nw     = 2
+		wbatch = 128
+		pace   = 5 * time.Millisecond
+	)
+	pacedWriters := func(r *slider.Reasoner, phase string, running *atomic.Bool) []time.Duration {
+		var (
+			latMu     sync.Mutex
+			latencies []time.Duration
+		)
+		var wwg sync.WaitGroup
+		for w := 0; w < nw; w++ {
+			wwg.Add(1)
+			go func(w int) {
+				defer wwg.Done()
+				tick := time.NewTicker(pace)
+				defer tick.Stop()
+				for b := 0; running.Load(); b++ {
+					live := make([]slider.Statement, wbatch)
+					for i := range live {
+						live[i] = slider.NewStatement(
+							slider.IRI(fmt.Sprintf("http://bench.example/%s/w%d_%d_%d", phase, w, b, i)),
+							slider.IRI(slider.Type),
+							slider.IRI(fmt.Sprintf("http://bench.example/c/C%d", retractClasses-1)))
+					}
+					startedIn := running.Load()
+					t0 := time.Now()
+					if _, err := r.AddBatch(live); err != nil {
+						return
+					}
+					lat := time.Since(t0)
+					if startedIn {
+						latMu.Lock()
+						latencies = append(latencies, lat)
+						latMu.Unlock()
+					}
+					<-tick.C
+				}
+			}(w)
+		}
+		wwg.Wait()
+		return latencies
+	}
+
+	// measure runs retract/re-assert passes for the window duration with
+	// paced writers alongside.
+	measure := func(r *slider.Reasoner, phase string) (RetractModeStats, error) {
+		var st RetractModeStats
+		var running atomic.Bool
+		running.Store(true)
+		var (
+			retractErr error
+			total      time.Duration
+			maxLat     time.Duration
+			exTotal    int64
+		)
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer running.Store(false)
+			deadline := time.Now().Add(window)
+			for time.Now().Before(deadline) {
+				t0 := time.Now()
+				stats, err := r.Retract(ctx, victims...)
+				if err != nil {
+					retractErr = err
+					return
+				}
+				lat := time.Since(t0)
+				st.Passes++
+				total += lat
+				if lat > maxLat {
+					maxLat = lat
+				}
+				exTotal += stats.ExclusiveMicros
+				if stats.ExclusiveMicros > st.ExclusiveMaxUS {
+					st.ExclusiveMaxUS = stats.ExclusiveMicros
+				}
+				st.Suspects = stats.Suspects
+				st.Rederived = stats.Rederived
+				if _, err := r.AddBatch(victims); err != nil {
+					retractErr = err
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					retractErr = err
+					return
+				}
+			}
+		}()
+		st.Writer = pauseStats(pacedWriters(r, phase, &running), wbatch)
+		wg.Wait()
+		if retractErr != nil {
+			return st, retractErr
+		}
+		if st.Passes > 0 {
+			st.RetractMeanMS = ms(total / time.Duration(st.Passes))
+			st.RetractMaxMS = ms(maxLat)
+			st.ExclusiveMeanUS = exTotal / int64(st.Passes)
+		}
+		return st, nil
+	}
+
+	// Baseline and the two modes each get a fresh, identically built
+	// reasoner, so no mode inherits the previous one's writer growth.
+	r, err := build()
+	if err != nil {
+		return cell, err
+	}
+	cell.Triples = r.Len()
+	var running atomic.Bool
+	running.Store(true)
+	time.AfterFunc(window, func() { running.Store(false) })
+	cell.Baseline = pauseStats(pacedWriters(r, "base", &running), wbatch)
+	r.Close(context.Background())
+
+	rFull, err := build(slider.WithFullRetract())
+	if err != nil {
+		return cell, err
+	}
+	cell.Full, err = measure(rFull, "full")
+	rFull.Close(context.Background())
+	if err != nil {
+		return cell, err
+	}
+
+	rTwo, err := build()
+	if err != nil {
+		return cell, err
+	}
+	cell.TwoPhase, err = measure(rTwo, "two")
+	rTwo.Close(context.Background())
+	return cell, err
+}
+
+// WriteRetractJSON renders the report as indented JSON.
+func WriteRetractJSON(w io.Writer, rep RetractReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// WriteRetractTable renders the report as a human-readable summary.
+func WriteRetractTable(w io.Writer, rep RetractReport) {
+	fmt.Fprintf(w, "Retraction of %d explicit triples per pass (suspect set ~%dx), writers paced alongside\n",
+		rep.RetractBatch, retractClasses)
+	fmt.Fprintf(w, "%10s %10s | %9s %12s %12s | %9s %12s %12s | %s\n",
+		"facts", "triples",
+		"full ms", "excl µs", "wr p99 ms",
+		"2ph ms", "excl µs", "wr p99 ms", "stall reduction")
+	for _, c := range rep.Cells {
+		red := "n/a"
+		if c.TwoPhase.Writer.P99MS > 0 {
+			red = fmt.Sprintf("%.1fx", c.Full.Writer.P99MS/c.TwoPhase.Writer.P99MS)
+		}
+		fmt.Fprintf(w, "%10d %10d | %9.2f %12d %12.3f | %9.2f %12d %12.3f | %s\n",
+			c.Facts, c.Triples,
+			c.Full.RetractMeanMS, c.Full.ExclusiveMeanUS, c.Full.Writer.P99MS,
+			c.TwoPhase.RetractMeanMS, c.TwoPhase.ExclusiveMeanUS, c.TwoPhase.Writer.P99MS, red)
+	}
+}

@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+)
+
+// TestRetractPauseSmoke is the CI tracking hook for the retraction
+// benchmark: a miniature run of the code path cmd/sliderbench -retract
+// uses, so every PR exercises full vs two-phase DRed under concurrent
+// writers and the report plumbing. The full-size numbers (10k/100k/500k
+// facts) live in BENCH_retract.json.
+func TestRetractPauseSmoke(t *testing.T) {
+	rep, err := RetractPause(context.Background(), []int{4000}, 4, 600*time.Millisecond, SliderConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 1 {
+		t.Fatalf("want 1 cell, got %d", len(rep.Cells))
+	}
+	c := rep.Cells[0]
+	if c.Triples < c.Facts {
+		t.Fatalf("store smaller than its explicit facts: %d < %d", c.Triples, c.Facts)
+	}
+	if c.Full.Passes == 0 || c.TwoPhase.Passes == 0 {
+		t.Fatalf("no retraction passes completed: %+v", c)
+	}
+	if c.TwoPhase.Suspects == 0 || c.TwoPhase.Rederived != 0 {
+		t.Fatalf("unexpected suspect shape (want a fully-dying constant suspect set): %+v", c.TwoPhase)
+	}
+	// The suspect set is a constant handful; even on a tiny store the
+	// exclusive window must not dwarf the full pass that contains it.
+	if c.TwoPhase.ExclusiveMaxUS <= 0 {
+		t.Fatalf("exclusive window not measured: %+v", c.TwoPhase)
+	}
+	var buf bytes.Buffer
+	if err := WriteRetractJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty JSON report")
+	}
+	WriteRetractTable(&buf, rep)
+}

@@ -8,17 +8,50 @@
 // materialisation from scratch:
 //
 //  1. Overdelete — starting from the retracted explicit triples, compute
-//     (semi-naively, against the still-intact store) every triple with a
+//     (semi-naively, against the still-intact source) every triple with a
 //     derivation path through a retracted triple. Explicit triples that
 //     are not being retracted are never suspected: they are axioms.
 //  2. Remove the whole suspect set from the store.
-//  3. Rederive — run semi-naive inference over the remaining store;
-//     suspects with an alternative derivation grounded in the surviving
-//     explicit triples reappear, everything else stays gone.
+//  3. Rederive — suspects with an alternative derivation grounded in the
+//     surviving explicit triples reappear, everything else stays gone.
 //
-// Step 1 over-approximates, so after step 2 every remaining triple is
-// grounded in the surviving explicit set; step 3 therefore restores the
-// store to exactly the closure of the surviving explicit triples.
+// The classic formulation of step 3 re-runs semi-naive inference over the
+// whole surviving store — O(store) work, and the last O(store) writer
+// stall in the system when run under the ingest lock. This package
+// instead makes retraction cost proportional to the *suspect set*
+// (following the line of work on answering queries under updates, e.g.
+// Berkholz et al., "Answering FO+MOD queries under updates"), in two
+// phases that split cleanly across the locking regimes the caller can
+// offer:
+//
+//   - Prepare runs against a *frozen copy-on-write view* of the
+//     materialised store (the PR 3/4 machinery) while ingest continues:
+//     it overdeletes from the requested triples, then, instead of
+//     re-deriving the world, asks each suspect the targeted backward
+//     question "does some rule derive you in one step from premises
+//     outside the (still-dead) suspect set?" (rules.Supporter) and
+//     propagates restorations forward seeded only by restored suspects.
+//
+//   - Pass.Apply runs in a short exclusive window over the quiescent
+//     live store: it validates the prepared answer against whatever
+//     landed mid-pass (if anything did, it re-runs the suspect-local
+//     analysis on the live store, seeded by the prepared dead set plus
+//     the actual retraction seeds — still O(affected), not O(store)),
+//     then removes the final dead set and the retracted explicit
+//     triples. Apply never blocks on I/O, takes no context, and cannot
+//     fail: once entered, it runs to completion, so a caller that logged
+//     the retraction beforehand never ends up half-applied.
+//
+// Step 1 over-approximates, so every triple outside the suspect set has a
+// derivation avoiding every suspect; the support fixpoint restores
+// exactly the suspects grounded (transitively) outside the final dead
+// set. The result equals the closure of the surviving explicit triples —
+// the property tests assert this against from-scratch recomputation.
+//
+// Rulesets containing rules without a backward face (rules.CanSupport)
+// use PrepareFull instead: classic full-store rederivation, quiescent and
+// exclusive, kept as the compatibility path and as the baseline the
+// retraction benchmark measures the suspect-local path against.
 package maintenance
 
 import (
@@ -35,102 +68,460 @@ type Stats struct {
 	// Retracted counts explicit triples actually removed (present and
 	// explicit).
 	Retracted int
-	// Overdeleted counts derived triples removed as suspects in step 2
-	// (not counting the retracted explicit triples themselves).
+	// Suspects counts the triples the overdelete phases marked as
+	// potentially losing their last derivation (including the validate
+	// extension's, and the retracted explicit triples themselves).
+	Suspects int
+	// Overdeleted counts derived triples actually removed from the store
+	// (suspects that found no alternative support, not counting the
+	// retracted explicit triples themselves).
 	Overdeleted int
-	// Rederived counts suspects restored by step 3.
+	// Rederived counts suspects that survived: an alternative derivation
+	// grounded outside the dead set restored them.
 	Rederived int
-	// Rounds counts fixpoint rounds across the overdelete and rederive
-	// phases.
+	// Rounds counts fixpoint rounds across the overdelete, support and
+	// validate phases.
 	Rounds int
+	// Validated counts suspects added by the exclusive validate phase —
+	// consequences of triples that landed between the freeze and the
+	// exclusive window (0 when nothing landed and the fast path ran).
+	Validated int
+	// ExclusiveMicros is the wall-clock of the exclusive validate-and-
+	// apply window in microseconds, filled in by the caller that holds
+	// the locks.
+	ExclusiveMicros int64
+	// TwoPhase reports whether the suspect-local path ran (false: classic
+	// full-store rederivation).
+	TwoPhase bool
 }
 
-// Retract removes the given explicit triples from st and updates the
-// materialisation. explicit must hold the reasoner's current explicit
-// (asserted, non-inferred) triples as a second triple store; Retract
-// mutates it, removing the retracted ones. (A store rather than a plain
-// set so durable reasoners can checkpoint a consistent frozen view of it
-// while asserts keep landing.)
-//
-// The store must be quiescent (no concurrent inference) for the duration
-// of the call.
-func Retract(ctx context.Context, st *store.Store, ruleset []rules.Rule,
-	explicit *store.Store, toDelete []rdf.Triple) (Stats, error) {
+// tripleSet is a set of triples.
+type tripleSet map[rdf.Triple]struct{}
 
-	var stats Stats
-	if explicit == nil {
-		return stats, fmt.Errorf("maintenance: nil explicit set")
-	}
+func (s tripleSet) has(t rdf.Triple) bool { _, ok := s[t]; return ok }
 
-	// Which requested deletions are real explicit triples?
-	var seed []rdf.Triple
-	for _, t := range toDelete {
-		if !explicit.Remove(t) {
-			continue // unknown or already gone: no-op
+// masked is a Source with a dead set subtracted: the alive view the
+// support checks and seeded forward propagation run against. The dead
+// map is shared with the caller, which shrinks it as suspects are
+// restored — unmasking them for subsequent probes.
+type masked struct {
+	src  rules.Source
+	dead tripleSet
+}
+
+func (m *masked) Contains(t rdf.Triple) bool {
+	return !m.dead.has(t) && m.src.Contains(t)
+}
+
+func (m *masked) ObjectsAppend(dst []rdf.ID, p, s rdf.ID) []rdf.ID {
+	n := len(dst)
+	dst = m.src.ObjectsAppend(dst, p, s)
+	kept := dst[:n]
+	for _, o := range dst[n:] {
+		if !m.dead.has(rdf.Triple{S: s, P: p, O: o}) {
+			kept = append(kept, o)
 		}
-		seed = append(seed, t)
 	}
-	if len(seed) == 0 {
-		return stats, nil
-	}
-	stats.Retracted = len(seed)
+	return kept
+}
 
-	// Step 1: overdelete. Suspects accumulate; joins run against the
-	// still-intact store so multi-premise rules see all premises.
-	suspects := make(map[rdf.Triple]struct{}, len(seed)*2)
-	for _, t := range seed {
-		suspects[t] = struct{}{}
+func (m *masked) Objects(p, s rdf.ID) []rdf.ID {
+	return m.ObjectsAppend(nil, p, s)
+}
+
+func (m *masked) SubjectsAppend(dst []rdf.ID, p, o rdf.ID) []rdf.ID {
+	n := len(dst)
+	dst = m.src.SubjectsAppend(dst, p, o)
+	kept := dst[:n]
+	for _, s := range dst[n:] {
+		if !m.dead.has(rdf.Triple{S: s, P: p, O: o}) {
+			kept = append(kept, s)
+		}
 	}
-	delta := seed
+	return kept
+}
+
+func (m *masked) Subjects(p, o rdf.ID) []rdf.ID {
+	return m.SubjectsAppend(nil, p, o)
+}
+
+func (m *masked) ForEachWithPredicate(p rdf.ID, f func(s, o rdf.ID) bool) {
+	m.src.ForEachWithPredicate(p, func(s, o rdf.ID) bool {
+		if m.dead.has(rdf.Triple{S: s, P: p, O: o}) {
+			return true
+		}
+		return f(s, o)
+	})
+}
+
+func (m *masked) ForEach(f func(rdf.Triple) bool) {
+	m.src.ForEach(func(t rdf.Triple) bool {
+		if m.dead.has(t) {
+			return true
+		}
+		return f(t)
+	})
+}
+
+func (m *masked) Predicates() []rdf.ID { return m.src.Predicates() }
+
+var _ rules.Source = (*masked)(nil)
+
+// Pass is a prepared, not-yet-applied retraction: the output of Prepare
+// (or PrepareFull), consumed exactly once by Apply.
+type Pass struct {
+	ruleset  []rules.Rule
+	toDelete []rdf.Triple
+	seedSet  tripleSet // toDelete ∩ explicit as estimated at prepare time
+	dead     tripleSet // suspects with no support found against the frozen view
+	prepared tripleSet // every suspect phase A considered, restored or not
+	rounds   int
+
+	full bool // no support faces: Apply re-derives from the full store
+
+	// Version stamps of the store and the explicit set at freeze time;
+	// Apply skips validation when both still match (nothing landed
+	// mid-pass).
+	storeVersion, explicitVersion uint64
+}
+
+// overdelete computes the suspect closure over src: seeds plus every
+// src-present triple with a derivation path through a seed, skipping
+// axioms (per isAxiom). forced pre-seeds the suspect set with triples
+// that must be treated as dying regardless of derivability (the prepared
+// dead set, during validation). Joins run against the still-intact src so
+// multi-premise rules see all premises. Read-only; ctx-checked per round.
+func overdelete(ctx context.Context, src rules.Source, ruleset []rules.Rule,
+	isAxiom func(rdf.Triple) bool, seeds []rdf.Triple, forced tripleSet) (tripleSet, int, error) {
+
+	suspects := make(tripleSet, len(seeds)*2+len(forced))
+	delta := make([]rdf.Triple, 0, len(seeds)+len(forced))
+	for _, t := range seeds {
+		if !suspects.has(t) {
+			suspects[t] = struct{}{}
+			delta = append(delta, t)
+		}
+	}
+	for t := range forced {
+		if !suspects.has(t) {
+			suspects[t] = struct{}{}
+			delta = append(delta, t)
+		}
+	}
+	rounds := 0
 	for len(delta) > 0 {
 		if err := ctx.Err(); err != nil {
-			return stats, err
+			return nil, rounds, err
 		}
-		stats.Rounds++
+		rounds++
 		var derived []rdf.Triple
 		for _, r := range ruleset {
-			r.Apply(st, delta, func(t rdf.Triple) { derived = append(derived, t) })
+			r.Apply(src, delta, func(t rdf.Triple) { derived = append(derived, t) })
 		}
 		delta = delta[:0]
 		for _, t := range derived {
-			if explicit.Contains(t) {
-				continue // axioms survive
-			}
-			if _, seen := suspects[t]; seen {
+			if suspects.has(t) {
 				continue
 			}
-			if !st.Contains(t) {
+			if isAxiom(t) {
+				continue // axioms survive
+			}
+			if !src.Contains(t) {
 				continue // not part of the materialisation
 			}
 			suspects[t] = struct{}{}
 			delta = append(delta, t)
 		}
 	}
+	return suspects, rounds, nil
+}
 
-	// Step 2: remove the suspect set.
-	for t := range suspects {
-		st.Remove(t)
+// restore shrinks dead to the suspects with no derivation grounded
+// outside it: a backward support sweep over every suspect, then forward
+// semi-naive propagation seeded only by the restored ones. alive is the
+// masked source sharing the dead set. Returns the rounds spent. The
+// check function lets the validate phase honour axiom-hood (a suspect
+// re-asserted mid-pass survives unconditionally).
+func restore(ctx context.Context, alive *masked, ruleset []rules.Rule,
+	dead tripleSet, isAxiom func(rdf.Triple) bool) (int, error) {
+
+	if len(dead) == 0 {
+		return 0, nil
 	}
-	stats.Overdeleted = len(suspects) - len(seed)
-
-	// Step 3: rederive from the surviving store.
-	rederiveDelta := st.Snapshot()
-	for len(rederiveDelta) > 0 {
+	rounds := 1
+	var delta []rdf.Triple
+	for t := range dead {
 		if err := ctx.Err(); err != nil {
-			return stats, err
+			return rounds, err
 		}
-		stats.Rounds++
+		if isAxiom(t) || rules.Supported(ruleset, alive, t) {
+			delete(dead, t)
+			delta = append(delta, t)
+		}
+	}
+	for len(delta) > 0 && len(dead) > 0 {
+		if err := ctx.Err(); err != nil {
+			return rounds, err
+		}
+		rounds++
 		var derived []rdf.Triple
 		for _, r := range ruleset {
-			r.Apply(st, rederiveDelta, func(t rdf.Triple) { derived = append(derived, t) })
+			r.Apply(alive, delta, func(t rdf.Triple) { derived = append(derived, t) })
 		}
-		fresh := st.AddAll(derived)
-		for _, t := range fresh {
-			if _, wasSuspect := suspects[t]; wasSuspect {
-				stats.Rederived++
+		delta = delta[:0]
+		for _, t := range derived {
+			if dead.has(t) {
+				delete(dead, t)
+				delta = append(delta, t)
 			}
 		}
-		rederiveDelta = fresh
 	}
-	return stats, nil
+	return rounds, nil
+}
+
+// Prepare runs the read-only analysis of a suspect-local retraction
+// against a frozen view of the materialised store: overdelete seeded by
+// the requested triples, then the backward-support/forward-propagation
+// fixpoint that decides which suspects keep an alternative derivation.
+// Ingest may continue concurrently — Prepare mutates nothing, and
+// cancelling it leaves the knowledge base untouched.
+//
+// frozen must be a consistent (quiescent-at-freeze) view of the closure;
+// storeVersion and explicitVersion are the version stamps of the live
+// store and the explicit set captured at the freeze. explicit is read
+// live (racing asserts only add axioms; Apply re-validates). The ruleset
+// must pass rules.AllSupport.
+func Prepare(ctx context.Context, frozen rules.Source, storeVersion, explicitVersion uint64,
+	ruleset []rules.Rule, explicit *store.Store, toDelete []rdf.Triple) (*Pass, error) {
+
+	if explicit == nil {
+		return nil, fmt.Errorf("maintenance: nil explicit set")
+	}
+	p := &Pass{
+		ruleset:         ruleset,
+		toDelete:        toDelete,
+		seedSet:         make(tripleSet, len(toDelete)),
+		storeVersion:    storeVersion,
+		explicitVersion: explicitVersion,
+	}
+	var seeds []rdf.Triple
+	for _, t := range toDelete {
+		if !p.seedSet.has(t) && explicit.Contains(t) && frozen.Contains(t) {
+			p.seedSet[t] = struct{}{}
+			seeds = append(seeds, t)
+		}
+	}
+	isAxiom := func(t rdf.Triple) bool {
+		return !p.seedSet.has(t) && explicit.Contains(t)
+	}
+	suspects, rounds, err := overdelete(ctx, frozen, ruleset, isAxiom, seeds, nil)
+	if err != nil {
+		return nil, err
+	}
+	p.rounds = rounds
+	p.prepared = make(tripleSet, len(suspects))
+	for t := range suspects {
+		p.prepared[t] = struct{}{}
+	}
+	p.dead = suspects // restore shrinks it in place
+	alive := &masked{src: frozen, dead: p.dead}
+	// Axiom-hood was already honoured during overdelete; the sweep only
+	// asks for alternative derivations.
+	rounds, err = restore(ctx, alive, ruleset, p.dead, func(rdf.Triple) bool { return false })
+	p.rounds += rounds
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// PrepareFull is the classic-DRed preparation for rulesets without a
+// backward support face: overdelete only, against the live (quiescent)
+// store; Apply then removes every suspect and re-derives from the full
+// surviving store. The caller must hold the store exclusive and
+// quiescent from before PrepareFull through Apply. Cancelling PrepareFull
+// leaves the knowledge base untouched.
+func PrepareFull(ctx context.Context, st *store.Store, ruleset []rules.Rule,
+	explicit *store.Store, toDelete []rdf.Triple) (*Pass, error) {
+
+	if explicit == nil {
+		return nil, fmt.Errorf("maintenance: nil explicit set")
+	}
+	p := &Pass{
+		ruleset:  ruleset,
+		toDelete: toDelete,
+		seedSet:  make(tripleSet, len(toDelete)),
+		full:     true,
+	}
+	var seeds []rdf.Triple
+	for _, t := range toDelete {
+		if !p.seedSet.has(t) && explicit.Contains(t) {
+			p.seedSet[t] = struct{}{}
+			seeds = append(seeds, t)
+		}
+	}
+	isAxiom := func(t rdf.Triple) bool {
+		return !p.seedSet.has(t) && explicit.Contains(t)
+	}
+	suspects, rounds, err := overdelete(ctx, st, ruleset, isAxiom, seeds, nil)
+	if err != nil {
+		return nil, err
+	}
+	p.rounds = rounds
+	p.prepared = suspects // full path: dead == prepared, nothing restored
+	p.dead = suspects
+	return p, nil
+}
+
+// Apply finishes the retraction against the quiescent live store: it
+// validates the prepared dead set against anything that landed after the
+// freeze, removes the final dead set from the store and the retracted
+// triples from the explicit set. The caller must hold the store
+// exclusive (no concurrent inference or ingest) for the duration.
+//
+// Apply is deliberately uninterruptible — it takes no context, performs
+// no I/O and cannot fail — so a write-ahead-logged retraction is always
+// fully applied once this is called and the logged state never diverges
+// from the live one.
+func (p *Pass) Apply(st *store.Store, explicit *store.Store) Stats {
+	stats := Stats{TwoPhase: !p.full, Rounds: p.rounds, Suspects: len(p.prepared)}
+	ctx := context.Background() // never cancelled: the phases below are lock-bounded
+
+	// The seeds as they stand now: toDelete triples that are explicit in
+	// the exclusive window (mid-pass asserts may have added some,
+	// including re-asserts of prepared suspects).
+	seedSet := make(tripleSet, len(p.toDelete))
+	var seeds []rdf.Triple
+	for _, t := range p.toDelete {
+		if !seedSet.has(t) && explicit.Contains(t) {
+			seedSet[t] = struct{}{}
+			seeds = append(seeds, t)
+		}
+	}
+
+	dead := p.dead
+	switch {
+	case p.full:
+		// Classic DRed: every suspect dies now, rederivation resurrects.
+	case st.Version() == p.storeVersion && explicit.Version() == p.explicitVersion:
+		// Fast path: nothing landed between the freeze and this window —
+		// the frozen analysis is exact.
+	default:
+		// Triples landed mid-pass. Their consequences may lean on dead
+		// suspects (they must die too), and they may newly support dead
+		// suspects (those must survive). Re-run the suspect-local
+		// analysis on the live store, seeded by the actual seeds and
+		// forced by the prepared dead set — O(affected), not O(store).
+		isAxiom := func(t rdf.Triple) bool {
+			return !seedSet.has(t) && explicit.Contains(t)
+		}
+		suspects, rounds, _ := overdelete(ctx, st, p.ruleset, isAxiom, seeds, dead)
+		stats.Rounds += rounds
+		// Genuinely new suspects only: the live re-overdelete also
+		// rediscovers phase-A suspects (restored ones included), which
+		// are already counted in Suspects.
+		for t := range suspects {
+			if !p.prepared.has(t) {
+				stats.Validated++
+			}
+		}
+		stats.Suspects += stats.Validated
+		dead = suspects
+		alive := &masked{src: st, dead: dead}
+		rounds, _ = restore(ctx, alive, p.ruleset, dead, isAxiom)
+		stats.Rounds += rounds
+	}
+
+	// Point of no return: remove the retracted explicit triples and the
+	// dead suspects.
+	for _, t := range seeds {
+		if explicit.Remove(t) {
+			stats.Retracted++
+		}
+	}
+	removed, removedSeeds := 0, 0
+	for t := range dead {
+		if st.Remove(t) {
+			removed++
+			if seedSet.has(t) {
+				removedSeeds++
+			}
+		}
+	}
+	stats.Overdeleted = removed - removedSeeds
+
+	if p.full {
+		// Classic rederive: semi-naive from the whole surviving store.
+		delta := st.Snapshot()
+		for len(delta) > 0 {
+			stats.Rounds++
+			var derived []rdf.Triple
+			for _, r := range p.ruleset {
+				r.Apply(st, delta, func(t rdf.Triple) { derived = append(derived, t) })
+			}
+			fresh := st.AddAll(derived)
+			for _, t := range fresh {
+				if dead.has(t) {
+					stats.Rederived++
+				}
+			}
+			delta = fresh
+		}
+		return stats
+	}
+	stats.Rederived = stats.Suspects - len(dead)
+	p.dead = nil // a Pass is single-use
+	return stats
+}
+
+// Retract removes the given explicit triples from st and updates the
+// materialisation, as a single quiescent-store call: the convenience
+// wrapper over Prepare/Apply (suspect-local when every rule has a
+// backward support face, classic full rederivation otherwise) used by
+// write-ahead-log replay, tests, and callers without a concurrent-ingest
+// phase to overlap with. explicit must hold the reasoner's current
+// explicit (asserted, non-inferred) triples as a second triple store;
+// Retract mutates it, removing the retracted ones.
+//
+// The store must be quiescent (no concurrent inference) for the duration
+// of the call. Cancellation via ctx is honoured only during the
+// read-only analysis: once the mutation phase starts it runs to
+// completion, so an error return always means "nothing changed".
+func Retract(ctx context.Context, st *store.Store, ruleset []rules.Rule,
+	explicit *store.Store, toDelete []rdf.Triple) (Stats, error) {
+
+	var (
+		p   *Pass
+		err error
+	)
+	if rules.AllSupport(ruleset) {
+		p, err = Prepare(ctx, st, st.Version(), explicitVersion(explicit), ruleset, explicit, toDelete)
+	} else {
+		p, err = PrepareFull(ctx, st, ruleset, explicit, toDelete)
+	}
+	if err != nil {
+		return Stats{}, err
+	}
+	return p.Apply(st, explicit), nil
+}
+
+// RetractFull is Retract forced onto the classic full-store rederivation
+// path regardless of the ruleset's support faces — the pre-suspect-local
+// behaviour, kept as the benchmark baseline.
+func RetractFull(ctx context.Context, st *store.Store, ruleset []rules.Rule,
+	explicit *store.Store, toDelete []rdf.Triple) (Stats, error) {
+
+	p, err := PrepareFull(ctx, st, ruleset, explicit, toDelete)
+	if err != nil {
+		return Stats{}, err
+	}
+	return p.Apply(st, explicit), nil
+}
+
+// explicitVersion tolerates the nil explicit set Prepare rejects anyway.
+func explicitVersion(explicit *store.Store) uint64 {
+	if explicit == nil {
+		return 0
+	}
+	return explicit.Version()
 }

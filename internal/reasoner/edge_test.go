@@ -124,7 +124,7 @@ func TestEngineManyModulesSameInput(t *testing.T) {
 		ruleset = append(ruleset, &rules.CustomRule{
 			RuleName: "listener-" + string(rune('a'+i)),
 			In:       []rdf.ID{rdf.IDSubClassOf},
-			Fn: func(_ *store.Store, delta []rdf.Triple, _ func(rdf.Triple)) {
+			Fn: func(_ rules.Source, delta []rdf.Triple, _ func(rdf.Triple)) {
 				mu.Lock()
 				seen[i] += len(delta)
 				mu.Unlock()
@@ -156,7 +156,7 @@ func TestEngineInferredRoutedOnward(t *testing.T) {
 		RuleName: "producer",
 		In:       []rdf.ID{p1},
 		Out:      []rdf.ID{p2},
-		Fn: func(_ *store.Store, delta []rdf.Triple, emit func(rdf.Triple)) {
+		Fn: func(_ rules.Source, delta []rdf.Triple, emit func(rdf.Triple)) {
 			for _, t := range delta {
 				if t.P == p1 {
 					emit(rdf.T(t.S, p2, t.O))
@@ -169,7 +169,7 @@ func TestEngineInferredRoutedOnward(t *testing.T) {
 	consumer := &rules.CustomRule{
 		RuleName: "consumer",
 		In:       []rdf.ID{p2},
-		Fn: func(_ *store.Store, delta []rdf.Triple, _ func(rdf.Triple)) {
+		Fn: func(_ rules.Source, delta []rdf.Triple, _ func(rdf.Triple)) {
 			mu.Lock()
 			count += len(delta)
 			mu.Unlock()

@@ -366,7 +366,7 @@ func TestEnginePanicIsolation(t *testing.T) {
 		RuleName: "boom",
 		In:       []rdf.ID{rdf.IDSubClassOf},
 		Out:      nil,
-		Fn: func(_ *store.Store, delta []rdf.Triple, _ func(rdf.Triple)) {
+		Fn: func(_ rules.Source, delta []rdf.Triple, _ func(rdf.Triple)) {
 			panic("injected failure")
 		},
 	}
@@ -413,7 +413,7 @@ func TestEngineWaitContextCancellation(t *testing.T) {
 		RuleName: "slow",
 		In:       []rdf.ID{rdf.IDSubClassOf},
 		Out:      nil,
-		Fn: func(_ *store.Store, delta []rdf.Triple, _ func(rdf.Triple)) {
+		Fn: func(_ rules.Source, delta []rdf.Triple, _ func(rdf.Triple)) {
 			time.Sleep(200 * time.Millisecond)
 		},
 	}

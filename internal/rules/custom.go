@@ -2,7 +2,6 @@ package rules
 
 import (
 	"repro/internal/rdf"
-	"repro/internal/store"
 )
 
 // CustomRule adapts a plain function into a Rule, supporting the paper's
@@ -16,8 +15,15 @@ type CustomRule struct {
 	// Out lists the predicates the rule can produce; use AnyPredicate for
 	// rules with unbounded output vocabulary.
 	Out []rdf.ID
-	// Fn performs the delta⋈store join and emits derived triples.
-	Fn func(st *store.Store, delta []rdf.Triple, emit func(rdf.Triple))
+	// Fn performs the delta⋈source join and emits derived triples.
+	Fn func(src Source, delta []rdf.Triple, emit func(rdf.Triple))
+	// SupportsFn, when set, answers the targeted backward question "is t
+	// derivable in a single step from premises in src" (see Supporter).
+	// It must be exact with respect to Fn. Rulesets whose every rule has
+	// a support face qualify for suspect-local retraction; one custom
+	// rule without it falls the whole set back to full-store
+	// rederivation.
+	SupportsFn func(src Source, t rdf.Triple) bool
 }
 
 // Name implements Rule.
@@ -30,10 +36,23 @@ func (c *CustomRule) Inputs() []rdf.ID { return c.In }
 func (c *CustomRule) Outputs() []rdf.ID { return c.Out }
 
 // Apply implements Rule.
-func (c *CustomRule) Apply(st *store.Store, delta []rdf.Triple, emit func(rdf.Triple)) {
+func (c *CustomRule) Apply(src Source, delta []rdf.Triple, emit func(rdf.Triple)) {
 	if c.Fn != nil {
-		c.Fn(st, delta, emit)
+		c.Fn(src, delta, emit)
 	}
 }
 
-var _ Rule = (*CustomRule)(nil)
+// Supports implements Supporter when SupportsFn is set. Without one it
+// conservatively reports no support; callers gate on CanSupport, so a
+// nil SupportsFn routes retraction to the full-rederive path instead.
+func (c *CustomRule) Supports(src Source, t rdf.Triple) bool {
+	if c.SupportsFn == nil {
+		return false
+	}
+	return c.SupportsFn(src, t)
+}
+
+var (
+	_ Rule      = (*CustomRule)(nil)
+	_ Supporter = (*CustomRule)(nil)
+)

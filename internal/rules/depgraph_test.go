@@ -5,7 +5,6 @@ import (
 	"testing"
 
 	"repro/internal/rdf"
-	"repro/internal/store"
 )
 
 // TestRhoDFDependencyGraphMatchesFigure2 checks the edges the paper's
@@ -144,7 +143,7 @@ func TestDOTOutput(t *testing.T) {
 func TestDependencyGraphWithNoOutputRule(t *testing.T) {
 	// A sink rule that consumes but never produces: no outgoing edges.
 	sink := &CustomRule{RuleName: "sink", In: []rdf.ID{rdf.IDType}, Out: nil,
-		Fn: func(*store.Store, []rdf.Triple, func(rdf.Triple)) {}}
+		Fn: func(Source, []rdf.Triple, func(rdf.Triple)) {}}
 	g := BuildDependencyGraph([]Rule{CaxSco(), sink})
 	if len(g.DependentsOf("sink")) != 0 {
 		t.Fatalf("sink has dependents: %v", g.DependentsOf("sink"))

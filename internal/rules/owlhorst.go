@@ -2,7 +2,6 @@ package rules
 
 import (
 	"repro/internal/rdf"
-	"repro/internal/store"
 )
 
 // This file implements an OWL-Horst-style (pD*) extension fragment — the
@@ -21,11 +20,11 @@ func (prpSymp) Name() string      { return "prp-symp" }
 func (prpSymp) Inputs() []rdf.ID  { return nil }
 func (prpSymp) Outputs() []rdf.ID { return []rdf.ID{AnyPredicate} }
 
-func (prpSymp) Apply(st *store.Store, delta []rdf.Triple, emit func(rdf.Triple)) {
+func (prpSymp) Apply(src Source, delta []rdf.Triple, emit func(rdf.Triple)) {
 	for _, t := range delta {
 		if t.P == rdf.IDType && t.O == rdf.IDSymmetricProperty {
 			// New symmetric property: mirror its existing extent.
-			st.ForEachWithPredicate(t.S, func(x, y rdf.ID) bool {
+			src.ForEachWithPredicate(t.S, func(x, y rdf.ID) bool {
 				if !x.IsLiteral() {
 					emit(rdf.Triple{S: y, P: t.S, O: x})
 				}
@@ -36,10 +35,16 @@ func (prpSymp) Apply(st *store.Store, delta []rdf.Triple, emit func(rdf.Triple))
 		if t.O.IsLiteral() {
 			continue // literals cannot be subjects
 		}
-		if st.Contains(rdf.Triple{S: t.P, P: rdf.IDType, O: rdf.IDSymmetricProperty}) {
+		if src.Contains(rdf.Triple{S: t.P, P: rdf.IDType, O: rdf.IDSymmetricProperty}) {
 			emit(rdf.Triple{S: t.O, P: t.P, O: t.S})
 		}
 	}
+}
+
+func (prpSymp) Supports(src Source, t rdf.Triple) bool {
+	return !t.S.IsLiteral() &&
+		src.Contains(rdf.Triple{S: t.P, P: rdf.IDType, O: rdf.IDSymmetricProperty}) &&
+		src.Contains(rdf.Triple{S: t.O, P: t.P, O: t.S})
 }
 
 // prpTrp implements prp-trp:
@@ -50,30 +55,42 @@ func (prpTrp) Name() string      { return "prp-trp" }
 func (prpTrp) Inputs() []rdf.ID  { return nil }
 func (prpTrp) Outputs() []rdf.ID { return []rdf.ID{AnyPredicate} }
 
-func (prpTrp) Apply(st *store.Store, delta []rdf.Triple, emit func(rdf.Triple)) {
+func (prpTrp) Apply(src Source, delta []rdf.Triple, emit func(rdf.Triple)) {
 	for _, t := range delta {
 		if t.P == rdf.IDType && t.O == rdf.IDTransitiveProperty {
 			// New transitive property: close its existing extent one
 			// step; subsequent deltas complete the fixpoint.
 			p := t.S
-			st.ForEachWithPredicate(p, func(x, y rdf.ID) bool {
-				for _, z := range st.Objects(p, y) {
+			src.ForEachWithPredicate(p, func(x, y rdf.ID) bool {
+				for _, z := range src.Objects(p, y) {
 					emit(rdf.Triple{S: x, P: p, O: z})
 				}
 				return true
 			})
 			continue
 		}
-		if !st.Contains(rdf.Triple{S: t.P, P: rdf.IDType, O: rdf.IDTransitiveProperty}) {
+		if !src.Contains(rdf.Triple{S: t.P, P: rdf.IDType, O: rdf.IDTransitiveProperty}) {
 			continue
 		}
-		for _, z := range st.Objects(t.P, t.O) {
+		for _, z := range src.Objects(t.P, t.O) {
 			emit(rdf.Triple{S: t.S, P: t.P, O: z})
 		}
-		for _, x := range st.Subjects(t.P, t.S) {
+		for _, x := range src.Subjects(t.P, t.S) {
 			emit(rdf.Triple{S: x, P: t.P, O: t.O})
 		}
 	}
+}
+
+func (prpTrp) Supports(src Source, t rdf.Triple) bool {
+	if !src.Contains(rdf.Triple{S: t.P, P: rdf.IDType, O: rdf.IDTransitiveProperty}) {
+		return false
+	}
+	for _, y := range src.Objects(t.P, t.S) {
+		if src.Contains(rdf.Triple{S: y, P: t.P, O: t.O}) {
+			return true
+		}
+	}
+	return false
 }
 
 // prpInv implements prp-inv1 and prp-inv2:
@@ -84,9 +101,9 @@ func (prpInv) Name() string      { return "prp-inv" }
 func (prpInv) Inputs() []rdf.ID  { return nil }
 func (prpInv) Outputs() []rdf.ID { return []rdf.ID{AnyPredicate} }
 
-func (prpInv) Apply(st *store.Store, delta []rdf.Triple, emit func(rdf.Triple)) {
+func (prpInv) Apply(src Source, delta []rdf.Triple, emit func(rdf.Triple)) {
 	mirror := func(from, to rdf.ID) {
-		st.ForEachWithPredicate(from, func(x, y rdf.ID) bool {
+		src.ForEachWithPredicate(from, func(x, y rdf.ID) bool {
 			if !y.IsLiteral() {
 				emit(rdf.Triple{S: y, P: to, O: x})
 			}
@@ -102,13 +119,31 @@ func (prpInv) Apply(st *store.Store, delta []rdf.Triple, emit func(rdf.Triple)) 
 		if t.O.IsLiteral() {
 			continue
 		}
-		for _, q := range st.Objects(rdf.IDInverseOf, t.P) {
+		for _, q := range src.Objects(rdf.IDInverseOf, t.P) {
 			emit(rdf.Triple{S: t.O, P: q, O: t.S})
 		}
-		for _, q := range st.Subjects(rdf.IDInverseOf, t.P) {
+		for _, q := range src.Subjects(rdf.IDInverseOf, t.P) {
 			emit(rdf.Triple{S: t.O, P: q, O: t.S})
 		}
 	}
+}
+
+func (prpInv) Supports(src Source, t rdf.Triple) bool {
+	if t.S.IsLiteral() {
+		return false
+	}
+	// ∃ q: (q inverseOf t.P) or (t.P inverseOf q), with (t.O q t.S).
+	for _, q := range src.Subjects(rdf.IDInverseOf, t.P) {
+		if src.Contains(rdf.Triple{S: t.O, P: q, O: t.S}) {
+			return true
+		}
+	}
+	for _, q := range src.Objects(rdf.IDInverseOf, t.P) {
+		if src.Contains(rdf.Triple{S: t.O, P: q, O: t.S}) {
+			return true
+		}
+	}
+	return false
 }
 
 // prpEqp implements prp-eqp1/prp-eqp2:
@@ -119,12 +154,12 @@ func (prpEqp) Name() string      { return "prp-eqp" }
 func (prpEqp) Inputs() []rdf.ID  { return nil }
 func (prpEqp) Outputs() []rdf.ID { return []rdf.ID{AnyPredicate} }
 
-func (prpEqp) Apply(st *store.Store, delta []rdf.Triple, emit func(rdf.Triple)) {
+func (prpEqp) Apply(src Source, delta []rdf.Triple, emit func(rdf.Triple)) {
 	replay := func(from, to rdf.ID) {
 		if from == to {
 			return
 		}
-		st.ForEachWithPredicate(from, func(x, y rdf.ID) bool {
+		src.ForEachWithPredicate(from, func(x, y rdf.ID) bool {
 			emit(rdf.Triple{S: x, P: to, O: y})
 			return true
 		})
@@ -135,17 +170,32 @@ func (prpEqp) Apply(st *store.Store, delta []rdf.Triple, emit func(rdf.Triple)) 
 			replay(t.O, t.S)
 			continue
 		}
-		for _, q := range st.Objects(rdf.IDEquivalentProperty, t.P) {
+		for _, q := range src.Objects(rdf.IDEquivalentProperty, t.P) {
 			if q != t.P {
 				emit(rdf.Triple{S: t.S, P: q, O: t.O})
 			}
 		}
-		for _, q := range st.Subjects(rdf.IDEquivalentProperty, t.P) {
+		for _, q := range src.Subjects(rdf.IDEquivalentProperty, t.P) {
 			if q != t.P {
 				emit(rdf.Triple{S: t.S, P: q, O: t.O})
 			}
 		}
 	}
+}
+
+func (prpEqp) Supports(src Source, t rdf.Triple) bool {
+	// ∃ p ≠ t.P: (p eqP t.P) or (t.P eqP p), with (t.S p t.O).
+	for _, p := range src.Subjects(rdf.IDEquivalentProperty, t.P) {
+		if p != t.P && src.Contains(rdf.Triple{S: t.S, P: p, O: t.O}) {
+			return true
+		}
+	}
+	for _, p := range src.Objects(rdf.IDEquivalentProperty, t.P) {
+		if p != t.P && src.Contains(rdf.Triple{S: t.S, P: p, O: t.O}) {
+			return true
+		}
+	}
+	return false
 }
 
 // caxEqc implements cax-eqc1/cax-eqc2:
@@ -156,25 +206,43 @@ func (caxEqc) Name() string      { return "cax-eqc" }
 func (caxEqc) Inputs() []rdf.ID  { return []rdf.ID{rdf.IDEquivalentClass, rdf.IDType} }
 func (caxEqc) Outputs() []rdf.ID { return []rdf.ID{rdf.IDType} }
 
-func (caxEqc) Apply(st *store.Store, delta []rdf.Triple, emit func(rdf.Triple)) {
+func (caxEqc) Apply(src Source, delta []rdf.Triple, emit func(rdf.Triple)) {
 	for _, t := range delta {
 		switch t.P {
 		case rdf.IDEquivalentClass:
-			for _, x := range st.Subjects(rdf.IDType, t.S) {
+			for _, x := range src.Subjects(rdf.IDType, t.S) {
 				emit(rdf.Triple{S: x, P: rdf.IDType, O: t.O})
 			}
-			for _, x := range st.Subjects(rdf.IDType, t.O) {
+			for _, x := range src.Subjects(rdf.IDType, t.O) {
 				emit(rdf.Triple{S: x, P: rdf.IDType, O: t.S})
 			}
 		case rdf.IDType:
-			for _, d := range st.Objects(rdf.IDEquivalentClass, t.O) {
+			for _, d := range src.Objects(rdf.IDEquivalentClass, t.O) {
 				emit(rdf.Triple{S: t.S, P: rdf.IDType, O: d})
 			}
-			for _, d := range st.Subjects(rdf.IDEquivalentClass, t.O) {
+			for _, d := range src.Subjects(rdf.IDEquivalentClass, t.O) {
 				emit(rdf.Triple{S: t.S, P: rdf.IDType, O: d})
 			}
 		}
 	}
+}
+
+func (caxEqc) Supports(src Source, t rdf.Triple) bool {
+	if t.P != rdf.IDType {
+		return false
+	}
+	// ∃ c: (c eqC t.O) or (t.O eqC c), with (t.S type c).
+	for _, c := range src.Subjects(rdf.IDEquivalentClass, t.O) {
+		if src.Contains(rdf.Triple{S: t.S, P: rdf.IDType, O: c}) {
+			return true
+		}
+	}
+	for _, c := range src.Objects(rdf.IDEquivalentClass, t.O) {
+		if src.Contains(rdf.Triple{S: t.S, P: rdf.IDType, O: c}) {
+			return true
+		}
+	}
+	return false
 }
 
 // scmEqc implements scm-eqc1: (c equivalentClass d) → (c sc d), (d sc c).
@@ -184,7 +252,7 @@ func (scmEqc) Name() string      { return "scm-eqc" }
 func (scmEqc) Inputs() []rdf.ID  { return []rdf.ID{rdf.IDEquivalentClass} }
 func (scmEqc) Outputs() []rdf.ID { return []rdf.ID{rdf.IDSubClassOf} }
 
-func (scmEqc) Apply(_ *store.Store, delta []rdf.Triple, emit func(rdf.Triple)) {
+func (scmEqc) Apply(_ Source, delta []rdf.Triple, emit func(rdf.Triple)) {
 	for _, t := range delta {
 		if t.P != rdf.IDEquivalentClass {
 			continue
@@ -194,6 +262,12 @@ func (scmEqc) Apply(_ *store.Store, delta []rdf.Triple, emit func(rdf.Triple)) {
 	}
 }
 
+func (scmEqc) Supports(src Source, t rdf.Triple) bool {
+	return t.P == rdf.IDSubClassOf &&
+		(src.Contains(rdf.Triple{S: t.S, P: rdf.IDEquivalentClass, O: t.O}) ||
+			src.Contains(rdf.Triple{S: t.O, P: rdf.IDEquivalentClass, O: t.S}))
+}
+
 // scmEqp implements scm-eqp1: (p equivalentProperty q) → (p sp q), (q sp p).
 type scmEqp struct{}
 
@@ -201,7 +275,7 @@ func (scmEqp) Name() string      { return "scm-eqp" }
 func (scmEqp) Inputs() []rdf.ID  { return []rdf.ID{rdf.IDEquivalentProperty} }
 func (scmEqp) Outputs() []rdf.ID { return []rdf.ID{rdf.IDSubPropertyOf} }
 
-func (scmEqp) Apply(_ *store.Store, delta []rdf.Triple, emit func(rdf.Triple)) {
+func (scmEqp) Apply(_ Source, delta []rdf.Triple, emit func(rdf.Triple)) {
 	for _, t := range delta {
 		if t.P != rdf.IDEquivalentProperty {
 			continue
@@ -209,6 +283,12 @@ func (scmEqp) Apply(_ *store.Store, delta []rdf.Triple, emit func(rdf.Triple)) {
 		emit(rdf.Triple{S: t.S, P: rdf.IDSubPropertyOf, O: t.O})
 		emit(rdf.Triple{S: t.O, P: rdf.IDSubPropertyOf, O: t.S})
 	}
+}
+
+func (scmEqp) Supports(src Source, t rdf.Triple) bool {
+	return t.P == rdf.IDSubPropertyOf &&
+		(src.Contains(rdf.Triple{S: t.S, P: rdf.IDEquivalentProperty, O: t.O}) ||
+			src.Contains(rdf.Triple{S: t.O, P: rdf.IDEquivalentProperty, O: t.S}))
 }
 
 // eqSymTrans implements eq-sym and eq-trans:
@@ -219,7 +299,7 @@ func (eqSymTrans) Name() string      { return "eq-sym-trans" }
 func (eqSymTrans) Inputs() []rdf.ID  { return []rdf.ID{rdf.IDSameAs} }
 func (eqSymTrans) Outputs() []rdf.ID { return []rdf.ID{rdf.IDSameAs} }
 
-func (eqSymTrans) Apply(st *store.Store, delta []rdf.Triple, emit func(rdf.Triple)) {
+func (eqSymTrans) Apply(src Source, delta []rdf.Triple, emit func(rdf.Triple)) {
 	for _, t := range delta {
 		if t.P != rdf.IDSameAs {
 			continue
@@ -227,13 +307,30 @@ func (eqSymTrans) Apply(st *store.Store, delta []rdf.Triple, emit func(rdf.Tripl
 		if t.S != t.O {
 			emit(rdf.Triple{S: t.O, P: rdf.IDSameAs, O: t.S})
 		}
-		for _, z := range st.Objects(rdf.IDSameAs, t.O) {
+		for _, z := range src.Objects(rdf.IDSameAs, t.O) {
 			emit(rdf.Triple{S: t.S, P: rdf.IDSameAs, O: z})
 		}
-		for _, x := range st.Subjects(rdf.IDSameAs, t.S) {
+		for _, x := range src.Subjects(rdf.IDSameAs, t.S) {
 			emit(rdf.Triple{S: x, P: rdf.IDSameAs, O: t.O})
 		}
 	}
+}
+
+func (eqSymTrans) Supports(src Source, t rdf.Triple) bool {
+	if t.P != rdf.IDSameAs {
+		return false
+	}
+	// Symmetry: (t.O sameAs t.S), emitted only for distinct ends.
+	if t.S != t.O && src.Contains(rdf.Triple{S: t.O, P: rdf.IDSameAs, O: t.S}) {
+		return true
+	}
+	// Transitivity: ∃ m: (t.S sameAs m), (m sameAs t.O).
+	for _, m := range src.Objects(rdf.IDSameAs, t.S) {
+		if src.Contains(rdf.Triple{S: m, P: rdf.IDSameAs, O: t.O}) {
+			return true
+		}
+	}
+	return false
 }
 
 // eqRep implements eq-rep-s and eq-rep-o: replace sameAs-equal resources
@@ -245,7 +342,7 @@ func (eqRep) Name() string      { return "eq-rep" }
 func (eqRep) Inputs() []rdf.ID  { return nil }
 func (eqRep) Outputs() []rdf.ID { return []rdf.ID{AnyPredicate} }
 
-func (eqRep) Apply(st *store.Store, delta []rdf.Triple, emit func(rdf.Triple)) {
+func (eqRep) Apply(src Source, delta []rdf.Triple, emit func(rdf.Triple)) {
 	for _, t := range delta {
 		if t.P == rdf.IDSameAs {
 			// (x sameAs y): rewrite existing triples mentioning x to
@@ -254,7 +351,7 @@ func (eqRep) Apply(st *store.Store, delta []rdf.Triple, emit func(rdf.Triple)) {
 			if x == y {
 				continue
 			}
-			st.ForEach(func(u rdf.Triple) bool {
+			src.ForEach(func(u rdf.Triple) bool {
 				if u.P == rdf.IDSameAs {
 					return true
 				}
@@ -272,18 +369,48 @@ func (eqRep) Apply(st *store.Store, delta []rdf.Triple, emit func(rdf.Triple)) {
 			continue
 		}
 		// New assertion: substitute each position's sameAs equivalents.
-		for _, s2 := range st.Objects(rdf.IDSameAs, t.S) {
+		for _, s2 := range src.Objects(rdf.IDSameAs, t.S) {
 			emit(rdf.Triple{S: s2, P: t.P, O: t.O})
 		}
 		if !t.O.IsLiteral() {
-			for _, o2 := range st.Objects(rdf.IDSameAs, t.O) {
+			for _, o2 := range src.Objects(rdf.IDSameAs, t.O) {
 				emit(rdf.Triple{S: t.S, P: t.P, O: o2})
 			}
 		}
-		for _, p2 := range st.Objects(rdf.IDSameAs, t.P) {
+		for _, p2 := range src.Objects(rdf.IDSameAs, t.P) {
 			emit(rdf.Triple{S: t.S, P: p2, O: t.O})
 		}
 	}
+}
+
+func (eqRep) Supports(src Source, t rdf.Triple) bool {
+	// Every eq-rep derivation rewrites one position of a non-sameAs
+	// premise u via a (a sameAs b) premise with a ≠ b (equal ends are
+	// skipped, and sameAs-predicate triples are never rewritten — the
+	// conclusion's rewritten-position term therefore differs from u's).
+	//
+	// Subject: (a sameAs t.S), (a t.P t.O) → t.
+	for _, a := range src.Subjects(rdf.IDSameAs, t.S) {
+		if a != t.S && t.P != rdf.IDSameAs &&
+			src.Contains(rdf.Triple{S: a, P: t.P, O: t.O}) {
+			return true
+		}
+	}
+	// Object: (b sameAs t.O), (t.S t.P b) → t, b not a literal.
+	for _, b := range src.Subjects(rdf.IDSameAs, t.O) {
+		if b != t.O && t.P != rdf.IDSameAs && !b.IsLiteral() &&
+			src.Contains(rdf.Triple{S: t.S, P: t.P, O: b}) {
+			return true
+		}
+	}
+	// Predicate: (q sameAs t.P), (t.S q t.O) → t, q not sameAs itself.
+	for _, q := range src.Subjects(rdf.IDSameAs, t.P) {
+		if q != t.P && q != rdf.IDSameAs &&
+			src.Contains(rdf.Triple{S: t.S, P: q, O: t.O}) {
+			return true
+		}
+	}
+	return false
 }
 
 // OWL-rule constructors.

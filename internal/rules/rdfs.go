@@ -2,7 +2,6 @@ package rules
 
 import (
 	"repro/internal/rdf"
-	"repro/internal/store"
 )
 
 // This file implements the RDFS entailment rules beyond ρdf, following the
@@ -24,7 +23,7 @@ func (r *classTriggerRule) Name() string      { return r.name }
 func (r *classTriggerRule) Inputs() []rdf.ID  { return []rdf.ID{rdf.IDType} }
 func (r *classTriggerRule) Outputs() []rdf.ID { return []rdf.ID{r.outPred} }
 
-func (r *classTriggerRule) Apply(_ *store.Store, delta []rdf.Triple, emit func(rdf.Triple)) {
+func (r *classTriggerRule) Apply(_ Source, delta []rdf.Triple, emit func(rdf.Triple)) {
 	for _, t := range delta {
 		if t.P != rdf.IDType || t.O != r.trigger {
 			continue
@@ -35,6 +34,20 @@ func (r *classTriggerRule) Apply(_ *store.Store, delta []rdf.Triple, emit func(r
 		}
 		emit(rdf.Triple{S: t.S, P: r.outPred, O: obj})
 	}
+}
+
+func (r *classTriggerRule) Supports(src Source, t rdf.Triple) bool {
+	if t.P != r.outPred {
+		return false
+	}
+	if r.outObj == rdf.Any {
+		if t.O != t.S {
+			return false
+		}
+	} else if t.O != r.outObj {
+		return false
+	}
+	return src.Contains(rdf.Triple{S: t.S, P: rdf.IDType, O: r.trigger})
 }
 
 // resourceTypingRule implements rdfs4a and rdfs4b together:
@@ -50,13 +63,34 @@ func (resourceTypingRule) Name() string      { return "rdfs4" }
 func (resourceTypingRule) Inputs() []rdf.ID  { return nil }
 func (resourceTypingRule) Outputs() []rdf.ID { return []rdf.ID{rdf.IDType} }
 
-func (resourceTypingRule) Apply(_ *store.Store, delta []rdf.Triple, emit func(rdf.Triple)) {
+func (resourceTypingRule) Apply(_ Source, delta []rdf.Triple, emit func(rdf.Triple)) {
 	for _, t := range delta {
 		emit(rdf.Triple{S: t.S, P: rdf.IDType, O: rdf.IDResource})
 		if !t.O.IsLiteral() {
 			emit(rdf.Triple{S: t.O, P: rdf.IDType, O: rdf.IDResource})
 		}
 	}
+}
+
+func (resourceTypingRule) Supports(src Source, t rdf.Triple) bool {
+	if t.P != rdf.IDType || t.O != rdf.IDResource {
+		return false
+	}
+	// Supported while t.S occurs anywhere in src, as a subject or as a
+	// (non-literal) object. The predicate walk is the price of the
+	// rule's universal input; predicates are schema-sized in practice.
+	var buf []rdf.ID
+	for _, p := range src.Predicates() {
+		if buf = src.ObjectsAppend(buf[:0], p, t.S); len(buf) > 0 {
+			return true
+		}
+		if !t.S.IsLiteral() {
+			if buf = src.SubjectsAppend(buf[:0], p, t.S); len(buf) > 0 {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // Constructors for the individual RDFS rules.

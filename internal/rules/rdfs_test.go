@@ -4,7 +4,6 @@ import (
 	"testing"
 
 	"repro/internal/rdf"
-	"repro/internal/store"
 )
 
 func TestRdfs6PropertyReflexiveSubProperty(t *testing.T) {
@@ -84,7 +83,7 @@ func TestCustomRule(t *testing.T) {
 		RuleName: "custom-sym",
 		In:       []rdf.ID{p1},
 		Out:      []rdf.ID{p1},
-		Fn: func(_ *store.Store, delta []rdf.Triple, emit func(rdf.Triple)) {
+		Fn: func(_ Source, delta []rdf.Triple, emit func(rdf.Triple)) {
 			for _, t := range delta {
 				if t.P == p1 {
 					emit(rdf.T(t.O, t.P, t.S))

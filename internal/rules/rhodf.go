@@ -2,7 +2,6 @@ package rules
 
 import (
 	"repro/internal/rdf"
-	"repro/internal/store"
 )
 
 // This file implements the eight rules of the ρdf fragment (Muñoz, Pérez,
@@ -17,6 +16,11 @@ import (
 //	prp-rng   (p rng c),  (x p y)      → (y type c)      [universal input]
 //	scm-dom2  (p2 dom c), (p1 sp p2)   → (p1 dom c)
 //	scm-rng2  (p2 rng c), (p1 sp p2)   → (p1 rng c)
+//
+// Each rule carries both directions of the production: Apply joins a
+// delta forward against a Source, and Supports answers the targeted
+// backward question "is this triple derivable in one step from premises
+// in the source" — the primitive suspect-local retraction is built on.
 
 // transitiveRule implements (a p b), (b p c) → (a p c) for a fixed
 // predicate p; instantiated as scm-sco and scm-spo.
@@ -29,7 +33,7 @@ func (r *transitiveRule) Name() string      { return r.name }
 func (r *transitiveRule) Inputs() []rdf.ID  { return []rdf.ID{r.pred} }
 func (r *transitiveRule) Outputs() []rdf.ID { return []rdf.ID{r.pred} }
 
-func (r *transitiveRule) Apply(st *store.Store, delta []rdf.Triple, emit func(rdf.Triple)) {
+func (r *transitiveRule) Apply(src Source, delta []rdf.Triple, emit func(rdf.Triple)) {
 	// buf is reused across the delta's probes (append-style readers) so
 	// the join does not allocate one slice per triple.
 	var buf []rdf.ID
@@ -37,17 +41,30 @@ func (r *transitiveRule) Apply(st *store.Store, delta []rdf.Triple, emit func(rd
 		if t.P != r.pred {
 			continue
 		}
-		// delta (a,b) joins store (b,c): derive (a,c).
-		buf = st.ObjectsAppend(buf[:0], r.pred, t.O)
+		// delta (a,b) joins source (b,c): derive (a,c).
+		buf = src.ObjectsAppend(buf[:0], r.pred, t.O)
 		for _, c := range buf {
 			emit(rdf.Triple{S: t.S, P: r.pred, O: c})
 		}
-		// store (z,a) joins delta (a,b): derive (z,b).
-		buf = st.SubjectsAppend(buf[:0], r.pred, t.S)
+		// source (z,a) joins delta (a,b): derive (z,b).
+		buf = src.SubjectsAppend(buf[:0], r.pred, t.S)
 		for _, z := range buf {
 			emit(rdf.Triple{S: z, P: r.pred, O: t.O})
 		}
 	}
+}
+
+func (r *transitiveRule) Supports(src Source, t rdf.Triple) bool {
+	if t.P != r.pred {
+		return false
+	}
+	// ∃ b: (t.S pred b), (b pred t.O).
+	for _, b := range src.Objects(r.pred, t.S) {
+		if src.Contains(rdf.Triple{S: b, P: r.pred, O: t.O}) {
+			return true
+		}
+	}
+	return false
 }
 
 // caxSco implements cax-sco (paper Algorithm 1).
@@ -57,24 +74,37 @@ func (caxSco) Name() string      { return "cax-sco" }
 func (caxSco) Inputs() []rdf.ID  { return []rdf.ID{rdf.IDSubClassOf, rdf.IDType} }
 func (caxSco) Outputs() []rdf.ID { return []rdf.ID{rdf.IDType} }
 
-func (caxSco) Apply(st *store.Store, delta []rdf.Triple, emit func(rdf.Triple)) {
+func (caxSco) Apply(src Source, delta []rdf.Triple, emit func(rdf.Triple)) {
 	var buf []rdf.ID
 	for _, t := range delta {
 		switch t.P {
 		case rdf.IDSubClassOf:
-			// delta (c1 sc c2) joins store (x type c1): derive (x type c2).
-			buf = st.SubjectsAppend(buf[:0], rdf.IDType, t.S)
+			// delta (c1 sc c2) joins source (x type c1): derive (x type c2).
+			buf = src.SubjectsAppend(buf[:0], rdf.IDType, t.S)
 			for _, x := range buf {
 				emit(rdf.Triple{S: x, P: rdf.IDType, O: t.O})
 			}
 		case rdf.IDType:
-			// delta (x type c1) joins store (c1 sc c2): derive (x type c2).
-			buf = st.ObjectsAppend(buf[:0], rdf.IDSubClassOf, t.O)
+			// delta (x type c1) joins source (c1 sc c2): derive (x type c2).
+			buf = src.ObjectsAppend(buf[:0], rdf.IDSubClassOf, t.O)
 			for _, c2 := range buf {
 				emit(rdf.Triple{S: t.S, P: rdf.IDType, O: c2})
 			}
 		}
 	}
+}
+
+func (caxSco) Supports(src Source, t rdf.Triple) bool {
+	if t.P != rdf.IDType {
+		return false
+	}
+	// ∃ c1: (t.S type c1), (c1 sc t.O).
+	for _, c1 := range src.Objects(rdf.IDType, t.S) {
+		if src.Contains(rdf.Triple{S: c1, P: rdf.IDSubClassOf, O: t.O}) {
+			return true
+		}
+	}
+	return false
 }
 
 // prpSpo1 implements prp-spo1. It has universal input: any triple (x p y)
@@ -85,27 +115,38 @@ func (prpSpo1) Name() string      { return "prp-spo1" }
 func (prpSpo1) Inputs() []rdf.ID  { return nil }
 func (prpSpo1) Outputs() []rdf.ID { return []rdf.ID{AnyPredicate} }
 
-func (prpSpo1) Apply(st *store.Store, delta []rdf.Triple, emit func(rdf.Triple)) {
+func (prpSpo1) Apply(src Source, delta []rdf.Triple, emit func(rdf.Triple)) {
 	var buf []rdf.ID
 	for _, t := range delta {
 		if t.P == rdf.IDSubPropertyOf {
-			// delta (p1 sp p2) joins store extent of p1: derive (x p2 y).
+			// delta (p1 sp p2) joins source extent of p1: derive (x p2 y).
 			p2 := t.O
-			st.ForEachWithPredicate(t.S, func(x, y rdf.ID) bool {
+			src.ForEachWithPredicate(t.S, func(x, y rdf.ID) bool {
 				emit(rdf.Triple{S: x, P: p2, O: y})
 				return true
 			})
 		}
-		// delta (x p y) joins store (p sp p2): derive (x p2 y).
+		// delta (x p y) joins source (p sp p2): derive (x p2 y).
 		// This branch also applies when t.P == sp (sp itself may have
 		// super-properties).
-		buf = st.ObjectsAppend(buf[:0], rdf.IDSubPropertyOf, t.P)
+		buf = src.ObjectsAppend(buf[:0], rdf.IDSubPropertyOf, t.P)
 		for _, p2 := range buf {
 			if p2 != t.P { // (p sp p) would only re-derive the input
 				emit(rdf.Triple{S: t.S, P: p2, O: t.O})
 			}
 		}
 	}
+}
+
+func (prpSpo1) Supports(src Source, t rdf.Triple) bool {
+	// ∃ p1: (p1 sp t.P), (t.S p1 t.O). p1 == t.P would make the premise
+	// the conclusion itself — a self-derivation, never a real support.
+	for _, p1 := range src.Subjects(rdf.IDSubPropertyOf, t.P) {
+		if p1 != t.P && src.Contains(rdf.Triple{S: t.S, P: p1, O: t.O}) {
+			return true
+		}
+	}
+	return false
 }
 
 // prpDomRng implements prp-dom and prp-rng, parameterised by the schema
@@ -120,13 +161,13 @@ func (r *prpDomRng) Name() string      { return r.name }
 func (r *prpDomRng) Inputs() []rdf.ID  { return nil }
 func (r *prpDomRng) Outputs() []rdf.ID { return []rdf.ID{rdf.IDType} }
 
-func (r *prpDomRng) Apply(st *store.Store, delta []rdf.Triple, emit func(rdf.Triple)) {
+func (r *prpDomRng) Apply(src Source, delta []rdf.Triple, emit func(rdf.Triple)) {
 	var buf []rdf.ID
 	for _, t := range delta {
 		if t.P == r.schema {
-			// delta (p dom c) joins the store extent of p.
+			// delta (p dom c) joins the source extent of p.
 			c := t.O
-			st.ForEachWithPredicate(t.S, func(x, y rdf.ID) bool {
+			src.ForEachWithPredicate(t.S, func(x, y rdf.ID) bool {
 				target := x
 				if r.object {
 					target = y
@@ -137,8 +178,8 @@ func (r *prpDomRng) Apply(st *store.Store, delta []rdf.Triple, emit func(rdf.Tri
 				return true
 			})
 		}
-		// delta (x p y) joins store (p dom c).
-		buf = st.ObjectsAppend(buf[:0], r.schema, t.P)
+		// delta (x p y) joins source (p dom c).
+		buf = src.ObjectsAppend(buf[:0], r.schema, t.P)
 		for _, c := range buf {
 			target := t.S
 			if r.object {
@@ -149,6 +190,26 @@ func (r *prpDomRng) Apply(st *store.Store, delta []rdf.Triple, emit func(rdf.Tri
 			}
 		}
 	}
+}
+
+func (r *prpDomRng) Supports(src Source, t rdf.Triple) bool {
+	if t.P != rdf.IDType || t.S.IsLiteral() {
+		return false
+	}
+	var buf []rdf.ID
+	// ∃ p: (p schema t.O) and an extent triple of p with t.S at the
+	// typed end: (t.S p y) for dom, (x p t.S) for rng.
+	for _, p := range src.Subjects(r.schema, t.O) {
+		if r.object {
+			buf = src.SubjectsAppend(buf[:0], p, t.S)
+		} else {
+			buf = src.ObjectsAppend(buf[:0], p, t.S)
+		}
+		if len(buf) > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // scmDomRng2 implements scm-dom2 / scm-rng2:
@@ -162,24 +223,37 @@ func (r *scmDomRng2) Name() string      { return r.name }
 func (r *scmDomRng2) Inputs() []rdf.ID  { return []rdf.ID{r.schema, rdf.IDSubPropertyOf} }
 func (r *scmDomRng2) Outputs() []rdf.ID { return []rdf.ID{r.schema} }
 
-func (r *scmDomRng2) Apply(st *store.Store, delta []rdf.Triple, emit func(rdf.Triple)) {
+func (r *scmDomRng2) Apply(src Source, delta []rdf.Triple, emit func(rdf.Triple)) {
 	var buf []rdf.ID
 	for _, t := range delta {
 		switch t.P {
 		case r.schema:
-			// delta (p2 schema c) joins store (p1 sp p2).
-			buf = st.SubjectsAppend(buf[:0], rdf.IDSubPropertyOf, t.S)
+			// delta (p2 schema c) joins source (p1 sp p2).
+			buf = src.SubjectsAppend(buf[:0], rdf.IDSubPropertyOf, t.S)
 			for _, p1 := range buf {
 				emit(rdf.Triple{S: p1, P: r.schema, O: t.O})
 			}
 		case rdf.IDSubPropertyOf:
-			// delta (p1 sp p2) joins store (p2 schema c).
-			buf = st.ObjectsAppend(buf[:0], r.schema, t.O)
+			// delta (p1 sp p2) joins source (p2 schema c).
+			buf = src.ObjectsAppend(buf[:0], r.schema, t.O)
 			for _, c := range buf {
 				emit(rdf.Triple{S: t.S, P: r.schema, O: c})
 			}
 		}
 	}
+}
+
+func (r *scmDomRng2) Supports(src Source, t rdf.Triple) bool {
+	if t.P != r.schema {
+		return false
+	}
+	// ∃ p2: (t.S sp p2), (p2 schema t.O).
+	for _, p2 := range src.Objects(rdf.IDSubPropertyOf, t.S) {
+		if src.Contains(rdf.Triple{S: p2, P: r.schema, O: t.O}) {
+			return true
+		}
+	}
+	return false
 }
 
 // Constructors for the individual ρdf rules. Exposed so custom fragments

@@ -1,0 +1,208 @@
+package rules_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/rdf"
+	"repro/internal/rules"
+	"repro/internal/store"
+)
+
+// maskOne is a Source with exactly one triple hidden: the shape a
+// backward support check always sees (the checked suspect is dead, so
+// it must never serve as its own premise).
+type maskOne struct {
+	st   *store.Store
+	dead rdf.Triple
+}
+
+func (m *maskOne) Contains(t rdf.Triple) bool { return t != m.dead && m.st.Contains(t) }
+
+func (m *maskOne) ObjectsAppend(dst []rdf.ID, p, s rdf.ID) []rdf.ID {
+	n := len(dst)
+	dst = m.st.ObjectsAppend(dst, p, s)
+	kept := dst[:n]
+	for _, o := range dst[n:] {
+		if (rdf.Triple{S: s, P: p, O: o}) != m.dead {
+			kept = append(kept, o)
+		}
+	}
+	return kept
+}
+
+func (m *maskOne) Objects(p, s rdf.ID) []rdf.ID { return m.ObjectsAppend(nil, p, s) }
+
+func (m *maskOne) SubjectsAppend(dst []rdf.ID, p, o rdf.ID) []rdf.ID {
+	n := len(dst)
+	dst = m.st.SubjectsAppend(dst, p, o)
+	kept := dst[:n]
+	for _, s := range dst[n:] {
+		if (rdf.Triple{S: s, P: p, O: o}) != m.dead {
+			kept = append(kept, s)
+		}
+	}
+	return kept
+}
+
+func (m *maskOne) Subjects(p, o rdf.ID) []rdf.ID { return m.SubjectsAppend(nil, p, o) }
+
+func (m *maskOne) ForEachWithPredicate(p rdf.ID, f func(s, o rdf.ID) bool) {
+	m.st.ForEachWithPredicate(p, func(s, o rdf.ID) bool {
+		if (rdf.Triple{S: s, P: p, O: o}) == m.dead {
+			return true
+		}
+		return f(s, o)
+	})
+}
+
+func (m *maskOne) ForEach(f func(rdf.Triple) bool) {
+	m.st.ForEach(func(t rdf.Triple) bool {
+		if t == m.dead {
+			return true
+		}
+		return f(t)
+	})
+}
+
+func (m *maskOne) Predicates() []rdf.ID { return m.st.Predicates() }
+
+// oneStepDerives brute-forces the ground truth: does r's forward Apply,
+// run over every triple of src as the delta, emit t?
+func oneStepDerives(r rules.Rule, src rules.Source, t rdf.Triple) bool {
+	var all []rdf.Triple
+	src.ForEach(func(u rdf.Triple) bool {
+		all = append(all, u)
+		return true
+	})
+	found := false
+	r.Apply(src, all, func(u rdf.Triple) {
+		if u == t {
+			found = true
+		}
+	})
+	return found
+}
+
+// randomInput builds a small random ontology exercising every premise
+// shape of the three rule sets: subclass/subproperty schema, typing,
+// domain/range, plain property assertions, and the OWL-Horst vocabulary
+// (symmetric/transitive/inverse/equivalence/sameAs).
+func randomInput(rng *rand.Rand) []rdf.Triple {
+	id := func(i int) rdf.ID { return rdf.FirstCustomID + rdf.ID(i) }
+	cls := func() rdf.ID { return id(rng.Intn(4)) }
+	prop := func() rdf.ID { return id(10 + rng.Intn(3)) }
+	inst := func() rdf.ID { return id(100 + rng.Intn(5)) }
+	seen := map[rdf.Triple]bool{}
+	var out []rdf.Triple
+	add := func(t rdf.Triple) {
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	n := rng.Intn(14) + 6
+	for i := 0; i < n; i++ {
+		switch rng.Intn(12) {
+		case 0:
+			add(rdf.T(cls(), rdf.IDSubClassOf, cls()))
+		case 1:
+			add(rdf.T(prop(), rdf.IDSubPropertyOf, prop()))
+		case 2:
+			add(rdf.T(inst(), rdf.IDType, cls()))
+		case 3:
+			add(rdf.T(prop(), rdf.IDDomain, cls()))
+		case 4:
+			add(rdf.T(prop(), rdf.IDRange, cls()))
+		case 5:
+			add(rdf.T(inst(), prop(), inst()))
+		case 6:
+			add(rdf.T(prop(), rdf.IDType, rdf.IDSymmetricProperty))
+		case 7:
+			add(rdf.T(prop(), rdf.IDType, rdf.IDTransitiveProperty))
+		case 8:
+			add(rdf.T(prop(), rdf.IDInverseOf, prop()))
+		case 9:
+			add(rdf.T(cls(), rdf.IDEquivalentClass, cls()))
+		case 10:
+			add(rdf.T(prop(), rdf.IDEquivalentProperty, prop()))
+		case 11:
+			add(rdf.T(inst(), rdf.IDSameAs, inst()))
+		}
+	}
+	return out
+}
+
+// TestSupportsMatchesOneStepDerivability is the exactness property the
+// suspect-local retraction path rests on: for every rule of every
+// built-in rule set, Supports(src, t) answers exactly "does forward
+// Apply derive t from src" — with t itself hidden from src, as during a
+// real support check. Checked for every triple of the closure of random
+// ontologies.
+func TestSupportsMatchesOneStepDerivability(t *testing.T) {
+	rulesets := map[string][]rules.Rule{
+		"rhodf":     rules.RhoDF(),
+		"rdfs":      rules.RDFS(),
+		"owl-horst": rules.OWLHorst(),
+	}
+	for name, ruleset := range rulesets {
+		t.Run(name, func(t *testing.T) {
+			if !rules.AllSupport(ruleset) {
+				t.Fatalf("built-in ruleset %s has rules without a support face", name)
+			}
+			for seed := int64(0); seed < 40; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				input := randomInput(rng)
+				closed, _, err := baseline.Closure(context.Background(), ruleset, input)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var all []rdf.Triple
+				closed.ForEach(func(u rdf.Triple) bool {
+					all = append(all, u)
+					return true
+				})
+				for _, tr := range all {
+					src := &maskOne{st: closed, dead: tr}
+					for _, r := range ruleset {
+						sup, ok := r.(rules.Supporter)
+						if !ok {
+							t.Fatalf("rule %s: no Supports", r.Name())
+						}
+						got := sup.Supports(src, tr)
+						want := oneStepDerives(r, src, tr)
+						if got != want {
+							t.Fatalf("seed %d rule %s triple %v: Supports=%v, one-step derivability=%v",
+								seed, r.Name(), tr, got, want)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCustomRuleSupportGate checks the capability gate: a CustomRule
+// without a SupportsFn disqualifies its ruleset from the suspect-local
+// path, one with it qualifies.
+func TestCustomRuleSupportGate(t *testing.T) {
+	plain := &rules.CustomRule{RuleName: "plain"}
+	if rules.CanSupport(plain) {
+		t.Fatal("CustomRule without SupportsFn claims support")
+	}
+	if rules.AllSupport(append(rules.RhoDF(), plain)) {
+		t.Fatal("ruleset with unsupporting rule passes AllSupport")
+	}
+	withFn := &rules.CustomRule{
+		RuleName:   "with-fn",
+		SupportsFn: func(rules.Source, rdf.Triple) bool { return false },
+	}
+	if !rules.CanSupport(withFn) {
+		t.Fatal("CustomRule with SupportsFn not recognised")
+	}
+	if !rules.AllSupport(append(rules.RhoDF(), withFn)) {
+		t.Fatal("fully-supporting ruleset fails AllSupport")
+	}
+}

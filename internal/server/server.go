@@ -56,11 +56,12 @@ type Config struct {
 	// — capping concurrent execution caps that share. Default
 	// max(1, GOMAXPROCS/2); negative = unlimited.
 	QueryConcurrency int
-	// RetractTimeout bounds one retraction's delete-and-rederive pass —
-	// an O(store) operation, hence a separate, generous budget (default
-	// 5m). The pass runs on a server-scoped context: on a durable KB a
-	// mid-DRed cancellation poisons the reasoner until restart, so a
-	// client disconnect must not be able to trigger one.
+	// RetractTimeout bounds one retraction's delete-and-rederive pass
+	// (default 5m). The pass's analysis phases run concurrently with
+	// ingest and are safely cancellable — a timeout (or client
+	// disconnect, which the server-scoped context ignores) mid-pass
+	// leaves the knowledge base untouched and healthy; only the short
+	// final apply window is uninterruptible.
 	RetractTimeout time.Duration
 }
 
@@ -346,10 +347,11 @@ func (s *Server) handleRetract(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "parse: %v", err)
 		return
 	}
-	// Detached from the request: cancelling DRed mid-pass poisons a
-	// durable reasoner (and leaves an in-memory one half-retracted), so
-	// a client disconnect must not abort it. The server-scoped
-	// RetractTimeout is the only bound.
+	// Detached from the request: a retraction acknowledged to one client
+	// must not be abortable by that client's disconnect. Cancellation is
+	// otherwise harmless — the pass's analysis phases are read-only and
+	// leave the reasoner healthy — so the server-scoped RetractTimeout
+	// is simply the work bound.
 	ctx, cancel := context.WithTimeout(context.WithoutCancel(r.Context()), s.cfg.RetractTimeout)
 	defer cancel()
 	stats, err := s.r.Retract(ctx, sts...)
@@ -363,10 +365,14 @@ func (s *Server) handleRetract(w http.ResponseWriter, r *http.Request) {
 	}
 	s.nRetracted.Add(int64(stats.Retracted))
 	writeJSON(w, http.StatusOK, map[string]any{
-		"retracted":   stats.Retracted,
-		"overdeleted": stats.Overdeleted,
-		"rederived":   stats.Rederived,
-		"rounds":      stats.Rounds,
+		"retracted":    stats.Retracted,
+		"suspects":     stats.Suspects,
+		"overdeleted":  stats.Overdeleted,
+		"rederived":    stats.Rederived,
+		"rounds":       stats.Rounds,
+		"validated":    stats.Validated,
+		"exclusive_us": stats.ExclusiveMicros,
+		"two_phase":    stats.TwoPhase,
 	})
 }
 
@@ -386,7 +392,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	es := s.r.Stats()
 	ss := s.r.Store().Stats()
-	writeJSON(w, http.StatusOK, map[string]any{
+	out := map[string]any{
 		"triples":    s.r.Len(),
 		"fragment":   s.r.Fragment().Name(),
 		"engine":     map[string]any{"inferred": es.Inferred, "duplicates": es.Duplicates},
@@ -406,5 +412,20 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			"query_concurrency":    s.cfg.QueryConcurrency,
 			"draining":             s.draining.Load(),
 		},
-	})
+	}
+	// Last completed DRed pass, when one has run: how suspect-local the
+	// analysis was and how long writers were actually excluded.
+	if rs, ok := s.r.LastRetract(); ok {
+		out["retraction"] = map[string]any{
+			"retracted":    rs.Retracted,
+			"suspects":     rs.Suspects,
+			"overdeleted":  rs.Overdeleted,
+			"rederived":    rs.Rederived,
+			"rounds":       rs.Rounds,
+			"validated":    rs.Validated,
+			"exclusive_us": rs.ExclusiveMicros,
+			"two_phase":    rs.TwoPhase,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
 }

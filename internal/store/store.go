@@ -1177,45 +1177,98 @@ func (v *View) matchPredicate(p, s, o rdf.ID, f func(rdf.Triple) bool) {
 	}
 }
 
-// matchSubject streams the frozen objects of one subject: live pairs not
-// journaled as post-freeze insertions, plus journaled post-freeze
-// removals. The lock hold is bounded by the subject's degree, as for a
-// live probe.
+// matchSubject streams the frozen objects of one subject — the
+// ObjectsAppend reconstruction, with f run outside the locks. The lock
+// hold is bounded by the subject's degree, as for a live probe.
 func (v *View) matchSubject(p, s rdf.ID, f func(rdf.Triple) bool) {
+	for _, o := range v.ObjectsAppend(nil, p, s) {
+		if !f(rdf.Triple{S: s, P: p, O: o}) {
+			return
+		}
+	}
+}
+
+// ObjectsAppend appends the freeze-time objects o with (s, p, o) present
+// to dst and returns the extended slice: live pairs not journaled as
+// post-freeze insertions, plus journaled post-freeze removals. The lock
+// hold is bounded by the subject's degree, exactly as for a live probe —
+// these pattern-indexed view probes are what lets rule joins (and the
+// backward support checks of suspect-local retraction) run against a
+// frozen view at live-probe cost.
+func (v *View) ObjectsAppend(dst []rdf.ID, p, s rdf.ID) []rdf.ID {
 	str := v.st.stripeFor(p)
 	str.mu.RLock()
 	part, ok := str.parts[p]
 	str.mu.RUnlock()
 	if !ok {
-		return
+		return dst
 	}
-	buf := pairBufs.Get().(*[]pair)
-	defer putPairs(buf)
-	out := (*buf)[:0]
 	part.mu.RLock()
+	defer part.mu.RUnlock()
 	if part.born >= v.epoch {
-		part.mu.RUnlock()
-		return
+		return dst
 	}
 	js := part.journals[v.epoch].sub(s)
-	for obj := range part.so[s] {
-		if present, journaled := js[obj]; journaled && !present {
-			continue
+	for o := range part.so[s] {
+		if present, journaled := js[o]; journaled && !present {
+			continue // inserted after the freeze
 		}
-		out = append(out, pair{s: s, o: obj})
+		dst = append(dst, o)
 	}
-	for obj, present := range js {
+	for o, present := range js {
 		if present {
-			out = append(out, pair{s: s, o: obj})
+			dst = append(dst, o) // removed after the freeze
 		}
 	}
-	part.mu.RUnlock()
-	*buf = out
-	for _, pr := range out {
-		if !f(rdf.Triple{S: pr.s, P: p, O: pr.o}) {
-			return
+	return dst
+}
+
+// Objects returns a copy of the freeze-time objects o with (s, p, o)
+// present.
+func (v *View) Objects(p, s rdf.ID) []rdf.ID {
+	return v.ObjectsAppend(nil, p, s)
+}
+
+// SubjectsAppend appends the freeze-time subjects s with (s, p, o)
+// present to dst and returns the extended slice. The lock hold is
+// bounded by the object's live extent plus the view's journal for the
+// partition.
+func (v *View) SubjectsAppend(dst []rdf.ID, p, o rdf.ID) []rdf.ID {
+	str := v.st.stripeFor(p)
+	str.mu.RLock()
+	part, ok := str.parts[p]
+	str.mu.RUnlock()
+	if !ok {
+		return dst
+	}
+	part.mu.RLock()
+	defer part.mu.RUnlock()
+	if part.born >= v.epoch {
+		return dst
+	}
+	j := part.journals[v.epoch]
+	for s := range part.os[o] {
+		if present, journaled := j.sub(s)[o]; journaled && !present {
+			continue // inserted after the freeze
+		}
+		dst = append(dst, s)
+	}
+	if j != nil {
+		// Journaled post-freeze removals with this object: present at
+		// freeze time but no longer live.
+		for s, js := range j.m {
+			if js[o] {
+				dst = append(dst, s)
+			}
 		}
 	}
+	return dst
+}
+
+// Subjects returns a copy of the freeze-time subjects s with (s, p, o)
+// present.
+func (v *View) Subjects(p, o rdf.ID) []rdf.ID {
+	return v.SubjectsAppend(nil, p, o)
 }
 
 // matchObject streams the frozen subjects of one (predicate, object) —

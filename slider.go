@@ -66,6 +66,9 @@ type (
 	Store = store.Store
 	// Rule is one inference rule; see CustomRule for assembling your own.
 	Rule = rules.Rule
+	// Source is the read face a rule joins against — satisfied by the
+	// live store and by frozen copy-on-write views alike.
+	Source = rules.Source
 	// CustomRule adapts a function into a Rule.
 	CustomRule = rules.CustomRule
 	// DependencyGraph is the rules dependency graph (paper Figure 2).
@@ -189,6 +192,20 @@ type Reasoner struct {
 	refreshMu  sync.Mutex
 	viewMaxAge time.Duration
 
+	// retractMu serializes whole retraction passes: a pass's prepared
+	// suspect analysis is keyed to its own frozen view, and DRed passes
+	// do not compose concurrently. Taken before every other lock the
+	// pass uses.
+	retractMu sync.Mutex
+	// fullRetract forces the classic full-store rederive path
+	// (WithFullRetract) instead of the suspect-local two-phase one.
+	fullRetract bool
+	// lastRetract holds the statistics of the most recent completed
+	// retraction pass, for LastRetract and the serving layer's /stats.
+	lastRetractMu  sync.Mutex
+	lastRetract    RetractStats
+	hasLastRetract bool
+
 	// dur is the write-ahead-log state of a durable reasoner (Open or
 	// WithDurability); nil for in-memory reasoners. See durable.go.
 	dur *durability
@@ -249,10 +266,11 @@ func newReasoner(frag Fragment, dict *rdf.Dictionary, st *store.Store, cfg confi
 		maxAge = DefaultViewMaxAge
 	}
 	return &Reasoner{
-		dict:       dict,
-		explicit:   explicit,
-		store:      st,
-		viewMaxAge: maxAge,
+		dict:        dict,
+		explicit:    explicit,
+		store:       st,
+		viewMaxAge:  maxAge,
+		fullRetract: cfg.fullRetract,
 		engine: reasoner.New(st, frag.rules, reasoner.Config{
 			BufferSize:      cfg.bufferSize,
 			Timeout:         cfg.timeout,
@@ -389,15 +407,31 @@ type RetractStats = maintenance.Stats
 // materialisation using delete-and-rederive (DRed): consequences that
 // lose their last derivation disappear; consequences with alternative
 // derivations survive. Requires WithRetraction (durable reasoners always
-// track explicit triples); the call waits for quiescence, so concurrent
-// Adds extend it. On a durable reasoner the deletion batch is logged
-// before it is applied, so the retraction survives a restart.
+// track explicit triples). On a durable reasoner the deletion batch is
+// logged before it is applied, so the retraction survives a restart.
+//
+// The pass is two-phase, and its cost to concurrent writers is bounded
+// by the suspect set, not the store. Phase A freezes a copy-on-write
+// view of the materialised closure (a brief quiescence drain, as for a
+// checkpoint mark or a read-session refresh) and analyses it while
+// ingest continues: overdeletion from the retracted triples, then a
+// targeted backward support check per suspect ("does any rule derive
+// you from premises outside the suspect set?") with forward propagation
+// seeded only by restored suspects. Phase B re-takes the mark gate for
+// a short exclusive validate-and-apply window: suspects are re-checked
+// against whatever landed mid-pass, the final dead set is removed, and
+// writers resume. Cancelling ctx during phase A (or before phase B's
+// log append) leaves the knowledge base untouched and healthy; once the
+// retraction is logged the apply step is uninterruptible, so the live
+// state can never diverge from what replay would reconstruct.
+//
+// Rulesets containing a CustomRule without a SupportsFn (and reasoners
+// built WithFullRetract) fall back to classic DRed: the whole
+// delete-and-rederive runs inside the exclusive window and rederives
+// from the full surviving store.
 func (r *Reasoner) Retract(ctx context.Context, sts ...Statement) (RetractStats, error) {
 	if r.explicit == nil {
 		return RetractStats{}, fmt.Errorf("slider: retraction not enabled (use WithRetraction)")
-	}
-	if err := r.engine.Wait(ctx); err != nil {
-		return RetractStats{}, err
 	}
 	var toDelete []rdf.Triple
 	for _, st := range sts {
@@ -406,63 +440,94 @@ func (r *Reasoner) Retract(ctx context.Context, sts ...Statement) (RetractStats,
 			toDelete = append(toDelete, t)
 		}
 	}
+	// One retraction at a time: a pass's prepared analysis is keyed to
+	// its own frozen view, and DRed passes do not compose concurrently.
+	// Taken before every other lock the pass uses.
+	r.retractMu.Lock()
+	defer r.retractMu.Unlock()
+	if len(toDelete) == 0 {
+		// Nothing can be explicit; keep the quiescence contract and the
+		// write-refusal behaviour of a failed reasoner.
+		if err := r.engine.Wait(ctx); err != nil {
+			return RetractStats{}, err
+		}
+		return RetractStats{}, r.durErr()
+	}
+
+	var pass *maintenance.Pass
+	if !r.fullRetract && rules.AllSupport(r.frag.rules) {
+		// Phase A: freeze a consistent closure, then run the read-only
+		// suspect analysis against it while ingest continues.
+		sv, storeV, explicitV, err := r.freezeClosure(ctx)
+		if err != nil {
+			return RetractStats{}, err
+		}
+		defer sv.Release()
+		pass, err = maintenance.Prepare(ctx, sv, storeV, explicitV, r.frag.rules, r.explicit, toDelete)
+		if err != nil {
+			return RetractStats{}, err
+		}
+	}
+
+	// Phase B: the exclusive validate-and-apply window. Writers are
+	// excluded (d.mu keeps durable appends out of the log, the mark
+	// gate's write side keeps engine handoffs out of the store), the
+	// engine drains, and — durable only — the retraction is logged.
+	// From the log append on, the pass is uninterruptible: Pass.Apply
+	// takes no context, performs no I/O and cannot fail, so the live
+	// state never diverges from what replay would reconstruct. Lock
+	// order matches addTriples/applyAssert: d.mu, then markMu, then
+	// explicitMu.
 	if r.dur != nil {
 		r.dur.mu.Lock()
 		defer r.dur.mu.Unlock()
 		if err := r.dur.getErr(); err != nil {
 			return RetractStats{}, err
 		}
-		// Re-establish quiescence now that appends are excluded: a batch
-		// logged between the Wait above and taking the lock may still be
-		// inferring, and DRed against a partial closure could delete
-		// consequences whose alternative derivation is not yet
-		// materialised — a state replay (which waits) would not
-		// reproduce.
-		if err := r.engine.Wait(ctx); err != nil {
+	}
+	r.markMu.Lock()
+	defer r.markMu.Unlock()
+	exStart := time.Now()
+	if err := r.engine.Wait(ctx); err != nil {
+		return RetractStats{}, err
+	}
+	if pass == nil {
+		// Fallback: classic DRed. The read-only overdelete runs here,
+		// inside the exclusive window, so cancellation still leaves the
+		// store intact; the O(store) rederive follows in Apply.
+		var err error
+		pass, err = maintenance.PrepareFull(ctx, r.store, r.frag.rules, r.explicit, toDelete)
+		if err != nil {
 			return RetractStats{}, err
 		}
-		if len(toDelete) > 0 {
-			rec := wal.Record{Op: wal.OpRetract, Terms: r.dur.termDelta(r.dict), Triples: toDelete}
-			if err := r.dur.log.Append(rec); err != nil {
-				r.dur.setErr(err)
-				return RetractStats{}, err
-			}
-		}
-		// The whole delete-and-rederive pass is one mutation as far as
-		// read sessions are concerned: hold the mark gate so a View
-		// refresh never freezes a half-retracted store. d.mu (held
-		// above) already excludes concurrent appends for the pass, so
-		// the read side suffices. markMu before explicitMu, as in
-		// applyAssert.
-		r.markMu.RLock()
-		defer r.markMu.RUnlock()
-	} else {
-		// No d.mu on an in-memory reasoner, so the mark gate's write
-		// side is what excludes concurrent asserts: engine handoffs hold
-		// the read side, and the re-drain below (with them excluded)
-		// gives DRed the quiescent store maintenance.Retract requires —
-		// otherwise an overdeleted consequence whose alternative
-		// derivation was still inferring would be lost for good. It
-		// also keeps View refreshes from freezing a half-retracted
-		// store.
-		r.markMu.Lock()
-		defer r.markMu.Unlock()
-		if err := r.engine.Wait(ctx); err != nil {
+	}
+	if err := ctx.Err(); err != nil { // last cancellation point
+		return RetractStats{}, err
+	}
+	if r.dur != nil {
+		rec := wal.Record{Op: wal.OpRetract, Terms: r.dur.termDelta(r.dict), Triples: toDelete}
+		if err := r.dur.log.Append(rec); err != nil {
+			r.dur.setErr(err)
 			return RetractStats{}, err
 		}
 	}
 	r.explicitMu.Lock()
 	defer r.explicitMu.Unlock()
-	stats, err := maintenance.Retract(ctx, r.store, r.frag.rules, r.explicit, toDelete)
-	if err != nil && r.dur != nil && len(toDelete) > 0 {
-		// The retraction is in the log but was not fully applied (e.g.
-		// the context expired mid-DRed): the live store now disagrees
-		// with what recovery would reconstruct. Poison the reasoner —
-		// further writes and the close-time checkpoint are refused, and
-		// reopening the directory replays the log to the correct state.
-		r.dur.setErr(fmt.Errorf("slider: retraction logged but not fully applied (reopen the KB to recover): %w", err))
-	}
-	return stats, err
+	stats := pass.Apply(r.store, r.explicit)
+	stats.ExclusiveMicros = time.Since(exStart).Microseconds()
+	r.lastRetractMu.Lock()
+	r.lastRetract, r.hasLastRetract = stats, true
+	r.lastRetractMu.Unlock()
+	return stats, nil
+}
+
+// LastRetract returns the statistics of the most recent completed
+// retraction pass, and whether any has completed — the numbers behind
+// the serving layer's /stats retraction block.
+func (r *Reasoner) LastRetract() (RetractStats, bool) {
+	r.lastRetractMu.Lock()
+	defer r.lastRetractMu.Unlock()
+	return r.lastRetract, r.hasLastRetract
 }
 
 // loadChunkSize is how many parsed statements the loaders accumulate

@@ -9,7 +9,6 @@ import (
 	"time"
 
 	"repro/internal/rdf"
-	"repro/internal/store"
 )
 
 func ex(name string) Term { return IRI("http://example.org/" + name) }
@@ -189,7 +188,7 @@ func TestCustomFragment(t *testing.T) {
 	var knowsID ID
 	sym := &CustomRule{
 		RuleName: "sym-knows",
-		Fn: func(_ *store.Store, delta []Triple, emit func(Triple)) {
+		Fn: func(_ Source, delta []Triple, emit func(Triple)) {
 			for _, t := range delta {
 				if t.P == knowsID {
 					emit(Triple{S: t.O, P: t.P, O: t.S})

@@ -109,23 +109,10 @@ func (r *Reasoner) refreshView(ctx context.Context) (*View, error) {
 		return &View{r: r, shared: cur}, nil
 	}
 	r.viewMu.Unlock()
-	// Pre-drain without excluding writers, so the exclusive window below
-	// covers only the inference that arrived during the gap. Bounded:
-	// under sustained ingest the engine may never be spontaneously
-	// quiescent, and only the locked drain (which excludes writers, so
-	// it terminates) has to reach it.
-	predrain, cancel := context.WithTimeout(ctx, time.Second)
-	r.engine.Wait(predrain)
-	cancel()
-	r.markMu.Lock()
-	err := r.engine.Wait(ctx)
+	sv, version, _, err := r.freezeClosure(ctx)
 	if err != nil {
-		r.markMu.Unlock()
 		return nil, err
 	}
-	sv := r.store.Freeze()
-	version := r.store.Version()
-	r.markMu.Unlock()
 	ns := &sharedView{sv: sv, version: version, born: time.Now()}
 	ns.refs.Store(2) // the cache slot + the returned session
 	r.viewMu.Lock()
@@ -136,6 +123,34 @@ func (r *Reasoner) refreshView(ctx context.Context) (*View, error) {
 		old.unref()
 	}
 	return &View{r: r, shared: ns}, nil
+}
+
+// freezeClosure quiesces inference and captures a copy-on-write view of
+// the materialised store — the closure of every batch acknowledged
+// before the freeze — along with the version stamps of the store and
+// the explicit set at that instant. The exclusive window is O(1) beyond
+// the quiescence drain; a pre-drain without the lock bounds what the
+// locked drain still has to absorb (under sustained ingest the engine
+// is never spontaneously quiescent, and only the locked drain, with
+// writers excluded, is guaranteed to terminate). Shared lock
+// choreography for read-session refresh and the retraction pass's
+// frozen phase A.
+func (r *Reasoner) freezeClosure(ctx context.Context) (*store.View, uint64, uint64, error) {
+	predrain, cancel := context.WithTimeout(ctx, time.Second)
+	r.engine.Wait(predrain)
+	cancel()
+	r.markMu.Lock()
+	defer r.markMu.Unlock()
+	if err := r.engine.Wait(ctx); err != nil {
+		return nil, 0, 0, err
+	}
+	sv := r.store.Freeze()
+	storeVersion := r.store.Version()
+	var explicitVersion uint64
+	if r.explicit != nil {
+		explicitVersion = r.explicit.Version()
+	}
+	return sv, storeVersion, explicitVersion, nil
 }
 
 // dropCachedView releases the cache slot's reference (Reasoner.Close).

@@ -14,6 +14,7 @@
 //	sliderbench -checkpoint             # writer pause during capture, BENCH_checkpoint.json
 //	sliderbench -serve                  # HTTP QPS/latency under ingest, BENCH_serve.json
 //	sliderbench -retract                # retraction stall vs store size, BENCH_retract.json
+//	sliderbench -join                   # multi-pattern join latency, BENCH_join.json
 package main
 
 import (
@@ -59,6 +60,10 @@ func main() {
 		retractBatch = flag.Int("retractbatch", 8, "explicit triples retracted per -retract pass (the fixed suspect-set knob)")
 		retractCell  = flag.Duration("retractcell", 3*time.Second, "measurement duration per -retract mode window")
 
+		joinBench = flag.Bool("join", false, "measure multi-pattern join latency: cost-based order + galloping intersection vs as-written order, run-backed vs map-only store layout")
+		joinOut   = flag.String("joinout", "BENCH_join.json", "output path for the -join JSON report")
+		joinSizes = flag.String("joinsizes", "100000,1000000", "comma-separated dataset sizes (triples) for -join")
+
 		serve        = flag.Bool("serve", false, "measure the HTTP serving layer: QPS and query latency under concurrent ingest, and the writer-throughput cost of querying")
 		serveOut     = flag.String("serveout", "BENCH_serve.json", "output path for the -serve JSON report")
 		serveClients = flag.String("serveclients", "1,4,16", "comma-separated query-client counts for -serve")
@@ -75,7 +80,7 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), *limit)
 	defer cancel()
 
-	if !*table1 && !*fig2 && !*fig3 && !*sweep && !*ingest && !*walBench && !*ckptBench && !*serve && !*retractBench {
+	if !*table1 && !*fig2 && !*fig3 && !*sweep && !*ingest && !*walBench && !*ckptBench && !*serve && !*retractBench && !*joinBench {
 		*table1 = true
 	}
 
@@ -200,6 +205,29 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println("wrote", *retractOut)
+	}
+	if *joinBench {
+		sizes, err := parseWorkerList(*joinSizes)
+		if err != nil {
+			fatal(err)
+		}
+		rep, err := bench.JoinBench(ctx, sizes, *repeat)
+		if err != nil {
+			fatal(err)
+		}
+		bench.WriteJoinTable(os.Stdout, rep)
+		f, err := os.Create(*joinOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := bench.WriteJoinJSON(f, rep); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *joinOut)
 	}
 	if *ckptBench {
 		rep, err := bench.CheckpointPause(ctx, *ckptFacts, cfg)

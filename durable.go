@@ -328,6 +328,14 @@ func (r *Reasoner) runCheckpoint(ctx context.Context, done chan struct{}) error 
 	predrain, cancel := context.WithTimeout(ctx, 10*time.Second)
 	r.engine.Wait(predrain)
 	cancel()
+	// Seal overlays before marking: a partition left clean (no overlay,
+	// no tombstones, no post-freeze journal) streams its runs verbatim
+	// during the capture — no per-pair checks. Overlays are capped at
+	// flushMax pairs by the background compactor, so this is a small
+	// bounded pass, not an O(store) stall; partitions that keep taking
+	// writes lose the fast path to their journals regardless, which is
+	// why nothing heavier (a full merge, say) is worth doing here.
+	r.store.FlushOverlays()
 	d.mu.Lock()
 	cap, err := r.markCheckpointLocked(ctx)
 	d.mu.Unlock()

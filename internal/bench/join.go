@@ -1,0 +1,271 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/query"
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// JoinReport is the JSON document cmd/sliderbench -join emits
+// (BENCH_join.json): multi-pattern join latency across two axes the PR
+// introduced — the cost-based join order plus galloping intersection
+// ("planned") against left-to-right enumerate-and-probe ("naive"), and
+// the compacted run-backed store layout ("runs") against the pure
+// map-overlay layout ("map", the pre-run storage). The naive×map cell
+// is the pre-optimisation baseline; planned×runs is the shipped path.
+type JoinReport struct {
+	GoMaxProcs int        `json:"gomaxprocs"`
+	Repeat     int        `json:"repeat"` // runs per cell; fastest reported
+	Sizes      []JoinSize `json:"sizes"`
+}
+
+// JoinSize is one dataset size: the chain layers and star extents scaled
+// to ~Triples total, each query evaluated over all four cells.
+type JoinSize struct {
+	Triples int `json:"triples"` // requested dataset size
+	Loaded  int `json:"loaded"`  // distinct triples actually stored
+	// Runs/RunPairs describe the compacted store after Compact(): the
+	// run-backed cells read from this shape.
+	Runs     int        `json:"runs"`
+	RunPairs int        `json:"run_pairs"`
+	Queries  []JoinCell `json:"queries"`
+}
+
+// JoinCell is one query × the four {order × layout} measurement cells.
+type JoinCell struct {
+	Name     string `json:"name"`     // chain2..chain4, star2..star4
+	Patterns int    `json:"patterns"` // BGP size
+	Rows     int    `json:"rows"`     // solutions (identical across cells)
+
+	NaiveMapMS    float64 `json:"naive_map_ms"`    // before: as-written order, map layout
+	PlannedMapMS  float64 `json:"planned_map_ms"`  // planner+gallop alone
+	NaiveRunsMS   float64 `json:"naive_runs_ms"`   // run layout alone
+	PlannedRunsMS float64 `json:"planned_runs_ms"` // after: full optimised path
+
+	// Speedup is NaiveMapMS / PlannedRunsMS — the headline before/after.
+	Speedup float64 `json:"speedup"`
+}
+
+// joinIRI interns one benchmark term.
+func joinIRI(d *rdf.Dictionary, format string, args ...any) rdf.ID {
+	return d.EncodeIRI(fmt.Sprintf("http://bench.example/join/"+format, args...))
+}
+
+// joinDataset synthesises ~n triples in two halves engineered to reward
+// the two optimisations separately:
+//
+//   - A layered chain A -p1-> B -p2-> C -p3-> D -p4-> E with extents
+//     |p1| >> |p2| >> |p4| > |p3|. Written left to right, a chain query
+//     enumerates the huge p1 extent first; the planner instead anchors at
+//     the tiny p3 (or p2) extent and grows the join outward, so its cost
+//     tracks the smallest extent rather than the first.
+//   - A star of flat predicates q1..q4 with one shared object class each
+//     (s qj Cj for every s with s ≡ 0 mod mj). A star query's patterns
+//     share the single variable ?s, which is exactly the shape the
+//     executor answers by galloping intersection of the sorted subject
+//     extents instead of probing every candidate.
+func joinDataset(d *rdf.Dictionary, n int) (ts []rdf.Triple, chainP, starP []rdf.ID, starObj []rdf.ID) {
+	ts = make([]rdf.Triple, 0, n+4)
+	half := n / 2
+
+	// Chain half: c3 is the fixed selective anchor, c4 small, and the
+	// bulk splits 4:1 over p1 and p2 so naive left-to-right starts at
+	// the worst possible pattern.
+	c3 := min(1000, half/8)
+	c4 := min(10*c3, half/8)
+	rest := half - c3 - c4
+	c1, c2 := rest*4/5, rest/5
+	counts := []int{c1, c2, c3, c4}
+	chainP = make([]rdf.ID, 4)
+	for i := range chainP {
+		chainP[i] = joinIRI(d, "p%d", i+1)
+	}
+	layer := func(l, j int) rdf.ID { return joinIRI(d, "n%d_%d", l, j) }
+	for l, c := range counts {
+		for j := 0; j < c; j++ {
+			ts = append(ts, rdf.T(layer(l, j), chainP[l], layer(l+1, j)))
+		}
+	}
+
+	// Star half: subject s carries (s qj Cj) when s divides mj, so the
+	// k-star answer is the subjects divisible by lcm(m1..mk) — a small
+	// intersection of individually huge extents.
+	mods := []int{2, 3, 5, 7}
+	starP = make([]rdf.ID, 4)
+	starObj = make([]rdf.ID, 4)
+	for i := range starP {
+		starP[i] = joinIRI(d, "q%d", i+1)
+		starObj[i] = joinIRI(d, "C%d", i+1)
+	}
+	// Σ 1/mj ≈ 1.176 triples per subject.
+	subjects := half * 1000 / 1176
+	for s := 0; s < subjects; s++ {
+		subj := joinIRI(d, "s%d", s)
+		for i, m := range mods {
+			if s%m == 0 {
+				ts = append(ts, rdf.T(subj, starP[i], starObj[i]))
+			}
+		}
+	}
+	return ts, chainP, starP, starObj
+}
+
+// joinQueries builds the six benchmark queries over the dataset's IDs.
+// Ground terms go through the dictionary's reverse map inside the
+// executor, so patterns carry Terms.
+func joinQueries(d *rdf.Dictionary, chainP, starP, starObj []rdf.ID) []struct {
+	name string
+	q    query.Query
+} {
+	term := func(id rdf.ID) query.Node {
+		t, _ := d.Term(id)
+		return query.T(t)
+	}
+	chain := func(k int) query.Query {
+		var q query.Query
+		for i := 0; i < k; i++ {
+			q.Patterns = append(q.Patterns, query.Pattern{
+				S: query.V(fmt.Sprintf("x%d", i)),
+				P: term(chainP[i]),
+				O: query.V(fmt.Sprintf("x%d", i+1)),
+			})
+		}
+		// Project only the anchor variable: solution materialisation cost
+		// stays flat so the cells compare join work, not row formatting.
+		q.Select = []string{fmt.Sprintf("x%d", k)}
+		return q
+	}
+	star := func(k int) query.Query {
+		var q query.Query
+		for i := 0; i < k; i++ {
+			q.Patterns = append(q.Patterns, query.Pattern{
+				S: query.V("s"), P: term(starP[i]), O: term(starObj[i]),
+			})
+		}
+		q.Select = []string{"s"}
+		return q
+	}
+	return []struct {
+		name string
+		q    query.Query
+	}{
+		{"chain2", chain(2)}, {"chain3", chain(3)}, {"chain4", chain(4)},
+		{"star2", star(2)}, {"star3", star(3)}, {"star4", star(4)},
+	}
+}
+
+// timeJoin evaluates q against src repeat times and returns the fastest
+// wall time and the solution count.
+func timeJoin(src query.Source, d *rdf.Dictionary, q query.Query, repeat int) (time.Duration, int, error) {
+	best := time.Duration(0)
+	rows := 0
+	for i := 0; i < repeat; i++ {
+		n := 0
+		t0 := time.Now()
+		err := query.ExecuteFunc(src, d, q, func(query.Binding) bool {
+			n++
+			return true
+		})
+		lat := time.Since(t0)
+		if err != nil {
+			return 0, 0, err
+		}
+		rows = n
+		if i == 0 || lat < best {
+			best = lat
+		}
+	}
+	return best, rows, nil
+}
+
+// JoinBench measures multi-pattern join latency over the given dataset
+// sizes. Per size it loads the same synthetic triples into two stores —
+// one kept in the pure map-overlay layout (compactor off), one fully
+// compacted into sorted runs — and evaluates chain and star BGPs of 2–4
+// patterns in planned and naive (as-written, no galloping) order on
+// each.
+func JoinBench(ctx context.Context, sizes []int, repeat int) (JoinReport, error) {
+	rep := JoinReport{GoMaxProcs: runtime.GOMAXPROCS(0), Repeat: repeat}
+	for _, n := range sizes {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
+		dict := rdf.NewDictionary()
+		ts, chainP, starP, starObj := joinDataset(dict, n)
+
+		mapStore := store.New()
+		mapStore.SetAutoCompact(false)
+		mapStore.AddBatch(ts)
+		runStore := store.New()
+		runStore.AddBatch(ts)
+		runStore.Compact()
+		ss := runStore.Stats()
+
+		size := JoinSize{Triples: n, Loaded: runStore.Len(), Runs: ss.Runs, RunPairs: ss.RunPairs}
+		for _, jq := range joinQueries(dict, chainP, starP, starObj) {
+			if err := ctx.Err(); err != nil {
+				return rep, err
+			}
+			cell := JoinCell{Name: jq.name, Patterns: len(jq.q.Patterns)}
+			naive := jq.q
+			naive.NaiveOrder = true
+
+			type run struct {
+				src query.Source
+				q   query.Query
+				dst *float64
+			}
+			for _, r := range []run{
+				{mapStore, naive, &cell.NaiveMapMS},
+				{mapStore, jq.q, &cell.PlannedMapMS},
+				{runStore, naive, &cell.NaiveRunsMS},
+				{runStore, jq.q, &cell.PlannedRunsMS},
+			} {
+				lat, rows, err := timeJoin(r.src, dict, r.q, repeat)
+				if err != nil {
+					return rep, err
+				}
+				if cell.Rows != 0 && rows != cell.Rows {
+					return rep, fmt.Errorf("join bench: %s: cell disagreement, %d rows vs %d", jq.name, rows, cell.Rows)
+				}
+				cell.Rows = rows
+				*r.dst = ms(lat)
+			}
+			if cell.PlannedRunsMS > 0 {
+				cell.Speedup = cell.NaiveMapMS / cell.PlannedRunsMS
+			}
+			size.Queries = append(size.Queries, cell)
+		}
+		rep.Sizes = append(rep.Sizes, size)
+	}
+	return rep, nil
+}
+
+// WriteJoinJSON renders the report as indented JSON.
+func WriteJoinJSON(w io.Writer, rep JoinReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// WriteJoinTable renders the report as a human-readable summary.
+func WriteJoinTable(w io.Writer, rep JoinReport) {
+	fmt.Fprintf(w, "Multi-pattern join latency: {naive, planned} order x {map, runs} layout (fastest of %d)\n", rep.Repeat)
+	for _, s := range rep.Sizes {
+		fmt.Fprintf(w, "%d triples (%d loaded, %d runs / %d pairs compacted)\n", s.Triples, s.Loaded, s.Runs, s.RunPairs)
+		fmt.Fprintf(w, "  %8s %4s %9s | %12s %12s %12s %12s | %8s\n",
+			"query", "pats", "rows", "naive map", "plan map", "naive runs", "plan runs", "speedup")
+		for _, c := range s.Queries {
+			fmt.Fprintf(w, "  %8s %4d %9d | %10.3fms %10.3fms %10.3fms %10.3fms | %7.1fx\n",
+				c.Name, c.Patterns, c.Rows,
+				c.NaiveMapMS, c.PlannedMapMS, c.NaiveRunsMS, c.PlannedRunsMS, c.Speedup)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// TestJoinBenchSmoke is the CI tracking hook for the join benchmark: a
+// miniature run of the same code path cmd/sliderbench -join uses. Beyond
+// exercising the report plumbing it asserts the cross-cell invariant the
+// benchmark is built on — all four {order × layout} cells agree on the
+// solution count for every query. The full-size numbers live in
+// BENCH_join.json.
+func TestJoinBenchSmoke(t *testing.T) {
+	rep, err := JoinBench(context.Background(), []int{20_000}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Sizes) != 1 || len(rep.Sizes[0].Queries) != 6 {
+		t.Fatalf("unexpected report shape: %+v", rep)
+	}
+	size := rep.Sizes[0]
+	if size.Loaded == 0 || size.Runs == 0 {
+		t.Fatalf("dataset did not load/compact: %+v", size)
+	}
+	for _, c := range size.Queries {
+		// Cell agreement is asserted inside JoinBench; here check every
+		// query found work to do and every cell actually ran.
+		if c.Rows == 0 {
+			t.Fatalf("%s: no solutions — dataset shape broken: %+v", c.Name, c)
+		}
+		for _, ms := range []float64{c.NaiveMapMS, c.PlannedMapMS, c.NaiveRunsMS, c.PlannedRunsMS} {
+			if ms < 0 {
+				t.Fatalf("%s: negative latency: %+v", c.Name, c)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteJoinJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty JSON report")
+	}
+	WriteJoinTable(&buf, rep)
+}

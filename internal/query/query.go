@@ -1,16 +1,24 @@
 // Package query implements basic graph pattern (BGP) matching over the
 // triple store: conjunctive queries with variables, evaluated by
-// backtracking joins with a greedy selectivity-based pattern order.
+// backtracking joins with a cost-based join order.
 //
 // Slider is a materialisation reasoner — after inference, answering a
 // conjunctive query is pure pattern matching against the store, which is
 // exactly the query-time cheapness the paper chooses forward chaining
-// for. The package also ships a small SPARQL-like SELECT parser
-// (ParseSelect) so applications and the CLI can express queries as text.
+// for. The planner orders patterns cheapest-first by estimated
+// cardinality (predicate extent divided by the distinct-subject/object
+// counts of positions already bound), propagating bound variables as it
+// goes; the executor additionally detects pattern pairs whose only
+// unbound variable coincides and answers them with a galloping
+// intersection of the store's sorted extents instead of
+// enumerate-then-filter. The package also ships a small SPARQL-like
+// SELECT parser (ParseSelect) so applications and the CLI can express
+// queries as text.
 package query
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -75,11 +83,18 @@ type Query struct {
 	HasLimit bool
 	// Offset skips that many solutions before any are returned.
 	Offset int
+	// NaiveOrder evaluates patterns exactly as written and disables the
+	// galloping join intersection — the pre-optimisation baseline the
+	// join benchmark measures the planner and executor against.
+	NaiveOrder bool
 }
 
 // Source is the triple access a query evaluation needs. Both the live
 // *store.Store and a frozen *store.View implement it, so the same
 // executor serves ad-hoc queries and snapshot-isolated read sessions.
+// Sources may additionally implement statsProber (finer planner
+// estimates) and sortedProber (galloping join intersection); both store
+// types do.
 type Source interface {
 	// PredicateLen reports how many triples carry the predicate; the
 	// planner uses it to order patterns by selectivity.
@@ -87,6 +102,23 @@ type Source interface {
 	// MatchEach streams every triple matching the pattern (rdf.Any
 	// wildcards) to f until f returns false.
 	MatchEach(pattern rdf.Triple, f func(rdf.Triple) bool)
+}
+
+// statsProber is the optional Source extension the planner's cost model
+// prefers: per-predicate pair and distinct subject/object counts, as
+// maintained by the store's partitions. Sources without it fall back to
+// a square-root-of-extent distinctness guess.
+type statsProber interface {
+	PredicateStats(p rdf.ID) (triples, subjects, objects int)
+}
+
+// sortedProber is the optional Source extension behind the galloping
+// join: (predicate, subject) and (predicate, object) extents as
+// ascending, duplicate-free ID slices appended to dst. The store's
+// sorted runs provide exactly this.
+type sortedProber interface {
+	ObjectsAppend(dst []rdf.ID, p, s rdf.ID) []rdf.ID
+	SubjectsAppend(dst []rdf.ID, p, o rdf.ID) []rdf.ID
 }
 
 // Vars returns the distinct variable names across all patterns, in first
@@ -240,7 +272,27 @@ func enumerate(src Source, dict *rdf.Dictionary, q Query, yield func(key string,
 
 	// Backtracking join over ID bindings.
 	binding := map[string]rdf.ID{}
-	order := planOrder(src, enc)
+	var order []int
+	if q.NaiveOrder {
+		order = make([]int, len(enc))
+		for i := range order {
+			order[i] = i
+		}
+	} else {
+		order = planOrder(src, enc)
+	}
+	var sp sortedProber
+	if !q.NaiveOrder {
+		sp, _ = src.(sortedProber)
+	}
+	// done marks patterns already satisfied ahead of their turn by a
+	// galloping intersection (indexed by pattern, not step).
+	done := make([]bool, len(enc))
+	// bufA/bufB are scratch for the two probed extents; they are fully
+	// consumed before the recursion below re-enters, so sharing them
+	// across levels is safe. The intersection itself is iterated during
+	// recursion and must be fresh per level.
+	var bufA, bufB []rdf.ID
 
 	var walk func(step int) bool
 	walk = func(step int) bool {
@@ -255,7 +307,45 @@ func enumerate(src Source, dict *rdf.Dictionary, q Query, yield func(key string,
 			}
 			return yield(key.String(), b)
 		}
-		ip := enc[order[step]]
+		idx := order[step]
+		if done[idx] {
+			return walk(step + 1)
+		}
+		ip := enc[idx]
+		if sp != nil {
+			if jp, ok := probeFor(ip, binding); ok {
+				// This pattern's solutions are one sorted extent. If a
+				// later pattern's only unbound variable is the same one,
+				// solve both at once: gallop-intersect the two extents
+				// and bind the variable from the (typically far smaller)
+				// intersection, skipping the partner when its turn comes.
+				for s2 := step + 1; s2 < len(order); s2++ {
+					j := order[s2]
+					if done[j] {
+						continue
+					}
+					jp2, ok2 := probeFor(enc[j], binding)
+					if !ok2 || jp2.v != jp.v {
+						continue
+					}
+					bufA = jp.extent(sp, bufA[:0])
+					bufB = jp2.extent(sp, bufB[:0])
+					inter := rdf.IntersectSortedAppend(nil, bufA, bufB)
+					done[j] = true
+					cont := true
+					for _, id := range inter {
+						binding[jp.v] = id
+						cont = walk(step + 1)
+						delete(binding, jp.v)
+						if !cont {
+							break
+						}
+					}
+					done[j] = false
+					return cont
+				}
+			}
+		}
 		resolve := func(id rdf.ID, v string) rdf.ID {
 			if v == "" {
 				return id
@@ -297,6 +387,61 @@ func enumerate(src Source, dict *rdf.Dictionary, q Query, yield func(key string,
 	return nil
 }
 
+// joinProbe describes a pattern that, under the current binding, has
+// exactly one unbound variable in the subject or object position with
+// everything else concrete — the shape whose solution set is a single
+// sorted extent the store can hand over directly.
+type joinProbe struct {
+	v      string // the single unbound variable
+	p      rdf.ID // concrete predicate
+	other  rdf.ID // concrete value of the opposite position
+	varIsS bool   // variable in subject position → probe SubjectsAppend
+}
+
+// probeFor classifies ip under binding, reporting whether it has the
+// single-extent shape.
+func probeFor(ip idPattern, binding map[string]rdf.ID) (joinProbe, bool) {
+	var jp joinProbe
+	conc := func(id rdf.ID, v string) (rdf.ID, bool) {
+		if v == "" {
+			return id, true
+		}
+		b, ok := binding[v]
+		return b, ok
+	}
+	p, ok := conc(ip.p, ip.pv)
+	if !ok {
+		return jp, false
+	}
+	_, sBound := binding[ip.sv]
+	_, oBound := binding[ip.ov]
+	sVar := ip.sv != "" && !sBound
+	oVar := ip.ov != "" && !oBound
+	if sVar == oVar {
+		// Zero or two unbound positions — including ?x p ?x, whose
+		// diagonal constraint a plain extent cannot express.
+		return jp, false
+	}
+	jp.p = p
+	if sVar {
+		jp.v = ip.sv
+		jp.varIsS = true
+		jp.other, _ = conc(ip.o, ip.ov)
+	} else {
+		jp.v = ip.ov
+		jp.other, _ = conc(ip.s, ip.sv)
+	}
+	return jp, true
+}
+
+// extent appends the probe's sorted solution extent to dst.
+func (jp joinProbe) extent(sp sortedProber, dst []rdf.ID) []rdf.ID {
+	if jp.varIsS {
+		return sp.SubjectsAppend(dst, jp.p, jp.other)
+	}
+	return sp.ObjectsAppend(dst, jp.p, jp.other)
+}
+
 // encodeNode resolves a ground node through the dictionary. ok=false
 // means the term is unknown (query has no solutions).
 func encodeNode(dict *rdf.Dictionary, n Node) (rdf.ID, string, bool) {
@@ -317,45 +462,94 @@ type idPattern struct {
 	sv, pv, ov string
 }
 
-// planOrder orders patterns greedily: most ground positions first,
-// breaking ties by smaller predicate extent; patterns sharing variables
-// with already-placed ones are preferred, keeping joins connected.
+// planOrder orders patterns greedily by estimated cardinality,
+// cheapest first, propagating bound variables: after a pattern is
+// placed, its variables count as bound when estimating the remaining
+// patterns, so a selective early pattern makes its join partners cheap.
+// The estimate for a pattern is its predicate's extent divided by the
+// partition's distinct-subject count when the subject is ground or
+// already bound, and by the distinct-object count likewise — i.e. the
+// expected number of matching triples per probe, from the per-partition
+// stats the store maintains (statsProber), with a √extent distinctness
+// guess for sources that lack them. Patterns connected to the already
+// bound variables are preferred over disconnected ones regardless of
+// cost: a Cartesian product is always worse than its estimate looks.
+// Ties break on input position, so plans are deterministic.
 func planOrder(src Source, pats []idPattern) []int {
-	remaining := map[int]bool{}
-	for i := range pats {
+	st, _ := src.(statsProber)
+	remaining := make([]bool, len(pats))
+	for i := range remaining {
 		remaining[i] = true
 	}
 	bound := map[string]bool{}
-	var order []int
-	score := func(i int) (int, int) {
+	order := make([]int, 0, len(pats))
+	cost := func(i int) float64 {
 		ip := pats[i]
-		ground := 0
-		for _, v := range []string{ip.sv, ip.pv, ip.ov} {
-			if v == "" || bound[v] {
-				ground++
+		if ip.pv != "" && !bound[ip.pv] {
+			// Unknown predicate: a scan of every partition.
+			return 1e18
+		}
+		if ip.pv != "" {
+			// Predicate bound to a runtime value: extent unknowable at
+			// plan time; assume expensive but better than a full scan.
+			return 1e12
+		}
+		n := float64(src.PredicateLen(ip.p))
+		if n == 0 {
+			return 0 // empty extent cuts the whole join immediately
+		}
+		sKnown := ip.sv == "" || bound[ip.sv]
+		oKnown := ip.ov == "" || bound[ip.ov]
+		if sKnown && oKnown {
+			return 0.5 // existence probe
+		}
+		var ns, no int
+		if st != nil {
+			_, ns, no = st.PredicateStats(ip.p)
+		}
+		if ns <= 0 {
+			ns = int(math.Sqrt(n)) + 1
+		}
+		if no <= 0 {
+			no = int(math.Sqrt(n)) + 1
+		}
+		c := n
+		if sKnown {
+			c /= float64(ns)
+		}
+		if oKnown {
+			c /= float64(no)
+		}
+		if c < 1 {
+			c = 1
+		}
+		return c
+	}
+	connected := func(i int) bool {
+		for _, v := range []string{pats[i].sv, pats[i].pv, pats[i].ov} {
+			if v != "" && bound[v] {
+				return true
 			}
 		}
-		extent := 1 << 30
-		if ip.pv == "" && ip.p != rdf.Any {
-			extent = src.PredicateLen(ip.p)
-		}
-		return ground, extent
+		return false
 	}
-	for len(remaining) > 0 {
-		best, bestGround, bestExtent := -1, -1, 1<<31-1
-		idxs := make([]int, 0, len(remaining))
-		for i := range remaining {
-			idxs = append(idxs, i)
-		}
-		sort.Ints(idxs) // determinism
-		for _, i := range idxs {
-			g, e := score(i)
-			if g > bestGround || (g == bestGround && e < bestExtent) {
-				best, bestGround, bestExtent = i, g, e
+	for len(order) < len(pats) {
+		best, bestCost, bestConn := -1, 0.0, false
+		for i := range pats {
+			if !remaining[i] {
+				continue
+			}
+			c := cost(i)
+			conn := connected(i) || len(order) == 0
+			better := best == -1 ||
+				(conn && !bestConn) ||
+				(conn == bestConn && c < bestCost)
+			if better {
+				best, bestCost, bestConn = i, c, conn
 			}
 		}
 		order = append(order, best)
-		delete(remaining, best)
+		remaining[best] = false
 		for _, v := range []string{pats[best].sv, pats[best].pv, pats[best].ov} {
 			if v != "" {
 				bound[v] = true

@@ -85,12 +85,8 @@ func (prpTrp) Supports(src Source, t rdf.Triple) bool {
 	if !src.Contains(rdf.Triple{S: t.P, P: rdf.IDType, O: rdf.IDTransitiveProperty}) {
 		return false
 	}
-	for _, y := range src.Objects(t.P, t.S) {
-		if src.Contains(rdf.Triple{S: y, P: t.P, O: t.O}) {
-			return true
-		}
-	}
-	return false
+	// ∃ y: (t.S t.P y), (y t.P t.O).
+	return rdf.HasCommonSorted(src.Objects(t.P, t.S), src.Subjects(t.P, t.O))
 }
 
 // prpInv implements prp-inv1 and prp-inv2:
@@ -232,17 +228,9 @@ func (caxEqc) Supports(src Source, t rdf.Triple) bool {
 		return false
 	}
 	// ∃ c: (c eqC t.O) or (t.O eqC c), with (t.S type c).
-	for _, c := range src.Subjects(rdf.IDEquivalentClass, t.O) {
-		if src.Contains(rdf.Triple{S: t.S, P: rdf.IDType, O: c}) {
-			return true
-		}
-	}
-	for _, c := range src.Objects(rdf.IDEquivalentClass, t.O) {
-		if src.Contains(rdf.Triple{S: t.S, P: rdf.IDType, O: c}) {
-			return true
-		}
-	}
-	return false
+	types := src.Objects(rdf.IDType, t.S)
+	return rdf.HasCommonSorted(types, src.Subjects(rdf.IDEquivalentClass, t.O)) ||
+		rdf.HasCommonSorted(types, src.Objects(rdf.IDEquivalentClass, t.O))
 }
 
 // scmEqc implements scm-eqc1: (c equivalentClass d) → (c sc d), (d sc c).
@@ -325,12 +313,7 @@ func (eqSymTrans) Supports(src Source, t rdf.Triple) bool {
 		return true
 	}
 	// Transitivity: ∃ m: (t.S sameAs m), (m sameAs t.O).
-	for _, m := range src.Objects(rdf.IDSameAs, t.S) {
-		if src.Contains(rdf.Triple{S: m, P: rdf.IDSameAs, O: t.O}) {
-			return true
-		}
-	}
-	return false
+	return rdf.HasCommonSorted(src.Objects(rdf.IDSameAs, t.S), src.Subjects(rdf.IDSameAs, t.O))
 }
 
 // eqRep implements eq-rep-s and eq-rep-o: replace sameAs-equal resources

@@ -58,13 +58,9 @@ func (r *transitiveRule) Supports(src Source, t rdf.Triple) bool {
 	if t.P != r.pred {
 		return false
 	}
-	// ∃ b: (t.S pred b), (b pred t.O).
-	for _, b := range src.Objects(r.pred, t.S) {
-		if src.Contains(rdf.Triple{S: b, P: r.pred, O: t.O}) {
-			return true
-		}
-	}
-	return false
+	// ∃ b: (t.S pred b), (b pred t.O) — a galloping intersection of two
+	// sorted extents instead of a Contains probe per candidate.
+	return rdf.HasCommonSorted(src.Objects(r.pred, t.S), src.Subjects(r.pred, t.O))
 }
 
 // caxSco implements cax-sco (paper Algorithm 1).
@@ -99,12 +95,7 @@ func (caxSco) Supports(src Source, t rdf.Triple) bool {
 		return false
 	}
 	// ∃ c1: (t.S type c1), (c1 sc t.O).
-	for _, c1 := range src.Objects(rdf.IDType, t.S) {
-		if src.Contains(rdf.Triple{S: c1, P: rdf.IDSubClassOf, O: t.O}) {
-			return true
-		}
-	}
-	return false
+	return rdf.HasCommonSorted(src.Objects(rdf.IDType, t.S), src.Subjects(rdf.IDSubClassOf, t.O))
 }
 
 // prpSpo1 implements prp-spo1. It has universal input: any triple (x p y)
@@ -248,12 +239,7 @@ func (r *scmDomRng2) Supports(src Source, t rdf.Triple) bool {
 		return false
 	}
 	// ∃ p2: (t.S sp p2), (p2 schema t.O).
-	for _, p2 := range src.Objects(rdf.IDSubPropertyOf, t.S) {
-		if src.Contains(rdf.Triple{S: p2, P: r.schema, O: t.O}) {
-			return true
-		}
-	}
-	return false
+	return rdf.HasCommonSorted(src.Objects(rdf.IDSubPropertyOf, t.S), src.Subjects(r.schema, t.O))
 }
 
 // Constructors for the individual ρdf rules. Exposed so custom fragments

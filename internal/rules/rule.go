@@ -33,13 +33,18 @@ const AnyPredicate = rdf.Any
 type Source interface {
 	// Contains reports whether the exact triple is present.
 	Contains(t rdf.Triple) bool
-	// ObjectsAppend appends the objects o with (s, p, o) present to dst.
+	// ObjectsAppend appends the objects o with (s, p, o) present to dst,
+	// in ascending ID order — the sorted contract the ∃-joins below
+	// exploit with galloping intersection (rdf.HasCommonSorted).
 	ObjectsAppend(dst []rdf.ID, p, s rdf.ID) []rdf.ID
-	// SubjectsAppend appends the subjects s with (s, p, o) present to dst.
+	// SubjectsAppend appends the subjects s with (s, p, o) present to
+	// dst, in ascending ID order.
 	SubjectsAppend(dst []rdf.ID, p, o rdf.ID) []rdf.ID
-	// Objects returns a copy of the objects o with (s, p, o) present.
+	// Objects returns a copy of the objects o with (s, p, o) present,
+	// in ascending ID order.
 	Objects(p, s rdf.ID) []rdf.ID
-	// Subjects returns a copy of the subjects s with (s, p, o) present.
+	// Subjects returns a copy of the subjects s with (s, p, o) present,
+	// in ascending ID order.
 	Subjects(p, o rdf.ID) []rdf.ID
 	// ForEachWithPredicate calls f for every (s, o) pair of the
 	// predicate until f returns false.

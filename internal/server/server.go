@@ -393,10 +393,23 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	es := s.r.Stats()
 	ss := s.r.Store().Stats()
 	out := map[string]any{
-		"triples":    s.r.Len(),
-		"fragment":   s.r.Fragment().Name(),
-		"engine":     map[string]any{"inferred": es.Inferred, "duplicates": es.Duplicates},
-		"store":      map[string]any{"predicates": ss.Predicates, "max_partition": ss.MaxPartition},
+		"triples":  s.r.Len(),
+		"fragment": s.r.Fragment().Name(),
+		"engine":   map[string]any{"inferred": es.Inferred, "duplicates": es.Duplicates},
+		"store": map[string]any{
+			"predicates":    ss.Predicates,
+			"max_partition": ss.MaxPartition,
+			"runs":          ss.Runs,
+			"run_pairs":     ss.RunPairs,
+			"overlay_pairs": ss.OverlayPairs,
+			"tombstones":    ss.Tombstones,
+			"compaction": map[string]any{
+				"flushes":      ss.Compaction.Flushes,
+				"merges":       ss.Compaction.Merges,
+				"purges":       ss.Compaction.Purges,
+				"pairs_merged": ss.Compaction.PairsMerged,
+			},
+		},
 		"dictionary": s.r.Dictionary().Len(),
 		"server": map[string]any{
 			"requests":             s.nRequests.Load(),

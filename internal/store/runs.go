@@ -1,0 +1,298 @@
+package store
+
+import (
+	"cmp"
+	"slices"
+
+	"repro/internal/rdf"
+)
+
+// run is an immutable, sorted segment of one partition's pairs — the
+// LSM-style counterpart to the partition's mutable map overlay. A run is
+// never modified after buildRun returns; partitions replace their run
+// slices wholesale under the partition lock, so a reader that captured
+// the slice header may keep reading it without any lock.
+//
+// The layout is a compressed-sparse-row index in both directions:
+// subject→objects for (p, s, ?) probes and object→subjects for
+// (p, ?, o) probes. Each direction pays one O(1) map probe to find the
+// span and then yields a contiguous ascending slice — the shape the
+// galloping join intersection and the verbatim checkpoint stream want.
+type run struct {
+	pairs int
+
+	// Subject direction: subs holds the distinct subjects in ascending
+	// order; objs holds the objects grouped by subject (ascending within
+	// each group); subOff[i] is the objs offset of subs[i]'s span, with
+	// a final sentinel entry, so spans are subOff[i]:subOff[i+1]. subIdx
+	// maps subject → subs index for O(1) probes.
+	subs   []rdf.ID
+	subOff []int32
+	objs   []rdf.ID
+	subIdx map[rdf.ID]int32
+
+	// Object direction: the mirror image, sorted by (object, subject).
+	objsD     []rdf.ID
+	objOff    []int32
+	subsByObj []rdf.ID
+	objIdx    map[rdf.ID]int32
+}
+
+func comparePairs(a, b pair) int {
+	if c := cmp.Compare(a.s, b.s); c != 0 {
+		return c
+	}
+	return cmp.Compare(a.o, b.o)
+}
+
+func sortPairs(ps []pair) { slices.SortFunc(ps, comparePairs) }
+
+// buildRun assembles a run from pairs sorted by (subject, object) with no
+// duplicates. The object-direction index re-sorts a copy by (object,
+// subject); total cost O(n log n) with small constants, always paid off
+// the partition lock by the compactor.
+func buildRun(ps []pair) *run {
+	r := &run{pairs: len(ps)}
+	r.objs = make([]rdf.ID, len(ps))
+	for i, pr := range ps {
+		if i == 0 || pr.s != ps[i-1].s {
+			r.subs = append(r.subs, pr.s)
+			r.subOff = append(r.subOff, int32(i))
+		}
+		r.objs[i] = pr.o
+	}
+	r.subOff = append(r.subOff, int32(len(ps)))
+	r.subIdx = make(map[rdf.ID]int32, len(r.subs))
+	for i, s := range r.subs {
+		r.subIdx[s] = int32(i)
+	}
+
+	bo := make([]pair, len(ps))
+	copy(bo, ps)
+	slices.SortFunc(bo, func(a, b pair) int {
+		if c := cmp.Compare(a.o, b.o); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.s, b.s)
+	})
+	r.subsByObj = make([]rdf.ID, len(bo))
+	for i, pr := range bo {
+		if i == 0 || pr.o != bo[i-1].o {
+			r.objsD = append(r.objsD, pr.o)
+			r.objOff = append(r.objOff, int32(i))
+		}
+		r.subsByObj[i] = pr.s
+	}
+	r.objOff = append(r.objOff, int32(len(bo)))
+	r.objIdx = make(map[rdf.ID]int32, len(r.objsD))
+	for i, o := range r.objsD {
+		r.objIdx[o] = int32(i)
+	}
+	return r
+}
+
+// buildRunFromOverlay assembles a run straight from a partition's
+// overlay maps: so and os already are the two CSR directions keyed the
+// right way, so the cost is one key sort plus per-span sorts per
+// direction — much cheaper than materialising and comparison-sorting n
+// pairs twice, and this runs under the partition write lock.
+func buildRunFromOverlay(so map[rdf.ID]*sEntry, subs []rdf.ID, os map[rdf.ID]idSet, n int) *run {
+	r := &run{pairs: n}
+
+	// Subject direction: subs is the caller's sorted list of overlay
+	// subjects (the dirty list, filtered). Copied — the caller reuses
+	// that buffer, and the run must stay immutable.
+	r.subs = slices.Clone(subs)
+	r.subOff = make([]int32, 0, len(subs)+1)
+	r.objs = make([]rdf.ID, 0, n)
+	r.subIdx = make(map[rdf.ID]int32, len(subs))
+	for i, s := range subs {
+		r.subIdx[s] = int32(i)
+		r.subOff = append(r.subOff, int32(len(r.objs)))
+		start := len(r.objs)
+		for o := range so[s].objs {
+			r.objs = append(r.objs, o)
+		}
+		slices.Sort(r.objs[start:])
+	}
+	r.subOff = append(r.subOff, int32(len(r.objs)))
+
+	// Object direction: os holds overlay pairs only, so it maps over
+	// directly.
+	r.objsD, r.objOff, r.subsByObj, r.objIdx = csrFromMap(os, n)
+	return r
+}
+
+// csrFromMap lays one overlay direction out as a sorted CSR index.
+func csrFromMap(m map[rdf.ID]idSet, n int) (keys []rdf.ID, off []int32, vals []rdf.ID, idx map[rdf.ID]int32) {
+	keys = make([]rdf.ID, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	off = make([]int32, 0, len(keys)+1)
+	vals = make([]rdf.ID, 0, n)
+	idx = make(map[rdf.ID]int32, len(keys))
+	for i, k := range keys {
+		idx[k] = int32(i)
+		off = append(off, int32(len(vals)))
+		start := len(vals)
+		for v := range m[k] {
+			vals = append(vals, v)
+		}
+		slices.Sort(vals[start:])
+	}
+	off = append(off, int32(len(vals)))
+	return keys, off, vals, idx
+}
+
+// objectsOf returns the run's objects of subject s, ascending (nil when
+// the subject is absent). The slice aliases the run; callers must not
+// mutate it.
+func (r *run) objectsOf(s rdf.ID) []rdf.ID {
+	i, ok := r.subIdx[s]
+	if !ok {
+		return nil
+	}
+	return r.objs[r.subOff[i]:r.subOff[i+1]]
+}
+
+// subjectsOf returns the run's subjects of object o, ascending (nil when
+// the object is absent). The slice aliases the run; callers must not
+// mutate it.
+func (r *run) subjectsOf(o rdf.ID) []rdf.ID {
+	i, ok := r.objIdx[o]
+	if !ok {
+		return nil
+	}
+	return r.subsByObj[r.objOff[i]:r.objOff[i+1]]
+}
+
+// contains reports pair membership: an O(1) subject probe plus a binary
+// search of the subject's object span.
+func (r *run) contains(s, o rdf.ID) bool {
+	_, found := slices.BinarySearch(r.objectsOf(s), o)
+	return found
+}
+
+// forEach streams every pair in (subject, object) order until f returns
+// false, reporting whether it ran to completion.
+func (r *run) forEach(f func(s, o rdf.ID) bool) bool {
+	for i, s := range r.subs {
+		for _, o := range r.objs[r.subOff[i]:r.subOff[i+1]] {
+			if !f(s, o) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// mergeRuns unions runs into one. The inputs are pairwise disjoint (the
+// partition invariant: a pair lives in at most one run or the overlay)
+// and each is already sorted in both directions, so the union is two
+// linear k-way span merges — no comparison sort, no pair
+// materialisation. Tombstones are deliberately not applied here —
+// merges must preserve pair membership exactly so they can run off the
+// partition lock while concurrent adds resurrect and removes tombstone
+// pairs.
+func mergeRuns(rs []*run) *run {
+	total := 0
+	for _, r := range rs {
+		total += r.pairs
+	}
+	out := &run{pairs: total}
+	out.subs, out.subOff, out.objs, out.subIdx = mergeDirection(rs, total, false)
+	out.objsD, out.objOff, out.subsByObj, out.objIdx = mergeDirection(rs, total, true)
+	return out
+}
+
+// mergeDirection k-way merges one CSR direction of the runs: the keyed
+// spans stream in ascending key order within every run, so the merged
+// index is built by repeatedly taking the minimum head key and fusing
+// the (value-disjoint, sorted) spans of the runs that share it.
+func mergeDirection(rs []*run, total int, byObject bool) (keys []rdf.ID, off []int32, vals []rdf.ID, idx map[rdf.ID]int32) {
+	type cursor struct {
+		keys []rdf.ID
+		off  []int32
+		vals []rdf.ID
+		i    int
+	}
+	cur := make([]cursor, 0, len(rs))
+	maxKeys := 0
+	for _, r := range rs {
+		c := cursor{keys: r.subs, off: r.subOff, vals: r.objs}
+		if byObject {
+			c = cursor{keys: r.objsD, off: r.objOff, vals: r.subsByObj}
+		}
+		if len(c.keys) > 0 {
+			maxKeys += len(c.keys)
+			cur = append(cur, c)
+		}
+	}
+	// maxKeys double-counts keys shared between runs — an upper bound,
+	// paid once, so the append loops below never reallocate.
+	keys = make([]rdf.ID, 0, maxKeys)
+	off = make([]int32, 0, maxKeys+1)
+	vals = make([]rdf.ID, 0, total)
+	spans := make([][]rdf.ID, 0, len(cur))
+	var scratch, scratch2 []rdf.ID // reused across ≥3-way key collisions
+	for len(cur) > 0 {
+		minK := cur[0].keys[cur[0].i]
+		for _, c := range cur[1:] {
+			if k := c.keys[c.i]; k < minK {
+				minK = k
+			}
+		}
+		keys = append(keys, minK)
+		off = append(off, int32(len(vals)))
+		spans = spans[:0]
+		for ci := 0; ci < len(cur); ci++ {
+			c := &cur[ci]
+			if c.keys[c.i] != minK {
+				continue
+			}
+			spans = append(spans, c.vals[c.off[c.i]:c.off[c.i+1]])
+			c.i++
+			if c.i == len(c.keys) {
+				cur = append(cur[:ci], cur[ci+1:]...)
+				ci--
+			}
+		}
+		switch len(spans) {
+		case 1:
+			vals = append(vals, spans[0]...)
+		case 2:
+			vals = appendMergedSorted(vals, spans[0], spans[1])
+		default:
+			scratch = appendMergedSorted(scratch[:0], spans[0], spans[1])
+			for _, sp := range spans[2:] {
+				scratch2 = appendMergedSorted(scratch2[:0], scratch, sp)
+				scratch, scratch2 = scratch2, scratch
+			}
+			vals = append(vals, scratch...)
+		}
+	}
+	off = append(off, int32(len(vals)))
+	idx = make(map[rdf.ID]int32, len(keys))
+	for i, k := range keys {
+		idx[k] = int32(i)
+	}
+	return keys, off, vals, idx
+}
+
+// appendMergedSorted appends the two-way merge of sorted, disjoint a and
+// b to dst.
+func appendMergedSorted(dst, a, b []rdf.ID) []rdf.ID {
+	for len(a) > 0 && len(b) > 0 {
+		if a[0] < b[0] {
+			dst = append(dst, a[0])
+			a = a[1:]
+		} else {
+			dst = append(dst, b[0])
+			b = b[1:]
+		}
+	}
+	dst = append(dst, a...)
+	return append(dst, b...)
+}

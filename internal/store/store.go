@@ -7,6 +7,19 @@
 // access patterns of RDFS/OWL rule bodies (walk a predicate's extent, or
 // probe by (predicate, subject) / (predicate, object)).
 //
+// Within a partition the physical layout is LSM-shaped: a small mutable
+// map overlay (so/os) absorbs writes at hash-map speed, while the bulk
+// of the partition lives in immutable sorted runs (see runs.go) that a
+// background compactor forms by flushing the overlay and size-tier
+// merging (see compact.go). Removal of a run pair tombstones it; the
+// compactor purges tombstones once they dominate. The split keeps
+// maintenance work proportional to the delta, not the base: probes are
+// an overlay map hit or a binary search of a run span, ObjectsAppend/
+// SubjectsAppend return ascending sorted results (the contract the
+// rule joins' galloping intersection and the query planner rely on),
+// and a fully compacted partition streams its pairs verbatim — no
+// journal compensation, no per-pair checks — to checkpoints.
+//
 // Concurrency uses two levels of lock striping instead of one global
 // RWMutex, so parallel rule-module instances and parallel input managers
 // do not serialize on a single lock:
@@ -15,24 +28,28 @@
 //     (selected by a hash of the predicate ID), each guarded by its own
 //     RWMutex;
 //   - each partition additionally carries its own RWMutex guarding the
-//     hot so/os maps, so writers to different predicates within one
-//     stripe still proceed in parallel.
+//     hot overlay maps, tombstones and run slice, so writers to
+//     different predicates within one stripe still proceed in parallel.
 //
-// Locking protocol: a partition's maps are only ever touched while
+// Locking protocol: a partition's state is only ever touched while
 // holding the owning stripe's lock (read side for normal operations) plus
 // the partition lock. Remove takes the stripe's write lock so it can
 // prune drained partitions without racing concurrent adders that hold a
-// stale *partition. Iteration entry points (ForEach, ForEachWithPredicate)
+// stale *partition. Run slices are replaced wholesale under the
+// partition lock and never mutated in place, so a reader that captured
+// the slice under the lock may keep reading it lock-free; all run-slice
+// writers additionally serialize on Store.workMu so merges run off the
+// partition lock. Iteration entry points (ForEach, ForEachWithPredicate)
 // copy the visited pairs under the locks and invoke the callback outside
 // them, so callbacks may freely read — or even mutate — the store.
 //
-// The hash-map structure makes Add idempotent and lets it report whether
-// a triple was new — the mechanism behind Slider's "duplicates
-// limitation".
+// The overlay/run/tombstone structure keeps Add idempotent and lets it
+// report whether a triple was new — the mechanism behind Slider's
+// "duplicates limitation".
 package store
 
 import (
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -49,25 +66,64 @@ const (
 // idSet is a set of term IDs.
 type idSet map[rdf.ID]struct{}
 
-// partition holds all triples sharing one predicate, indexed both
-// subject→objects and object→subjects. Its maps are guarded by mu, and
-// only accessed while also holding the owning stripe's lock (see the
-// package comment for the protocol).
+// sEntry is one subject's slot in a partition's so map: its overlay
+// objects plus its live degree across overlay and runs. deg is the
+// spine's membership record (a subject is appended exactly when its
+// entry is created) and makes drained-subject accounting exact across
+// overlay flushes, which move pairs without changing degrees.
+type sEntry struct {
+	objs idSet
+	deg  int32
+}
+
+// partition holds all triples sharing one predicate. Physically a pair
+// lives in exactly one of the mutable overlay (so/os) or one immutable
+// run; a run pair that has been removed is marked in tomb rather than
+// rewritten. That disjointness invariant is what makes run merges plain
+// unions and lets them run off the partition lock. All fields are
+// guarded by mu and only accessed while also holding the owning
+// stripe's lock (see the package comment for the protocol).
 type partition struct {
 	mu sync.RWMutex
-	so map[rdf.ID]idSet // subject → set of objects
-	os map[rdf.ID]idSet // object → set of subjects
-	n  int
+
+	// so/os are the mutable delta overlay: subject → objects and
+	// object → subjects for pairs not (live) in any run. onum counts
+	// overlay pairs. so doubles as the spine membership index: a
+	// subject's entry persists (with empty objs) while its pairs live
+	// only in runs, and carries the subject's live degree, so the add
+	// hot path pays a single subject-map probe. os holds overlay pairs
+	// only and empty sets are deleted eagerly.
+	so   map[rdf.ID]*sEntry
+	os   map[rdf.ID]idSet
+	onum int
+
+	// dirty lists the subjects whose entry gained an overlay set since
+	// the last flush (appended exactly on the nil→allocated transition,
+	// so it is duplicate-free). It lets a flush visit only overlay
+	// subjects instead of walking the whole spine-sized so map.
+	dirty []rdf.ID
+
+	// runs are the immutable sorted segments, oldest first. The slice
+	// is replaced wholesale under mu (never mutated in place), so a
+	// capture taken under the lock stays valid lock-free. rp counts the
+	// physical pairs across runs, including tombstoned ones.
+	runs []*run
+	rp   int
+
+	// tomb marks run pairs as removed (subject → dead objects); tombN
+	// counts them. Live pair count is rp - tombN + onum == n.
+	tomb  map[rdf.ID]idSet
+	tombN int
+
+	n int
 
 	// subjects lists every distinct subject ever inserted, in insertion
-	// order, with no duplicates (add only appends when the subject has
-	// no so entry, and drained so entries are kept empty rather than
-	// deleted). Views iterate it by index, which allows bounded lock
-	// holds: a view visits a chunk of subjects at a time instead of
-	// copying the whole — possibly store-sized — partition under the
-	// lock. drained counts subjects whose so entry is currently empty;
-	// when they dominate, View.Release compacts both structures so a
-	// retract-heavy workload does not retain them forever.
+	// order, with no duplicates. Views iterate it by index, which allows
+	// bounded lock holds: a view visits a chunk of subjects at a time
+	// instead of copying the whole — possibly store-sized — partition
+	// under the lock. drained counts subjects whose live degree is
+	// currently zero; when they dominate, View.Release compacts the
+	// spine so a retract-heavy workload does not retain them forever.
 	subjects []rdf.ID
 	drained  int
 
@@ -80,8 +136,12 @@ type partition struct {
 	// freeze: epoch → subject → object → whether the pair was present at
 	// that view's freeze time. Maintained under mu by the mutating paths,
 	// consulted under mu by the views; an epoch's entry is dropped when
-	// its view releases.
+	// its view releases. Journals record logical changes only — flushes,
+	// merges and purges move pairs physically but never journal.
 	journals map[uint64]*pjournal
+
+	// queued dedups background-compactor enqueues for this partition.
+	queued atomic.Bool
 }
 
 // pjournal is one view's compensation journal for one partition. added
@@ -101,7 +161,11 @@ func (j *pjournal) sub(s rdf.ID) map[rdf.ID]bool {
 }
 
 func newPartition(epoch uint64) *partition {
-	return &partition{so: make(map[rdf.ID]idSet), os: make(map[rdf.ID]idSet), born: epoch}
+	return &partition{
+		so:   make(map[rdf.ID]*sEntry),
+		os:   make(map[rdf.ID]idSet),
+		born: epoch,
+	}
 }
 
 // journalFor returns the journal for epoch e, initialising it on first
@@ -165,19 +229,19 @@ func (p *partition) noteRemove(e uint64, s, o rdf.ID) {
 	j.removed++
 }
 
-// maybeCompact rebuilds the subject list and drops drained subjects'
-// empty so entries once they dominate the partition. Rebuilding is
+// maybeCompact rebuilds the subject spine, dropping subjects whose live
+// degree is zero, once they dominate the partition. Rebuilding is
 // O(partition), so the threshold amortises it against the removals that
 // created the drained entries. Callers hold mu (write side) and must
-// ensure no View is active: compaction reorders nothing but deletes the
-// so entries a view's journal evaluation may still consult.
+// ensure no View is active: the rebuild shifts spine indices a view's
+// chunked walk may be holding.
 func (p *partition) maybeCompact() {
 	if p.drained == 0 || p.drained*2 < len(p.subjects) {
 		return
 	}
 	kept := p.subjects[:0]
 	for _, sub := range p.subjects {
-		if len(p.so[sub]) == 0 {
+		if e := p.so[sub]; e == nil || e.deg == 0 {
 			delete(p.so, sub)
 			continue
 		}
@@ -200,42 +264,267 @@ func (p *partition) frozenLen(e uint64) int {
 	return n
 }
 
-// add inserts (s,o) and reports whether it was absent. Callers hold the
-// partition lock.
-func (p *partition) add(s, o rdf.ID) bool {
-	objs, ok := p.so[s]
+// tombHas reports whether (s,o) is tombstoned. Callers hold mu.
+func (p *partition) tombHas(s, o rdf.ID) bool {
+	ts, ok := p.tomb[s]
 	if !ok {
-		objs = make(idSet, 2)
-		p.so[s] = objs
-		// First so entry ever for this subject (drained entries stay in
-		// the map, empty), so the append cannot duplicate.
-		p.subjects = append(p.subjects, s)
-	} else if len(objs) == 0 {
-		p.drained-- // a drained subject comes back to life
-	}
-	if _, dup := objs[o]; dup {
 		return false
 	}
-	objs[o] = struct{}{}
-	subs, ok := p.os[o]
-	if !ok {
-		subs = make(idSet, 2)
-		p.os[o] = subs
+	_, ok = ts[o]
+	return ok
+}
+
+// runsContain reports whether any run physically holds (s,o), newest
+// first — recently flushed pairs are the likeliest duplicate-insert
+// targets. Callers hold mu.
+func (p *partition) runsContain(s, o rdf.ID) bool {
+	for i := len(p.runs) - 1; i >= 0; i-- {
+		if p.runs[i].contains(s, o) {
+			return true
+		}
 	}
-	subs[s] = struct{}{}
+	return false
+}
+
+// add inserts (s,o) and reports whether it was absent. Callers hold the
+// partition lock (write side).
+func (p *partition) add(s, o rdf.ID) bool {
+	e := p.so[s]
+	if e == nil {
+		// First entry ever for this subject (drained entries stay in
+		// the map, empty), so the spine append cannot duplicate.
+		e = &sEntry{}
+		p.so[s] = e
+		p.subjects = append(p.subjects, s)
+	} else if _, dup := e.objs[o]; dup {
+		return false
+	} else if e.deg == 0 {
+		p.drained-- // a drained subject comes back to life
+	}
+	if p.tombN > 0 && p.tombHas(s, o) {
+		// Resurrect a tombstoned run pair in place: dropping the
+		// tombstone makes the run's copy live again, preserving the
+		// one-physical-home invariant without touching the overlay.
+		ts := p.tomb[s]
+		delete(ts, o)
+		if len(ts) == 0 {
+			delete(p.tomb, s)
+		}
+		p.tombN--
+	} else if int(e.deg) > len(e.objs) && p.runsContain(s, o) {
+		// Already live in a run; undo the speculative bookkeeping. The
+		// deg guard skips the per-run probes whenever the subject's live
+		// pairs all sit in the overlay (deg == overlay size — the fresh-
+		// ingest common case): a run copy that is not live here must be
+		// tombstoned, and the branch above already handled that.
+		if e.deg == 0 {
+			p.drained++
+		}
+		return false
+	} else {
+		if e.objs == nil {
+			e.objs = make(idSet, 2)
+			p.dirty = append(p.dirty, s)
+		}
+		e.objs[o] = struct{}{}
+		subs := p.os[o]
+		if subs == nil {
+			subs = make(idSet, 2)
+			p.os[o] = subs
+		}
+		subs[s] = struct{}{}
+		p.onum++
+	}
+	e.deg++
 	p.n++
 	return true
 }
 
-// contains reports whether (s,o) is present. Callers hold the partition
-// lock (read side suffices).
-func (p *partition) contains(s, o rdf.ID) bool {
-	objs, ok := p.so[s]
-	if !ok {
+// remove deletes (s,o) and reports whether it was present: overlay pairs
+// are deleted outright, run pairs are tombstoned. Callers hold the
+// partition lock (write side).
+func (p *partition) remove(s, o rdf.ID) bool {
+	e := p.so[s]
+	if e == nil {
+		return false // never a spine subject, so no live pairs at all
+	}
+	if _, ok := e.objs[o]; ok {
+		delete(e.objs, o)
+		subs := p.os[o]
+		delete(subs, s)
+		if len(subs) == 0 {
+			delete(p.os, o)
+		}
+		p.onum--
+		p.removed(e)
+		return true
+	}
+	// deg == overlay size means no live run pair for this subject (the
+	// overlay branch above already missed), so nothing is left to remove.
+	if int(e.deg) == len(e.objs) || p.tombHas(s, o) || !p.runsContain(s, o) {
 		return false
 	}
-	_, ok = objs[o]
-	return ok
+	ts := p.tomb[s]
+	if ts == nil {
+		if p.tomb == nil {
+			p.tomb = make(map[rdf.ID]idSet, 4)
+		}
+		ts = make(idSet, 2)
+		p.tomb[s] = ts
+	}
+	ts[o] = struct{}{}
+	p.tombN++
+	p.removed(e)
+	return true
+}
+
+// removed does the degree and count bookkeeping shared by both removal
+// paths. Callers hold the partition lock (write side).
+func (p *partition) removed(e *sEntry) {
+	e.deg--
+	if e.deg == 0 {
+		p.drained++
+	}
+	p.n--
+}
+
+// contains reports whether (s,o) is live: an overlay map probe, then —
+// unless tombstoned — a binary-search probe of the runs. Callers hold
+// the partition lock (read side suffices).
+func (p *partition) contains(s, o rdf.ID) bool {
+	e := p.so[s]
+	if e == nil {
+		// Not a spine subject: any run copy it ever had would be
+		// tombstoned (pruning requires a drained subject), hence dead.
+		return false
+	}
+	if _, ok := e.objs[o]; ok {
+		return true
+	}
+	// deg == overlay size: every live pair is in the overlay, which
+	// just missed — no need to probe the runs.
+	if int(e.deg) == len(e.objs) {
+		return false
+	}
+	if p.tombN > 0 && p.tombHas(s, o) {
+		return false
+	}
+	return p.runsContain(s, o)
+}
+
+// forEachLive calls f for every live (s,o) pair: run pairs minus
+// tombstones, then the overlay. Callers hold the partition lock.
+func (p *partition) forEachLive(f func(s, o rdf.ID)) {
+	for _, r := range p.runs {
+		for i, s := range r.subs {
+			objs := r.objs[r.subOff[i]:r.subOff[i+1]]
+			if p.tombN == 0 {
+				for _, o := range objs {
+					f(s, o)
+				}
+				continue
+			}
+			ts := p.tomb[s]
+			for _, o := range objs {
+				if _, dead := ts[o]; dead {
+					continue
+				}
+				f(s, o)
+			}
+		}
+	}
+	for s, e := range p.so {
+		for o := range e.objs {
+			f(s, o)
+		}
+	}
+}
+
+// objectsAppend appends the live objects of s to dst in ascending order.
+// Each run span is already sorted, so the common compacted case (one
+// contributing run, empty overlay) is a straight copy with no sort; a
+// final sort only runs when several sources — or the unsorted overlay —
+// contributed. Callers hold the partition lock (read side suffices).
+func (p *partition) objectsAppend(dst []rdf.ID, s rdf.ID) []rdf.ID {
+	start := len(dst)
+	srcs := 0
+	needSort := false
+	if e := p.so[s]; e != nil && len(e.objs) > 0 {
+		for o := range e.objs {
+			dst = append(dst, o)
+		}
+		srcs++
+		needSort = true
+	}
+	if len(p.runs) > 0 {
+		ts := p.tomb[s]
+		for _, r := range p.runs {
+			ro := r.objectsOf(s)
+			if len(ro) == 0 {
+				continue
+			}
+			if len(ts) == 0 {
+				dst = append(dst, ro...)
+				srcs++
+				continue
+			}
+			before := len(dst)
+			for _, o := range ro {
+				if _, dead := ts[o]; dead {
+					continue
+				}
+				dst = append(dst, o)
+			}
+			if len(dst) > before {
+				srcs++
+			}
+		}
+	}
+	if needSort || srcs > 1 {
+		slices.Sort(dst[start:])
+	}
+	return dst
+}
+
+// subjectsAppend appends the live subjects of o to dst in ascending
+// order — the object-direction mirror of objectsAppend. Callers hold
+// the partition lock (read side suffices).
+func (p *partition) subjectsAppend(dst []rdf.ID, o rdf.ID) []rdf.ID {
+	start := len(dst)
+	srcs := 0
+	needSort := false
+	if subs := p.os[o]; len(subs) > 0 {
+		for s := range subs {
+			dst = append(dst, s)
+		}
+		srcs++
+		needSort = true
+	}
+	for _, r := range p.runs {
+		rs := r.subjectsOf(o)
+		if len(rs) == 0 {
+			continue
+		}
+		if p.tombN == 0 {
+			dst = append(dst, rs...)
+			srcs++
+			continue
+		}
+		before := len(dst)
+		for _, s := range rs {
+			if p.tombHas(s, o) {
+				continue
+			}
+			dst = append(dst, s)
+		}
+		if len(dst) > before {
+			srcs++
+		}
+	}
+	if needSort || srcs > 1 {
+		slices.Sort(dst[start:])
+	}
+	return dst
 }
 
 // pair is one (subject, object) of a partition, used for copy-then-call
@@ -272,14 +561,34 @@ type Store struct {
 	// the last epoch handed out and is never reused.
 	freezeMu sync.Mutex
 	epochSeq uint64
+
+	// predMu guards preds, the sorted registry of predicates with a
+	// partition. Maintained incrementally at partition create/prune so
+	// Predicates() is a copy, not a collect-and-sort per call.
+	predMu sync.RWMutex
+	preds  []rdf.ID
+
+	// Background compaction state (see compact.go). autoCompact gates
+	// the background worker; workMu serializes all run-slice writers;
+	// the c* atomics are the compaction counters surfaced by Stats.
+	autoCompact atomic.Bool
+	comp        struct {
+		mu      sync.Mutex
+		queue   []rdf.ID
+		running bool
+	}
+	workMu sync.Mutex
+
+	cFlushes, cMerges, cPurges, cPairsMerged atomic.Int64
 }
 
-// New returns an empty store.
+// New returns an empty store with background compaction enabled.
 func New() *Store {
 	st := &Store{}
 	for i := range st.stripes {
 		st.stripes[i].parts = make(map[rdf.ID]*partition, 8)
 	}
+	st.autoCompact.Store(true)
 	return st
 }
 
@@ -303,6 +612,27 @@ func (st *Store) newestEpoch() uint64 {
 		return (*eps)[len(*eps)-1]
 	}
 	return 0
+}
+
+// registerPred adds p to the sorted predicate registry. Called at
+// partition creation; predMu is a leaf lock, so calling under stripe
+// locks is safe.
+func (st *Store) registerPred(p rdf.ID) {
+	st.predMu.Lock()
+	if i, found := slices.BinarySearch(st.preds, p); !found {
+		st.preds = slices.Insert(st.preds, i, p)
+	}
+	st.predMu.Unlock()
+}
+
+// unregisterPred removes p from the predicate registry. Called when a
+// drained partition is pruned.
+func (st *Store) unregisterPred(p rdf.ID) {
+	st.predMu.Lock()
+	if i, found := slices.BinarySearch(st.preds, p); found {
+		st.preds = slices.Delete(st.preds, i, i+1)
+	}
+	st.predMu.Unlock()
 }
 
 // noteAddAll journals a fresh insertion into every active view the
@@ -348,8 +678,12 @@ func (st *Store) Add(t rdf.Triple) bool {
 			st.version.Add(1)
 			noteAddAll(st.active.Load(), p, t.S, t.O)
 		}
+		due := fresh && p.compactionDue()
 		p.mu.Unlock()
 		s.mu.RUnlock()
+		if due {
+			st.enqueueCompact(t.P, p)
+		}
 		return fresh
 	}
 	s.mu.RUnlock()
@@ -358,6 +692,7 @@ func (st *Store) Add(t rdf.Triple) bool {
 	if !ok {
 		p = newPartition(st.newestEpoch())
 		s.parts[t.P] = p
+		st.registerPred(t.P)
 	}
 	p.mu.Lock()
 	fresh := p.add(t.S, t.O)
@@ -366,8 +701,12 @@ func (st *Store) Add(t rdf.Triple) bool {
 		st.version.Add(1)
 		noteAddAll(st.active.Load(), p, t.S, t.O)
 	}
+	due := fresh && p.compactionDue()
 	p.mu.Unlock()
 	s.mu.Unlock()
+	if due {
+		st.enqueueCompact(t.P, p)
+	}
 	return fresh
 }
 
@@ -428,8 +767,12 @@ func (st *Store) addGroup(p rdf.ID, ts []rdf.Triple, idxs []int, fresh []bool) i
 			st.size.Add(int64(n))
 			st.version.Add(1)
 		}
+		due := n > 0 && part.compactionDue()
 		part.mu.Unlock()
 		s.mu.RUnlock()
+		if due {
+			st.enqueueCompact(p, part)
+		}
 		return n
 	}
 	s.mu.RUnlock()
@@ -438,6 +781,7 @@ func (st *Store) addGroup(p rdf.ID, ts []rdf.Triple, idxs []int, fresh []bool) i
 	if !ok {
 		part = newPartition(st.newestEpoch())
 		s.parts[p] = part
+		st.registerPred(p)
 	}
 	part.mu.Lock()
 	eps := st.active.Load()
@@ -452,8 +796,12 @@ func (st *Store) addGroup(p rdf.ID, ts []rdf.Triple, idxs []int, fresh []bool) i
 		st.size.Add(int64(n))
 		st.version.Add(1)
 	}
+	due := n > 0 && part.compactionDue()
 	part.mu.Unlock()
 	s.mu.Unlock()
+	if due {
+		st.enqueueCompact(p, part)
+	}
 	return n
 }
 
@@ -463,58 +811,49 @@ func (st *Store) AddAll(ts []rdf.Triple) []rdf.Triple {
 	return st.AddBatch(ts)
 }
 
-// Remove deletes a triple and reports whether it was present. A fully
-// drained partition is pruned (deferred to View.Release while a view is
-// active); a drained subject's empty so entry is retained for the
-// subject list's benefit and compacted by View.Release once such
-// entries dominate their partition. Remove takes the stripe's write
-// lock (excluding concurrent access to the stripe) so pruning an
-// emptied partition cannot race an adder.
+// Remove deletes a triple and reports whether it was present: overlay
+// pairs are deleted, run pairs are tombstoned for the compactor to
+// purge. A fully drained partition is pruned (deferred to View.Release
+// while a view is active). Remove takes the stripe's write lock
+// (excluding concurrent access to the stripe) so pruning an emptied
+// partition cannot race an adder.
 func (st *Store) Remove(t rdf.Triple) bool {
 	s := st.stripeFor(t.P)
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	p, ok := s.parts[t.P]
 	if !ok {
+		s.mu.Unlock()
 		return false
 	}
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	objs, ok := p.so[t.S]
-	if !ok {
+	if !p.remove(t.S, t.O) {
+		p.mu.Unlock()
+		s.mu.Unlock()
 		return false
 	}
-	if _, ok = objs[t.O]; !ok {
-		return false
-	}
-	delete(objs, t.O)
-	// A drained objs set stays in p.so (empty): p.subjects relies on
-	// so-membership to keep its entries duplicate-free. Both are
-	// reclaimed when the partition drains, or compacted by the next
-	// View.Release once drained subjects dominate the partition.
-	if len(objs) == 0 {
-		p.drained++
-	}
-	subs := p.os[t.O]
-	delete(subs, t.S)
-	if len(subs) == 0 {
-		delete(p.os, t.O)
-	}
-	p.n--
 	st.size.Add(-1)
 	st.version.Add(1)
 	eps := st.active.Load()
 	noteRemoveAll(eps, p, t.S, t.O)
 	// A drained partition is pruned — and drained subject entries are
 	// compacted — unless a View is active: views may still need the
-	// partition's journals and so entries (the last Release sweeps
+	// partition's journals, runs and spine (the last Release sweeps
 	// instead).
+	pruned := false
 	if eps == nil {
 		if p.n == 0 {
 			delete(s.parts, t.P)
+			st.unregisterPred(t.P)
+			pruned = true
 		} else {
 			p.maybeCompact()
 		}
+	}
+	due := !pruned && p.compactionDue()
+	p.mu.Unlock()
+	s.mu.Unlock()
+	if due {
+		st.enqueueCompact(t.P, p)
 	}
 	return true
 }
@@ -593,29 +932,53 @@ func (st *Store) PredicateLen(p rdf.ID) int {
 	return part.n
 }
 
-// Predicates returns all predicates present, in ascending ID order.
-func (st *Store) Predicates() []rdf.ID {
-	var out []rdf.ID
-	for i := range st.stripes {
-		s := &st.stripes[i]
-		s.mu.RLock()
-		for p := range s.parts {
-			out = append(out, p)
-		}
-		s.mu.RUnlock()
+// PredicateStats returns the live pair count and the distinct subject
+// and object counts of predicate p's partition — the per-partition
+// cardinalities the query planner's selectivity estimates divide by.
+// The object count is an upper bound while the partition has both
+// overlay and run pairs (an object present in both is counted twice)
+// and while tombstones are pending; the planner only needs the order of
+// magnitude, and the bound is exact once compacted.
+func (st *Store) PredicateStats(p rdf.ID) (triples, subjects, objects int) {
+	s := st.stripeFor(p)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	part, ok := s.parts[p]
+	if !ok {
+		return 0, 0, 0
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	part.mu.RLock()
+	defer part.mu.RUnlock()
+	triples = part.n
+	subjects = len(part.subjects) - part.drained
+	objects = len(part.os)
+	for _, r := range part.runs {
+		objects += len(r.objsD)
+	}
+	return triples, subjects, objects
+}
+
+// Predicates returns all predicates present, in ascending ID order. The
+// registry is maintained sorted at partition create/prune, so this is a
+// copy, not a per-call sort.
+func (st *Store) Predicates() []rdf.ID {
+	st.predMu.RLock()
+	out := slices.Clone(st.preds)
+	st.predMu.RUnlock()
 	return out
 }
 
-// Objects returns a copy of the objects o such that (s, p, o) is present.
+// Objects returns a copy of the objects o such that (s, p, o) is
+// present, in ascending ID order.
 func (st *Store) Objects(p, s rdf.ID) []rdf.ID {
 	return st.ObjectsAppend(nil, p, s)
 }
 
 // ObjectsAppend appends the objects o such that (s, p, o) is present to
-// dst and returns the extended slice. Reusing dst across calls lets hot
-// rule joins avoid a fresh allocation per probe.
+// dst and returns the extended slice. The appended segment is in
+// ascending ID order — rule joins and the query executor gallop over it.
+// Reusing dst across calls lets hot rule joins avoid a fresh allocation
+// per probe.
 func (st *Store) ObjectsAppend(dst []rdf.ID, p, s rdf.ID) []rdf.ID {
 	str := st.stripeFor(p)
 	str.mu.RLock()
@@ -625,26 +988,21 @@ func (st *Store) ObjectsAppend(dst []rdf.ID, p, s rdf.ID) []rdf.ID {
 		return dst
 	}
 	part.mu.RLock()
-	if objs, ok := part.so[s]; ok {
-		if dst == nil {
-			dst = make([]rdf.ID, 0, len(objs))
-		}
-		for o := range objs {
-			dst = append(dst, o)
-		}
-	}
+	dst = part.objectsAppend(dst, s)
 	part.mu.RUnlock()
 	str.mu.RUnlock()
 	return dst
 }
 
-// Subjects returns a copy of the subjects s such that (s, p, o) is present.
+// Subjects returns a copy of the subjects s such that (s, p, o) is
+// present, in ascending ID order.
 func (st *Store) Subjects(p, o rdf.ID) []rdf.ID {
 	return st.SubjectsAppend(nil, p, o)
 }
 
 // SubjectsAppend appends the subjects s such that (s, p, o) is present to
-// dst and returns the extended slice.
+// dst and returns the extended slice. The appended segment is in
+// ascending ID order.
 func (st *Store) SubjectsAppend(dst []rdf.ID, p, o rdf.ID) []rdf.ID {
 	str := st.stripeFor(p)
 	str.mu.RLock()
@@ -654,14 +1012,7 @@ func (st *Store) SubjectsAppend(dst []rdf.ID, p, o rdf.ID) []rdf.ID {
 		return dst
 	}
 	part.mu.RLock()
-	if subs, ok := part.os[o]; ok {
-		if dst == nil {
-			dst = make([]rdf.ID, 0, len(subs))
-		}
-		for s := range subs {
-			dst = append(dst, s)
-		}
-	}
+	dst = part.subjectsAppend(dst, o)
 	part.mu.RUnlock()
 	str.mu.RUnlock()
 	return dst
@@ -672,7 +1023,7 @@ func (st *Store) SubjectsAppend(dst []rdf.ID, p, o rdf.ID) []rdf.ID {
 // outside the locks) does not also cost an allocation per call.
 var pairBufs = sync.Pool{New: func() any { return new([]pair) }}
 
-// pairsOf copies the (s, o) pairs of predicate p's partition into a
+// pairsOf copies the live (s, o) pairs of predicate p's partition into a
 // pooled buffer. Callers must hand the buffer back via putPairs.
 func (st *Store) pairsOf(p rdf.ID) *[]pair {
 	s := st.stripeFor(p)
@@ -685,11 +1036,9 @@ func (st *Store) pairsOf(p rdf.ID) *[]pair {
 	buf := pairBufs.Get().(*[]pair)
 	part.mu.RLock()
 	out := (*buf)[:0]
-	for sub, objs := range part.so {
-		for o := range objs {
-			out = append(out, pair{s: sub, o: o})
-		}
-	}
+	part.forEachLive(func(sub, o rdf.ID) {
+		out = append(out, pair{s: sub, o: o})
+	})
 	part.mu.RUnlock()
 	s.mu.RUnlock()
 	*buf = out
@@ -760,19 +1109,17 @@ func (st *Store) Match(pattern rdf.Triple) []rdf.Triple {
 				out = append(out, rdf.Triple{S: pattern.S, P: p, O: pattern.O})
 			}
 		case pattern.S != rdf.Any:
-			for o := range part.so[pattern.S] {
+			for _, o := range part.objectsAppend(nil, pattern.S) {
 				out = append(out, rdf.Triple{S: pattern.S, P: p, O: o})
 			}
 		case pattern.O != rdf.Any:
-			for s := range part.os[pattern.O] {
+			for _, s := range part.subjectsAppend(nil, pattern.O) {
 				out = append(out, rdf.Triple{S: s, P: p, O: pattern.O})
 			}
 		default:
-			for s, objs := range part.so {
-				for o := range objs {
-					out = append(out, rdf.Triple{S: s, P: p, O: o})
-				}
-			}
+			part.forEachLive(func(s, o rdf.ID) {
+				out = append(out, rdf.Triple{S: s, P: p, O: o})
+			})
 		}
 	}
 	if pattern.P != rdf.Any {
@@ -807,11 +1154,9 @@ func (st *Store) Snapshot() []rdf.Triple {
 		s.mu.RLock()
 		for p, part := range s.parts {
 			part.mu.RLock()
-			for sub, objs := range part.so {
-				for o := range objs {
-					out = append(out, rdf.Triple{S: sub, P: p, O: o})
-				}
-			}
+			part.forEachLive(func(sub, o rdf.ID) {
+				out = append(out, rdf.Triple{S: sub, P: p, O: o})
+			})
 			part.mu.RUnlock()
 		}
 		s.mu.RUnlock()
@@ -839,6 +1184,20 @@ func (st *Store) Clear() {
 		s.mu.Unlock()
 		st.size.Add(int64(-removed))
 	}
+	st.predMu.Lock()
+	st.preds = nil
+	st.predMu.Unlock()
+}
+
+// CompactionStats counts the background compactor's work since the
+// store was created.
+type CompactionStats struct {
+	// Flushes is the number of overlay→run seals, Merges the number of
+	// run merges, Purges the number of tombstone-purging rebuilds.
+	Flushes, Merges, Purges int64
+	// PairsMerged counts pairs rewritten by merges and purges — the
+	// write-amplification meter.
+	PairsMerged int64
 }
 
 // Stats summarises the store's shape.
@@ -847,6 +1206,16 @@ type Stats struct {
 	Predicates int
 	// MaxPartition is the size of the largest predicate partition.
 	MaxPartition int
+
+	// Runs is the total immutable-run count across all partitions;
+	// RunPairs, OverlayPairs and Tombstones split the physical pair
+	// population (live pairs = RunPairs - Tombstones + OverlayPairs).
+	Runs         int
+	RunPairs     int
+	OverlayPairs int
+	Tombstones   int
+
+	Compaction CompactionStats
 }
 
 // Stats returns current statistics.
@@ -861,9 +1230,19 @@ func (st *Store) Stats() Stats {
 			if part.n > s.MaxPartition {
 				s.MaxPartition = part.n
 			}
+			s.Runs += len(part.runs)
+			s.RunPairs += part.rp
+			s.OverlayPairs += part.onum
+			s.Tombstones += part.tombN
 			part.mu.RUnlock()
 		}
 		str.mu.RUnlock()
+	}
+	s.Compaction = CompactionStats{
+		Flushes:     st.cFlushes.Load(),
+		Merges:      st.cMerges.Load(),
+		Purges:      st.cPurges.Load(),
+		PairsMerged: st.cPairsMerged.Load(),
 	}
 	return s
 }
@@ -875,15 +1254,19 @@ func (st *Store) Stats() Stats {
 // applies the journal to reconstruct the exact freeze-time contents.
 // This is the mechanism behind non-blocking checkpoints: capture is
 // O(1), streaming the view contends with writers only for the brief
-// per-partition copy that plain iteration already takes.
+// per-partition copy that plain iteration already takes — and a fully
+// compacted partition (no overlay, no tombstones, no journal) streams
+// its immutable runs verbatim, entirely outside the locks.
 //
 // A view is immutable: Predicates, PredicateLen and the iteration
 // methods return the same answers no matter how the store has moved on.
-// Call Release when done — it drops the view's journals and, when it was
-// the last active view, prunes partitions that drained while frozen.
-// Any number of views may be active concurrently (each checkpoint and
-// each read session holds its own); every mutation journals one entry
-// per active view it affects, so keep the active set small.
+// Compaction (flush/merge/purge) moves pairs physically but never
+// changes logical content, so it is transparent to views. Call Release
+// when done — it drops the view's journals and, when it was the last
+// active view, prunes partitions that drained while frozen. Any number
+// of views may be active concurrently (each checkpoint and each read
+// session holds its own); every mutation journals one entry per active
+// view it affects, so keep the active set small.
 type View struct {
 	st    *Store
 	epoch uint64
@@ -954,6 +1337,7 @@ func (v *View) Release() {
 			p.mu.Unlock()
 			if empty {
 				delete(s.parts, id)
+				st.unregisterPred(id)
 			}
 		}
 		s.mu.Unlock()
@@ -966,22 +1350,15 @@ func (v *View) Len() int { return int(v.size) }
 // Predicates returns the predicates present at freeze time, in
 // ascending ID order.
 func (v *View) Predicates() []rdf.ID {
-	st := v.st
+	// The registry only grows while a view is active (partitions are
+	// never pruned mid-view), so filtering it by frozen length yields
+	// exactly the freeze-time predicates, already sorted.
 	var out []rdf.ID
-	for i := range st.stripes {
-		s := &st.stripes[i]
-		s.mu.RLock()
-		for id, p := range s.parts {
-			p.mu.RLock()
-			n := p.frozenLen(v.epoch)
-			p.mu.RUnlock()
-			if n > 0 {
-				out = append(out, id)
-			}
+	for _, p := range v.st.Predicates() {
+		if v.PredicateLen(p) > 0 {
+			out = append(out, p)
 		}
-		s.mu.RUnlock()
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -1000,6 +1377,30 @@ func (v *View) PredicateLen(p rdf.ID) int {
 	return part.frozenLen(v.epoch)
 }
 
+// PredicateStats returns the freeze-time pair count of predicate p plus
+// the partition's current distinct subject/object counts — the same
+// planning-grade cardinalities Store.PredicateStats reports (views
+// drift from them only by the post-freeze delta, which is negligible
+// for join-order estimation).
+func (v *View) PredicateStats(p rdf.ID) (triples, subjects, objects int) {
+	s := v.st.stripeFor(p)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	part, ok := s.parts[p]
+	if !ok {
+		return 0, 0, 0
+	}
+	part.mu.RLock()
+	defer part.mu.RUnlock()
+	triples = part.frozenLen(v.epoch)
+	subjects = len(part.subjects) - part.drained
+	objects = len(part.os)
+	for _, r := range part.runs {
+		objects += len(r.objsD)
+	}
+	return triples, subjects, objects
+}
+
 // viewChunk is how many pairs a view accumulates per partition-lock
 // acquisition. It bounds the pause a concurrent writer can observe
 // behind view iteration: with vertical partitioning a single predicate
@@ -1008,21 +1409,69 @@ func (v *View) PredicateLen(p rdf.ID) int {
 // writers for O(store) at exactly the moment non-blocking checkpoints
 // exist to protect. A subject's object set is evaluated atomically, so
 // the true hold bound is O(viewChunk + degree of the chunk's last
-// subject) — a pathological hub subject still costs its degree.
-const viewChunk = 4096
+// subject) — a pathological hub subject still costs its degree. Frozen
+// evaluation probes every run per subject (a map lookup each), so the
+// per-pair cost is a few times a plain map walk; 1024 keeps the hold
+// around a millisecond even on a partition split across several runs.
+const viewChunk = 1024
+
+// appendFrozenObjs appends subject s's freeze-time pairs to out: live
+// pairs (overlay and untombstoned run pairs) not journaled as
+// post-freeze insertions, plus journaled post-freeze removals. The
+// journal is keyed on logical pairs, so a pair's physical home —
+// overlay before a flush, run after — never matters. Callers hold the
+// partition lock.
+func (p *partition) appendFrozenObjs(out []pair, s rdf.ID, js map[rdf.ID]bool) []pair {
+	if e := p.so[s]; e != nil {
+		for o := range e.objs {
+			if present, journaled := js[o]; journaled && !present {
+				continue // inserted after the freeze
+			}
+			out = append(out, pair{s: s, o: o})
+		}
+	}
+	if len(p.runs) > 0 {
+		ts := p.tomb[s]
+		for _, r := range p.runs {
+			for _, o := range r.objectsOf(s) {
+				if _, dead := ts[o]; dead {
+					continue // removed; the journal re-adds it if post-freeze
+				}
+				if present, journaled := js[o]; journaled && !present {
+					continue // flushed post-freeze insertion
+				}
+				out = append(out, pair{s: s, o: o})
+			}
+		}
+	}
+	for o, present := range js {
+		if present {
+			out = append(out, pair{s: s, o: o}) // removed after the freeze
+		}
+	}
+	return out
+}
 
 // ForEachWithPredicate calls f for every freeze-time (s, o) pair of the
 // predicate until f returns false. f runs outside the store's locks.
 //
-// Iteration walks the partition's insertion-ordered subject list,
-// re-acquiring the partition lock after every ~viewChunk pairs.
+// A partition that predates the view and has no journal for it, no
+// overlay and no tombstones is frozen-equal to its immutable runs, so
+// it streams them verbatim with no further locking: the runs slice is
+// replaced wholesale, never mutated in place, and any later logical
+// mutation postdates the freeze — it would create exactly the journal
+// entry whose absence this path just observed — so it cannot belong to
+// the frozen state. This is the checkpoint fast path FlushOverlays sets
+// up.
+//
+// Otherwise iteration walks the partition's insertion-ordered subject
+// list, re-acquiring the partition lock after every ~viewChunk pairs.
 // That is safe mid-view: partitions are never pruned nor Cleared while
 // a view is active, each subject appears in the list exactly once, and
-// a subject's freeze-time pairs — live pairs not journaled as
-// post-freeze insertions, plus journaled post-freeze removals — are a
-// time-invariant property, so evaluating each subject once, whenever
-// its chunk comes up, enumerates exactly the frozen state. Subjects
-// appended after the freeze evaluate to nothing.
+// a subject's freeze-time pairs are a time-invariant property (physical
+// moves by the compactor do not change them), so evaluating each
+// subject once, whenever its chunk comes up, enumerates exactly the
+// frozen state. Subjects appended after the freeze evaluate to nothing.
 func (v *View) ForEachWithPredicate(p rdf.ID, f func(s, o rdf.ID) bool) {
 	str := v.st.stripeFor(p)
 	str.mu.RLock()
@@ -1040,21 +1489,20 @@ func (v *View) ForEachWithPredicate(p rdf.ID, f func(s, o rdf.ID) bool) {
 			return
 		}
 		j := part.journals[v.epoch] // nil when nothing changed since the freeze
+		if i == 0 && j == nil && part.onum == 0 && part.tombN == 0 {
+			runs := part.runs
+			part.mu.RUnlock()
+			for _, r := range runs {
+				if !r.forEach(f) {
+					return
+				}
+			}
+			return
+		}
 		out := (*buf)[:0]
 		for ; i < len(part.subjects) && len(out) < viewChunk; i++ {
 			sub := part.subjects[i]
-			js := j.sub(sub) // nil when the subject has no journal entries
-			for o := range part.so[sub] {
-				if present, journaled := js[o]; journaled && !present {
-					continue // inserted after the freeze
-				}
-				out = append(out, pair{s: sub, o: o})
-			}
-			for o, present := range js {
-				if present {
-					out = append(out, pair{s: sub, o: o}) // removed after the freeze
-				}
-			}
+			out = part.appendFrozenObjs(out, sub, j.sub(sub))
 		}
 		done := i >= len(part.subjects)
 		part.mu.RUnlock()
@@ -1189,12 +1637,14 @@ func (v *View) matchSubject(p, s rdf.ID, f func(rdf.Triple) bool) {
 }
 
 // ObjectsAppend appends the freeze-time objects o with (s, p, o) present
-// to dst and returns the extended slice: live pairs not journaled as
-// post-freeze insertions, plus journaled post-freeze removals. The lock
-// hold is bounded by the subject's degree, exactly as for a live probe —
-// these pattern-indexed view probes are what lets rule joins (and the
-// backward support checks of suspect-local retraction) run against a
-// frozen view at live-probe cost.
+// to dst and returns the extended slice, in ascending ID order — the
+// same sorted contract as the live probe, so galloping joins work
+// identically against views. The frozen set is live pairs not journaled
+// as post-freeze insertions, plus journaled post-freeze removals. The
+// lock hold is bounded by the subject's degree, exactly as for a live
+// probe — these pattern-indexed view probes are what lets rule joins
+// (and the backward support checks of suspect-local retraction) run
+// against a frozen view at live-probe cost.
 func (v *View) ObjectsAppend(dst []rdf.ID, p, s rdf.ID) []rdf.ID {
 	str := v.st.stripeFor(p)
 	str.mu.RLock()
@@ -1209,30 +1659,66 @@ func (v *View) ObjectsAppend(dst []rdf.ID, p, s rdf.ID) []rdf.ID {
 		return dst
 	}
 	js := part.journals[v.epoch].sub(s)
-	for o := range part.so[s] {
-		if present, journaled := js[o]; journaled && !present {
-			continue // inserted after the freeze
+	start := len(dst)
+	srcs := 0
+	needSort := false
+	if e := part.so[s]; e != nil && len(e.objs) > 0 {
+		before := len(dst)
+		for o := range e.objs {
+			if present, journaled := js[o]; journaled && !present {
+				continue // inserted after the freeze
+			}
+			dst = append(dst, o)
 		}
-		dst = append(dst, o)
+		if len(dst) > before {
+			srcs++
+			needSort = true
+		}
+	}
+	if len(part.runs) > 0 {
+		ts := part.tomb[s]
+		for _, r := range part.runs {
+			ro := r.objectsOf(s)
+			if len(ro) == 0 {
+				continue
+			}
+			before := len(dst)
+			for _, o := range ro {
+				if _, dead := ts[o]; dead {
+					continue
+				}
+				if present, journaled := js[o]; journaled && !present {
+					continue
+				}
+				dst = append(dst, o)
+			}
+			if len(dst) > before {
+				srcs++
+			}
+		}
 	}
 	for o, present := range js {
 		if present {
 			dst = append(dst, o) // removed after the freeze
+			needSort = true
 		}
+	}
+	if needSort || srcs > 1 {
+		slices.Sort(dst[start:])
 	}
 	return dst
 }
 
 // Objects returns a copy of the freeze-time objects o with (s, p, o)
-// present.
+// present, in ascending ID order.
 func (v *View) Objects(p, s rdf.ID) []rdf.ID {
 	return v.ObjectsAppend(nil, p, s)
 }
 
 // SubjectsAppend appends the freeze-time subjects s with (s, p, o)
-// present to dst and returns the extended slice. The lock hold is
-// bounded by the object's live extent plus the view's journal for the
-// partition.
+// present to dst and returns the extended slice, in ascending ID order.
+// The lock hold is bounded by the object's live extent plus the view's
+// journal for the partition.
 func (v *View) SubjectsAppend(dst []rdf.ID, p, o rdf.ID) []rdf.ID {
 	str := v.st.stripeFor(p)
 	str.mu.RLock()
@@ -1247,11 +1733,40 @@ func (v *View) SubjectsAppend(dst []rdf.ID, p, o rdf.ID) []rdf.ID {
 		return dst
 	}
 	j := part.journals[v.epoch]
-	for s := range part.os[o] {
-		if present, journaled := j.sub(s)[o]; journaled && !present {
-			continue // inserted after the freeze
+	start := len(dst)
+	srcs := 0
+	needSort := false
+	if subs := part.os[o]; len(subs) > 0 {
+		before := len(dst)
+		for s := range subs {
+			if present, journaled := j.sub(s)[o]; journaled && !present {
+				continue // inserted after the freeze
+			}
+			dst = append(dst, s)
 		}
-		dst = append(dst, s)
+		if len(dst) > before {
+			srcs++
+			needSort = true
+		}
+	}
+	for _, r := range part.runs {
+		rs := r.subjectsOf(o)
+		if len(rs) == 0 {
+			continue
+		}
+		before := len(dst)
+		for _, s := range rs {
+			if part.tombN > 0 && part.tombHas(s, o) {
+				continue
+			}
+			if present, journaled := j.sub(s)[o]; journaled && !present {
+				continue
+			}
+			dst = append(dst, s)
+		}
+		if len(dst) > before {
+			srcs++
+		}
 	}
 	if j != nil {
 		// Journaled post-freeze removals with this object: present at
@@ -1259,14 +1774,18 @@ func (v *View) SubjectsAppend(dst []rdf.ID, p, o rdf.ID) []rdf.ID {
 		for s, js := range j.m {
 			if js[o] {
 				dst = append(dst, s)
+				needSort = true
 			}
 		}
+	}
+	if needSort || srcs > 1 {
+		slices.Sort(dst[start:])
 	}
 	return dst
 }
 
 // Subjects returns a copy of the freeze-time subjects s with (s, p, o)
-// present.
+// present, in ascending ID order.
 func (v *View) Subjects(p, o rdf.ID) []rdf.ID {
 	return v.SubjectsAppend(nil, p, o)
 }

@@ -75,6 +75,9 @@ type (
 	DependencyGraph = rules.DependencyGraph
 	// Stats is a snapshot of the engine's counters.
 	Stats = reasoner.Stats
+	// StoreStats is a snapshot of the store's size and compaction
+	// counters (runs, overlay pairs, tombstones, merges).
+	StoreStats = store.Stats
 	// ModuleStats is one rule module's counters.
 	ModuleStats = reasoner.ModuleStats
 	// Observer receives fine-grained engine events.
@@ -654,6 +657,11 @@ func (r *Reasoner) Len() int { return r.store.Len() }
 
 // Stats returns a snapshot of the engine's counters.
 func (r *Reasoner) Stats() Stats { return r.engine.Stats() }
+
+// StoreStats returns a snapshot of the store's size and compaction
+// counters: triples per home (runs vs delta overlay), tombstones, and
+// cumulative flush/merge/purge work.
+func (r *Reasoner) StoreStats() StoreStats { return r.store.Stats() }
 
 // Statements calls f for every triple in the store, decoded to Terms,
 // until f returns false. The order is unspecified.

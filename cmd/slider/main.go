@@ -27,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"os/signal"
 	"sort"
@@ -70,8 +71,16 @@ func main() {
 		load     = flag.String("load", "", "restore a binary snapshot as background knowledge before reading input")
 		data     = flag.String("data", "", "durable knowledge base directory: replay previous state on start, write-ahead-log new statements, checkpoint on clean exit")
 		adaptive = flag.Bool("adaptive", false, "enable adaptive buffer scheduling")
+		logJSON  = flag.Bool("log-json", false, "emit diagnostics as JSON log lines instead of text")
 	)
 	flag.Parse()
+
+	var logger *slog.Logger
+	if *logJSON {
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	} else {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
 
 	frag, err := cmdutil.FragmentByName(*fragName)
 	if err != nil {
@@ -106,7 +115,7 @@ func main() {
 		fatal(err)
 	}
 	if *data != "" && !*quiet {
-		fmt.Fprintf(os.Stderr, "slider: durable KB at %s (%d triples recovered)\n", *data, recovered)
+		logger.Info("durable KB opened", "dir", *data, "recovered_triples", recovered)
 	}
 	// SIGINT/SIGTERM interrupt the run but still close the knowledge
 	// base gracefully (bounded below), so a durable KB's close-time
@@ -116,7 +125,7 @@ func main() {
 	defer stop()
 	interrupted := func(err error) {
 		stop()
-		fmt.Fprintf(os.Stderr, "slider: interrupted (%v); closing knowledge base...\n", err)
+		logger.Warn("interrupted; closing knowledge base", "err", err)
 		if cerr := cmdutil.CloseBounded(r, 30*time.Second); cerr != nil {
 			fatal(cerr)
 		}
@@ -154,9 +163,11 @@ func main() {
 	s := r.Stats()
 
 	if !*quiet {
-		fmt.Fprintf(os.Stderr, "slider: %d statements in, %d inferred, %d total in %s (%.0f triples/s, fragment %s)\n",
-			n, s.Inferred, r.Len(), elapsed.Round(time.Millisecond),
-			float64(n)/elapsed.Seconds(), frag.Name())
+		logger.Info("run complete",
+			"statements_in", n, "inferred", s.Inferred, "total", r.Len(),
+			"elapsed", elapsed.Round(time.Millisecond).String(),
+			"triples_per_sec", int64(float64(n)/elapsed.Seconds()),
+			"fragment", frag.Name())
 	}
 	if *stats {
 		printStats(s)
@@ -174,7 +185,7 @@ func main() {
 			fatal(err)
 		}
 		if !*quiet {
-			fmt.Fprintf(os.Stderr, "slider: snapshot written to %s\n", *save)
+			logger.Info("snapshot written", "path", *save)
 		}
 	}
 

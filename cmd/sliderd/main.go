@@ -23,9 +23,12 @@ package main
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -53,9 +56,14 @@ func main() {
 		queryTimeout = flag.Duration("query-timeout", 30*time.Second, "per-query wall-clock budget")
 		retractTO    = flag.Duration("retract-timeout", 5*time.Minute, "per-retraction delete-and-rederive budget (server-scoped: client disconnects cannot abort a running pass; a timeout mid-analysis leaves the KB untouched)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget (drain + close)")
+		debugAddr    = flag.String("debug-addr", "", "listen address for the debug server (pprof + expvar); empty = disabled")
+		logRequests  = flag.Bool("log-requests", false, "log one structured line per HTTP request to stderr")
+		logJSON      = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 		quiet        = flag.Bool("q", false, "suppress startup/shutdown banners")
 	)
 	flag.Parse()
+
+	logger := newLogger(*logJSON)
 
 	frag, err := cmdutil.FragmentByName(*fragName)
 	if err != nil {
@@ -88,16 +96,19 @@ func main() {
 			fatal(err)
 		}
 		if !*quiet {
-			fmt.Fprintf(os.Stderr, "sliderd: durable KB at %s (%d triples recovered, fragment %s)\n",
-				*data, r.Len(), frag.Name())
+			logger.Info("durable KB opened", "dir", *data, "triples", r.Len(), "fragment", frag.Name())
 		}
 	} else {
 		r = slider.New(frag, opts...)
 		if !*quiet {
-			fmt.Fprintf(os.Stderr, "sliderd: in-memory KB (fragment %s) — data is lost on exit\n", frag.Name())
+			logger.Info("in-memory KB (data is lost on exit)", "fragment", frag.Name())
 		}
 	}
 
+	reqLogger := slog.New(slog.DiscardHandler)
+	if *logRequests {
+		reqLogger = logger
+	}
 	srv := server.New(r, server.Config{
 		MaxInflight:      *maxInflight,
 		MaxBodyBytes:     *maxBody,
@@ -105,8 +116,30 @@ func main() {
 		QueryTimeout:     *queryTimeout,
 		QueryConcurrency: *queryConc,
 		RetractTimeout:   *retractTO,
+		Logger:           reqLogger,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	// Opt-in debug listener, separate from the serving address so
+	// profiling endpoints are never reachable through the public port:
+	// net/http/pprof handlers plus expvar (Go runtime memstats).
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dmux.Handle("/debug/vars", expvar.Handler())
+		go func() {
+			if !*quiet {
+				logger.Info("debug server listening", "addr", *debugAddr)
+			}
+			if derr := http.ListenAndServe(*debugAddr, dmux); derr != nil {
+				logger.Error("debug server failed", "err", derr)
+			}
+		}()
+	}
 
 	// First SIGINT/SIGTERM starts the graceful drain; a second one (the
 	// context is restored by stop()) kills the process the default way.
@@ -116,7 +149,7 @@ func main() {
 	errc := make(chan error, 1)
 	go func() {
 		if !*quiet {
-			fmt.Fprintf(os.Stderr, "sliderd: listening on %s\n", *addr)
+			logger.Info("listening", "addr", *addr)
 		}
 		errc <- httpSrv.ListenAndServe()
 	}()
@@ -129,7 +162,7 @@ func main() {
 	}
 	stop() // restore default signal handling: a second ^C force-exits
 	if !*quiet {
-		fmt.Fprintln(os.Stderr, "sliderd: draining (send the signal again to force exit)")
+		logger.Info("draining (send the signal again to force exit)")
 	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
@@ -137,17 +170,26 @@ func main() {
 	// stop the listener, then close the KB so the close-time checkpoint
 	// covers everything acknowledged.
 	if err := srv.Drain(shutdownCtx); err != nil {
-		fmt.Fprintf(os.Stderr, "sliderd: drain: %v\n", err)
+		logger.Error("drain failed", "err", err)
 	}
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		fmt.Fprintf(os.Stderr, "sliderd: http shutdown: %v\n", err)
+		logger.Error("http shutdown failed", "err", err)
 	}
 	if err := cmdutil.CloseBounded(r, *drainTimeout); err != nil {
 		fatal(fmt.Errorf("close: %w", err))
 	}
 	if !*quiet {
-		fmt.Fprintln(os.Stderr, "sliderd: clean shutdown")
+		logger.Info("clean shutdown")
 	}
+}
+
+// newLogger builds the daemon's stderr logger: human-readable text by
+// default, JSON when asked (for log shippers).
+func newLogger(jsonOut bool) *slog.Logger {
+	if jsonOut {
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, nil))
 }
 
 func fatal(err error) {

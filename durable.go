@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/maintenance"
+	"repro/internal/obs"
 	"repro/internal/rdf"
 	"repro/internal/snapshot"
 	"repro/internal/store"
@@ -64,6 +65,11 @@ type durability struct {
 	// block behind ingest holding mu.
 	errMu sync.Mutex
 	err   error // first log/checkpoint failure; poisons further writes
+	// bgErr mirrors err when the failure originated in checkpointing
+	// rather than the write path — the distinction the serving layer's
+	// health endpoint reports as "degraded" (reads still work, recovery
+	// would replay a longer tail) versus "failed".
+	bgErr error
 
 	// Dictionary high-water marks: how many terms per kind have been
 	// written to the log (or were present in the loaded checkpoint).
@@ -84,13 +90,25 @@ type durability struct {
 // openDurable builds a durable Reasoner from an option-parsed config.
 func openDurable(frag Fragment, cfg config) (*Reasoner, error) {
 	cfg.retraction = true // replayed retract records need the explicit set
+	// The registry outlives any single subsystem, so create it first:
+	// the log registers its instruments here, newReasoner threads the
+	// same registry through the store, engine bridges and facade.
+	reg := obs.NewRegistry()
+	cfg.reg = reg
 	l, err := wal.Open(cfg.durableDir, wal.Options{
 		SegmentSize: cfg.walSegmentSize,
 		Fsync:       cfg.walFsync,
+		Metrics:     wal.NewMetrics(reg),
 	})
 	if err != nil {
 		return nil, err
 	}
+	reg.GaugeFunc("slider_wal_live_bytes",
+		"Write-ahead-log bytes not yet covered by a checkpoint.",
+		func() float64 { return float64(l.LiveBytes()) })
+	reg.GaugeFunc("slider_wal_checkpoint_bytes",
+		"Size of the current checkpoint's payload files.",
+		func() float64 { return float64(l.CheckpointBytes()) })
 	// A checkpoint stores a materialised closure: reopening under
 	// different rules would silently mix fragments and re-persist the
 	// hybrid. Record the fragment on first open, refuse mismatches.
@@ -262,6 +280,7 @@ func (r *Reasoner) Checkpoint(ctx context.Context) error {
 // work beyond the quiescence wait — the pause writers can observe.
 func (r *Reasoner) markCheckpointLocked(ctx context.Context) (*ckptCapture, error) {
 	d := r.dur
+	t0 := obs.NowIfEnabled()
 	if err := d.getErr(); err != nil {
 		return nil, err
 	}
@@ -274,8 +293,10 @@ func (r *Reasoner) markCheckpointLocked(ctx context.Context) (*ckptCapture, erro
 	mark, err := d.log.BeginCheckpoint()
 	if err != nil {
 		d.setErr(err)
+		d.setBgErr(err)
 		return nil, err
 	}
+	defer r.obs.ckptMark.ObserveSince(t0)
 	// The dictionary view ends at the logged high-water marks: exactly
 	// the terms the covered records (and hence the frozen store, whose
 	// triples are their closure) can reference. Terms registered later
@@ -295,6 +316,7 @@ func (r *Reasoner) markCheckpointLocked(ctx context.Context) (*ckptCapture, erro
 // released, and failures poison the reasoner (surfaced via Err).
 func (r *Reasoner) streamCheckpoint(cap *ckptCapture) error {
 	d := r.dur
+	t0 := obs.NowIfEnabled()
 	err := d.log.WriteCheckpointPayloads(cap.mark,
 		func(w io.Writer) error { return snapshot.SaveFrom(w, cap.dict, cap.store) },
 		func(w io.Writer) error {
@@ -302,7 +324,13 @@ func (r *Reasoner) streamCheckpoint(cap *ckptCapture) error {
 		},
 	)
 	if err == nil {
+		r.obs.ckptStream.ObserveSince(t0)
+		c0 := obs.NowIfEnabled()
 		err = d.log.CommitCheckpoint(cap.mark)
+		if err == nil {
+			r.obs.ckptCommit.ObserveSince(c0)
+			r.obs.ckptTotal.Inc()
+		}
 	} else {
 		d.log.AbortCheckpoint(cap.mark)
 	}
@@ -310,6 +338,7 @@ func (r *Reasoner) streamCheckpoint(cap *ckptCapture) error {
 	cap.explicit.Release()
 	if err != nil {
 		d.setErr(err)
+		d.setBgErr(err)
 	}
 	return err
 }
@@ -395,6 +424,23 @@ func (d *durability) setErr(err error) {
 		d.err = err
 	}
 	d.errMu.Unlock()
+}
+
+// setBgErr records a failure that originated in checkpointing (always
+// alongside setErr, which poisons writes as before).
+func (d *durability) setBgErr(err error) {
+	d.errMu.Lock()
+	if d.bgErr == nil {
+		d.bgErr = err
+	}
+	d.errMu.Unlock()
+}
+
+// getBgErr returns the sticky checkpoint failure, if any.
+func (d *durability) getBgErr() error {
+	d.errMu.Lock()
+	defer d.errMu.Unlock()
+	return d.bgErr
 }
 
 // durErr returns the sticky durability error, if any.

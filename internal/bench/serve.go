@@ -8,7 +8,6 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"runtime"
-	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -32,8 +31,12 @@ type ServePoint struct {
 	WriterRegressPct float64 `json:"writer_regress_pct"`
 	// QPS is completed queries per second across all clients.
 	QPS float64 `json:"qps"`
-	// P50MS / P99MS are query latency percentiles in milliseconds
-	// (full request: snapshot acquisition, join, streamed read).
+	// P50MS / P99MS are query latency percentiles in milliseconds,
+	// extracted from the server's own request histogram
+	// (slider_http_request_seconds{route="query"}): the full
+	// server-side request — snapshot acquisition, join, streamed write
+	// — exactly what a /metrics scrape of a production deployment
+	// reports.
 	P50MS float64 `json:"p50_ms"`
 	P99MS float64 `json:"p99_ms"`
 	// Queries and Statements are the raw cell totals.
@@ -164,8 +167,6 @@ func serveCell(ctx context.Context, queryClients, writers, batchSize int, dur ti
 
 	p := ServePoint{QueryClients: queryClients}
 	var acked, queries atomic.Int64
-	var latMu sync.Mutex
-	var lats []time.Duration
 	deadline := time.Now().Add(dur)
 	cellCtx, cancel := context.WithDeadline(ctx, deadline)
 	defer cancel()
@@ -199,18 +200,13 @@ func serveCell(ctx context.Context, queryClients, writers, batchSize int, dur ti
 		go func(slot int) {
 			defer wg.Done()
 			for cellCtx.Err() == nil {
-				t0 := time.Now()
 				if err := servePost(client, ts.URL+"/v1/query", queryText); err != nil {
 					if cellCtx.Err() == nil {
 						errs[writers+slot] = err
 					}
 					return
 				}
-				lat := time.Since(t0)
 				queries.Add(1)
-				latMu.Lock()
-				lats = append(lats, lat)
-				latMu.Unlock()
 			}
 		}(q)
 	}
@@ -231,14 +227,12 @@ func serveCell(ctx context.Context, queryClients, writers, batchSize int, dur ti
 		p.WriterRate = float64(p.Statements) / sec
 		p.QPS = float64(p.Queries) / sec
 	}
-	if len(lats) > 0 {
-		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-		p.P50MS = float64(lats[len(lats)/2].Microseconds()) / 1000
-		i99 := len(lats) * 99 / 100
-		if i99 >= len(lats) {
-			i99 = len(lats) - 1
-		}
-		p.P99MS = float64(lats[i99].Microseconds()) / 1000
+	// The cell owns a fresh reasoner, so the server's query-route
+	// histogram holds exactly this cell's requests — no deltas needed.
+	if hist := r.Metrics().GetHistogram("slider_http_request_seconds", "route", "query"); hist != nil && hist.Count() > 0 {
+		p50, _, p99 := hist.Snapshot().Quantiles()
+		p.P50MS = p50 * 1000
+		p.P99MS = p99 * 1000
 	}
 	return p, nil
 }

@@ -90,6 +90,10 @@ type Stats struct {
 	// apply window in microseconds, filled in by the caller that holds
 	// the locks.
 	ExclusiveMicros int64
+	// PrepareMicros is the wall-clock of the concurrent prepare phase
+	// (freeze plus suspect analysis) in microseconds, filled in by the
+	// caller; zero when the classic full-rederive path ran.
+	PrepareMicros int64
 	// TwoPhase reports whether the suspect-local path ran (false: classic
 	// full-store rederivation).
 	TwoPhase bool

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentRecordingStress hammers one registry from many writers
+// — counters, gauges, histogram observations and label get-or-create —
+// while a reader keeps scraping, then checks nothing was lost. Run
+// under -race this is the package's publication-safety proof.
+func TestConcurrentRecordingStress(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("stress_total", "t")
+	h := r.Histogram("stress_seconds", "t", []float64{0.001, 0.01, 0.1, 1})
+	g := r.Gauge("stress_gauge", "t")
+
+	workers := runtime.GOMAXPROCS(0) * 4
+	if workers < 8 {
+		workers = 8
+	}
+	const perWorker = 5000
+	var wg, writersDone sync.WaitGroup
+	stop := make(chan struct{})
+	// Concurrent scraper: exposition must be safe against recording.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var sb strings.Builder
+			if err := r.WriteText(&sb); err != nil {
+				t.Error(err)
+				return
+			}
+			_ = h.Snapshot()
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		writersDone.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer writersDone.Done()
+			lab := []string{"worker", string(rune('a' + w%8))}
+			lc := r.Counter("stress_labeled_total", "t", lab...)
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				lc.Inc()
+				g.Set(float64(i))
+				h.Observe(float64(i%1000) / 1000)
+			}
+		}(w)
+	}
+	writersDone.Wait()
+	close(stop)
+	wg.Wait()
+	total := int64(workers) * perWorker
+	if got := c.Load(); got != total {
+		t.Fatalf("counter = %d, want %d", got, total)
+	}
+	s := h.Snapshot()
+	if s.Count != total {
+		t.Fatalf("histogram count = %d, want %d", s.Count, total)
+	}
+	sumBuckets := int64(0)
+	for _, n := range s.Counts {
+		sumBuckets += n
+	}
+	if sumBuckets != total {
+		t.Fatalf("bucket sum = %d, want %d", sumBuckets, total)
+	}
+	var labeled int64
+	for w := 0; w < 8; w++ {
+		lc := r.GetCounter("stress_labeled_total", "worker", string(rune('a'+w)))
+		if lc != nil {
+			labeled += lc.Load()
+		}
+	}
+	if labeled != total {
+		t.Fatalf("labeled counters sum = %d, want %d", labeled, total)
+	}
+}

@@ -21,7 +21,9 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/rdf"
 )
 
@@ -147,11 +149,27 @@ type Binding map[string]rdf.Term
 // deterministic k-th page; use ExecuteFunc when early termination
 // matters more than ordering.
 func Execute(src Source, dict *rdf.Dictionary, q Query) ([]Binding, error) {
+	return ExecuteM(src, dict, q, nil)
+}
+
+// ExecuteM is Execute with optional instrumentation: a non-nil m
+// records planning/evaluation latency, the planner's cost estimate and
+// result counts.
+func ExecuteM(src Source, dict *rdf.Dictionary, q Query, m *Metrics) ([]Binding, error) {
+	var t0 time.Time
+	if m != nil {
+		t0 = obs.NowIfEnabled()
+		m.Queries.Inc()
+	}
 	results := map[string]Binding{}
-	err := enumerate(src, dict, q, func(key string, b Binding) bool {
+	err := enumerate(src, dict, q, m, func(key string, b Binding) bool {
 		results[key] = b
 		return true
 	})
+	if m != nil {
+		m.ExecSeconds.ObserveSince(t0)
+		m.Rows.Add(int64(len(results)))
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -195,13 +213,26 @@ func Execute(src Source, dict *rdf.Dictionary, q Query) ([]Binding, error) {
 // OFFSET+LIMIT when set) is held in memory. This is the executor behind
 // the serving layer's streamed bindings.
 func ExecuteFunc(src Source, dict *rdf.Dictionary, q Query, emit func(Binding) bool) error {
+	return ExecuteFuncM(src, dict, q, nil, emit)
+}
+
+// ExecuteFuncM is ExecuteFunc with optional instrumentation: a non-nil
+// m records planning/evaluation latency, the planner's cost estimate
+// and the streamed row count.
+func ExecuteFuncM(src Source, dict *rdf.Dictionary, q Query, m *Metrics, emit func(Binding) bool) error {
+	var t0 time.Time
+	if m != nil {
+		t0 = obs.NowIfEnabled()
+		m.Queries.Inc()
+		defer func() { m.ExecSeconds.ObserveSince(t0) }()
+	}
 	if q.HasLimit && q.Limit <= 0 {
 		// Nothing can be emitted; skip evaluation entirely.
 		return validate(q)
 	}
 	seen := map[string]struct{}{}
 	skipped, emitted := 0, 0
-	return enumerate(src, dict, q, func(key string, b Binding) bool {
+	return enumerate(src, dict, q, m, func(key string, b Binding) bool {
 		if _, dup := seen[key]; dup {
 			return true
 		}
@@ -209,6 +240,9 @@ func ExecuteFunc(src Source, dict *rdf.Dictionary, q Query, emit func(Binding) b
 		if skipped < q.Offset {
 			skipped++
 			return true
+		}
+		if m != nil {
+			m.Rows.Inc()
 		}
 		if !emit(b) {
 			return false
@@ -243,7 +277,7 @@ func validate(q Query) error {
 // enumerate runs the backtracking join and hands every complete
 // (possibly duplicate) solution to yield as (dedup key, binding), until
 // yield returns false.
-func enumerate(src Source, dict *rdf.Dictionary, q Query, yield func(key string, b Binding) bool) error {
+func enumerate(src Source, dict *rdf.Dictionary, q Query, m *Metrics, yield func(key string, b Binding) bool) error {
 	if err := validate(q); err != nil {
 		return err
 	}
@@ -279,7 +313,16 @@ func enumerate(src Source, dict *rdf.Dictionary, q Query, yield func(key string,
 			order[i] = i
 		}
 	} else {
-		order = planOrder(src, enc)
+		var p0 time.Time
+		if m != nil {
+			p0 = obs.NowIfEnabled()
+		}
+		var planCost float64
+		order, planCost = planOrder(src, enc)
+		if m != nil {
+			m.PlanSeconds.ObserveSince(p0)
+			m.PlanCost.Observe(planCost)
+		}
 	}
 	var sp sortedProber
 	if !q.NaiveOrder {
@@ -474,8 +517,11 @@ type idPattern struct {
 // guess for sources that lack them. Patterns connected to the already
 // bound variables are preferred over disconnected ones regardless of
 // cost: a Cartesian product is always worse than its estimate looks.
-// Ties break on input position, so plans are deterministic.
-func planOrder(src Source, pats []idPattern) []int {
+// Ties break on input position, so plans are deterministic. The second
+// return is the plan's total estimated cost — the sum of the chosen
+// patterns' per-placement cardinality estimates — surfaced as a metric
+// so plan-time expectations can be compared against observed latency.
+func planOrder(src Source, pats []idPattern) ([]int, float64) {
 	st, _ := src.(statsProber)
 	remaining := make([]bool, len(pats))
 	for i := range remaining {
@@ -533,6 +579,7 @@ func planOrder(src Source, pats []idPattern) []int {
 		}
 		return false
 	}
+	total := 0.0
 	for len(order) < len(pats) {
 		best, bestCost, bestConn := -1, 0.0, false
 		for i := range pats {
@@ -550,11 +597,12 @@ func planOrder(src Source, pats []idPattern) []int {
 		}
 		order = append(order, best)
 		remaining[best] = false
+		total += bestCost
 		for _, v := range []string{pats[best].sv, pats[best].pv, pats[best].ov} {
 			if v != "" {
 				bound[v] = true
 			}
 		}
 	}
-	return order
+	return order, total
 }

@@ -2,9 +2,9 @@ package server
 
 import (
 	"sync"
-	"sync/atomic"
 
 	slider "repro"
+	"repro/internal/obs"
 )
 
 // coalescer merges concurrent insert requests into shared AddBatch
@@ -18,15 +18,19 @@ type coalescer struct {
 	mu      sync.Mutex
 	next    *flight // accumulating flight; nil when none pending
 	running bool    // a flusher goroutine is draining flights
+	seq     uint64  // last flight id handed out; guarded by mu
 
 	// flushes counts AddBatch calls issued; coalesced counts requests
 	// that shared their flush with at least one other.
-	flushes   atomic.Int64
-	coalesced atomic.Int64
+	flushes   *obs.Counter
+	coalesced *obs.Counter
 }
 
-// flight is one pending merged batch and the requests riding on it.
+// flight is one pending merged batch and the requests riding on it. The
+// id names the flight in access logs, so coalesced requests are
+// correlatable: every rider of one AddBatch logs the same id.
 type flight struct {
+	id    uint64
 	stmts []slider.Statement
 	reqs  int
 	done  chan struct{}
@@ -34,21 +38,28 @@ type flight struct {
 	err   error
 }
 
-func newCoalescer(r *slider.Reasoner) *coalescer {
-	return &coalescer{r: r}
+func newCoalescer(r *slider.Reasoner, reg *obs.Registry) *coalescer {
+	return &coalescer{
+		r: r,
+		flushes: reg.Counter("slider_server_insert_flushes_total",
+			"Coalesced AddBatch flushes issued by the insert path."),
+		coalesced: reg.Counter("slider_server_coalesced_requests_total",
+			"Insert requests that shared their flush with at least one other."),
+	}
 }
 
 // submit adds the statements to the pending flight and blocks until that
 // flight's AddBatch has been acknowledged (durably logged on a durable
 // reasoner). It returns the merged batch's fresh-triple count, how many
-// requests shared the flush, and the flush error, which poisons every
-// rider — by then the reasoner itself refuses writes, so no rider could
-// have succeeded alone.
-func (c *coalescer) submit(sts []slider.Statement) (added, merged int, err error) {
+// requests shared the flush, the flight id, and the flush error, which
+// poisons every rider — by then the reasoner itself refuses writes, so
+// no rider could have succeeded alone.
+func (c *coalescer) submit(sts []slider.Statement) (added, merged int, id uint64, err error) {
 	c.mu.Lock()
 	fl := c.next
 	if fl == nil {
-		fl = &flight{done: make(chan struct{})}
+		c.seq++
+		fl = &flight{id: c.seq, done: make(chan struct{})}
 		c.next = fl
 	}
 	fl.stmts = append(fl.stmts, sts...)
@@ -59,7 +70,7 @@ func (c *coalescer) submit(sts []slider.Statement) (added, merged int, err error
 	}
 	c.mu.Unlock()
 	<-fl.done
-	return fl.added, fl.reqs, fl.err
+	return fl.added, fl.reqs, fl.id, fl.err
 }
 
 // run drains flights until none is pending. Requests arriving while an
@@ -78,7 +89,7 @@ func (c *coalescer) run() {
 		}
 		c.mu.Unlock()
 		fl.added, fl.err = c.r.AddBatch(fl.stmts)
-		c.flushes.Add(1)
+		c.flushes.Inc()
 		if fl.reqs > 1 {
 			c.coalesced.Add(int64(fl.reqs))
 		}

@@ -6,7 +6,8 @@
 //	POST /v1/query    SPARQL-like SELECT → streamed NDJSON bindings
 //	POST /v1/retract  N-Triples body → delete-and-rederive
 //	GET  /healthz     liveness + sticky-failure surface
-//	GET  /stats       engine, store and serving counters
+//	GET  /stats       engine, store and serving counters (JSON)
+//	GET  /metrics     the same registry in Prometheus text format
 //
 // Queries execute against a read session (Reasoner.View): every answer
 // is computed over one consistent snapshot — the closure of an
@@ -15,6 +16,11 @@
 // AddBatch calls (one WAL append, one routing pass per flush). Admission
 // control bounds in-flight requests, answering 503 when the server is
 // overloaded or draining; Drain stops admission and waits for the tail.
+//
+// Every request is timed into the reasoner's metrics registry
+// (slider_http_request_seconds{route=...}) and logged through the
+// configured slog.Logger with method, route, status, duration and — for
+// coalesced inserts — the flight it rode on.
 package server
 
 import (
@@ -22,8 +28,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -31,6 +39,7 @@ import (
 
 	slider "repro"
 	"repro/internal/ntriples"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/turtle"
 )
@@ -63,6 +72,10 @@ type Config struct {
 	// leaves the knowledge base untouched and healthy; only the short
 	// final apply window is uninterruptible.
 	RetractTimeout time.Duration
+	// Logger receives one structured line per request (method, route,
+	// status, duration, and the coalesced flight id for inserts).
+	// Default: discard.
+	Logger *slog.Logger
 }
 
 func (c *Config) withDefaults() {
@@ -89,6 +102,9 @@ func (c *Config) withDefaults() {
 	if c.RetractTimeout <= 0 {
 		c.RetractTimeout = 5 * time.Minute
 	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
+	}
 }
 
 // Server serves one Reasoner over HTTP. Create with New, mount as an
@@ -98,38 +114,134 @@ type Server struct {
 	cfg  Config
 	mux  *http.ServeMux
 	coal *coalescer
+	reg  *obs.Registry
 
 	inflight chan struct{}
 	querySem chan struct{}
 	draining atomic.Bool
 	wg       sync.WaitGroup
 
-	nRequests  atomic.Int64
-	nRejected  atomic.Int64
-	nInserted  atomic.Int64
-	nQueries   atomic.Int64
-	nRows      atomic.Int64
-	nRetracted atomic.Int64
+	// Serving counters live in the reasoner's registry; /stats reads
+	// them back with Load, so the JSON and Prometheus surfaces can
+	// never disagree.
+	nRequests  *obs.Counter
+	nRejected  *obs.Counter
+	nInserted  *obs.Counter
+	nQueries   *obs.Counter
+	nRows      *obs.Counter
+	nRetracted *obs.Counter
 }
 
-// New builds a Server around the reasoner.
+// New builds a Server around the reasoner. Serving metrics register in
+// the reasoner's registry (Reasoner.Metrics): a second Server over the
+// same reasoner shares them.
 func New(r *slider.Reasoner, cfg Config) *Server {
 	cfg.withDefaults()
+	reg := r.Metrics()
 	s := &Server{
 		r:        r,
 		cfg:      cfg,
-		coal:     newCoalescer(r),
+		coal:     newCoalescer(r, reg),
+		reg:      reg,
 		inflight: make(chan struct{}, cfg.MaxInflight),
 		querySem: make(chan struct{}, cfg.QueryConcurrency),
+		nRequests: reg.Counter("slider_server_requests_total",
+			"HTTP requests reaching the /v1 admission gate."),
+		nRejected: reg.Counter("slider_server_rejected_total",
+			"Requests rejected by admission control (overloaded or draining)."),
+		nInserted: reg.Counter("slider_server_inserted_statements_total",
+			"Statements accepted by POST /v1/insert."),
+		nQueries: reg.Counter("slider_server_queries_total",
+			"Parsed queries admitted to execution."),
+		nRows: reg.Counter("slider_server_query_rows_total",
+			"Binding rows streamed to query clients."),
+		nRetracted: reg.Counter("slider_server_retracted_statements_total",
+			"Statements removed by POST /v1/retract."),
 	}
+	reg.GaugeFunc("slider_server_inflight",
+		"Admitted /v1 requests currently in flight.",
+		func() float64 { return float64(len(s.inflight)) })
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/insert", s.admit(s.handleInsert))
-	mux.HandleFunc("POST /v1/query", s.admit(s.handleQuery))
-	mux.HandleFunc("POST /v1/retract", s.admit(s.handleRetract))
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("POST /v1/insert", s.instrument("insert", s.admit(s.handleInsert)))
+	mux.HandleFunc("POST /v1/query", s.instrument("query", s.admit(s.handleQuery)))
+	mux.HandleFunc("POST /v1/retract", s.instrument("retract", s.admit(s.handleRetract)))
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /stats", s.instrument("stats", s.handleStats))
+	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	s.mux = mux
 	return s
+}
+
+// reqScope is per-request context handlers annotate for the access log
+// — currently just the coalesced-flight id an insert rode on.
+type reqScope struct {
+	flightID uint64
+}
+
+type scopeKey struct{}
+
+func scopeOf(r *http.Request) *reqScope {
+	sc, _ := r.Context().Value(scopeKey{}).(*reqScope)
+	return sc
+}
+
+// statusRecorder captures the response status for metrics and logging.
+// It forwards Flush so the query path's NDJSON streaming keeps working
+// through the wrapper.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.status = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Flush() {
+	if f, ok := sr.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps a route with the request timer
+// (slider_http_request_seconds{route}), the per-status response counter
+// (slider_http_responses_total{route,code}) and the structured access
+// log.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	hist := s.reg.Histogram("slider_http_request_seconds",
+		"HTTP request latency by route.", nil, "route", route)
+	const respName = "slider_http_responses_total"
+	const respHelp = "HTTP responses by route and status code."
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sc := &reqScope{}
+		r = r.WithContext(context.WithValue(r.Context(), scopeKey{}, sc))
+		sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(sr, r)
+		dur := time.Since(start)
+		hist.ObserveDuration(dur)
+		s.reg.Counter(respName, respHelp,
+			"route", route, "code", strconv.Itoa(sr.status)).Inc()
+		attrs := []any{
+			"method", r.Method,
+			"route", route,
+			"status", sr.status,
+			"dur_ms", float64(dur.Microseconds()) / 1000,
+		}
+		if sc.flightID != 0 {
+			attrs = append(attrs, "flight", sc.flightID)
+		}
+		s.cfg.Logger.Info("request", attrs...)
+	}
+}
+
+// handleMetrics renders the reasoner's registry — engine, store, WAL,
+// checkpoint, view, retraction, query and serving instruments — in
+// Prometheus text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WriteText(w)
 }
 
 // ServeHTTP implements http.Handler.
@@ -236,7 +348,10 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	_, merged, err := s.coal.submit(sts)
+	_, merged, flightID, err := s.coal.submit(sts)
+	if sc := scopeOf(r); sc != nil {
+		sc.flightID = flightID
+	}
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "ingest: %v", err)
 		return
@@ -364,28 +479,51 @@ func (s *Server) handleRetract(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.nRetracted.Add(int64(stats.Retracted))
-	writeJSON(w, http.StatusOK, map[string]any{
-		"retracted":    stats.Retracted,
-		"suspects":     stats.Suspects,
-		"overdeleted":  stats.Overdeleted,
-		"rederived":    stats.Rederived,
-		"rounds":       stats.Rounds,
-		"validated":    stats.Validated,
-		"exclusive_us": stats.ExclusiveMicros,
-		"two_phase":    stats.TwoPhase,
-	})
+	writeJSON(w, http.StatusOK, retractJSON(stats))
+}
+
+// retractJSON renders one DRed pass's statistics — the shared encoder
+// behind the /v1/retract response and the /stats retraction block.
+func retractJSON(rs slider.RetractStats) map[string]any {
+	return map[string]any{
+		"retracted":    rs.Retracted,
+		"suspects":     rs.Suspects,
+		"overdeleted":  rs.Overdeleted,
+		"rederived":    rs.Rederived,
+		"rounds":       rs.Rounds,
+		"validated":    rs.Validated,
+		"prepare_us":   rs.PrepareMicros,
+		"exclusive_us": rs.ExclusiveMicros,
+		"two_phase":    rs.TwoPhase,
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	staleness := s.r.ViewStaleness().Milliseconds()
 	switch {
 	case s.r.Err() != nil:
+		// Write-path failure: the reasoner refuses writes; reads may
+		// still serve stale-but-consistent answers but the instance
+		// needs replacing.
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
-			"status": "failed", "error": s.r.Err().Error(),
+			"status": "failed", "error": s.r.Err().Error(), "staleness_ms": staleness,
+		})
+	case s.r.BackgroundErr() != nil:
+		// Background maintenance failure (compaction panic, checkpoint
+		// error): serving still works, but compaction debt or replay
+		// cost is growing unboundedly — degraded, schedule a restart.
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "degraded", "error": s.r.BackgroundErr().Error(),
+			"triples": s.r.Len(), "staleness_ms": staleness,
 		})
 	case s.draining.Load():
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "draining", "staleness_ms": staleness,
+		})
 	default:
-		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "triples": s.r.Len()})
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status": "ok", "triples": s.r.Len(), "staleness_ms": staleness,
+		})
 	}
 }
 
@@ -429,16 +567,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	// Last completed DRed pass, when one has run: how suspect-local the
 	// analysis was and how long writers were actually excluded.
 	if rs, ok := s.r.LastRetract(); ok {
-		out["retraction"] = map[string]any{
-			"retracted":    rs.Retracted,
-			"suspects":     rs.Suspects,
-			"overdeleted":  rs.Overdeleted,
-			"rederived":    rs.Rederived,
-			"rounds":       rs.Rounds,
-			"validated":    rs.Validated,
-			"exclusive_us": rs.ExclusiveMicros,
-			"two_phase":    rs.TwoPhase,
-		}
+		out["retraction"] = retractJSON(rs)
 	}
 	writeJSON(w, http.StatusOK, out)
 }

@@ -271,7 +271,7 @@ func TestStats(t *testing.T) {
 func TestCoalescing(t *testing.T) {
 	r := slider.New(slider.RhoDF)
 	defer r.Close(context.Background())
-	c := newCoalescer(r)
+	c := newCoalescer(r, r.Metrics())
 	c.mu.Lock()
 	c.running = true // pretend a flush is in progress
 	c.mu.Unlock()
@@ -282,7 +282,7 @@ func TestCoalescing(t *testing.T) {
 	}
 	results := make(chan res, 2)
 	submit := func(name string) {
-		_, merged, err := c.submit([]slider.Statement{slider.NewStatement(
+		_, merged, _, err := c.submit([]slider.Statement{slider.NewStatement(
 			slider.IRI(exNS+name), slider.IRI(typeIRI()), slider.IRI(exNS+"T"))})
 		results <- res{merged, err}
 	}

@@ -1,10 +1,30 @@
 package store
 
 import (
+	"fmt"
 	"slices"
+	"sync/atomic"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/rdf"
 )
+
+// testHookCompact, when set, runs at the start of every background
+// compaction pass. Tests use it to inject failures (panics) into the
+// worker; always nil outside tests. Atomic because the test goroutine
+// installs it while the compactor goroutine reads it.
+var testHookCompact atomic.Pointer[func()]
+
+// SetCompactTestHook installs f as the background-compaction test hook
+// (nil clears it).
+func SetCompactTestHook(f func()) {
+	if f == nil {
+		testHookCompact.Store(nil)
+		return
+	}
+	testHookCompact.Store(&f)
+}
 
 // Compaction thresholds. A partition's overlay is flushed to a run once
 // it holds flushMin pairs AND at least 1/4th of the partition's run
@@ -60,9 +80,25 @@ func (st *Store) enqueueCompact(pred rdf.ID, p *partition) {
 }
 
 func (st *Store) compactLoop() {
+	// Backstop: a panicking compaction pass must not take the process
+	// down (the store itself stays correct — compaction only reshapes
+	// physical layout). The first panic is recorded as a sticky error
+	// and the worker retires; the serving layer reports it as a
+	// degraded health state instead of letting overlay debt grow
+	// silently.
+	defer func() {
+		if p := recover(); p != nil {
+			st.comp.mu.Lock()
+			if st.comp.err == nil {
+				st.comp.err = fmt.Errorf("store: background compaction panic: %v", p)
+			}
+			st.comp.running = false
+			st.comp.mu.Unlock()
+		}
+	}()
 	for {
 		st.comp.mu.Lock()
-		if len(st.comp.queue) == 0 {
+		if len(st.comp.queue) == 0 || st.comp.err != nil {
 			st.comp.running = false
 			st.comp.mu.Unlock()
 			return
@@ -81,6 +117,9 @@ func (st *Store) compactLoop() {
 // partition lock: nothing else can change p.runs meanwhile, and
 // concurrent adds/removes only touch the overlay and tombstones.
 func (st *Store) compactPredicate(pred rdf.ID) {
+	if h := testHookCompact.Load(); h != nil {
+		(*h)()
+	}
 	st.workMu.Lock()
 	defer st.workMu.Unlock()
 	str := st.stripeFor(pred)
@@ -123,6 +162,10 @@ func (st *Store) compactPredicate(pred rdf.ID) {
 	copy(suffix, p.runs[i:])
 	p.mu.Unlock()
 
+	var t0 time.Time
+	if m := st.metrics.Load(); m != nil {
+		t0 = obs.NowIfEnabled()
+	}
 	merged := mergeRuns(suffix) // off-lock; workMu pins p.runs
 
 	p.mu.Lock()
@@ -131,6 +174,9 @@ func (st *Store) compactPredicate(pred rdf.ID) {
 	runs = append(runs, merged)
 	p.runs = runs
 	p.mu.Unlock()
+	if m := st.metrics.Load(); m != nil {
+		m.MergeSeconds.ObserveSince(t0)
+	}
 	st.cMerges.Add(1)
 	st.cPairsMerged.Add(int64(merged.pairs))
 }
@@ -151,6 +197,11 @@ func (st *Store) flushLocked(p *partition) {
 		}
 		p.dirty = p.dirty[:0]
 		return
+	}
+	var t0 time.Time
+	if m := st.metrics.Load(); m != nil {
+		t0 = obs.NowIfEnabled()
+		defer func() { m.FlushSeconds.ObserveSince(t0) }()
 	}
 	// Filter the dirty list down to subjects that still hold overlay
 	// pairs (removals may have emptied some — those sets reset to nil so
@@ -195,6 +246,11 @@ func (st *Store) flushLocked(p *partition) {
 func (st *Store) purgeLocked(p *partition) {
 	if p.tombN == 0 || len(p.runs) == 0 {
 		return
+	}
+	var t0 time.Time
+	if m := st.metrics.Load(); m != nil {
+		t0 = obs.NowIfEnabled()
+		defer func() { m.PurgeSeconds.ObserveSince(t0) }()
 	}
 	ps := make([]pair, 0, p.rp-p.tombN)
 	for _, r := range p.runs {
@@ -260,10 +316,17 @@ func (st *Store) Compact() {
 			runs := make([]*run, len(p.runs))
 			copy(runs, p.runs)
 			p.mu.Unlock()
+			var t0 time.Time
+			if m := st.metrics.Load(); m != nil {
+				t0 = obs.NowIfEnabled()
+			}
 			merged := mergeRuns(runs)
 			p.mu.Lock()
 			p.runs = []*run{merged}
 			p.mu.Unlock()
+			if m := st.metrics.Load(); m != nil {
+				m.MergeSeconds.ObserveSince(t0)
+			}
 			st.cMerges.Add(1)
 			st.cPairsMerged.Add(int64(merged.pairs))
 		}

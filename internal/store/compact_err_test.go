@@ -1,0 +1,49 @@
+package store
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/rdf"
+)
+
+// TestCompactionPanicIsSticky: a panic inside the background compactor
+// must not take the process down. The worker records it as a sticky
+// CompactionErr, retires, and refuses further passes — while the store
+// itself stays fully usable (compaction only reshapes physical layout).
+func TestCompactionPanicIsSticky(t *testing.T) {
+	SetCompactTestHook(func() { panic("injected failure") })
+	defer SetCompactTestHook(nil)
+
+	st := New()
+	// flushMin+1 pairs on one predicate crosses the overlay threshold,
+	// enqueues the partition and spawns the (hooked) worker.
+	for i := 0; i < flushMin+1; i++ {
+		st.Add(rdf.T(rdf.ID(i+10), 1, 2))
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for st.CompactionErr() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("CompactionErr never set after injected panic")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	err := st.CompactionErr()
+	if !strings.Contains(err.Error(), "injected failure") {
+		t.Fatalf("CompactionErr = %v, want the injected panic value", err)
+	}
+
+	// Sticky and non-fatal: later writes on a fresh predicate re-cross
+	// the threshold (spawning a worker that must now refuse to run) and
+	// land correctly, and the error is not cleared.
+	for i := 0; i < flushMin+1; i++ {
+		st.Add(rdf.T(rdf.ID(i+1_000_000), 3, 2))
+	}
+	if got, want := st.Len(), 2*(flushMin+1); got != want {
+		t.Fatalf("Len = %d after post-panic writes, want %d", got, want)
+	}
+	if st.CompactionErr() == nil {
+		t.Fatal("CompactionErr cleared by later writes; must be sticky")
+	}
+}

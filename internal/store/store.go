@@ -576,10 +576,16 @@ type Store struct {
 		mu      sync.Mutex
 		queue   []rdf.ID
 		running bool
+		err     error // sticky first background-compaction panic
 	}
 	workMu sync.Mutex
 
 	cFlushes, cMerges, cPurges, cPairsMerged atomic.Int64
+
+	// metrics optionally instruments compaction durations (SetMetrics);
+	// loaded atomically so the background compactor can race a late
+	// SetMetrics without a data race.
+	metrics atomic.Pointer[Metrics]
 }
 
 // New returns an empty store with background compaction enabled.

@@ -1,0 +1,40 @@
+package wal
+
+import "repro/internal/obs"
+
+// Metrics is the log's optional instrumentation, registered into an
+// obs.Registry by NewMetrics and handed in through Options. A nil
+// Metrics keeps the log entirely uninstrumented (no clock reads on the
+// append path).
+type Metrics struct {
+	// AppendSeconds times Append end to end: framing, the durable
+	// write, the fsync when enabled, and any segment roll.
+	AppendSeconds *obs.Histogram
+	// FsyncSeconds times the per-append file sync (recorded only with
+	// Options.Fsync set) — the power-failure-guarantee tax, and the
+	// stall a saturated device shows up as first.
+	FsyncSeconds *obs.Histogram
+	// Appends and AppendBytes count durably acknowledged records and
+	// their framed bytes.
+	Appends     *obs.Counter
+	AppendBytes *obs.Counter
+	// SegmentRolls counts live-segment rollovers.
+	SegmentRolls *obs.Counter
+}
+
+// NewMetrics registers the log's instruments in reg under the
+// slider_wal_* names.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		AppendSeconds: reg.Histogram("slider_wal_append_seconds",
+			"Write-ahead-log append latency (framing, durable write, fsync, segment roll).", nil),
+		FsyncSeconds: reg.Histogram("slider_wal_fsync_seconds",
+			"Per-append segment fsync latency (recorded only when fsync is enabled).", nil),
+		Appends: reg.Counter("slider_wal_appends_total",
+			"Durably acknowledged write-ahead-log records."),
+		AppendBytes: reg.Counter("slider_wal_append_bytes_total",
+			"Framed bytes appended to the write-ahead log."),
+		SegmentRolls: reg.Counter("slider_wal_segment_rolls_total",
+			"Write-ahead-log live-segment rollovers."),
+	}
+}

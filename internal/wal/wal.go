@@ -36,6 +36,9 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Segment header: magic plus a format version byte.
@@ -73,6 +76,9 @@ type Options struct {
 	// the process-crash guarantee (a completed Append survives) holds
 	// without it, at the cost of the power-failure guarantee.
 	Fsync bool
+	// Metrics, when non-nil, instruments the append path (see
+	// NewMetrics). Nil keeps the log free of clock reads.
+	Metrics *Metrics
 }
 
 // manifest is the durable commit record of the log's state.
@@ -523,6 +529,10 @@ func (l *Log) truncateFrom(idx int, size int64, idxs []int, stats *ReplayStats) 
 // Options.Fsync is set). The live segment rolls once it exceeds
 // Options.SegmentSize.
 func (l *Log) Append(rec Record) error {
+	var t0 time.Time
+	if l.opts.Metrics != nil {
+		t0 = obs.NowIfEnabled()
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
@@ -562,9 +572,16 @@ func (l *Log) Append(rec Record) error {
 		return err
 	}
 	if l.opts.Fsync {
+		var s0 time.Time
+		if l.opts.Metrics != nil {
+			s0 = obs.NowIfEnabled()
+		}
 		if err := l.cur.Sync(); err != nil {
 			backOut()
 			return err
+		}
+		if l.opts.Metrics != nil {
+			l.opts.Metrics.FsyncSeconds.ObserveSince(s0)
 		}
 	}
 	l.curSize += int64(len(frame))
@@ -581,6 +598,11 @@ func (l *Log) Append(rec Record) error {
 		}
 	}
 	l.appendSeq++
+	if m := l.opts.Metrics; m != nil {
+		m.Appends.Inc()
+		m.AppendBytes.Add(int64(len(frame)))
+		m.AppendSeconds.ObserveSince(t0)
+	}
 	return nil
 }
 
@@ -604,6 +626,9 @@ func (l *Log) roll() error {
 	l.cur = nil
 	if err != nil {
 		return err
+	}
+	if l.opts.Metrics != nil {
+		l.opts.Metrics.SegmentRolls.Inc()
 	}
 	return l.createSegment(l.curIdx + 1)
 }

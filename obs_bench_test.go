@@ -1,0 +1,75 @@
+// Guard benchmark for the observability layer: the same AddBatch ingest
+// with recording enabled (the default) and with obs.Disabled(). The two
+// must stay within a few percent of each other — the instrumentation is
+// one atomic flag load plus a handful of atomic adds per *batch*, never
+// per triple, and this benchmark is the regression tripwire for that
+// budget. Compare with:
+//
+//	go test -run=NONE -bench=BenchmarkIngestObs -count=5
+package slider_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	slider "repro"
+	"repro/internal/obs"
+)
+
+// ingestOnce streams total statements through a fresh reasoner in
+// batches of batch and waits for quiescence.
+func ingestOnce(b *testing.B, total, batch int) {
+	b.Helper()
+	r := slider.New(slider.RhoDF)
+	defer r.Close(context.Background())
+	// A short subclass chain so ingest exercises inference, as in the
+	// serving benchmark.
+	schema := make([]slider.Statement, 0, 4)
+	for i := 0; i < 4; i++ {
+		schema = append(schema, slider.NewStatement(
+			slider.IRI(fmt.Sprintf("http://b/C%d", i)),
+			slider.IRI(slider.SubClassOf),
+			slider.IRI(fmt.Sprintf("http://b/C%d", i+1))))
+	}
+	if _, err := r.AddBatch(schema); err != nil {
+		b.Fatal(err)
+	}
+	sts := make([]slider.Statement, batch)
+	for done := 0; done < total; done += batch {
+		for i := range sts {
+			sts[i] = slider.NewStatement(
+				slider.IRI(fmt.Sprintf("http://b/m%d", done+i)),
+				slider.IRI(slider.Type),
+				slider.IRI("http://b/C0"))
+		}
+		if _, err := r.AddBatch(sts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := r.Wait(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkIngestObsEnabled(b *testing.B) {
+	const total, batch = 20000, 256
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ingestOnce(b, total, batch)
+	}
+	b.ReportMetric(float64(total), "stmts/op")
+}
+
+func BenchmarkIngestObsDisabled(b *testing.B) {
+	restore := obs.Disabled()
+	defer restore()
+	const total, batch = 20000, 256
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ingestOnce(b, total, batch)
+	}
+	b.ReportMetric(float64(total), "stmts/op")
+}

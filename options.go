@@ -3,6 +3,7 @@ package slider
 import (
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/reasoner"
 )
 
@@ -17,6 +18,12 @@ type config struct {
 	provenance  bool
 	viewMaxAge  time.Duration
 	fullRetract bool
+
+	// reg is the metrics registry the reasoner records into. Not an
+	// Option: openDurable pre-creates it so the write-ahead log can
+	// register its instruments before the Reasoner exists; newReasoner
+	// creates one when unset.
+	reg *obs.Registry
 
 	// Durability (see durable.go).
 	durableDir      string

@@ -38,6 +38,7 @@ import (
 
 	"repro/internal/maintenance"
 	"repro/internal/ntriples"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/rdf"
 	"repro/internal/reasoner"
@@ -212,6 +213,10 @@ type Reasoner struct {
 	// dur is the write-ahead-log state of a durable reasoner (Open or
 	// WithDurability); nil for in-memory reasoners. See durable.go.
 	dur *durability
+
+	// obs holds the reasoner's metrics registry and hot-path
+	// instruments. Always non-nil; see metrics.go.
+	obs *rmetrics
 }
 
 // New builds a Reasoner for the fragment with the given options. If the
@@ -268,7 +273,12 @@ func newReasoner(frag Fragment, dict *rdf.Dictionary, st *store.Store, cfg confi
 	if maxAge == 0 {
 		maxAge = DefaultViewMaxAge
 	}
-	return &Reasoner{
+	reg := cfg.reg
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	st.SetMetrics(store.NewMetrics(reg))
+	r := &Reasoner{
 		dict:        dict,
 		explicit:    explicit,
 		store:       st,
@@ -283,7 +293,10 @@ func newReasoner(frag Fragment, dict *rdf.Dictionary, st *store.Store, cfg confi
 			TrackProvenance: cfg.provenance,
 		}),
 		frag: frag,
+		obs:  newRMetrics(reg),
 	}
+	r.registerBridges()
+	return r
 }
 
 // Fragment returns the fragment the reasoner runs.
@@ -392,6 +405,7 @@ func (r *Reasoner) addTriples(ts []rdf.Triple) (int, error) {
 // (replay after a crash would reproduce a different interleaving and
 // hence a different explicit set).
 func (r *Reasoner) applyAssert(ts []rdf.Triple) int {
+	t0 := obs.NowIfEnabled()
 	r.markMu.RLock()
 	defer r.markMu.RUnlock()
 	fresh := r.engine.AddBatch(ts)
@@ -400,6 +414,11 @@ func (r *Reasoner) applyAssert(ts []rdf.Triple) int {
 		r.explicit.AddBatch(ts)
 		r.explicitMu.Unlock()
 	}
+	m := r.obs
+	m.ingestSeconds.ObserveSince(t0)
+	m.ingestBatch.Observe(float64(len(ts)))
+	m.ingestBatches.Inc()
+	m.ingestTriples.Add(int64(len(ts)))
 	return len(fresh)
 }
 
@@ -458,9 +477,11 @@ func (r *Reasoner) Retract(ctx context.Context, sts ...Statement) (RetractStats,
 	}
 
 	var pass *maintenance.Pass
+	var prepareMicros int64
 	if !r.fullRetract && rules.AllSupport(r.frag.rules) {
 		// Phase A: freeze a consistent closure, then run the read-only
 		// suspect analysis against it while ingest continues.
+		prepStart := time.Now()
 		sv, storeV, explicitV, err := r.freezeClosure(ctx)
 		if err != nil {
 			return RetractStats{}, err
@@ -470,6 +491,8 @@ func (r *Reasoner) Retract(ctx context.Context, sts ...Statement) (RetractStats,
 		if err != nil {
 			return RetractStats{}, err
 		}
+		prepareMicros = time.Since(prepStart).Microseconds()
+		r.obs.retractPrepare.ObserveDuration(time.Since(prepStart))
 	}
 
 	// Phase B: the exclusive validate-and-apply window. Writers are
@@ -517,7 +540,11 @@ func (r *Reasoner) Retract(ctx context.Context, sts ...Statement) (RetractStats,
 	r.explicitMu.Lock()
 	defer r.explicitMu.Unlock()
 	stats := pass.Apply(r.store, r.explicit)
-	stats.ExclusiveMicros = time.Since(exStart).Microseconds()
+	exclusive := time.Since(exStart)
+	stats.ExclusiveMicros = exclusive.Microseconds()
+	stats.PrepareMicros = prepareMicros
+	r.obs.retractApply.ObserveDuration(exclusive)
+	r.obs.retractTotal.Inc()
 	r.lastRetractMu.Lock()
 	r.lastRetract, r.hasLastRetract = stats, true
 	r.lastRetractMu.Unlock()
@@ -740,13 +767,13 @@ func (r *Reasoner) Select(text string) ([]Binding, error) {
 	if err != nil {
 		return nil, err
 	}
-	return query.Execute(r.store, r.dict, q)
+	return query.ExecuteM(r.store, r.dict, q, r.obs.query)
 }
 
 // SelectQuery runs an already-built query (see internal/query for the
 // pattern API re-exported below).
 func (r *Reasoner) SelectQuery(q query.Query) ([]Binding, error) {
-	return query.Execute(r.store, r.dict, q)
+	return query.ExecuteM(r.store, r.dict, q, r.obs.query)
 }
 
 // Export writes every triple in the store (explicit plus inferred) to w

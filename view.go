@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/store"
 )
@@ -109,10 +110,12 @@ func (r *Reasoner) refreshView(ctx context.Context) (*View, error) {
 		return &View{r: r, shared: cur}, nil
 	}
 	r.viewMu.Unlock()
+	t0 := obs.NowIfEnabled()
 	sv, version, _, err := r.freezeClosure(ctx)
 	if err != nil {
 		return nil, err
 	}
+	r.obs.viewRefresh.ObserveSince(t0)
 	ns := &sharedView{sv: sv, version: version, born: time.Now()}
 	ns.refs.Store(2) // the cache slot + the returned session
 	r.viewMu.Lock()
@@ -193,12 +196,12 @@ func (v *View) Select(text string) ([]Binding, error) {
 	if err != nil {
 		return nil, err
 	}
-	return query.Execute(v.shared.sv, v.r.dict, q)
+	return query.ExecuteM(v.shared.sv, v.r.dict, q, v.r.obs.query)
 }
 
 // SelectQuery runs an already-built query against the snapshot.
 func (v *View) SelectQuery(q query.Query) ([]Binding, error) {
-	return query.Execute(v.shared.sv, v.r.dict, q)
+	return query.ExecuteM(v.shared.sv, v.r.dict, q, v.r.obs.query)
 }
 
 // SelectFunc parses and runs a SELECT query against the snapshot,
@@ -211,10 +214,10 @@ func (v *View) SelectFunc(text string, emit func(Binding) bool) error {
 	if err != nil {
 		return err
 	}
-	return query.ExecuteFunc(v.shared.sv, v.r.dict, q, emit)
+	return query.ExecuteFuncM(v.shared.sv, v.r.dict, q, v.r.obs.query, emit)
 }
 
 // SelectQueryFunc is SelectFunc for an already-built query.
 func (v *View) SelectQueryFunc(q query.Query, emit func(Binding) bool) error {
-	return query.ExecuteFunc(v.shared.sv, v.r.dict, q, emit)
+	return query.ExecuteFuncM(v.shared.sv, v.r.dict, q, v.r.obs.query, emit)
 }

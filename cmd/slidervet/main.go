@@ -1,0 +1,71 @@
+// Command slidervet runs the repo-invariant analyzer suite over this
+// module: lock ordering, the uninterruptible exclusive retraction
+// window, run immutability, hot-path discipline and metric naming (see
+// INVARIANTS.md for the catalogue). It loads and type-checks the whole
+// module with the standard library's go/* packages — no external
+// dependencies — and exits nonzero when any checker reports a
+// diagnostic.
+//
+// Usage:
+//
+//	go run ./cmd/slidervet ./...
+//
+// Package patterns are accepted for familiarity but the whole module
+// is always analyzed: the invariants are cross-package properties (a
+// lock-order violation pairs a facade lock with a store lock), so
+// partial loads would silently weaken them.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "slidervet:", err)
+		os.Exit(2)
+	}
+	prog, err := analysis.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "slidervet:", err)
+		os.Exit(2)
+	}
+	modPath := prog.Pkgs[0].Path // the root package's path is the module path
+	for _, p := range prog.Pkgs {
+		if len(p.Path) < len(modPath) {
+			modPath = p.Path
+		}
+	}
+	diags := analysis.Run(prog, analysis.DefaultCheckers(modPath))
+	for _, d := range diags {
+		fmt.Println(d.Rel(root))
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "slidervet: %d diagnostic(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks up from the working directory to the enclosing
+// go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,184 @@
+// Package analysis implements slidervet, the repo-invariant analyzer
+// suite: a small, zero-dependency static-analysis framework (stdlib
+// go/ast + go/parser + go/types only) plus the five checkers that
+// enforce Slider's cross-cutting conventions — lock ordering, the
+// no-I/O exclusive retraction window, run immutability, hot-path
+// discipline and metric naming. The conventions themselves are
+// catalogued in INVARIANTS.md at the repository root.
+//
+// Each checker is an analysis-style pass: it receives the loaded,
+// type-checked Program and returns position-carrying Diagnostics.
+// Checkers are configured with the type and function names they key
+// on, so the same pass runs both against the real tree (see
+// DefaultCheckers) and against the seeded-violation fixtures under
+// testdata.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+)
+
+// Diagnostic is one finding: a position, the checker that produced it
+// and a human-readable message.
+type Diagnostic struct {
+	Pos     token.Position
+	Checker string
+	Message string
+}
+
+// String renders the diagnostic as file:line: checker: message with
+// the file path as recorded by the loader.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Checker, d.Message)
+}
+
+// Rel renders the diagnostic with the file path made relative to root
+// (the module root, typically), for stable output across machines.
+func (d Diagnostic) Rel(root string) string {
+	name := d.Pos.Filename
+	if r, err := filepath.Rel(root, name); err == nil {
+		name = r
+	}
+	return fmt.Sprintf("%s:%d: %s: %s", name, d.Pos.Line, d.Checker, d.Message)
+}
+
+// Checker is one slidervet pass.
+type Checker interface {
+	Name() string
+	Check(prog *Program) []Diagnostic
+}
+
+// Run executes every checker against prog and returns the combined
+// diagnostics sorted by file, line and message.
+func Run(prog *Program, checkers []Checker) []Diagnostic {
+	var out []Diagnostic
+	for _, c := range checkers {
+		out = append(out, c.Check(prog)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Message < b.Message
+	})
+	return out
+}
+
+// diag builds a Diagnostic from a token.Pos.
+func diag(prog *Program, checker string, pos token.Pos, format string, args ...any) Diagnostic {
+	return Diagnostic{
+		Pos:     prog.Fset.Position(pos),
+		Checker: checker,
+		Message: fmt.Sprintf(format, args...),
+	}
+}
+
+// deref strips pointers off t.
+func deref(t types.Type) types.Type {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// namedOf returns the named type of t (through one pointer), or nil.
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// typeKey identifies a named type as "pkgpath.TypeName" ("" when t is
+// not named or has no package, e.g. error).
+func typeKey(t types.Type) string {
+	n := namedOf(t)
+	if n == nil || n.Obj() == nil {
+		return ""
+	}
+	pkg := ""
+	if p := n.Obj().Pkg(); p != nil {
+		pkg = p.Path()
+	}
+	return pkg + "." + n.Obj().Name()
+}
+
+// staticCallee resolves a call expression to the concrete *types.Func
+// it invokes, or nil when the target is dynamic (a func value, an
+// interface method, a conversion or a builtin).
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			// Method (or method value) call: dynamic when the receiver
+			// is an interface.
+			fn, ok := sel.Obj().(*types.Func)
+			if !ok {
+				return nil
+			}
+			if types.IsInterface(sel.Recv()) {
+				return nil
+			}
+			return fn
+		}
+		// Package-qualified call (pkg.Func).
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// funcKey identifies a function or method as "pkgpath.Func" or
+// "pkgpath.(Type).Method" — receiver pointerness is deliberately
+// ignored so configs don't have to spell it.
+func funcKey(fn *types.Func) string {
+	if fn == nil {
+		return ""
+	}
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		if n := namedOf(sig.Recv().Type()); n != nil {
+			return fmt.Sprintf("%s.(%s).%s", pkg, n.Obj().Name(), fn.Name())
+		}
+	}
+	return pkg + "." + fn.Name()
+}
+
+// describeFunc renders a funcKey for messages: "(*Type).Method" or
+// "Func", qualified with the package's base name when it differs from
+// from's package.
+func describeFunc(fn *types.Func, from *types.Package) string {
+	name := fn.Name()
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		if n := namedOf(sig.Recv().Type()); n != nil {
+			name = fmt.Sprintf("(*%s).%s", n.Obj().Name(), fn.Name())
+		}
+	}
+	if fn.Pkg() != nil && fn.Pkg() != from {
+		name = fn.Pkg().Name() + "." + name
+	}
+	return name
+}

@@ -1,0 +1,108 @@
+package analysis
+
+// DefaultCheckers returns the five checkers configured for this
+// repository's documented invariants (see INVARIANTS.md). modPath is
+// the module path ("repro").
+func DefaultCheckers(modPath string) []Checker {
+	store := modPath + "/internal/store"
+	wal := modPath + "/internal/wal"
+	maint := modPath + "/internal/maintenance"
+	reasoner := modPath + "/internal/reasoner"
+	rdf := modPath + "/internal/rdf"
+	obs := modPath + "/internal/obs"
+
+	lockorder := &LockOrder{Classes: []LockClass{
+		// Facade order (slider.go): retractMu is taken before every
+		// other lock a retraction uses; the durability mutex before
+		// markMu; markMu before explicitMu.
+		{Name: "retractMu", PkgPath: modPath, Type: "Reasoner", Field: "retractMu", Rank: 10},
+		{Name: "durability.mu", PkgPath: modPath, Type: "durability", Field: "mu", Rank: 20},
+		{Name: "markMu", PkgPath: modPath, Type: "Reasoner", Field: "markMu", Rank: 30},
+		{Name: "explicitMu", PkgPath: modPath, Type: "Reasoner", Field: "explicitMu", Rank: 40},
+		// The WAL's log mutex nests under the facade locks (Append is
+		// called with markMu and the durability mutex held).
+		{Name: "wal.Log.mu", PkgPath: wal, Type: "Log", Field: "mu", Rank: 50},
+		// Store order: workMu serializes run-slice writers and is taken
+		// before any stripe lock; freezeMu guards the view epoch list
+		// and precedes the stripe sweep in View.Release; stripe before
+		// partition; predMu and the compaction queue mutex are leaves.
+		{Name: "workMu", PkgPath: store, Type: "Store", Field: "workMu", Rank: 60},
+		{Name: "freezeMu", PkgPath: store, Type: "Store", Field: "freezeMu", Rank: 70},
+		{Name: "stripe.mu", PkgPath: store, Type: "stripe", Field: "mu", Rank: 80},
+		{Name: "partition.mu", PkgPath: store, Type: "partition", Field: "mu", Rank: 90},
+		{Name: "predMu", PkgPath: store, Type: "Store", Field: "predMu", Rank: 100},
+		{Name: "comp.mu", PkgPath: store, Type: "Store", Field: "comp.mu", Rank: 110},
+	}}
+
+	exclusive := &ExclusiveWindow{
+		RootPkg:  maint,
+		RootType: "Pass",
+		RootFunc: "Apply",
+	}
+
+	runimmutable := &RunImmutable{
+		PkgPath: store,
+		RunType: "run",
+		Fields: map[string]bool{
+			"pairs": true, "subs": true, "subOff": true, "objs": true, "subIdx": true,
+			"objsD": true, "objOff": true, "subsByObj": true, "objIdx": true,
+		},
+		Blessed: map[string]bool{
+			"buildRun": true, "buildRunFromOverlay": true, "mergeRuns": true,
+			"mergeDirection": true, "csrFromMap": true, "checkRun": true,
+		},
+	}
+	runimmutable.RunsSlice.Type = "partition"
+	runimmutable.RunsSlice.Field = "runs"
+
+	hotpath := &HotPath{
+		StringerKey: rdf + ".Term",
+		Hot: []HotFunc{
+			// Facade ingest.
+			{Pkg: modPath, Recv: "Reasoner", Name: "AddTriple"},
+			{Pkg: modPath, Recv: "Reasoner", Name: "AddTriples"},
+			{Pkg: modPath, Recv: "Reasoner", Name: "addTriples"},
+			{Pkg: modPath, Recv: "Reasoner", Name: "applyAssert"},
+			// Engine routing, buffering and join execution.
+			{Pkg: reasoner, Recv: "Engine", Name: "Add"},
+			{Pkg: reasoner, Recv: "Engine", Name: "AddAll"},
+			{Pkg: reasoner, Recv: "Engine", Name: "AddBatch"},
+			{Pkg: reasoner, Recv: "Engine", Name: "route"},
+			{Pkg: reasoner, Recv: "Engine", Name: "routeBatch"},
+			{Pkg: reasoner, Recv: "Engine", Name: "deliver"},
+			{Pkg: reasoner, Recv: "Engine", Name: "deliverBatch"},
+			{Pkg: reasoner, Recv: "Engine", Name: "submit"},
+			{Pkg: reasoner, Recv: "Engine", Name: "runInstance"},
+			{Pkg: reasoner, Recv: "buffer", Name: "add"},
+			{Pkg: reasoner, Recv: "buffer", Name: "addBatch"},
+			// Store probe and insert paths the joins hammer.
+			{Pkg: store, Recv: "Store", Name: "Add"},
+			{Pkg: store, Recv: "Store", Name: "AddBatch"},
+			{Pkg: store, Recv: "Store", Name: "AddAll"},
+			{Pkg: store, Recv: "Store", Name: "addGroup"},
+			{Pkg: store, Recv: "Store", Name: "Contains"},
+			{Pkg: store, Recv: "Store", Name: "ContainsBatch"},
+			{Pkg: store, Recv: "Store", Name: "ObjectsAppend"},
+			{Pkg: store, Recv: "Store", Name: "SubjectsAppend"},
+			{Pkg: store, Recv: "partition", Name: "add"},
+			{Pkg: store, Recv: "partition", Name: "remove"},
+			// WAL append.
+			{Pkg: wal, Recv: "Log", Name: "Append"},
+		},
+	}
+
+	metricnames := &MetricNames{
+		RegistryKey: obs + ".Registry",
+		Methods: map[string]string{
+			"Counter":     "counter",
+			"CounterFunc": "counter",
+			"Gauge":       "gauge",
+			"GaugeFunc":   "gauge",
+			"Histogram":   "histogram",
+		},
+		Prefix:            "slider_",
+		HistogramSuffixes: HistogramUnitSuffixes,
+	}
+
+	return []Checker{lockorder, exclusive, runimmutable, hotpath, metricnames}
+}

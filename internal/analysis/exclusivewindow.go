@@ -1,0 +1,184 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ExclusiveWindow verifies that the call graph reachable from one root
+// function — maintenance.Pass.Apply, the exclusive retraction window —
+// stays uninterruptible: no calls into os or net, no time.Sleep, no
+// channel receives or selects, and no context.Context anywhere (no
+// parameter of that type, no call into package context). The window
+// runs with every writer paused; anything that can block or be
+// cancelled inside it turns a ~30µs pause into an outage.
+//
+// Reachability follows statically-resolved calls only: calls through
+// interfaces and func values are not expanded (the rules.Rule bodies
+// the window executes are covered by convention, not by this checker),
+// and `go` statements are skipped — a spawned goroutine runs outside
+// the window.
+type ExclusiveWindow struct {
+	RootPkg  string // package declaring the root, e.g. "repro/internal/maintenance"
+	RootType string // receiver type name ("" for a plain function)
+	RootFunc string
+}
+
+func (c *ExclusiveWindow) Name() string { return "exclusivewindow" }
+
+func (c *ExclusiveWindow) Check(prog *Program) []Diagnostic {
+	rootKey := c.RootPkg + "." + c.RootFunc
+	if c.RootType != "" {
+		rootKey = fmt.Sprintf("%s.(%s).%s", c.RootPkg, c.RootType, c.RootFunc)
+	}
+	var root *types.Func
+	for fn := range prog.funcDecls {
+		if funcKey(fn) == rootKey {
+			root = fn
+			break
+		}
+	}
+	if root == nil {
+		return []Diagnostic{{
+			Checker: c.Name(),
+			Message: fmt.Sprintf("root function %s not found in the loaded program", rootKey),
+		}}
+	}
+
+	// BFS over statically-resolved calls, recording how each function
+	// was reached so messages can show the path step.
+	reached := map[*types.Func]*types.Func{root: nil} // fn -> caller
+	queue := []*types.Func{root}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		pkg, decl := prog.FuncDecl(fn)
+		if decl == nil {
+			continue
+		}
+		for _, callee := range calleesOf(prog, pkg, decl) {
+			if _, ok := reached[callee]; ok {
+				continue
+			}
+			reached[callee] = fn
+			queue = append(queue, callee)
+		}
+	}
+
+	var out []Diagnostic
+	for fn := range reached {
+		pkg, decl := prog.FuncDecl(fn)
+		if decl == nil {
+			continue
+		}
+		where := describeFunc(fn, prog.Package(c.RootPkg).Types)
+		suffix := ""
+		if fn != root {
+			suffix = fmt.Sprintf(" (in %s, reachable from %s)", where, c.RootFunc)
+		}
+		// A reachable function that takes a context is itself a
+		// violation: the window must not be cancellable.
+		if sig, ok := fn.Type().(*types.Signature); ok {
+			for i := 0; i < sig.Params().Len(); i++ {
+				if typeKey(sig.Params().At(i).Type()) == "context.Context" {
+					out = append(out, diag(prog, c.Name(), decl.Name.Pos(),
+						"%s takes a context.Context but is reachable from %s: the exclusive window must be uninterruptible",
+						where, c.RootFunc))
+				}
+			}
+		}
+		out = append(out, c.checkBody(prog, pkg, decl, suffix)...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos.Offset < out[j].Pos.Offset })
+	return out
+}
+
+// calleesOf resolves the static call targets of decl's body that are
+// declared in the program, skipping `go` statements.
+func calleesOf(prog *Program, pkg *Package, decl *ast.FuncDecl) []*types.Func {
+	var out []*types.Func
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			if fn := staticCallee(pkg.Info, n); fn != nil {
+				if _, d := prog.FuncDecl(fn); d != nil {
+					out = append(out, fn)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkBody flags the forbidden constructs in one reachable body.
+func (c *ExclusiveWindow) checkBody(prog *Program, pkg *Package, decl *ast.FuncDecl, suffix string) []Diagnostic {
+	var out []Diagnostic
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return false // spawned work runs outside the window
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				out = append(out, diag(prog, c.Name(), n.Pos(),
+					"channel receive inside the exclusive window%s", suffix))
+			}
+		case *ast.SelectStmt:
+			out = append(out, diag(prog, c.Name(), n.Pos(),
+				"select statement inside the exclusive window%s", suffix))
+		case *ast.RangeStmt:
+			if tv, ok := pkg.Info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					out = append(out, diag(prog, c.Name(), n.Pos(),
+						"range over channel inside the exclusive window%s", suffix))
+				}
+			}
+		case *ast.CallExpr:
+			fn := calleeForbidden(pkg.Info, n)
+			if fn == "" {
+				break
+			}
+			out = append(out, diag(prog, c.Name(), n.Pos(),
+				"call to %s inside the exclusive window%s", fn, suffix))
+		}
+		return true
+	})
+	return out
+}
+
+// calleeForbidden reports the rendered name of a forbidden callee
+// ("" when the call is fine): anything in os, os/*, net, net/* or
+// context, plus time.Sleep, plus methods on context.Context values.
+func calleeForbidden(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	// Method on a context value (ctx.Err, ctx.Done, ctx.Deadline...).
+	if s, ok := info.Selections[sel]; ok {
+		if typeKey(s.Recv()) == "context.Context" {
+			return "Context." + sel.Sel.Name
+		}
+		return ""
+	}
+	// Package-qualified call.
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	path := fn.Pkg().Path()
+	switch {
+	case path == "os" || strings.HasPrefix(path, "os/"),
+		path == "net" || strings.HasPrefix(path, "net/"),
+		path == "context":
+		return path + "." + fn.Name()
+	case path == "time" && fn.Name() == "Sleep":
+		return "time.Sleep"
+	}
+	return ""
+}

@@ -1,0 +1,304 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string // import path ("repro/internal/store")
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Program is a loaded module (or a standalone fixture directory): every
+// package parsed and type-checked against a shared FileSet, with the
+// cross-package indices the checkers need.
+type Program struct {
+	Fset   *token.FileSet
+	Pkgs   []*Package
+	byPath map[string]*Package
+
+	funcDecls map[*types.Func]*funcDecl
+}
+
+type funcDecl struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+}
+
+// Package returns the loaded package with the given import path (nil
+// when absent).
+func (p *Program) Package(path string) *Package { return p.byPath[path] }
+
+// FuncDecl returns the declaration of fn and the package holding it,
+// when fn was declared in a loaded package (nil, nil otherwise —
+// stdlib functions and interface methods have no loaded body).
+func (p *Program) FuncDecl(fn *types.Func) (*Package, *ast.FuncDecl) {
+	if d, ok := p.funcDecls[fn]; ok {
+		return d.pkg, d.decl
+	}
+	return nil, nil
+}
+
+func (p *Program) indexFuncs() {
+	p.funcDecls = make(map[*types.Func]*funcDecl)
+	for _, pkg := range p.Pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					p.funcDecls[fn] = &funcDecl{pkg: pkg, decl: fd}
+				}
+			}
+		}
+	}
+}
+
+// moduleImporter resolves module-internal imports from the packages
+// checked so far and everything else (the standard library) from
+// source via the go/importer "source" compiler.
+type moduleImporter struct {
+	std  types.Importer
+	pkgs map[string]*types.Package
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.pkgs[path]; ok {
+		return p, nil
+	}
+	return m.std.Import(path)
+}
+
+// LoadModule loads and type-checks every buildable package under root,
+// which must contain a go.mod declaring the module path. Test files
+// and testdata directories are skipped; build constraints are honoured
+// with the default build context (so files tagged slider_invariants
+// are excluded, exactly as in a normal build).
+func LoadModule(root string) (*Program, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	type parsed struct {
+		path, dir string
+		files     []*ast.File
+		imports   []string // module-internal imports only
+	}
+	var units []*parsed
+	for _, dir := range dirs {
+		files, err := parseDir(fset, dir)
+		if err != nil {
+			return nil, err
+		}
+		if len(files) == 0 {
+			continue
+		}
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		path := modPath
+		if rel != "." {
+			path = modPath + "/" + filepath.ToSlash(rel)
+		}
+		u := &parsed{path: path, dir: dir, files: files}
+		seen := map[string]bool{}
+		for _, f := range files {
+			for _, imp := range f.Imports {
+				ip := strings.Trim(imp.Path.Value, `"`)
+				if (ip == modPath || strings.HasPrefix(ip, modPath+"/")) && !seen[ip] {
+					seen[ip] = true
+					u.imports = append(u.imports, ip)
+				}
+			}
+		}
+		units = append(units, u)
+	}
+	// Topological order over module-internal imports, so each package's
+	// dependencies are checked before it.
+	byPath := make(map[string]*parsed, len(units))
+	for _, u := range units {
+		byPath[u.path] = u
+	}
+	var order []*parsed
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(u *parsed) error
+	visit = func(u *parsed) error {
+		switch state[u.path] {
+		case 1:
+			return fmt.Errorf("analysis: import cycle through %s", u.path)
+		case 2:
+			return nil
+		}
+		state[u.path] = 1
+		for _, ip := range u.imports {
+			if dep, ok := byPath[ip]; ok {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		state[u.path] = 2
+		order = append(order, u)
+		return nil
+	}
+	for _, u := range units {
+		if err := visit(u); err != nil {
+			return nil, err
+		}
+	}
+
+	imp := &moduleImporter{
+		std:  importer.ForCompiler(fset, "source", nil),
+		pkgs: make(map[string]*types.Package, len(order)),
+	}
+	prog := &Program{Fset: fset, byPath: make(map[string]*Package, len(order))}
+	for _, u := range order {
+		pkg, err := checkPackage(fset, imp, u.path, u.files)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %s: %w", u.path, err)
+		}
+		pkg.Dir = u.dir
+		imp.pkgs[u.path] = pkg.Types
+		prog.Pkgs = append(prog.Pkgs, pkg)
+		prog.byPath[u.path] = pkg
+	}
+	prog.indexFuncs()
+	return prog, nil
+}
+
+// LoadDir loads a single standalone package directory (a testdata
+// fixture) as import path asPath. Imports resolve against the standard
+// library only.
+func LoadDir(dir, asPath string) (*Program, error) {
+	fset := token.NewFileSet()
+	files, err := parseDir(fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no buildable Go files in %s", dir)
+	}
+	imp := &moduleImporter{
+		std:  importer.ForCompiler(fset, "source", nil),
+		pkgs: map[string]*types.Package{},
+	}
+	pkg, err := checkPackage(fset, imp, asPath, files)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %w", asPath, err)
+	}
+	pkg.Dir = dir
+	prog := &Program{Fset: fset, Pkgs: []*Package{pkg}, byPath: map[string]*Package{asPath: pkg}}
+	prog.indexFuncs()
+	return prog, nil
+}
+
+func checkPackage(fset *token.FileSet, imp types.Importer, path string, files []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: imp, FakeImportC: true}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{Path: path, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// parseDir parses the buildable non-test Go files of dir under the
+// default build context.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		match, err := build.Default.MatchFile(dir, name)
+		if err != nil {
+			return nil, err
+		}
+		if !match {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// packageDirs walks root collecting every directory that may hold a
+// package: testdata trees, hidden and underscore directories are
+// skipped.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", gomod)
+}

@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"strings"
+)
+
+// MetricNames validates every obs metric registration in the program:
+// the name must be a compile-time constant string (a literal or a
+// resolvable const — dynamic names defeat grep and dashboards),
+// prefixed "slider_", lowercase [a-z0-9_]; counters must end in
+// "_total", histograms in a recognized unit suffix, and gauges must
+// not claim "_total". Re-registering one name with a different
+// instrument kind anywhere in the tree is flagged as a collision (at
+// runtime it would panic on first use).
+type MetricNames struct {
+	RegistryKey string // typeKey of the registry, e.g. "repro/internal/obs.Registry"
+	// Methods maps registration method names to their kind:
+	// "counter", "gauge" or "histogram".
+	Methods map[string]string
+	Prefix  string // required name prefix, e.g. "slider_"
+	// HistogramSuffixes are the unit suffixes a histogram may end in.
+	HistogramSuffixes []string
+}
+
+func (c *MetricNames) Name() string { return "metricnames" }
+
+type registration struct {
+	kind string
+	pos  token.Pos
+	pkg  *Package
+}
+
+func (c *MetricNames) Check(prog *Program) []Diagnostic {
+	var out []Diagnostic
+	seen := map[string]registration{}
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				kind, ok := c.Methods[sel.Sel.Name]
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				s, ok := pkg.Info.Selections[sel]
+				if !ok || typeKey(s.Recv()) != c.RegistryKey {
+					return true
+				}
+				out = append(out, c.checkRegistration(prog, pkg, call, kind, seen)...)
+				return true
+			})
+		}
+	}
+	return out
+}
+
+func (c *MetricNames) checkRegistration(prog *Program, pkg *Package, call *ast.CallExpr, kind string, seen map[string]registration) []Diagnostic {
+	arg := call.Args[0]
+	tv, ok := pkg.Info.Types[arg]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return []Diagnostic{diag(prog, c.Name(), arg.Pos(),
+			"metric name is not a compile-time constant string: dynamic names defeat grep, dashboards and this check")}
+	}
+	name := constant.StringVal(tv.Value)
+	var out []Diagnostic
+	if !strings.HasPrefix(name, c.Prefix) {
+		out = append(out, diag(prog, c.Name(), arg.Pos(),
+			"metric %q lacks the %q prefix", name, c.Prefix))
+	} else if !validMetricRune(name) {
+		out = append(out, diag(prog, c.Name(), arg.Pos(),
+			"metric %q contains characters outside [a-z0-9_]", name))
+	}
+	switch kind {
+	case "counter":
+		if !strings.HasSuffix(name, "_total") {
+			out = append(out, diag(prog, c.Name(), arg.Pos(),
+				"counter %q must end in _total", name))
+		}
+	case "gauge":
+		if strings.HasSuffix(name, "_total") {
+			out = append(out, diag(prog, c.Name(), arg.Pos(),
+				"gauge %q must not end in _total (it is a state, not an accumulation)", name))
+		}
+	case "histogram":
+		ok := false
+		for _, suf := range c.HistogramSuffixes {
+			if strings.HasSuffix(name, suf) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			out = append(out, diag(prog, c.Name(), arg.Pos(),
+				"histogram %q must end in a unit suffix (%s)", name, strings.Join(c.HistogramSuffixes, ", ")))
+		}
+	}
+	if prev, ok := seen[name]; ok {
+		if prev.kind != kind {
+			out = append(out, diag(prog, c.Name(), arg.Pos(),
+				"metric %q re-registered as a %s (first registered as a %s): kinds must not collide",
+				name, kind, prev.kind))
+		}
+	} else {
+		seen[name] = registration{kind: kind, pos: arg.Pos(), pkg: pkg}
+	}
+	return out
+}
+
+// validMetricRune checks the [a-z0-9_] grammar (the prefix check
+// already anchored the first rune).
+func validMetricRune(name string) bool {
+	for _, r := range name {
+		if (r < 'a' || r > 'z') && (r < '0' || r > '9') && r != '_' {
+			return false
+		}
+	}
+	return true
+}
+
+// HistogramUnitSuffixes is the default unit vocabulary: durations and
+// sizes, plus the repo's two dimensionless size histograms (batch
+// triple counts and planner cost estimates).
+var HistogramUnitSuffixes = []string{"_seconds", "_bytes", "_triples", "_cost"}

@@ -1,0 +1,41 @@
+// Package exclusivewindow seeds violations for the exclusivewindow
+// checker's golden test: Apply is the root of an exclusive window and
+// everything reachable from it must be uninterruptible.
+package exclusivewindow
+
+import (
+	"context"
+	"os"
+	"time"
+)
+
+type Pass struct{}
+
+func (p *Pass) Apply() {
+	helper(context.Background())
+	time.Sleep(time.Millisecond)
+	ch := make(chan int, 1)
+	<-ch
+	select {
+	case <-ch:
+	default:
+	}
+	go background()
+	cold()
+}
+
+// helper is reachable from Apply: its context parameter and every
+// context method call are violations.
+func helper(ctx context.Context) {
+	_ = ctx.Err()
+	_ = os.Getpid()
+}
+
+// background is spawned with go, so it runs outside the window and its
+// sleep is fine.
+func background() {
+	time.Sleep(time.Second)
+}
+
+// cold is reachable but does nothing forbidden.
+func cold() {}

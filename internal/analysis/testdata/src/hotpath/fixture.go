@@ -1,0 +1,36 @@
+// Package hotpath seeds violations for the hotpath checker's golden
+// test: route and deliver are on the hot-path allowlist, cold is not.
+package hotpath
+
+import (
+	"fmt"
+	"time"
+)
+
+type Term int
+
+// String is itself a cold presentation helper; its Sprintf is fine
+// because String is not on the hot list.
+func (t Term) String() string { return fmt.Sprintf("t%d", int(t)) }
+
+type engine struct{}
+
+func (e *engine) route(t Term) string {
+	_ = time.Now()
+	s := fmt.Sprintf("%v", int(t))
+	_ = t.String()
+	return s
+}
+
+// deliver violates through a function literal: the literal runs on the
+// same path.
+func (e *engine) deliver() {
+	f := func() { _ = time.Now() }
+	f()
+}
+
+// cold may do all of it: not on the hot list.
+func (e *engine) cold(t Term) string {
+	_ = time.Now()
+	return t.String()
+}

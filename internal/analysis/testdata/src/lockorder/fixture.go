@@ -1,0 +1,64 @@
+// Package lockorder seeds lock-order violations for the lockorder
+// checker's golden test. The configured order is outerMu (rank 10)
+// before innerMu (rank 20).
+package lockorder
+
+import "sync"
+
+type S struct {
+	outer sync.Mutex
+	inner sync.RWMutex
+}
+
+// good follows the documented order.
+func (s *S) good() {
+	s.outer.Lock()
+	s.inner.Lock()
+	s.inner.Unlock()
+	s.outer.Unlock()
+}
+
+// bad acquires the outer lock while holding the inner one.
+func (s *S) bad() {
+	s.inner.Lock()
+	s.outer.Lock()
+	s.outer.Unlock()
+	s.inner.Unlock()
+}
+
+// grabOuter acquires only the outer lock; calling it with the inner
+// lock held is the one-level-indirection violation.
+func (s *S) grabOuter() {
+	s.outer.Lock()
+	s.outer.Unlock()
+}
+
+// indirect violates the order through grabOuter. The deferred unlock
+// keeps innerMu held to the end of the function.
+func (s *S) indirect() {
+	s.inner.RLock()
+	defer s.inner.RUnlock()
+	s.grabOuter()
+}
+
+// closure is clean: the literal runs under its own lock regime (it is
+// invoked through a func value, which the checker does not resolve),
+// and its own held set starts empty.
+func (s *S) closure() {
+	s.inner.Lock()
+	f := func() {
+		s.outer.Lock()
+		s.outer.Unlock()
+	}
+	s.inner.Unlock()
+	f()
+}
+
+// sequential is clean: the inner lock is released before the outer one
+// is taken.
+func (s *S) sequential() {
+	s.inner.Lock()
+	s.inner.Unlock()
+	s.outer.Lock()
+	s.outer.Unlock()
+}

@@ -1,0 +1,30 @@
+// Package metricnames seeds violations for the metricnames checker's
+// golden test against a stand-in Registry mirroring internal/obs.
+package metricnames
+
+type Counter struct{}
+type Gauge struct{}
+type Histogram struct{}
+
+type Registry struct{}
+
+func (r *Registry) Counter(name string) *Counter { return nil }
+func (r *Registry) Gauge(name string) *Gauge     { return nil }
+func (r *Registry) Histogram(name string, buckets []float64) *Histogram {
+	return nil
+}
+
+const goodName = "slider_ingest_total"
+
+func register(r *Registry, dyn string) {
+	r.Counter(goodName) // ok: constant, prefixed, counted
+	r.Counter(dyn)
+	r.Counter("ingest_total")
+	r.Counter("slider_ingest")
+	r.Gauge("slider_queue_total")
+	r.Gauge("slider_Queue_depth")
+	r.Histogram("slider_latency", nil)
+	r.Histogram("slider_latency_seconds", nil) // ok
+	r.Gauge("slider_depth_seconds")            // ok (gauges may carry units)
+	r.Histogram("slider_depth_seconds", nil)   // kind collision with the gauge
+}

@@ -1,0 +1,18 @@
+//go:build !slider_invariants
+
+package maintenance
+
+import (
+	"repro/internal/rdf"
+	"repro/internal/rules"
+)
+
+// invariantsEnabled is false in normal builds; the `if invariantsEnabled`
+// guards make every call site dead code. See invariants_on.go.
+const invariantsEnabled = false
+
+type frozenStamp map[rdf.Triple]bool
+
+func stampFrozen(frozen rules.Source, seeds []rdf.Triple) frozenStamp { return nil }
+func checkFrozenStamp(frozen rules.Source, st frozenStamp)            {}
+func assertPassConsistent(p *Pass)                                    {}

@@ -1,0 +1,53 @@
+//go:build slider_invariants
+
+package maintenance
+
+import (
+	"fmt"
+
+	"repro/internal/rdf"
+	"repro/internal/rules"
+)
+
+// invariantsEnabled gates the runtime invariant assertions; see
+// internal/store/invariants_on.go for the build-tag pattern. Run with:
+//
+//	go test -race -tags slider_invariants ./internal/store ./internal/maintenance
+const invariantsEnabled = true
+
+// frozenStamp records the frozen view's membership verdict for a set of
+// triples. Prepare's whole analysis assumes the frozen view is a stable
+// snapshot — concurrent ingest lands in the live store, never in the
+// view — so the verdicts must be identical when re-asked after the
+// overdelete/restore fixpoints.
+type frozenStamp map[rdf.Triple]bool
+
+// stampFrozen captures frozen's membership of every seed.
+func stampFrozen(frozen rules.Source, seeds []rdf.Triple) frozenStamp {
+	st := make(frozenStamp, len(seeds))
+	for _, t := range seeds {
+		st[t] = frozen.Contains(t)
+	}
+	return st
+}
+
+// checkFrozenStamp panics if any stamped verdict changed: the frozen
+// view mutated under a running Prepare, which invalidates the pass.
+func checkFrozenStamp(frozen rules.Source, st frozenStamp) {
+	for t, was := range st {
+		if now := frozen.Contains(t); now != was {
+			panic(fmt.Sprintf("maintenance invariant: frozen view changed under Prepare: %v went %v -> %v", t, was, now))
+		}
+	}
+}
+
+// assertPassConsistent checks the Pass's set algebra after restore: the
+// dead set only ever shrinks from the suspect closure, so dead must be
+// a subset of prepared.
+func assertPassConsistent(p *Pass) {
+	for t := range p.dead {
+		if !p.prepared.has(t) {
+			panic(fmt.Sprintf("maintenance invariant: dead triple %v is not in the prepared suspect set", t))
+		}
+	}
+}

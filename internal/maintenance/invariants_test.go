@@ -1,0 +1,54 @@
+//go:build slider_invariants
+
+package maintenance
+
+import (
+	"testing"
+
+	"repro/internal/rdf"
+	"repro/internal/store"
+)
+
+// These tests only exist under the slider_invariants tag: they verify
+// the assertions fire on violated invariants, i.e. that the invariant
+// layer is not a silent no-op.
+
+func mustPanicM(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic, got none", name)
+		}
+	}()
+	f()
+}
+
+func TestMaintenanceInvariantsEnabled(t *testing.T) {
+	if !invariantsEnabled {
+		t.Fatal("slider_invariants build without invariantsEnabled=true")
+	}
+}
+
+func TestFrozenStampDetectsMutation(t *testing.T) {
+	st := store.New()
+	tr := rdf.Triple{S: 1, P: 2, O: 3}
+	st.Add(tr)
+	stamp := stampFrozen(st, []rdf.Triple{tr})
+	checkFrozenStamp(st, stamp) // unchanged: fine
+
+	st.Remove(tr) // the "frozen" view mutated under the pass
+	mustPanicM(t, "frozen view mutation", func() { checkFrozenStamp(st, stamp) })
+}
+
+func TestPassConsistency(t *testing.T) {
+	tr := rdf.Triple{S: 1, P: 2, O: 3}
+	p := &Pass{
+		prepared: tripleSet{tr: struct{}{}},
+		dead:     tripleSet{tr: struct{}{}},
+	}
+	assertPassConsistent(p) // dead ⊆ prepared: fine
+
+	rogue := rdf.Triple{S: 9, P: 9, O: 9}
+	p.dead[rogue] = struct{}{}
+	mustPanicM(t, "dead not subset of prepared", func() { assertPassConsistent(p) })
+}

@@ -194,8 +194,13 @@ type Pass struct {
 // axioms (per isAxiom). forced pre-seeds the suspect set with triples
 // that must be treated as dying regardless of derivability (the prepared
 // dead set, during validation). Joins run against the still-intact src so
-// multi-premise rules see all premises. Read-only; ctx-checked per round.
-func overdelete(ctx context.Context, src rules.Source, ruleset []rules.Rule,
+// multi-premise rules see all premises. Read-only.
+//
+// stop is polled once per round and aborts the closure when it returns
+// an error; nil means uninterruptible (the exclusive retraction window,
+// where a deliberately context-free call graph guarantees a logged
+// retraction is always fully applied).
+func overdelete(stop func() error, src rules.Source, ruleset []rules.Rule,
 	isAxiom func(rdf.Triple) bool, seeds []rdf.Triple, forced tripleSet) (tripleSet, int, error) {
 
 	suspects := make(tripleSet, len(seeds)*2+len(forced))
@@ -214,8 +219,10 @@ func overdelete(ctx context.Context, src rules.Source, ruleset []rules.Rule,
 	}
 	rounds := 0
 	for len(delta) > 0 {
-		if err := ctx.Err(); err != nil {
-			return nil, rounds, err
+		if stop != nil {
+			if err := stop(); err != nil {
+				return nil, rounds, err
+			}
 		}
 		rounds++
 		var derived []rdf.Triple
@@ -245,8 +252,9 @@ func overdelete(ctx context.Context, src rules.Source, ruleset []rules.Rule,
 // semi-naive propagation seeded only by the restored ones. alive is the
 // masked source sharing the dead set. Returns the rounds spent. The
 // check function lets the validate phase honour axiom-hood (a suspect
-// re-asserted mid-pass survives unconditionally).
-func restore(ctx context.Context, alive *masked, ruleset []rules.Rule,
+// re-asserted mid-pass survives unconditionally). stop is polled as in
+// overdelete; nil means uninterruptible.
+func restore(stop func() error, alive *masked, ruleset []rules.Rule,
 	dead tripleSet, isAxiom func(rdf.Triple) bool) (int, error) {
 
 	if len(dead) == 0 {
@@ -255,8 +263,10 @@ func restore(ctx context.Context, alive *masked, ruleset []rules.Rule,
 	rounds := 1
 	var delta []rdf.Triple
 	for t := range dead {
-		if err := ctx.Err(); err != nil {
-			return rounds, err
+		if stop != nil {
+			if err := stop(); err != nil {
+				return rounds, err
+			}
 		}
 		if isAxiom(t) || rules.Supported(ruleset, alive, t) {
 			delete(dead, t)
@@ -264,8 +274,10 @@ func restore(ctx context.Context, alive *masked, ruleset []rules.Rule,
 		}
 	}
 	for len(delta) > 0 && len(dead) > 0 {
-		if err := ctx.Err(); err != nil {
-			return rounds, err
+		if stop != nil {
+			if err := stop(); err != nil {
+				return rounds, err
+			}
 		}
 		rounds++
 		var derived []rdf.Triple
@@ -318,7 +330,11 @@ func Prepare(ctx context.Context, frozen rules.Source, storeVersion, explicitVer
 	isAxiom := func(t rdf.Triple) bool {
 		return !p.seedSet.has(t) && explicit.Contains(t)
 	}
-	suspects, rounds, err := overdelete(ctx, frozen, ruleset, isAxiom, seeds, nil)
+	var stamp frozenStamp
+	if invariantsEnabled {
+		stamp = stampFrozen(frozen, seeds)
+	}
+	suspects, rounds, err := overdelete(ctx.Err, frozen, ruleset, isAxiom, seeds, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -331,10 +347,14 @@ func Prepare(ctx context.Context, frozen rules.Source, storeVersion, explicitVer
 	alive := &masked{src: frozen, dead: p.dead}
 	// Axiom-hood was already honoured during overdelete; the sweep only
 	// asks for alternative derivations.
-	rounds, err = restore(ctx, alive, ruleset, p.dead, func(rdf.Triple) bool { return false })
+	rounds, err = restore(ctx.Err, alive, ruleset, p.dead, func(rdf.Triple) bool { return false })
 	p.rounds += rounds
 	if err != nil {
 		return nil, err
+	}
+	if invariantsEnabled {
+		checkFrozenStamp(frozen, stamp)
+		assertPassConsistent(p)
 	}
 	return p, nil
 }
@@ -367,7 +387,7 @@ func PrepareFull(ctx context.Context, st *store.Store, ruleset []rules.Rule,
 	isAxiom := func(t rdf.Triple) bool {
 		return !p.seedSet.has(t) && explicit.Contains(t)
 	}
-	suspects, rounds, err := overdelete(ctx, st, ruleset, isAxiom, seeds, nil)
+	suspects, rounds, err := overdelete(ctx.Err, st, ruleset, isAxiom, seeds, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -383,13 +403,13 @@ func PrepareFull(ctx context.Context, st *store.Store, ruleset []rules.Rule,
 // triples from the explicit set. The caller must hold the store
 // exclusive (no concurrent inference or ingest) for the duration.
 //
-// Apply is deliberately uninterruptible — it takes no context, performs
-// no I/O and cannot fail — so a write-ahead-logged retraction is always
-// fully applied once this is called and the logged state never diverges
-// from the live one.
+// Apply is deliberately uninterruptible — its whole call graph is
+// context-free (enforced by slidervet's exclusivewindow checker),
+// performs no I/O and cannot fail — so a write-ahead-logged retraction
+// is always fully applied once this is called and the logged state
+// never diverges from the live one.
 func (p *Pass) Apply(st *store.Store, explicit *store.Store) Stats {
 	stats := Stats{TwoPhase: !p.full, Rounds: p.rounds, Suspects: len(p.prepared)}
-	ctx := context.Background() // never cancelled: the phases below are lock-bounded
 
 	// The seeds as they stand now: toDelete triples that are explicit in
 	// the exclusive window (mid-pass asserts may have added some,
@@ -419,7 +439,7 @@ func (p *Pass) Apply(st *store.Store, explicit *store.Store) Stats {
 		isAxiom := func(t rdf.Triple) bool {
 			return !seedSet.has(t) && explicit.Contains(t)
 		}
-		suspects, rounds, _ := overdelete(ctx, st, p.ruleset, isAxiom, seeds, dead)
+		suspects, rounds, _ := overdelete(nil, st, p.ruleset, isAxiom, seeds, dead)
 		stats.Rounds += rounds
 		// Genuinely new suspects only: the live re-overdelete also
 		// rediscovers phase-A suspects (restored ones included), which
@@ -432,7 +452,7 @@ func (p *Pass) Apply(st *store.Store, explicit *store.Store) Stats {
 		stats.Suspects += stats.Validated
 		dead = suspects
 		alive := &masked{src: st, dead: dead}
-		rounds, _ = restore(ctx, alive, p.ruleset, dead, isAxiom)
+		rounds, _ = restore(nil, alive, p.ruleset, dead, isAxiom)
 		stats.Rounds += rounds
 	}
 

@@ -11,10 +11,18 @@ import (
 // executions (paper §2, "Buffers"). It is flushed when it reaches its
 // capacity, when it sits inactive past the engine timeout, or explicitly
 // while draining.
+//
+// Staleness is tracked without reading the clock on the add path: each
+// add bumps seq, and the timeout scanner stamps seenAt the first time it
+// observes a given seq. A buffer is stale once a stamped seq has sat
+// unchanged past the timeout, so flush latency lands in
+// [timeout, timeout+2·tick) where tick is the scanner interval.
 type buffer struct {
 	mu      sync.Mutex
 	items   []rdf.Triple
-	lastAdd time.Time
+	seq     uint64    // bumped on every add
+	seenSeq uint64    // last seq observed by takeStale
+	seenAt  time.Time // scanner time when seenSeq was first observed
 	cap     int
 }
 
@@ -27,7 +35,7 @@ func newBuffer(capacity int) *buffer {
 func (b *buffer) add(t rdf.Triple) []rdf.Triple {
 	b.mu.Lock()
 	b.items = append(b.items, t)
-	b.lastAdd = time.Now()
+	b.seq++
 	if len(b.items) >= b.cap {
 		batch := b.items
 		b.items = make([]rdf.Triple, 0, b.cap)
@@ -45,7 +53,7 @@ func (b *buffer) add(t rdf.Triple) []rdf.Triple {
 func (b *buffer) addBatch(ts []rdf.Triple) []rdf.Triple {
 	b.mu.Lock()
 	b.items = append(b.items, ts...)
-	b.lastAdd = time.Now()
+	b.seq++
 	if len(b.items) >= b.cap {
 		batch := b.items
 		b.items = make([]rdf.Triple, 0, b.cap)
@@ -57,11 +65,23 @@ func (b *buffer) addBatch(ts []rdf.Triple) []rdf.Triple {
 }
 
 // takeStale returns the buffered triples if the buffer is non-empty and
-// has not seen an add since before now-timeout; nil otherwise.
+// has sat unchanged since a scanner observation at least timeout ago;
+// nil otherwise. now is the scanner's clock reading — the buffer itself
+// never reads the clock.
 func (b *buffer) takeStale(timeout time.Duration, now time.Time) []rdf.Triple {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if len(b.items) == 0 || now.Sub(b.lastAdd) < timeout {
+	if len(b.items) == 0 {
+		return nil
+	}
+	if b.seq != b.seenSeq {
+		// New content since the last scan: stamp it and wait for the
+		// timeout to elapse from this observation.
+		b.seenSeq = b.seq
+		b.seenAt = now
+		return nil
+	}
+	if now.Sub(b.seenAt) < timeout {
 		return nil
 	}
 	batch := b.items

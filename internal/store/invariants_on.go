@@ -1,0 +1,119 @@
+//go:build slider_invariants
+
+package store
+
+import (
+	"fmt"
+
+	"repro/internal/rdf"
+)
+
+// invariantsEnabled gates the runtime invariant assertions. This file
+// (the checking implementation) is compiled only under the
+// slider_invariants build tag; invariants_off.go supplies the no-op
+// twins for normal builds, where the constant false lets the compiler
+// delete every call site. Run them with:
+//
+//	go test -race -tags slider_invariants ./internal/store ./internal/maintenance
+const invariantsEnabled = true
+
+// assertAccounting checks the partition's O(1) physical-pair identity:
+// every live pair has exactly one physical home, so the live count n
+// must equal physical run pairs minus tombstoned ones plus overlay
+// pairs (rp - tombN + onum == n). Callers hold the partition lock.
+func (p *partition) assertAccounting() {
+	if p.rp-p.tombN+p.onum != p.n {
+		panic(fmt.Sprintf("store invariant: pair accounting broken: rp=%d - tombN=%d + onum=%d != n=%d",
+			p.rp, p.tombN, p.onum, p.n))
+	}
+	if p.tombN < 0 || p.onum < 0 || p.n < 0 || p.rp < 0 {
+		panic(fmt.Sprintf("store invariant: negative count: rp=%d tombN=%d onum=%d n=%d",
+			p.rp, p.tombN, p.onum, p.n))
+	}
+}
+
+// assertLive checks the one-physical-home invariant for a pair that
+// must be live: it is in the overlay XOR (in a run and not tombstoned).
+// Callers hold the partition lock.
+func (p *partition) assertLive(s, o rdf.ID) {
+	overlay := false
+	if e := p.so[s]; e != nil {
+		_, overlay = e.objs[o]
+	}
+	inRuns := p.runsContain(s, o)
+	tombed := p.tombHas(s, o)
+	if overlay && inRuns && !tombed {
+		panic(fmt.Sprintf("store invariant: pair (%d,%d) live in both overlay and a run", s, o))
+	}
+	if overlay && tombed {
+		panic(fmt.Sprintf("store invariant: pair (%d,%d) in overlay yet tombstoned", s, o))
+	}
+	if !overlay && !(inRuns && !tombed) {
+		panic(fmt.Sprintf("store invariant: pair (%d,%d) expected live but has no physical home (overlay=%v runs=%v tomb=%v)",
+			s, o, overlay, inRuns, tombed))
+	}
+	if tombed && !inRuns {
+		panic(fmt.Sprintf("store invariant: pair (%d,%d) tombstoned but in no run", s, o))
+	}
+}
+
+// assertDead checks that a pair just removed (or never present) is
+// dead: not in the overlay, and any run copy is tombstoned. Callers
+// hold the partition lock.
+func (p *partition) assertDead(s, o rdf.ID) {
+	if e := p.so[s]; e != nil {
+		if _, ok := e.objs[o]; ok {
+			panic(fmt.Sprintf("store invariant: pair (%d,%d) expected dead but still in overlay", s, o))
+		}
+	}
+	if p.runsContain(s, o) && !p.tombHas(s, o) {
+		panic(fmt.Sprintf("store invariant: pair (%d,%d) expected dead but live in a run", s, o))
+	}
+	if p.tombHas(s, o) && !p.runsContain(s, o) {
+		panic(fmt.Sprintf("store invariant: pair (%d,%d) tombstoned but in no run", s, o))
+	}
+}
+
+// checkRun validates a freshly built or merged run's CSR shape in both
+// directions: strictly ascending keys, monotone offsets bracketed by 0
+// and the pair count, strictly ascending values within every span, and
+// index maps consistent with the key slices. Runs are immutable after
+// publication, so passing here once means the shape holds forever.
+func checkRun(r *run) {
+	checkDirection(r, "subject", r.subs, r.subOff, r.objs, r.subIdx)
+	checkDirection(r, "object", r.objsD, r.objOff, r.subsByObj, r.objIdx)
+}
+
+func checkDirection(r *run, dir string, keys []rdf.ID, off []int32, vals []rdf.ID, idx map[rdf.ID]int32) {
+	if len(vals) != r.pairs {
+		panic(fmt.Sprintf("store invariant: run %s direction holds %d values, want pairs=%d", dir, len(vals), r.pairs))
+	}
+	if len(off) != len(keys)+1 {
+		panic(fmt.Sprintf("store invariant: run %s direction has %d offsets for %d keys (want keys+1)", dir, len(off), len(keys)))
+	}
+	if len(keys) > 0 && (off[0] != 0 || int(off[len(off)-1]) != len(vals)) {
+		panic(fmt.Sprintf("store invariant: run %s offsets not bracketed: off[0]=%d off[last]=%d len(vals)=%d",
+			dir, off[0], off[len(off)-1], len(vals)))
+	}
+	if len(idx) != len(keys) {
+		panic(fmt.Sprintf("store invariant: run %s index has %d entries for %d keys", dir, len(idx), len(keys)))
+	}
+	for i, k := range keys {
+		if i > 0 && keys[i-1] >= k {
+			panic(fmt.Sprintf("store invariant: run %s keys not strictly ascending at %d: %d >= %d", dir, i, keys[i-1], k))
+		}
+		if off[i] >= off[i+1] {
+			panic(fmt.Sprintf("store invariant: run %s key %d has empty or inverted span [%d:%d]", dir, k, off[i], off[i+1]))
+		}
+		if j, ok := idx[k]; !ok || int(j) != i {
+			panic(fmt.Sprintf("store invariant: run %s index maps key %d to %d, want %d", dir, k, j, i))
+		}
+		span := vals[off[i]:off[i+1]]
+		for j := 1; j < len(span); j++ {
+			if span[j-1] >= span[j] {
+				panic(fmt.Sprintf("store invariant: run %s span of key %d not strictly ascending at %d: %d >= %d",
+					dir, k, j, span[j-1], span[j]))
+			}
+		}
+	}
+}

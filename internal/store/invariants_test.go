@@ -1,0 +1,91 @@
+//go:build slider_invariants
+
+package store
+
+import (
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+// These tests only exist under the slider_invariants tag: they verify
+// the assertions fire on corrupted state, i.e. that the invariant layer
+// is not a silent no-op.
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic, got none", name)
+		}
+	}()
+	f()
+}
+
+func TestInvariantsEnabled(t *testing.T) {
+	if !invariantsEnabled {
+		t.Fatal("slider_invariants build without invariantsEnabled=true")
+	}
+}
+
+func TestCheckRunDetectsCorruption(t *testing.T) {
+	// Object 5 has two subjects so the object direction has a span of
+	// length 2 (the object-direction corruption below needs one).
+	ps := []pair{{s: 1, o: 5}, {s: 1, o: 7}, {s: 2, o: 5}, {s: 3, o: 2}}
+	checkRun(buildRun(ps)) // sanity: a well-formed run passes
+
+	corrupt := func(name string, mutate func(r *run)) {
+		r := buildRun(ps)
+		mutate(r)
+		mustPanic(t, name, func() { checkRun(r) })
+	}
+	corrupt("descending keys", func(r *run) { r.subs[0], r.subs[1] = r.subs[1], r.subs[0] })
+	corrupt("descending span", func(r *run) { r.objs[0], r.objs[1] = r.objs[1], r.objs[0] })
+	corrupt("offset drift", func(r *run) { r.subOff[1] = r.subOff[1] + 1 })
+	corrupt("pair count drift", func(r *run) { r.pairs++ })
+	corrupt("index drift", func(r *run) { r.subIdx[1] = 1 })
+	// By (object, subject) the pairs sort (3,2),(1,5),(2,5),(1,7):
+	// indices 1 and 2 are object 5's span.
+	corrupt("object direction", func(r *run) { r.subsByObj[1], r.subsByObj[2] = r.subsByObj[2], r.subsByObj[1] })
+}
+
+func TestAccountingDetectsDrift(t *testing.T) {
+	p := newPartition(0)
+	p.add(1, 2)
+	p.add(1, 3)
+	p.assertAccounting() // sanity
+
+	p.n++ // simulate a lost update
+	mustPanic(t, "accounting drift", func() { p.assertAccounting() })
+}
+
+func TestLivenessAssertions(t *testing.T) {
+	p := newPartition(0)
+	p.add(1, 2)
+	p.assertLive(1, 2)
+	mustPanic(t, "dead pair asserted live", func() { p.assertLive(1, 99) })
+
+	p.remove(1, 2)
+	p.assertDead(1, 2)
+	p.add(1, 2)
+	mustPanic(t, "live pair asserted dead", func() { p.assertDead(1, 2) })
+}
+
+func TestTombstoneResurrectExclusivity(t *testing.T) {
+	// Flush an overlay pair into a run, tombstone it, then resurrect it:
+	// the add/remove hooks assert the one-physical-home invariant at
+	// every step, so reaching the end without a panic is the test.
+	st := New()
+	tr := rdf.Triple{S: 1, P: 2, O: 3}
+	st.Add(tr)
+	st.FlushOverlays()
+	if !st.Remove(tr) {
+		t.Fatal("remove after flush failed")
+	}
+	if st.Add(tr) != true {
+		t.Fatal("resurrect failed")
+	}
+	if !st.Contains(tr) {
+		t.Fatal("resurrected triple missing")
+	}
+}

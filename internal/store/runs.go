@@ -88,6 +88,9 @@ func buildRun(ps []pair) *run {
 	for i, o := range r.objsD {
 		r.objIdx[o] = int32(i)
 	}
+	if invariantsEnabled {
+		checkRun(r)
+	}
 	return r
 }
 
@@ -120,6 +123,9 @@ func buildRunFromOverlay(so map[rdf.ID]*sEntry, subs []rdf.ID, os map[rdf.ID]idS
 	// Object direction: os holds overlay pairs only, so it maps over
 	// directly.
 	r.objsD, r.objOff, r.subsByObj, r.objIdx = csrFromMap(os, n)
+	if invariantsEnabled {
+		checkRun(r)
+	}
 	return r
 }
 
@@ -204,6 +210,9 @@ func mergeRuns(rs []*run) *run {
 	out := &run{pairs: total}
 	out.subs, out.subOff, out.objs, out.subIdx = mergeDirection(rs, total, false)
 	out.objsD, out.objOff, out.subsByObj, out.objIdx = mergeDirection(rs, total, true)
+	if invariantsEnabled {
+		checkRun(out)
+	}
 	return out
 }
 

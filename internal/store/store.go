@@ -46,6 +46,11 @@
 // The overlay/run/tombstone structure keeps Add idempotent and lets it
 // report whether a triple was new — the mechanism behind Slider's
 // "duplicates limitation".
+//
+// The cross-package lock order (workMu before freezeMu before stripe
+// before partition locks, with predMu and the compaction-queue mutex as
+// leaves) is catalogued in INVARIANTS.md and enforced by cmd/slidervet's
+// lockorder checker.
 package store
 
 import (
@@ -337,6 +342,10 @@ func (p *partition) add(s, o rdf.ID) bool {
 	}
 	e.deg++
 	p.n++
+	if invariantsEnabled {
+		p.assertAccounting()
+		p.assertLive(s, o)
+	}
 	return true
 }
 
@@ -357,6 +366,10 @@ func (p *partition) remove(s, o rdf.ID) bool {
 		}
 		p.onum--
 		p.removed(e)
+		if invariantsEnabled {
+			p.assertAccounting()
+			p.assertDead(s, o)
+		}
 		return true
 	}
 	// deg == overlay size means no live run pair for this subject (the
@@ -375,6 +388,10 @@ func (p *partition) remove(s, o rdf.ID) bool {
 	ts[o] = struct{}{}
 	p.tombN++
 	p.removed(e)
+	if invariantsEnabled {
+		p.assertAccounting()
+		p.assertDead(s, o)
+	}
 	return true
 }
 

@@ -184,7 +184,9 @@ type Reasoner struct {
 	// to the engine (or runs DRed), and View's refresh takes the write
 	// side — with the engine quiesced — so a freeze never splits a batch
 	// and every read session sees a closed, consistent prefix. It is
-	// taken after d.mu and before explicitMu wherever several are held.
+	// taken after d.mu and before explicitMu wherever several are held
+	// (the full order is catalogued in INVARIANTS.md and enforced by
+	// cmd/slidervet).
 	markMu sync.RWMutex
 
 	// Shared read-session state (see view.go). viewMu guards the cached

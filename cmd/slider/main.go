@@ -67,6 +67,7 @@ func main() {
 		stats    = flag.Bool("stats", false, "print per-rule statistics to stderr")
 		quiet    = flag.Bool("q", false, "suppress the summary line")
 		queryStr = flag.String("query", "", "run a SELECT query over the closure instead of exporting it")
+		explain  = flag.Bool("explain", false, "with -query: print the execution profile (join order, estimated vs actual rows) to stderr")
 		save     = flag.String("save", "", "write a binary snapshot of the materialised store to this file")
 		load     = flag.String("load", "", "restore a binary snapshot as background knowledge before reading input")
 		data     = flag.String("data", "", "durable knowledge base directory: replay previous state on start, write-ahead-log new statements, checkpoint on clean exit")
@@ -191,7 +192,17 @@ func main() {
 
 	switch {
 	case *queryStr != "":
-		rows, err := r.Select(*queryStr)
+		var rows []slider.Binding
+		var err error
+		if *explain {
+			var ex *slider.Explain
+			rows, ex, err = r.SelectExplain(*queryStr)
+			if err == nil {
+				printExplain(os.Stderr, ex)
+			}
+		} else {
+			rows, err = r.Select(*queryStr)
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -230,6 +241,26 @@ func main() {
 
 func sortStrings(s []string) {
 	sort.Strings(s)
+}
+
+// printExplain renders the query's execution profile: one line per
+// pattern in evaluation order, then the plan totals.
+func printExplain(w io.Writer, ex *slider.Explain) {
+	order := "planned"
+	if ex.NaiveOrder {
+		order = "as written"
+	}
+	fmt.Fprintf(w, "explain: order %v (%s), plan cost %.1f, plan %dus, exec %dus, %d rows\n",
+		ex.Order, order, ex.PlanCost, ex.PlanMicros, ex.ExecMicros, ex.Rows)
+	for _, idx := range ex.Order {
+		p := ex.Patterns[idx]
+		path := "scan"
+		if p.Galloped {
+			path = "gallop"
+		}
+		fmt.Fprintf(w, "  step %d: %s  est %.1f rows/probe, actual %d rows over %d probes (%s)\n",
+			p.Step, p.Pattern, p.EstRows, p.ActualRows, p.Probes, path)
+	}
 }
 
 // buildReasoner constructs the reasoner from the -load / -data flags:

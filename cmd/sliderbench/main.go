@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -69,8 +70,14 @@ func main() {
 		serveClients = flag.String("serveclients", "1,4,16", "comma-separated query-client counts for -serve")
 		serveWriters = flag.Int("servewriters", 4, "concurrent ingest writers for -serve")
 		serveCell    = flag.Duration("servecell", 3*time.Second, "measurement duration per -serve cell")
+
+		traceOn = flag.Bool("trace", false, "leave flight-path tracing on while benchmarking (default off for clean baselines)")
 	)
 	flag.Parse()
+
+	if !*traceOn {
+		trace.SetEnabled(false)
+	}
 
 	sc, err := bench.ParseScale(*scale)
 	if err != nil {

@@ -37,6 +37,7 @@ import (
 	slider "repro"
 	"repro/internal/cmdutil"
 	"repro/internal/server"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -60,10 +61,18 @@ func main() {
 		logRequests  = flag.Bool("log-requests", false, "log one structured line per HTTP request to stderr")
 		logJSON      = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 		quiet        = flag.Bool("q", false, "suppress startup/shutdown banners")
+		traceSlow    = flag.Duration("trace-slow", 25*time.Millisecond, "floor for the flight recorder's slow-trace threshold (adaptive per span family above it)")
+		traceRing    = flag.Int("trace-ring", 128, "retained slow/error traces at GET /debug/traces")
+		noTrace      = flag.Bool("no-trace", false, "disable request/flight tracing entirely")
 	)
 	flag.Parse()
 
 	logger := newLogger(*logJSON)
+
+	trace.Default.SetSlowThreshold(*traceSlow)
+	trace.Default.SetRingCapacity(*traceRing)
+	trace.Default.SetLogger(logger)
+	trace.SetEnabled(!*noTrace)
 
 	frag, err := cmdutil.FragmentByName(*fragName)
 	if err != nil {

@@ -178,7 +178,7 @@ func (r *Reasoner) replayLog(l *wal.Log) error {
 		}
 		switch rec.Op {
 		case wal.OpAssert:
-			r.applyAssert(rec.Triples)
+			r.applyAssert(ctx, rec.Triples)
 		case wal.OpRetract:
 			// DRed needs a quiescent store, as in Retract.
 			if err := r.engine.Wait(ctx); err != nil {

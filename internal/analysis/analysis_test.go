@@ -78,6 +78,19 @@ func TestHotPathFixture(t *testing.T) {
 		Hot: []HotFunc{
 			{Pkg: "fixture/hotpath", Recv: "engine", Name: "route"},
 			{Pkg: "fixture/hotpath", Recv: "engine", Name: "deliver"},
+			{Pkg: "fixture/hotpath", Recv: "engine", Name: "startSpan"},
+		},
+	})
+}
+
+func TestSpanNamesFixture(t *testing.T) {
+	runFixture(t, "spannames", &SpanNames{
+		Funcs: []SpanFunc{
+			{Pkg: "fixture/spannames", Name: "Start", Arg: 1},
+			{Pkg: "fixture/spannames", Name: "StartRoot", Arg: 0},
+		},
+		Methods: []SpanMethod{
+			{RecvKey: "fixture/spannames.Span", Name: "Child", Arg: 0},
 		},
 	})
 }

@@ -1,6 +1,6 @@
 package analysis
 
-// DefaultCheckers returns the five checkers configured for this
+// DefaultCheckers returns the six checkers configured for this
 // repository's documented invariants (see INVARIANTS.md). modPath is
 // the module path ("repro").
 func DefaultCheckers(modPath string) []Checker {
@@ -10,6 +10,7 @@ func DefaultCheckers(modPath string) []Checker {
 	reasoner := modPath + "/internal/reasoner"
 	rdf := modPath + "/internal/rdf"
 	obs := modPath + "/internal/obs"
+	trace := modPath + "/internal/trace"
 
 	lockorder := &LockOrder{Classes: []LockClass{
 		// Facade order (slider.go): retractMu is taken before every
@@ -88,6 +89,20 @@ func DefaultCheckers(modPath string) []Checker {
 			{Pkg: store, Recv: "partition", Name: "remove"},
 			// WAL append.
 			{Pkg: wal, Recv: "Log", Name: "Append"},
+			{Pkg: wal, Recv: "Log", Name: "AppendCtx"},
+			{Pkg: wal, Recv: "Log", Name: "append"},
+			// Traced ingest wrappers ride the same path as their plain
+			// counterparts.
+			{Pkg: modPath, Recv: "Reasoner", Name: "AddBatchCtx"},
+			{Pkg: reasoner, Recv: "Engine", Name: "AddBatchCtx"},
+			// Span creation itself: a disabled tracer must never touch
+			// the clock, so these route through the package's gated now().
+			{Pkg: trace, Name: "Start"},
+			{Pkg: trace, Name: "StartRoot"},
+			{Pkg: trace, Recv: "Span", Name: "Child"},
+			{Pkg: trace, Recv: "Span", Name: "End"},
+			{Pkg: trace, Recv: "Tracer", Name: "newSpan"},
+			{Pkg: trace, Recv: "Tracer", Name: "record"},
 		},
 	}
 
@@ -104,5 +119,17 @@ func DefaultCheckers(modPath string) []Checker {
 		HistogramSuffixes: HistogramUnitSuffixes,
 	}
 
-	return []Checker{lockorder, exclusive, runimmutable, hotpath, metricnames}
+	spannames := &SpanNames{
+		Funcs: []SpanFunc{
+			// StartRequest is deliberately absent: the serving layer's
+			// request names derive from its route table ("http."+route).
+			{Pkg: trace, Name: "Start", Arg: 1},
+			{Pkg: trace, Name: "StartRoot", Arg: 0},
+		},
+		Methods: []SpanMethod{
+			{RecvKey: trace + ".Span", Name: "Child", Arg: 0},
+		},
+	}
+
+	return []Checker{lockorder, exclusive, runimmutable, hotpath, metricnames, spannames}
 }

@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// SpanFunc names one package-level span-starting function and the
+// index of its name argument.
+type SpanFunc struct {
+	Pkg  string // package path, e.g. "repro/internal/trace"
+	Name string // function name, e.g. "Start"
+	Arg  int    // index of the span-name argument
+}
+
+// SpanMethod names one span-starting method by receiver typeKey.
+type SpanMethod struct {
+	RecvKey string // e.g. "repro/internal/trace.Span"
+	Name    string // method name, e.g. "Child"
+	Arg     int
+}
+
+// SpanNames validates every trace-span creation in the program: the
+// span name must be a compile-time constant string (dynamic names
+// defeat grep, the flight recorder's per-family thresholds and this
+// check) in dotted lowercase — [a-z0-9_] segments joined by single
+// dots, e.g. "ingest.batch" or "wal.fsync". The one sanctioned
+// exception, the serving layer's route-derived request names, uses a
+// dedicated constructor (trace.StartRequest) that is simply not in the
+// checked set.
+type SpanNames struct {
+	Funcs   []SpanFunc
+	Methods []SpanMethod
+}
+
+func (c *SpanNames) Name() string { return "spannames" }
+
+func (c *SpanNames) Check(prog *Program) []Diagnostic {
+	funcs := make(map[string]int, len(c.Funcs))
+	for _, f := range c.Funcs {
+		funcs[f.Pkg+"."+f.Name] = f.Arg
+	}
+	methods := make(map[string]int, len(c.Methods))
+	for _, m := range c.Methods {
+		methods[m.RecvKey+"."+m.Name] = m.Arg
+	}
+	var out []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				var arg int
+				switch fun := ast.Unparen(call.Fun).(type) {
+				case *ast.SelectorExpr:
+					if s, ok := pkg.Info.Selections[fun]; ok {
+						// Method call: match by receiver type.
+						arg, ok = methods[typeKey(s.Recv())+"."+fun.Sel.Name]
+						if !ok {
+							return true
+						}
+					} else {
+						fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func)
+						if !ok || fn.Pkg() == nil {
+							return true
+						}
+						arg, ok = funcs[fn.Pkg().Path()+"."+fn.Name()]
+						if !ok {
+							return true
+						}
+					}
+				case *ast.Ident:
+					// Same-package call: Start(...) from within trace.
+					fn, ok := pkg.Info.Uses[fun].(*types.Func)
+					if !ok || fn.Pkg() == nil {
+						return true
+					}
+					arg, ok = funcs[fn.Pkg().Path()+"."+fn.Name()]
+					if !ok {
+						return true
+					}
+				default:
+					return true
+				}
+				if arg >= len(call.Args) {
+					return true
+				}
+				out = append(out, c.checkName(prog, pkg, call.Args[arg])...)
+				return true
+			})
+		}
+	}
+	return out
+}
+
+func (c *SpanNames) checkName(prog *Program, pkg *Package, arg ast.Expr) []Diagnostic {
+	tv, ok := pkg.Info.Types[arg]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return []Diagnostic{diag(prog, c.Name(), arg.Pos(),
+			"span name is not a compile-time constant string: dynamic names defeat grep, the flight recorder's per-family thresholds and this check")}
+	}
+	name := constant.StringVal(tv.Value)
+	if name == "" {
+		return []Diagnostic{diag(prog, c.Name(), arg.Pos(), "span name is empty")}
+	}
+	if !validSpanName(name) {
+		return []Diagnostic{diag(prog, c.Name(), arg.Pos(),
+			"span name %q is not dotted lowercase: [a-z0-9_] segments joined by single dots (e.g. \"ingest.batch\")", name)}
+	}
+	return nil
+}
+
+// validSpanName checks the dotted-lowercase grammar: non-empty
+// [a-z0-9_] segments joined by single dots.
+func validSpanName(name string) bool {
+	for _, seg := range strings.Split(name, ".") {
+		if seg == "" {
+			return false
+		}
+		for _, r := range seg {
+			if (r < 'a' || r > 'z') && (r < '0' || r > '9') && r != '_' {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -34,3 +34,10 @@ func (e *engine) cold(t Term) string {
 	_ = time.Now()
 	return t.String()
 }
+
+// startSpan mirrors a span-creation path (trace.Start and friends are
+// allowlisted in the real tree): clock reads must route through the
+// tracer's gated now() so a disabled tracer never touches the clock.
+func (e *engine) startSpan() {
+	_ = time.Now()
+}

@@ -1,0 +1,25 @@
+// Package spannames seeds violations for the spannames checker's
+// golden test against stand-ins mirroring internal/trace.
+package spannames
+
+type Span struct{}
+
+func (s *Span) Child(name string) *Span { return nil }
+
+func Start(ctx any, name string) (any, *Span) { return ctx, nil }
+
+func StartRoot(name string) *Span { return nil }
+
+const goodName = "ingest.batch"
+
+func spans(ctx any, dyn string) {
+	_, sp := Start(ctx, goodName) // ok: constant, dotted lowercase
+	sp.Child("wal.fsync")         // ok
+	sp.Child(dyn)
+	sp.Child("")
+	sp.Child("Ingest.Batch")
+	sp.Child(".batch")
+	sp.Child("ingest..batch")
+	_ = StartRoot("compact.predicate") // ok
+	_ = StartRoot("compact predicate")
+}

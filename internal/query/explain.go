@@ -1,0 +1,47 @@
+package query
+
+// Explain is a query's execution profile: what the planner chose, what
+// it predicted, and what actually happened. The JSON shape is the
+// trailing explain record the serving layer streams after the binding
+// rows when ?explain=1 is set.
+//
+// Per-pattern estimated rows come from the planner's cost model and
+// describe the expected matches *per probe* at the pattern's placement;
+// ActualRows is the total matches the pattern streamed across every
+// probe. Comparing the two shows where the model's distinctness
+// assumptions diverge from the data — including honest cases where the
+// as-written order beats the planned one.
+type Explain struct {
+	// Order is the pattern evaluation order as indices into the written
+	// pattern list; NaiveOrder reports whether planning was bypassed.
+	Order      []int `json:"order"`
+	NaiveOrder bool  `json:"naive_order"`
+	// PlanCost is the plan's total estimated cardinality (the sum of
+	// the per-placement estimates) — the same figure the
+	// slider_query_plan_cost metric observes.
+	PlanCost   float64          `json:"plan_cost"`
+	PlanMicros int64            `json:"plan_us"`
+	ExecMicros int64            `json:"exec_us"`
+	Rows       int64            `json:"rows"`
+	Patterns   []PatternExplain `json:"patterns"`
+}
+
+// PatternExplain profiles one triple pattern of the query, in written
+// order (Step maps it into the evaluation order).
+type PatternExplain struct {
+	// Pattern is the pattern in query syntax.
+	Pattern string `json:"pattern"`
+	// Step is the pattern's position in the evaluation order (-1 when
+	// evaluation never reached planning, e.g. an unknown ground term).
+	Step int `json:"step"`
+	// EstRows is the planner's per-probe cardinality estimate at this
+	// placement.
+	EstRows float64 `json:"est_rows"`
+	// ActualRows is the total matches the pattern streamed; Probes is
+	// how many times it was entered with its join prefix bound.
+	ActualRows int64 `json:"actual_rows"`
+	Probes     int64 `json:"probes"`
+	// Galloped reports the pattern was answered by a sorted-extent
+	// intersection instead of an enumerate-then-filter scan.
+	Galloped bool `json:"galloped"`
+}

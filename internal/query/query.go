@@ -17,6 +17,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -25,6 +26,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/rdf"
+	"repro/internal/trace"
 )
 
 // Node is one position of a triple pattern: either a variable or a ground
@@ -156,19 +158,31 @@ func Execute(src Source, dict *rdf.Dictionary, q Query) ([]Binding, error) {
 // records planning/evaluation latency, the planner's cost estimate and
 // result counts.
 func ExecuteM(src Source, dict *rdf.Dictionary, q Query, m *Metrics) ([]Binding, error) {
+	return ExecuteExplain(context.Background(), src, dict, q, m, nil)
+}
+
+// ExecuteExplain is ExecuteM carrying trace context (when ctx holds a
+// span, planning and evaluation record child spans into it) and, when
+// ex is non-nil, filling it with the execution profile: chosen join
+// order vs the written one, per-pattern estimated vs actual rows,
+// whether the galloping path ran, per-stage micros.
+func ExecuteExplain(ctx context.Context, src Source, dict *rdf.Dictionary, q Query, m *Metrics, ex *Explain) ([]Binding, error) {
 	var t0 time.Time
 	if m != nil {
 		t0 = obs.NowIfEnabled()
 		m.Queries.Inc()
 	}
 	results := map[string]Binding{}
-	err := enumerate(src, dict, q, m, func(key string, b Binding) bool {
+	err := enumerate(ctx, src, dict, q, m, ex, func(key string, b Binding) bool {
 		results[key] = b
 		return true
 	})
 	if m != nil {
 		m.ExecSeconds.ObserveSince(t0)
 		m.Rows.Add(int64(len(results)))
+	}
+	if ex != nil {
+		ex.Rows = int64(len(results))
 	}
 	if err != nil {
 		return nil, err
@@ -220,6 +234,15 @@ func ExecuteFunc(src Source, dict *rdf.Dictionary, q Query, emit func(Binding) b
 // m records planning/evaluation latency, the planner's cost estimate
 // and the streamed row count.
 func ExecuteFuncM(src Source, dict *rdf.Dictionary, q Query, m *Metrics, emit func(Binding) bool) error {
+	return ExecuteFuncExplain(context.Background(), src, dict, q, m, nil, emit)
+}
+
+// ExecuteFuncExplain is ExecuteFuncM carrying trace context and, when
+// ex is non-nil, filling it with the execution profile (see
+// ExecuteExplain). ex.Rows counts the solutions actually emitted —
+// after deduplication, OFFSET and LIMIT — matching what the caller
+// streamed.
+func ExecuteFuncExplain(ctx context.Context, src Source, dict *rdf.Dictionary, q Query, m *Metrics, ex *Explain, emit func(Binding) bool) error {
 	var t0 time.Time
 	if m != nil {
 		t0 = obs.NowIfEnabled()
@@ -232,7 +255,7 @@ func ExecuteFuncM(src Source, dict *rdf.Dictionary, q Query, m *Metrics, emit fu
 	}
 	seen := map[string]struct{}{}
 	skipped, emitted := 0, 0
-	return enumerate(src, dict, q, m, func(key string, b Binding) bool {
+	err := enumerate(ctx, src, dict, q, m, ex, func(key string, b Binding) bool {
 		if _, dup := seen[key]; dup {
 			return true
 		}
@@ -250,6 +273,10 @@ func ExecuteFuncM(src Source, dict *rdf.Dictionary, q Query, m *Metrics, emit fu
 		emitted++
 		return !q.HasLimit || emitted < q.Limit
 	})
+	if ex != nil {
+		ex.Rows = int64(emitted)
+	}
+	return err
 }
 
 // validate checks the query's static shape: a non-empty BGP and a
@@ -276,10 +303,20 @@ func validate(q Query) error {
 
 // enumerate runs the backtracking join and hands every complete
 // (possibly duplicate) solution to yield as (dedup key, binding), until
-// yield returns false.
-func enumerate(src Source, dict *rdf.Dictionary, q Query, m *Metrics, yield func(key string, b Binding) bool) error {
+// yield returns false. A span in ctx gets query.plan / query.exec
+// children; a non-nil ex is filled with the execution profile (the
+// caller sets ex.Rows — emitted-row semantics differ per entry point).
+func enumerate(ctx context.Context, src Source, dict *rdf.Dictionary, q Query, m *Metrics, ex *Explain, yield func(key string, b Binding) bool) error {
 	if err := validate(q); err != nil {
 		return err
+	}
+	tsp := trace.FromContext(ctx)
+	if ex != nil {
+		ex.NaiveOrder = q.NaiveOrder
+		ex.Patterns = make([]PatternExplain, len(q.Patterns))
+		for i, pat := range q.Patterns {
+			ex.Patterns[i] = PatternExplain{Pattern: pat.String(), Step: -1}
+		}
 	}
 	proj := q.Select
 	if len(proj) == 0 {
@@ -307,22 +344,48 @@ func enumerate(src Source, dict *rdf.Dictionary, q Query, m *Metrics, yield func
 	// Backtracking join over ID bindings.
 	binding := map[string]rdf.ID{}
 	var order []int
+	var planT0 time.Time
+	if ex != nil {
+		planT0 = time.Now()
+	}
 	if q.NaiveOrder {
 		order = make([]int, len(enc))
 		for i := range order {
 			order[i] = i
+		}
+		if ex != nil {
+			var ests []float64
+			ests, ex.PlanCost = estimateFixed(src, enc, order)
+			for k, idx := range order {
+				ex.Patterns[idx].Step = k
+				ex.Patterns[idx].EstRows = ests[k]
+			}
 		}
 	} else {
 		var p0 time.Time
 		if m != nil {
 			p0 = obs.NowIfEnabled()
 		}
+		psp := tsp.Child("query.plan")
 		var planCost float64
-		order, planCost = planOrder(src, enc)
+		var ests []float64
+		order, planCost, ests = planOrder(src, enc)
+		psp.End()
 		if m != nil {
 			m.PlanSeconds.ObserveSince(p0)
 			m.PlanCost.Observe(planCost)
 		}
+		if ex != nil {
+			ex.PlanCost = planCost
+			for k, idx := range order {
+				ex.Patterns[idx].Step = k
+				ex.Patterns[idx].EstRows = ests[k]
+			}
+		}
+	}
+	if ex != nil {
+		ex.Order = append([]int(nil), order...)
+		ex.PlanMicros = time.Since(planT0).Microseconds()
 	}
 	var sp sortedProber
 	if !q.NaiveOrder {
@@ -331,6 +394,15 @@ func enumerate(src Source, dict *rdf.Dictionary, q Query, m *Metrics, yield func
 	// done marks patterns already satisfied ahead of their turn by a
 	// galloping intersection (indexed by pattern, not step).
 	done := make([]bool, len(enc))
+	// Per-pattern execution profile (indexed like enc), collected only
+	// when an explain was requested — the plain path never touches it.
+	var actual, probes []int64
+	var galloped []bool
+	if ex != nil {
+		actual = make([]int64, len(enc))
+		probes = make([]int64, len(enc))
+		galloped = make([]bool, len(enc))
+	}
 	// bufA/bufB are scratch for the two probed extents; they are fully
 	// consumed before the recursion below re-enters, so sharing them
 	// across levels is safe. The intersection itself is iterated during
@@ -374,6 +446,16 @@ func enumerate(src Source, dict *rdf.Dictionary, q Query, m *Metrics, yield func
 					bufA = jp.extent(sp, bufA[:0])
 					bufB = jp2.extent(sp, bufB[:0])
 					inter := rdf.IntersectSortedAppend(nil, bufA, bufB)
+					if ex != nil {
+						// The intersection answers both patterns at once;
+						// each is credited the joint row count.
+						probes[idx]++
+						probes[j]++
+						actual[idx] += int64(len(inter))
+						actual[j] += int64(len(inter))
+						galloped[idx] = true
+						galloped[j] = true
+					}
 					done[j] = true
 					cont := true
 					for _, id := range inter {
@@ -402,7 +484,13 @@ func enumerate(src Source, dict *rdf.Dictionary, q Query, m *Metrics, yield func
 		p := resolve(ip.p, ip.pv)
 		o := resolve(ip.o, ip.ov)
 		cont := true
+		if ex != nil {
+			probes[idx]++
+		}
 		src.MatchEach(rdf.T(s, p, o), func(m rdf.Triple) bool {
+			if ex != nil {
+				actual[idx]++
+			}
 			var assigned []string
 			bind := func(v string, id rdf.ID) bool {
 				if v == "" {
@@ -426,7 +514,21 @@ func enumerate(src Source, dict *rdf.Dictionary, q Query, m *Metrics, yield func
 		})
 		return cont
 	}
+	esp := tsp.Child("query.exec")
+	var execT0 time.Time
+	if ex != nil {
+		execT0 = time.Now()
+	}
 	walk(0)
+	esp.End()
+	if ex != nil {
+		ex.ExecMicros = time.Since(execT0).Microseconds()
+		for i := range ex.Patterns {
+			ex.Patterns[i].ActualRows = actual[i]
+			ex.Patterns[i].Probes = probes[i]
+			ex.Patterns[i].Galloped = galloped[i]
+		}
+	}
 	return nil
 }
 
@@ -505,80 +607,112 @@ type idPattern struct {
 	sv, pv, ov string
 }
 
+// costEstimator is the planner's per-placement cardinality model,
+// factored out so the same estimates back both the greedy planner
+// (planOrder) and the explain profile of an as-written order
+// (estimateFixed). The estimate for a pattern is its predicate's
+// extent divided by the partition's distinct-subject count when the
+// subject is ground or already bound, and by the distinct-object count
+// likewise — i.e. the expected number of matching triples per probe,
+// from the per-partition stats the store maintains (statsProber), with
+// a √extent distinctness guess for sources that lack them.
+type costEstimator struct {
+	src   Source
+	st    statsProber
+	bound map[string]bool
+}
+
+func newCostEstimator(src Source) *costEstimator {
+	ce := &costEstimator{src: src, bound: map[string]bool{}}
+	ce.st, _ = src.(statsProber)
+	return ce
+}
+
+// cost estimates a pattern's cardinality under the currently bound
+// variables.
+func (ce *costEstimator) cost(ip idPattern) float64 {
+	if ip.pv != "" && !ce.bound[ip.pv] {
+		// Unknown predicate: a scan of every partition.
+		return 1e18
+	}
+	if ip.pv != "" {
+		// Predicate bound to a runtime value: extent unknowable at
+		// plan time; assume expensive but better than a full scan.
+		return 1e12
+	}
+	n := float64(ce.src.PredicateLen(ip.p))
+	if n == 0 {
+		return 0 // empty extent cuts the whole join immediately
+	}
+	sKnown := ip.sv == "" || ce.bound[ip.sv]
+	oKnown := ip.ov == "" || ce.bound[ip.ov]
+	if sKnown && oKnown {
+		return 0.5 // existence probe
+	}
+	var ns, no int
+	if ce.st != nil {
+		_, ns, no = ce.st.PredicateStats(ip.p)
+	}
+	if ns <= 0 {
+		ns = int(math.Sqrt(n)) + 1
+	}
+	if no <= 0 {
+		no = int(math.Sqrt(n)) + 1
+	}
+	c := n
+	if sKnown {
+		c /= float64(ns)
+	}
+	if oKnown {
+		c /= float64(no)
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// connected reports whether the pattern shares a variable with the
+// already bound set.
+func (ce *costEstimator) connected(ip idPattern) bool {
+	for _, v := range []string{ip.sv, ip.pv, ip.ov} {
+		if v != "" && ce.bound[v] {
+			return true
+		}
+	}
+	return false
+}
+
+// bind marks the pattern's variables bound for subsequent estimates.
+func (ce *costEstimator) bind(ip idPattern) {
+	for _, v := range []string{ip.sv, ip.pv, ip.ov} {
+		if v != "" {
+			ce.bound[v] = true
+		}
+	}
+}
+
 // planOrder orders patterns greedily by estimated cardinality,
 // cheapest first, propagating bound variables: after a pattern is
 // placed, its variables count as bound when estimating the remaining
 // patterns, so a selective early pattern makes its join partners cheap.
-// The estimate for a pattern is its predicate's extent divided by the
-// partition's distinct-subject count when the subject is ground or
-// already bound, and by the distinct-object count likewise — i.e. the
-// expected number of matching triples per probe, from the per-partition
-// stats the store maintains (statsProber), with a √extent distinctness
-// guess for sources that lack them. Patterns connected to the already
-// bound variables are preferred over disconnected ones regardless of
-// cost: a Cartesian product is always worse than its estimate looks.
-// Ties break on input position, so plans are deterministic. The second
-// return is the plan's total estimated cost — the sum of the chosen
-// patterns' per-placement cardinality estimates — surfaced as a metric
-// so plan-time expectations can be compared against observed latency.
-func planOrder(src Source, pats []idPattern) ([]int, float64) {
-	st, _ := src.(statsProber)
+// Patterns connected to the already bound variables are preferred over
+// disconnected ones regardless of cost: a Cartesian product is always
+// worse than its estimate looks. Ties break on input position, so
+// plans are deterministic. The second return is the plan's total
+// estimated cost — the sum of the chosen patterns' per-placement
+// cardinality estimates — surfaced as a metric so plan-time
+// expectations can be compared against observed latency; the third is
+// those per-placement estimates, indexed like order, which the explain
+// profile reports against actual rows.
+func planOrder(src Source, pats []idPattern) ([]int, float64, []float64) {
+	ce := newCostEstimator(src)
 	remaining := make([]bool, len(pats))
 	for i := range remaining {
 		remaining[i] = true
 	}
-	bound := map[string]bool{}
 	order := make([]int, 0, len(pats))
-	cost := func(i int) float64 {
-		ip := pats[i]
-		if ip.pv != "" && !bound[ip.pv] {
-			// Unknown predicate: a scan of every partition.
-			return 1e18
-		}
-		if ip.pv != "" {
-			// Predicate bound to a runtime value: extent unknowable at
-			// plan time; assume expensive but better than a full scan.
-			return 1e12
-		}
-		n := float64(src.PredicateLen(ip.p))
-		if n == 0 {
-			return 0 // empty extent cuts the whole join immediately
-		}
-		sKnown := ip.sv == "" || bound[ip.sv]
-		oKnown := ip.ov == "" || bound[ip.ov]
-		if sKnown && oKnown {
-			return 0.5 // existence probe
-		}
-		var ns, no int
-		if st != nil {
-			_, ns, no = st.PredicateStats(ip.p)
-		}
-		if ns <= 0 {
-			ns = int(math.Sqrt(n)) + 1
-		}
-		if no <= 0 {
-			no = int(math.Sqrt(n)) + 1
-		}
-		c := n
-		if sKnown {
-			c /= float64(ns)
-		}
-		if oKnown {
-			c /= float64(no)
-		}
-		if c < 1 {
-			c = 1
-		}
-		return c
-	}
-	connected := func(i int) bool {
-		for _, v := range []string{pats[i].sv, pats[i].pv, pats[i].ov} {
-			if v != "" && bound[v] {
-				return true
-			}
-		}
-		return false
-	}
+	ests := make([]float64, 0, len(pats))
 	total := 0.0
 	for len(order) < len(pats) {
 		best, bestCost, bestConn := -1, 0.0, false
@@ -586,8 +720,8 @@ func planOrder(src Source, pats []idPattern) ([]int, float64) {
 			if !remaining[i] {
 				continue
 			}
-			c := cost(i)
-			conn := connected(i) || len(order) == 0
+			c := ce.cost(pats[i])
+			conn := ce.connected(pats[i]) || len(order) == 0
 			better := best == -1 ||
 				(conn && !bestConn) ||
 				(conn == bestConn && c < bestCost)
@@ -596,13 +730,26 @@ func planOrder(src Source, pats []idPattern) ([]int, float64) {
 			}
 		}
 		order = append(order, best)
+		ests = append(ests, bestCost)
 		remaining[best] = false
 		total += bestCost
-		for _, v := range []string{pats[best].sv, pats[best].pv, pats[best].ov} {
-			if v != "" {
-				bound[v] = true
-			}
-		}
+		ce.bind(pats[best])
 	}
-	return order, total
+	return order, total, ests
+}
+
+// estimateFixed runs the cost model over a caller-fixed order (the
+// NaiveOrder path) so its explain profile carries the same estimated-
+// vs-actual comparison a planned query gets. Returns per-placement
+// estimates indexed like order, plus their total.
+func estimateFixed(src Source, pats []idPattern, order []int) ([]float64, float64) {
+	ce := newCostEstimator(src)
+	ests := make([]float64, len(order))
+	total := 0.0
+	for k, idx := range order {
+		ests[k] = ce.cost(pats[idx])
+		total += ests[k]
+		ce.bind(pats[idx])
+	}
+	return ests, total
 }

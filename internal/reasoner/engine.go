@@ -10,6 +10,7 @@ import (
 	"repro/internal/rdf"
 	"repro/internal/rules"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 // module binds one inference rule to its buffer and counters — the
@@ -183,12 +184,23 @@ func (e *Engine) AddAll(ts []rdf.Triple) int {
 // acquisition per module — the batch-first ingest path. AddBatch is safe
 // for concurrent use; adding to a closed engine is a no-op.
 func (e *Engine) AddBatch(ts []rdf.Triple) []rdf.Triple {
+	return e.AddBatchCtx(context.Background(), ts)
+}
+
+// AddBatchCtx is AddBatch carrying trace context: when ctx holds a
+// span, the store insertion and the routing pass appear as child spans
+// in the batch's flight trace.
+func (e *Engine) AddBatchCtx(ctx context.Context, ts []rdf.Triple) []rdf.Triple {
 	if e.closed.Load() || len(ts) == 0 {
 		return nil
 	}
+	sp := trace.FromContext(ctx)
 	// Store first, then route — same invariant as Add: the store holds
 	// every triple of a delta before any instance consumes it.
+	st := sp.Child("store.addbatch")
 	fresh := e.store.AddBatch(ts)
+	st.SetInt("fresh", int64(len(fresh)))
+	st.End()
 	if dup := len(ts) - len(fresh); dup > 0 {
 		e.dupInput.Add(int64(dup))
 	}
@@ -202,9 +214,17 @@ func (e *Engine) AddBatch(ts []rdf.Triple) []rdf.Triple {
 			obs.OnInput(t)
 		}
 	}
+	rt := sp.Child("engine.route")
 	e.routeBatch(fresh)
+	rt.End()
 	return fresh
 }
+
+// Quiescent reports whether inference has drained: no triples buffered
+// and no rule instances queued or running. The batch-lifecycle watcher
+// polls it to close a flight's inference span; unlike Wait it never
+// flushes timed buffers, so observing quiescence does not perturb it.
+func (e *Engine) Quiescent() bool { return e.inflight.Load() == 0 }
 
 // route places t into the buffer of every module whose rule consumes its
 // predicate (plus all universal-input modules), flushing buffers that

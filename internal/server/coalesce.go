@@ -1,10 +1,12 @@
 package server
 
 import (
+	"context"
 	"sync"
 
 	slider "repro"
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // coalescer merges concurrent insert requests into shared AddBatch
@@ -88,7 +90,21 @@ func (c *coalescer) run() {
 			return
 		}
 		c.mu.Unlock()
-		fl.added, fl.err = c.r.AddBatch(fl.stmts)
+		// Each flight is its own trace root, named by the same id the
+		// access log prints for its riders — the flight recorder's JSON
+		// and the request log correlate on it. The request spans that
+		// fed the flight are separate traces (a flight outlives and
+		// merges its requests); they carry the flight id as an attr.
+		ctx, sp := trace.Start(context.Background(), "ingest.flight")
+		sp.SetInt("flight", int64(fl.id))
+		sp.SetInt("requests", int64(fl.reqs))
+		sp.SetInt("statements", int64(len(fl.stmts)))
+		fl.added, fl.err = c.r.AddBatchCtx(ctx, fl.stmts)
+		if fl.err != nil {
+			sp.Error(fl.err.Error())
+		}
+		sp.SetInt("added", int64(fl.added))
+		sp.End()
 		c.flushes.Inc()
 		if fl.reqs > 1 {
 			c.coalesced.Add(int64(fl.reqs))

@@ -8,6 +8,7 @@
 //	GET  /healthz     liveness + sticky-failure surface
 //	GET  /stats       engine, store and serving counters (JSON)
 //	GET  /metrics     the same registry in Prometheus text format
+//	GET  /debug/traces retained slow/error flight traces (JSON)
 //
 // Queries execute against a read session (Reasoner.View): every answer
 // is computed over one consistent snapshot — the closure of an
@@ -20,7 +21,14 @@
 // Every request is timed into the reasoner's metrics registry
 // (slider_http_request_seconds{route=...}) and logged through the
 // configured slog.Logger with method, route, status, duration and — for
-// coalesced inserts — the flight it rode on.
+// coalesced inserts — the flight it rode on. Each request is also a
+// trace span (internal/trace): an incoming W3C traceparent header is
+// adopted as the trace id, the response carries the request's own
+// traceparent, and slow or failed requests land in the flight recorder
+// at /debug/traces. POST /v1/query additionally accepts ?explain=1,
+// which appends an explain record (join order, per-pattern estimated
+// vs actual rows, stage timings) to the NDJSON stream after the
+// binding rows and before the done trailer.
 package server
 
 import (
@@ -41,6 +49,7 @@ import (
 	"repro/internal/ntriples"
 	"repro/internal/obs"
 	"repro/internal/query"
+	"repro/internal/trace"
 	"repro/internal/turtle"
 )
 
@@ -168,6 +177,7 @@ func New(r *slider.Reasoner, cfg Config) *Server {
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	mux.HandleFunc("GET /stats", s.instrument("stats", s.handleStats))
 	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	mux.HandleFunc("GET /debug/traces", s.instrument("traces", s.handleTraces))
 	s.mux = mux
 	return s
 }
@@ -216,9 +226,28 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sc := &reqScope{}
-		r = r.WithContext(context.WithValue(r.Context(), scopeKey{}, sc))
+		ctx := context.WithValue(r.Context(), scopeKey{}, sc)
+		// Every request is a trace root. An incoming W3C traceparent is
+		// adopted (the request joins the caller's trace id); the response
+		// always carries this request's own traceparent so clients can
+		// fish the flight recorder for it.
+		ctx, sp := trace.StartRequest(ctx, "http."+route, r.Header.Get("traceparent"))
+		r = r.WithContext(ctx)
 		sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		if tp := sp.Traceparent(); tp != "" {
+			sr.Header().Set("Traceparent", tp)
+		}
 		h(sr, r)
+		sp.SetInt("status", int64(sr.status))
+		if sc.flightID != 0 {
+			// The coalesced flight is a separate trace root (it merges
+			// requests); the shared id is the join key between the two.
+			sp.SetInt("flight", int64(sc.flightID))
+		}
+		if sr.status >= 500 {
+			sp.Error(http.StatusText(sr.status))
+		}
+		sp.End()
 		dur := time.Since(start)
 		hist.ObserveDuration(dur)
 		s.reg.Counter(respName, respHelp,
@@ -234,6 +263,14 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 		}
 		s.cfg.Logger.Info("request", attrs...)
 	}
+}
+
+// handleTraces renders the flight recorder: the retained slow/error
+// trace trees, the per-tracer counters and knob settings, and — with
+// ?recent=1 — the most recent completed spans regardless of retention.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = trace.Default.WriteJSON(w, r.URL.Query().Get("recent") == "1")
 }
 
 // handleMetrics renders the reasoner's registry — engine, store, WAL,
@@ -331,11 +368,16 @@ func (s *Server) readStatements(r *http.Request) ([]slider.Statement, error) {
 }
 
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	psp := trace.FromContext(r.Context()).Child("insert.parse")
 	sts, err := s.readStatements(r)
 	if err != nil {
+		psp.Error(err.Error())
+		psp.End()
 		httpError(w, http.StatusBadRequest, "parse: %v", err)
 		return
 	}
+	psp.SetInt("statements", int64(len(sts)))
+	psp.End()
 	if len(sts) == 0 {
 		writeJSON(w, http.StatusOK, map[string]any{"statements": 0, "merged_requests": 0})
 		return
@@ -384,12 +426,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		text = qr.Query
 	}
+	psp := trace.FromContext(r.Context()).Child("query.parse")
 	q, err := query.ParseSelect(text)
 	if err != nil {
+		psp.Error(err.Error())
+		psp.End()
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	psp.End()
 	s.nQueries.Add(1)
+	var ex *query.Explain
+	if r.URL.Query().Get("explain") == "1" {
+		ex = &query.Explain{}
+	}
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueryTimeout)
 	defer cancel()
@@ -422,7 +472,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	flusher, _ := w.(http.Flusher)
 	_ = enc.Encode(map[string]any{"vars": vars, "snapshot_triples": view.Len()})
 	rows, truncated := 0, false
-	err = view.SelectQueryFunc(q, func(b slider.Binding) bool {
+	err = view.SelectQueryFuncExplain(ctx, q, ex, func(b slider.Binding) bool {
 		if ctx.Err() != nil {
 			return false
 		}
@@ -444,6 +494,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return true
 	})
 	s.nRows.Add(int64(rows))
+	if ex != nil {
+		// The explain record is emitted only here, after the executor
+		// returned — it can never interleave with binding rows, and the
+		// done trailer stays the stream's last line.
+		_ = enc.Encode(map[string]any{"explain": ex})
+	}
 	trailer := map[string]any{"done": true, "rows": rows, "truncated": truncated}
 	if err != nil {
 		trailer["error"] = err.Error()
@@ -530,10 +586,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	es := s.r.Stats()
 	ss := s.r.Store().Stats()
+	bi := slider.BuildInfo()
 	out := map[string]any{
 		"triples":  s.r.Len(),
 		"fragment": s.r.Fragment().Name(),
-		"engine":   map[string]any{"inferred": es.Inferred, "duplicates": es.Duplicates},
+		"build": map[string]any{
+			"version":    bi.Version,
+			"go_version": bi.GoVersion,
+			"revision":   bi.Revision,
+		},
+		"engine": map[string]any{"inferred": es.Inferred, "duplicates": es.Duplicates},
 		"store": map[string]any{
 			"predicates":    ss.Predicates,
 			"max_partition": ss.MaxPartition,

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/rdf"
+	"repro/internal/trace"
 )
 
 // testHookCompact, when set, runs at the start of every background
@@ -129,14 +130,25 @@ func (st *Store) compactPredicate(pred rdf.ID) {
 	if p == nil {
 		return
 	}
+	// Compaction runs on a background goroutine with no request to
+	// attribute it to, so each pass is its own trace root: the flight
+	// recorder catches the slow ones (big merges) the same way it
+	// catches slow ingest flights.
+	sp := trace.StartRoot("compact.predicate")
+	sp.SetInt("predicate", int64(pred))
+	defer sp.End()
 	// Re-arm before working: a mutation landing mid-compaction may
 	// legitimately need to re-enqueue the partition.
 	p.queued.Store(false)
 
 	p.mu.Lock()
+	fsp := sp.Child("compact.flush")
 	st.flushLocked(p)
+	fsp.End()
 	if p.tombN >= purgeMin && p.tombN*2 >= p.rp {
+		psp := sp.Child("compact.purge")
 		st.purgeLocked(p)
+		psp.End()
 		p.mu.Unlock()
 		return
 	}
@@ -166,7 +178,11 @@ func (st *Store) compactPredicate(pred rdf.ID) {
 	if m := st.metrics.Load(); m != nil {
 		t0 = obs.NowIfEnabled()
 	}
+	msp := sp.Child("compact.merge")
+	msp.SetInt("runs", int64(len(suffix)))
 	merged := mergeRuns(suffix) // off-lock; workMu pins p.runs
+	msp.SetInt("pairs", int64(merged.pairs))
+	msp.End()
 
 	p.mu.Lock()
 	runs := make([]*run, 0, i+1)

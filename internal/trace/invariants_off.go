@@ -1,0 +1,10 @@
+//go:build !slider_invariants
+
+package trace
+
+// No-op stand-ins for the tagged runtime invariants (invariants_on.go):
+// normal builds pay nothing for them.
+
+func assertEndOnce(string)        {}
+func assertOpenNonNegative(int64) {}
+func assertRingBounded(int, int)  {}

@@ -1,0 +1,32 @@
+//go:build slider_invariants
+
+package trace
+
+// Tagged runtime invariants, compiled in by the slider_invariants
+// build tag (see INVARIANTS.md): span lifecycle and ring-bound
+// assertions that are too hot to check in normal builds.
+
+import "fmt"
+
+// assertEndOnce fires when a span is ended twice — the second End is
+// ignored in normal builds, but it means some path double-closes and
+// the trace's open-span accounting was only saved by the ended flag.
+func assertEndOnce(name string) {
+	panic("trace: span " + name + " ended twice")
+}
+
+// assertOpenNonNegative fires when a trace's open-span counter goes
+// below zero: more Ends than Starts, i.e. a span escaped accounting.
+func assertOpenNonNegative(n int64) {
+	if n < 0 {
+		panic(fmt.Sprintf("trace: open-span counter went negative (%d)", n))
+	}
+}
+
+// assertRingBounded fires when the retained-trace ring exceeds its
+// configured capacity.
+func assertRingBounded(n, capN int) {
+	if n > capN {
+		panic(fmt.Sprintf("trace: retained ring holds %d traces, capacity %d", n, capN))
+	}
+}

@@ -1,0 +1,39 @@
+//go:build slider_invariants
+
+package trace
+
+import "testing"
+
+// These tests corrupt span lifecycle state on purpose and assert the
+// tagged checks panic — proving the assertion layer is live, not a
+// silent no-op (the same bar the store and maintenance tagged suites
+// set).
+
+func mustPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic under -tags slider_invariants", what)
+		}
+	}()
+	f()
+}
+
+func TestTaggedDoubleEndPanics(t *testing.T) {
+	fresh(t)
+	sp := StartRoot("ingest.flight")
+	sp.End()
+	mustPanic(t, "double End", sp.End)
+}
+
+func TestTaggedRingBoundPanics(t *testing.T) {
+	mustPanic(t, "over-capacity ring", func() {
+		assertRingBounded(3, 2)
+	})
+}
+
+func TestTaggedNegativeOpenCountPanics(t *testing.T) {
+	mustPanic(t, "negative open count", func() {
+		assertOpenNonNegative(-1)
+	})
+}

@@ -1,0 +1,401 @@
+// The flight recorder: where completed spans and traces land. Every
+// ended span leaves a fixed-size summary in one of a few sharded ring
+// buffers (recent activity, cheap to write, lossy by design). Completed
+// *traces* — the root plus its whole tree — are retained only when
+// interesting: slower than a per-family adaptive threshold, ended in
+// error, or the first completion of their family (an exemplar, so
+// /debug/traces is never empty on a healthy daemon). Retained traces
+// live in a bounded ring, are served as JSON, and emit one structured
+// slow-op log line each.
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"log/slog"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	// recentShards × recentPerShard bounds the recent-span memory;
+	// shards cut contention between concurrently-ending spans.
+	recentShards   = 8
+	recentPerShard = 64
+
+	// defaultRingCap bounds retained traces (-trace-ring).
+	defaultRingCap = 128
+	// defaultSlowFloor is the retention threshold floor (-trace-slow):
+	// below it a flight is never "slow", however fast its family
+	// usually runs.
+	defaultSlowFloor = 25 * time.Millisecond
+
+	// The adaptive threshold: a flight is slow when it exceeds
+	// slowMultiple × its family's EWMA (alpha 1/2^ewmaShift) and the
+	// floor.
+	ewmaShift    = 3
+	slowMultiple = 4
+)
+
+// Tracer owns the rings and retention policy. Package-level Start
+// routes through Default; separate Tracers exist for tests.
+type Tracer struct {
+	slowFloor atomic.Int64 // ns
+	ringCap   atomic.Int64
+	logger    atomic.Pointer[slog.Logger]
+
+	rootsTotal    atomic.Int64
+	rootsRetained atomic.Int64
+
+	mu   sync.Mutex
+	ring []*Span // retained roots, oldest first
+
+	families sync.Map // root family name -> *family
+
+	shards [recentShards]recentShard
+}
+
+// family is per-root-name retention state: completion count and an
+// EWMA of flight durations. Updates race benignly (load/store, not
+// CAS): the threshold is a heuristic, not an invariant.
+type family struct {
+	count atomic.Int64
+	ewma  atomic.Int64 // ns
+}
+
+// recentShard is one lossy ring of completed-span summaries.
+type recentShard struct {
+	mu  sync.Mutex
+	n   uint64 // total spans written; next slot = n % recentPerShard
+	buf [recentPerShard]spanRecord
+}
+
+// spanRecord is the fixed-size summary of one completed span.
+type spanRecord struct {
+	name             string
+	traceHi, traceLo uint64
+	id, parent       uint64
+	start            time.Time
+	dur              time.Duration
+	err              bool
+}
+
+// New returns a Tracer with default retention knobs.
+func New() *Tracer {
+	tr := &Tracer{}
+	tr.slowFloor.Store(int64(defaultSlowFloor))
+	tr.ringCap.Store(defaultRingCap)
+	return tr
+}
+
+// Default is the process-wide tracer behind Start/StartRoot/StartRequest.
+var Default = New()
+
+// SetSlowThreshold sets the flight-recorder floor: a flight shorter
+// than d is never retained as slow (errors and exemplars still are).
+// Zero retains every completed trace — useful in tests.
+func (tr *Tracer) SetSlowThreshold(d time.Duration) { tr.slowFloor.Store(int64(d)) }
+
+// SetRingCapacity bounds how many interesting traces are retained.
+func (tr *Tracer) SetRingCapacity(n int) {
+	if n < 1 {
+		n = 1
+	}
+	tr.ringCap.Store(int64(n))
+}
+
+// SetLogger installs the logger that receives one structured slow-op
+// line per retained trace (nil disables the lines).
+func (tr *Tracer) SetLogger(l *slog.Logger) { tr.logger.Store(l) }
+
+// record files a completed span's summary into its shard's ring.
+func (tr *Tracer) record(s *Span, end time.Time, failed bool) {
+	var dur time.Duration
+	if !end.IsZero() && !s.start.IsZero() {
+		dur = end.Sub(s.start)
+	}
+	sh := &tr.shards[s.id&(recentShards-1)]
+	sh.mu.Lock()
+	sh.buf[sh.n%recentPerShard] = spanRecord{
+		name:    s.name,
+		traceHi: s.traceHi, traceLo: s.traceLo,
+		id: s.id, parent: s.parent,
+		start: s.start, dur: dur, err: failed,
+	}
+	sh.n++
+	sh.mu.Unlock()
+}
+
+// finishTrace runs once per trace, when its last open span ends:
+// update the family EWMA, decide retention, and log. Idempotent via
+// the root's finished flag (a straggler child can race the final End).
+func (tr *Tracer) finishTrace(root *Span) {
+	if !root.finished.CompareAndSwap(false, true) {
+		return
+	}
+	tr.rootsTotal.Add(1)
+	var dur time.Duration
+	if !root.start.IsZero() {
+		if last := root.lastEnd.Load(); last > root.start.UnixNano() {
+			dur = time.Duration(last - root.start.UnixNano())
+		}
+	}
+	fi, _ := tr.families.LoadOrStore(root.name, &family{})
+	f := fi.(*family)
+	n := f.count.Add(1)
+	prev := f.ewma.Load()
+	if n == 1 {
+		f.ewma.Store(int64(dur))
+	} else {
+		f.ewma.Store(prev + (int64(dur)-prev)>>ewmaShift)
+	}
+	var reason string
+	switch {
+	case root.errAny.Load():
+		reason = "error"
+	case n == 1:
+		reason = "exemplar"
+	default:
+		// A non-positive floor disables the adaptive threshold too:
+		// retain every completed trace (the test configuration).
+		thr := tr.slowFloor.Load()
+		if thr > 0 {
+			if adaptive := slowMultiple * prev; adaptive > thr {
+				thr = adaptive
+			}
+		}
+		if int64(dur) >= thr {
+			reason = "slow"
+		}
+	}
+	if reason == "" {
+		return
+	}
+	root.reason = reason
+	root.flight = dur
+	tr.rootsRetained.Add(1)
+	tr.mu.Lock()
+	capN := int(tr.ringCap.Load())
+	if len(tr.ring) >= capN {
+		drop := len(tr.ring) - capN + 1
+		copy(tr.ring, tr.ring[drop:])
+		for i := len(tr.ring) - drop; i < len(tr.ring); i++ {
+			tr.ring[i] = nil
+		}
+		tr.ring = tr.ring[:len(tr.ring)-drop]
+	}
+	tr.ring = append(tr.ring, root)
+	assertRingBounded(len(tr.ring), capN)
+	tr.mu.Unlock()
+	// Exemplars are routine (every family's first completion); they go
+	// in the ring for /debug/traces but do not warrant a warning.
+	if lg := tr.logger.Load(); lg != nil && reason != "exemplar" {
+		lg.Warn("slow operation",
+			"span", root.name,
+			"reason", reason,
+			"trace", root.TraceID(),
+			"dur_ms", float64(dur)/float64(time.Millisecond),
+			"spans", root.treeSize())
+	}
+}
+
+// Reset clears retained traces, family statistics, counters and the
+// recent-span rings. For tests; knobs and the enabled switch persist.
+func (tr *Tracer) Reset() {
+	tr.mu.Lock()
+	tr.ring = nil
+	tr.mu.Unlock()
+	tr.families.Range(func(k, _ any) bool {
+		tr.families.Delete(k)
+		return true
+	})
+	tr.rootsTotal.Store(0)
+	tr.rootsRetained.Store(0)
+	for i := range tr.shards {
+		sh := &tr.shards[i]
+		sh.mu.Lock()
+		sh.n = 0
+		sh.buf = [recentPerShard]spanRecord{}
+		sh.mu.Unlock()
+	}
+}
+
+// RootsRetained returns how many traces the recorder has retained.
+func (tr *Tracer) RootsRetained() int64 { return tr.rootsRetained.Load() }
+
+// Retained returns the retained roots, newest first. For tests and
+// snapshot assembly.
+func (tr *Tracer) Retained() []*Span {
+	tr.mu.Lock()
+	out := make([]*Span, len(tr.ring))
+	for i, s := range tr.ring {
+		out[len(tr.ring)-1-i] = s
+	}
+	tr.mu.Unlock()
+	return out
+}
+
+// SpanJSON is the JSON shape of one span in a retained trace.
+type SpanJSON struct {
+	Name     string         `json:"name"`
+	SpanID   string         `json:"span_id"`
+	ParentID string         `json:"parent_id,omitempty"`
+	Start    time.Time      `json:"start"`
+	DurUS    int64          `json:"dur_us"`
+	Open     bool           `json:"open,omitempty"` // still running at snapshot time
+	Err      bool           `json:"err,omitempty"`
+	Attrs    map[string]any `json:"attrs,omitempty"`
+	Children []SpanJSON     `json:"children,omitempty"`
+}
+
+// TraceJSON is one retained trace: the root's tree plus why the flight
+// recorder kept it. DurUS is the full flight — root start to the last
+// span end, including asynchronous children that outlived the root.
+type TraceJSON struct {
+	TraceID string   `json:"trace_id"`
+	Name    string   `json:"name"`
+	Reason  string   `json:"reason"`
+	DurUS   int64    `json:"dur_us"`
+	Spans   int      `json:"spans"`
+	Root    SpanJSON `json:"root"`
+}
+
+// RecentSpanJSON is one completed-span summary from the sharded rings.
+type RecentSpanJSON struct {
+	Name     string    `json:"name"`
+	TraceID  string    `json:"trace_id"`
+	SpanID   string    `json:"span_id"`
+	ParentID string    `json:"parent_id,omitempty"`
+	Start    time.Time `json:"start"`
+	DurUS    int64     `json:"dur_us"`
+	Err      bool      `json:"err,omitempty"`
+}
+
+// SnapshotJSON is the GET /debug/traces payload.
+type SnapshotJSON struct {
+	Enabled         bool             `json:"enabled"`
+	SlowThresholdMS float64          `json:"slow_threshold_ms"`
+	RingCapacity    int              `json:"ring_capacity"`
+	RootsTotal      int64            `json:"roots_total"`
+	RootsRetained   int64            `json:"roots_retained"`
+	Traces          []TraceJSON      `json:"traces"`
+	RecentSpans     []RecentSpanJSON `json:"recent_spans,omitempty"`
+}
+
+// Snapshot assembles the exportable state: retained traces newest
+// first, plus (optionally) the recent-span rings.
+func (tr *Tracer) Snapshot(includeRecent bool) SnapshotJSON {
+	snap := SnapshotJSON{
+		Enabled:         Enabled(),
+		SlowThresholdMS: float64(tr.slowFloor.Load()) / float64(time.Millisecond),
+		RingCapacity:    int(tr.ringCap.Load()),
+		RootsTotal:      tr.rootsTotal.Load(),
+		RootsRetained:   tr.rootsRetained.Load(),
+		Traces:          []TraceJSON{},
+	}
+	for _, root := range tr.Retained() {
+		snap.Traces = append(snap.Traces, TraceJSON{
+			TraceID: root.TraceID(),
+			Name:    root.name,
+			Reason:  root.reason,
+			DurUS:   root.flight.Microseconds(),
+			Spans:   root.treeSize(),
+			Root:    root.json(),
+		})
+	}
+	if includeRecent {
+		for i := range tr.shards {
+			sh := &tr.shards[i]
+			sh.mu.Lock()
+			count := sh.n
+			if count > recentPerShard {
+				count = recentPerShard
+			}
+			for j := uint64(0); j < count; j++ {
+				rec := &sh.buf[j]
+				rj := RecentSpanJSON{
+					Name:    rec.name,
+					TraceID: hex128(rec.traceHi, rec.traceLo),
+					SpanID:  hex64(rec.id),
+					Start:   rec.start,
+					DurUS:   rec.dur.Microseconds(),
+					Err:     rec.err,
+				}
+				if rec.parent != 0 {
+					rj.ParentID = hex64(rec.parent)
+				}
+				snap.RecentSpans = append(snap.RecentSpans, rj)
+			}
+			sh.mu.Unlock()
+		}
+	}
+	return snap
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (tr *Tracer) WriteJSON(w io.Writer, includeRecent bool) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tr.Snapshot(includeRecent))
+}
+
+// json renders the span subtree. Retained traces are complete (every
+// span ended before finishTrace), but a snapshot can also catch a
+// straggler child appended after retention — rendered with Open set.
+func (s *Span) json() SpanJSON {
+	s.mu.Lock()
+	sj := SpanJSON{
+		Name:   s.name,
+		SpanID: hex64(s.id),
+		Start:  s.start,
+		Open:   !s.ended,
+		Err:    s.failed,
+	}
+	if s.parent != 0 {
+		sj.ParentID = hex64(s.parent)
+	}
+	if s.ended && !s.end.IsZero() && !s.start.IsZero() {
+		sj.DurUS = s.end.Sub(s.start).Microseconds()
+	}
+	if len(s.attrs) > 0 {
+		sj.Attrs = make(map[string]any, len(s.attrs))
+		for _, a := range s.attrs {
+			sj.Attrs[a.Key] = a.value()
+		}
+	}
+	children := make([]*Span, len(s.children))
+	copy(children, s.children)
+	s.mu.Unlock()
+	for _, c := range children {
+		sj.Children = append(sj.Children, c.json())
+	}
+	return sj
+}
+
+// treeSize counts the spans in the subtree rooted at s.
+func (s *Span) treeSize() int {
+	s.mu.Lock()
+	children := make([]*Span, len(s.children))
+	copy(children, s.children)
+	s.mu.Unlock()
+	n := 1
+	for _, c := range children {
+		n += c.treeSize()
+	}
+	return n
+}
+
+// hex64 renders an id as 16 lowercase hex digits.
+func hex64(v uint64) string {
+	const digits = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = digits[v&0xf]
+		v >>= 4
+	}
+	return string(b[:])
+}
+
+// hex128 renders a 128-bit trace id as 32 hex digits.
+func hex128(hi, lo uint64) string { return hex64(hi) + hex64(lo) }

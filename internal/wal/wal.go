@@ -28,6 +28,7 @@
 package wal
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -39,6 +40,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // Segment header: magic plus a format version byte.
@@ -528,7 +530,23 @@ func (l *Log) truncateFrom(idx int, size int64, idxs []int, stats *ReplayStats) 
 // record will survive a process crash (and a power failure, when
 // Options.Fsync is set). The live segment rolls once it exceeds
 // Options.SegmentSize.
-func (l *Log) Append(rec Record) error {
+func (l *Log) Append(rec Record) error { return l.append(rec, nil) }
+
+// AppendCtx is Append carrying trace context: when ctx holds a span,
+// the record's append (and its fsync, separately — the usual latency
+// culprit) appear as child spans in the batch's flight trace.
+func (l *Log) AppendCtx(ctx context.Context, rec Record) error {
+	sp := trace.FromContext(ctx).Child("wal.append")
+	err := l.append(rec, sp)
+	if err != nil {
+		sp.Error(err.Error())
+	}
+	sp.End()
+	return err
+}
+
+// append is the shared body; sp may be nil.
+func (l *Log) append(rec Record, sp *trace.Span) error {
 	var t0 time.Time
 	if l.opts.Metrics != nil {
 		t0 = obs.NowIfEnabled()
@@ -576,10 +594,14 @@ func (l *Log) Append(rec Record) error {
 		if l.opts.Metrics != nil {
 			s0 = obs.NowIfEnabled()
 		}
+		fsp := sp.Child("wal.fsync")
 		if err := l.cur.Sync(); err != nil {
+			fsp.Error(err.Error())
+			fsp.End()
 			backOut()
 			return err
 		}
+		fsp.End()
 		if l.opts.Metrics != nil {
 			l.opts.Metrics.FsyncSeconds.ObserveSince(s0)
 		}
@@ -598,6 +620,7 @@ func (l *Log) Append(rec Record) error {
 		}
 	}
 	l.appendSeq++
+	sp.SetInt("bytes", int64(len(frame)))
 	if m := l.opts.Metrics; m != nil {
 		m.Appends.Inc()
 		m.AppendBytes.Add(int64(len(frame)))

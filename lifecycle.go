@@ -1,0 +1,185 @@
+// Batch lifecycle attribution: the part of a batch's flight that
+// happens *after* AddBatch returns. Acknowledgement only means the
+// batch is logged and routed — inference rounds are still running, and
+// readers will not see the triples until a view at or past the batch's
+// store version is installed. The lifecycle watcher pins both tails to
+// the batch's trace as asynchronous child spans:
+//
+//	infer.rounds — batch acknowledgement to the next engine quiescence
+//	view.visible — batch acknowledgement to the first read-session view
+//	               that includes the batch's explicit triples
+//
+// Quiescence is global (the engine drains as a whole), so infer.rounds
+// measures "by when had this batch's consequences certainly landed",
+// not the batch's private inference cost — under concurrent ingest the
+// drain the batch joins covers later batches too. That is the number
+// view staleness is made of, which is what the trace is for.
+//
+// The watcher is a single lazily-started goroutine polling at
+// millisecond grain while flights are pending; view visibility is also
+// settled event-style by refreshView. Inert unless tracing produced
+// spans to track.
+package slider
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// lifecycleGrain is the watcher's polling period: fine enough that
+// span ends attribute sub-ViewMaxAge latencies, coarse enough that a
+// pending flight costs two atomic loads per tick.
+const lifecycleGrain = 2 * time.Millisecond
+
+// lifecycleSlack bounds how long a flight's tail spans stay open when
+// quiescence or visibility is never observed (no queries arrive, so no
+// view is ever refreshed): the spans end with an "outcome" attribute
+// instead of dangling and holding their trace open forever.
+const lifecycleSlack = 2 * time.Second
+
+// flightTail is one tracked batch: its two open tail spans and the
+// store version whose visibility settles the second.
+type flightTail struct {
+	infer    *trace.Span
+	vis      *trace.Span
+	version  uint64
+	deadline time.Time
+}
+
+// lifecycle owns the pending flight tails and the watcher goroutine.
+type lifecycle struct {
+	r *Reasoner
+
+	mu      sync.Mutex
+	pending []*flightTail
+	running bool
+	closed  bool
+}
+
+// track registers a just-acknowledged batch's asynchronous tail under
+// its span. Called from the ingest path only when the batch is traced.
+func (lc *lifecycle) track(parent *trace.Span, version uint64) {
+	deadline := time.Now().Add(lifecycleSlack + lc.r.viewMaxAge)
+	ft := &flightTail{
+		infer:    parent.Child("infer.rounds"),
+		vis:      parent.Child("view.visible"),
+		version:  version,
+		deadline: deadline,
+	}
+	ft.vis.SetInt("version", int64(version))
+	lc.mu.Lock()
+	if lc.closed {
+		lc.mu.Unlock()
+		ft.settle(true, true, "shutdown")
+		return
+	}
+	lc.pending = append(lc.pending, ft)
+	if !lc.running {
+		lc.running = true
+		go lc.watch()
+	}
+	lc.mu.Unlock()
+}
+
+// notifyView settles view-visibility spans for batches at or before
+// the just-installed view's version. Called by refreshView after the
+// install, with no reasoner locks held, so the precise install moment
+// is what the spans record (the watcher would add up to a grain of
+// skew).
+func (lc *lifecycle) notifyView(version uint64) {
+	if !trace.Enabled() {
+		return
+	}
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	keep := lc.pending[:0]
+	for _, ft := range lc.pending {
+		if ft.vis != nil && version >= ft.version {
+			ft.vis.End()
+			ft.vis = nil
+		}
+		if ft.infer != nil || ft.vis != nil {
+			keep = append(keep, ft)
+		}
+	}
+	clearTail(lc.pending, len(keep))
+	lc.pending = keep
+}
+
+// watch polls pending tails until none remain, then exits; track
+// restarts it for the next traced batch. Engine quiescence and the
+// installed view version are each one atomic-ish read, so an idle
+// pending list costs nothing measurable per grain.
+func (lc *lifecycle) watch() {
+	ticker := time.NewTicker(lifecycleGrain)
+	defer ticker.Stop()
+	for range ticker.C {
+		lc.mu.Lock()
+		if lc.closed || len(lc.pending) == 0 {
+			lc.running = false
+			lc.mu.Unlock()
+			return
+		}
+		quiescent := lc.r.engine.Quiescent()
+		viewV := lc.r.currentViewVersion()
+		now := time.Now()
+		keep := lc.pending[:0]
+		for _, ft := range lc.pending {
+			if ft.infer != nil && quiescent {
+				ft.infer.End()
+				ft.infer = nil
+			}
+			if ft.vis != nil && viewV >= ft.version {
+				ft.vis.End()
+				ft.vis = nil
+			}
+			if now.After(ft.deadline) {
+				ft.settle(ft.infer != nil, ft.vis != nil, "timeout")
+				ft.infer, ft.vis = nil, nil
+			}
+			if ft.infer != nil || ft.vis != nil {
+				keep = append(keep, ft)
+			}
+		}
+		clearTail(lc.pending, len(keep))
+		lc.pending = keep
+		lc.mu.Unlock()
+	}
+}
+
+// close force-settles every pending tail (outcome "shutdown") so
+// traces complete and the watcher exits. Reasoner.Close calls it
+// before tearing the engine down.
+func (lc *lifecycle) close() {
+	lc.mu.Lock()
+	lc.closed = true
+	pending := lc.pending
+	lc.pending = nil
+	lc.mu.Unlock()
+	for _, ft := range pending {
+		ft.settle(ft.infer != nil, ft.vis != nil, "shutdown")
+	}
+}
+
+// settle ends the selected tail spans with an outcome attribute — used
+// when the watcher gives up rather than observes the real event.
+func (ft *flightTail) settle(infer, vis bool, outcome string) {
+	if infer && ft.infer != nil {
+		ft.infer.SetStr("outcome", outcome)
+		ft.infer.End()
+	}
+	if vis && ft.vis != nil {
+		ft.vis.SetStr("outcome", outcome)
+		ft.vis.End()
+	}
+}
+
+// clearTail nils the dropped suffix after an in-place filter so the
+// backing array does not pin settled tails.
+func clearTail(s []*flightTail, from int) {
+	for i := from; i < len(s); i++ {
+		s[i] = nil
+	}
+}

@@ -9,11 +9,43 @@
 package slider
 
 import (
+	"runtime"
+	"runtime/debug"
+	"sync"
 	"time"
 
 	"repro/internal/obs"
 	"repro/internal/query"
 )
+
+// Build identifies the running binary: the main module version, the Go
+// toolchain that compiled it and the VCS revision, as stamped by the
+// linker. Fields read "unknown" when the binary was built outside
+// module/VCS context (go test, plain go build in a dirty tree).
+type Build struct {
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+	Revision  string `json:"revision"`
+}
+
+// BuildInfo returns the binary's build identification, read once from
+// runtime/debug. The serving layer surfaces it as the
+// slider_build_info gauge and the /stats build block, so a scrape can
+// tell which binary answered.
+var BuildInfo = sync.OnceValue(func() Build {
+	b := Build{Version: "unknown", GoVersion: runtime.Version(), Revision: "unknown"}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			b.Version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				b.Revision = s.Value
+			}
+		}
+	}
+	return b
+})
 
 // Metrics returns the reasoner's metrics registry. The serving layer
 // scrapes it; applications may register their own instruments or
@@ -137,6 +169,12 @@ func (r *Reasoner) registerBridges() {
 	reg.GaugeFunc("slider_view_staleness_seconds",
 		"Age of the shared read-session snapshot (zero before the first capture).",
 		func() float64 { return r.ViewStaleness().Seconds() })
+
+	b := BuildInfo()
+	reg.GaugeFunc("slider_build_info",
+		"Build identification; constant 1 — the labels carry the payload.",
+		func() float64 { return 1 },
+		"version", b.Version, "goversion", b.GoVersion, "revision", b.Revision)
 }
 
 // ViewStaleness reports how old the cached read-session snapshot is —

@@ -45,6 +45,7 @@ import (
 	"repro/internal/rules"
 	"repro/internal/snapshot"
 	"repro/internal/store"
+	"repro/internal/trace"
 	"repro/internal/turtle"
 	"repro/internal/wal"
 )
@@ -219,6 +220,11 @@ type Reasoner struct {
 	// obs holds the reasoner's metrics registry and hot-path
 	// instruments. Always non-nil; see metrics.go.
 	obs *rmetrics
+
+	// lc attributes the asynchronous tail of a traced batch — inference
+	// quiescence and view visibility — back to the batch's flight trace.
+	// See lifecycle.go; inert while tracing is disabled.
+	lc lifecycle
 }
 
 // New builds a Reasoner for the fragment with the given options. If the
@@ -297,6 +303,7 @@ func newReasoner(frag Fragment, dict *rdf.Dictionary, st *store.Store, cfg confi
 		frag: frag,
 		obs:  newRMetrics(reg),
 	}
+	r.lc.r = r
 	r.registerBridges()
 	return r
 }
@@ -324,7 +331,7 @@ func (r *Reasoner) Add(st Statement) (bool, error) {
 	}
 	t := r.dict.EncodeStatement(st)
 	if r.dur != nil {
-		n, err := r.addTriples([]rdf.Triple{t})
+		n, err := r.addTriples(context.Background(), []rdf.Triple{t})
 		return n > 0, err
 	}
 	return r.AddTriple(t), nil
@@ -334,7 +341,7 @@ func (r *Reasoner) Add(st Statement) (bool, error) {
 // reasoner's Dictionary).
 func (r *Reasoner) AddTriple(t Triple) bool {
 	if r.dur != nil {
-		n, _ := r.addTriples([]rdf.Triple{t})
+		n, _ := r.addTriples(context.Background(), []rdf.Triple{t})
 		return n > 0
 	}
 	r.markMu.RLock()
@@ -355,6 +362,15 @@ func (r *Reasoner) AddTriple(t Triple) bool {
 // path LoadNTriples and LoadTurtle use. If any statement is invalid RDF
 // an error is returned and nothing is added.
 func (r *Reasoner) AddBatch(sts []Statement) (int, error) {
+	return r.AddBatchCtx(context.Background(), sts)
+}
+
+// AddBatchCtx is AddBatch carrying trace context: when ctx holds a
+// span (the serving layer's coalesced-flight root, say), the batch's
+// whole flight — WAL append and fsync, store insertion, rule routing,
+// then asynchronously inference quiescence and view visibility — is
+// recorded as child spans of it.
+func (r *Reasoner) AddBatchCtx(ctx context.Context, sts []Statement) (int, error) {
 	for _, st := range sts {
 		if !st.Valid() {
 			return 0, fmt.Errorf("slider: invalid statement %v", st)
@@ -364,7 +380,7 @@ func (r *Reasoner) AddBatch(sts []Statement) (int, error) {
 	for i, st := range sts {
 		ts[i] = r.dict.EncodeStatement(st)
 	}
-	return r.addTriples(ts)
+	return r.addTriples(ctx, ts)
 }
 
 // AddTriples streams a batch of already-encoded triples (IDs must come
@@ -372,7 +388,7 @@ func (r *Reasoner) AddBatch(sts []Statement) (int, error) {
 // durable reasoner a logging failure makes the whole batch a no-op; the
 // error is available through AddBatch or Wait.
 func (r *Reasoner) AddTriples(ts []Triple) int {
-	n, _ := r.addTriples(ts)
+	n, _ := r.addTriples(context.Background(), ts)
 	return n
 }
 
@@ -381,21 +397,26 @@ func (r *Reasoner) AddTriples(ts []Triple) int {
 // write-ahead log before the engine sees it, so an acknowledged batch is
 // recoverable. The log append and engine handoff happen under one lock —
 // replay order is exactly application order.
-func (r *Reasoner) addTriples(ts []rdf.Triple) (int, error) {
+func (r *Reasoner) addTriples(ctx context.Context, ts []rdf.Triple) (int, error) {
+	ctx, sp := trace.Start(ctx, "ingest.batch")
+	sp.SetInt("triples", int64(len(ts)))
+	defer sp.End()
 	if r.dur == nil || len(ts) == 0 {
-		return r.applyAssert(ts), nil
+		return r.applyAssert(ctx, ts), nil
 	}
 	r.dur.mu.Lock()
 	defer r.dur.mu.Unlock()
 	if err := r.dur.getErr(); err != nil {
+		sp.Error(err.Error())
 		return 0, err
 	}
 	rec := wal.Record{Op: wal.OpAssert, Terms: r.dur.termDelta(r.dict), Triples: ts}
-	if err := r.dur.log.Append(rec); err != nil {
+	if err := r.dur.log.AppendCtx(ctx, rec); err != nil {
 		r.dur.setErr(err)
+		sp.Error(err.Error())
 		return 0, err
 	}
-	n := r.applyAssert(ts)
+	n := r.applyAssert(ctx, ts)
 	r.maybeCheckpointLocked()
 	return n, nil
 }
@@ -406,11 +427,11 @@ func (r *Reasoner) addTriples(ts []rdf.Triple) (int, error) {
 // asynchronous inference, and axiom-hood must not depend on timing
 // (replay after a crash would reproduce a different interleaving and
 // hence a different explicit set).
-func (r *Reasoner) applyAssert(ts []rdf.Triple) int {
+func (r *Reasoner) applyAssert(ctx context.Context, ts []rdf.Triple) int {
 	t0 := obs.NowIfEnabled()
 	r.markMu.RLock()
 	defer r.markMu.RUnlock()
-	fresh := r.engine.AddBatch(ts)
+	fresh := r.engine.AddBatchCtx(ctx, ts)
 	if r.explicit != nil && len(ts) > 0 {
 		r.explicitMu.Lock()
 		r.explicit.AddBatch(ts)
@@ -421,6 +442,12 @@ func (r *Reasoner) applyAssert(ts []rdf.Triple) int {
 	m.ingestBatch.Observe(float64(len(ts)))
 	m.ingestBatches.Inc()
 	m.ingestTriples.Add(int64(len(ts)))
+	// Hand the asynchronous tail — inference rounds still running, the
+	// view refresh that will make this batch visible — to the lifecycle
+	// watcher, as children of the batch's span.
+	if sp := trace.FromContext(ctx); sp != nil {
+		r.lc.track(sp, r.store.Version())
+	}
 	return len(fresh)
 }
 
@@ -650,6 +677,9 @@ func (r *Reasoner) Err() error {
 // log, so a clean shutdown recovers without replaying any tail. The
 // reasoner must not be used afterwards.
 func (r *Reasoner) Close(ctx context.Context) error {
+	// Settle pending batch-lifecycle spans first so their traces
+	// complete (and the watcher goroutine exits) before teardown.
+	r.lc.close()
 	// Drop the cached read-session view: open sessions keep their own
 	// references and stay readable (a frozen view is pure data), but the
 	// cache slot must not pin the store's journals past shutdown.
@@ -776,6 +806,27 @@ func (r *Reasoner) Select(text string) ([]Binding, error) {
 // pattern API re-exported below).
 func (r *Reasoner) SelectQuery(q query.Query) ([]Binding, error) {
 	return query.ExecuteM(r.store, r.dict, q, r.obs.query)
+}
+
+// Explain is a query's execution profile: the join order the planner
+// chose (vs the written order), per-pattern estimated vs actual rows,
+// whether the sorted-extent galloping path ran, and per-stage timings.
+type Explain = query.Explain
+
+// SelectExplain is Select returning, alongside the solutions, the
+// execution profile — `slider -query ... -explain` and the serving
+// layer's ?explain=1 are built on it.
+func (r *Reasoner) SelectExplain(text string) ([]Binding, *Explain, error) {
+	q, err := query.ParseSelect(text)
+	if err != nil {
+		return nil, nil, err
+	}
+	ex := &query.Explain{}
+	rows, err := query.ExecuteExplain(context.Background(), r.store, r.dict, q, r.obs.query, ex)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rows, ex, nil
 }
 
 // Export writes every triple in the store (explicit plus inferred) to w

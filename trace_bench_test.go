@@ -1,0 +1,40 @@
+// Guard benchmark for flight-path tracing: the same AddBatch ingest
+// with tracing enabled (the default) and with trace.Disabled(). The
+// enabled run pays for real spans — ingest.batch roots, store/route
+// children and the lifecycle watcher — so the budget is looser than
+// the obs guard's, but the pair must stay within a few percent (<3%):
+// span creation is a handful of small allocations per *batch*, never
+// per triple, and the disabled path is one atomic flag load. Compare
+// with:
+//
+//	go test -run=NONE -bench=BenchmarkIngestTrace -count=5
+package slider_test
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func BenchmarkIngestTraceEnabled(b *testing.B) {
+	defer trace.Default.Reset()
+	const total, batch = 20000, 256
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ingestOnce(b, total, batch)
+	}
+	b.ReportMetric(float64(total), "stmts/op")
+}
+
+func BenchmarkIngestTraceDisabled(b *testing.B) {
+	restore := trace.Disabled()
+	defer restore()
+	const total, batch = 20000, 256
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ingestOnce(b, total, batch)
+	}
+	b.ReportMetric(float64(total), "stmts/op")
+}

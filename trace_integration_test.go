@@ -1,0 +1,83 @@
+package slider
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// TestDurableIngestTraceTree drives a durable AddBatch through the
+// public traced entry point and asserts the retained flight carries
+// the full write-path span tree — WAL append with its fsync, store
+// insertion, rule routing and the asynchronous lifecycle tails — all
+// under one trace id.
+func TestDurableIngestTraceTree(t *testing.T) {
+	old := trace.Default
+	trace.Default = trace.New()
+	trace.Default.SetSlowThreshold(0) // retain everything
+	t.Cleanup(func() { trace.Default = old })
+
+	dir := t.TempDir()
+	ctx := context.Background()
+	r, err := Open(dir, RhoDF, WithWorkers(2), WithFsync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close(ctx)
+
+	sts := []Statement{
+		NewStatement(ex("Cat"), IRI(SubClassOf), ex("Animal")),
+		NewStatement(ex("felix"), IRI(Type), ex("Cat")),
+	}
+	sp := trace.StartRoot("ingest.flight")
+	if _, err := r.AddBatchCtx(trace.ContextWith(ctx, sp), sts); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Take a read session so the view refresh settles view.visible.
+	v, err := r.View(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Close()
+	sp.End()
+
+	var got map[string]bool
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		snap := trace.Default.Snapshot(false)
+		for _, tr := range snap.Traces {
+			if tr.Name != "ingest.flight" {
+				continue
+			}
+			got = map[string]bool{}
+			var walk func(s trace.SpanJSON)
+			walk = func(s trace.SpanJSON) {
+				got[s.Name] = true
+				for _, c := range s.Children {
+					walk(c)
+				}
+			}
+			walk(tr.Root)
+		}
+		if got != nil && got["view.visible"] && got["infer.rounds"] {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got == nil {
+		t.Fatal("no ingest.flight trace retained")
+	}
+	for _, want := range []string{
+		"ingest.batch", "wal.append", "wal.fsync",
+		"store.addbatch", "engine.route", "infer.rounds", "view.visible",
+	} {
+		if !got[want] {
+			t.Fatalf("trace lacks span %q; saw %v", want, got)
+		}
+	}
+}

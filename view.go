@@ -27,6 +27,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 // DefaultViewMaxAge is how stale a shared read-session snapshot may get
@@ -111,10 +112,18 @@ func (r *Reasoner) refreshView(ctx context.Context) (*View, error) {
 	}
 	r.viewMu.Unlock()
 	t0 := obs.NowIfEnabled()
+	// The refresh span lands in the trace of whichever flight paid for
+	// the capture (typically a query request's) — the quiesce-and-freeze
+	// is the serving layer's main tail-latency source.
+	_, sp := trace.Start(ctx, "view.refresh")
 	sv, version, _, err := r.freezeClosure(ctx)
 	if err != nil {
+		sp.Error(err.Error())
+		sp.End()
 		return nil, err
 	}
+	sp.SetInt("version", int64(version))
+	sp.End()
 	r.obs.viewRefresh.ObserveSince(t0)
 	ns := &sharedView{sv: sv, version: version, born: time.Now()}
 	ns.refs.Store(2) // the cache slot + the returned session
@@ -125,7 +134,22 @@ func (r *Reasoner) refreshView(ctx context.Context) (*View, error) {
 	if old != nil {
 		old.unref()
 	}
+	// Batches at or before this version are now visible to read
+	// sessions: settle their pending view-visibility spans.
+	r.lc.notifyView(version)
 	return &View{r: r, shared: ns}, nil
+}
+
+// currentViewVersion reports the store version of the cached shared
+// view (0 when none is installed). Used by the lifecycle watcher to
+// decide whether a batch's triples have become visible to readers.
+func (r *Reasoner) currentViewVersion() uint64 {
+	r.viewMu.Lock()
+	defer r.viewMu.Unlock()
+	if r.viewCur == nil {
+		return 0
+	}
+	return r.viewCur.version
 }
 
 // freezeClosure quiesces inference and captures a copy-on-write view of
@@ -220,4 +244,12 @@ func (v *View) SelectFunc(text string, emit func(Binding) bool) error {
 // SelectQueryFunc is SelectFunc for an already-built query.
 func (v *View) SelectQueryFunc(q query.Query, emit func(Binding) bool) error {
 	return query.ExecuteFuncM(v.shared.sv, v.r.dict, q, v.r.obs.query, emit)
+}
+
+// SelectQueryFuncExplain is SelectQueryFunc carrying trace context
+// (the planner and executor record spans into it) and, when ex is
+// non-nil, filling it with the execution profile. The serving layer's
+// ?explain=1 is built on it.
+func (v *View) SelectQueryFuncExplain(ctx context.Context, q query.Query, ex *query.Explain, emit func(Binding) bool) error {
+	return query.ExecuteFuncExplain(ctx, v.shared.sv, v.r.dict, q, v.r.obs.query, ex, emit)
 }

@@ -71,6 +71,13 @@ func main() {
 		serveWriters = flag.Int("servewriters", 4, "concurrent ingest writers for -serve")
 		serveCell    = flag.Duration("servecell", 3*time.Second, "measurement duration per -serve cell")
 
+		torture      = flag.Bool("torture", false, "run the disk-fault torture harness: seeded fault schedules under concurrent ingest/retract/checkpoint load, asserting the degraded-mode contract (exits nonzero on any violation)")
+		tortureOut   = flag.String("tortureout", "BENCH_torture.json", "output path for the -torture JSON report")
+		tortureN     = flag.Int("tortureschedules", 4, "seeded schedules for -torture")
+		tortureSeed  = flag.Int64("tortureseed", 1, "base seed for -torture (schedule i uses seed+i)")
+		tortureFlts  = flag.Int("torturefaults", 4, "fault rounds per -torture schedule")
+		tortureWrtrs = flag.Int("torturewriters", 4, "concurrent ingest writers per -torture schedule")
+
 		traceOn = flag.Bool("trace", false, "leave flight-path tracing on while benchmarking (default off for clean baselines)")
 	)
 	flag.Parse()
@@ -87,7 +94,7 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), *limit)
 	defer cancel()
 
-	if !*table1 && !*fig2 && !*fig3 && !*sweep && !*ingest && !*walBench && !*ckptBench && !*serve && !*retractBench && !*joinBench {
+	if !*table1 && !*fig2 && !*fig3 && !*sweep && !*ingest && !*walBench && !*ckptBench && !*serve && !*retractBench && !*joinBench && !*torture {
 		*table1 = true
 	}
 
@@ -254,6 +261,33 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println("wrote", *ckptOut)
+	}
+	if *torture {
+		rep, err := bench.Torture(ctx, bench.TortureConfig{
+			Schedules: *tortureN,
+			Writers:   *tortureWrtrs,
+			Faults:    *tortureFlts,
+			Seed:      *tortureSeed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		bench.WriteTortureTable(os.Stdout, rep)
+		f, err := os.Create(*tortureOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := bench.WriteTortureJSON(f, rep); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *tortureOut)
+		if rep.Violations > 0 {
+			fatal(fmt.Errorf("torture: %d contract violations", rep.Violations))
+		}
 	}
 }
 

@@ -64,6 +64,7 @@ func main() {
 		traceSlow    = flag.Duration("trace-slow", 25*time.Millisecond, "floor for the flight recorder's slow-trace threshold (adaptive per span family above it)")
 		traceRing    = flag.Int("trace-ring", 128, "retained slow/error traces at GET /debug/traces")
 		noTrace      = flag.Bool("no-trace", false, "disable request/flight tracing entirely")
+		diskMinFree  = flag.Int64("disk-min-free", 0, "free-space floor in bytes for the KB filesystem: warn below 2x, enter read-only degraded mode below it (0 = disabled; durable KBs only)")
 	)
 	flag.Parse()
 
@@ -81,6 +82,10 @@ func main() {
 	opts := []slider.Option{
 		slider.WithRetraction(),
 		slider.WithViewMaxAge(*viewMaxAge),
+		slider.WithLogger(logger),
+	}
+	if *diskMinFree > 0 {
+		opts = append(opts, slider.WithDiskMinFree(*diskMinFree))
 	}
 	if *bufSize > 0 {
 		opts = append(opts, slider.WithBufferSize(*bufSize))
@@ -127,7 +132,16 @@ func main() {
 		RetractTimeout:   *retractTO,
 		Logger:           reqLogger,
 	})
-	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	// Header and idle timeouts bound how long a connection may sit
+	// half-open (slowloris defense); request bodies and long-running
+	// queries are bounded separately by the server's own budgets, so no
+	// blanket ReadTimeout/WriteTimeout that would cut streamed NDJSON off.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 
 	// Opt-in debug listener, separate from the serving address so
 	// profiling endpoints are never reachable through the public port:
@@ -140,11 +154,17 @@ func main() {
 		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		dmux.Handle("/debug/vars", expvar.Handler())
+		dbgSrv := &http.Server{
+			Addr:              *debugAddr,
+			Handler:           dmux,
+			ReadHeaderTimeout: 10 * time.Second,
+			IdleTimeout:       2 * time.Minute,
+		}
 		go func() {
 			if !*quiet {
 				logger.Info("debug server listening", "addr", *debugAddr)
 			}
-			if derr := http.ListenAndServe(*debugAddr, dmux); derr != nil {
+			if derr := dbgSrv.ListenAndServe(); derr != nil {
 				logger.Error("debug server failed", "err", derr)
 			}
 		}()

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"iter"
+	"log/slog"
 	"sync"
 	"time"
 
@@ -25,6 +26,7 @@ import (
 	"repro/internal/rdf"
 	"repro/internal/snapshot"
 	"repro/internal/store"
+	"repro/internal/vfs"
 	"repro/internal/wal"
 )
 
@@ -53,6 +55,10 @@ func Open(dir string, frag Fragment, opts ...Option) (*Reasoner, error) {
 type durability struct {
 	log             *wal.Log
 	checkpointEvery int64 // <0: never checkpoint automatically
+	fs              vfs.FS
+	dir             string
+	logger          *slog.Logger
+	diskMinFree     int64 // read-only floor in free bytes; 0 disables
 
 	// mu serializes log appends with their engine handoff, and excludes
 	// both while a checkpoint *marks* its cut of the store — the brief
@@ -61,15 +67,26 @@ type durability struct {
 	// taken before explicitMu wherever both are held.
 	mu sync.Mutex
 
-	// errMu guards err on its own so read-only paths (Wait, Err) never
-	// block behind ingest holding mu.
+	// health is the degradation state machine (see degraded.go): which
+	// faults refuse writes, and the recovery loop's progress.
+	health healthState
+	// stopMon, closed by closeDurable, stops the recovery loop and the
+	// disk-watermark monitor.
+	stopMon chan struct{}
+
+	// errMu guards the fields below on their own so read-only paths
+	// (Wait, Err) never block behind ingest holding mu.
 	errMu sync.Mutex
-	err   error // first log/checkpoint failure; poisons further writes
-	// bgErr mirrors err when the failure originated in checkpointing
-	// rather than the write path — the distinction the serving layer's
-	// health endpoint reports as "degraded" (reads still work, recovery
-	// would replay a longer tail) versus "failed".
+	err   error // terminal close-path failure; poisons further writes
+	// bgErr is the latest background-checkpoint failure — the serving
+	// layer reports it as "degraded" while writes still work; cleared
+	// when a checkpoint succeeds or recovery completes.
 	bgErr error
+	// ckptFailures counts consecutive background-checkpoint failures;
+	// ckptNextTry is when the next attempt may run (capped exponential
+	// backoff, see ckptFault). Past ckptMaxRetries the reasoner degrades.
+	ckptFailures int
+	ckptNextTry  time.Time
 
 	// Dictionary high-water marks: how many terms per kind have been
 	// written to the log (or were present in the loaded checkpoint).
@@ -95,10 +112,15 @@ func openDurable(frag Fragment, cfg config) (*Reasoner, error) {
 	// same registry through the store, engine bridges and facade.
 	reg := obs.NewRegistry()
 	cfg.reg = reg
+	fs := cfg.fs
+	if fs == nil {
+		fs = vfs.OS
+	}
 	l, err := wal.Open(cfg.durableDir, wal.Options{
 		SegmentSize: cfg.walSegmentSize,
 		Fsync:       cfg.walFsync,
 		Metrics:     wal.NewMetrics(reg),
+		FS:          fs,
 	})
 	if err != nil {
 		return nil, err
@@ -109,6 +131,15 @@ func openDurable(frag Fragment, cfg config) (*Reasoner, error) {
 	reg.GaugeFunc("slider_wal_checkpoint_bytes",
 		"Size of the current checkpoint's payload files.",
 		func() float64 { return float64(l.CheckpointBytes()) })
+	reg.GaugeFunc("slider_disk_free_bytes",
+		"Free bytes on the filesystem holding the knowledge base (-1 when unknown).",
+		func() float64 {
+			free, err := fs.FreeSpace(cfg.durableDir)
+			if err != nil {
+				return -1
+			}
+			return float64(free)
+		})
 	// A checkpoint stores a materialised closure: reopening under
 	// different rules would silently mix fragments and re-persist the
 	// hybrid. Record the fragment on first open, refuse mismatches.
@@ -155,8 +186,23 @@ func openDurable(frag Fragment, cfg config) (*Reasoner, error) {
 	if every == 0 {
 		every = DefaultCheckpointEvery
 	}
-	d := &durability{log: l, checkpointEvery: every}
+	logger := cfg.logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	d := &durability{
+		log:             l,
+		checkpointEvery: every,
+		fs:              fs,
+		dir:             cfg.durableDir,
+		logger:          logger,
+		diskMinFree:     cfg.diskMinFree,
+		stopMon:         make(chan struct{}),
+	}
 	d.hwIRIs, d.hwBlanks, d.hwLiterals = dict.KindCounts()
+	if d.diskMinFree > 0 {
+		go d.monitorDisk()
+	}
 	r.dur = d
 	return r, nil
 }
@@ -222,6 +268,20 @@ func (d *durability) termDelta(dict *rdf.Dictionary) []wal.TermEntry {
 		return true
 	})
 	return delta
+}
+
+// termMarks snapshots the term high-water marks before an append;
+// rewindTerms restores them when that append is rejected. The rejected
+// record's term delta was never logged (the log backs the frame out),
+// so those definitions must ride along with the next successful record
+// — leaving the marks advanced would make replay meet triple IDs whose
+// terms are in no record. Both called with d.mu held.
+func (d *durability) termMarks() (iris, blanks, literals int) {
+	return d.hwIRIs, d.hwBlanks, d.hwLiterals
+}
+
+func (d *durability) rewindTerms(iris, blanks, literals int) {
+	d.hwIRIs, d.hwBlanks, d.hwLiterals = iris, blanks, literals
 }
 
 // ckptCapture is the output of a checkpoint's mark phase: a consistent
@@ -292,8 +352,7 @@ func (r *Reasoner) markCheckpointLocked(ctx context.Context) (*ckptCapture, erro
 	}
 	mark, err := d.log.BeginCheckpoint()
 	if err != nil {
-		d.setErr(err)
-		d.setBgErr(err)
+		d.ckptFault(err)
 		return nil, err
 	}
 	defer r.obs.ckptMark.ObserveSince(t0)
@@ -337,8 +396,9 @@ func (r *Reasoner) streamCheckpoint(cap *ckptCapture) error {
 	cap.store.Release()
 	cap.explicit.Release()
 	if err != nil {
-		d.setErr(err)
-		d.setBgErr(err)
+		d.ckptFault(err)
+	} else {
+		d.ckptSucceeded()
 	}
 	return err
 }
@@ -394,6 +454,16 @@ func (r *Reasoner) maybeCheckpointLocked() {
 	if d.checkpointEvery <= 0 || d.ckptDone != nil || d.getErr() != nil {
 		return
 	}
+	// Back off after failures: retrying every append would hammer a
+	// faulting disk; past the retry budget ckptFault degraded us and the
+	// getErr gate above already refused.
+	d.errMu.Lock()
+	retrying := d.ckptFailures > 0
+	next := d.ckptNextTry
+	d.errMu.Unlock()
+	if retrying && time.Now().Before(next) {
+		return
+	}
 	// The threshold is a floor: once the store outgrows it, wait for the
 	// live log to reach half the last checkpoint's size before paying
 	// for the next full rewrite. This keeps total checkpoint I/O linear
@@ -410,14 +480,22 @@ func (r *Reasoner) maybeCheckpointLocked() {
 	go r.runCheckpoint(context.Background(), done)
 }
 
-// getErr returns the sticky durability error, if any.
+// getErr returns the error writes are currently refused with, if any:
+// a terminal close-path error, or the degradation state machine's cause
+// while the reasoner is degraded or failed (see degraded.go). Callers
+// that were refused see the exact instance Err() reports.
 func (d *durability) getErr() error {
 	d.errMu.Lock()
-	defer d.errMu.Unlock()
-	return d.err
+	err := d.err
+	d.errMu.Unlock()
+	if err != nil {
+		return err
+	}
+	return d.refusal()
 }
 
-// setErr records the first durability failure; later writes are refused.
+// setErr records a terminal durability failure (close-path only; the
+// write path classifies faults through writeFault instead).
 func (d *durability) setErr(err error) {
 	d.errMu.Lock()
 	if d.err == nil {
@@ -426,17 +504,8 @@ func (d *durability) setErr(err error) {
 	d.errMu.Unlock()
 }
 
-// setBgErr records a failure that originated in checkpointing (always
-// alongside setErr, which poisons writes as before).
-func (d *durability) setBgErr(err error) {
-	d.errMu.Lock()
-	if d.bgErr == nil {
-		d.bgErr = err
-	}
-	d.errMu.Unlock()
-}
-
-// getBgErr returns the sticky checkpoint failure, if any.
+// getBgErr returns the pending checkpoint failure, if any (cleared when
+// a later checkpoint succeeds or recovery completes).
 func (d *durability) getBgErr() error {
 	d.errMu.Lock()
 	defer d.errMu.Unlock()
@@ -456,6 +525,15 @@ func (r *Reasoner) durErr() error {
 // log.
 func (r *Reasoner) closeDurable(ctx context.Context) error {
 	d := r.dur
+	// Stop the recovery loop and the disk monitor first: a probe racing
+	// the close-time checkpoint below would fight over the live segment.
+	d.health.mu.Lock()
+	select {
+	case <-d.stopMon:
+	default:
+		close(d.stopMon)
+	}
+	d.health.mu.Unlock()
 	// Let an in-flight background checkpoint finish first, but respect
 	// the caller's shutdown deadline: the checkpoint write is O(store)
 	// and not cancellable. On timeout the KB is left un-closed and

@@ -1,0 +1,38 @@
+package bench
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestTortureSchedulePasses runs one short seeded schedule: the harness
+// must inject its faults, observe degradations, and find zero contract
+// violations on a healthy build.
+func TestTortureSchedulePasses(t *testing.T) {
+	rep, err := Torture(context.Background(), TortureConfig{
+		Schedules: 1, Writers: 2, Batches: 4, BatchSize: 8, Faults: 2, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Schedules) != 1 {
+		t.Fatalf("ran %d schedules, want 1", len(rep.Schedules))
+	}
+	s := rep.Schedules[0]
+	if len(s.Violations) != 0 {
+		t.Fatalf("contract violations:\n  %s", strings.Join(s.Violations, "\n  "))
+	}
+	if s.FaultsInjected != 2 || s.Degradations == 0 {
+		t.Fatalf("schedule injected %d faults, observed %d degradations; want 2 and >0",
+			s.FaultsInjected, s.Degradations)
+	}
+	if s.AckedOps == 0 {
+		t.Fatal("no ops acknowledged")
+	}
+	var buf strings.Builder
+	WriteTortureTable(&buf, rep)
+	if !strings.Contains(buf.String(), "PASS") {
+		t.Fatalf("table did not report PASS:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,147 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	slider "repro"
+	"repro/internal/vfs"
+)
+
+// newFaultServer builds a durable reasoner whose disk is a FaultFS over
+// a test tempdir, behind an httptest server. Every append fsyncs, so an
+// armed fsync fault fires on the next write.
+func newFaultServer(t *testing.T) (*httptest.Server, *slider.Reasoner, *vfs.FaultFS) {
+	t.Helper()
+	ffs := vfs.NewFault(vfs.OS)
+	r, err := slider.Open(t.TempDir(), slider.RhoDF,
+		slider.WithVFS(ffs),
+		slider.WithFsync(),
+		slider.WithViewMaxAge(-1),
+		slider.WithLogger(slog.New(slog.DiscardHandler)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(r, Config{}))
+	t.Cleanup(func() {
+		ts.Close()
+		ffs.Clear()
+		r.Close(context.Background())
+	})
+	return ts, r, ffs
+}
+
+func healthz(t *testing.T, url string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// TestDegradedReadOnlyOverHTTP is the acceptance scenario end to end at
+// the HTTP layer: a disk fault mid-ingest flips the server read-only
+// (writes 503 + Retry-After, reads and health keep serving), clearing
+// the fault recovers to ok, and ingest resumes — all without a restart.
+func TestDegradedReadOnlyOverHTTP(t *testing.T) {
+	ts, _, ffs := newFaultServer(t)
+
+	if resp, body := post(t, ts.URL+"/v1/insert", "application/n-triples",
+		ntLine("a", "p", "b")); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy insert: status %d: %s", resp.StatusCode, body)
+	}
+	if code, body := healthz(t, ts.URL); code != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("healthy healthz: %d %v", code, body)
+	}
+
+	// Break the disk: every fsync fails from here.
+	ffs.FailEveryFsync(nil)
+	resp, body := post(t, ts.URL+"/v1/insert", "application/n-triples", ntLine("c", "p", "d"))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degraded insert: want 503, got %d: %s", resp.StatusCode, body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" || ra == "0" {
+		t.Fatalf("degraded insert: want a positive Retry-After, got %q", ra)
+	}
+	if !strings.Contains(body, "degraded") {
+		t.Fatalf("degraded insert: error should name the degradation, got %s", body)
+	}
+
+	// A subsequent insert hits the ReadOnly pre-check (no flight joined).
+	if resp, _ := post(t, ts.URL+"/v1/insert", "application/n-triples",
+		ntLine("e", "p", "f")); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("pre-checked insert: want 503, got %d", resp.StatusCode)
+	}
+	if resp, _ := post(t, ts.URL+"/v1/retract", "application/n-triples",
+		ntLine("a", "p", "b")); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degraded retract: want 503, got %d", resp.StatusCode)
+	}
+
+	code, hb := healthz(t, ts.URL)
+	if code != http.StatusServiceUnavailable || hb["status"] != "degraded" {
+		t.Fatalf("degraded healthz: %d %v", code, hb)
+	}
+	if hb["read_only"] != true {
+		t.Fatalf("degraded healthz: want read_only true, got %v", hb)
+	}
+	if ra, ok := hb["retry_after_s"].(float64); !ok || ra < 1 {
+		t.Fatalf("degraded healthz: want retry_after_s >= 1, got %v", hb["retry_after_s"])
+	}
+	if _, ok := hb["since"].(string); !ok {
+		t.Fatalf("degraded healthz: want a since timestamp, got %v", hb)
+	}
+
+	// Reads keep serving the acknowledged state throughout.
+	_, rows, trailer := queryRows(t, ts.URL, "SELECT ?o WHERE { <http://example.org/a> <p> ?o . }")
+	if len(rows) != 1 || trailer["error"] != nil {
+		t.Fatalf("degraded query: want the acknowledged row, got rows=%v trailer=%v", rows, trailer)
+	}
+	for _, route := range []string{"/stats", "/metrics"} {
+		resp, err := http.Get(ts.URL + route)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("degraded GET %s: want 200, got %d", route, resp.StatusCode)
+		}
+	}
+
+	// Fix the disk: the recovery loop's next probe succeeds and the
+	// server accepts writes again, no restart involved.
+	ffs.Clear()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if code, hb := healthz(t, ts.URL); code == http.StatusOK && hb["status"] == "ok" {
+			break
+		}
+		if time.Now().After(deadline) {
+			code, hb := healthz(t, ts.URL)
+			t.Fatalf("did not recover to ok: %d %v", code, hb)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if resp, body := post(t, ts.URL+"/v1/insert", "application/n-triples",
+		ntLine("g", "p", "h")); resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-recovery insert: status %d: %s", resp.StatusCode, body)
+	}
+	_, rows, _ = queryRows(t, ts.URL, "SELECT ?o WHERE { <http://example.org/g> <p> ?o . }")
+	if len(rows) != 1 {
+		t.Fatalf("post-recovery query: want the new row, got %v", rows)
+	}
+	if n := ffs.RefsyncViolations(); n != 0 {
+		t.Fatalf("recovery re-fsynced a failed descriptor %d times", n)
+	}
+}

@@ -34,6 +34,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -390,11 +391,22 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// Refuse before joining a flight: while the reasoner is read-only
+	// every flight would fail anyway, and the pre-check answers with the
+	// live backoff instead of making the client discover it the hard way.
+	if h := s.r.Health(); h.ReadOnly {
+		s.refuseReadOnly(w, h)
+		return
+	}
 	_, merged, flightID, err := s.coal.submit(sts)
 	if sc := scopeOf(r); sc != nil {
 		sc.flightID = flightID
 	}
 	if err != nil {
+		if errors.Is(err, slider.ErrDegraded) {
+			s.refuseReadOnly(w, s.r.Health())
+			return
+		}
 		httpError(w, http.StatusInternalServerError, "ingest: %v", err)
 		return
 	}
@@ -523,10 +535,18 @@ func (s *Server) handleRetract(w http.ResponseWriter, r *http.Request) {
 	// otherwise harmless — the pass's analysis phases are read-only and
 	// leave the reasoner healthy — so the server-scoped RetractTimeout
 	// is simply the work bound.
+	if h := s.r.Health(); h.ReadOnly {
+		s.refuseReadOnly(w, h)
+		return
+	}
 	ctx, cancel := context.WithTimeout(context.WithoutCancel(r.Context()), s.cfg.RetractTimeout)
 	defer cancel()
 	stats, err := s.r.Retract(ctx, sts...)
 	if err != nil {
+		if errors.Is(err, slider.ErrDegraded) {
+			s.refuseReadOnly(w, s.r.Health())
+			return
+		}
 		code := http.StatusInternalServerError
 		if strings.Contains(err.Error(), "retraction not enabled") {
 			code = http.StatusNotImplemented
@@ -556,31 +576,61 @@ func retractJSON(rs slider.RetractStats) map[string]any {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	staleness := s.r.ViewStaleness().Milliseconds()
-	switch {
-	case s.r.Err() != nil:
-		// Write-path failure: the reasoner refuses writes; reads may
-		// still serve stale-but-consistent answers but the instance
-		// needs replacing.
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
-			"status": "failed", "error": s.r.Err().Error(), "staleness_ms": staleness,
-		})
-	case s.r.BackgroundErr() != nil:
-		// Background maintenance failure (compaction panic, checkpoint
-		// error): serving still works, but compaction debt or replay
-		// cost is growing unboundedly — degraded, schedule a restart.
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
-			"status": "degraded", "error": s.r.BackgroundErr().Error(),
-			"triples": s.r.Len(), "staleness_ms": staleness,
-		})
-	case s.draining.Load():
+	h := s.r.Health()
+	if h.Status == slider.HealthOK && s.draining.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
 			"status": "draining", "staleness_ms": staleness,
 		})
-	default:
-		writeJSON(w, http.StatusOK, map[string]any{
-			"status": "ok", "triples": s.r.Len(), "staleness_ms": staleness,
-		})
+		return
 	}
+	body := map[string]any{
+		"status":       string(h.Status),
+		"triples":      s.r.Len(),
+		"staleness_ms": staleness,
+	}
+	if h.Cause != "" {
+		body["error"] = h.Cause
+	}
+	if !h.Since.IsZero() {
+		// Since lets an operator distinguish a fresh blip from a
+		// long-stuck degradation at a glance.
+		body["since"] = h.Since.UTC().Format(time.RFC3339)
+	}
+	if h.ReadOnly {
+		body["read_only"] = true
+	}
+	if h.RetryAfter > 0 {
+		body["retry_after_s"] = retryAfterSeconds(h.RetryAfter)
+	}
+	code := http.StatusOK
+	if h.Status != slider.HealthOK {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, body)
+}
+
+// retryAfterSeconds renders a backoff as whole Retry-After seconds,
+// rounding up and never below 1 — "Retry-After: 0" invites an
+// immediate stampede.
+func retryAfterSeconds(d time.Duration) int64 {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// refuseReadOnly answers a mutation with 503 + Retry-After while the
+// knowledge base is read-only (degraded or failed). The Retry-After is
+// the recovery loop's current backoff — the soonest a retry could
+// plausibly succeed.
+func (s *Server) refuseReadOnly(w http.ResponseWriter, h slider.Health) {
+	w.Header().Set("Retry-After", strconv.FormatInt(retryAfterSeconds(h.RetryAfter), 10))
+	cause := h.Cause
+	if cause == "" {
+		cause = "knowledge base is read-only"
+	}
+	httpError(w, http.StatusServiceUnavailable, "%s", cause)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {

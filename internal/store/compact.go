@@ -80,22 +80,54 @@ func (st *Store) enqueueCompact(pred rdf.ID, p *partition) {
 	}
 }
 
+// Compactor restart policy: a panicking pass gets compactMaxRestarts
+// respawns with doubling delay before the error turns sticky. A clean
+// pass resets the budget, so only *consecutive* panics retire the
+// worker — a transient cause (a poisoned batch that then compacts, a
+// fault-injection hook) heals on its own.
+const (
+	compactMaxRestarts = 5
+	compactRestartBase = 10 * time.Millisecond
+)
+
 func (st *Store) compactLoop() {
 	// Backstop: a panicking compaction pass must not take the process
 	// down (the store itself stays correct — compaction only reshapes
-	// physical layout). The first panic is recorded as a sticky error
-	// and the worker retires; the serving layer reports it as a
+	// physical layout). The worker is respawned after a backoff, up to
+	// compactMaxRestarts consecutive panics; then the error is recorded
+	// sticky and the worker retires — the serving layer reports it as a
 	// degraded health state instead of letting overlay debt grow
 	// silently.
+	var cur rdf.ID
+	var active bool
 	defer func() {
-		if p := recover(); p != nil {
-			st.comp.mu.Lock()
+		p := recover()
+		if p == nil {
+			return
+		}
+		st.comp.mu.Lock()
+		if active {
+			// The in-flight partition was dequeued with queued still
+			// true (compactPredicate re-arms it only mid-pass): put it
+			// back at the front or no one will ever compact it again.
+			st.comp.queue = append([]rdf.ID{cur}, st.comp.queue...)
+		}
+		st.comp.panics++
+		if st.comp.panics > compactMaxRestarts {
 			if st.comp.err == nil {
-				st.comp.err = fmt.Errorf("store: background compaction panic: %v", p)
+				st.comp.err = fmt.Errorf("store: background compaction panic (retired after %d restarts): %v",
+					compactMaxRestarts, p)
+				st.comp.errSince = time.Now()
 			}
 			st.comp.running = false
 			st.comp.mu.Unlock()
+			return
 		}
+		d := compactRestartBase << (st.comp.panics - 1)
+		st.comp.mu.Unlock()
+		// running stays true across the window so enqueues keep landing
+		// in the queue instead of spawning a second worker.
+		time.AfterFunc(d, func() { st.compactLoop() })
 	}()
 	for {
 		st.comp.mu.Lock()
@@ -104,10 +136,15 @@ func (st *Store) compactLoop() {
 			st.comp.mu.Unlock()
 			return
 		}
-		pred := st.comp.queue[0]
+		cur = st.comp.queue[0]
 		st.comp.queue = st.comp.queue[1:]
+		active = true
 		st.comp.mu.Unlock()
-		st.compactPredicate(pred)
+		st.compactPredicate(cur)
+		active = false
+		st.comp.mu.Lock()
+		st.comp.panics = 0
+		st.comp.mu.Unlock()
 	}
 }
 

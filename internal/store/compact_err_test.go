@@ -9,9 +9,12 @@ import (
 )
 
 // TestCompactionPanicIsSticky: a panic inside the background compactor
-// must not take the process down. The worker records it as a sticky
-// CompactionErr, retires, and refuses further passes — while the store
-// itself stays fully usable (compaction only reshapes physical layout).
+// must not take the process down. A *persistent* panic cause exhausts
+// the capped restart budget (compactMaxRestarts respawns with backoff,
+// ~310ms total); the worker then records a sticky CompactionErr,
+// retires, and refuses further passes — while the store itself stays
+// fully usable (compaction only reshapes physical layout). See
+// TestCompactionPanicRestartRecovers for the transient-cause half.
 func TestCompactionPanicIsSticky(t *testing.T) {
 	SetCompactTestHook(func() { panic("injected failure") })
 	defer SetCompactTestHook(nil)

@@ -1,6 +1,10 @@
 package store
 
-import "repro/internal/obs"
+import (
+	"time"
+
+	"repro/internal/obs"
+)
 
 // Metrics is the store's optional compaction instrumentation: how long
 // the three background maintenance operations hold the partition write
@@ -51,4 +55,13 @@ func (st *Store) CompactionErr() error {
 	st.comp.mu.Lock()
 	defer st.comp.mu.Unlock()
 	return st.comp.err
+}
+
+// CompactionErrSince returns when CompactionErr's error was recorded
+// (zero when healthy) — the Since a health endpoint reports for a
+// compaction-degraded store.
+func (st *Store) CompactionErrSince() time.Time {
+	st.comp.mu.Lock()
+	defer st.comp.mu.Unlock()
+	return st.comp.errSince
 }

@@ -57,6 +57,7 @@ import (
 	"slices"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/rdf"
 )
@@ -590,10 +591,12 @@ type Store struct {
 	// the c* atomics are the compaction counters surfaced by Stats.
 	autoCompact atomic.Bool
 	comp        struct {
-		mu      sync.Mutex
-		queue   []rdf.ID
-		running bool
-		err     error // sticky first background-compaction panic
+		mu       sync.Mutex
+		queue    []rdf.ID
+		running  bool
+		panics   int       // consecutive worker panics; reset by a clean pass
+		err      error     // sticky error once the restart budget is spent
+		errSince time.Time // when err was recorded
 	}
 	workMu sync.Mutex
 

@@ -1,0 +1,454 @@
+package vfs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"syscall"
+)
+
+// FaultFS wraps an inner FS (normally OS over a test tempdir — the
+// directory stays real, so advisory file locks keep working) and
+// injects faults on a deterministic schedule: the k-th fsync or rename
+// from now fails, writes run out of a byte budget (ENOSPC), a chosen
+// write is torn in half, and Crash drops everything not yet fsynced —
+// the power-failure model. Fault arming and the operation counters are
+// all under one mutex, so a schedule replayed against the same
+// operation sequence injects at exactly the same points.
+//
+// Injected failures behave like the real thing: a failed fsync does NOT
+// sync (the data stays volatile and Crash drops it), a failed rename
+// does not rename, a budget-exhausted write lands its partial prefix.
+// A handle whose Sync failed remembers it; syncing it again counts a
+// refsync violation (see RefsyncViolations) — the recovery invariant
+// says failed descriptors are reopened, never retried.
+type FaultFS struct {
+	inner FS
+
+	mu      sync.Mutex
+	fsyncs  int64 // Sync calls observed
+	renames int64 // Rename calls observed
+	writes  int64 // Write calls observed
+
+	fsyncFailAt     int64 // absolute fsync count to fail at; 0 = off
+	fsyncFailEvery  bool
+	fsyncErr        error
+	renameFailAt    int64
+	renameFailEvery bool
+	renameErr       error
+	writeBudget     int64 // bytes writable before ENOSPC; -1 = unlimited
+	tornAt          int64 // absolute write count to tear; 0 = off
+
+	freeOverride int64 // FreeSpace override; -1 = passthrough
+
+	files   map[string]*fileState
+	refsync int64 // Sync retried on a handle whose Sync already failed
+}
+
+// fileState is what FaultFS knows about one path: the logical size the
+// writer believes, the fsynced watermark a simulated power failure
+// rolls back to, and whether we created the file (a created-never-
+// synced file vanishes entirely on Crash).
+type fileState struct {
+	size    int64
+	synced  int64
+	created bool
+}
+
+// NewFault wraps inner with fault injection. No faults are armed.
+func NewFault(inner FS) *FaultFS {
+	return &FaultFS{
+		inner:        inner,
+		writeBudget:  -1,
+		freeOverride: -1,
+		files:        make(map[string]*fileState),
+	}
+}
+
+// errInjected tags injected failures so tests can tell them from real
+// I/O errors; the wrapped errno is what callers classify on.
+func errInjected(op string, errno error) error {
+	return fmt.Errorf("vfs: injected %s fault: %w", op, errno)
+}
+
+// FailFsync arms the k-th Sync from now (1-based) to fail with err
+// (syscall.EIO when nil). The sync does not happen: data covered only
+// by it stays volatile.
+func (fs *FaultFS) FailFsync(k int, err error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err == nil {
+		err = errInjected("fsync", syscall.EIO)
+	}
+	fs.fsyncFailAt, fs.fsyncFailEvery, fs.fsyncErr = fs.fsyncs+int64(k), false, err
+}
+
+// FailEveryFsync arms every Sync from now to fail with err
+// (syscall.EIO when nil) until Clear.
+func (fs *FaultFS) FailEveryFsync(err error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err == nil {
+		err = errInjected("fsync", syscall.EIO)
+	}
+	fs.fsyncFailAt, fs.fsyncFailEvery, fs.fsyncErr = 0, true, err
+}
+
+// FailRename arms the k-th Rename from now (1-based) to fail with err
+// (syscall.EIO when nil). The rename does not happen.
+func (fs *FaultFS) FailRename(k int, err error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err == nil {
+		err = errInjected("rename", syscall.EIO)
+	}
+	fs.renameFailAt, fs.renameFailEvery, fs.renameErr = fs.renames+int64(k), false, err
+}
+
+// FailEveryRename arms every Rename from now to fail with err
+// (syscall.EIO when nil) until Clear.
+func (fs *FaultFS) FailEveryRename(err error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err == nil {
+		err = errInjected("rename", syscall.EIO)
+	}
+	fs.renameFailAt, fs.renameFailEvery, fs.renameErr = 0, true, err
+}
+
+// SetWriteBudget allows n more bytes of writes; the write that would
+// exceed the budget lands its in-budget prefix and fails with ENOSPC —
+// the torn half-frame a full disk really produces. Negative n removes
+// the budget.
+func (fs *FaultFS) SetWriteBudget(n int64) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.writeBudget = n
+}
+
+// TornWrite arms the k-th Write from now (1-based) to land only half
+// its bytes and fail with EIO.
+func (fs *FaultFS) TornWrite(k int) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.tornAt = fs.writes + int64(k)
+}
+
+// SetFreeSpace overrides FreeSpace's answer (negative restores the
+// passthrough), so low-watermark behaviour is testable without filling
+// a disk.
+func (fs *FaultFS) SetFreeSpace(n int64) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.freeOverride = n
+}
+
+// Clear disarms every scheduled fault (counters and crash-tracking
+// state are kept) — the "operator fixed the disk" event in a torture
+// schedule.
+func (fs *FaultFS) Clear() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.fsyncFailAt, fs.fsyncFailEvery, fs.fsyncErr = 0, false, nil
+	fs.renameFailAt, fs.renameFailEvery, fs.renameErr = 0, false, nil
+	fs.writeBudget = -1
+	fs.tornAt = 0
+	fs.freeOverride = -1
+}
+
+// Fsyncs returns how many Sync calls the FS has observed.
+func (fs *FaultFS) Fsyncs() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.fsyncs
+}
+
+// Renames returns how many Rename calls the FS has observed.
+func (fs *FaultFS) Renames() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.renames
+}
+
+// RefsyncViolations counts Sync calls retried on a handle whose Sync
+// had already failed — each one is a recovery-invariant violation
+// (failed descriptors must be reopened, never re-fsynced). Torture
+// tests assert this stays zero.
+func (fs *FaultFS) RefsyncViolations() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.refsync
+}
+
+// Crash simulates a power failure: every file opened through the FS is
+// rolled back to its fsynced watermark, and files created this session
+// that were never synced are removed. Call it with no handles in use
+// (after the writing process is torn down), then reopen through a
+// fresh FS — the crashed process's descriptors are gone either way.
+func (fs *FaultFS) Crash() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for path, st := range fs.files {
+		if st.created && st.synced == 0 {
+			if err := fs.inner.Remove(path); err != nil {
+				return err
+			}
+			delete(fs.files, path)
+			continue
+		}
+		if st.synced < st.size {
+			if err := fs.inner.Truncate(path, st.synced); err != nil {
+				return err
+			}
+			st.size = st.synced
+		}
+	}
+	return nil
+}
+
+// state returns (creating if needed) the tracked state for path.
+// Callers hold fs.mu. existed says whether the file was already on
+// disk: pre-existing bytes are presumed durable (the previous session
+// synced or checkpointed them), so the watermark starts at the current
+// size.
+func (fs *FaultFS) state(path string, existed bool, size int64) *fileState {
+	if st, ok := fs.files[path]; ok {
+		return st
+	}
+	st := &fileState{size: size, created: !existed}
+	if existed {
+		st.synced = size
+	}
+	fs.files[path] = st
+	return st
+}
+
+// faultFile is a handle dispensed by FaultFS: it forwards to the inner
+// file, applies write faults, and maintains the path's size/watermark
+// state for Crash.
+type faultFile struct {
+	File
+	fs         *FaultFS
+	st         *fileState
+	pos        int64
+	syncFailed bool
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	fs := f.fs
+	fs.mu.Lock()
+	fs.writes++
+	n := len(p)
+	var ferr error
+	if fs.tornAt != 0 && fs.writes == fs.tornAt {
+		n /= 2
+		fs.tornAt = 0
+		ferr = errInjected("torn write", syscall.EIO)
+	}
+	if fs.writeBudget >= 0 {
+		if int64(n) > fs.writeBudget {
+			n = int(fs.writeBudget)
+			ferr = errInjected("write", syscall.ENOSPC)
+		}
+		fs.writeBudget -= int64(n)
+	}
+	fs.mu.Unlock()
+	wrote := 0
+	var werr error
+	if n > 0 {
+		wrote, werr = f.File.Write(p[:n])
+	}
+	fs.mu.Lock()
+	f.pos += int64(wrote)
+	if f.pos > f.st.size {
+		f.st.size = f.pos
+	}
+	fs.mu.Unlock()
+	if werr != nil {
+		return wrote, werr
+	}
+	if ferr != nil {
+		return wrote, ferr
+	}
+	if wrote < len(p) {
+		// n was faulted below len(p) but ferr is nil — cannot happen;
+		// keep io.Writer's contract anyway.
+		return wrote, errInjected("write", syscall.EIO)
+	}
+	return wrote, nil
+}
+
+func (f *faultFile) Seek(offset int64, whence int) (int64, error) {
+	pos, err := f.File.Seek(offset, whence)
+	if err == nil {
+		f.fs.mu.Lock()
+		f.pos = pos
+		f.fs.mu.Unlock()
+	}
+	return pos, err
+}
+
+func (f *faultFile) Sync() error {
+	fs := f.fs
+	fs.mu.Lock()
+	if f.syncFailed {
+		fs.refsync++
+	}
+	fs.fsyncs++
+	fail := fs.fsyncFailEvery || (fs.fsyncFailAt != 0 && fs.fsyncs == fs.fsyncFailAt)
+	err := fs.fsyncErr
+	fs.mu.Unlock()
+	if fail {
+		// The sync did not happen: the watermark stays put, so a Crash
+		// drops everything this sync claimed to cover.
+		fs.mu.Lock()
+		f.syncFailed = true
+		fs.mu.Unlock()
+		return err
+	}
+	if serr := f.File.Sync(); serr != nil {
+		fs.mu.Lock()
+		f.syncFailed = true
+		fs.mu.Unlock()
+		return serr
+	}
+	fs.mu.Lock()
+	if f.st.size > f.st.synced {
+		f.st.synced = f.st.size
+	}
+	fs.mu.Unlock()
+	return nil
+}
+
+func (f *faultFile) Truncate(size int64) error {
+	if err := f.File.Truncate(size); err != nil {
+		return err
+	}
+	f.fs.mu.Lock()
+	f.st.size = size
+	if f.st.synced > size {
+		f.st.synced = size
+	}
+	f.fs.mu.Unlock()
+	return nil
+}
+
+// --- FS interface ---
+
+// OpenFile opens through the inner FS and wraps the handle for fault
+// injection and crash tracking.
+func (fs *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	name = filepath.Clean(name)
+	fi, statErr := fs.inner.Stat(name)
+	existed := statErr == nil
+	var size int64
+	if existed {
+		size = fi.Size()
+	}
+	f, err := fs.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	fs.mu.Lock()
+	st := fs.state(name, existed, size)
+	if flag&os.O_TRUNC != 0 {
+		st.size = 0
+		if st.synced > 0 {
+			st.synced = 0
+		}
+	}
+	fs.mu.Unlock()
+	return &faultFile{File: f, fs: fs, st: st}, nil
+}
+
+// Open opens read-only; reads are never faulted, so the inner handle
+// is returned directly.
+func (fs *FaultFS) Open(name string) (File, error) { return fs.inner.Open(filepath.Clean(name)) }
+
+// ReadFile passes through (reads are never faulted).
+func (fs *FaultFS) ReadFile(name string) ([]byte, error) {
+	return fs.inner.ReadFile(filepath.Clean(name))
+}
+
+// ReadDir passes through.
+func (fs *FaultFS) ReadDir(name string) ([]os.DirEntry, error) {
+	return fs.inner.ReadDir(filepath.Clean(name))
+}
+
+// Rename injects scheduled rename faults; on success the crash-tracking
+// state follows the file to its new name.
+func (fs *FaultFS) Rename(oldpath, newpath string) error {
+	oldpath, newpath = filepath.Clean(oldpath), filepath.Clean(newpath)
+	fs.mu.Lock()
+	fs.renames++
+	fail := fs.renameFailEvery || (fs.renameFailAt != 0 && fs.renames == fs.renameFailAt)
+	err := fs.renameErr
+	fs.mu.Unlock()
+	if fail {
+		return err
+	}
+	if rerr := fs.inner.Rename(oldpath, newpath); rerr != nil {
+		return rerr
+	}
+	fs.mu.Lock()
+	if st, ok := fs.files[oldpath]; ok {
+		fs.files[newpath] = st
+		delete(fs.files, oldpath)
+	}
+	fs.mu.Unlock()
+	return nil
+}
+
+// Remove passes through and drops crash-tracking state.
+func (fs *FaultFS) Remove(name string) error {
+	name = filepath.Clean(name)
+	if err := fs.inner.Remove(name); err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	delete(fs.files, name)
+	fs.mu.Unlock()
+	return nil
+}
+
+// Truncate passes through and rolls the watermark back with the data.
+func (fs *FaultFS) Truncate(name string, size int64) error {
+	name = filepath.Clean(name)
+	if err := fs.inner.Truncate(name, size); err != nil {
+		return err
+	}
+	fs.mu.Lock()
+	if st, ok := fs.files[name]; ok {
+		st.size = size
+		if st.synced > size {
+			st.synced = size
+		}
+	}
+	fs.mu.Unlock()
+	return nil
+}
+
+// Stat passes through.
+func (fs *FaultFS) Stat(name string) (os.FileInfo, error) {
+	return fs.inner.Stat(filepath.Clean(name))
+}
+
+// MkdirAll passes through.
+func (fs *FaultFS) MkdirAll(path string, perm os.FileMode) error {
+	return fs.inner.MkdirAll(filepath.Clean(path), perm)
+}
+
+// SyncDir passes through; directory syncs are best-effort everywhere.
+func (fs *FaultFS) SyncDir(dir string) error { return fs.inner.SyncDir(filepath.Clean(dir)) }
+
+// FreeSpace answers the override when one is set, else passes through.
+func (fs *FaultFS) FreeSpace(dir string) (uint64, error) {
+	fs.mu.Lock()
+	o := fs.freeOverride
+	fs.mu.Unlock()
+	if o >= 0 {
+		return uint64(o), nil
+	}
+	return fs.inner.FreeSpace(filepath.Clean(dir))
+}

@@ -1,0 +1,12 @@
+//go:build !unix
+
+package vfs
+
+import "errors"
+
+// freeSpace is unsupported off unix: callers treat an error as "free
+// space unknown" and skip low-watermark handling rather than degrading
+// on bad data.
+func freeSpace(string) (uint64, error) {
+	return 0, errors.New("vfs: free-space query unsupported on this platform")
+}

@@ -1,0 +1,17 @@
+//go:build unix
+
+package vfs
+
+import "syscall"
+
+// freeSpace reports the bytes available to unprivileged writers on the
+// filesystem holding dir, via statfs. Bavail (not Bfree) is the right
+// field: it excludes the root-reserved blocks an ordinary process
+// cannot consume, so ENOSPC arrives when this hits zero.
+func freeSpace(dir string) (uint64, error) {
+	var st syscall.Statfs_t
+	if err := syscall.Statfs(dir, &st); err != nil {
+		return 0, err
+	}
+	return st.Bavail * uint64(st.Bsize), nil
+}

@@ -1,0 +1,104 @@
+// Package vfs is the small filesystem seam under the durability stack.
+// Every file operation the write-ahead log (and through it the
+// checkpoint writer) performs goes through an FS, so the disk can be
+// swapped out: OS is the passthrough used in production, FaultFS (see
+// fault.go) is a deterministic failpoint implementation the torture
+// harness scripts — ENOSPC after a byte budget, EIO on the k-th fsync,
+// torn partial writes, rename failures, and crash-point simulation that
+// drops unsynced data.
+//
+// The interface is deliberately narrow: exactly the operations the
+// durability stack uses, nothing speculative. Files opened through an
+// FS satisfy File; *os.File does so directly, which keeps the
+// passthrough allocation-free.
+package vfs
+
+import (
+	"io"
+	"os"
+)
+
+// File is an open file handle. *os.File satisfies it.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	// Sync flushes the file's data (and metadata) to stable storage.
+	Sync() error
+	// Truncate changes the file's size.
+	Truncate(size int64) error
+	// Stat returns the file's FileInfo.
+	Stat() (os.FileInfo, error)
+	// Name returns the name the file was opened with.
+	Name() string
+}
+
+// FS is the filesystem face of the durability stack. Implementations
+// must be safe for concurrent use.
+type FS interface {
+	// OpenFile is the generalized open call (os.OpenFile semantics).
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Open opens the named file for reading.
+	Open(name string) (File, error)
+	// ReadFile reads the named file whole.
+	ReadFile(name string) ([]byte, error)
+	// ReadDir lists the named directory, sorted by filename.
+	ReadDir(name string) ([]os.DirEntry, error)
+	// Rename atomically renames (moves) oldpath to newpath.
+	Rename(oldpath, newpath string) error
+	// Remove removes the named file.
+	Remove(name string) error
+	// Truncate changes the size of the named file.
+	Truncate(name string, size int64) error
+	// Stat returns a FileInfo describing the named file.
+	Stat(name string) (os.FileInfo, error)
+	// MkdirAll creates the named directory and any missing parents.
+	MkdirAll(path string, perm os.FileMode) error
+	// SyncDir fsyncs a directory so renames within it are durable.
+	// Best-effort: some filesystems refuse directory syncs, and callers
+	// rely on the final file fsync for correctness either way.
+	SyncDir(dir string) error
+	// FreeSpace reports the bytes available to unprivileged writers on
+	// the filesystem holding dir (0, error where unsupported).
+	FreeSpace(dir string) (uint64, error)
+}
+
+// OS is the passthrough FS: every call maps 1:1 onto the os package.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) Open(name string) (File, error) { return os.Open(name) }
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+func (osFS) Stat(name string) (os.FileInfo, error) { return os.Stat(name) }
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	if cerr := d.Close(); serr == nil {
+		serr = cerr
+	}
+	return serr
+}
+
+func (osFS) FreeSpace(dir string) (uint64, error) { return freeSpace(dir) }

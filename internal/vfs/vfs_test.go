@@ -1,0 +1,257 @@
+package vfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func write(t *testing.T, f File, data string) {
+	t.Helper()
+	if _, err := f.Write([]byte(data)); err != nil {
+		t.Fatalf("write %q: %v", data, err)
+	}
+}
+
+func TestOSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.txt")
+	f, err := OS.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	write(t, f, "hello")
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := OS.ReadFile(path)
+	if err != nil || string(b) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", b, err)
+	}
+	if err := OS.Rename(path, filepath.Join(dir, "b.txt")); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := OS.ReadDir(dir)
+	if err != nil || len(entries) != 1 || entries[0].Name() != "b.txt" {
+		t.Fatalf("ReadDir = %v, %v", entries, err)
+	}
+	free, err := OS.FreeSpace(dir)
+	if err != nil {
+		t.Fatalf("FreeSpace: %v", err)
+	}
+	if free == 0 {
+		t.Fatal("FreeSpace reported an empty disk under a writable tempdir")
+	}
+}
+
+func TestFaultFsyncKth(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFault(OS)
+	f, err := fs.OpenFile(filepath.Join(dir, "f"), os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	fs.FailFsync(2, nil)
+	if err := f.Sync(); err != nil {
+		t.Fatalf("fsync 1 should pass: %v", err)
+	}
+	err = f.Sync()
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("fsync 2 = %v, want injected EIO", err)
+	}
+	// The failed handle remembers: retrying the same descriptor is the
+	// invariant violation the counter exposes.
+	if fs.RefsyncViolations() != 0 {
+		t.Fatal("violation counted before any retry")
+	}
+	f.Sync()
+	if got := fs.RefsyncViolations(); got != 1 {
+		t.Fatalf("RefsyncViolations = %d after a retry, want 1", got)
+	}
+	// A fresh handle to the same path is the sanctioned recovery path.
+	f2, err := fs.OpenFile(filepath.Join(dir, "f"), os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	if err := f2.Sync(); err != nil {
+		t.Fatalf("fresh handle sync: %v", err)
+	}
+	if got := fs.RefsyncViolations(); got != 1 {
+		t.Fatalf("fresh-handle sync counted as violation (%d)", got)
+	}
+}
+
+func TestFaultRenameAndClear(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFault(OS)
+	path := filepath.Join(dir, "x.tmp")
+	f, err := fs.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	write(t, f, "data")
+	f.Close()
+	fs.FailEveryRename(nil)
+	if err := fs.Rename(path, filepath.Join(dir, "x")); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("rename = %v, want injected EIO", err)
+	}
+	if _, err := fs.Stat(path); err != nil {
+		t.Fatal("failed rename moved the file anyway")
+	}
+	fs.Clear()
+	if err := fs.Rename(path, filepath.Join(dir, "x")); err != nil {
+		t.Fatalf("rename after Clear: %v", err)
+	}
+	if _, err := fs.Stat(filepath.Join(dir, "x")); err != nil {
+		t.Fatal("rename after Clear did not move the file")
+	}
+}
+
+func TestFaultWriteBudgetENOSPC(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFault(OS)
+	f, err := fs.OpenFile(filepath.Join(dir, "f"), os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	fs.SetWriteBudget(5)
+	n, err := f.Write([]byte("12345678"))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("over-budget write = %v, want ENOSPC", err)
+	}
+	if n != 5 {
+		t.Fatalf("partial write landed %d bytes, want the 5-byte budget", n)
+	}
+	fi, _ := fs.Stat(filepath.Join(dir, "f"))
+	if fi.Size() != 5 {
+		t.Fatalf("on-disk size %d, want 5 (the torn prefix a full disk leaves)", fi.Size())
+	}
+	fs.SetWriteBudget(-1)
+	if _, err := f.Seek(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("12345678")); err != nil {
+		t.Fatalf("write after budget removed: %v", err)
+	}
+}
+
+func TestFaultTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFault(OS)
+	f, err := fs.OpenFile(filepath.Join(dir, "f"), os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	fs.TornWrite(1)
+	n, err := f.Write([]byte("abcdefgh"))
+	if err == nil || n != 4 {
+		t.Fatalf("torn write = (%d, %v), want (4, EIO)", n, err)
+	}
+	// One-shot: the next write is whole.
+	if _, err := f.Write([]byte("rest")); err != nil {
+		t.Fatalf("write after torn one: %v", err)
+	}
+}
+
+func TestFaultCrashDropsUnsynced(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFault(OS)
+	synced := filepath.Join(dir, "synced")
+	tail := filepath.Join(dir, "tail")
+	never := filepath.Join(dir, "never")
+
+	f, _ := fs.OpenFile(synced, os.O_WRONLY|os.O_CREATE, 0o644)
+	write(t, f, "durable")
+	f.Sync()
+	f.Close()
+
+	f, _ = fs.OpenFile(tail, os.O_WRONLY|os.O_CREATE, 0o644)
+	write(t, f, "durable")
+	f.Sync()
+	write(t, f, "+volatile tail")
+	f.Close()
+
+	f, _ = fs.OpenFile(never, os.O_WRONLY|os.O_CREATE, 0o644)
+	write(t, f, "all volatile")
+	f.Close()
+
+	if err := fs.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := os.ReadFile(synced); string(b) != "durable" {
+		t.Fatalf("synced file = %q after crash", b)
+	}
+	if b, _ := os.ReadFile(tail); string(b) != "durable" {
+		t.Fatalf("file with unsynced tail = %q after crash, want the synced prefix", b)
+	}
+	if _, err := os.Stat(never); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("created-never-synced file survived the crash")
+	}
+}
+
+func TestFaultCrashPreservesPreexisting(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "old")
+	if err := os.WriteFile(path, []byte("previous session"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs := NewFault(OS)
+	f, err := fs.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	write(t, f, " + unsynced")
+	f.Close()
+	if err := fs.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := os.ReadFile(path); string(b) != "previous session" {
+		t.Fatalf("pre-existing file = %q after crash, want its open-time contents", b)
+	}
+}
+
+func TestFaultFreeSpaceOverride(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFault(OS)
+	fs.SetFreeSpace(4096)
+	free, err := fs.FreeSpace(dir)
+	if err != nil || free != 4096 {
+		t.Fatalf("FreeSpace = %d, %v, want the 4096 override", free, err)
+	}
+	fs.SetFreeSpace(-1)
+	free, err = fs.FreeSpace(dir)
+	if err != nil || free == 0 || free == 4096 {
+		t.Fatalf("FreeSpace after reset = %d, %v, want passthrough", free, err)
+	}
+}
+
+func TestFaultTruncateRollsWatermarkBack(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFault(OS)
+	path := filepath.Join(dir, "f")
+	f, _ := fs.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	write(t, f, "0123456789")
+	f.Sync()
+	f.Close()
+	if err := fs.Truncate(path, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := os.ReadFile(path); string(b) != "0123" {
+		t.Fatalf("truncated file = %q after crash, want %q", b, "0123")
+	}
+}

@@ -5,6 +5,8 @@ package wal
 import (
 	"os"
 	"syscall"
+
+	"repro/internal/vfs"
 )
 
 // flushRange asks the kernel to start writing back [off, off+n) of f
@@ -14,11 +16,17 @@ import (
 // the journal commit — which concurrent log appends can stall behind —
 // is short. Purely an I/O-smoothing hint: durability still comes from
 // the final fsync, so errors are ignored and a no-op fallback is fine.
-func flushRange(f *os.File, off, n int64) {
+// Only real files get the hint: a fault-injected vfs.File has no usable
+// descriptor, and skipping the hint changes nothing but smoothness.
+func flushRange(f vfs.File, off, n int64) {
+	osf, ok := f.(*os.File)
+	if !ok {
+		return
+	}
 	// 0x2 is SYNC_FILE_RANGE_WRITE (not exported by package syscall):
 	// initiate writeback of dirty pages in the range that are not
 	// already in flight; do not wait for them.
-	syscall.Syscall6(syscall.SYS_SYNC_FILE_RANGE, f.Fd(), uintptr(off), uintptr(n), 0x2, 0, 0)
+	syscall.Syscall6(syscall.SYS_SYNC_FILE_RANGE, osf.Fd(), uintptr(off), uintptr(n), 0x2, 0, 0)
 }
 
 // settleWriteback writes back [0, n) of f and waits for it, in bounded
@@ -27,11 +35,15 @@ func flushRange(f *os.File, off, n int64) {
 // already on disk, that fsync commits only metadata, so the journal
 // commit — and the stall concurrent log appends can observe behind it —
 // stays tiny. Best-effort like flushRange.
-func settleWriteback(f *os.File, n int64) {
+func settleWriteback(f vfs.File, n int64) {
+	osf, ok := f.(*os.File)
+	if !ok {
+		return
+	}
 	const chunk = 4 << 20
 	// 0x1|0x2|0x4: WAIT_BEFORE | WRITE | WAIT_AFTER.
 	for off := int64(0); off < n; off += chunk {
 		c := min(chunk, n-off)
-		syscall.Syscall6(syscall.SYS_SYNC_FILE_RANGE, f.Fd(), uintptr(off), uintptr(c), 0x1|0x2|0x4, 0, 0)
+		syscall.Syscall6(syscall.SYS_SYNC_FILE_RANGE, osf.Fd(), uintptr(off), uintptr(c), 0x1|0x2|0x4, 0, 0)
 	}
 }

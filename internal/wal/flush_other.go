@@ -2,12 +2,12 @@
 
 package wal
 
-import "os"
+import "repro/internal/vfs"
 
 // flushRange is a no-op where sync_file_range is unavailable: the final
 // fsync in writeCheckpointFile provides durability either way, at the
 // cost of one larger flush.
-func flushRange(*os.File, int64, int64) {}
+func flushRange(vfs.File, int64, int64) {}
 
 // settleWriteback is likewise a no-op; see flush_linux.go.
-func settleWriteback(*os.File, int64) {}
+func settleWriteback(vfs.File, int64) {}

@@ -1,0 +1,9 @@
+//go:build !slider_invariants
+
+package wal
+
+// invariantsEnabled is false in normal builds; see invariants_on.go and
+// INVARIANTS.md. The empty body below inlines to nothing.
+const invariantsEnabled = false
+
+func (l *Log) assertSyncable() {}

@@ -1,0 +1,23 @@
+//go:build slider_invariants
+
+package wal
+
+// invariantsEnabled mirrors the store/maintenance/trace convention: the
+// checking implementations compile only under the slider_invariants
+// build tag; invariants_off.go supplies no-op twins whose constant
+// false lets the compiler delete every call site. Run with:
+//
+//	go test -race -tags slider_invariants ./internal/wal
+const invariantsEnabled = true
+
+// assertSyncable panics if the live segment handle is about to be
+// fsynced after a previous fsync on it failed. The kernel clears a
+// file's writeback error once it has been reported, so a second fsync
+// on the same descriptor can return nil while the data never reached
+// disk — recovery must reopen the segment by path instead (INVARIANTS:
+// recovery never re-fsyncs a failed fd). Callers hold l.mu.
+func (l *Log) assertSyncable() {
+	if l.curFailed {
+		panic("wal invariant: fsync attempted on a handle whose previous fsync failed; reopen by path instead")
+	}
+}

@@ -1,0 +1,18 @@
+//go:build slider_invariants
+
+package wal
+
+import "testing"
+
+// TestSyncableInvariantIsLive proves the tagged assertion is compiled
+// in and firing: fsyncing a handle whose previous fsync failed must
+// panic (recovery reopens by path instead).
+func TestSyncableInvariantIsLive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("assertSyncable on a poisoned handle did not panic")
+		}
+	}()
+	l := &Log{curFailed: true}
+	l.assertSyncable()
+}

@@ -14,7 +14,7 @@ import (
 // dies with the file descriptor, so a crashed process never leaves a
 // stale lock behind.
 func lockDir(dir string) (release func(), err error) {
-	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o666)
+	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, err
 	}

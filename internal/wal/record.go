@@ -2,11 +2,18 @@ package wal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 
 	"repro/internal/rdf"
 )
+
+// ErrRejected marks an append refused because the record itself is
+// invalid (bad op, wildcard, oversized string or frame). Rejections say
+// nothing about the disk: the degradation machinery must pass them back
+// to the caller rather than enter read-only mode over them.
+var ErrRejected = errors.New("wal: record rejected")
 
 // Op says what a log record does to the knowledge base.
 type Op uint8
@@ -60,20 +67,20 @@ func appendString(b []byte, s string) []byte {
 // every record after it.
 func validateRecord(rec Record) error {
 	if rec.Op != OpAssert && rec.Op != OpRetract {
-		return fmt.Errorf("wal: bad record op %d", rec.Op)
+		return fmt.Errorf("%w: bad record op %d", ErrRejected, rec.Op)
 	}
 	for _, te := range rec.Terms {
 		if te.ID == rdf.Any {
-			return fmt.Errorf("wal: term entry with wildcard ID")
+			return fmt.Errorf("%w: term entry with wildcard ID", ErrRejected)
 		}
 		if len(te.Term.Value) > maxStringLen || len(te.Term.Lang) > maxStringLen ||
 			len(te.Term.Datatype) > maxStringLen {
-			return fmt.Errorf("wal: term string exceeds %d bytes", maxStringLen)
+			return fmt.Errorf("%w: term string exceeds %d bytes", ErrRejected, maxStringLen)
 		}
 	}
 	for _, t := range rec.Triples {
 		if t.S == rdf.Any || t.P == rdf.Any || t.O == rdf.Any {
-			return fmt.Errorf("wal: triple with wildcard component")
+			return fmt.Errorf("%w: triple with wildcard component", ErrRejected)
 		}
 	}
 	return nil

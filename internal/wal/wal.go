@@ -41,6 +41,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/trace"
+	"repro/internal/vfs"
 )
 
 // Segment header: magic plus a format version byte.
@@ -81,6 +82,9 @@ type Options struct {
 	// Metrics, when non-nil, instruments the append path (see
 	// NewMetrics). Nil keeps the log free of clock reads.
 	Metrics *Metrics
+	// FS is the filesystem the log lives on. Nil means vfs.OS (the real
+	// disk); the torture harness passes a vfs.FaultFS to script faults.
+	FS vfs.FS
 }
 
 // manifest is the durable commit record of the log's state.
@@ -98,12 +102,14 @@ type manifest struct {
 type Log struct {
 	dir  string
 	opts Options
+	fs   vfs.FS
 
 	mu        sync.Mutex
 	man       manifest
-	cur       *os.File // live segment, opened for append
+	cur       vfs.File // live segment, opened for append
 	curIdx    int      // index of the live segment
 	curSize   int64    // size of the live segment in bytes
+	curFailed bool     // cur's fsync failed: the handle is poisoned until Recover reopens it
 	liveSize  int64    // total bytes across live segments (incl. headers)
 	dirty     bool     // records exist that no checkpoint covers
 	ckptBytes int64    // on-disk size of the current checkpoint, 0 if none
@@ -121,14 +127,17 @@ func Open(dir string, opts Options) (*Log, error) {
 	if opts.SegmentSize <= 0 {
 		opts.SegmentSize = DefaultSegmentSize
 	}
-	if err := os.MkdirAll(dir, 0o777); err != nil {
+	if opts.FS == nil {
+		opts.FS = vfs.OS
+	}
+	if err := opts.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	unlock, err := lockDir(dir)
 	if err != nil {
 		return nil, err
 	}
-	l := &Log{dir: dir, opts: opts, unlock: unlock}
+	l := &Log{dir: dir, opts: opts, fs: opts.FS, unlock: unlock}
 	if err := l.loadManifest(); err != nil {
 		unlock()
 		return nil, err
@@ -153,7 +162,7 @@ func (l *Log) statCheckpoint(gen int) int64 {
 	}
 	var total int64
 	for _, name := range []string{checkpointSnapshotName(gen), checkpointExplicitName(gen)} {
-		if fi, err := os.Stat(filepath.Join(l.dir, name)); err == nil {
+		if fi, err := l.fs.Stat(filepath.Join(l.dir, name)); err == nil {
 			total += fi.Size()
 		}
 	}
@@ -184,7 +193,7 @@ func (l *Log) SetMeta(meta string) error {
 }
 
 func (l *Log) loadManifest() error {
-	b, err := os.ReadFile(filepath.Join(l.dir, manifestName))
+	b, err := l.fs.ReadFile(filepath.Join(l.dir, manifestName))
 	if errors.Is(err, os.ErrNotExist) {
 		l.man = manifest{Version: Version, FirstSegment: 1}
 		return l.writeManifest(l.man)
@@ -208,7 +217,7 @@ func (l *Log) loadManifest() error {
 
 // writeManifest commits m via write-to-temp-then-rename.
 func (l *Log) writeManifest(m manifest) error {
-	if err := commitManifestFile(l.dir, m); err != nil {
+	if err := commitManifestFile(l.fs, l.dir, m); err != nil {
 		return err
 	}
 	l.man = m
@@ -219,25 +228,25 @@ func (l *Log) writeManifest(m manifest) error {
 // and fsync a temp file, rename it into place, fsync the directory. The
 // lock-free core shared by writeManifest and CommitCheckpoint — the
 // commit protocol must exist exactly once.
-func commitManifestFile(dir string, m manifest) error {
+func commitManifestFile(fs vfs.FS, dir string, m manifest) error {
 	b, err := json.Marshal(m)
 	if err != nil {
 		return err
 	}
 	tmp := filepath.Join(dir, manifestName+".tmp")
-	if err := writeFileSync(tmp, b); err != nil {
+	if err := writeFileSync(fs, tmp, b); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+	if err := fs.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
 		return err
 	}
-	syncDir(dir)
+	fs.SyncDir(dir)
 	return nil
 }
 
 // writeFileSync writes data to path and fsyncs it.
-func writeFileSync(path string, data []byte) error {
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o666)
+func writeFileSync(fs vfs.FS, path string, data []byte) error {
+	f, err := fs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
@@ -252,20 +261,11 @@ func writeFileSync(path string, data []byte) error {
 	return f.Close()
 }
 
-// syncDir fsyncs a directory so renames within it are durable.
-// Best-effort: some filesystems refuse directory syncs.
-func syncDir(dir string) {
-	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
-	}
-}
-
 // sweep removes files the manifest does not reference: checkpoints of
 // other generations, segments below FirstSegment, and stray temp files —
 // the debris of a crash between renames and the manifest commit.
 func (l *Log) sweep() error {
-	entries, err := os.ReadDir(l.dir)
+	entries, err := l.fs.ReadDir(l.dir)
 	if err != nil {
 		return err
 	}
@@ -284,7 +284,7 @@ func (l *Log) sweep() error {
 			doomed = !ok || gen != l.man.Checkpoint
 		}
 		if doomed {
-			if err := os.Remove(filepath.Join(l.dir, name)); err != nil {
+			if err := l.fs.Remove(filepath.Join(l.dir, name)); err != nil {
 				return err
 			}
 		}
@@ -332,7 +332,7 @@ func checkpointExplicitName(gen int) string {
 
 // liveSegments lists the live segment indices in ascending order.
 func (l *Log) liveSegments() ([]int, error) {
-	entries, err := os.ReadDir(l.dir)
+	entries, err := l.fs.ReadDir(l.dir)
 	if err != nil {
 		return nil, err
 	}
@@ -361,14 +361,14 @@ func (l *Log) openSegments() error {
 	}
 	l.liveSize = 0
 	for _, idx := range idxs {
-		fi, err := os.Stat(filepath.Join(l.dir, segmentName(idx)))
+		fi, err := l.fs.Stat(filepath.Join(l.dir, segmentName(idx)))
 		if err != nil {
 			return err
 		}
 		l.liveSize += fi.Size()
 	}
 	last := idxs[len(idxs)-1]
-	f, err := os.OpenFile(filepath.Join(l.dir, segmentName(last)), os.O_WRONLY, 0o666)
+	f, err := l.fs.OpenFile(filepath.Join(l.dir, segmentName(last)), os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
 	}
@@ -383,8 +383,8 @@ func (l *Log) openSegments() error {
 
 // createSegment makes segment idx the live one, writing its header.
 func (l *Log) createSegment(idx int) error {
-	f, err := os.OpenFile(filepath.Join(l.dir, segmentName(idx)),
-		os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o666)
+	f, err := l.fs.OpenFile(filepath.Join(l.dir, segmentName(idx)),
+		os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return err
 	}
@@ -399,7 +399,7 @@ func (l *Log) createSegment(idx int) error {
 			return err
 		}
 	}
-	l.cur, l.curIdx, l.curSize = f, idx, int64(len(hdr))
+	l.cur, l.curIdx, l.curSize, l.curFailed = f, idx, int64(len(hdr)), false
 	l.liveSize += int64(len(hdr))
 	return nil
 }
@@ -443,7 +443,7 @@ func (l *Log) Replay(fn func(Record) error) (ReplayStats, error) {
 	torn := 0 // first segment with an invalid frame, 0 if none
 	for _, idx := range idxs {
 		path := filepath.Join(l.dir, segmentName(idx))
-		b, err := os.ReadFile(path)
+		b, err := l.fs.ReadFile(path)
 		if err != nil {
 			return stats, err
 		}
@@ -491,7 +491,7 @@ func (l *Log) truncateFrom(idx int, size int64, idxs []int, stats *ReplayStats) 
 		if later <= idx {
 			continue
 		}
-		if err := os.Remove(filepath.Join(l.dir, segmentName(later))); err != nil {
+		if err := l.fs.Remove(filepath.Join(l.dir, segmentName(later))); err != nil {
 			return err
 		}
 		stats.DroppedSegments++
@@ -499,7 +499,7 @@ func (l *Log) truncateFrom(idx int, size int64, idxs []int, stats *ReplayStats) 
 	l.liveSize = 0
 	for _, i := range idxs {
 		if i < idx {
-			fi, err := os.Stat(filepath.Join(l.dir, segmentName(i)))
+			fi, err := l.fs.Stat(filepath.Join(l.dir, segmentName(i)))
 			if err != nil {
 				return err
 			}
@@ -509,19 +509,19 @@ func (l *Log) truncateFrom(idx int, size int64, idxs []int, stats *ReplayStats) 
 	path := filepath.Join(l.dir, segmentName(idx))
 	if size <= int64(len(segmentMagic)+1) {
 		// Nothing valid survives, not even the header: rebuild it.
-		if err := os.Remove(path); err != nil {
+		if err := l.fs.Remove(path); err != nil {
 			return err
 		}
 		return l.createSegment(idx)
 	}
-	if err := os.Truncate(path, size); err != nil {
+	if err := l.fs.Truncate(path, size); err != nil {
 		return err
 	}
-	f, err := os.OpenFile(path, os.O_WRONLY, 0o666)
+	f, err := l.fs.OpenFile(path, os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
 	}
-	l.cur, l.curIdx, l.curSize = f, idx, size
+	l.cur, l.curIdx, l.curSize, l.curFailed = f, idx, size, false
 	l.liveSize += size
 	return nil
 }
@@ -562,10 +562,17 @@ func (l *Log) append(rec Record, sp *trace.Span) error {
 	var frame []byte
 	frame, l.buf = frameRecord(l.buf, rec)
 	if int64(len(frame)) > maxRecordLen {
-		return fmt.Errorf("wal: record of %d bytes exceeds the %d-byte frame limit", len(frame), maxRecordLen)
+		return fmt.Errorf("%w: record of %d bytes exceeds the %d-byte frame limit", ErrRejected, len(frame), maxRecordLen)
 	}
 	if l.cur == nil {
 		return fmt.Errorf("wal: no live segment")
+	}
+	if l.curFailed {
+		// A previous fsync on this handle failed. Its dirty pages are in
+		// an unknown state and syncing it again proves nothing (the
+		// kernel clears the error on report), so the handle is poisoned
+		// until Recover reopens the segment by path.
+		return fmt.Errorf("wal: live segment poisoned by failed fsync; Recover first")
 	}
 	preSize := l.curSize
 	// backOut removes the frame again: when Append returns an error the
@@ -575,7 +582,7 @@ func (l *Log) append(rec Record, sp *trace.Span) error {
 	// segment roll failed halfway).
 	backOut := func() {
 		if l.cur == nil || l.cur.Truncate(preSize) != nil {
-			os.Truncate(filepath.Join(l.dir, segmentName(l.curIdx)), preSize)
+			l.fs.Truncate(filepath.Join(l.dir, segmentName(l.curIdx)), preSize)
 		}
 		l.curSize = preSize
 	}
@@ -595,7 +602,9 @@ func (l *Log) append(rec Record, sp *trace.Span) error {
 			s0 = obs.NowIfEnabled()
 		}
 		fsp := sp.Child("wal.fsync")
+		l.assertSyncable()
 		if err := l.cur.Sync(); err != nil {
+			l.curFailed = true
 			fsp.Error(err.Error())
 			fsp.End()
 			backOut()
@@ -640,8 +649,21 @@ func (l *Log) append(rec Record, sp *trace.Span) error {
 // checkpoint mark phase), where a multi-megabyte sync would stall every
 // writer for disk-flush time.
 func (l *Log) roll() error {
+	// A roll can be reached from the checkpoint path while a fault has
+	// already degraded the live segment (append faults leave a poisoned
+	// handle; a half-failed roll leaves none at all). Refuse with the
+	// append-path error rather than dereferencing or — worse —
+	// re-fsyncing a handle whose sync already failed.
+	if l.cur == nil {
+		return fmt.Errorf("wal: no live segment after a failed roll; Recover first")
+	}
+	if l.curFailed {
+		return fmt.Errorf("wal: live segment poisoned by failed fsync; Recover first")
+	}
 	if l.opts.Fsync {
+		l.assertSyncable()
 		if err := l.cur.Sync(); err != nil {
+			l.curFailed = true
 			return err
 		}
 	}
@@ -681,11 +703,11 @@ func (l *Log) OpenCheckpoint() (snap, explicit io.ReadCloser, ok bool, err error
 	if gen == 0 {
 		return nil, nil, false, nil
 	}
-	s, err := os.Open(filepath.Join(l.dir, checkpointSnapshotName(gen)))
+	s, err := l.fs.Open(filepath.Join(l.dir, checkpointSnapshotName(gen)))
 	if err != nil {
 		return nil, nil, false, err
 	}
-	e, err := os.Open(filepath.Join(l.dir, checkpointExplicitName(gen)))
+	e, err := l.fs.Open(filepath.Join(l.dir, checkpointExplicitName(gen)))
 	if err != nil {
 		s.Close()
 		return nil, nil, false, err
@@ -745,13 +767,13 @@ func (l *Log) WriteCheckpointPayloads(m CheckpointMark, writeSnapshot, writeExpl
 	if closed {
 		return ErrClosed
 	}
-	if err := writeCheckpointFile(filepath.Join(l.dir, checkpointSnapshotName(m.gen)), writeSnapshot); err != nil {
+	if err := writeCheckpointFile(l.fs, filepath.Join(l.dir, checkpointSnapshotName(m.gen)), writeSnapshot); err != nil {
 		return err
 	}
-	if err := writeCheckpointFile(filepath.Join(l.dir, checkpointExplicitName(m.gen)), writeExplicit); err != nil {
+	if err := writeCheckpointFile(l.fs, filepath.Join(l.dir, checkpointExplicitName(m.gen)), writeExplicit); err != nil {
 		return err
 	}
-	syncDir(l.dir)
+	l.fs.SyncDir(l.dir)
 	return nil
 }
 
@@ -782,13 +804,13 @@ func (l *Log) CommitCheckpoint(m CheckpointMark) error {
 	// would stall every writer for exactly the disk time the two-phase
 	// split exists to hide. Safe unlocked: checkpoints are serialized by
 	// the caller and nothing else rewrites the manifest mid-session.
-	if err := commitManifestFile(l.dir, mm); err != nil {
+	if err := commitManifestFile(l.fs, l.dir, mm); err != nil {
 		return err
 	}
 
 	var pruned int64
 	for idx := oldFirst; idx <= m.covered; idx++ {
-		if fi, err := os.Stat(filepath.Join(l.dir, segmentName(idx))); err == nil {
+		if fi, err := l.fs.Stat(filepath.Join(l.dir, segmentName(idx))); err == nil {
 			pruned += fi.Size()
 		}
 	}
@@ -808,11 +830,11 @@ func (l *Log) CommitCheckpoint(m CheckpointMark) error {
 	// that. The files are immutable and unreferenced by now, so nothing
 	// races.
 	for idx := oldFirst; idx <= m.covered; idx++ {
-		os.Remove(filepath.Join(l.dir, segmentName(idx)))
+		l.fs.Remove(filepath.Join(l.dir, segmentName(idx)))
 	}
 	if oldGen != 0 {
-		os.Remove(filepath.Join(l.dir, checkpointSnapshotName(oldGen)))
-		os.Remove(filepath.Join(l.dir, checkpointExplicitName(oldGen)))
+		l.fs.Remove(filepath.Join(l.dir, checkpointSnapshotName(oldGen)))
+		l.fs.Remove(filepath.Join(l.dir, checkpointExplicitName(oldGen)))
 	}
 	return nil
 }
@@ -827,8 +849,8 @@ func (l *Log) AbortCheckpoint(m CheckpointMark) {
 	if m.gen == committed {
 		return
 	}
-	os.Remove(filepath.Join(l.dir, checkpointSnapshotName(m.gen)))
-	os.Remove(filepath.Join(l.dir, checkpointExplicitName(m.gen)))
+	l.fs.Remove(filepath.Join(l.dir, checkpointSnapshotName(m.gen)))
+	l.fs.Remove(filepath.Join(l.dir, checkpointExplicitName(m.gen)))
 }
 
 // WriteCheckpoint atomically installs a new checkpoint covering every
@@ -881,7 +903,7 @@ const syncChunk = 256 << 10
 // chunkSyncWriter starts asynchronous writeback every syncChunk bytes
 // written (see flushRange).
 type chunkSyncWriter struct {
-	f          *os.File
+	f          vfs.File
 	off, since int64
 }
 
@@ -899,29 +921,90 @@ func (w *chunkSyncWriter) Write(p []byte) (int, error) {
 // writeCheckpointFile streams write's output to path.tmp, fsyncs (with
 // writeback streamed along the way so the sync's journal commit stays
 // small), and renames it into place.
-func writeCheckpointFile(path string, write func(io.Writer) error) error {
+func writeCheckpointFile(fs vfs.FS, path string, write func(io.Writer) error) error {
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o666)
+	f, err := fs.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
 	w := &chunkSyncWriter{f: f}
 	if err := write(w); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fs.Remove(tmp)
 		return err
 	}
 	settleWriteback(f, w.off+w.since)
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		fs.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		fs.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	return fs.Rename(tmp, path)
+}
+
+// Recover re-arms a log whose live segment hit a write, fsync, or roll
+// fault: it discards the poisoned handle (never re-fsyncing it — a
+// failed fsync's dirty pages are in an unknown state and the kernel
+// clears the error once reported), removes half-created segments a
+// failed roll left above the live index (their O_EXCL creation would
+// otherwise fail forever), truncates the live segment back to its
+// acknowledged size, reopens it by path, and proves the directory
+// writable again with a write+fsync+remove probe. Returns nil when the
+// log is ready to append; an error means the fault persists.
+func (l *Log) Recover() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.cur != nil {
+		l.cur.Close() // never Sync here: the handle may carry a failed fsync
+		l.cur = nil
+		l.curFailed = false
+	}
+	idxs, err := l.liveSegments()
+	if err != nil {
+		return err
+	}
+	for _, idx := range idxs {
+		if idx > l.curIdx {
+			if err := l.fs.Remove(filepath.Join(l.dir, segmentName(idx))); err != nil {
+				return err
+			}
+		}
+	}
+	path := filepath.Join(l.dir, segmentName(l.curIdx))
+	if fi, err := l.fs.Stat(path); err != nil {
+		return err
+	} else if fi.Size() > l.curSize {
+		// A torn or backed-out write left bytes past the acknowledged
+		// tail; cut them off so they can never replay.
+		if err := l.fs.Truncate(path, l.curSize); err != nil {
+			return err
+		}
+	}
+	f, err := l.fs.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	// Probe durability end to end on a scratch file: a sweep removes
+	// probe.tmp on the next Open if we crash between write and remove.
+	probe := filepath.Join(l.dir, "probe.tmp")
+	if err := writeFileSync(l.fs, probe, []byte("probe")); err != nil {
+		f.Close()
+		l.fs.Remove(probe)
+		return err
+	}
+	if err := l.fs.Remove(probe); err != nil {
+		f.Close()
+		return err
+	}
+	l.cur = f
+	return nil
 }
 
 // Close syncs and closes the live segment. The log must not be used
@@ -935,7 +1018,11 @@ func (l *Log) Close() error {
 	l.closed = true
 	var err error
 	if l.cur != nil {
-		err = l.cur.Sync()
+		// A handle poisoned by a failed fsync is closed without syncing:
+		// re-fsyncing it would report clean while proving nothing.
+		if !l.curFailed {
+			err = l.cur.Sync()
+		}
 		if cerr := l.cur.Close(); err == nil {
 			err = cerr
 		}

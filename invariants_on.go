@@ -1,0 +1,23 @@
+//go:build slider_invariants
+
+package slider
+
+import "fmt"
+
+// invariantsEnabled mirrors the internal packages' convention (see
+// internal/store/invariants_on.go): checking implementations compile
+// only under the slider_invariants build tag. Run with:
+//
+//	go test -race -tags slider_invariants .
+const invariantsEnabled = true
+
+// assertHealthTransition panics on an illegal health-state transition.
+// The machine is ok ⇄ degraded, with failed terminal: once a reasoner
+// is failed nothing may move it back (INVARIANTS: failed is sticky).
+// Callers hold health.mu and pass the pre-transition status ("" is the
+// zero value meaning ok).
+func assertHealthTransition(from, to HealthStatus) {
+	if from == HealthFailed && to != HealthFailed {
+		panic(fmt.Sprintf("slider invariant: illegal health transition failed → %s", to))
+	}
+}

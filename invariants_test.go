@@ -1,0 +1,17 @@
+//go:build slider_invariants
+
+package slider
+
+import "testing"
+
+// TestHealthTransitionInvariantIsLive proves the tagged assertion is
+// compiled in and firing, not a silent no-op: failed is terminal, so
+// failed → ok must panic.
+func TestHealthTransitionInvariantIsLive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("assertHealthTransition(failed, ok) did not panic")
+		}
+	}()
+	assertHealthTransition(HealthFailed, HealthOK)
+}

@@ -1,10 +1,12 @@
 package slider
 
 import (
+	"log/slog"
 	"time"
 
 	"repro/internal/obs"
 	"repro/internal/reasoner"
+	"repro/internal/vfs"
 )
 
 // config collects option values for New.
@@ -30,6 +32,9 @@ type config struct {
 	walSegmentSize  int64
 	checkpointEvery int64
 	walFsync        bool
+	fs              vfs.FS
+	diskMinFree     int64
+	logger          *slog.Logger
 }
 
 // Option tunes a Reasoner at construction time. The three tunables mirror
@@ -133,6 +138,32 @@ func WithCheckpointEvery(bytes int64) Option {
 // fsynced batches survive a power failure.
 func WithFsync() Option {
 	return func(c *config) { c.walFsync = true }
+}
+
+// WithVFS routes every file operation of the durability stack (log
+// segments, manifest commits, checkpoints) through fs instead of the
+// real disk. Production code never needs it; the disk-fault torture
+// harness passes a vfs.FaultFS to script ENOSPC, fsync and rename
+// failures deterministically.
+func WithVFS(fs vfs.FS) Option {
+	return func(c *config) { c.fs = fs }
+}
+
+// WithDiskMinFree sets a free-space floor in bytes for the knowledge
+// base's filesystem: a background monitor samples free space, warns
+// below twice the floor, and proactively enters read-only degraded mode
+// below it — refusing writes before ENOSPC can tear a segment. 0 (the
+// default) disables the monitor. Recovery is automatic once space is
+// freed.
+func WithDiskMinFree(bytes int64) Option {
+	return func(c *config) { c.diskMinFree = bytes }
+}
+
+// WithLogger sets the structured logger the reasoner's background
+// machinery (degradation transitions, recovery probes, disk watermarks)
+// reports to. Defaults to slog.Default().
+func WithLogger(l *slog.Logger) Option {
+	return func(c *config) { c.logger = l }
 }
 
 // WithAdaptiveScheduling enables run-time buffer-capacity adaptation:

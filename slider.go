@@ -410,9 +410,11 @@ func (r *Reasoner) addTriples(ctx context.Context, ts []rdf.Triple) (int, error)
 		sp.Error(err.Error())
 		return 0, err
 	}
+	hwI, hwB, hwL := r.dur.termMarks()
 	rec := wal.Record{Op: wal.OpAssert, Terms: r.dur.termDelta(r.dict), Triples: ts}
 	if err := r.dur.log.AppendCtx(ctx, rec); err != nil {
-		r.dur.setErr(err)
+		r.dur.rewindTerms(hwI, hwB, hwL)
+		err = r.dur.writeFault(err)
 		sp.Error(err.Error())
 		return 0, err
 	}
@@ -560,10 +562,11 @@ func (r *Reasoner) Retract(ctx context.Context, sts ...Statement) (RetractStats,
 		return RetractStats{}, err
 	}
 	if r.dur != nil {
+		hwI, hwB, hwL := r.dur.termMarks()
 		rec := wal.Record{Op: wal.OpRetract, Terms: r.dur.termDelta(r.dict), Triples: toDelete}
 		if err := r.dur.log.Append(rec); err != nil {
-			r.dur.setErr(err)
-			return RetractStats{}, err
+			r.dur.rewindTerms(hwI, hwB, hwL)
+			return RetractStats{}, r.dur.writeFault(err)
 		}
 	}
 	r.explicitMu.Lock()

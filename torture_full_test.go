@@ -1,0 +1,44 @@
+//go:build slider_torture
+
+package slider
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestTortureFaultScheduleMatrix is the full seeded torture matrix,
+// compiled only under -tags slider_torture (the everyday suite runs the
+// sampled TestSeededFaultSchedules instead):
+//
+//	go test -tags slider_torture -run TestTorture ./...
+//
+// 32 seeds × escalating fault density, every schedule asserting the
+// same contract: faults classify as ErrDegraded, reads serve exactly
+// the acknowledged prefix while degraded, recovery restores ok, no
+// acknowledged batch is ever lost, and recovery never re-fsyncs a
+// failed descriptor.
+func TestTortureFaultScheduleMatrix(t *testing.T) {
+	for seed := int64(0); seed < 32; seed++ {
+		nFaults := 1 + int(seed%4) // 1..4 fault positions per schedule
+		t.Run(fmt.Sprintf("seed%02d_faults%d", seed, nFaults), func(t *testing.T) {
+			t.Parallel()
+			runFaultSchedule(t, seed, nFaults)
+		})
+	}
+}
+
+// TestTortureEveryPositionEveryKind arms every fault kind at every op
+// position of the fixed schedule — the exhaustive cross product the
+// seeded matrix only samples.
+func TestTortureEveryPositionEveryKind(t *testing.T) {
+	nOps := len(scheduleOps())
+	for pos := 0; pos < nOps; pos++ {
+		for kind := 0; kind < 3; kind++ {
+			t.Run(fmt.Sprintf("pos%d_kind%d", pos, kind), func(t *testing.T) {
+				t.Parallel()
+				runFaultScheduleAt(t, pos, kind)
+			})
+		}
+	}
+}
